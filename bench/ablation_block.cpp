@@ -1,0 +1,58 @@
+// Ablation: block one-sided Jacobi vs the flat plain algorithm.
+//
+// Blocking keeps a 2b-column working set hot — the software analogue of the
+// paper's BRAM-resident covariance blocks (Section VI.A's 256-column
+// on-chip limit).  Reports wall time and sweeps-to-converge across block
+// sizes.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "reportgen/runner.hpp"
+#include "svd/block_hestenes.hpp"
+#include "svd/plain_hestenes.hpp"
+
+using namespace hjsvd;
+
+int main(int argc, char** argv) {
+  Cli cli("Ablation: blocked vs flat one-sided Jacobi");
+  cli.add_option("rows", "384", "matrix rows");
+  cli.add_option("cols", "256", "matrix columns");
+  cli.add_option("blocks", "16,32,64,128", "block sizes to try");
+  cli.parse(argc, argv);
+  const auto m = static_cast<std::size_t>(cli.get_int("rows"));
+  const auto n = static_cast<std::size_t>(cli.get_int("cols"));
+  const auto blocks = cli.get_int_list("blocks");
+
+  const Matrix a = report::experiment_matrix(m, n);
+  std::cout << "== Ablation: blocking, " << m << " x " << n << " ==\n\n";
+
+  AsciiTable t({"variant", "sweeps to 1e-12", "time", "converged"});
+  {
+    HestenesConfig cfg;
+    cfg.max_sweeps = 30;
+    cfg.tolerance = 1e-12;
+    Timer timer;
+    const SvdResult r = plain_hestenes_svd(a, cfg);
+    t.add_row({"flat plain Jacobi", std::to_string(r.sweeps),
+               format_duration(timer.seconds()), r.converged ? "yes" : "NO"});
+  }
+  for (auto b : blocks) {
+    BlockHestenesConfig cfg;
+    cfg.block_size = static_cast<std::size_t>(b);
+    cfg.max_sweeps = 30;
+    cfg.tolerance = 1e-12;
+    Timer timer;
+    const SvdResult r = block_hestenes_svd(a, cfg);
+    t.add_row({"blocked, b = " + std::to_string(b), std::to_string(r.sweeps),
+               format_duration(timer.seconds()), r.converged ? "yes" : "NO"});
+  }
+  std::cout << t.to_string()
+            << "\nNote: a block-pair visit fully orthogonalizes its 2b "
+               "columns, so block sweeps do more work than flat sweeps; the "
+               "interesting outputs are total time (locality) and the "
+               "block-size sensitivity — small working sets mirror the "
+               "paper's on-chip covariance limit.\n";
+  return 0;
+}

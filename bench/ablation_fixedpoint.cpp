@@ -1,0 +1,72 @@
+// Ablation: fixed-point vs double-precision floating point.
+//
+// The prior FPGA design [11] computes the Hestenes-Jacobi SVD in fixed
+// point; the paper's architecture uses IEEE-754 double precision "to
+// provide a wider dynamic range" (Section I).  This benchmark runs the
+// fixed-point model across Q-formats and data scalings and reports the
+// singular-value error plus saturation/underflow counts — the quantified
+// version of the paper's motivation.
+#include <cmath>
+#include <iostream>
+
+#include "baselines/golub_kahan.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "linalg/generate.hpp"
+#include "svd/fixed_hestenes.hpp"
+
+using namespace hjsvd;
+
+int main(int argc, char** argv) {
+  Cli cli("Ablation: fixed-point (prior work [11]) vs double precision");
+  cli.add_option("size", "24", "square matrix dimension");
+  cli.add_option("scales", "1,100,10000,1000000",
+                 "data magnitude scalings to sweep");
+  cli.parse(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("size"));
+  const auto scales = cli.get_int_list("scales");
+
+  const fp::FixedFormat formats[] = {
+      {15, 16},  // Q15.16 — a typical 32-bit DSP format
+      {7, 24},   // Q7.24  — more resolution, less range
+      {23, 8},   // Q23.8  — more range, less resolution
+  };
+
+  std::cout << "== Ablation: fixed-point dynamic range ==\n"
+            << "Singular-value relative error of the fixed-point plain "
+               "Hestenes (model of [11]) vs the double-precision oracle.\n\n";
+
+  AsciiTable t({"data scale", "format", "sv error", "saturations",
+                "underflows", "verdict"});
+  HestenesConfig cfg;
+  cfg.max_sweeps = 12;
+  for (auto scale : scales) {
+    Rng rng(11);
+    Matrix a = random_uniform(n, n, rng);
+    for (double& x : a.data()) x *= static_cast<double>(scale);
+    const SvdResult oracle = golub_kahan_svd(a);
+    for (const auto& fmt : formats) {
+      fp::FixedStats stats;
+      const SvdResult fixed = fixed_point_hestenes_svd(a, fmt, stats, cfg);
+      const double err =
+          singular_value_error(fixed.singular_values, oracle.singular_values);
+      const char* verdict = err < 1e-3 ? "ok"
+                            : err < 0.1 ? "degraded"
+                                        : "FAILED";
+      t.add_row({std::to_string(scale),
+                 "Q" + std::to_string(fmt.integer_bits) + "." +
+                     std::to_string(fmt.frac_bits),
+                 format_sci(err, 2), std::to_string(stats.saturations),
+                 std::to_string(stats.underflows), verdict});
+    }
+  }
+  std::cout << t.to_string()
+            << "\nExpected: every Q-format fails once the data scale "
+               "leaves its window (saturations explode for large scales — "
+               "note the *squared* norms a Hestenes datapath must hold), "
+               "while IEEE-754 double handles all scales; this is the "
+               "paper's case for floating point.  [11] was limited to "
+               "32x128 matrices partly for this reason.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Fig. 10: convergence of the modified Hestenes-Jacobi process
+// for square matrices of growing dimension — the mean absolute deviation
+// from zero of the covariances after each sweep, on randomly generated
+// datasets (the paper's software-model convergence evaluation).
+//
+// Default sizes stop at 512 to keep the default run short on slow hosts;
+// pass --sizes 128,256,512,1024,2048 for the paper's full range.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "reportgen/runner.hpp"
+#include "svd/hestenes.hpp"
+
+using namespace hjsvd;
+
+int main(int argc, char** argv) {
+  Cli cli("Fig. 10: convergence for square matrices");
+  cli.add_option("sizes", "128,256,512", "square sizes");
+  cli.add_option("sweeps", "6", "sweeps to run (paper: 6)");
+  cli.add_option("csv", "", "optional path for CSV output");
+  cli.parse(argc, argv);
+  const auto sizes = cli.get_int_list("sizes");
+  const auto sweeps = static_cast<std::size_t>(cli.get_int("sweeps"));
+
+  std::cout << "== Fig. 10 reproduction: convergence (mean |covariance|) ==\n"
+            << "Rows: sweep number; columns: matrix dimension.\n\n";
+
+  std::vector<std::string> headers{"sweep"};
+  for (auto n : sizes) headers.push_back(std::to_string(n) + "^2");
+  AsciiTable t(headers);
+
+  std::vector<HestenesStats> stats(sizes.size());
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    const auto n = static_cast<std::size_t>(sizes[s]);
+    const Matrix a = report::experiment_matrix(n, n);
+    HestenesConfig cfg;
+    cfg.max_sweeps = sweeps;
+    cfg.track_convergence = true;
+    Timer timer;
+    (void)modified_hestenes_svd(a, cfg, &stats[s]);
+    std::cout << "ran " << n << "x" << n << " (" << sweeps << " sweeps) in "
+              << format_duration(timer.seconds()) << '\n';
+  }
+  std::cout << '\n';
+
+  for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+    std::vector<std::string> row{std::to_string(sweep + 1)};
+    for (const auto& st : stats) {
+      row.push_back(sweep < st.sweeps.size()
+                        ? format_sci(st.sweeps[sweep].mean_abs_offdiag, 3)
+                        : "-");
+    }
+    t.add_row(row);
+  }
+  std::cout << t.to_string()
+            << "\nShape check (paper Fig. 10): the deviation collapses by "
+               "orders of magnitude over the sweeps; larger dimensions "
+               "converge more slowly but all reach 'reasonable convergence' "
+               "within 6 sweeps.\n";
+
+  if (const auto path = cli.get("csv"); !path.empty()) {
+    write_file(path, t.to_csv());
+    std::cout << "CSV written to " << path << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Fig. 11: convergence of matrices with a fixed column size and
+// varying row dimension.  The paper fixes n = 1024; the default here fixes
+// n = 256 so the default run stays short on slow hosts (pass --cols 1024
+// --rows 256,512,1024,2048 for the paper's exact setting).  The expected
+// shape is the paper's: the row count barely changes the per-sweep
+// convergence trajectory, because rotations act on the covariance matrix
+// whose size is set by the column count alone.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "reportgen/runner.hpp"
+#include "svd/hestenes.hpp"
+
+using namespace hjsvd;
+
+int main(int argc, char** argv) {
+  Cli cli("Fig. 11: convergence with fixed columns, varying rows");
+  cli.add_option("cols", "256", "fixed column dimension (paper: 1024)");
+  cli.add_option("rows", "256,512,1024,2048", "row dimensions");
+  cli.add_option("sweeps", "6", "sweeps to run (paper: 6)");
+  cli.add_option("normalized", "true",
+                 "divide by the sweep-1 value (isolates the trajectory "
+                 "shape from the m-dependent covariance scale)");
+  cli.add_option("csv", "", "optional path for CSV output");
+  cli.parse(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("cols"));
+  const auto rows = cli.get_int_list("rows");
+  const auto sweeps = static_cast<std::size_t>(cli.get_int("sweeps"));
+  const bool normalized = cli.get_bool("normalized");
+
+  std::cout << "== Fig. 11 reproduction: convergence at fixed n = " << n
+            << " ==\n\n";
+
+  std::vector<std::string> headers{"sweep"};
+  for (auto m : rows)
+    headers.push_back(std::to_string(m) + "x" + std::to_string(n));
+  AsciiTable t(headers);
+  t.set_caption(normalized
+                    ? "Mean |covariance| normalized by the sweep-1 value:"
+                    : "Mean |covariance| per sweep:");
+
+  std::vector<HestenesStats> stats(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto m = static_cast<std::size_t>(rows[r]);
+    const Matrix a = report::experiment_matrix(m, n);
+    HestenesConfig cfg;
+    cfg.max_sweeps = sweeps;
+    cfg.track_convergence = true;
+    Timer timer;
+    (void)modified_hestenes_svd(a, cfg, &stats[r]);
+    std::cout << "ran " << m << "x" << n << " in "
+              << format_duration(timer.seconds()) << '\n';
+  }
+  std::cout << '\n';
+
+  for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+    std::vector<std::string> row{std::to_string(sweep + 1)};
+    for (const auto& st : stats) {
+      if (sweep >= st.sweeps.size()) {
+        row.push_back("-");
+        continue;
+      }
+      const double base = normalized ? st.sweeps[0].mean_abs_offdiag : 1.0;
+      row.push_back(format_sci(st.sweeps[sweep].mean_abs_offdiag / base, 3));
+    }
+    t.add_row(row);
+  }
+  std::cout << t.to_string()
+            << "\nShape check (paper Fig. 11): the trajectories for "
+               "different row counts nearly coincide — row dimension does "
+               "not drive convergence.\n";
+
+  if (const auto path = cli.get("csv"); !path.empty()) {
+    write_file(path, t.to_csv());
+    std::cout << "CSV written to " << path << '\n';
+  }
+  return 0;
+}

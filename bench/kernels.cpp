@@ -1,0 +1,168 @@
+// google-benchmark microbenchmarks of the computational kernels: the
+// soft-float operators, rotation parameter generation, covariance update,
+// Gram computation, and the simulation primitives.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fp/ops.hpp"
+#include "fp/softfloat.hpp"
+#include "hwsim/dfg.hpp"
+#include "linalg/generate.hpp"
+#include "svd/hestenes.hpp"
+#include "fp/cordic.hpp"
+#include "fp/fixed.hpp"
+#include "svd/rotation.hpp"
+
+namespace {
+
+using namespace hjsvd;
+
+std::vector<double> random_doubles(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(count);
+  for (auto& x : v) x = rng.gaussian() * 10.0;
+  return v;
+}
+
+void BM_SoftFloatAdd(benchmark::State& state) {
+  const auto xs = random_doubles(1024, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fp::sf_add(xs[i % 1024], xs[(i + 7) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SoftFloatAdd);
+
+void BM_SoftFloatMul(benchmark::State& state) {
+  const auto xs = random_doubles(1024, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fp::sf_mul(xs[i % 1024], xs[(i + 7) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SoftFloatMul);
+
+void BM_SoftFloatDiv(benchmark::State& state) {
+  const auto xs = random_doubles(1024, 3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fp::sf_div(xs[i % 1024], xs[(i + 7) % 1024] + 20.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_SoftFloatDiv);
+
+void BM_SoftFloatSqrt(benchmark::State& state) {
+  const auto xs = random_doubles(1024, 4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp::sf_sqrt(xs[i % 1024] * xs[i % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SoftFloatSqrt);
+
+void BM_RotationHardwareForm(benchmark::State& state) {
+  const auto xs = random_doubles(1024, 5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const double njj = xs[i % 1024] * xs[i % 1024] + 1.0;
+    const double nii = xs[(i + 3) % 1024] * xs[(i + 3) % 1024] + 1.0;
+    benchmark::DoNotOptimize(
+        rotation_hardware(njj, nii, xs[(i + 9) % 1024], fp::NativeOps{}));
+    ++i;
+  }
+}
+BENCHMARK(BM_RotationHardwareForm);
+
+void BM_RotationTextbookForm(benchmark::State& state) {
+  const auto xs = random_doubles(1024, 6);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const double njj = xs[i % 1024] * xs[i % 1024] + 1.0;
+    const double nii = xs[(i + 3) % 1024] * xs[(i + 3) % 1024] + 1.0;
+    benchmark::DoNotOptimize(
+        rotation_textbook(njj, nii, xs[(i + 9) % 1024], fp::NativeOps{}));
+    ++i;
+  }
+}
+BENCHMARK(BM_RotationTextbookForm);
+
+void BM_GramUpper(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const Matrix a = random_gaussian(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gram_upper_ops(a, fp::NativeOps{}));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * (n + 1) / 2);
+}
+BENCHMARK(BM_GramUpper)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ModifiedHestenesSweep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  const Matrix a = random_gaussian(n, n, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(modified_hestenes_svd(a, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * n * (n - 1) / 2);
+}
+BENCHMARK(BM_ModifiedHestenesSweep)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_FixedQuantize(benchmark::State& state) {
+  const auto xs = random_doubles(1024, 9);
+  const fp::FixedFormat fmt{15, 16};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp::fixed_quantize(xs[i % 1024], fmt));
+    ++i;
+  }
+}
+BENCHMARK(BM_FixedQuantize);
+
+void BM_CordicVectoring(benchmark::State& state) {
+  const auto xs = random_doubles(1024, 10);
+  const fp::CordicConfig cfg{static_cast<int>(state.range(0))};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fp::cordic_vectoring(xs[i % 1024], xs[(i + 5) % 1024], cfg));
+    ++i;
+  }
+}
+BENCHMARK(BM_CordicVectoring)->Arg(16)->Arg(32)->Arg(52);
+
+void BM_CordicJacobiParams(benchmark::State& state) {
+  const auto xs = random_doubles(1024, 11);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const double njj = xs[i % 1024] * xs[i % 1024] + 1.0;
+    const double nii = xs[(i + 3) % 1024] * xs[(i + 3) % 1024] + 1.0;
+    benchmark::DoNotOptimize(
+        fp::cordic_jacobi_params(njj, nii, xs[(i + 9) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CordicJacobiParams);
+
+void BM_RotationDataflowSchedule(benchmark::State& state) {
+  const auto g = hwsim::make_rotation_dataflow();
+  const hwsim::FuSet fus{1, 2, 1, 1};
+  const fp::CoreLatencies lat;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hwsim::list_schedule(g, fus, lat));
+  }
+}
+BENCHMARK(BM_RotationDataflowSchedule);
+
+}  // namespace

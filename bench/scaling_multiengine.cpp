@@ -1,0 +1,60 @@
+// Future-work scaling study: the paper implements on one of the Convey
+// HC-2's four application engines; this bench models distributing the
+// design across engines (row-partitioned preprocessing + D-slice-partitioned
+// covariance updates, serial rotation cadence) and shows where scaling
+// saturates — the serial 8-rotations-per-64-cycles section becomes the
+// Amdahl bottleneck.
+#include <iostream>
+
+#include "arch/multi_engine.hpp"
+#include "arch/timing_model.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace hjsvd;
+
+int main(int argc, char** argv) {
+  Cli cli("Multi-engine (HC-2) scaling model");
+  cli.add_option("sizes", "128,256,512,1024", "square sizes");
+  cli.add_option("engines", "1,2,4,8", "engine counts (HC-2 has 4)");
+  cli.parse(argc, argv);
+  const auto sizes = cli.get_int_list("sizes");
+  const auto engines = cli.get_int_list("engines");
+
+  std::cout << "== Multi-engine scaling (model; the paper uses 1 of the "
+               "HC-2's 4 AEs) ==\n\n";
+
+  std::vector<std::string> headers{"n x n \\ engines"};
+  for (auto e : engines) headers.push_back(std::to_string(e));
+  AsciiTable t(headers);
+  t.set_caption("Execution time (seconds):");
+  AsciiTable s(headers);
+  s.set_caption("Speedup over 1 engine / serial-cadence-bound fraction:");
+  for (auto n : sizes) {
+    std::vector<std::string> trow{std::to_string(n)};
+    std::vector<std::string> srow{std::to_string(n)};
+    double base = 0.0;
+    for (auto e : engines) {
+      arch::MultiEngineConfig cfg;
+      cfg.engines = static_cast<std::uint32_t>(e);
+      const auto r = arch::estimate_multi_engine(
+          cfg, static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+      if (base == 0.0) base = r.seconds;
+      trow.push_back(format_sci(r.seconds, 3));
+      srow.push_back(format_fixed(base / r.seconds, 2) + "x / " +
+                     format_fixed(100.0 * r.rotation_bound_fraction, 0) + "%");
+    }
+    t.add_row(trow);
+    s.add_row(srow);
+  }
+  std::cout << t.to_string() << '\n' << s.to_string()
+            << "\nTwo effects shape the table: (1) small n saturates on the "
+               "serial rotation cadence (64 cycles per 8-rotation group; "
+               "the bound fraction reaches 100%); (2) engines pool their "
+               "BRAM, so mid-size D slices fit on chip (e.g. n = 512 at 4 "
+               "engines) and scale near-linearly, while n beyond the pooled "
+               "capacity stays pinned on the *shared* memory channel and "
+               "barely scales — the honest caveat on this future-work "
+               "extension.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces the paper's Table I: execution time (seconds) of the
+// accelerator over the {128, 256, 512, 1024}^2 dimension grid, from the
+// calibrated timing model, next to the paper's published numbers.
+//
+// Orientation note: the paper's header prints "m \ n", but its own analysis
+// matches the data only when the first (dominant, ~cubic) index is the
+// column count n — see DESIGN.md §4.  We therefore print n down the rows.
+#include <iostream>
+#include <vector>
+
+#include "arch/timing_model.hpp"
+#include "baselines/literature.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace hjsvd;
+
+namespace {
+
+std::vector<std::string> grid_headers(const std::vector<std::int64_t>& sizes) {
+  std::vector<std::string> h{"n cols \\ m rows"};
+  for (auto m : sizes) h.push_back(std::to_string(m));
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("Table I: FPGA execution time grid (model vs. paper)");
+  cli.add_option("sizes", "128,256,512,1024", "dimension grid");
+  cli.add_option("csv", "", "optional path for CSV output");
+  cli.parse(argc, argv);
+  const auto sizes = cli.get_int_list("sizes");
+
+  const arch::AcceleratorConfig cfg;
+  std::cout << "== Table I reproduction: execution time in seconds ==\n"
+            << "Model: 150 MHz, 6 sweeps, 8 rotations/64 cycles, 8(+4) "
+               "update kernels, HC-2 memory (DESIGN.md par.5)\n\n";
+
+  AsciiTable model(grid_headers(sizes));
+  model.set_caption("Our timing model (seconds):");
+  AsciiTable ratio(grid_headers(sizes));
+  ratio.set_caption("Model / paper Table I (1.00 = exact):");
+
+  for (auto n : sizes) {
+    std::vector<std::string> row{std::to_string(n)};
+    std::vector<std::string> rrow{std::to_string(n)};
+    for (auto m : sizes) {
+      const double ours = arch::estimate_seconds(cfg, m, n);
+      row.push_back(format_sci(ours, 3));
+      const auto paper = literature::paper_table1_seconds(n, m);
+      rrow.push_back(paper ? format_fixed(ours / *paper, 2) : "-");
+    }
+    model.add_row(row);
+    ratio.add_row(rrow);
+  }
+  std::cout << model.to_string() << '\n' << ratio.to_string() << '\n';
+
+  AsciiTable paper(grid_headers(sizes));
+  paper.set_caption("Paper Table I (seconds), same orientation:");
+  for (auto n : sizes) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (auto m : sizes) {
+      const auto cell = literature::paper_table1_seconds(n, m);
+      row.push_back(cell ? format_sci(*cell, 3) : "-");
+    }
+    paper.add_row(row);
+  }
+  std::cout << paper.to_string();
+
+  if (const auto path = cli.get("csv"); !path.empty()) {
+    write_file(path, model.to_csv());
+    std::cout << "\nCSV written to " << path << '\n';
+  }
+  return 0;
+}

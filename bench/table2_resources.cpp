@@ -1,0 +1,69 @@
+// Reproduces the paper's Table II: resource consumption of the architecture
+// on the Virtex-5 XC5VLX330 (89% LUT, 91% BRAM, 53% DSP), from the
+// calibrated resource model, plus a small design-space exploration showing
+// why the evaluated configuration is the one that fits.
+#include <iostream>
+
+#include "arch/resource_model.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace hjsvd;
+
+int main(int argc, char** argv) {
+  Cli cli("Table II: resource consumption on the XC5VLX330");
+  cli.add_option("csv", "", "optional path for CSV output");
+  cli.parse(argc, argv);
+
+  std::cout << "== Table II reproduction: resource consumption ==\n\n";
+  const arch::AcceleratorConfig paper_cfg;
+  const auto report = arch::estimate_resources(paper_cfg);
+  std::cout << arch::format_resource_report(report) << '\n';
+
+  // Design-space exploration: scaling the update array / preprocessor.
+  struct Variant {
+    const char* name;
+    arch::AcceleratorConfig cfg;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"paper: 8 kernels, 4x4 preprocessor", {}});
+  {
+    arch::AcceleratorConfig c;
+    c.update_kernels = 4;
+    variants.push_back({"half update array (4 kernels)", c});
+  }
+  {
+    arch::AcceleratorConfig c;
+    c.update_kernels = 12;
+    variants.push_back({"12 update kernels", c});
+  }
+  {
+    arch::AcceleratorConfig c;
+    c.preproc_layers = 8;
+    c.preproc_lanes = 8;
+    variants.push_back({"8x8 preprocessor (64 MACs)", c});
+  }
+  {
+    arch::AcceleratorConfig c;
+    c.update_kernels = 16;
+    c.preproc_layers = 8;
+    variants.push_back({"16 kernels + 8x4 preprocessor", c});
+  }
+  AsciiTable table({"configuration", "LUT %", "BRAM %", "DSP %", "fits"});
+  table.set_caption(
+      "Design-space exploration (the paper's configuration nearly fills the "
+      "device):");
+  for (const auto& v : variants) {
+    const auto r = arch::estimate_resources(v.cfg);
+    table.add_row({v.name, format_fixed(r.lut_pct, 1), format_fixed(r.bram_pct, 1),
+                   format_fixed(r.dsp_pct, 1), r.fits ? "yes" : "NO"});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nPaper Table II: LUT 89%, BRAM 91%, DSP 53%\n";
+
+  if (const auto path = cli.get("csv"); !path.empty()) {
+    write_file(path, table.to_csv());
+    std::cout << "CSV written to " << path << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Least-squares fitting via the SVD pseudoinverse — closing the historical
+// loop: Hestenes' 1958 paper (the method's namesake, the paper's ref. [10])
+// is about inverting matrices by biorthogonalization.
+//
+// Fits a polynomial to noisy samples with the minimum-norm least-squares
+// solver, on a deliberately ill-conditioned Vandermonde design matrix, and
+// compares against the known ground truth.
+//
+//   ./least_squares [--samples 60] [--degree 5] [--noise 0.05]
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "svd/pinv.hpp"
+
+using namespace hjsvd;
+
+int main(int argc, char** argv) {
+  Cli cli("Least-squares polynomial fit via SVD pseudoinverse");
+  cli.add_option("samples", "60", "number of sample points");
+  cli.add_option("degree", "5", "polynomial degree");
+  cli.add_option("noise", "0.05", "noise standard deviation");
+  cli.parse(argc, argv);
+  const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
+  const auto degree = static_cast<std::size_t>(cli.get_int("degree"));
+  const double noise = cli.get_double("noise");
+
+  // Ground-truth coefficients (low-order dominant).
+  std::vector<double> truth(degree + 1);
+  for (std::size_t k = 0; k <= degree; ++k)
+    truth[k] = 2.0 / (1.0 + static_cast<double>(k) * k);
+
+  // Vandermonde design matrix on [-1, 1] and noisy observations.
+  Rng rng(123);
+  Matrix a(samples, degree + 1);
+  Matrix b(samples, 1);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double x =
+        -1.0 + 2.0 * static_cast<double>(i) / (samples - 1);
+    double pow_x = 1.0, y = 0.0;
+    for (std::size_t k = 0; k <= degree; ++k) {
+      a(i, k) = pow_x;
+      y += truth[k] * pow_x;
+      pow_x *= x;
+    }
+    b(i, 0) = y + noise * rng.gaussian();
+  }
+
+  const Matrix coeffs = lstsq(a, b);
+  std::cout << "== SVD least squares: degree-" << degree << " fit to "
+            << samples << " noisy samples ==\n"
+            << "design-matrix numerical rank: " << numerical_rank(a)
+            << " of " << degree + 1 << "\n\n";
+
+  AsciiTable t({"coefficient", "truth", "estimate", "abs error"});
+  double worst = 0.0;
+  for (std::size_t k = 0; k <= degree; ++k) {
+    const double err = std::abs(coeffs(k, 0) - truth[k]);
+    worst = std::max(worst, err);
+    t.add_row({"x^" + std::to_string(k), format_fixed(truth[k], 4),
+               format_fixed(coeffs(k, 0), 4), format_sci(err, 2)});
+  }
+  std::cout << t.to_string();
+
+  // Residual check: the LS residual must be orthogonal to the column space.
+  const Matrix fitted = matmul(a, coeffs);
+  double res_norm = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double r = b(i, 0) - fitted(i, 0);
+    res_norm += r * r;
+  }
+  std::cout << "\nresidual RMS: "
+            << format_sci(std::sqrt(res_norm / samples), 2)
+            << " (noise level " << format_sci(noise, 2)
+            << "); worst coefficient error: " << format_sci(worst, 2)
+            << '\n';
+  return 0;
+}

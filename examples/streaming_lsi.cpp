@@ -1,0 +1,109 @@
+// Streaming latent semantic indexing with the incremental SVD.
+//
+// Documents arrive one at a time (the realistic LSI deployment the paper's
+// future work points toward); the incremental Hestenes engine folds each
+// new document into the factorization instead of recomputing from scratch,
+// and the dominant latent structure is queried after every arrival.
+//
+//   ./streaming_lsi [--batch-compare true]
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "baselines/golub_kahan.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "linalg/residuals.hpp"
+#include "svd/incremental.hpp"
+
+using namespace hjsvd;
+
+namespace {
+
+const std::vector<std::string> kStream = {
+    "rocket launch engine fuel",
+    "recipe oven bake flour",
+    "launch orbit satellite mission fuel",
+    "bake flour dough butter oven",
+    "orbit satellite telescope astronomy",
+    "dough butter sauce garlic",
+    "telescope astronomy cosmos galaxy",
+    "sauce garlic onion simmer",
+};
+
+/// Global vocabulary (fixed feature space for the stream).
+std::map<std::string, std::size_t> build_vocabulary() {
+  std::map<std::string, std::size_t> vocab;
+  for (const auto& doc : kStream) {
+    std::istringstream is(doc);
+    std::string w;
+    while (is >> w) vocab.emplace(w, 0);
+  }
+  std::size_t idx = 0;
+  for (auto& [term, i] : vocab) i = idx++;
+  return vocab;
+}
+
+std::vector<double> embed(const std::string& doc,
+                          const std::map<std::string, std::size_t>& vocab) {
+  std::vector<double> col(vocab.size(), 0.0);
+  std::istringstream is(doc);
+  std::string w;
+  while (is >> w) col[vocab.at(w)] += 1.0;
+  return col;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("Streaming LSI with the incremental column-append SVD");
+  cli.add_option("batch-compare", "true",
+                 "verify each prefix against a batch Golub-Kahan SVD");
+  cli.parse(argc, argv);
+  const bool compare = cli.get_bool("batch-compare");
+
+  const auto vocab = build_vocabulary();
+  std::cout << "== Streaming LSI: " << vocab.size() << "-term vocabulary, "
+            << kStream.size() << " documents arriving one by one ==\n\n";
+
+  IncrementalHestenes engine(vocab.size());
+  Matrix seen(vocab.size(), 0);
+
+  AsciiTable t({"arrival", "docs", "sigma_1", "sigma_2",
+                "vs batch (rel err)"});
+  for (std::size_t d = 0; d < kStream.size(); ++d) {
+    const auto col = embed(kStream[d], vocab);
+    engine.append_column(col);
+    const SvdResult inc = engine.finalize();
+
+    std::string err = "-";
+    if (compare) {
+      Matrix prefix(vocab.size(), d + 1);
+      for (std::size_t c = 0; c < d; ++c) {
+        auto src = seen.col(c);
+        auto dst = prefix.col(c);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+      auto dst = prefix.col(d);
+      std::copy(col.begin(), col.end(), dst.begin());
+      seen = prefix;
+      const SvdResult batch = golub_kahan_svd(prefix);
+      err = format_sci(
+          singular_value_error(inc.singular_values, batch.singular_values), 2);
+    }
+    t.add_row({"doc " + std::to_string(d), std::to_string(d + 1),
+               format_fixed(inc.singular_values[0], 3),
+               inc.singular_values.size() > 1
+                   ? format_fixed(inc.singular_values[1], 3)
+                   : std::string("-"),
+               err});
+  }
+  std::cout << t.to_string()
+            << "\nTwo latent topics (space/cooking) emerge as two dominant "
+               "singular directions once both topics have arrived; every "
+               "prefix matches the from-scratch batch SVD to rounding, "
+               "without ever recomputing it.\n";
+  return 0;
+}

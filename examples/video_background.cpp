@@ -1,0 +1,151 @@
+// Video background subtraction via low-rank PCA — the paper's introduction
+// motivates SVD acceleration with exactly this workload (robust PCA for
+// video surveillance [4], where repeated partial SVDs dominate runtime).
+//
+// A synthetic video is generated: a static background (gradient + fixed
+// "furniture"), camera noise, and a bright object moving across the scene.
+// Frames are vectorized into the columns of a pixels x frames matrix; its
+// dominant singular triplets model the background, and the residual
+// isolates the moving object.  The example tracks the object from the
+// residual and reports localization accuracy.
+//
+//   ./video_background [--width 32] [--height 24] [--frames 40] [--rank 3]
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "linalg/matrix.hpp"
+#include "svd/hestenes.hpp"
+
+using namespace hjsvd;
+
+namespace {
+
+struct Scene {
+  std::size_t width, height, frames;
+  Matrix video;                       // (width*height) x frames
+  std::vector<double> object_x, object_y;  // ground-truth centroid per frame
+};
+
+Scene make_scene(std::size_t width, std::size_t height, std::size_t frames,
+                 Rng& rng) {
+  Scene s{width, height, frames, Matrix(width * height, frames), {}, {}};
+  // Static background: smooth gradient plus a fixed bright rectangle.
+  std::vector<double> bg(width * height);
+  for (std::size_t y = 0; y < height; ++y)
+    for (std::size_t x = 0; x < width; ++x) {
+      double v = 0.4 + 0.3 * static_cast<double>(x) / width +
+                 0.2 * static_cast<double>(y) / height;
+      if (x >= width / 8 && x < width / 4 && y >= height / 2) v += 0.5;
+      bg[y * width + x] = v;
+    }
+  for (std::size_t f = 0; f < frames; ++f) {
+    auto frame = s.video.col(f);
+    for (std::size_t p = 0; p < bg.size(); ++p)
+      frame[p] = bg[p] + 0.02 * rng.gaussian();  // sensor noise
+    // Moving object: a bright 3x3 blob sweeping diagonally.
+    const double t = static_cast<double>(f) / frames;
+    const double cx = 2.0 + t * (width - 5);
+    const double cy = 2.0 + t * (height - 5);
+    s.object_x.push_back(cx);
+    s.object_y.push_back(cy);
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx) {
+        const auto px = static_cast<std::size_t>(cx + dx);
+        const auto py = static_cast<std::size_t>(cy + dy);
+        if (px < width && py < height) frame[py * width + px] += 1.2;
+      }
+  }
+  return s;
+}
+
+/// Centroid of |residual| above a threshold for one frame.
+bool detect(const Scene& s, std::span<const double> residual, double& cx,
+            double& cy) {
+  double mass = 0.0, sx = 0.0, sy = 0.0, peak = 0.0;
+  for (double v : residual) peak = std::max(peak, std::abs(v));
+  const double thresh = 0.5 * peak;
+  for (std::size_t p = 0; p < residual.size(); ++p) {
+    const double v = std::abs(residual[p]);
+    if (v < thresh) continue;
+    mass += v;
+    sx += v * static_cast<double>(p % s.width);
+    sy += v * static_cast<double>(p / s.width);
+  }
+  if (mass <= 0.0) return false;
+  cx = sx / mass;
+  cy = sy / mass;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("Video background subtraction via partial SVD");
+  cli.add_option("width", "32", "frame width");
+  cli.add_option("height", "24", "frame height");
+  cli.add_option("frames", "40", "number of frames");
+  cli.add_option("rank", "3", "background rank");
+  cli.parse(argc, argv);
+  const auto width = static_cast<std::size_t>(cli.get_int("width"));
+  const auto height = static_cast<std::size_t>(cli.get_int("height"));
+  const auto frames = static_cast<std::size_t>(cli.get_int("frames"));
+  const auto rank = static_cast<std::size_t>(cli.get_int("rank"));
+
+  Rng rng(99);
+  const Scene scene = make_scene(width, height, frames, rng);
+  std::cout << "== Background subtraction: " << width << "x" << height
+            << " video, " << frames << " frames, background rank " << rank
+            << " ==\n\n";
+
+  // Partial SVD of the pixels x frames matrix.
+  HestenesConfig cfg;
+  cfg.max_sweeps = 30;
+  cfg.tolerance = 1e-12;
+  cfg.compute_u = true;
+  cfg.compute_v = true;
+  const SvdResult svd = modified_hestenes_svd(scene.video, cfg);
+
+  std::cout << "leading singular values:";
+  for (std::size_t i = 0; i < std::min<std::size_t>(6, frames); ++i)
+    std::cout << ' ' << format_fixed(svd.singular_values[i], 2);
+  std::cout << "\n(one dominant background mode, then the object modes, "
+               "then the noise floor)\n\n";
+
+  // Background = rank-k reconstruction; residual = foreground.
+  double err_sum = 0.0;
+  std::size_t detected = 0;
+  std::vector<double> residual(width * height);
+  for (std::size_t f = 0; f < frames; ++f) {
+    const auto frame = scene.video.col(f);
+    for (std::size_t p = 0; p < residual.size(); ++p) {
+      double bgv = 0.0;
+      for (std::size_t t = 0; t < rank; ++t)
+        bgv += svd.u(p, t) * svd.singular_values[t] * svd.v(f, t);
+      residual[p] = frame[p] - bgv;
+    }
+    double cx = 0.0, cy = 0.0;
+    if (detect(scene, residual, cx, cy)) {
+      ++detected;
+      err_sum += std::hypot(cx - scene.object_x[f], cy - scene.object_y[f]);
+    }
+  }
+  AsciiTable t({"metric", "value"});
+  t.add_row({"frames with detection",
+             std::to_string(detected) + " / " + std::to_string(frames)});
+  t.add_row({"mean localization error (pixels)",
+             format_fixed(err_sum / std::max<std::size_t>(detected, 1), 2)});
+  const double energy_bg =
+      svd.singular_values[0] * svd.singular_values[0];
+  double energy_total = 0.0;
+  for (double s : svd.singular_values) energy_total += s * s;
+  t.add_row({"background energy share",
+             format_fixed(100.0 * energy_bg / energy_total, 1) + "%"});
+  std::cout << t.to_string()
+            << "\nExpected: the object is detected in essentially every "
+               "frame within ~1 pixel — low-rank background modeling via "
+               "SVD, the workload the paper's accelerator targets.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# One-shot reproduction: build, test, and regenerate every paper table and
+# figure at full paper scale, collecting CSVs under results/.
+#
+#   scripts/reproduce.sh [--quick]
+#
+# --quick uses the fast default sizes (seconds per figure); the full run
+# includes n = 2048 sweeps and takes tens of minutes on one core.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+B=build/bench
+
+run() {  # run <name> <binary> [args...]
+  local name=$1; shift
+  echo "== $name =="
+  "$@" --csv "results/$name.csv" | tee "results/$name.txt"
+}
+
+run table1 "$B/bench_table1_exec_time"
+"$B/bench_table2_resources" | tee results/table2.txt
+
+if [[ $QUICK -eq 1 ]]; then
+  run fig7 "$B/bench_fig7_square"
+  run fig8 "$B/bench_fig8_rect"
+  run fig9 "$B/bench_fig9_speedup"
+  run fig10 "$B/bench_fig10_convergence"
+  run fig11 "$B/bench_fig11_convergence_rect"
+else
+  run fig7 "$B/bench_fig7_square" --sizes 128,256,512,1024,2048
+  run fig8 "$B/bench_fig8_rect"
+  run fig9 "$B/bench_fig9_speedup"
+  run fig10 "$B/bench_fig10_convergence" --sizes 128,256,512,1024,2048
+  run fig11 "$B/bench_fig11_convergence_rect" --cols 1024 --rows 256,512,1024,2048
+fi
+
+for a in dcache ordering io fixedpoint cordic threshold block; do
+  "$B/bench_ablation_$a" | tee "results/ablation_$a.txt"
+done
+"$B/bench_systolic_comparison" | tee results/systolic.txt
+"$B/bench_scaling_multiengine" | tee results/multiengine.txt
+"$B/bench_scaling_device"      | tee results/device_scaling.txt
+
+echo "All outputs under results/."

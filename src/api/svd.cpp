@@ -1,0 +1,54 @@
+#include "api/svd.hpp"
+
+#include "baselines/golub_kahan.hpp"
+#include "baselines/parallel_hestenes.hpp"
+#include "baselines/twosided_jacobi.hpp"
+#include "common/error.hpp"
+#include "svd/hestenes.hpp"
+#include "svd/plain_hestenes.hpp"
+
+namespace hjsvd {
+
+SvdResult svd(const Matrix& a, const SvdOptions& options) {
+  HestenesConfig hj;
+  hj.max_sweeps = options.max_sweeps;
+  hj.tolerance = options.tolerance;
+  hj.compute_u = options.compute_u;
+  hj.compute_v = options.compute_v;
+  switch (options.method) {
+    case SvdMethod::kModifiedHestenes:
+      return modified_hestenes_svd(a, hj);
+    case SvdMethod::kPlainHestenes:
+      return plain_hestenes_svd(a, hj);
+    case SvdMethod::kParallelHestenes:
+      return parallel_hestenes_svd(a, hj);
+    case SvdMethod::kTwoSidedJacobi: {
+      TwoSidedConfig cfg;
+      cfg.max_sweeps = options.max_sweeps;
+      cfg.tolerance = options.tolerance;
+      cfg.compute_u = options.compute_u;
+      cfg.compute_v = options.compute_v;
+      return twosided_jacobi_svd(a, cfg);
+    }
+    case SvdMethod::kGolubKahan: {
+      GolubKahanConfig cfg;
+      cfg.compute_u = options.compute_u;
+      cfg.compute_v = options.compute_v;
+      return golub_kahan_svd(a, cfg);
+    }
+  }
+  throw Error("unknown SVD method");
+}
+
+const char* svd_method_name(SvdMethod method) {
+  switch (method) {
+    case SvdMethod::kModifiedHestenes: return "modified Hestenes-Jacobi";
+    case SvdMethod::kPlainHestenes: return "plain Hestenes-Jacobi";
+    case SvdMethod::kParallelHestenes: return "parallel Hestenes-Jacobi";
+    case SvdMethod::kTwoSidedJacobi: return "two-sided Jacobi";
+    case SvdMethod::kGolubKahan: return "Golub-Kahan-Reinsch";
+  }
+  return "?";
+}
+
+}  // namespace hjsvd

@@ -1,0 +1,40 @@
+// Library front door: one entry point dispatching over every SVD algorithm
+// in the repository, for users who want "an SVD" without picking a module.
+//
+//   #include "api/svd.hpp"
+//   auto result = hjsvd::svd(a);                       // sensible default
+//   auto exact  = hjsvd::svd(a, {.method = SvdMethod::kGolubKahan,
+//                                .compute_u = true, .compute_v = true});
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/residuals.hpp"
+
+namespace hjsvd {
+
+enum class SvdMethod {
+  kModifiedHestenes,  // the paper's Algorithm 1 (default)
+  kPlainHestenes,     // recomputing one-sided Jacobi
+  kParallelHestenes,  // OpenMP bulk-synchronous one-sided Jacobi
+  kTwoSidedJacobi,    // Kogbetliantz (square matrices only)
+  kGolubKahan,        // Householder bidiagonalization + QR iteration
+};
+
+struct SvdOptions {
+  SvdMethod method = SvdMethod::kModifiedHestenes;
+  bool compute_u = false;
+  bool compute_v = false;
+  /// Target relative accuracy of the iterative (Jacobi) methods.
+  double tolerance = 1e-13;
+  /// Iteration cap for the Jacobi methods (sweeps).
+  std::size_t max_sweeps = 30;
+};
+
+/// Decomposes an arbitrary m x n matrix.  Throws hjsvd::Error for invalid
+/// inputs (empty matrices; rectangular input to the two-sided method).
+SvdResult svd(const Matrix& a, const SvdOptions& options = {});
+
+/// Human-readable method name (for reports).
+const char* svd_method_name(SvdMethod method);
+
+}  // namespace hjsvd

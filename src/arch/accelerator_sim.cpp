@@ -1,0 +1,128 @@
+#include "arch/accelerator_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "arch/preprocessor_sim.hpp"
+#include "common/error.hpp"
+#include "hwsim/dfg.hpp"
+#include "hwsim/memory.hpp"
+#include "svd/hestenes.hpp"
+#include "svd/ordering.hpp"
+
+namespace hjsvd::arch {
+namespace {
+
+using hwsim::Cycle;
+
+Cycle ceil_div(std::uint64_t num, double rate) {
+  return static_cast<Cycle>(std::ceil(static_cast<double>(num) / rate));
+}
+
+}  // namespace
+
+AcceleratorRunResult simulate_accelerator(const Matrix& a,
+                                          const AcceleratorConfig& cfg) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  HJSVD_ENSURE(m > 0 && n > 0, "matrix must be non-empty");
+
+  AcceleratorRunResult result;
+
+  // --- Numerics: exactly the library algorithm in hardware configuration ---
+  HestenesConfig num_cfg;
+  num_cfg.max_sweeps = cfg.sweeps;
+  num_cfg.ordering = Ordering::kRoundRobin;
+  num_cfg.formula = RotationFormula::kHardware;
+  num_cfg.gram_chunk_rows = cfg.preproc_layers;
+  result.svd = modified_hestenes_svd(a, num_cfg);
+
+  // --- Timing: discrete-event walk over the group schedule -----------------
+  const auto pre = simulate_preprocessor(cfg, m, n);
+  result.preprocess_cycles = pre.cycles;
+
+  const auto rotation_graph = hwsim::make_rotation_dataflow();
+  const hwsim::FuSet rotation_fus{1, 2, 1, 1};
+  result.rotation_latency = static_cast<std::uint32_t>(
+      hwsim::list_schedule(rotation_graph, rotation_fus, cfg.latencies)
+          .makespan);
+
+  const std::uint64_t cov_words = static_cast<std::uint64_t>(n) * (n + 1) / 2;
+  const bool fits = cov_words <= cfg.bram_covariance_words;
+  hwsim::MemoryChannelModel channel{hwsim::MemoryConfig{
+      cfg.memory.words_per_cycle, cfg.memory.request_latency}};
+
+  const auto rounds = round_robin_rounds(n);
+  const std::uint64_t cov_per_rot = n >= 2 ? n - 2 : 0;
+
+  // The rotation unit may run ahead of the update kernels by the depth of
+  // the parameter FIFO (one entry per in-flight group).
+  const std::size_t param_fifo_depth = cfg.param_fifo_depth;
+  HJSVD_ENSURE(param_fifo_depth >= 1, "parameter FIFO needs depth >= 1");
+  std::deque<Cycle> inflight_updates;  // completion cycles of issued groups
+
+  Cycle rot_next_issue = pre.cycles;  // rotations start after D is ready
+  Cycle update_free = pre.cycles;
+  Cycle last_update_done = pre.cycles;
+
+  for (std::uint32_t sweep = 1; sweep <= cfg.sweeps; ++sweep) {
+    const bool first = sweep == 1;
+    for (const auto& round : rounds) {
+      for (const auto& group : chunk_groups(round, cfg.rotation_group_size)) {
+        ++result.rotation_groups;
+        const auto g = static_cast<std::uint64_t>(group.size());
+
+        // Backpressure: wait for a free parameter-FIFO slot.
+        Cycle issue = rot_next_issue;
+        while (inflight_updates.size() >= param_fifo_depth) {
+          const Cycle head = inflight_updates.front();
+          inflight_updates.pop_front();
+          if (head > issue) {
+            ++result.fifo_backpressure_events;
+            issue = head;
+          }
+        }
+        rot_next_issue = issue + cfg.rotation_issue_cycles;
+        const Cycle params_ready = issue + result.rotation_latency;
+
+        // Update phase for this group.
+        Cycle work = ceil_div(g * cov_per_rot, cfg.cov_pairs_per_cycle);
+        if (first) work += ceil_div(g * m, cfg.col_pairs_per_cycle);
+        if (cfg.accumulate_v) work += ceil_div(g * n, cfg.col_pairs_per_cycle);
+        result.update_busy_cycles += work;
+        result.rotation_busy_cycles += cfg.rotation_issue_cycles;
+        Cycle start = std::max(params_ready, update_free);
+        Cycle done = start + work;
+        if (!fits && cov_per_rot > 0) {
+          // Read + write each rotated covariance pair off chip.
+          const std::uint64_t words = 4 * g * cov_per_rot;
+          result.offchip_words += words;
+          const Cycle mem_done = channel.transfer(start, words);
+          done = std::max(done, mem_done);
+        }
+        update_free = done;
+        last_update_done = std::max(last_update_done, done);
+        inflight_updates.push_back(done);
+      }
+    }
+  }
+
+  // --- Finalization: pipelined sqrt over the n diagonal entries ------------
+  const Cycle final_start = last_update_done;
+  result.finalize_cycles = static_cast<Cycle>(n) + cfg.latencies.sqrt;
+  result.total_cycles = final_start + result.finalize_cycles;
+  result.compute_cycles = final_start - pre.cycles;
+  result.seconds = static_cast<double>(result.total_cycles) / cfg.clock_hz;
+  if (result.compute_cycles > 0) {
+    result.update_utilization =
+        static_cast<double>(result.update_busy_cycles) /
+        static_cast<double>(result.compute_cycles);
+    result.rotation_utilization =
+        static_cast<double>(result.rotation_busy_cycles) /
+        static_cast<double>(result.compute_cycles);
+  }
+  return result;
+}
+
+}  // namespace hjsvd::arch

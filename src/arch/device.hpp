@@ -1,0 +1,64 @@
+// FPGA device and IP-core resource catalog.
+//
+// The paper implements on one Xilinx Virtex-5 XC5VLX330 of a Convey HC-2
+// (Section VI.A).  Capacities below are from the Virtex-5 family datasheet;
+// the per-core costs are calibrated estimates for Coregen floating-point
+// v5-era double-precision operators (DS335) in the logic-leaning
+// configuration the design's DSP budget implies (53% of 192 DSP48E across
+// ~49 multipliers leaves ~2 DSP48E per multiplier), plus the Convey
+// personality framework overhead.  The resource-model test checks the
+// resulting utilization against the paper's Table II.
+#pragma once
+
+#include <cstdint>
+
+namespace hjsvd::arch {
+
+/// Programmable-logic capacity of an FPGA device.
+struct DeviceCapacity {
+  const char* name = "XC5VLX330";
+  std::uint32_t luts = 207360;   // 6-input LUTs (51,840 slices x 4)
+  std::uint32_t bram36 = 288;    // 36 Kb block RAMs
+  std::uint32_t dsp48 = 192;     // DSP48E slices
+};
+
+/// The paper's device (default-constructed DeviceCapacity).
+constexpr DeviceCapacity virtex5_lx330() { return {}; }
+
+/// Larger parts for the cross-device scaling study (family datasheets).
+constexpr DeviceCapacity virtex6_lx760() {
+  return {"XC6VLX760", 474240, 720, 864};
+}
+constexpr DeviceCapacity virtex7_2000t() {
+  return {"XC7V2000T", 1221600, 1292, 2160};
+}
+
+/// Resource cost of one instantiated core/structure.
+struct CoreCost {
+  std::uint32_t luts = 0;
+  std::uint32_t bram36 = 0;
+  std::uint32_t dsp48 = 0;
+};
+
+/// Calibrated per-core costs (see file comment).
+struct CoreCatalog {
+  CoreCost fp_mul{1400, 0, 2};    // DP multiplier, logic+2 DSP config
+  CoreCost fp_add{1100, 0, 0};    // DP adder/subtractor
+  CoreCost fp_div{5700, 0, 4};    // DP divider
+  CoreCost fp_sqrt{3300, 0, 0};   // DP square root
+  CoreCost fifo64{500, 1, 0};     // 64-bit synchronization FIFO
+  CoreCost fifo127{600, 2, 0};    // 127-bit internal FIFO
+  /// Convey HC-2 personality framework (memory controllers' interface,
+  /// dispatch, host interface) — a fixed platform cost.
+  CoreCost platform{57500, 27, 0};
+};
+
+/// The Convey HC-2 coprocessor memory system, as seen by one application
+/// engine: 1024-bit aggregate interface, ~80 GB/s peak; at 150 MHz that is
+/// ~64 doubles/cycle of streaming bandwidth.
+struct Hc2Memory {
+  double words_per_cycle = 64.0;
+  std::uint32_t request_latency = 95;
+};
+
+}  // namespace hjsvd::arch

@@ -1,0 +1,95 @@
+#include "arch/multi_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hjsvd::arch {
+
+using hwsim::Cycle;
+
+namespace {
+
+Cycle ceil_div(std::uint64_t num, double rate) {
+  HJSVD_ASSERT(rate > 0.0, "rate must be positive");
+  return static_cast<Cycle>(std::ceil(static_cast<double>(num) / rate));
+}
+
+}  // namespace
+
+MultiEngineTiming estimate_multi_engine(const MultiEngineConfig& cfg,
+                                        std::size_t m, std::size_t n) {
+  HJSVD_ENSURE(cfg.engines >= 1, "need at least one engine");
+  const auto& eng = cfg.engine;
+  MultiEngineTiming t;
+  const auto mm = static_cast<std::uint64_t>(m);
+  const auto nn = static_cast<std::uint64_t>(n);
+  const std::uint32_t e = cfg.engines;
+
+  // Preprocess: rows split across engines; each engine keeps the paper's
+  // per-engine compute and input bandwidth.
+  const std::uint64_t macs = mm * nn * (nn + 1) / 2;
+  const Cycle compute =
+      ceil_div(macs, static_cast<double>(eng.preproc_macs_per_cycle()) * e);
+  const Cycle input = ceil_div(mm * nn, eng.input_words_per_cycle * e);
+  t.preprocess = std::max(compute, input) +
+                 eng.latencies.mul + eng.latencies.add * eng.preproc_layers;
+  // Tree reduction of partial Grams: log2(E) rounds moving n(n+1)/2 words.
+  if (e > 1) {
+    const auto rounds = static_cast<std::uint64_t>(
+        std::ceil(std::log2(static_cast<double>(e))));
+    t.reduction =
+        rounds * ceil_div(nn * (nn + 1) / 2, cfg.reduction_words_per_cycle);
+  }
+
+  // Sweeps: per rotation group, the update work is divided across engines;
+  // the rotation cadence is serial.
+  const std::uint64_t per_round = nn / 2;
+  const std::uint64_t rounds = nn < 2 ? 0 : (nn % 2 == 0 ? nn - 1 : nn);
+  const std::uint64_t cov_per_rot = nn >= 2 ? nn - 2 : 0;
+  const std::uint64_t cov_words = nn * (nn + 1) / 2;
+  const bool fits = cov_words <= eng.bram_covariance_words * e;  // D sliced
+
+  Cycle sweep_total = 0;
+  Cycle rotation_bound_total = 0;
+  for (std::uint32_t sweep = 1; sweep <= eng.sweeps; ++sweep) {
+    const bool first = sweep == 1;
+    Cycle round_cycles = 0;
+    Cycle round_rotation_bound = 0;
+    std::uint64_t remaining = per_round;
+    // All rounds have the same group structure; cost one and multiply.
+    while (remaining > 0) {
+      const std::uint64_t g =
+          std::min<std::uint64_t>(remaining, eng.rotation_group_size);
+      remaining -= g;
+      Cycle update =
+          ceil_div(g * cov_per_rot, eng.cov_pairs_per_cycle * e);
+      if (first) update += ceil_div(g * mm, eng.col_pairs_per_cycle * e);
+      Cycle io = 0;
+      if (!fits && cov_per_rot > 0) {
+        io = ceil_div(4 * g * cov_per_rot, eng.memory.words_per_cycle);
+      }
+      const Cycle bound =
+          std::max({static_cast<Cycle>(eng.rotation_issue_cycles), update, io});
+      if (update < bound && io < bound) round_rotation_bound += bound;
+      round_cycles += bound;
+    }
+    // Broadcast of rotation parameters per group is folded into the cadence.
+    sweep_total += round_cycles * rounds + eng.latencies.div +
+                   eng.latencies.sqrt;
+    rotation_bound_total += round_rotation_bound * rounds;
+  }
+  t.sweeps = sweep_total;
+  t.rotation_bound_fraction =
+      sweep_total > 0 ? static_cast<double>(rotation_bound_total) /
+                            static_cast<double>(sweep_total)
+                      : 0.0;
+
+  t.finalize = nn + eng.latencies.sqrt;
+  t.total = t.preprocess + t.reduction + t.sweeps + t.finalize;
+  t.seconds = static_cast<double>(t.total) / eng.clock_hz;
+  return t;
+}
+
+}  // namespace hjsvd::arch

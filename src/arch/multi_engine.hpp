@@ -1,0 +1,46 @@
+// Multi-engine scaling model ("what if the design used all four HC-2 AEs?").
+//
+// The Convey HC-2 hosts four application-engine FPGAs; the paper implements
+// on one (Section VI.A) and leaves scaling as future work.  This model
+// explores that extension under the same calibrated assumptions:
+//
+//  * Preprocessing row-partitions A across engines (each computes a partial
+//    Gram over m/E rows) followed by a tree reduction of the n(n+1)/2
+//    partial sums through the shared coprocessor memory.
+//  * Covariance updates partition perfectly by D-row slice: rotation (i, j)
+//    touches entries (k, i), (k, j) for every k, and the k-ranges are
+//    independent — each engine owns a horizontal slice of D.
+//  * Rotation-parameter generation stays on one engine (a serial section):
+//    the 8-rotations-per-64-cycles cadence is broadcast, so scaling
+//    saturates once the distributed update work drops below the cadence —
+//    the Amdahl bottleneck the bench makes visible.
+#pragma once
+
+#include "arch/config.hpp"
+#include "arch/timing_model.hpp"
+
+namespace hjsvd::arch {
+
+struct MultiEngineConfig {
+  AcceleratorConfig engine;      // per-engine build (the paper's)
+  std::uint32_t engines = 4;     // HC-2: four AEs
+  /// Bandwidth of the partial-Gram reduction through shared memory,
+  /// doubles/cycle (shared across engines).
+  double reduction_words_per_cycle = 64.0;
+};
+
+struct MultiEngineTiming {
+  hwsim::Cycle preprocess = 0;
+  hwsim::Cycle reduction = 0;     // partial-Gram merge
+  hwsim::Cycle sweeps = 0;
+  hwsim::Cycle finalize = 0;
+  hwsim::Cycle total = 0;
+  double seconds = 0.0;
+  /// Fraction of sweep time pinned by the serial rotation cadence.
+  double rotation_bound_fraction = 0.0;
+};
+
+MultiEngineTiming estimate_multi_engine(const MultiEngineConfig& cfg,
+                                        std::size_t m, std::size_t n);
+
+}  // namespace hjsvd::arch

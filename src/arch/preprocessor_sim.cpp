@@ -1,0 +1,87 @@
+#include "arch/preprocessor_sim.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hjsvd::arch {
+
+PreprocessorSimResult simulate_preprocessor(const AcceleratorConfig& cfg,
+                                            std::size_t m, std::size_t n) {
+  HJSVD_ENSURE(m > 0 && n > 0, "matrix must be non-empty");
+  const std::uint64_t row_macs =
+      static_cast<std::uint64_t>(n) * (n + 1) / 2;  // pairs incl. diagonal
+
+  struct LayerState {
+    std::uint64_t next_row = 0;       // global row index being processed
+    std::uint64_t words_fetched = 0;  // elements of the current row on chip
+    std::uint64_t macs_done = 0;      // MACs completed for the current row
+    bool active = true;
+  };
+
+  const std::uint32_t layers = cfg.preproc_layers;
+  const std::uint32_t lanes = cfg.preproc_lanes;
+  std::vector<LayerState> layer(layers);
+  // Rows are dealt to layers round-robin: layer l gets rows l, l+L, ...
+  for (std::uint32_t l = 0; l < layers; ++l) {
+    layer[l].next_row = l;
+    layer[l].active = l < m;
+  }
+
+  PreprocessorSimResult result;
+  const auto input_budget_per_cycle =
+      static_cast<std::uint64_t>(cfg.input_words_per_cycle);
+  HJSVD_ENSURE(input_budget_per_cycle >= 1, "need input bandwidth");
+
+  hwsim::Cycle cycle = 0;
+  std::size_t remaining = 0;
+  for (const auto& l : layer) remaining += l.active ? 1 : 0;
+  while (remaining > 0) {
+    // 1. Distribute this cycle's input words round-robin over active layers.
+    std::uint64_t budget = input_budget_per_cycle;
+    bool any_starved = false;
+    for (auto& l : layer) {
+      if (!l.active || l.words_fetched >= n) continue;
+      const std::uint64_t want = n - l.words_fetched;
+      const std::uint64_t take = std::min<std::uint64_t>(
+          {want, budget, std::max<std::uint64_t>(1, budget / layers)});
+      l.words_fetched += take;
+      budget -= take;
+      result.words_streamed += take;
+      if (take == 0) any_starved = true;
+    }
+    if (any_starved) ++result.input_stall_cycles;
+
+    // 2. Each layer performs up to `lanes` MACs among the unlocked pairs:
+    // w fetched elements unlock w*(w+1)/2 pairs of this row.
+    for (auto& l : layer) {
+      if (!l.active) continue;
+      const std::uint64_t unlocked =
+          l.words_fetched * (l.words_fetched + 1) / 2;
+      const std::uint64_t avail = std::min(unlocked, row_macs) - l.macs_done;
+      const std::uint64_t done = std::min<std::uint64_t>(avail, lanes);
+      l.macs_done += done;
+      result.macs += done;
+      if (l.macs_done >= row_macs) {
+        // Row finished; advance by the layer stride.
+        l.next_row += layers;
+        l.words_fetched = 0;
+        l.macs_done = 0;
+        if (l.next_row >= m) {
+          l.active = false;
+          --remaining;
+        }
+      }
+    }
+    ++cycle;
+    HJSVD_ASSERT(cycle < (1ull << 40), "preprocessor simulation runaway");
+  }
+  // Pipeline drain: the last products flow through the multiplier and the
+  // layer accumulation chain.
+  result.cycles =
+      cycle + cfg.latencies.mul + cfg.latencies.add * cfg.preproc_layers;
+  return result;
+}
+
+}  // namespace hjsvd::arch

@@ -1,0 +1,34 @@
+// Cycle-stepped simulation of the Hestenes preprocessor (Figs. 2-3).
+//
+// The preprocessor is L layers of W pipelined multipliers with operand
+// reuse: each layer works through one matrix row at a time, multiplying each
+// newly entered element against the already-present elements of the same
+// row (Fig. 3), so every element is streamed from memory exactly once; the
+// products chain through the layers and an accumulator tree to form the
+// partial covariances.  The simulation models the shared input bandwidth
+// (the two groups of eight 64-bit FIFOs: 8 doubles/cycle) and the per-layer
+// MAC throughput, and reports the resulting cycle count — cross-validated
+// against the analytic bound of the timing model.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/config.hpp"
+#include "hwsim/clock.hpp"
+
+namespace hjsvd::arch {
+
+struct PreprocessorSimResult {
+  hwsim::Cycle cycles = 0;           // total, including pipeline drain
+  std::uint64_t macs = 0;            // multiply-accumulates performed
+  std::uint64_t words_streamed = 0;  // matrix elements read from memory
+  hwsim::Cycle input_stall_cycles = 0;  // cycles a layer waited for operands
+};
+
+/// Simulates building the upper-triangular covariance matrix of an m x n
+/// matrix (numerics are produced by gram_upper_ops elsewhere; this model is
+/// about cycles, and the MAC count it reports must equal m*n*(n+1)/2).
+PreprocessorSimResult simulate_preprocessor(const AcceleratorConfig& cfg,
+                                            std::size_t m, std::size_t n);
+
+}  // namespace hjsvd::arch

@@ -1,0 +1,104 @@
+#include "arch/resource_model.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace hjsvd::arch {
+namespace {
+
+/// BRAM36 blocks needed to hold `words` 64-bit words in 512x72 mode.
+std::uint64_t bram_for_words(std::uint64_t words) {
+  return (words + 511) / 512;
+}
+
+}  // namespace
+
+ResourceReport estimate_resources(const AcceleratorConfig& cfg,
+                                  const DeviceCapacity& device,
+                                  const CoreCatalog& catalog,
+                                  std::uint64_t max_rows,
+                                  std::uint64_t max_cols_onchip) {
+  HJSVD_ENSURE(max_cols_onchip >= 2, "need at least two on-chip columns");
+  ResourceReport r;
+
+  auto add = [&](const CoreCost& cost, std::uint64_t count, std::uint64_t& lut_bucket) {
+    r.luts += cost.luts * count;
+    r.bram36 += cost.bram36 * count;
+    r.dsp48 += cost.dsp48 * count;
+    lut_bucket += cost.luts * count;
+  };
+
+  // Hestenes preprocessor: layers x lanes multipliers, matching adder tree.
+  const std::uint64_t pre_mults =
+      static_cast<std::uint64_t>(cfg.preproc_layers) * cfg.preproc_lanes;
+  add(catalog.fp_mul, pre_mults, r.luts_preprocessor);
+  add(catalog.fp_add, pre_mults, r.luts_preprocessor);  // "16 adders"
+
+  // Jacobi rotation component: 1 mul, 2 add, 1 div, 1 sqrt (Section VI.A).
+  add(catalog.fp_mul, 1, r.luts_rotation);
+  add(catalog.fp_add, 2, r.luts_rotation);
+  add(catalog.fp_div, 1, r.luts_rotation);
+  add(catalog.fp_sqrt, 1, r.luts_rotation);
+
+  // Update operator: each kernel is 4 multipliers + adder + subtractor.
+  add(catalog.fp_mul, 4ull * cfg.update_kernels, r.luts_update);
+  add(catalog.fp_add, 2ull * cfg.update_kernels, r.luts_update);
+
+  // FIFOs: two groups of eight 64-bit (I/O) + one group of eight 127-bit.
+  add(catalog.fifo64, 16, r.luts_fifos);
+  add(catalog.fifo127, 8, r.luts_fifos);
+
+  // On-chip covariance banks: the upper triangle of D for up to
+  // max_cols_onchip columns, banked across the update kernels (each bank is
+  // an independently addressed simple dual-port RAM).
+  const std::uint64_t cov_words = max_cols_onchip * (max_cols_onchip + 1) / 2;
+  const std::uint64_t banks = cfg.total_kernels_late();
+  const std::uint64_t words_per_bank = (cov_words + banks - 1) / banks;
+  r.bram36 += banks * bram_for_words(words_per_bank);
+
+  // Column stream double-buffers: one column pair per concurrent rotation,
+  // double-buffered.
+  const std::uint64_t col_words = 2ull * cfg.rotation_group_size * max_rows;
+  r.bram36 += 2 * bram_for_words(col_words);
+
+  // Rotation-angle caches (cos, sin, t per in-flight rotation group).
+  r.bram36 += 3;
+
+  // Convey personality framework.
+  add(catalog.platform, 1, r.luts_platform);
+
+  r.lut_pct = 100.0 * static_cast<double>(r.luts) / device.luts;
+  r.bram_pct = 100.0 * static_cast<double>(r.bram36) / device.bram36;
+  r.dsp_pct = 100.0 * static_cast<double>(r.dsp48) / device.dsp48;
+  r.fits = r.luts <= device.luts && r.bram36 <= device.bram36 &&
+           r.dsp48 <= device.dsp48;
+  return r;
+}
+
+std::string format_resource_report(const ResourceReport& report,
+                                   const DeviceCapacity& device) {
+  AsciiTable t({"Resource", "Used", "Available", "Utilization"});
+  t.set_caption(std::string("Resource consumption on ") + device.name +
+                " (paper Table II: 89% LUT, 91% BRAM, 53% DSP)");
+  t.add_row({"Slice LUT", std::to_string(report.luts),
+             std::to_string(device.luts), format_fixed(report.lut_pct, 1) + "%"});
+  t.add_row({"BRAM (36Kb)", std::to_string(report.bram36),
+             std::to_string(device.bram36),
+             format_fixed(report.bram_pct, 1) + "%"});
+  t.add_row({"DSP48E", std::to_string(report.dsp48),
+             std::to_string(device.dsp48),
+             format_fixed(report.dsp_pct, 1) + "%"});
+  std::ostringstream os;
+  os << t.to_string();
+  os << "Component LUT breakdown: preprocessor=" << report.luts_preprocessor
+     << " rotation=" << report.luts_rotation
+     << " update=" << report.luts_update << " fifos=" << report.luts_fifos
+     << " platform=" << report.luts_platform << '\n';
+  os << (report.fits ? "Design fits the device.\n"
+                     : "WARNING: design exceeds device capacity!\n");
+  return os.str();
+}
+
+}  // namespace hjsvd::arch

@@ -1,0 +1,44 @@
+// FPGA resource model: tallies LUT/BRAM/DSP usage of a configured
+// Hestenes-Jacobi accelerator on a target device — the reproduction of the
+// paper's Table II.
+#pragma once
+
+#include <string>
+
+#include "arch/config.hpp"
+#include "arch/device.hpp"
+
+namespace hjsvd::arch {
+
+/// Absolute resource usage plus utilization percentages.
+struct ResourceReport {
+  std::uint64_t luts = 0;
+  std::uint64_t bram36 = 0;
+  std::uint64_t dsp48 = 0;
+  double lut_pct = 0.0;
+  double bram_pct = 0.0;
+  double dsp_pct = 0.0;
+  bool fits = false;
+
+  // Component-level breakdown (LUTs) for reporting.
+  std::uint64_t luts_preprocessor = 0;
+  std::uint64_t luts_rotation = 0;
+  std::uint64_t luts_update = 0;
+  std::uint64_t luts_fifos = 0;
+  std::uint64_t luts_platform = 0;
+};
+
+/// Computes the resource usage of the architecture on the device.
+/// `max_rows` sizes the column stream buffers; `max_cols_onchip` sizes the
+/// on-chip covariance banks (256 in the paper's build).
+ResourceReport estimate_resources(const AcceleratorConfig& cfg,
+                                  const DeviceCapacity& device = {},
+                                  const CoreCatalog& catalog = {},
+                                  std::uint64_t max_rows = 2048,
+                                  std::uint64_t max_cols_onchip = 256);
+
+/// Renders the report as an ASCII table comparable to Table II.
+std::string format_resource_report(const ResourceReport& report,
+                                   const DeviceCapacity& device = {});
+
+}  // namespace hjsvd::arch

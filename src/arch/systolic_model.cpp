@@ -1,0 +1,45 @@
+#include "arch/systolic_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hjsvd::arch {
+
+SystolicReport estimate_systolic(std::size_t n, const DeviceCapacity& device,
+                                 const SystolicPeCost& pe, double clock_hz) {
+  HJSVD_ENSURE(n >= 2, "systolic array needs at least a 2x2 matrix");
+  SystolicReport r;
+  const std::uint64_t side = (n + 1) / 2;
+  r.pe_count = side * side;
+  const std::uint64_t diagonal = side;
+  const std::uint64_t interior = r.pe_count - diagonal;
+  r.luts = interior * pe.luts_interior + diagonal * pe.luts_diagonal;
+  r.dsp48 = interior * pe.dsp_interior + diagonal * pe.dsp_diagonal;
+  r.lut_pct = 100.0 * static_cast<double>(r.luts) / device.luts;
+  r.dsp_pct = 100.0 * static_cast<double>(r.dsp48) / device.dsp48;
+  r.fits = r.luts <= device.luts && r.dsp48 <= device.dsp48;
+
+  // Brent-Luk: a sweep completes in ~n systolic steps; O(log n) sweeps.
+  // Each step's latency is the rotation datapath (~60 cycles for DP cores).
+  const auto sweeps = static_cast<std::uint64_t>(
+      std::ceil(std::log2(static_cast<double>(n))) + 4);
+  constexpr std::uint64_t kStepLatency = 60;
+  r.cycles = sweeps * static_cast<std::uint64_t>(n) * kStepLatency;
+  r.seconds = static_cast<double>(r.cycles) / clock_hz;
+  return r;
+}
+
+std::size_t max_systolic_n(const DeviceCapacity& device,
+                           const SystolicPeCost& pe) {
+  std::size_t best = 0;
+  for (std::size_t n = 2; n <= 4096; n += 2) {
+    if (estimate_systolic(n, device, pe).fits)
+      best = n;
+    else
+      break;
+  }
+  return best;
+}
+
+}  // namespace hjsvd::arch

@@ -1,0 +1,59 @@
+// Resource/timing model of the classic two-sided Jacobi systolic array
+// (Brent-Luk-Van Loan [9][19]) — the prior FPGA approach the paper's
+// Section III contrasts with: "to fit the architecture on a single chip,
+// the scalability is limited, as n^2 processing elements is needed", and
+// the input is restricted to square matrices.
+//
+// The model quantifies both claims on the paper's own device: an
+// (n/2) x (n/2) array of 2x2-rotation PEs exhausts the XC5VLX330 at tiny n,
+// while the Hestenes-Jacobi architecture's resource usage is
+// size-independent (bench_systolic_comparison).
+#pragma once
+
+#include <cstdint>
+
+#include "arch/device.hpp"
+#include "hwsim/clock.hpp"
+
+namespace hjsvd::arch {
+
+/// Per-PE cost of a Brent-Luk processing element: it holds a 2x2 block and
+/// applies left/right rotations each step.  A floating-point PE needs ~8
+/// multipliers' worth of datapath plus angle generation; the boundary
+/// (diagonal) PEs also compute angles.  Costs are calibrated to DP
+/// floating-point cores (the apples-to-apples comparison with the paper's
+/// design); classic fixed-point arrays are cheaper per PE but share the
+/// same quadratic scaling.
+struct SystolicPeCost {
+  std::uint32_t luts_interior = 7200;   // 4 mul-equivalents + 4 add + ctrl
+  std::uint32_t dsp_interior = 8;       // 4 DP multipliers x 2 DSP
+  std::uint32_t luts_diagonal = 13000;  // interior + angle solver
+  std::uint32_t dsp_diagonal = 12;
+  std::uint32_t bram_per_pe = 0;        // 2x2 blocks live in registers
+};
+
+struct SystolicReport {
+  std::uint64_t pe_count = 0;           // (ceil(n/2))^2
+  std::uint64_t luts = 0;
+  std::uint64_t dsp48 = 0;
+  double lut_pct = 0.0;
+  double dsp_pct = 0.0;
+  bool fits = false;
+  /// Cycles for a full decomposition: O(n log n) with ~10 sweeps of n
+  /// systolic steps (Brent & Luk's bound), each step dominated by the
+  /// rotation datapath latency.
+  hwsim::Cycle cycles = 0;
+  double seconds = 0.0;
+};
+
+/// Resource/time estimate of an n x n two-sided Jacobi systolic array.
+SystolicReport estimate_systolic(std::size_t n,
+                                 const DeviceCapacity& device = {},
+                                 const SystolicPeCost& pe = {},
+                                 double clock_hz = 150e6);
+
+/// Largest square dimension whose full array fits the device.
+std::size_t max_systolic_n(const DeviceCapacity& device = {},
+                           const SystolicPeCost& pe = {});
+
+}  // namespace hjsvd::arch

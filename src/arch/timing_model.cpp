@@ -1,0 +1,146 @@
+#include "arch/timing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "hwsim/dfg.hpp"
+#include "svd/ordering.hpp"
+
+namespace hjsvd::arch {
+namespace {
+
+using hwsim::Cycle;
+
+Cycle ceil_div_u64(std::uint64_t num, double rate) {
+  HJSVD_ASSERT(rate > 0.0, "rate must be positive");
+  return static_cast<Cycle>(std::ceil(static_cast<double>(num) / rate));
+}
+
+/// Latency of one Jacobi rotation through the shared-FU dataflow (derived
+/// once from the list schedule of eqs. (8)-(10)).
+std::uint32_t rotation_latency(const AcceleratorConfig& cfg) {
+  const auto g = hwsim::make_rotation_dataflow();
+  const hwsim::FuSet fus{1, 2, 1, 1};  // Section VI.A's rotation component
+  const auto s = hwsim::list_schedule(g, fus, cfg.latencies);
+  return static_cast<std::uint32_t>(s.makespan);
+}
+
+}  // namespace
+
+TimingBreakdown estimate_timing(const AcceleratorConfig& cfg, std::size_t m,
+                                std::size_t n) {
+  HJSVD_ENSURE(m > 0 && n > 0, "matrix must be non-empty");
+  HJSVD_ENSURE(cfg.sweeps > 0, "need at least one sweep");
+  TimingBreakdown t;
+  t.rotation_latency = rotation_latency(cfg);
+
+  const auto mm = static_cast<std::uint64_t>(m);
+  const auto nn = static_cast<std::uint64_t>(n);
+
+  // --- Preprocessing: D = A^T A -------------------------------------------
+  // MAC work for the upper triangle vs. the input-streaming bound, plus the
+  // multiplier/adder fill of the layered array.
+  const std::uint64_t macs = mm * nn * (nn + 1) / 2;
+  const Cycle compute_bound = ceil_div_u64(macs, cfg.preproc_macs_per_cycle());
+  const Cycle input_bound = ceil_div_u64(mm * nn, cfg.input_words_per_cycle);
+  const Cycle fill = cfg.latencies.mul + cfg.latencies.add * cfg.preproc_layers;
+  t.preprocess = std::max(compute_bound, input_bound) + fill;
+
+  // --- Sweeps ----------------------------------------------------------------
+  const std::uint64_t cov_words = nn * (nn + 1) / 2;
+  t.covariance_fits_onchip = cov_words <= cfg.bram_covariance_words;
+  const std::uint64_t pairs_per_sweep = nn * (nn - 1) / 2;
+  t.rotations_per_sweep = pairs_per_sweep;
+
+  // Group structure of the round-robin ordering: rounds of floor(n/2)
+  // disjoint pairs, chopped into groups of rotation_group_size.
+  const std::uint64_t per_round = nn / 2;
+  const std::uint64_t rounds = nn < 2 ? 0 : (nn % 2 == 0 ? nn - 1 : nn);
+  const std::uint64_t full_groups_per_round =
+      per_round / cfg.rotation_group_size;
+  const std::uint64_t tail = per_round % cfg.rotation_group_size;
+
+  const std::uint64_t cov_updates_per_rot = nn >= 2 ? nn - 2 : 0;
+
+  struct GroupBound {
+    Cycle cycles = 0;
+    bool io_bound = false;
+  };
+  auto group_cycles = [&](std::uint64_t rotations,
+                          bool first_sweep) -> GroupBound {
+    Cycle update = ceil_div_u64(rotations * cov_updates_per_rot,
+                                cfg.cov_pairs_per_cycle);
+    if (first_sweep)
+      update += ceil_div_u64(rotations * mm, cfg.col_pairs_per_cycle);
+    if (cfg.accumulate_v)  // V rows rotate through the kernels every sweep
+      update += ceil_div_u64(rotations * nn, cfg.col_pairs_per_cycle);
+    Cycle io = 0;
+    if (!t.covariance_fits_onchip) {
+      // Each rotated covariance pair is read and written off chip:
+      // 4 words per pair, streamed at the HC-2 aggregate bandwidth.
+      io = ceil_div_u64(4 * rotations * cov_updates_per_rot,
+                        cfg.memory.words_per_cycle);
+    }
+    const Cycle floor_cycles = cfg.rotation_issue_cycles;
+    return GroupBound{std::max({floor_cycles, update, io}),
+                      io >= update && io >= floor_cycles && io > 0};
+  };
+
+  auto sweep_cycles = [&](bool first_sweep) {
+    Cycle c = 0;
+    const GroupBound full = group_cycles(cfg.rotation_group_size, first_sweep);
+    const std::uint64_t n_full = rounds * full_groups_per_round;
+    c += n_full * full.cycles;
+    if (full.io_bound) t.io_bound_cycles += n_full * full.cycles;
+    if (tail > 0) {
+      const GroupBound part = group_cycles(tail, first_sweep);
+      c += rounds * part.cycles;
+      if (part.io_bound) t.io_bound_cycles += rounds * part.cycles;
+    }
+    // Pipeline drain at sweep end: last group's rotations and updates.
+    c += t.rotation_latency + cfg.latencies.mul + cfg.latencies.add;
+    return c;
+  };
+
+  t.sweep1 = sweep_cycles(true);
+  if (cfg.sweeps > 1) {
+    const Cycle io_before = t.io_bound_cycles;
+    const Cycle one_late_sweep = sweep_cycles(false);
+    const Cycle io_delta = t.io_bound_cycles - io_before;
+    t.later_sweeps = static_cast<Cycle>(cfg.sweeps - 1) * one_late_sweep;
+    t.io_bound_cycles += (static_cast<Cycle>(cfg.sweeps - 1) - 1) * io_delta;
+  }
+
+  // --- Finalization: sqrt of the n diagonal entries, pipelined --------------
+  t.finalize = nn + cfg.latencies.sqrt;
+
+  t.total = t.preprocess + t.sweep1 + t.later_sweeps + t.finalize;
+  t.seconds = static_cast<double>(t.total) / cfg.clock_hz;
+  return t;
+}
+
+double estimate_seconds(const AcceleratorConfig& cfg, std::size_t m,
+                        std::size_t n) {
+  return estimate_timing(cfg, m, n).seconds;
+}
+
+std::string format_timing(const TimingBreakdown& t, std::size_t m,
+                          std::size_t n) {
+  std::ostringstream os;
+  os << "Accelerator timing for " << m << " x " << n << " ("
+     << format_duration(t.seconds) << ", " << t.total << " cycles)\n"
+     << "  preprocess:   " << t.preprocess << " cycles\n"
+     << "  sweep 1:      " << t.sweep1 << " cycles\n"
+     << "  sweeps 2..S:  " << t.later_sweeps << " cycles\n"
+     << "  finalize:     " << t.finalize << " cycles\n"
+     << "  rotation latency: " << t.rotation_latency << " cycles; "
+     << t.rotations_per_sweep << " rotations/sweep; covariance "
+     << (t.covariance_fits_onchip ? "fits on-chip" : "spills off-chip")
+     << '\n';
+  return os.str();
+}
+
+}  // namespace hjsvd::arch

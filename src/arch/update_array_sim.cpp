@@ -1,0 +1,94 @@
+#include "arch/update_array_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+#include "hwsim/fifo.hpp"
+
+namespace hjsvd::arch {
+
+using hwsim::Cycle;
+
+UpdateArraySimResult simulate_update_array(
+    const std::vector<UpdateGroupArrival>& groups, std::uint32_t kernels,
+    std::uint32_t banks, std::uint32_t fifo_depth,
+    const fp::CoreLatencies& latencies) {
+  HJSVD_ENSURE(kernels >= 1 && banks >= 1 && fifo_depth >= 1,
+               "need at least one kernel, bank and FIFO slot");
+  UpdateArraySimResult result;
+  if (groups.empty()) return result;
+
+  // Arrival order must be non-decreasing in readiness (pipeline order).
+  for (std::size_t g = 1; g < groups.size(); ++g)
+    HJSVD_ENSURE(groups[g].params_ready >= groups[g - 1].params_ready,
+                 "groups must arrive in order");
+
+  // Kernel datapath latency: two multiplies in parallel feed the adder /
+  // subtractor (Fig. 5) — results appear mul + add cycles after issue.
+  const Cycle kernel_latency = latencies.mul + latencies.add;
+
+  hwsim::Fifo<std::uint64_t> param_fifo(fifo_depth);  // pairs per group
+  std::size_t next_group = 0;
+  std::uint64_t current_remaining = 0;  // pairs left in the group being drained
+  Cycle last_issue = 0;
+  bool issued_any = false;
+  Cycle first_issue = 0;
+
+  Cycle now = groups.front().params_ready;
+  const std::uint64_t total_pairs = [&] {
+    std::uint64_t t = 0;
+    for (const auto& g : groups) t += g.element_pairs;
+    return t;
+  }();
+
+  std::uint64_t processed = 0;
+  std::uint64_t bank_rr = 0;  // round-robin bank cursor
+  while (processed < total_pairs) {
+    // 1. Groups whose parameters are ready enter the FIFO (if space).
+    while (next_group < groups.size() &&
+           groups[next_group].params_ready <= now &&
+           param_fifo.try_push(groups[next_group].element_pairs)) {
+      ++next_group;
+    }
+    // 2. Head-of-line group feeds the kernel array.
+    if (current_remaining == 0 && !param_fifo.empty()) {
+      (void)param_fifo.try_pop(current_remaining);
+    }
+    // 3. Issue up to min(kernels, banks-without-conflict) pairs this cycle.
+    if (current_remaining > 0) {
+      const std::uint64_t want =
+          std::min<std::uint64_t>(current_remaining, kernels);
+      // Pairs map round-robin onto banks; with banks >= kernels there is
+      // no conflict, otherwise the extra pairs retry next cycle.
+      const std::uint64_t served = std::min<std::uint64_t>(want, banks);
+      result.bank_conflict_retries += want - served;
+      current_remaining -= served;
+      processed += served;
+      result.kernel_busy_cycles += served;
+      bank_rr = (bank_rr + served) % banks;
+      if (!issued_any) {
+        issued_any = true;
+        first_issue = now;
+      }
+      last_issue = now;
+    } else if (next_group < groups.size() || !param_fifo.empty()) {
+      // Kernels idle: either waiting for the rotation unit (params not
+      // ready yet) or the FIFO is momentarily empty.
+      result.fifo_stall_cycles += 1;
+    }
+    ++now;
+    HJSVD_ASSERT(now < (1ull << 40), "update-array simulation runaway");
+  }
+  result.pairs_processed = processed;
+  result.drain_cycle = last_issue + kernel_latency;
+  if (issued_any && last_issue >= first_issue) {
+    const double window = static_cast<double>(last_issue - first_issue + 1);
+    result.kernel_utilization =
+        static_cast<double>(result.kernel_busy_cycles) /
+        (window * static_cast<double>(kernels));
+  }
+  return result;
+}
+
+}  // namespace hjsvd::arch

@@ -1,0 +1,45 @@
+// Cycle-stepped simulation of the Update operator (Section V.C / Fig. 5).
+//
+// The transaction-level accelerator model charges each rotation group
+// ceil(pairs / kernels) cycles of update work; this module validates that
+// charge from below: it steps the actual micro-structure cycle by cycle —
+// the rotation-parameter FIFO, an array of pipelined update kernels
+// (mul -> add/sub datapath, one element pair per kernel per cycle), and the
+// banked covariance BRAM with one read + one write port per bank — and
+// reports drain time, kernel occupancy, FIFO stalls and bank conflicts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "hwsim/clock.hpp"
+
+namespace hjsvd::arch {
+
+/// One rotation group arriving at the update array.
+struct UpdateGroupArrival {
+  hwsim::Cycle params_ready = 0;  // cycle the rotation unit delivers cos/sin
+  std::uint64_t element_pairs = 0;  // column + covariance pairs to process
+};
+
+struct UpdateArraySimResult {
+  hwsim::Cycle drain_cycle = 0;       // last result out of the kernel array
+  std::uint64_t pairs_processed = 0;
+  std::uint64_t kernel_busy_cycles = 0;   // sum over kernels
+  std::uint64_t fifo_stall_cycles = 0;    // kernels idle waiting for params
+  std::uint64_t bank_conflict_retries = 0;
+  double kernel_utilization = 0.0;        // busy / (kernels * active window)
+};
+
+/// Simulates draining the given arrival schedule through `kernels` update
+/// kernels with `banks` covariance BRAM banks and a parameter FIFO of depth
+/// `fifo_depth`.  Pairs are assigned round-robin to banks; a bank serves
+/// one pair per cycle (one read + one write port), so pair throughput is
+/// min(kernels, banks) per cycle plus conflict retries.
+UpdateArraySimResult simulate_update_array(
+    const std::vector<UpdateGroupArrival>& groups, std::uint32_t kernels,
+    std::uint32_t banks, std::uint32_t fifo_depth,
+    const fp::CoreLatencies& latencies);
+
+}  // namespace hjsvd::arch

@@ -1,0 +1,347 @@
+#include "baselines/golub_kahan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "linalg/kernels.hpp"
+
+namespace hjsvd {
+namespace {
+
+/// Fortran SIGN(a, b): |a| with the sign of b.
+double sign_of(double a, double b) { return b >= 0.0 ? std::abs(a) : -std::abs(a); }
+
+/// Golub-Reinsch SVD core: decomposes the m x n matrix held in `a` (m >= n
+/// not required, but callers transpose to keep m >= n for efficiency).
+/// On exit `w` holds the n singular values (unsorted, non-negative), `a` is
+/// overwritten with U (m x n, only when want_u) and `v` with V (n x n, only
+/// when want_v).  Returns false if QR iteration failed to converge.
+bool golub_reinsch(Matrix& a, std::vector<double>& w, Matrix& v, bool want_u,
+                   bool want_v, std::size_t max_its) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  w.assign(n, 0.0);
+  if (want_v) v = Matrix(n, n);
+  std::vector<double> rv1(n, 0.0);
+
+  // --- Householder bidiagonalization -------------------------------------
+  double g = 0.0, scale = 0.0, anorm = 0.0;
+  std::size_t l = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    l = i + 1;
+    rv1[i] = scale * g;
+    g = scale = 0.0;
+    double s = 0.0;
+    if (i < m) {
+      for (std::size_t k = i; k < m; ++k) scale += std::abs(a(k, i));
+      if (scale != 0.0) {
+        for (std::size_t k = i; k < m; ++k) {
+          a(k, i) /= scale;
+          s += a(k, i) * a(k, i);
+        }
+        double f = a(i, i);
+        g = -sign_of(std::sqrt(s), f);
+        const double h = f * g - s;
+        a(i, i) = f - g;
+        for (std::size_t j = l; j < n; ++j) {
+          double sum = 0.0;
+          for (std::size_t k = i; k < m; ++k) sum += a(k, i) * a(k, j);
+          f = sum / h;
+          for (std::size_t k = i; k < m; ++k) a(k, j) += f * a(k, i);
+        }
+        for (std::size_t k = i; k < m; ++k) a(k, i) *= scale;
+      }
+    }
+    w[i] = scale * g;
+    g = scale = 0.0;
+    s = 0.0;
+    if (i < m && i + 1 != n) {
+      for (std::size_t k = l; k < n; ++k) scale += std::abs(a(i, k));
+      if (scale != 0.0) {
+        for (std::size_t k = l; k < n; ++k) {
+          a(i, k) /= scale;
+          s += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        g = -sign_of(std::sqrt(s), f);
+        const double h = f * g - s;
+        a(i, l) = f - g;
+        for (std::size_t k = l; k < n; ++k) rv1[k] = a(i, k) / h;
+        for (std::size_t j = l; j < m; ++j) {
+          double sum = 0.0;
+          for (std::size_t k = l; k < n; ++k) sum += a(j, k) * a(i, k);
+          for (std::size_t k = l; k < n; ++k) a(j, k) += sum * rv1[k];
+        }
+        for (std::size_t k = l; k < n; ++k) a(i, k) *= scale;
+      }
+    }
+    anorm = std::max(anorm, std::abs(w[i]) + std::abs(rv1[i]));
+  }
+
+  // --- Accumulate right-hand transformations -----------------------------
+  if (want_v) {
+    for (std::size_t ii = n; ii-- > 0;) {
+      const std::size_t i = ii;
+      if (i + 1 < n) {
+        if (g != 0.0) {
+          // Double division avoids possible underflow (classic trick).
+          for (std::size_t j = l; j < n; ++j)
+            v(j, i) = (a(i, j) / a(i, l)) / g;
+          for (std::size_t j = l; j < n; ++j) {
+            double sum = 0.0;
+            for (std::size_t k = l; k < n; ++k) sum += a(i, k) * v(k, j);
+            for (std::size_t k = l; k < n; ++k) v(k, j) += sum * v(k, i);
+          }
+        }
+        for (std::size_t j = l; j < n; ++j) v(i, j) = v(j, i) = 0.0;
+      }
+      v(i, i) = 1.0;
+      g = rv1[i];
+      l = i;
+    }
+  }
+
+  // --- Accumulate left-hand transformations ------------------------------
+  if (want_u) {
+    for (std::size_t ii = std::min(m, n); ii-- > 0;) {
+      const std::size_t i = ii;
+      l = i + 1;
+      g = w[i];
+      for (std::size_t j = l; j < n; ++j) a(i, j) = 0.0;
+      if (g != 0.0) {
+        g = 1.0 / g;
+        for (std::size_t j = l; j < n; ++j) {
+          double sum = 0.0;
+          for (std::size_t k = l; k < m; ++k) sum += a(k, i) * a(k, j);
+          const double f = (sum / a(i, i)) * g;
+          for (std::size_t k = i; k < m; ++k) a(k, j) += f * a(k, i);
+        }
+        for (std::size_t j = i; j < m; ++j) a(j, i) *= g;
+      } else {
+        for (std::size_t j = i; j < m; ++j) a(j, i) = 0.0;
+      }
+      a(i, i) += 1.0;
+    }
+  }
+
+  // --- QR iteration on the bidiagonal form -------------------------------
+  for (std::size_t kk = n; kk-- > 0;) {
+    const std::size_t k = kk;
+    for (std::size_t its = 0;; ++its) {
+      bool flag = true;
+      std::size_t ll = 0;
+      std::size_t nm = 0;
+      for (std::size_t lv = k + 1; lv-- > 0;) {
+        ll = lv;
+        nm = ll == 0 ? 0 : ll - 1;
+        if (std::abs(rv1[ll]) + anorm == anorm) {
+          flag = false;
+          break;
+        }
+        if (ll != 0 && std::abs(w[nm]) + anorm == anorm) break;
+      }
+      if (flag) {
+        // Cancellation of rv1[ll] when w[ll-1] is negligible.
+        double c = 0.0, s = 1.0;
+        for (std::size_t i = ll; i <= k; ++i) {
+          const double f = s * rv1[i];
+          rv1[i] = c * rv1[i];
+          if (std::abs(f) + anorm == anorm) break;
+          g = w[i];
+          double h = std::hypot(f, g);
+          w[i] = h;
+          h = 1.0 / h;
+          c = g * h;
+          s = -f * h;
+          if (want_u) {
+            for (std::size_t j = 0; j < m; ++j) {
+              const double y = a(j, nm);
+              const double z = a(j, i);
+              a(j, nm) = y * c + z * s;
+              a(j, i) = z * c - y * s;
+            }
+          }
+        }
+      }
+      double z = w[k];
+      if (ll == k) {  // convergence
+        if (z < 0.0) {
+          w[k] = -z;
+          if (want_v)
+            for (std::size_t j = 0; j < n; ++j) v(j, k) = -v(j, k);
+        }
+        break;
+      }
+      if (its + 1 >= max_its) return false;
+      // Wilkinson-style shift from the trailing 2x2 of B^T B.
+      double x = w[ll];
+      nm = k - 1;
+      double y = w[nm];
+      g = rv1[nm];
+      double h = rv1[k];
+      double f = ((y - z) * (y + z) + (g - h) * (g + h)) / (2.0 * h * y);
+      g = std::hypot(f, 1.0);
+      f = ((x - z) * (x + z) + h * ((y / (f + sign_of(g, f))) - h)) / x;
+      // Bulge chase.
+      double c = 1.0, s = 1.0;
+      for (std::size_t j = ll; j <= nm; ++j) {
+        const std::size_t i = j + 1;
+        g = rv1[i];
+        y = w[i];
+        h = s * g;
+        g = c * g;
+        z = std::hypot(f, h);
+        rv1[j] = z;
+        c = f / z;
+        s = h / z;
+        f = x * c + g * s;
+        g = g * c - x * s;
+        h = y * s;
+        y *= c;
+        if (want_v) {
+          for (std::size_t jj = 0; jj < n; ++jj) {
+            const double xv = v(jj, j);
+            const double zv = v(jj, i);
+            v(jj, j) = xv * c + zv * s;
+            v(jj, i) = zv * c - xv * s;
+          }
+        }
+        z = std::hypot(f, h);
+        w[j] = z;
+        if (z != 0.0) {
+          z = 1.0 / z;
+          c = f * z;
+          s = h * z;
+        }
+        f = c * g + s * y;
+        x = c * y - s * g;
+        if (want_u) {
+          for (std::size_t jj = 0; jj < m; ++jj) {
+            const double yu = a(jj, j);
+            const double zu = a(jj, i);
+            a(jj, j) = yu * c + zu * s;
+            a(jj, i) = zu * c - yu * s;
+          }
+        }
+      }
+      rv1[ll] = 0.0;
+      rv1[k] = f;
+      w[k] = x;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void bidiagonalize(const Matrix& a, std::vector<double>& d,
+                   std::vector<double>& e) {
+  HJSVD_ENSURE(a.rows() >= a.cols(), "bidiagonalize requires m >= n");
+  Matrix work = a;
+  const std::size_t n = work.cols();
+  const std::size_t m = work.rows();
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+  double g = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t l = i + 1;
+    e[i] = scale * g;
+    g = scale = 0.0;
+    double s = 0.0;
+    for (std::size_t k = i; k < m; ++k) scale += std::abs(work(k, i));
+    if (scale != 0.0) {
+      for (std::size_t k = i; k < m; ++k) {
+        work(k, i) /= scale;
+        s += work(k, i) * work(k, i);
+      }
+      double f = work(i, i);
+      g = -sign_of(std::sqrt(s), f);
+      const double h = f * g - s;
+      work(i, i) = f - g;
+      for (std::size_t j = l; j < n; ++j) {
+        double sum = 0.0;
+        for (std::size_t k = i; k < m; ++k) sum += work(k, i) * work(k, j);
+        f = sum / h;
+        for (std::size_t k = i; k < m; ++k) work(k, j) += f * work(k, i);
+      }
+    }
+    d[i] = scale * g;
+    g = scale = 0.0;
+    s = 0.0;
+    if (i + 1 != n) {
+      for (std::size_t k = l; k < n; ++k) scale += std::abs(work(i, k));
+      if (scale != 0.0) {
+        std::vector<double> tmp(n, 0.0);
+        for (std::size_t k = l; k < n; ++k) {
+          work(i, k) /= scale;
+          s += work(i, k) * work(i, k);
+        }
+        double f = work(i, l);
+        g = -sign_of(std::sqrt(s), f);
+        const double h = f * g - s;
+        work(i, l) = f - g;
+        for (std::size_t k = l; k < n; ++k) tmp[k] = work(i, k) / h;
+        for (std::size_t j = l; j < m; ++j) {
+          double sum = 0.0;
+          for (std::size_t k = l; k < n; ++k) sum += work(j, k) * work(i, k);
+          for (std::size_t k = l; k < n; ++k) work(j, k) += sum * tmp[k];
+        }
+        for (std::size_t k = l; k < n; ++k) work(i, k) *= scale;
+      }
+    }
+  }
+}
+
+SvdResult golub_kahan_svd(const Matrix& a, const GolubKahanConfig& cfg) {
+  HJSVD_ENSURE(a.rows() > 0 && a.cols() > 0, "matrix must be non-empty");
+  HJSVD_ENSURE(all_finite(a), "input matrix must be finite (no NaN/inf)");
+  const bool transpose = a.rows() < a.cols();
+  Matrix work = transpose ? a.transposed() : a;
+  const std::size_t m = work.rows();
+  const std::size_t n = work.cols();
+  const bool want_u = transpose ? cfg.compute_v : cfg.compute_u;
+  const bool want_v = transpose ? cfg.compute_u : cfg.compute_v;
+
+  std::vector<double> w;
+  Matrix v;
+  const bool ok =
+      golub_reinsch(work, w, v, want_u, want_v, cfg.max_iterations);
+  HJSVD_ENSURE(ok, "Golub-Kahan QR iteration failed to converge");
+
+  // Sort descending, permuting any accumulated vectors along.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return w[x] > w[y]; });
+
+  SvdResult result;
+  result.converged = true;
+  const std::size_t k = std::min(m, n);
+  result.singular_values.resize(k);
+  for (std::size_t t = 0; t < k; ++t) result.singular_values[t] = w[order[t]];
+
+  auto gather_cols = [&](const Matrix& src, std::size_t rows) {
+    Matrix out(rows, k);
+    for (std::size_t t = 0; t < k; ++t) {
+      const auto s = src.col(order[t]);
+      auto dcol = out.col(t);
+      std::copy(s.begin(), s.end(), dcol.begin());
+    }
+    return out;
+  };
+  Matrix u_sorted, v_sorted;
+  if (want_u) u_sorted = gather_cols(work, m);
+  if (want_v) v_sorted = gather_cols(v, n);
+  if (transpose) {
+    if (cfg.compute_u) result.u = std::move(v_sorted);
+    if (cfg.compute_v) result.v = std::move(u_sorted);
+  } else {
+    if (cfg.compute_u) result.u = std::move(u_sorted);
+    if (cfg.compute_v) result.v = std::move(v_sorted);
+  }
+  return result;
+}
+
+}  // namespace hjsvd

@@ -1,0 +1,36 @@
+// Golub-Kahan-Reinsch SVD: Householder bidiagonalization followed by
+// implicit-shift QR iteration on the bidiagonal.
+//
+// This is the algorithm behind the software baselines the paper compares
+// against — MATLAB's svd and Intel MKL's dgesvd both reduce to bidiagonal
+// form with Householder reflectors and then iterate QR (Section III; refs
+// [6], [16], [17]).  We use it as (a) an independent correctness oracle for
+// the Jacobi methods and (b) the "optimized software" timing baseline for
+// Figs. 7-9.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/residuals.hpp"
+
+namespace hjsvd {
+
+struct GolubKahanConfig {
+  bool compute_u = false;  // thin U (m x min(m,n))
+  bool compute_v = false;  // thin V (n x min(m,n))
+  /// Max QR iterations per singular value before declaring failure.
+  std::size_t max_iterations = 75;
+};
+
+/// Full Golub-Kahan-Reinsch SVD of an arbitrary m x n matrix.  Singular
+/// values are returned in descending order; U/V (when requested) follow the
+/// same ordering and satisfy A ~= U diag(sv) V^T.
+SvdResult golub_kahan_svd(const Matrix& a, const GolubKahanConfig& cfg = {});
+
+/// Householder bidiagonalization only (exposed for testing): returns the
+/// diagonal d (length n) and superdiagonal e (length n, e[0] unused) of the
+/// bidiagonal form of an m x n matrix with m >= n.  The singular values of
+/// (d, e) equal those of A.
+void bidiagonalize(const Matrix& a, std::vector<double>& d,
+                   std::vector<double>& e);
+
+}  // namespace hjsvd

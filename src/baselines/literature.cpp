@@ -1,0 +1,42 @@
+#include "baselines/literature.hpp"
+
+namespace hjsvd::literature {
+
+const std::vector<TableOneEntry>& paper_table1() {
+  static const std::vector<TableOneEntry> data = {
+      // cols = 128 (first index), rows = 128..1024 (second index)
+      {128, 128, 4.39e-3}, {128, 256, 6.30e-3}, {128, 512, 1.01e-2},
+      {128, 1024, 1.79e-2},
+      {256, 128, 2.52e-2}, {256, 256, 3.30e-2}, {256, 512, 4.84e-2},
+      {256, 1024, 7.94e-2},
+      {512, 128, 1.70e-1}, {512, 256, 2.01e-1}, {512, 512, 2.63e-1},
+      {512, 1024, 3.87e-1},
+      {1024, 128, 1.23},   {1024, 256, 1.35},   {1024, 512, 1.61},
+      {1024, 1024, 2.01},
+  };
+  return data;
+}
+
+std::optional<double> paper_table1_seconds(std::size_t cols,
+                                           std::size_t rows) {
+  for (const auto& e : paper_table1())
+    if (e.cols == cols && e.rows == rows) return e.seconds;
+  return std::nullopt;
+}
+
+const std::vector<PriorWork>& gpu_hestenes_prior() {
+  static const std::vector<PriorWork> data = {
+      {"GPU Hestenes-Jacobi [12]", 128, 128, 106.90e-3},
+      {"GPU Hestenes-Jacobi [12]", 256, 256, 1022.92e-3},
+  };
+  return data;
+}
+
+const std::vector<PriorWork>& fpga_fixed_point_prior() {
+  static const std::vector<PriorWork> data = {
+      {"Fixed-point FPGA Hestenes [11]", 32, 127, 24.3143e-3},
+  };
+  return data;
+}
+
+}  // namespace hjsvd::literature

@@ -1,0 +1,62 @@
+// Reference numbers quoted from the paper and its cited prior work, used by
+// the benchmark harnesses to print "paper" columns next to our measured and
+// modeled values.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace hjsvd::literature {
+
+/// The paper's Table I: execution time (seconds) of the FPGA design.
+///
+/// ORIENTATION NOTE (see DESIGN.md §4): the printed header says "m \ n",
+/// but the paper's own analysis ("execution time grows significantly as the
+/// number of matrix *columns* increases ... the number of *rows* ... has
+/// smaller impact") matches the data only if the first index — down the
+/// table, where time grows ~8x per doubling — is the column count and the
+/// second index the row count.  We expose it under that reading.
+struct TableOneEntry {
+  std::size_t cols;    // n (first index; dominant, ~cubic)
+  std::size_t rows;    // m (second index; mild, ~linear)
+  double seconds;
+};
+const std::vector<TableOneEntry>& paper_table1();
+
+/// Looks up Table I by (cols, rows); empty when the paper has no such cell.
+std::optional<double> paper_table1_seconds(std::size_t cols, std::size_t rows);
+
+/// Paper Table II: resource utilization of the design on the XC5VLX330.
+struct TableTwo {
+  double lut_pct = 89.0;
+  double bram_pct = 91.0;
+  double dsp_pct = 53.0;
+};
+constexpr TableTwo paper_table2() { return {}; }
+
+/// Speedup range the paper reports vs. its MATLAB baseline for column sizes
+/// 128-256 and row sizes 128-2048 (abstract and Section VI.B).
+struct SpeedupRange {
+  double min_speedup = 3.8;
+  double max_speedup = 43.6;
+  std::size_t col_min = 128, col_max = 256;
+  std::size_t row_min = 128, row_max = 2048;
+};
+constexpr SpeedupRange paper_speedup_range() { return {}; }
+
+/// Prior-work numbers the paper quotes in Section VI.B.
+struct PriorWork {
+  const char* label;
+  std::size_t rows;
+  std::size_t cols;
+  double seconds;
+};
+/// GPU-based Hestenes-Jacobi of [12] (Kotas & Barhen as cited): no speedup
+/// over software; 106.90 ms for 128x128 and 1022.92 ms for 256x256.
+const std::vector<PriorWork>& gpu_hestenes_prior();
+/// Fixed-point FPGA design of [11] (Ledesma-Carrillo et al. as cited):
+/// limited to 32x128; 24.3143 ms for its largest 32x127 case.
+const std::vector<PriorWork>& fpga_fixed_point_prior();
+
+}  // namespace hjsvd::literature

@@ -1,0 +1,132 @@
+#include "baselines/twosided_jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/kernels.hpp"
+
+namespace hjsvd {
+namespace {
+
+/// Applies R(-alpha) on the left to rows p, q of A.
+void rotate_rows(Matrix& a, std::size_t p, std::size_t q, double ca,
+                 double sa) {
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    const double x = a(p, j);
+    const double y = a(q, j);
+    a(p, j) = ca * x - sa * y;
+    a(q, j) = sa * x + ca * y;
+  }
+}
+
+/// Applies R(beta) on the right to columns p, q of A.
+void rotate_cols(Matrix& a, std::size_t p, std::size_t q, double cb,
+                 double sb) {
+  auto cp = a.col(p);
+  auto cq = a.col(q);
+  for (std::size_t i = 0; i < cp.size(); ++i) {
+    const double x = cp[i];
+    const double y = cq[i];
+    cp[i] = cb * x - sb * y;
+    cq[i] = sb * x + cb * y;
+  }
+}
+
+double offdiag_ratio(const Matrix& a) {
+  double max_diag = 0.0, max_off = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double v = std::abs(a(i, j));
+      if (i == j)
+        max_diag = std::max(max_diag, v);
+      else
+        max_off = std::max(max_off, v);
+    }
+  if (max_diag == 0.0) return max_off == 0.0 ? 0.0 : INFINITY;
+  return max_off / max_diag;
+}
+
+}  // namespace
+
+TwoSidedAngles solve_two_sided_angles(double app, double apq, double aqp,
+                                      double aqq) {
+  // eq. (5): beta + alpha = atan((aqp + apq) / (aqq - app)),
+  //          beta - alpha = atan((aqp - apq) / (aqq + app)).
+  const double sum = std::atan2(aqp + apq, aqq - app);
+  const double diff = std::atan2(aqp - apq, aqq + app);
+  TwoSidedAngles ang;
+  ang.beta = 0.5 * (sum + diff);
+  ang.alpha = 0.5 * (sum - diff);
+  return ang;
+}
+
+SvdResult twosided_jacobi_svd(const Matrix& a, const TwoSidedConfig& cfg) {
+  HJSVD_ENSURE(a.rows() == a.cols(),
+               "two-sided Jacobi handles square matrices only (the "
+               "restriction the Hestenes-Jacobi method lifts)");
+  const std::size_t n = a.rows();
+  HJSVD_ENSURE(n > 0, "matrix must be non-empty");
+  HJSVD_ENSURE(all_finite(a), "input matrix must be finite (no NaN/inf)");
+
+  Matrix w = a;
+  Matrix u, v;
+  if (cfg.compute_u) u = Matrix::identity(n);
+  if (cfg.compute_v) v = Matrix::identity(n);
+
+  const auto pairs = sweep_pairs(cfg.ordering, n);
+  SvdResult result;
+  std::size_t sweeps_done = 0;
+  for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
+    for (const auto& [p, q] : pairs) {
+      const double app = w(p, p), apq = w(p, q);
+      const double aqp = w(q, p), aqq = w(q, q);
+      if (apq == 0.0 && aqp == 0.0) continue;
+      const auto ang = solve_two_sided_angles(app, apq, aqp, aqq);
+      const double ca = std::cos(ang.alpha), sa = std::sin(ang.alpha);
+      const double cb = std::cos(ang.beta), sb = std::sin(ang.beta);
+      rotate_rows(w, p, q, ca, sa);
+      rotate_cols(w, p, q, cb, sb);
+      // U accumulates the left rotations (transposed), V the right ones.
+      if (cfg.compute_u) rotate_cols(u, p, q, ca, sa);
+      if (cfg.compute_v) rotate_cols(v, p, q, cb, sb);
+    }
+    ++sweeps_done;
+    if (offdiag_ratio(w) < cfg.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.sweeps = sweeps_done;
+  if (!result.converged) result.converged = offdiag_ratio(w) < 1e-10;
+
+  // Diagonal entries may be negative; fold the sign into U.
+  std::vector<double> sv(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sv[i] = std::abs(w(i, i));
+    if (w(i, i) < 0.0 && cfg.compute_u) {
+      auto ui = u.col(i);
+      for (double& x : ui) x = -x;
+    }
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return sv[x] > sv[y]; });
+  result.singular_values.resize(n);
+  for (std::size_t t = 0; t < n; ++t) result.singular_values[t] = sv[order[t]];
+  auto gather = [&](const Matrix& src) {
+    Matrix out(n, n);
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto s = src.col(order[t]);
+      auto dcol = out.col(t);
+      std::copy(s.begin(), s.end(), dcol.begin());
+    }
+    return out;
+  };
+  if (cfg.compute_u) result.u = gather(u);
+  if (cfg.compute_v) result.v = gather(v);
+  return result;
+}
+
+}  // namespace hjsvd

@@ -1,0 +1,38 @@
+// Classic two-sided Jacobi SVD (Kogbetliantz), the algorithm behind the
+// Brent-Luk systolic arrays the paper contrasts with (Section II.B, refs
+// [9], [19]-[21]).  It annihilates each off-diagonal element of a *square*
+// matrix with a left and a right plane rotation (eqs. (2)-(5)); the square
+// restriction is exactly the limitation the Hestenes-Jacobi method removes.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/residuals.hpp"
+#include "svd/ordering.hpp"
+
+namespace hjsvd {
+
+struct TwoSidedConfig {
+  std::size_t max_sweeps = 10;
+  /// Stop when max |off-diagonal| / max |diagonal| drops below this.
+  double tolerance = 1e-12;
+  Ordering ordering = Ordering::kRoundRobin;
+  bool compute_u = false;
+  bool compute_v = false;
+};
+
+/// Two-sided Jacobi SVD of a square matrix.  Throws for non-square input
+/// (the documented restriction of the classic approach).
+SvdResult twosided_jacobi_svd(const Matrix& a, const TwoSidedConfig& cfg = {});
+
+/// The 2x2 rotation-angle solution of eq. (5): given the submatrix
+/// [[app, apq], [aqp, aqq]], returns the left angle alpha and right angle
+/// beta such that R(-alpha) * M * R(beta) is diagonal, where
+/// R(theta) = [[cos, sin], [-sin, cos]].
+struct TwoSidedAngles {
+  double alpha = 0.0;
+  double beta = 0.0;
+};
+TwoSidedAngles solve_two_sided_angles(double app, double apq, double aqp,
+                                      double aqq);
+
+}  // namespace hjsvd

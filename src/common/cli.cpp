@@ -1,0 +1,110 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hjsvd {
+
+Cli::Cli(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void Cli::add_option(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  HJSVD_ENSURE(!options_.count(name), "duplicate option: " + name);
+  options_[name] = Option{default_value, default_value, help};
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help();
+      std::exit(0);
+    }
+    HJSVD_ENSURE(arg.rfind("--", 0) == 0, "expected --option, got: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    auto it = options_.find(arg);
+    HJSVD_ENSURE(it != options_.end(), "unknown option --" + arg + "\n" + help());
+    if (eq == std::string::npos) {
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean flag
+      }
+    }
+    it->second.value = value;
+  }
+}
+
+std::string Cli::get(const std::string& name) const {
+  auto it = options_.find(name);
+  HJSVD_ENSURE(it != options_.end(), "option not registered: " + name);
+  return it->second.value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t result = std::stoll(v, &pos);
+    HJSVD_ENSURE(pos == v.size(), "trailing characters in integer: " + v);
+    return result;
+  } catch (const std::logic_error&) {
+    throw Error("option --" + name + " expects an integer, got: " + v);
+  }
+}
+
+double Cli::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const double result = std::stod(v, &pos);
+    HJSVD_ENSURE(pos == v.size(), "trailing characters in number: " + v);
+    return result;
+  } catch (const std::logic_error&) {
+    throw Error("option --" + name + " expects a number, got: " + v);
+  }
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw Error("option --" + name + " expects a boolean, got: " + v);
+}
+
+std::vector<std::int64_t> Cli::get_int_list(const std::string& name) const {
+  std::vector<std::int64_t> out;
+  std::istringstream is(get(name));
+  std::string piece;
+  while (std::getline(is, piece, ',')) {
+    if (piece.empty()) continue;
+    try {
+      out.push_back(std::stoll(piece));
+    } catch (const std::logic_error&) {
+      throw Error("option --" + name + " expects comma-separated integers");
+    }
+  }
+  return out;
+}
+
+std::string Cli::help() const {
+  std::ostringstream os;
+  os << description_ << "\n\nOptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name << " (default: " << opt.default_value << ")\n      "
+       << opt.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hjsvd

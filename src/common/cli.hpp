@@ -1,0 +1,47 @@
+// Tiny command-line flag parser for the example and benchmark binaries.
+//
+// Supported syntax: --name value, --name=value, and bare --flag (boolean).
+// Unknown flags raise an error listing the registered options.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hjsvd {
+
+/// Declarative command-line parser: register options, then parse().
+class Cli {
+ public:
+  explicit Cli(std::string program_description);
+
+  /// Registers an option with a default value and help text.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parses argv; exits(0) printing help on --help.  Throws hjsvd::Error on
+  /// unknown options or missing values.
+  void parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Parses comma-separated integers, e.g. "128,256,512".
+  std::vector<std::int64_t> get_int_list(const std::string& name) const;
+
+  std::string help() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string value;
+    std::string help;
+  };
+  std::string description_;
+  std::map<std::string, Option> options_;
+};
+
+}  // namespace hjsvd

@@ -1,0 +1,58 @@
+// Error handling primitives shared by every hjsvd module.
+//
+// Recoverable misuse of the public API (bad dimensions, invalid
+// configuration) throws hjsvd::Error via HJSVD_ENSURE.  Internal invariant
+// violations use HJSVD_ASSERT, which also throws so that tests can observe
+// them, but is compiled out in HJSVD_NDEBUG_ASSERT builds.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hjsvd {
+
+/// Exception type thrown on precondition / invariant violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(const char* kind, const char* expr,
+                               const std::string& msg,
+                               const std::source_location& loc) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << loc.file_name() << ':'
+     << loc.line();
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace hjsvd
+
+/// Validate a caller-facing precondition; throws hjsvd::Error on failure.
+#define HJSVD_ENSURE(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::hjsvd::detail::raise("precondition", #cond, (msg),           \
+                             std::source_location::current());        \
+    }                                                                 \
+  } while (false)
+
+/// Internal invariant check.  Kept on by default (cheap relative to the
+/// numerical kernels it guards); define HJSVD_NDEBUG_ASSERT to strip.
+#ifdef HJSVD_NDEBUG_ASSERT
+#define HJSVD_ASSERT(cond, msg) ((void)0)
+#else
+#define HJSVD_ASSERT(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::hjsvd::detail::raise("invariant", #cond, (msg),              \
+                             std::source_location::current());        \
+    }                                                                 \
+  } while (false)
+#endif

@@ -1,0 +1,74 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+__extension__ typedef unsigned __int128 hjsvd_u128;
+
+namespace hjsvd {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::gaussian() {
+  // Box–Muller on two fresh uniforms; u1 kept away from zero.
+  const double u1 = (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::uint64_t Rng::bounded(std::uint64_t bound) {
+  HJSVD_ENSURE(bound > 0, "bounded() requires a positive bound");
+  // Lemire's nearly-divisionless method.
+  const std::uint64_t x = next_u64();
+  hjsvd_u128 m = static_cast<hjsvd_u128>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<hjsvd_u128>(next_u64()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace hjsvd

@@ -1,0 +1,39 @@
+// Deterministic, seedable random number generation.
+//
+// All experiments in this repository must be reproducible bit-for-bit, so we
+// carry our own generator (xoshiro256++) instead of std::mt19937 whose
+// distribution implementations vary across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hjsvd {
+
+/// xoshiro256++ PRNG (Blackman & Vigna).  Deterministic across platforms.
+class Rng {
+ public:
+  /// Seeds the state from a single 64-bit value via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal deviate (Box–Muller; deterministic, no cached state
+  /// surprises: both deviates are generated, one discarded).
+  double gaussian();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire).
+  std::uint64_t bounded(std::uint64_t bound);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace hjsvd

@@ -1,0 +1,51 @@
+// ASCII table and CSV emitters used by the benchmark harnesses to print the
+// paper's tables/figures as aligned text plus machine-readable CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hjsvd {
+
+/// A simple column-aligned ASCII table.  Cells are strings; numeric
+/// formatting helpers live alongside (format_sci, format_fixed).
+class AsciiTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Optional caption printed above the table.
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+
+  /// Renders the table (caption, header rule, rows) to a string.
+  std::string to_string() const;
+
+  /// Renders the same data as CSV (caption omitted, header included).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string caption_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats x in scientific notation with `digits` significant digits,
+/// e.g. 4.39e-03 — the style used in the paper's Table I.
+std::string format_sci(double x, int digits = 3);
+
+/// Fixed-point formatting with `digits` digits after the decimal point.
+std::string format_fixed(double x, int digits = 3);
+
+/// "12.3 ms" / "4.56 s" style human-friendly duration.
+std::string format_duration(double seconds);
+
+/// Writes `content` to `path`, throwing hjsvd::Error on failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace hjsvd

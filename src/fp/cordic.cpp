@@ -1,0 +1,135 @@
+#include "fp/cordic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace hjsvd::fp {
+namespace {
+
+// Internal fixed-point format: Q2.61 two's complement in int64 (range
+// (-4, 4), resolution 2^-61) — enough headroom for the CORDIC gain
+// (~1.6468) times sqrt(2) on unit-normalized inputs, and for angles up to
+// pi.
+constexpr int kFracBits = 61;
+constexpr int kMaxIterations = 61;
+
+std::int64_t to_fixed(double x) {
+  return static_cast<std::int64_t>(std::llround(std::ldexp(x, kFracBits)));
+}
+
+double from_fixed(std::int64_t x) {
+  return std::ldexp(static_cast<double>(x), -kFracBits);
+}
+
+/// atan(2^-i) table in Q2.61, built once.
+const std::array<std::int64_t, kMaxIterations>& atan_table() {
+  static const auto table = [] {
+    std::array<std::int64_t, kMaxIterations> t{};
+    for (int i = 0; i < kMaxIterations; ++i)
+      t[i] = to_fixed(std::atan(std::ldexp(1.0, -i)));
+    return t;
+  }();
+  return table;
+}
+
+void check_iterations(const CordicConfig& cfg) {
+  HJSVD_ENSURE(cfg.iterations >= 1 && cfg.iterations <= kMaxIterations,
+               "CORDIC iterations must be in [1, 61]");
+}
+
+struct State {
+  std::int64_t x, y, z;
+};
+
+/// Core shift-add loop.  Vectoring drives y to 0 (d from sign of y);
+/// rotation drives z to 0 (d from sign of z).
+State iterate(State s, int iterations, bool vectoring) {
+  const auto& atans = atan_table();
+  for (int i = 0; i < iterations; ++i) {
+    const bool positive = vectoring ? (s.y < 0) : (s.z >= 0);
+    const std::int64_t d = positive ? 1 : -1;
+    const std::int64_t xs = s.x >> i;
+    const std::int64_t ys = s.y >> i;
+    const State next{s.x - d * ys, s.y + d * xs, s.z - d * atans[i]};
+    s = next;
+  }
+  return s;
+}
+
+}  // namespace
+
+double cordic_gain(int iterations) {
+  double k = 1.0;
+  for (int i = 0; i < iterations; ++i)
+    k *= std::sqrt(1.0 + std::ldexp(1.0, -2 * i));
+  return k;
+}
+
+CordicVectoring cordic_vectoring(double x, double y, const CordicConfig& cfg) {
+  check_iterations(cfg);
+  CordicVectoring out;
+  if (x == 0.0 && y == 0.0) return out;
+  // Normalize into the fixed-point range; the magnitude scales back out.
+  const double scale = std::max(std::abs(x), std::abs(y));
+  double xn = x / scale, yn = y / scale;
+  // Pre-rotate into the right half plane (CORDIC converges for |angle| <=
+  // ~1.74 rad only).
+  double angle0 = 0.0;
+  if (xn < 0.0) {
+    if (yn >= 0.0) {  // quadrant II: rotate by -90 deg, account +90
+      const double t = xn;
+      xn = yn;
+      yn = -t;
+      angle0 = M_PI / 2;
+    } else {  // quadrant III
+      const double t = xn;
+      xn = -yn;
+      yn = t;
+      angle0 = -M_PI / 2;
+    }
+  }
+  State s{to_fixed(xn), to_fixed(yn), 0};
+  s = iterate(s, cfg.iterations, /*vectoring=*/true);
+  out.magnitude = from_fixed(s.x) * scale / cordic_gain(cfg.iterations);
+  out.angle = angle0 + from_fixed(s.z);
+  return out;
+}
+
+CordicVec cordic_rotation(double x, double y, double angle,
+                          const CordicConfig& cfg) {
+  check_iterations(cfg);
+  HJSVD_ENSURE(std::abs(angle) <= 1.75,
+               "angle outside the CORDIC convergence domain");
+  const double scale = std::max({std::abs(x), std::abs(y), 1e-300});
+  State s{to_fixed(x / scale), to_fixed(y / scale), to_fixed(angle)};
+  s = iterate(s, cfg.iterations, /*vectoring=*/false);
+  const double k = cordic_gain(cfg.iterations);
+  return CordicVec{from_fixed(s.x) * scale / k, from_fixed(s.y) * scale / k};
+}
+
+CordicVec cordic_cos_sin(double angle, const CordicConfig& cfg) {
+  return cordic_rotation(1.0, 0.0, angle, cfg);
+}
+
+CordicRotation cordic_jacobi_params(double norm_jj, double norm_ii,
+                                    double cov, const CordicConfig& cfg) {
+  check_iterations(cfg);
+  CordicRotation out;
+  if (cov == 0.0) return out;
+  const double diff = norm_jj - norm_ii;
+  // 2*theta = atan(2c / diff), principal branch (|2 theta| <= pi/2): use
+  // |diff| in vectoring (keeps the angle in (-pi/2, pi/2)) and restore the
+  // sign analytically — sign(theta) = sign(diff * cov), matching the
+  // closed-form's small-angle branch.
+  const auto vec = cordic_vectoring(std::abs(diff), 2.0 * cov, cfg);
+  double two_theta = vec.angle;
+  if (diff < 0.0) two_theta = -two_theta;
+  out.theta = 0.5 * two_theta;  // exact halving (sign-magnitude in double)
+  const auto cs = cordic_cos_sin(out.theta, cfg);
+  out.cos = cs.x;
+  out.sin = cs.y;
+  return out;
+}
+
+}  // namespace hjsvd::fp

@@ -1,0 +1,62 @@
+// CORDIC (COordinate Rotation DIgital Computer) engine.
+//
+// Section V.B: CORDIC is "a popular choice in the research literature" for
+// computing Jacobi rotations in hardware, because it reduces trigonometry
+// to shift-and-add iterations — but it is efficient only in *fixed point*;
+// a floating-point CORDIC must realign operands every iteration, which is
+// why the paper instead evaluates the closed forms of eqs. (8)-(10) on
+// pipelined floating-point cores.  This module implements the classic
+// fixed-point CORDIC (vectoring and rotation modes, Q2.61 internal state)
+// so the trade-off is demonstrable (bench_ablation_cordic): accuracy scales
+// as 2^-iterations, and reaching double precision needs ~60 iterations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace hjsvd::fp {
+
+struct CordicConfig {
+  /// Shift-add iterations; accuracy ~ 2^-iterations radians.
+  int iterations = 40;
+};
+
+/// Gain of an `iterations`-step CORDIC: prod sqrt(1 + 2^-2i).
+double cordic_gain(int iterations);
+
+/// Vectoring mode: rotates (x, y) onto the positive x-axis.
+/// Returns magnitude = sqrt(x^2 + y^2) (gain-compensated) and
+/// angle = atan2(y, x).
+struct CordicVectoring {
+  double magnitude = 0.0;
+  double angle = 0.0;
+};
+CordicVectoring cordic_vectoring(double x, double y,
+                                 const CordicConfig& cfg = {});
+
+/// Rotation mode: rotates (x, y) by `angle` (|angle| <= ~1.74 rad, the
+/// CORDIC convergence domain); gain-compensated.
+struct CordicVec {
+  double x = 0.0;
+  double y = 0.0;
+};
+CordicVec cordic_rotation(double x, double y, double angle,
+                          const CordicConfig& cfg = {});
+
+/// Convenience: (cos, sin) of an angle within the convergence domain.
+CordicVec cordic_cos_sin(double angle, const CordicConfig& cfg = {});
+
+/// Jacobi rotation parameters computed the CORDIC way, as a classic
+/// two-sided/one-sided rotation unit would: vectoring extracts
+/// 2*theta = atan(2*cov / (norm_jj - norm_ii)), the angle is halved in
+/// fixed point, and rotation mode produces (cos, sin).
+struct CordicRotation {
+  double cos = 1.0;
+  double sin = 0.0;
+  double theta = 0.0;
+};
+CordicRotation cordic_jacobi_params(double norm_jj, double norm_ii,
+                                    double cov, const CordicConfig& cfg = {});
+
+}  // namespace hjsvd::fp

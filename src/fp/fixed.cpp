@@ -1,0 +1,40 @@
+#include "fp/fixed.hpp"
+
+#include <cmath>
+
+namespace hjsvd::fp {
+
+double FixedFormat::max_value() const {
+  // (2^(total-1) - 1) * 2^-frac
+  return (std::ldexp(1.0, total_bits() - 1) - 1.0) *
+         std::ldexp(1.0, -frac_bits);
+}
+
+double FixedFormat::resolution() const { return std::ldexp(1.0, -frac_bits); }
+
+double fixed_quantize(double x, const FixedFormat& fmt, FixedStats* stats) {
+  HJSVD_ENSURE(fmt.total_bits() >= 2 && fmt.total_bits() <= 53,
+               "fixed-point format must have 2..53 bits");
+  if (stats != nullptr) ++stats->operations;
+  if (std::isnan(x)) x = 0.0;  // a hardware datapath has no NaN; define as 0
+  const double scale = std::ldexp(1.0, fmt.frac_bits);
+  double scaled = std::nearbyint(x * scale);
+  const double limit = std::ldexp(1.0, fmt.total_bits() - 1) - 1.0;
+  if (scaled > limit) {
+    scaled = limit;
+    if (stats != nullptr) ++stats->saturations;
+  } else if (scaled < -limit - 1.0) {
+    scaled = -limit - 1.0;
+    if (stats != nullptr) ++stats->saturations;
+  } else if (scaled == 0.0 && x != 0.0) {
+    if (stats != nullptr) ++stats->underflows;
+  }
+  return scaled / scale;
+}
+
+double FixedOps::sqrt(double a) const {
+  if (a <= 0.0) return 0.0;  // hardware isqrt of non-positive input
+  return q(std::sqrt(a));
+}
+
+}  // namespace hjsvd::fp

@@ -1,0 +1,57 @@
+// Latency/throughput metadata of the hardware floating-point cores.
+//
+// The paper instantiates Xilinx Coregen IEEE-754 double-precision operators
+// "configured with default latencies as 9, 14, 57, 57 clock cycles for
+// multiplier, adder or subtractor, divider and square-root calculator
+// respectively" (Section VI.A), all fully pipelined (initiation interval 1).
+#pragma once
+
+#include <cstdint>
+
+namespace hjsvd::fp {
+
+/// Kinds of floating-point cores instantiated by the architecture.
+enum class OpKind { kMul, kAdd, kSub, kDiv, kSqrt };
+
+/// Pipeline latencies (in clock cycles) of the double-precision cores.
+struct CoreLatencies {
+  std::uint32_t mul = 9;
+  std::uint32_t add = 14;   // the adder core also implements subtraction
+  std::uint32_t div = 57;
+  std::uint32_t sqrt = 57;
+
+  constexpr std::uint32_t of(OpKind k) const {
+    switch (k) {
+      case OpKind::kMul: return mul;
+      case OpKind::kAdd:
+      case OpKind::kSub: return add;
+      case OpKind::kDiv: return div;
+      case OpKind::kSqrt: return sqrt;
+    }
+    return 0;  // unreachable
+  }
+};
+
+/// Counts of executed floating-point operations, used by the ablation
+/// benchmarks to compare the modified (D-caching) algorithm against the
+/// plain recomputing Hestenes-Jacobi.
+struct OpCounts {
+  std::uint64_t mul = 0;
+  std::uint64_t add = 0;
+  std::uint64_t sub = 0;
+  std::uint64_t div = 0;
+  std::uint64_t sqrt = 0;
+
+  std::uint64_t total() const { return mul + add + sub + div + sqrt; }
+
+  OpCounts& operator+=(const OpCounts& o) {
+    mul += o.mul;
+    add += o.add;
+    sub += o.sub;
+    div += o.div;
+    sqrt += o.sqrt;
+    return *this;
+  }
+};
+
+}  // namespace hjsvd::fp

@@ -1,0 +1,57 @@
+// On-chip BRAM model.
+//
+// The design uses simple dual-port RAMs to cache rotation angle parameters
+// and in-flight covariances; the whole covariance matrix fits on chip only
+// for column dimensions up to 256 (Section VI.A).  The model tracks word
+// capacity and per-cycle port usage.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "hwsim/clock.hpp"
+
+namespace hjsvd::hwsim {
+
+/// A simple dual-port memory: one read port + one write port per cycle
+/// (Xilinx "simple dual port" configuration), fixed word capacity.
+class DualPortBram {
+ public:
+  explicit DualPortBram(std::uint64_t capacity_words)
+      : capacity_(capacity_words) {}
+
+  std::uint64_t capacity_words() const { return capacity_; }
+
+  /// True if `words` fit entirely on chip.
+  bool fits(std::uint64_t words) const { return words <= capacity_; }
+
+  /// Registers a read in cycle `now`; returns false on a port conflict
+  /// (a read already issued this cycle).
+  bool try_read(Cycle now) { return use_port(now, read_cycle_, read_conflicts_); }
+
+  /// Registers a write in cycle `now`; returns false on a port conflict.
+  bool try_write(Cycle now) {
+    return use_port(now, write_cycle_, write_conflicts_);
+  }
+
+  std::uint64_t read_conflicts() const { return read_conflicts_; }
+  std::uint64_t write_conflicts() const { return write_conflicts_; }
+
+ private:
+  bool use_port(Cycle now, Cycle& last, std::uint64_t& conflicts) {
+    if (last == now + 1) {  // stored as now+1 so cycle 0 works
+      ++conflicts;
+      return false;
+    }
+    last = now + 1;
+    return true;
+  }
+
+  std::uint64_t capacity_;
+  Cycle read_cycle_ = 0;
+  Cycle write_cycle_ = 0;
+  std::uint64_t read_conflicts_ = 0;
+  std::uint64_t write_conflicts_ = 0;
+};
+
+}  // namespace hjsvd::hwsim

@@ -1,0 +1,21 @@
+// Clock-domain bookkeeping for the cycle-level models.
+#pragma once
+
+#include <cstdint>
+
+namespace hjsvd::hwsim {
+
+/// Simulation time in clock cycles.
+using Cycle = std::uint64_t;
+
+/// A fixed-frequency clock domain; converts cycle counts to wall time.
+/// The paper's design runs at 150 MHz (Section VI.A).
+struct ClockDomain {
+  double frequency_hz = 150e6;
+
+  double seconds(Cycle cycles) const {
+    return static_cast<double>(cycles) / frequency_hz;
+  }
+};
+
+}  // namespace hjsvd::hwsim

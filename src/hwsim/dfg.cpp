@@ -1,0 +1,180 @@
+#include "hwsim/dfg.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hjsvd::hwsim {
+namespace {
+
+/// Resource class index: mul / add(+sub) / div / sqrt.
+int resource_class(fp::OpKind k) {
+  switch (k) {
+    case fp::OpKind::kMul: return 0;
+    case fp::OpKind::kAdd:
+    case fp::OpKind::kSub: return 1;
+    case fp::OpKind::kDiv: return 2;
+    case fp::OpKind::kSqrt: return 3;
+  }
+  return 0;  // unreachable
+}
+
+/// Longest path (in cycles, inclusive of own latency) from each node to any
+/// sink — the classic list-scheduling priority.
+std::vector<Cycle> critical_path_priority(const Dataflow& g,
+                                          const fp::CoreLatencies& lat) {
+  const auto& nodes = g.nodes();
+  std::vector<Cycle> prio(nodes.size(), 0);
+  // Nodes are in topological order; walk backwards accumulating.
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    if (prio[i] == 0) prio[i] = lat.of(nodes[i].kind);
+  }
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    const Cycle need = prio[i] + 0;
+    for (std::size_t d : nodes[i].deps) {
+      const Cycle via = need + lat.of(nodes[d].kind);
+      if (via > prio[d]) prio[d] = via;
+    }
+  }
+  return prio;
+}
+
+}  // namespace
+
+std::size_t Dataflow::add(fp::OpKind kind, std::vector<std::size_t> deps,
+                          std::string label) {
+  for (std::size_t d : deps)
+    HJSVD_ENSURE(d < nodes_.size(), "dataflow deps must precede the node");
+  nodes_.push_back(DfgNode{kind, std::move(deps), std::move(label)});
+  return nodes_.size() - 1;
+}
+
+std::uint32_t FuSet::count(fp::OpKind k) const {
+  switch (k) {
+    case fp::OpKind::kMul: return mul;
+    case fp::OpKind::kAdd:
+    case fp::OpKind::kSub: return add;
+    case fp::OpKind::kDiv: return div;
+    case fp::OpKind::kSqrt: return sqrt;
+  }
+  return 0;  // unreachable
+}
+
+Schedule list_schedule(const Dataflow& g, const FuSet& fus,
+                       const fp::CoreLatencies& lat) {
+  const auto& nodes = g.nodes();
+  HJSVD_ENSURE(fus.mul >= 1 && fus.add >= 1 && fus.div >= 1 && fus.sqrt >= 1,
+               "need at least one unit of each class");
+  Schedule sched;
+  sched.start.assign(nodes.size(), 0);
+  sched.finish.assign(nodes.size(), 0);
+  if (nodes.empty()) return sched;
+
+  const auto prio = critical_path_priority(g, lat);
+
+  // Per-class unit free times (II = 1: a unit is busy for one cycle per
+  // issue; results stream out of the pipeline latency cycles later).
+  const std::uint32_t class_units[4] = {fus.mul, fus.add, fus.div, fus.sqrt};
+  std::vector<Cycle> unit_free[4];
+  for (int c = 0; c < 4; ++c) unit_free[c].assign(class_units[c], 0);
+
+  std::vector<bool> scheduled(nodes.size(), false);
+  std::size_t remaining = nodes.size();
+  Cycle now = 0;
+  while (remaining > 0) {
+    // Gather nodes ready at `now`, highest priority first.
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (scheduled[i]) continue;
+      bool ok = true;
+      for (std::size_t d : nodes[i].deps) {
+        if (!scheduled[d] || sched.finish[d] > now) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ready.push_back(i);
+    }
+    std::sort(ready.begin(), ready.end(), [&](std::size_t a, std::size_t b) {
+      if (prio[a] != prio[b]) return prio[a] > prio[b];
+      return a < b;  // deterministic tie-break
+    });
+    bool progressed = false;
+    for (std::size_t i : ready) {
+      auto& frees = unit_free[resource_class(nodes[i].kind)];
+      auto it = std::min_element(frees.begin(), frees.end());
+      if (*it <= now) {
+        sched.start[i] = now;
+        sched.finish[i] = now + lat.of(nodes[i].kind);
+        *it = now + 1;
+        scheduled[i] = true;
+        --remaining;
+        progressed = true;
+        sched.makespan = std::max(sched.makespan, sched.finish[i]);
+      }
+    }
+    (void)progressed;
+    ++now;
+    HJSVD_ASSERT(now < 1'000'000, "list scheduler failed to converge");
+  }
+  return sched;
+}
+
+ThroughputResult pipelined_throughput(const Dataflow& g, const FuSet& fus,
+                                      const fp::CoreLatencies& lat,
+                                      std::size_t instances) {
+  HJSVD_ENSURE(instances >= 2, "throughput needs at least two instances");
+  // Replicate the graph `instances` times (independent copies) and schedule
+  // the union; copy boundaries share no edges so only resources couple them.
+  Dataflow big;
+  const std::size_t stride = g.size();
+  for (std::size_t k = 0; k < instances; ++k) {
+    for (const auto& node : g.nodes()) {
+      auto deps = node.deps;
+      for (auto& d : deps) d += k * stride;
+      big.add(node.kind, std::move(deps), node.label);
+    }
+  }
+  const Schedule s = list_schedule(big, fus, lat);
+  ThroughputResult r;
+  auto instance_finish = [&](std::size_t k) {
+    Cycle f = 0;
+    for (std::size_t i = 0; i < stride; ++i)
+      f = std::max(f, s.finish[k * stride + i]);
+    return f;
+  };
+  r.latency = instance_finish(0);
+  r.makespan = s.makespan;
+  r.interval = static_cast<double>(instance_finish(instances - 1) -
+                                   instance_finish(0)) /
+               static_cast<double>(instances - 1);
+  return r;
+}
+
+Dataflow make_rotation_dataflow() {
+  // Eqs. (8)-(10) plus the norm updates of Algorithm 1 lines 15-16.
+  // Power-of-two scalings (2c, 4c^2, 2c^2) and abs/sign are exponent/sign
+  // manipulations — free in hardware, so they do not appear as core ops.
+  Dataflow g;
+  const auto d = g.add(fp::OpKind::kSub, {}, "d = n2 - n1");
+  const auto c2 = g.add(fp::OpKind::kMul, {}, "c2 = c*c");
+  const auto d2 = g.add(fp::OpKind::kMul, {d}, "d2 = d*d");
+  const auto s = g.add(fp::OpKind::kAdd, {d2, c2}, "s = d2 + 4*c2");
+  const auto r = g.add(fp::OpKind::kSqrt, {s}, "r = sqrt(s)");
+  const auto dent = g.add(fp::OpKind::kAdd, {d, r}, "dent = |d| + r");
+  const auto t = g.add(fp::OpKind::kDiv, {dent}, "t = |2c| / dent");
+  const auto adr = g.add(fp::OpKind::kMul, {d, r}, "adr = |d| * r");
+  const auto num = g.add(fp::OpKind::kAdd, {d2, c2}, "num = d2 + 2*c2");
+  const auto numc = g.add(fp::OpKind::kAdd, {num, adr}, "numc = num + adr");
+  const auto den = g.add(fp::OpKind::kAdd, {s, adr}, "den = s + adr");
+  const auto cosq = g.add(fp::OpKind::kDiv, {numc, den}, "cos^2");
+  g.add(fp::OpKind::kSqrt, {cosq}, "cos");
+  const auto sinq = g.add(fp::OpKind::kDiv, {c2, den}, "sin^2");
+  g.add(fp::OpKind::kSqrt, {sinq}, "sin");
+  const auto tc = g.add(fp::OpKind::kMul, {t}, "tc = t * cov");
+  g.add(fp::OpKind::kAdd, {tc}, "Djj += tc");
+  g.add(fp::OpKind::kSub, {tc}, "Dii -= tc");
+  return g;
+}
+
+}  // namespace hjsvd::hwsim

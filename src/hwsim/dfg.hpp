@@ -1,0 +1,84 @@
+// Dataflow-graph list scheduling onto shared floating-point cores.
+//
+// The paper's Jacobi rotation component evaluates eqs. (8)-(10) on a small
+// set of shared cores ("1 multiplier, 2 adders, 1 divider and 1 square-root
+// calculator", Section VI.A) and sustains 8 independent rotations every 64
+// cycles.  This module provides the generic machinery: describe a
+// computation as a DAG of FP operations, schedule it onto a fixed set of
+// pipelined units, and measure latency and steady-state initiation interval
+// across repeated instances.  arch/ uses it to derive (and tests use it to
+// validate) the rotation unit's timing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fp/latency.hpp"
+#include "hwsim/clock.hpp"
+
+namespace hjsvd::hwsim {
+
+/// A node in a floating-point dataflow graph.
+struct DfgNode {
+  fp::OpKind kind;
+  std::vector<std::size_t> deps;  // indices of producer nodes
+  std::string label;
+};
+
+/// A DAG of floating-point operations.  Nodes must be added in a valid
+/// topological order (dependencies before dependents).
+class Dataflow {
+ public:
+  /// Adds a node; returns its index.
+  std::size_t add(fp::OpKind kind, std::vector<std::size_t> deps,
+                  std::string label = {});
+
+  const std::vector<DfgNode>& nodes() const { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  std::vector<DfgNode> nodes_;
+};
+
+/// Available functional units.  Adders serve both add and sub (the Coregen
+/// add/sub core is one IP block); every unit is pipelined with II = 1.
+struct FuSet {
+  std::uint32_t mul = 1;
+  std::uint32_t add = 2;
+  std::uint32_t div = 1;
+  std::uint32_t sqrt = 1;
+
+  std::uint32_t count(fp::OpKind k) const;
+};
+
+/// Per-node schedule plus overall makespan.
+struct Schedule {
+  std::vector<Cycle> start;
+  std::vector<Cycle> finish;
+  Cycle makespan = 0;
+};
+
+/// Critical-path-priority list scheduling of the graph onto the unit set.
+Schedule list_schedule(const Dataflow& g, const FuSet& fus,
+                       const fp::CoreLatencies& lat);
+
+/// Latency/throughput of issuing `instances` independent copies of the graph
+/// back-to-back on the same unit set.
+struct ThroughputResult {
+  Cycle latency = 0;          // finish of the first instance
+  Cycle makespan = 0;         // finish of the last instance
+  double interval = 0.0;      // steady-state cycles between completions
+};
+
+ThroughputResult pipelined_throughput(const Dataflow& g, const FuSet& fus,
+                                      const fp::CoreLatencies& lat,
+                                      std::size_t instances);
+
+/// The Jacobi rotation dataflow of eqs. (8)-(10): inputs are the two squared
+/// 2-norms and the covariance; outputs are t, the updated norms, cos and
+/// sin.  Returned graph contains FP-core operations only (sign/abs
+/// manipulations are free in hardware).
+Dataflow make_rotation_dataflow();
+
+}  // namespace hjsvd::hwsim

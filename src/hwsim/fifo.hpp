@@ -1,0 +1,70 @@
+// Bounded FIFO with stall accounting.
+//
+// The paper uses two groups of eight 64-bit FIFOs for input/output
+// synchronization and one group of eight 127-bit FIFOs between the Hestenes
+// preprocessor and the Update operator (Section VI.A).  At the simulation's
+// transaction granularity a FIFO is a bounded queue whose fullness/emptiness
+// stalls its producer/consumer; we count those stalls for reporting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace hjsvd::hwsim {
+
+template <class T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity) : capacity_(capacity) {
+    HJSVD_ENSURE(capacity > 0, "FIFO capacity must be positive");
+  }
+
+  bool full() const { return items_.size() >= capacity_; }
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Attempts to enqueue; returns false (and counts a producer stall) when
+  /// full.
+  bool try_push(T value) {
+    if (full()) {
+      ++push_stalls_;
+      return false;
+    }
+    items_.push_back(std::move(value));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    return true;
+  }
+
+  /// Attempts to dequeue into `out`; returns false (and counts a consumer
+  /// stall) when empty.
+  bool try_pop(T& out) {
+    if (empty()) {
+      ++pop_stalls_;
+      return false;
+    }
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  const T& front() const {
+    HJSVD_ENSURE(!empty(), "front() on empty FIFO");
+    return items_.front();
+  }
+
+  std::uint64_t push_stalls() const { return push_stalls_; }
+  std::uint64_t pop_stalls() const { return pop_stalls_; }
+  std::size_t high_water() const { return high_water_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::uint64_t push_stalls_ = 0;
+  std::uint64_t pop_stalls_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace hjsvd::hwsim

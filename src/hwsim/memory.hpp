@@ -1,0 +1,65 @@
+// Off-chip memory channel model (Convey HC-2 style).
+//
+// The HC-2 coprocessor memory system exposes a wide, high-bandwidth
+// interface (~80 GB/s aggregate across 8 memory controllers).  At 150 MHz
+// that is ~64 doubles per cycle of aggregate streaming bandwidth, which is
+// how the model is parameterized.  Transfers are serialized on the channel
+// (bandwidth sharing), with a fixed access latency added per request.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "hwsim/clock.hpp"
+
+namespace hjsvd::hwsim {
+
+/// Configuration of the off-chip memory system.
+struct MemoryConfig {
+  /// Aggregate streaming bandwidth in 64-bit words per cycle.
+  double words_per_cycle = 64.0;
+  /// Fixed latency per request (access + interconnect), cycles.
+  std::uint32_t request_latency = 95;
+};
+
+/// Serializing bandwidth model: each transfer occupies the channel for
+/// ceil(words / bandwidth) cycles; completion additionally waits the fixed
+/// request latency.
+class MemoryChannelModel {
+ public:
+  explicit MemoryChannelModel(MemoryConfig cfg) : cfg_(cfg) {
+    HJSVD_ENSURE(cfg.words_per_cycle > 0, "bandwidth must be positive");
+  }
+
+  /// Enqueues a transfer of `words` 64-bit words at cycle `now`; returns the
+  /// completion cycle.
+  Cycle transfer(Cycle now, std::uint64_t words) {
+    const Cycle start = now > channel_free_ ? now : channel_free_;
+    const auto busy = static_cast<Cycle>(
+        (static_cast<double>(words) + cfg_.words_per_cycle - 1.0) /
+        cfg_.words_per_cycle);
+    channel_free_ = start + busy;
+    words_moved_ += words;
+    ++transfers_;
+    return channel_free_ + cfg_.request_latency;
+  }
+
+  /// Cycles the channel needs to move `words` at full bandwidth (no queue).
+  Cycle streaming_cycles(std::uint64_t words) const {
+    return static_cast<Cycle>(
+        (static_cast<double>(words) + cfg_.words_per_cycle - 1.0) /
+        cfg_.words_per_cycle);
+  }
+
+  const MemoryConfig& config() const { return cfg_; }
+  std::uint64_t words_moved() const { return words_moved_; }
+  std::uint64_t transfers() const { return transfers_; }
+
+ private:
+  MemoryConfig cfg_;
+  Cycle channel_free_ = 0;
+  std::uint64_t words_moved_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace hjsvd::hwsim

@@ -1,0 +1,55 @@
+// Pipelined functional-unit model.
+//
+// The Coregen floating-point cores are fully pipelined: a new operation can
+// be issued every `initiation_interval` cycles (1 for all cores used in the
+// paper) and the result appears `latency` cycles after issue.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "hwsim/clock.hpp"
+
+namespace hjsvd::hwsim {
+
+/// A single pipelined functional unit with fixed latency and initiation
+/// interval.  Tracks the earliest legal next issue slot plus utilization.
+class PipelinedUnit {
+ public:
+  PipelinedUnit(std::uint32_t latency, std::uint32_t initiation_interval = 1)
+      : latency_(latency), ii_(initiation_interval) {
+    HJSVD_ENSURE(initiation_interval >= 1, "initiation interval must be >= 1");
+  }
+
+  /// True if an operation may issue at `now` without violating the II.
+  bool can_issue(Cycle now) const { return now >= next_issue_; }
+
+  /// Issues an operation at the earliest legal cycle >= `now`; returns the
+  /// cycle at which the result is available.
+  Cycle issue(Cycle now) {
+    const Cycle start = now > next_issue_ ? now : next_issue_;
+    next_issue_ = start + ii_;
+    ++issued_;
+    last_retire_ = start + latency_;
+    return last_retire_;
+  }
+
+  std::uint32_t latency() const { return latency_; }
+  std::uint64_t issued() const { return issued_; }
+
+  /// Completion cycle of the most recently issued operation (pipeline-drain
+  /// accounting).
+  Cycle last_retire() const { return last_retire_; }
+
+  /// Earliest cycle the next operation may issue.
+  Cycle next_free() const { return next_issue_; }
+
+ private:
+  std::uint32_t latency_;
+  std::uint32_t ii_;
+  Cycle next_issue_ = 0;
+  Cycle last_retire_ = 0;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace hjsvd::hwsim

@@ -1,0 +1,113 @@
+#include "linalg/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hjsvd {
+namespace {
+
+/// In-place A <- (I - 2 v v^T) A for a unit vector v of length A.rows().
+void apply_reflector_left(Matrix& a, std::span<const double> v) {
+  const std::size_t m = a.rows();
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    auto col = a.col(j);
+    double dot = 0.0;
+    for (std::size_t i = 0; i < m; ++i) dot += v[i] * col[i];
+    const double scale = 2.0 * dot;
+    for (std::size_t i = 0; i < m; ++i) col[i] -= scale * v[i];
+  }
+}
+
+std::vector<double> random_unit_vector(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  double norm2 = 0.0;
+  do {
+    norm2 = 0.0;
+    for (auto& x : v) {
+      x = rng.gaussian();
+      norm2 += x * x;
+    }
+  } while (norm2 == 0.0);
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (auto& x : v) x *= inv;
+  return v;
+}
+
+}  // namespace
+
+Matrix random_uniform(std::size_t rows, std::size_t cols, Rng& rng, double lo,
+                      double hi) {
+  HJSVD_ENSURE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = rng.uniform(lo, hi);
+  return m;
+}
+
+Matrix random_gaussian(std::size_t rows, std::size_t cols, Rng& rng) {
+  HJSVD_ENSURE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = rng.gaussian();
+  return m;
+}
+
+Matrix with_singular_values(std::size_t rows, std::size_t cols,
+                            const std::vector<double>& sv, Rng& rng) {
+  const std::size_t k = std::min(rows, cols);
+  HJSVD_ENSURE(sv.size() == k,
+               "need exactly min(rows, cols) singular values");
+  // Start from diag(sv), then hit it with random orthogonals on both sides.
+  Matrix a(rows, cols);
+  for (std::size_t i = 0; i < k; ++i) a(i, i) = sv[i];
+  // A <- Q_l * A: reflectors on the left (size rows).
+  for (std::size_t r = 0; r < std::min<std::size_t>(rows, 8); ++r) {
+    const auto v = random_unit_vector(rows, rng);
+    apply_reflector_left(a, v);
+  }
+  // A <- A * Q_r^T: reflectors on the right, done via the transpose trick.
+  Matrix at = a.transposed();
+  for (std::size_t r = 0; r < std::min<std::size_t>(cols, 8); ++r) {
+    const auto v = random_unit_vector(cols, rng);
+    apply_reflector_left(at, v);
+  }
+  return at.transposed();
+}
+
+Matrix random_rank_deficient(std::size_t rows, std::size_t cols,
+                             std::size_t rank, Rng& rng) {
+  const std::size_t k = std::min(rows, cols);
+  HJSVD_ENSURE(rank <= k, "rank cannot exceed min(rows, cols)");
+  std::vector<double> sv(k, 0.0);
+  for (std::size_t i = 0; i < rank; ++i) sv[i] = rng.uniform(0.5, 2.0);
+  return with_singular_values(rows, cols, sv, rng);
+}
+
+Matrix random_conditioned(std::size_t rows, std::size_t cols, double kappa,
+                          Rng& rng) {
+  HJSVD_ENSURE(kappa >= 1.0, "condition number must be >= 1");
+  const std::size_t k = std::min(rows, cols);
+  std::vector<double> sv(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double frac = k == 1 ? 0.0 : static_cast<double>(i) / (k - 1);
+    sv[i] = std::pow(kappa, -frac);  // geometric decay 1 .. 1/kappa
+  }
+  return with_singular_values(rows, cols, sv, rng);
+}
+
+Matrix hilbert(std::size_t n) {
+  HJSVD_ENSURE(n > 0, "matrix dimensions must be positive");
+  Matrix h(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      h(i, j) = 1.0 / static_cast<double>(i + j + 1);
+  return h;
+}
+
+void apply_random_orthogonal_left(Matrix& a, Rng& rng,
+                                  std::size_t reflectors) {
+  for (std::size_t r = 0; r < reflectors; ++r) {
+    const auto v = random_unit_vector(a.rows(), rng);
+    apply_reflector_left(a, v);
+  }
+}
+
+}  // namespace hjsvd

@@ -1,0 +1,47 @@
+// Test-matrix generators.
+//
+// The paper evaluates on "randomly generated datasets"; these generators
+// cover that plus structured cases (known singular values, rank deficiency,
+// ill conditioning) used by the correctness and property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hjsvd {
+
+/// Entries i.i.d. uniform in [lo, hi).
+Matrix random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                      double lo = -1.0, double hi = 1.0);
+
+/// Entries i.i.d. standard normal.
+Matrix random_gaussian(std::size_t rows, std::size_t cols, Rng& rng);
+
+/// Random m x n matrix with the prescribed singular values (descending or
+/// not; they are used as given).  Built as U * diag(sv) * V^T with U, V
+/// random orthonormal (products of Householder reflectors), so the returned
+/// matrix's exact singular values are known up to rounding.
+Matrix with_singular_values(std::size_t rows, std::size_t cols,
+                            const std::vector<double>& sv, Rng& rng);
+
+/// Random matrix of the given rank (rank <= min(rows, cols)).
+Matrix random_rank_deficient(std::size_t rows, std::size_t cols,
+                             std::size_t rank, Rng& rng);
+
+/// Random matrix with 2-norm condition number ~kappa (geometric singular
+/// value decay from 1 down to 1/kappa).
+Matrix random_conditioned(std::size_t rows, std::size_t cols, double kappa,
+                          Rng& rng);
+
+/// Hilbert matrix H(i,j) = 1/(i+j+1): a classic ill-conditioned instance.
+Matrix hilbert(std::size_t n);
+
+/// Applies a random orthogonal transform Q (product of `reflectors`
+/// Householder reflectors) to each column of A in place: A <- Q * A.
+void apply_random_orthogonal_left(Matrix& a, Rng& rng,
+                                  std::size_t reflectors);
+
+}  // namespace hjsvd

@@ -1,0 +1,110 @@
+#include "linalg/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hjsvd {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Reads the next non-comment, non-empty line; false at EOF.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Matrix read_matrix_market(std::istream& in) {
+  std::string header;
+  HJSVD_ENSURE(std::getline(in, header), "empty Matrix Market stream");
+  std::istringstream hs(header);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  HJSVD_ENSURE(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
+  HJSVD_ENSURE(lower(object) == "matrix", "only 'matrix' objects supported");
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  HJSVD_ENSURE(field == "real", "only real matrices supported");
+  HJSVD_ENSURE(symmetry == "general" || symmetry == "symmetric",
+               "only general/symmetric matrices supported");
+
+  std::string line;
+  HJSVD_ENSURE(next_content_line(in, line), "missing size line");
+  std::istringstream sizes(line);
+
+  if (format == "coordinate") {
+    std::size_t rows = 0, cols = 0, entries = 0;
+    sizes >> rows >> cols >> entries;
+    HJSVD_ENSURE(rows > 0 && cols > 0, "invalid dimensions");
+    HJSVD_ENSURE(symmetry != "symmetric" || rows == cols,
+                 "symmetric matrices must be square");
+    Matrix m(rows, cols);
+    for (std::size_t e = 0; e < entries; ++e) {
+      HJSVD_ENSURE(next_content_line(in, line), "truncated coordinate data");
+      std::istringstream es(line);
+      std::size_t r = 0, c = 0;
+      double val = 0.0;
+      es >> r >> c >> val;
+      HJSVD_ENSURE(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                   "coordinate out of range");
+      m(r - 1, c - 1) = val;
+      if (symmetry == "symmetric" && r != c) m(c - 1, r - 1) = val;
+    }
+    return m;
+  }
+  if (format == "array") {
+    std::size_t rows = 0, cols = 0;
+    sizes >> rows >> cols;
+    HJSVD_ENSURE(rows > 0 && cols > 0, "invalid dimensions");
+    HJSVD_ENSURE(symmetry == "general",
+                 "symmetric array format not supported");
+    Matrix m(rows, cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        HJSVD_ENSURE(next_content_line(in, line), "truncated array data");
+        m(r, c) = std::stod(line);
+      }
+    }
+    return m;
+  }
+  throw Error("unsupported Matrix Market format: " + format);
+}
+
+Matrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  HJSVD_ENSURE(in.good(), "cannot open Matrix Market file: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Matrix& a) {
+  HJSVD_ENSURE(!a.empty(), "cannot write an empty matrix");
+  out << "%%MatrixMarket matrix array real general\n";
+  out << "% written by hjsvd\n";
+  out << a.rows() << ' ' << a.cols() << '\n';
+  out.precision(17);
+  for (std::size_t c = 0; c < a.cols(); ++c)
+    for (std::size_t r = 0; r < a.rows(); ++r) out << a(r, c) << '\n';
+  HJSVD_ENSURE(out.good(), "stream failure while writing Matrix Market data");
+}
+
+void write_matrix_market_file(const std::string& path, const Matrix& a) {
+  std::ofstream out(path);
+  HJSVD_ENSURE(out.good(), "cannot open output file: " + path);
+  write_matrix_market(out, a);
+}
+
+}  // namespace hjsvd

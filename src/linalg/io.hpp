@@ -1,0 +1,29 @@
+// Matrix Market (.mtx) I/O.
+//
+// The de-facto exchange format for test matrices: this lets users run the
+// solvers and the accelerator model on real datasets.  Supported flavors:
+// "matrix coordinate real general/symmetric" and "matrix array real
+// general" (dense column-major).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace hjsvd {
+
+/// Parses a Matrix Market stream into a dense matrix.  Throws hjsvd::Error
+/// on malformed input or unsupported flavors (complex/pattern/integer).
+Matrix read_matrix_market(std::istream& in);
+
+/// Reads a .mtx file from disk.
+Matrix read_matrix_market_file(const std::string& path);
+
+/// Writes a dense matrix in "array real general" format.
+void write_matrix_market(std::ostream& out, const Matrix& a);
+
+/// Writes a .mtx file to disk.
+void write_matrix_market_file(const std::string& path, const Matrix& a);
+
+}  // namespace hjsvd

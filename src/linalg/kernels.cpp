@@ -1,0 +1,91 @@
+#include "linalg/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hjsvd {
+
+bool all_finite(const Matrix& a) {
+  for (double v : a.data())
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  HJSVD_ENSURE(x.size() == y.size(), "dot requires equal lengths");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double squared_norm(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+double frobenius_norm(const Matrix& a) {
+  // Scaled accumulation to avoid overflow on extreme inputs.
+  double scale = 0.0, sumsq = 1.0;
+  for (double v : a.data()) {
+    if (v == 0.0) continue;
+    const double av = std::abs(v);
+    if (scale < av) {
+      sumsq = 1.0 + sumsq * (scale / av) * (scale / av);
+      scale = av;
+    } else {
+      sumsq += (av / scale) * (av / scale);
+    }
+  }
+  return scale * std::sqrt(sumsq);
+}
+
+Matrix gram_upper(const Matrix& a) {
+  const std::size_t n = a.cols();
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ci = a.col(i);
+    for (std::size_t j = i; j < n; ++j) d(i, j) = dot(ci, a.col(j));
+  }
+  return d;
+}
+
+Matrix gram_full(const Matrix& a) {
+  Matrix d = gram_upper(a);
+  const std::size_t n = a.cols();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) d(i, j) = d(j, i);
+  return d;
+}
+
+std::vector<double> squared_col_norms(const Matrix& a) {
+  std::vector<double> norms(a.cols());
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    norms[j] = squared_norm(a.col(j));
+  return norms;
+}
+
+double mean_abs_offdiag(const Matrix& d) {
+  HJSVD_ENSURE(d.rows() == d.cols(), "convergence metric needs square D");
+  const std::size_t n = d.cols();
+  if (n < 2) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) sum += std::abs(d(i, j));
+  return sum / (static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+double max_relative_offdiag(const Matrix& d) {
+  HJSVD_ENSURE(d.rows() == d.cols(), "convergence metric needs square D");
+  const std::size_t n = d.cols();
+  double max_diag = 0.0, max_off = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_diag = std::max(max_diag, std::abs(d(i, i)));
+    for (std::size_t j = i + 1; j < n; ++j)
+      max_off = std::max(max_off, std::abs(d(i, j)));
+  }
+  if (max_diag == 0.0) return max_off == 0.0 ? 0.0 : INFINITY;
+  return max_off / max_diag;
+}
+
+}  // namespace hjsvd

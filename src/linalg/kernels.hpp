@@ -1,0 +1,45 @@
+// Vector/matrix kernels shared by the SVD algorithms.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hjsvd {
+
+/// True when every entry is finite (no NaN/inf) — the input contract of
+/// the public solver entry points.
+bool all_finite(const Matrix& a);
+
+/// Dot product of two equal-length vectors.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// Squared Euclidean norm.
+double squared_norm(std::span<const double> x);
+
+/// Frobenius norm of a matrix.
+double frobenius_norm(const Matrix& a);
+
+/// Upper-triangular Gram matrix D = A^T A (only entries j >= i are written;
+/// the strictly-lower triangle is left zero).  This is exactly what the
+/// paper's Hestenes preprocessor computes: squared column 2-norms on the
+/// diagonal, covariances off it.
+Matrix gram_upper(const Matrix& a);
+
+/// Full (symmetric) Gram matrix A^T A.
+Matrix gram_full(const Matrix& a);
+
+/// Squared 2-norm of every column.
+std::vector<double> squared_col_norms(const Matrix& a);
+
+/// Mean absolute value of the strictly-upper off-diagonal entries of a
+/// square matrix — the paper's convergence metric ("mean absolute deviations
+/// from zero of the covariances", Fig. 10/11).
+double mean_abs_offdiag(const Matrix& d);
+
+/// Max |off-diagonal| normalized by the largest diagonal entry; a scale-free
+/// convergence measure used for termination thresholds.
+double max_relative_offdiag(const Matrix& d);
+
+}  // namespace hjsvd

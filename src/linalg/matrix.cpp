@@ -1,0 +1,62 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hjsvd {
+
+Matrix Matrix::from_rows(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  const std::size_t r = rows.size();
+  HJSVD_ENSURE(r > 0, "from_rows needs at least one row");
+  const std::size_t c = rows.begin()->size();
+  Matrix m(r, c);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    HJSVD_ENSURE(row.size() == c, "ragged initializer in from_rows");
+    std::size_t j = 0;
+    for (double v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t c = 0; c < cols_; ++c)
+    for (std::size_t r = 0; r < rows_; ++r) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  HJSVD_ENSURE(a.rows() == b.rows() && a.cols() == b.cols(),
+               "max_abs_diff requires equal shapes");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    worst = std::max(worst, std::abs(a.data_[i] - b.data_[i]));
+  return worst;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  HJSVD_ENSURE(a.cols() == b.rows(), "matmul inner dimensions must agree");
+  Matrix c(a.rows(), b.cols());
+  // j-k-i loop order: streams down columns of A and C (column-major).
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    auto cj = c.col(j);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double bkj = b(k, j);
+      if (bkj == 0.0) continue;
+      auto ak = a.col(k);
+      for (std::size_t i = 0; i < a.rows(); ++i) cj[i] += ak[i] * bkj;
+    }
+  }
+  return c;
+}
+
+}  // namespace hjsvd

@@ -1,0 +1,73 @@
+// Dense column-major matrix.
+//
+// The Hestenes-Jacobi algorithm orthogonalizes *columns*, so storage is
+// column-major: column j is contiguous, matching both the algorithm's access
+// pattern and the accelerator's column-streaming I/O.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hjsvd {
+
+/// Dense column-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Builds from nested initializer lists in row-major (natural) notation:
+  /// Matrix::from_rows({{1,2},{3,4}}).
+  static Matrix from_rows(
+      std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    HJSVD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[c * rows_ + r];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    HJSVD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[c * rows_ + r];
+  }
+
+  /// Contiguous view of column j.
+  std::span<double> col(std::size_t j) {
+    HJSVD_ASSERT(j < cols_, "column index out of range");
+    return {data_.data() + j * rows_, rows_};
+  }
+  std::span<const double> col(std::size_t j) const {
+    HJSVD_ASSERT(j < cols_, "column index out of range");
+    return {data_.data() + j * rows_, rows_};
+  }
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  Matrix transposed() const;
+
+  /// Max |a_ij - b_ij| over all entries; matrices must be the same shape.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+}  // namespace hjsvd

@@ -1,0 +1,66 @@
+#include "linalg/residuals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "linalg/kernels.hpp"
+
+namespace hjsvd {
+
+double reconstruction_error(const Matrix& a, const SvdResult& svd) {
+  HJSVD_ENSURE(!svd.u.empty() && !svd.v.empty(),
+               "reconstruction_error requires U and V");
+  const std::size_t k = svd.singular_values.size();
+  HJSVD_ENSURE(svd.u.cols() == k && svd.v.cols() == k,
+               "U/V column count must match singular value count");
+  // B = U * diag(sv), then R = B * V^T.
+  Matrix b(svd.u.rows(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto uj = svd.u.col(j);
+    auto bj = b.col(j);
+    for (std::size_t i = 0; i < uj.size(); ++i)
+      bj[i] = uj[i] * svd.singular_values[j];
+  }
+  const Matrix recon = matmul(b, svd.v.transposed());
+  HJSVD_ENSURE(recon.rows() == a.rows() && recon.cols() == a.cols(),
+               "reconstruction shape mismatch");
+  Matrix diff(a.rows(), a.cols());
+  for (std::size_t c = 0; c < a.cols(); ++c)
+    for (std::size_t r = 0; r < a.rows(); ++r)
+      diff(r, c) = a(r, c) - recon(r, c);
+  const double na = frobenius_norm(a);
+  const double nd = frobenius_norm(diff);
+  return na == 0.0 ? nd : nd / na;
+}
+
+double orthogonality_error(const Matrix& q) {
+  const Matrix g = gram_full(q);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < g.rows(); ++i)
+    for (std::size_t j = 0; j < g.cols(); ++j) {
+      const double target = i == j ? 1.0 : 0.0;
+      worst = std::max(worst, std::abs(g(i, j) - target));
+    }
+  return worst;
+}
+
+double singular_value_error(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  HJSVD_ENSURE(a.size() == b.size(),
+               "singular value lists must be the same length");
+  double scale = 0.0;
+  for (double v : a) scale = std::max(scale, std::abs(v));
+  for (double v : b) scale = std::max(scale, std::abs(v));
+  if (scale == 0.0) return 0.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+  return worst;
+}
+
+void sort_descending(std::vector<double>& sv) {
+  std::sort(sv.begin(), sv.end(), std::greater<>());
+}
+
+}  // namespace hjsvd

@@ -1,0 +1,36 @@
+// Quality metrics for a computed SVD: reconstruction and orthogonality
+// residuals, and singular-value comparison utilities used throughout the
+// tests and EXPERIMENTS.md accuracy reporting.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hjsvd {
+
+/// A full or values-only SVD result: A (m x n) ~= U * diag(sv) * V^T with
+/// U m x k, V n x k, k = min(m, n).  U/V may be empty for values-only runs.
+struct SvdResult {
+  std::vector<double> singular_values;  // descending
+  Matrix u;                             // m x k or empty
+  Matrix v;                             // n x k or empty
+  std::size_t sweeps = 0;               // sweeps executed (Jacobi methods)
+  bool converged = false;
+};
+
+/// ||A - U diag(sv) V^T||_F / ||A||_F.  Requires U and V to be present.
+double reconstruction_error(const Matrix& a, const SvdResult& svd);
+
+/// ||Q^T Q - I||_max for a matrix with orthonormal columns.
+double orthogonality_error(const Matrix& q);
+
+/// Max relative difference between two descending singular-value lists,
+/// normalized by the largest value (so tiny values compare absolutely).
+double singular_value_error(const std::vector<double>& a,
+                            const std::vector<double>& b);
+
+/// Sorts descending in place.
+void sort_descending(std::vector<double>& sv);
+
+}  // namespace hjsvd

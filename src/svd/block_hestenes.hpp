@@ -1,0 +1,38 @@
+// Block one-sided Jacobi SVD.
+//
+// The paper handles column counts beyond its on-chip covariance capacity by
+// streaming D through off-chip memory (Section VI.A/B).  The software
+// counterpart of that blocking is the classic block one-sided Jacobi:
+// columns are partitioned into blocks; a sweep visits every *block pair*
+// (round-robin over blocks, Fig. 6 one level up) and fully orthogonalizes
+// the columns inside the union of the two blocks before moving on.  All
+// O(b^2)-pair work happens on a working set of 2b columns — cache-sized on
+// a CPU, BRAM-sized on the FPGA.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/residuals.hpp"
+#include "svd/hestenes.hpp"
+
+namespace hjsvd {
+
+struct BlockHestenesConfig {
+  /// Columns per block (the working set is two blocks).
+  std::size_t block_size = 32;
+  std::size_t max_sweeps = 8;      // block sweeps (each visits all pairs)
+  double tolerance = 0.0;          // early stop on max_relative_offdiag
+  /// Inner orthogonalization passes over the 2b-column working set per
+  /// block-pair visit.
+  std::size_t inner_sweeps = 1;
+  RotationFormula formula = RotationFormula::kHardware;
+  bool compute_u = false;
+  bool compute_v = false;
+  bool track_convergence = false;
+};
+
+/// Block one-sided Jacobi SVD of an arbitrary m x n matrix.
+SvdResult block_hestenes_svd(const Matrix& a,
+                             const BlockHestenesConfig& cfg = {},
+                             HestenesStats* stats = nullptr);
+
+}  // namespace hjsvd

@@ -1,0 +1,24 @@
+#include "svd/fixed_hestenes.hpp"
+
+#include "svd/plain_hestenes_impl.hpp"
+
+namespace hjsvd {
+
+// The shared kernel templates are instantiated here for the fixed-point
+// policy (kept out of hestenes.cpp so float-only users don't pay for it).
+template SvdResult plain_hestenes_svd_t<fp::FixedOps>(const Matrix&,
+                                                      const HestenesConfig&,
+                                                      HestenesStats*,
+                                                      fp::FixedOps);
+
+SvdResult fixed_point_hestenes_svd(const Matrix& a, const fp::FixedFormat& fmt,
+                                   fp::FixedStats& stats,
+                                   const HestenesConfig& cfg) {
+  // Quantize the input first — loading the matrix into a fixed-point
+  // datapath is itself a quantization.
+  Matrix q = a;
+  for (double& x : q.data()) x = fp::fixed_quantize(x, fmt, &stats);
+  return plain_hestenes_svd_t(q, cfg, nullptr, fp::FixedOps{fmt, stats});
+}
+
+}  // namespace hjsvd

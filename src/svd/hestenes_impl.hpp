@@ -1,0 +1,231 @@
+// Template implementation of the modified Hestenes-Jacobi SVD (Algorithm 1).
+// Included by hestenes.cpp, which provides the explicit instantiations.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/kernels.hpp"
+#include "svd/hestenes.hpp"
+
+namespace hjsvd {
+namespace detail {
+
+/// Applies the plane rotation to the covariance entries affected by
+/// orthogonalizing columns (i, j) — Algorithm 1 lines 18-26.  D stores the
+/// upper triangle (row <= col); the canonical location of the covariance
+/// between columns p < q is D(p, q).  Both outputs of each pair are computed
+/// from the *original* values, as the hardware update kernel does (Fig. 5;
+/// the paper's pseudocode reads as if line 20 consumed line 19's output,
+/// which would be wrong).
+template <class Ops>
+void rotate_covariances(Matrix& d, std::size_t i, std::size_t j, double c,
+                        double s, Ops ops) {
+  const std::size_t n = d.cols();
+  auto col_i = d.col(i);
+  auto col_j = d.col(j);
+  // k < i: covariances live at D(k, i) and D(k, j) — both contiguous.
+  for (std::size_t k = 0; k < i; ++k) {
+    const double x = col_i[k];
+    const double y = col_j[k];
+    col_i[k] = ops.sub(ops.mul(x, c), ops.mul(y, s));
+    col_j[k] = ops.add(ops.mul(x, s), ops.mul(y, c));
+  }
+  // i < k < j: covariances live at D(i, k) and D(k, j).
+  for (std::size_t k = i + 1; k < j; ++k) {
+    const double x = d(i, k);
+    const double y = col_j[k];
+    d(i, k) = ops.sub(ops.mul(x, c), ops.mul(y, s));
+    col_j[k] = ops.add(ops.mul(x, s), ops.mul(y, c));
+  }
+  // k > j: covariances live at D(i, k) and D(j, k).
+  for (std::size_t k = j + 1; k < n; ++k) {
+    const double x = d(i, k);
+    const double y = d(j, k);
+    d(i, k) = ops.sub(ops.mul(x, c), ops.mul(y, s));
+    d(j, k) = ops.add(ops.mul(x, s), ops.mul(y, c));
+  }
+}
+
+/// Rotates columns i and j of a matrix per eqs. (11)-(12).
+template <class Ops>
+void rotate_columns(Matrix& v, std::size_t i, std::size_t j, double c,
+                    double s, Ops ops) {
+  auto vi = v.col(i);
+  auto vj = v.col(j);
+  for (std::size_t r = 0; r < vi.size(); ++r) {
+    const double x = vi[r];
+    const double y = vj[r];
+    vi[r] = ops.sub(ops.mul(x, c), ops.mul(y, s));
+    vj[r] = ops.add(ops.mul(x, s), ops.mul(y, c));
+  }
+}
+
+/// True when the covariance is small enough to skip under the config's
+/// relative threshold (threshold-Jacobi; 0 skips only exact zeros).
+inline bool below_threshold(double cov, double dii, double djj,
+                            double threshold) {
+  if (cov == 0.0) return true;
+  if (threshold <= 0.0) return false;
+  return cov * cov <= threshold * threshold * dii * djj;
+}
+
+/// One rotation step on D (and V, when accumulated): Algorithm 1 lines 8-26.
+/// Returns false when the pair was skipped (orthogonal or sub-threshold).
+template <class Ops>
+bool apply_pair(Matrix& d, Matrix* v, const HestenesConfig& cfg,
+                std::size_t i, std::size_t j, Ops ops) {
+  const double cov = d(i, j);
+  if (below_threshold(cov, d(i, i), d(j, j), cfg.rotation_threshold))
+    return false;
+  const RotationParams p =
+      compute_rotation(cfg.formula, d(j, j), d(i, i), cov, ops);
+  if (!p.rotate) return false;
+  const double tc = ops.mul(p.t, cov);
+  d(j, j) = ops.add(d(j, j), tc);  // line 15
+  d(i, i) = ops.sub(d(i, i), tc);  // line 16
+  d(i, j) = 0.0;                   // line 17
+  rotate_covariances(d, i, j, p.cos, p.sin, ops);
+  if (v != nullptr) rotate_columns(*v, i, j, p.cos, p.sin, ops);
+  return true;
+}
+
+/// Record post-sweep convergence metrics.
+inline SweepRecord make_record(const Matrix& d, std::uint64_t rotations,
+                               std::uint64_t skipped) {
+  SweepRecord rec;
+  rec.mean_abs_offdiag = mean_abs_offdiag(d);
+  rec.max_rel_offdiag = max_relative_offdiag(d);
+  rec.rotations = rotations;
+  rec.skipped = skipped;
+  return rec;
+}
+
+}  // namespace detail
+
+template <class Ops>
+Matrix gram_upper_ops(const Matrix& a, Ops ops, std::size_t chunk_rows) {
+  HJSVD_ENSURE(chunk_rows >= 1, "chunk_rows must be at least 1");
+  const std::size_t n = a.cols();
+  const std::size_t m = a.rows();
+  Matrix d(n, n);
+  // Entries are independent; parallelism is deterministic (no shared
+  // accumulation) and enabled only for policies that allow it.
+#pragma omp parallel for schedule(dynamic, 1) \
+    if (fp::OpsTraits<Ops>::parallel_safe && n >= 64)
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ci = a.col(i);
+    for (std::size_t j = i; j < n; ++j) {
+      const auto cj = a.col(j);
+      // Partial sums over chunk_rows rows (the layered multiplier-array's
+      // association), accumulated chunk by chunk; chunk_rows == 1 is strict
+      // left-to-right (DESIGN.md §6).
+      double acc = 0.0;
+      for (std::size_t base = 0; base < m; base += chunk_rows) {
+        const std::size_t end = std::min(m, base + chunk_rows);
+        double chunk = ops.mul(ci[base], cj[base]);
+        for (std::size_t r = base + 1; r < end; ++r)
+          chunk = ops.add(chunk, ops.mul(ci[r], cj[r]));
+        acc = ops.add(acc, chunk);
+      }
+      d(i, j) = acc;
+    }
+  }
+  return d;
+}
+
+template <class Ops>
+SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
+                                  HestenesStats* stats, Ops ops) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  HJSVD_ENSURE(m > 0 && n > 0, "matrix must be non-empty");
+  HJSVD_ENSURE(cfg.max_sweeps > 0, "need at least one sweep");
+  HJSVD_ENSURE(all_finite(a), "input matrix must be finite (no NaN/inf)");
+
+  Matrix d = gram_upper_ops(a, ops, cfg.gram_chunk_rows);
+  const bool need_v = cfg.compute_u || cfg.compute_v;
+  Matrix v;
+  if (need_v) v = Matrix::identity(n);
+
+  const auto pairs = sweep_pairs(cfg.ordering, n);
+  SvdResult result;
+  if (stats != nullptr) *stats = HestenesStats{};
+
+  std::size_t sweeps_done = 0;
+  for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
+    std::uint64_t rotations = 0, skipped = 0;
+    for (const auto& [i, j] : pairs) {
+      if (detail::apply_pair(d, need_v ? &v : nullptr, cfg, i, j, ops)) {
+        ++rotations;
+      } else {
+        ++skipped;
+      }
+    }
+    ++sweeps_done;
+    if (stats != nullptr) {
+      stats->total_rotations += rotations;
+      stats->total_skipped += skipped;
+      if (cfg.track_convergence)
+        stats->sweeps.push_back(detail::make_record(d, rotations, skipped));
+    }
+    if (cfg.tolerance > 0.0 && max_relative_offdiag(d) < cfg.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.sweeps = sweeps_done;
+  if (cfg.tolerance == 0.0) {
+    // Fixed-sweep mode: report convergence by the library's default check.
+    result.converged = max_relative_offdiag(d) < 1e-10;
+  }
+
+  // Singular values: sqrt of the diagonal (Algorithm 1 lines 28-29), sorted
+  // descending.  Tiny negative diagonals can appear from rounding; clamp.
+  const std::size_t k = std::min(m, n);
+  std::vector<double> diag(n);
+  for (std::size_t c = 0; c < n; ++c)
+    diag[c] = d(c, c) > 0.0 ? ops.sqrt(d(c, c)) : 0.0;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return diag[x] > diag[y];
+  });
+  result.singular_values.resize(k);
+  for (std::size_t t = 0; t < k; ++t)
+    result.singular_values[t] = diag[order[t]];
+
+  if (need_v) {
+    Matrix v_sorted(n, k);
+    for (std::size_t t = 0; t < k; ++t) {
+      const auto src = v.col(order[t]);
+      auto dst = v_sorted.col(t);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    if (cfg.compute_u) {
+      // U = A * V * Sigma^-1 (eq. (7)).  Columns whose singular value is
+      // numerically zero are left as zero vectors (documented contract for
+      // rank-deficient inputs).
+      Matrix b = matmul(a, v_sorted);
+      const double sigma_max =
+          result.singular_values.empty() ? 0.0 : result.singular_values[0];
+      const double cutoff =
+          sigma_max * static_cast<double>(std::max(m, n)) * 1e-15;
+      result.u = Matrix(m, k);
+      for (std::size_t t = 0; t < k; ++t) {
+        const double sv = result.singular_values[t];
+        if (sv <= cutoff) continue;
+        const auto bt = b.col(t);
+        auto ut = result.u.col(t);
+        for (std::size_t r = 0; r < m; ++r) ut[r] = bt[r] / sv;
+      }
+    }
+    if (cfg.compute_v) {
+      result.v = std::move(v_sorted);
+    }
+  }
+  return result;
+}
+
+}  // namespace hjsvd

@@ -1,0 +1,136 @@
+#include "svd/incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "fp/ops.hpp"
+#include "linalg/kernels.hpp"
+#include "svd/hestenes_impl.hpp"  // detail::rotate_columns
+#include "svd/ordering.hpp"
+#include "svd/rotation.hpp"
+
+namespace hjsvd {
+namespace {
+
+/// Grows a matrix by one column (and, for square V, one row), preserving
+/// contents and placing 1 on the new diagonal of V-style matrices.
+Matrix grown(const Matrix& old, std::size_t rows, std::size_t cols,
+             bool unit_diagonal) {
+  Matrix next(rows, cols);
+  for (std::size_t c = 0; c < old.cols(); ++c) {
+    const auto src = old.col(c);
+    auto dst = next.col(c);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  if (unit_diagonal && cols > 0) next(rows - 1, cols - 1) = 1.0;
+  return next;
+}
+
+}  // namespace
+
+IncrementalHestenes::IncrementalHestenes(std::size_t rows,
+                                         const IncrementalConfig& cfg)
+    : cfg_(cfg), rows_(rows), b_(rows, 0), v_(0, 0) {
+  HJSVD_ENSURE(rows > 0, "need at least one row");
+  HJSVD_ENSURE(cfg.append_passes > 0 && cfg.finalize_sweeps > 0,
+               "passes/sweeps must be positive");
+}
+
+void IncrementalHestenes::orthogonalize_pair(std::size_t i, std::size_t j) {
+  const fp::NativeOps ops;
+  const double nii = squared_norm(b_.col(i));
+  const double njj = squared_norm(b_.col(j));
+  const double cov = dot(b_.col(i), b_.col(j));
+  const RotationParams p = compute_rotation(cfg_.formula, njj, nii, cov, ops);
+  if (!p.rotate) return;
+  detail::rotate_columns(b_, i, j, p.cos, p.sin, ops);
+  detail::rotate_columns(v_, i, j, p.cos, p.sin, ops);
+}
+
+void IncrementalHestenes::append_column(std::span<const double> column) {
+  HJSVD_ENSURE(column.size() == rows_, "column length must match rows()");
+  for (double x : column)
+    HJSVD_ENSURE(std::isfinite(x), "column entries must be finite");
+  b_ = grown(b_, rows_, cols_ + 1, /*unit_diagonal=*/false);
+  v_ = grown(v_, cols_ + 1, cols_ + 1, /*unit_diagonal=*/true);
+  auto dst = b_.col(cols_);
+  std::copy(column.begin(), column.end(), dst.begin());
+  ++cols_;
+  // Orthogonalize the newcomer against every existing column; existing
+  // columns are already mutually (near-)orthogonal, and rotations against
+  // the newcomer only mildly disturb that — finalize() cleans up.
+  const std::size_t j = cols_ - 1;
+  for (std::size_t pass = 0; pass < cfg_.append_passes; ++pass)
+    for (std::size_t i = 0; i < j; ++i) orthogonalize_pair(i, j);
+}
+
+SvdResult IncrementalHestenes::finalize(bool compute_u, bool compute_v) {
+  HJSVD_ENSURE(cols_ > 0, "no columns appended yet");
+  SvdResult result;
+  const fp::NativeOps ops;
+  // Refresh sweeps over all pairs until converged.
+  std::size_t sweeps = 0;
+  if (cols_ > 1) {
+    const auto pairs = sweep_pairs(Ordering::kRoundRobin, cols_);
+    for (; sweeps < cfg_.finalize_sweeps; ++sweeps) {
+      for (const auto& [i, j] : pairs) orthogonalize_pair(i, j);
+      if (max_relative_offdiag(gram_upper_ops(b_, ops)) < cfg_.tolerance) {
+        result.converged = true;
+        ++sweeps;
+        break;
+      }
+    }
+  } else {
+    result.converged = true;
+  }
+  result.sweeps = sweeps;
+
+  const std::size_t k = std::min(rows_, cols_);
+  std::vector<double> norms(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double sq = squared_norm(b_.col(c));
+    norms[c] = sq > 0.0 ? std::sqrt(sq) : 0.0;
+  }
+  std::vector<std::size_t> order(cols_);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return norms[x] > norms[y];
+  });
+  result.singular_values.resize(k);
+  for (std::size_t t = 0; t < k; ++t)
+    result.singular_values[t] = norms[order[t]];
+
+  const double sigma_max = result.singular_values.empty()
+                               ? 0.0
+                               : result.singular_values[0];
+  const double cutoff =
+      sigma_max * static_cast<double>(std::max(rows_, cols_)) * 1e-15;
+  if (compute_u) {
+    result.u = Matrix(rows_, k);
+    for (std::size_t t = 0; t < k; ++t) {
+      const double sv = norms[order[t]];
+      if (sv <= cutoff) continue;
+      const auto bt = b_.col(order[t]);
+      auto ut = result.u.col(t);
+      for (std::size_t r = 0; r < rows_; ++r) ut[r] = bt[r] / sv;
+    }
+  }
+  if (compute_v) {
+    result.v = Matrix(cols_, k);
+    for (std::size_t t = 0; t < k; ++t) {
+      const auto src = v_.col(order[t]);
+      auto dst = result.v.col(t);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return result;
+}
+
+Matrix IncrementalHestenes::assembled() const {
+  HJSVD_ENSURE(cols_ > 0, "no columns appended yet");
+  // A = B * V^T (V orthogonal: the rotations applied to A's columns).
+  return matmul(b_, v_.transposed());
+}
+
+}  // namespace hjsvd

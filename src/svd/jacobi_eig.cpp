@@ -1,0 +1,115 @@
+#include "svd/jacobi_eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hjsvd {
+namespace {
+
+/// Max |off-diagonal| / max |diagonal| of a symmetric matrix (full storage).
+double offdiag_ratio(const Matrix& a) {
+  double max_diag = 0.0, max_off = 0.0;
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    max_diag = std::max(max_diag, std::abs(a(i, i)));
+    for (std::size_t j = i + 1; j < n; ++j)
+      max_off = std::max(max_off, std::abs(a(i, j)));
+  }
+  if (max_diag == 0.0) return max_off == 0.0 ? 0.0 : INFINITY;
+  return max_off / max_diag;
+}
+
+/// One symmetric Jacobi rotation annihilating a(p, q), maintaining full
+/// symmetric storage; optionally accumulates the rotation into V.
+void rotate_symmetric(Matrix& a, Matrix* v, std::size_t p, std::size_t q) {
+  const double apq = a(p, q);
+  if (apq == 0.0) return;
+  const double app = a(p, p);
+  const double aqq = a(q, q);
+  // Rutishauser's stable formulas.
+  const double theta = (aqq - app) / (2.0 * apq);
+  const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(1.0 + theta * theta));
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  const double s = t * c;
+  const double tau = s / (1.0 + c);
+
+  a(p, p) = app - t * apq;
+  a(q, q) = aqq + t * apq;
+  a(p, q) = 0.0;
+  a(q, p) = 0.0;
+  const std::size_t n = a.rows();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == p || k == q) continue;
+    const double akp = a(k, p);
+    const double akq = a(k, q);
+    const double new_kp = akp - s * (akq + tau * akp);
+    const double new_kq = akq + s * (akp - tau * akq);
+    a(k, p) = a(p, k) = new_kp;
+    a(k, q) = a(q, k) = new_kq;
+  }
+  if (v != nullptr) {
+    auto vp = v->col(p);
+    auto vq = v->col(q);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double x = vp[k];
+      const double y = vq[k];
+      vp[k] = x - s * (y + tau * x);
+      vq[k] = y + s * (x - tau * y);
+    }
+  }
+}
+
+}  // namespace
+
+EigResult jacobi_eigendecomposition(const Matrix& a,
+                                    const JacobiEigConfig& cfg) {
+  const std::size_t n = a.rows();
+  HJSVD_ENSURE(n > 0 && a.cols() == n, "matrix must be square");
+  HJSVD_ENSURE(cfg.max_sweeps > 0, "need at least one sweep");
+  // Validate symmetry (relative to the matrix scale).
+  double scale = 0.0;
+  for (double x : a.data()) scale = std::max(scale, std::abs(x));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      HJSVD_ENSURE(std::abs(a(i, j) - a(j, i)) <= 1e-12 * (scale + 1.0),
+                   "matrix must be symmetric");
+
+  Matrix w = a;
+  Matrix v;
+  if (cfg.compute_vectors) v = Matrix::identity(n);
+  const auto pairs = sweep_pairs(cfg.ordering, n);
+
+  EigResult result;
+  for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
+    for (const auto& [p, q] : pairs)
+      rotate_symmetric(w, cfg.compute_vectors ? &v : nullptr, p, q);
+    ++result.sweeps;
+    if (offdiag_ratio(w) < cfg.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return w(x, x) > w(y, y);
+  });
+  result.eigenvalues.resize(n);
+  for (std::size_t t = 0; t < n; ++t) result.eigenvalues[t] = w(order[t], order[t]);
+  if (cfg.compute_vectors) {
+    result.eigenvectors = Matrix(n, n);
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto src = v.col(order[t]);
+      auto dst = result.eigenvectors.col(t);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return result;
+}
+
+}  // namespace hjsvd

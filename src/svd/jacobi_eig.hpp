@@ -1,0 +1,38 @@
+// Classical Jacobi eigenvalue algorithm for symmetric matrices.
+//
+// This is the 1846 ancestor of everything in this repository: two-sided
+// Jacobi rotations diagonalize a symmetric matrix, and Hestenes' insight
+// (the paper's Section II.C) is that applying the same rotations one-sided
+// to A diagonalizes A^T A implicitly.  The eigensolver gives the library an
+// independent verification path — eig(A^T A) must equal the squared
+// singular values — and a direct PCA-on-covariance route.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "svd/ordering.hpp"
+
+namespace hjsvd {
+
+struct JacobiEigConfig {
+  std::size_t max_sweeps = 30;
+  /// Stop when max |off-diagonal| / max |diagonal| drops below this.
+  double tolerance = 1e-14;
+  Ordering ordering = Ordering::kRoundRobin;
+  bool compute_vectors = false;
+};
+
+struct EigResult {
+  std::vector<double> eigenvalues;  // descending
+  Matrix eigenvectors;              // n x n, columns; empty unless requested
+  std::size_t sweeps = 0;
+  bool converged = false;
+};
+
+/// Eigendecomposition of a symmetric matrix (symmetry is validated up to a
+/// small tolerance; the strictly-lower triangle is ignored afterwards).
+EigResult jacobi_eigendecomposition(const Matrix& a,
+                                    const JacobiEigConfig& cfg = {});
+
+}  // namespace hjsvd

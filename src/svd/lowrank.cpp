@@ -1,0 +1,55 @@
+#include "svd/lowrank.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hjsvd {
+
+Matrix low_rank_approximation(const SvdResult& svd, std::size_t k) {
+  HJSVD_ENSURE(!svd.u.empty() && !svd.v.empty(),
+               "low-rank approximation requires U and V");
+  const std::size_t m = svd.u.rows();
+  const std::size_t n = svd.v.rows();
+  k = std::min(k, svd.singular_values.size());
+  Matrix out(m, n);
+  for (std::size_t t = 0; t < k; ++t) {
+    const auto u = svd.u.col(t);
+    const auto v = svd.v.col(t);
+    const double s = svd.singular_values[t];
+    for (std::size_t c = 0; c < n; ++c) {
+      const double sv = s * v[c];
+      if (sv == 0.0) continue;
+      auto col = out.col(c);
+      for (std::size_t r = 0; r < m; ++r) col[r] += u[r] * sv;
+    }
+  }
+  return out;
+}
+
+double captured_energy(const SvdResult& svd, std::size_t k) {
+  double total = 0.0, top = 0.0;
+  k = std::min(k, svd.singular_values.size());
+  for (std::size_t t = 0; t < svd.singular_values.size(); ++t) {
+    const double sq = svd.singular_values[t] * svd.singular_values[t];
+    total += sq;
+    if (t < k) top += sq;
+  }
+  return total == 0.0 ? 1.0 : top / total;
+}
+
+std::size_t rank_for_energy(const SvdResult& svd, double fraction) {
+  HJSVD_ENSURE(fraction > 0.0 && fraction <= 1.0,
+               "energy fraction must be in (0, 1]");
+  double total = 0.0;
+  for (double s : svd.singular_values) total += s * s;
+  if (total == 0.0) return 0;
+  double cum = 0.0;
+  for (std::size_t t = 0; t < svd.singular_values.size(); ++t) {
+    cum += svd.singular_values[t] * svd.singular_values[t];
+    if (cum >= fraction * total) return t + 1;
+  }
+  return svd.singular_values.size();
+}
+
+}  // namespace hjsvd

@@ -1,0 +1,21 @@
+// Low-rank approximation utilities on top of an SVD result — the
+// dimensionality-reduction operations the paper's introduction motivates.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/residuals.hpp"
+
+namespace hjsvd {
+
+/// Rank-k reconstruction sum_{t<k} sigma_t u_t v_t^T.  Requires U and V in
+/// the result; k is clamped to the available spectrum.
+Matrix low_rank_approximation(const SvdResult& svd, std::size_t k);
+
+/// Fraction of squared Frobenius norm captured by the top-k values:
+/// sum_{t<k} sigma_t^2 / sum_t sigma_t^2 (1.0 for an empty spectrum).
+double captured_energy(const SvdResult& svd, std::size_t k);
+
+/// Smallest k capturing at least `fraction` of the squared Frobenius norm.
+std::size_t rank_for_energy(const SvdResult& svd, double fraction);
+
+}  // namespace hjsvd

@@ -1,0 +1,95 @@
+#include "svd/pca.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hjsvd {
+
+PcaModel pca_fit(const Matrix& data, const PcaConfig& cfg) {
+  const std::size_t m = data.rows();
+  const std::size_t n = data.cols();
+  HJSVD_ENSURE(m >= 2, "PCA needs at least two samples");
+  PcaModel model;
+  model.samples = m;
+
+  Matrix centered = data;
+  if (cfg.center) {
+    model.mean.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      auto col = centered.col(j);
+      double mu = 0.0;
+      for (double v : col) mu += v;
+      mu /= static_cast<double>(m);
+      model.mean[j] = mu;
+      for (double& v : col) v -= mu;
+    }
+  }
+
+  HestenesConfig svd_cfg = cfg.svd;
+  svd_cfg.compute_u = false;
+  svd_cfg.compute_v = true;
+  const SvdResult svd = modified_hestenes_svd(centered, svd_cfg);
+
+  const std::size_t k_all = svd.singular_values.size();
+  const std::size_t k =
+      cfg.components == 0 ? k_all : std::min(cfg.components, k_all);
+  model.singular_values.assign(svd.singular_values.begin(),
+                               svd.singular_values.begin() + k);
+  model.components = Matrix(n, k);
+  for (std::size_t t = 0; t < k; ++t) {
+    const auto src = svd.v.col(t);
+    auto dst = model.components.col(t);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  model.explained_variance.resize(k);
+  double total = 0.0;
+  for (double s : svd.singular_values) total += s * s;
+  model.explained_variance_ratio.resize(k);
+  for (std::size_t t = 0; t < k; ++t) {
+    const double s = model.singular_values[t];
+    model.explained_variance[t] = s * s / static_cast<double>(m - 1);
+    model.explained_variance_ratio[t] = total > 0.0 ? s * s / total : 0.0;
+  }
+  return model;
+}
+
+Matrix pca_transform(const PcaModel& model, const Matrix& data) {
+  HJSVD_ENSURE(data.cols() == model.components.rows(),
+               "feature count mismatch with the fitted model");
+  Matrix centered = data;
+  if (!model.mean.empty()) {
+    for (std::size_t j = 0; j < centered.cols(); ++j) {
+      auto col = centered.col(j);
+      for (double& v : col) v -= model.mean[j];
+    }
+  }
+  return matmul(centered, model.components);
+}
+
+Matrix pca_inverse_transform(const PcaModel& model, const Matrix& scores) {
+  HJSVD_ENSURE(scores.cols() == model.components.cols(),
+               "score width must match the model's component count");
+  Matrix out = matmul(scores, model.components.transposed());
+  if (!model.mean.empty()) {
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      auto col = out.col(j);
+      for (double& v : col) v += model.mean[j];
+    }
+  }
+  return out;
+}
+
+std::size_t pca_components_for_variance(const PcaModel& model,
+                                        double fraction) {
+  HJSVD_ENSURE(fraction > 0.0 && fraction <= 1.0,
+               "variance fraction must be in (0, 1]");
+  double cum = 0.0;
+  for (std::size_t k = 0; k < model.explained_variance_ratio.size(); ++k) {
+    cum += model.explained_variance_ratio[k];
+    if (cum >= fraction) return k + 1;
+  }
+  return model.explained_variance_ratio.size();
+}
+
+}  // namespace hjsvd

@@ -1,0 +1,49 @@
+// Principal Component Analysis on top of the Hestenes-Jacobi SVD — the
+// application the paper's introduction motivates (SVD-based PCA for
+// dimensionality reduction in image processing, computer vision, video
+// surveillance) and its stated future work (PCA for latent semantic
+// indexing).
+//
+// Data layout: rows are observations/samples, columns are features.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "svd/hestenes.hpp"
+
+namespace hjsvd {
+
+struct PcaConfig {
+  /// Number of principal components to keep; 0 = all min(m, n).
+  std::size_t components = 0;
+  /// Subtract the per-feature mean before decomposing (standard PCA).
+  bool center = true;
+  /// SVD solver settings (defaults iterate to near machine precision
+  /// rather than the hardware's fixed 6 sweeps).
+  HestenesConfig svd{.max_sweeps = 30, .tolerance = 1e-13};
+};
+
+struct PcaModel {
+  std::vector<double> mean;            // per-feature mean (empty if !center)
+  Matrix components;                   // features x k, orthonormal columns
+  std::vector<double> singular_values; // of the centered data, descending
+  std::vector<double> explained_variance;        // sigma^2 / (m - 1)
+  std::vector<double> explained_variance_ratio;  // fraction of total
+  std::size_t samples = 0;
+};
+
+/// Fits a PCA model to `data` (samples x features).
+PcaModel pca_fit(const Matrix& data, const PcaConfig& cfg = {});
+
+/// Projects data into the principal subspace: returns samples x k scores.
+Matrix pca_transform(const PcaModel& model, const Matrix& data);
+
+/// Reconstructs data from scores: returns samples x features.
+Matrix pca_inverse_transform(const PcaModel& model, const Matrix& scores);
+
+/// Smallest k whose cumulative explained-variance ratio reaches `fraction`.
+std::size_t pca_components_for_variance(const PcaModel& model,
+                                        double fraction);
+
+}  // namespace hjsvd

@@ -1,0 +1,110 @@
+#include "svd/pinv.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hjsvd {
+namespace {
+
+struct Decomp {
+  SvdResult svd;
+  double cutoff = 0.0;
+  std::size_t rank = 0;
+};
+
+Decomp decompose(const Matrix& a, const PinvConfig& cfg) {
+  HestenesConfig svd_cfg = cfg.svd;
+  svd_cfg.compute_u = true;
+  svd_cfg.compute_v = true;
+  Decomp d;
+  d.svd = modified_hestenes_svd(a, svd_cfg);
+  const double sigma_max =
+      d.svd.singular_values.empty() ? 0.0 : d.svd.singular_values[0];
+  // Default cutoff: the Gram-matrix path resolves singular values only to
+  // ~sqrt(eps) * sigma_max (DESIGN.md §6 / README accuracy notes), so the
+  // default rcond uses sqrt(eps) rather than LAPACK's eps.
+  const double rcond =
+      cfg.rcond > 0.0
+          ? cfg.rcond
+          : static_cast<double>(std::max(a.rows(), a.cols())) *
+                std::sqrt(std::numeric_limits<double>::epsilon());
+  d.cutoff = sigma_max * rcond;
+  for (double s : d.svd.singular_values)
+    if (s > d.cutoff) ++d.rank;
+  return d;
+}
+
+}  // namespace
+
+Matrix pseudoinverse(const Matrix& a, const PinvConfig& cfg) {
+  const Decomp d = decompose(a, cfg);
+  // A+ = V * diag(1/s) * U^T over the retained spectrum.
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix pinv(n, m);
+  for (std::size_t t = 0; t < d.rank; ++t) {
+    const double inv = 1.0 / d.svd.singular_values[t];
+    const auto vt = d.svd.v.col(t);
+    const auto ut = d.svd.u.col(t);
+    for (std::size_t c = 0; c < m; ++c) {
+      const double w = inv * ut[c];
+      auto col = pinv.col(c);
+      for (std::size_t r = 0; r < n; ++r) col[r] += vt[r] * w;
+    }
+  }
+  return pinv;
+}
+
+Matrix lstsq(const Matrix& a, const Matrix& b, const PinvConfig& cfg) {
+  HJSVD_ENSURE(b.rows() == a.rows(),
+               "right-hand side must have one row per equation");
+  const Decomp d = decompose(a, cfg);
+  // x = V diag(1/s) U^T b, computed factor by factor (never forming A+).
+  const std::size_t n = a.cols();
+  const std::size_t k = b.cols();
+  Matrix x(n, k);
+  for (std::size_t t = 0; t < d.rank; ++t) {
+    const auto ut = d.svd.u.col(t);
+    const auto vt = d.svd.v.col(t);
+    const double inv = 1.0 / d.svd.singular_values[t];
+    for (std::size_t j = 0; j < k; ++j) {
+      const auto bj = b.col(j);
+      double dot_ub = 0.0;
+      for (std::size_t r = 0; r < ut.size(); ++r) dot_ub += ut[r] * bj[r];
+      const double w = inv * dot_ub;
+      auto xj = x.col(j);
+      for (std::size_t r = 0; r < n; ++r) xj[r] += vt[r] * w;
+    }
+  }
+  return x;
+}
+
+std::size_t numerical_rank(const Matrix& a, const PinvConfig& cfg) {
+  return decompose(a, cfg).rank;
+}
+
+PolarDecomposition polar_decompose(const Matrix& a, const PinvConfig& cfg) {
+  HJSVD_ENSURE(a.rows() >= a.cols(),
+               "polar decomposition requires m >= n");
+  const Decomp d = decompose(a, cfg);
+  HJSVD_ENSURE(d.rank == a.cols(),
+               "polar decomposition requires full column rank");
+  // Q = U V^T, H = V diag(s) V^T.
+  PolarDecomposition out;
+  out.q = matmul(d.svd.u, d.svd.v.transposed());
+  const std::size_t n = a.cols();
+  Matrix sv_vt(n, n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto vt = d.svd.v.col(t);
+    const double s = d.svd.singular_values[t];
+    for (std::size_t c = 0; c < n; ++c)
+      for (std::size_t r = 0; r < n; ++r)
+        sv_vt(r, c) += s * vt[r] * vt[c];
+  }
+  out.h = std::move(sv_vt);
+  return out;
+}
+
+}  // namespace hjsvd

@@ -1,0 +1,47 @@
+// Pseudoinverse, least squares, and polar decomposition via the SVD.
+//
+// A historical closing of the loop: Hestenes' 1958 paper that the method is
+// named after ("Inversion of matrices by biorthogonalization", the paper's
+// ref. [10]) is about exactly this — computing inverses/pseudoinverses by
+// orthogonalizing columns.  These utilities expose that capability on top
+// of the modified Hestenes-Jacobi SVD.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "svd/hestenes.hpp"
+
+namespace hjsvd {
+
+struct PinvConfig {
+  /// Relative cutoff: singular values below rcond * sigma_max are treated
+  /// as zero (rank truncation).  Non-positive selects the default
+  /// max(m, n) * sqrt(eps) — sqrt because the Gram-matrix method resolves
+  /// small singular values only to that level (README accuracy notes).
+  double rcond = -1.0;
+  /// SVD solver settings.
+  HestenesConfig svd{.max_sweeps = 30, .tolerance = 1e-13};
+};
+
+/// Moore-Penrose pseudoinverse A+ (n x m for an m x n input).
+Matrix pseudoinverse(const Matrix& a, const PinvConfig& cfg = {});
+
+/// Minimum-norm least-squares solution of A x = b (multiple right-hand
+/// sides: b is m x k, returns n x k).
+Matrix lstsq(const Matrix& a, const Matrix& b, const PinvConfig& cfg = {});
+
+/// Numerical rank under the same cutoff rule.
+std::size_t numerical_rank(const Matrix& a, const PinvConfig& cfg = {});
+
+/// Polar decomposition A = Q * H with Q (m x n, orthonormal columns,
+/// requires m >= n and full column rank for uniqueness) and H symmetric
+/// positive semi-definite (n x n).
+struct PolarDecomposition {
+  Matrix q;
+  Matrix h;
+};
+PolarDecomposition polar_decompose(const Matrix& a,
+                                   const PinvConfig& cfg = {});
+
+}  // namespace hjsvd

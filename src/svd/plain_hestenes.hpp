@@ -1,0 +1,39 @@
+// Plain (recomputing) one-sided Hestenes-Jacobi SVD.
+//
+// This is the textbook algorithm — and the design point of the prior FPGA
+// work the paper improves on ([12], "iterative design with duplicated
+// computations"): every orthogonalization recomputes the two squared
+// 2-norms and the covariance from the column data (3 dot products of length
+// m) and rotates the m-element columns, instead of maintaining the cached
+// covariance matrix D.  The D-caching ablation benchmark contrasts the two.
+//
+// A side benefit: the columns converge to B = U * Sigma directly, so U is
+// read off by normalizing them.
+#pragma once
+
+#include "fp/latency.hpp"
+#include "fp/ops.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/residuals.hpp"
+#include "svd/hestenes.hpp"
+
+namespace hjsvd {
+
+/// Plain one-sided Jacobi, generic over the arithmetic policy.  Honors the
+/// same HestenesConfig fields as the modified algorithm (max_sweeps,
+/// tolerance, ordering, formula, compute_u/v, track_convergence).
+template <class Ops>
+SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
+                               HestenesStats* stats, Ops ops);
+
+/// Host-FPU convenience entry point.
+SvdResult plain_hestenes_svd(const Matrix& a, const HestenesConfig& cfg = {},
+                             HestenesStats* stats = nullptr);
+
+/// Operation-counting entry point (D-caching ablation).
+SvdResult plain_hestenes_svd_counting(const Matrix& a,
+                                      const HestenesConfig& cfg,
+                                      fp::OpCounts& counts,
+                                      HestenesStats* stats = nullptr);
+
+}  // namespace hjsvd

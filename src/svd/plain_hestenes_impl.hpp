@@ -1,0 +1,131 @@
+// Template implementation of the plain (recomputing) Hestenes-Jacobi SVD.
+// Included by plain_hestenes.cpp and fixed_hestenes.cpp for their
+// respective explicit instantiations.
+#pragma once
+
+#include "svd/plain_hestenes.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "linalg/kernels.hpp"
+#include "svd/hestenes_impl.hpp"  // rotate_columns, gram_upper_ops
+
+namespace hjsvd {
+namespace {
+
+/// Dot product with strict left-to-right accumulation under the policy.
+template <class Ops>
+double dot_ops(std::span<const double> x, std::span<const double> y, Ops ops) {
+  double acc = 0.0;
+  for (std::size_t r = 0; r < x.size(); ++r)
+    acc = ops.add(acc, ops.mul(x[r], y[r]));
+  return acc;
+}
+
+}  // namespace
+
+template <class Ops>
+SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
+                               HestenesStats* stats, Ops ops) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  HJSVD_ENSURE(m > 0 && n > 0, "matrix must be non-empty");
+  HJSVD_ENSURE(cfg.max_sweeps > 0, "need at least one sweep");
+  HJSVD_ENSURE(all_finite(a), "input matrix must be finite (no NaN/inf)");
+
+  Matrix r = a;  // columns converge to B = U * Sigma
+  const bool need_v = cfg.compute_v;
+  Matrix v;
+  if (need_v) v = Matrix::identity(n);
+
+  const auto pairs = sweep_pairs(cfg.ordering, n);
+  SvdResult result;
+  if (stats != nullptr) *stats = HestenesStats{};
+
+  std::size_t sweeps_done = 0;
+  for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
+    std::uint64_t rotations = 0, skipped = 0;
+    for (const auto& [i, j] : pairs) {
+      // Recompute norms and covariance from the column data every time —
+      // the "duplicated computations" the modified algorithm eliminates.
+      const double norm_ii = dot_ops<Ops>(r.col(i), r.col(i), ops);
+      const double norm_jj = dot_ops<Ops>(r.col(j), r.col(j), ops);
+      const double cov = dot_ops<Ops>(r.col(i), r.col(j), ops);
+      if (detail::below_threshold(cov, norm_ii, norm_jj,
+                                  cfg.rotation_threshold)) {
+        ++skipped;
+        continue;
+      }
+      const RotationParams p =
+          compute_rotation(cfg.formula, norm_jj, norm_ii, cov, ops);
+      if (!p.rotate) {
+        ++skipped;
+        continue;
+      }
+      detail::rotate_columns(r, i, j, p.cos, p.sin, ops);
+      if (need_v) detail::rotate_columns(v, i, j, p.cos, p.sin, ops);
+      ++rotations;
+    }
+    ++sweeps_done;
+    Matrix d;  // Gram matrix, built only when a convergence check needs it
+    const bool need_metrics =
+        (stats != nullptr && cfg.track_convergence) || cfg.tolerance > 0.0;
+    if (need_metrics) d = gram_upper_ops(r, ops);
+    if (stats != nullptr) {
+      stats->total_rotations += rotations;
+      stats->total_skipped += skipped;
+      if (cfg.track_convergence)
+        stats->sweeps.push_back(detail::make_record(d, rotations, skipped));
+    }
+    if (cfg.tolerance > 0.0 && max_relative_offdiag(d) < cfg.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.sweeps = sweeps_done;
+  if (cfg.tolerance == 0.0) {
+    result.converged = max_relative_offdiag(gram_upper_ops(r, ops)) < 1e-10;
+  }
+
+  // Singular values are the column 2-norms of the converged B.
+  const std::size_t k = std::min(m, n);
+  std::vector<double> norms(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const double sq = dot_ops<Ops>(r.col(c), r.col(c), ops);
+    norms[c] = sq > 0.0 ? ops.sqrt(sq) : 0.0;
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return norms[x] > norms[y]; });
+  result.singular_values.resize(k);
+  for (std::size_t t = 0; t < k; ++t)
+    result.singular_values[t] = norms[order[t]];
+
+  const double sigma_max =
+      result.singular_values.empty() ? 0.0 : result.singular_values[0];
+  const double cutoff = sigma_max * static_cast<double>(std::max(m, n)) * 1e-15;
+  if (cfg.compute_u) {
+    result.u = Matrix(m, k);
+    for (std::size_t t = 0; t < k; ++t) {
+      const double sv = norms[order[t]];
+      if (sv <= cutoff) continue;
+      const auto bt = r.col(order[t]);
+      auto ut = result.u.col(t);
+      for (std::size_t row = 0; row < m; ++row) ut[row] = bt[row] / sv;
+    }
+  }
+  if (need_v) {
+    Matrix v_sorted(n, k);
+    for (std::size_t t = 0; t < k; ++t) {
+      const auto src = v.col(order[t]);
+      auto dst = v_sorted.col(t);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    result.v = std::move(v_sorted);
+  }
+  return result;
+}
+
+}  // namespace hjsvd

@@ -1,0 +1,75 @@
+// Tests for the unified svd() front door.
+#include "api/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/kernels.hpp"
+
+namespace hjsvd {
+namespace {
+
+class AllMethods : public ::testing::TestWithParam<SvdMethod> {};
+
+TEST_P(AllMethods, AgreeOnASquareMatrix) {
+  Rng rng(91);
+  const Matrix a = random_gaussian(20, 20, rng);
+  SvdOptions opt;
+  opt.method = GetParam();
+  const SvdResult r = svd(a, opt);
+  const SvdResult ref = svd(a, {.method = SvdMethod::kGolubKahan});
+  EXPECT_LT(singular_value_error(r.singular_values, ref.singular_values),
+            1e-9)
+      << svd_method_name(GetParam());
+}
+
+TEST_P(AllMethods, VectorsReconstructWhenRequested) {
+  Rng rng(92);
+  const Matrix a = random_gaussian(14, 14, rng);
+  SvdOptions opt;
+  opt.method = GetParam();
+  opt.compute_u = true;
+  opt.compute_v = true;
+  const SvdResult r = svd(a, opt);
+  EXPECT_LT(reconstruction_error(a, r), 1e-9) << svd_method_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, AllMethods,
+    ::testing::Values(SvdMethod::kModifiedHestenes, SvdMethod::kPlainHestenes,
+                      SvdMethod::kParallelHestenes, SvdMethod::kTwoSidedJacobi,
+                      SvdMethod::kGolubKahan),
+    [](const auto& param_info) {
+      std::string name = svd_method_name(param_info.param);
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(SvdApi, RectangularDispatch) {
+  Rng rng(93);
+  const Matrix a = random_gaussian(18, 7, rng);
+  const SvdResult hj = svd(a);  // defaults to modified Hestenes
+  const SvdResult gk = svd(a, {.method = SvdMethod::kGolubKahan});
+  EXPECT_LT(singular_value_error(hj.singular_values, gk.singular_values),
+            1e-9);
+}
+
+TEST(SvdApi, TwoSidedRejectsRectangular) {
+  EXPECT_THROW(svd(Matrix(3, 5), {.method = SvdMethod::kTwoSidedJacobi}),
+               Error);
+}
+
+TEST(SvdApi, MethodNamesAreDistinct) {
+  EXPECT_STRNE(svd_method_name(SvdMethod::kModifiedHestenes),
+               svd_method_name(SvdMethod::kPlainHestenes));
+  EXPECT_STRNE(svd_method_name(SvdMethod::kGolubKahan),
+               svd_method_name(SvdMethod::kTwoSidedJacobi));
+}
+
+}  // namespace
+}  // namespace hjsvd

@@ -1,0 +1,93 @@
+// Tests for the multi-engine (HC-2) scaling model.
+#include "arch/multi_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/timing_model.hpp"
+#include "common/error.hpp"
+
+namespace hjsvd::arch {
+namespace {
+
+TEST(MultiEngine, OneEngineMatchesSingleModelClosely) {
+  MultiEngineConfig cfg;
+  cfg.engines = 1;
+  for (std::size_t n : {128u, 512u}) {
+    const auto multi = estimate_multi_engine(cfg, n, n);
+    const auto single = estimate_timing(cfg.engine, n, n);
+    const double ratio = static_cast<double>(multi.total) /
+                         static_cast<double>(single.total);
+    EXPECT_GT(ratio, 0.9) << n;
+    EXPECT_LT(ratio, 1.1) << n;
+  }
+}
+
+TEST(MultiEngine, MoreEnginesNeverSlower) {
+  for (std::size_t n : {128u, 256u, 1024u}) {
+    double prev = 1e300;
+    for (std::uint32_t e : {1u, 2u, 4u, 8u}) {
+      MultiEngineConfig cfg;
+      cfg.engines = e;
+      const auto t = estimate_multi_engine(cfg, n, n);
+      EXPECT_LE(t.seconds, prev * 1.001) << "n=" << n << " e=" << e;
+      prev = t.seconds;
+    }
+  }
+}
+
+TEST(MultiEngine, NearLinearWhileUpdatesDominate) {
+  // At n = 512 four engines' combined BRAM holds the sliced D on chip and
+  // the covariance updates dwarf the rotation cadence: close to 4x.
+  MultiEngineConfig one, four;
+  one.engines = 1;
+  four.engines = 4;
+  const double t1 = estimate_multi_engine(one, 512, 512).seconds;
+  const double t4 = estimate_multi_engine(four, 512, 512).seconds;
+  EXPECT_GT(t1 / t4, 3.0);
+}
+
+TEST(MultiEngine, SharedMemoryWallLimitsLargeColumns) {
+  // At n = 1024 even four engines' BRAM cannot hold D; the shared memory
+  // channel becomes the wall and scaling collapses — the model's honest
+  // caveat about the future-work extension.
+  MultiEngineConfig one, four;
+  one.engines = 1;
+  four.engines = 4;
+  const double t1 = estimate_multi_engine(one, 1024, 1024).seconds;
+  const double t4 = estimate_multi_engine(four, 1024, 1024).seconds;
+  EXPECT_LT(t1 / t4, 2.0);
+  EXPECT_GT(t1 / t4, 1.0);
+}
+
+TEST(MultiEngine, SaturatesOnTheSerialRotationCadence) {
+  // At small n, a few engines already push updates below the 64-cycle group
+  // cadence; adding more engines stops helping and the serial fraction
+  // rises toward 1.
+  MultiEngineConfig big;
+  big.engines = 16;
+  const auto t = estimate_multi_engine(big, 128, 128);
+  EXPECT_GT(t.rotation_bound_fraction, 0.5);
+  MultiEngineConfig eight, sixteen;
+  eight.engines = 8;
+  sixteen.engines = 16;
+  const double t8 = estimate_multi_engine(eight, 128, 128).seconds;
+  const double t16 = estimate_multi_engine(sixteen, 128, 128).seconds;
+  EXPECT_LT(t8 / t16, 1.3);  // far from the 2x of linear scaling
+}
+
+TEST(MultiEngine, ReductionCostOnlyWithMultipleEngines) {
+  MultiEngineConfig one, four;
+  one.engines = 1;
+  four.engines = 4;
+  EXPECT_EQ(estimate_multi_engine(one, 256, 256).reduction, 0u);
+  EXPECT_GT(estimate_multi_engine(four, 256, 256).reduction, 0u);
+}
+
+TEST(MultiEngine, ZeroEnginesThrows) {
+  MultiEngineConfig cfg;
+  cfg.engines = 0;
+  EXPECT_THROW(estimate_multi_engine(cfg, 64, 64), Error);
+}
+
+}  // namespace
+}  // namespace hjsvd::arch

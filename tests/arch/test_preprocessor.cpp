@@ -1,0 +1,84 @@
+// Tests for the cycle-stepped Hestenes preprocessor simulation.
+#include "arch/preprocessor_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/timing_model.hpp"
+
+namespace hjsvd::arch {
+namespace {
+
+TEST(PreprocessorSim, MacCountIsExact) {
+  const AcceleratorConfig cfg;
+  for (std::size_t m : {8u, 17u, 64u}) {
+    for (std::size_t n : {4u, 8u, 32u}) {
+      const auto r = simulate_preprocessor(cfg, m, n);
+      EXPECT_EQ(r.macs, static_cast<std::uint64_t>(m) * n * (n + 1) / 2)
+          << m << "x" << n;
+    }
+  }
+}
+
+TEST(PreprocessorSim, EveryElementStreamedOnce) {
+  const AcceleratorConfig cfg;
+  const auto r = simulate_preprocessor(cfg, 32, 16);
+  EXPECT_EQ(r.words_streamed, 32u * 16u);
+}
+
+TEST(PreprocessorSim, CyclesAtLeastTheComputeBound) {
+  const AcceleratorConfig cfg;
+  for (std::size_t m : {16u, 64u, 128u}) {
+    for (std::size_t n : {8u, 32u, 64u}) {
+      const auto r = simulate_preprocessor(cfg, m, n);
+      const std::uint64_t macs = static_cast<std::uint64_t>(m) * n * (n + 1) / 2;
+      const auto bound = macs / cfg.preproc_macs_per_cycle();
+      EXPECT_GE(r.cycles, bound);
+    }
+  }
+}
+
+TEST(PreprocessorSim, AgreesWithAnalyticModelWithinSlack) {
+  const AcceleratorConfig cfg;
+  for (std::size_t m : {32u, 64u, 128u}) {
+    for (std::size_t n : {16u, 64u, 128u}) {
+      const auto sim = simulate_preprocessor(cfg, m, n);
+      const auto analytic = estimate_timing(cfg, m, n).preprocess;
+      const double ratio = static_cast<double>(sim.cycles) /
+                           static_cast<double>(analytic);
+      EXPECT_GT(ratio, 0.8) << m << "x" << n;
+      EXPECT_LT(ratio, 1.6) << m << "x" << n;
+    }
+  }
+}
+
+TEST(PreprocessorSim, MoreLanesFewerCycles) {
+  AcceleratorConfig narrow, wide;
+  wide.preproc_lanes = 8;
+  wide.input_words_per_cycle = 16.0;  // keep input from becoming the bound
+  const auto rn = simulate_preprocessor(narrow, 64, 64);
+  const auto rw = simulate_preprocessor(wide, 64, 64);
+  EXPECT_LT(rw.cycles, rn.cycles);
+}
+
+TEST(PreprocessorSim, InputBoundWhenComputeIsWide) {
+  // With a huge MAC array and a narrow input, streaming dominates: cycles
+  // approach m*n / input_words_per_cycle.
+  AcceleratorConfig cfg;
+  cfg.preproc_layers = 16;
+  cfg.preproc_lanes = 64;
+  cfg.input_words_per_cycle = 2.0;
+  const auto r = simulate_preprocessor(cfg, 64, 32);
+  const double input_bound = 64.0 * 32.0 / 2.0;
+  EXPECT_GE(static_cast<double>(r.cycles), input_bound);
+  EXPECT_LE(static_cast<double>(r.cycles), input_bound * 1.5 + 100);
+}
+
+TEST(PreprocessorSim, SingleRowSingleColumn) {
+  const AcceleratorConfig cfg;
+  const auto r = simulate_preprocessor(cfg, 1, 1);
+  EXPECT_EQ(r.macs, 1u);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+}  // namespace
+}  // namespace hjsvd::arch

@@ -1,0 +1,88 @@
+// Tests for the resource model against the paper's Table II.
+#include "arch/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/literature.hpp"
+
+namespace hjsvd::arch {
+namespace {
+
+TEST(ResourceModel, ReproducesTableTwo) {
+  const ResourceReport r = estimate_resources(AcceleratorConfig{});
+  const auto paper = literature::paper_table2();
+  // Calibrated catalog: each utilization within 5 percentage points.
+  EXPECT_NEAR(r.lut_pct, paper.lut_pct, 5.0);
+  EXPECT_NEAR(r.bram_pct, paper.bram_pct, 5.0);
+  EXPECT_NEAR(r.dsp_pct, paper.dsp_pct, 5.0);
+  EXPECT_TRUE(r.fits);
+}
+
+TEST(ResourceModel, DspCountMatchesMultiplierBudget) {
+  // 16 (preprocessor) + 1 (rotation) + 32 (update) multipliers x 2 DSP each
+  // + 4 for the divider = 102 DSP48E.
+  const ResourceReport r = estimate_resources(AcceleratorConfig{});
+  EXPECT_EQ(r.dsp48, 102u);
+}
+
+TEST(ResourceModel, MoreKernelsUseMoreResources) {
+  AcceleratorConfig small, big;
+  big.update_kernels = 16;
+  const auto rs = estimate_resources(small);
+  const auto rb = estimate_resources(big);
+  EXPECT_GT(rb.luts, rs.luts);
+  EXPECT_GT(rb.dsp48, rs.dsp48);
+}
+
+TEST(ResourceModel, DoubledDesignDoesNotFit) {
+  AcceleratorConfig cfg;
+  cfg.update_kernels = 32;
+  cfg.preproc_layers = 8;
+  cfg.preproc_lanes = 8;
+  const auto r = estimate_resources(cfg);
+  EXPECT_FALSE(r.fits);
+}
+
+TEST(ResourceModel, LargerOnchipCovarianceNeedsMoreBram) {
+  AcceleratorConfig cfg;
+  const auto r256 = estimate_resources(cfg, {}, {}, 2048, 256);
+  const auto r512 = estimate_resources(cfg, {}, {}, 2048, 512);
+  EXPECT_GT(r512.bram36, r256.bram36);
+  // A 512-column covariance cache would overflow the paper's BRAM budget —
+  // exactly why the paper caps on-chip D at 256 columns.
+  EXPECT_FALSE(r512.fits);
+}
+
+TEST(ResourceModel, LargerDevicesFitLargerArrays) {
+  AcceleratorConfig big;
+  big.update_kernels = 40;
+  EXPECT_FALSE(estimate_resources(big, virtex5_lx330()).fits);
+  EXPECT_TRUE(estimate_resources(big, virtex6_lx760()).fits);
+  AcceleratorConfig huge;
+  huge.update_kernels = 128;
+  EXPECT_FALSE(estimate_resources(huge, virtex6_lx760()).fits);
+  EXPECT_TRUE(estimate_resources(huge, virtex7_2000t()).fits);
+}
+
+TEST(ResourceModel, DeviceCatalogCapacitiesAreOrdered) {
+  EXPECT_LT(virtex5_lx330().luts, virtex6_lx760().luts);
+  EXPECT_LT(virtex6_lx760().luts, virtex7_2000t().luts);
+  EXPECT_LT(virtex5_lx330().dsp48, virtex6_lx760().dsp48);
+}
+
+TEST(ResourceModel, BreakdownSumsBelowTotal) {
+  const ResourceReport r = estimate_resources(AcceleratorConfig{});
+  EXPECT_EQ(r.luts_preprocessor + r.luts_rotation + r.luts_update +
+                r.luts_fifos + r.luts_platform,
+            r.luts);
+}
+
+TEST(ResourceModel, FormatMentionsDevice) {
+  const ResourceReport r = estimate_resources(AcceleratorConfig{});
+  const std::string s = format_resource_report(r);
+  EXPECT_NE(s.find("XC5VLX330"), std::string::npos);
+  EXPECT_NE(s.find("DSP48E"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hjsvd::arch

@@ -1,0 +1,68 @@
+// Tests for the two-sided systolic array model (Section III's scalability
+// contrast).
+#include "arch/systolic_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/resource_model.hpp"
+#include "arch/timing_model.hpp"
+#include "common/error.hpp"
+
+namespace hjsvd::arch {
+namespace {
+
+TEST(Systolic, PeCountIsQuadratic) {
+  EXPECT_EQ(estimate_systolic(8).pe_count, 16u);
+  EXPECT_EQ(estimate_systolic(16).pe_count, 64u);
+  EXPECT_EQ(estimate_systolic(7).pe_count, 16u);  // ceil(n/2)^2
+}
+
+TEST(Systolic, ResourcesGrowQuadratically) {
+  const auto r16 = estimate_systolic(16);
+  const auto r32 = estimate_systolic(32);
+  EXPECT_NEAR(static_cast<double>(r32.luts) / static_cast<double>(r16.luts),
+              4.0, 0.3);
+}
+
+TEST(Systolic, ScalabilityWallIsTiny) {
+  // The paper's Section III claim, quantified: a full DP Brent-Luk array
+  // stops fitting the XC5VLX330 at very small n — far below the 1024+
+  // columns the Hestenes-Jacobi architecture handles.
+  const std::size_t wall = max_systolic_n();
+  EXPECT_GE(wall, 4u);
+  EXPECT_LE(wall, 32u);
+  EXPECT_FALSE(estimate_systolic(wall + 2).fits);
+  EXPECT_TRUE(estimate_systolic(wall).fits);
+}
+
+TEST(Systolic, HestenesArchitectureIsSizeIndependent) {
+  // The HJ design's resources don't depend on n (it streams); the array's
+  // do.  Both statements checked on the same device.
+  const auto hj = estimate_resources(AcceleratorConfig{});
+  EXPECT_TRUE(hj.fits);  // at any n (resources are n-independent)
+  EXPECT_FALSE(estimate_systolic(128).fits);
+}
+
+TEST(Systolic, FasterThanHestenesWhenItFits) {
+  // Full parallelism wins when the array fits — the trade the paper makes.
+  const std::size_t n = max_systolic_n();
+  const auto sys = estimate_systolic(n);
+  const double hj = estimate_seconds(AcceleratorConfig{}, n, n);
+  EXPECT_LT(sys.seconds, hj);
+}
+
+TEST(Systolic, TimeIsNLogN) {
+  const auto t64 = estimate_systolic(64);
+  const auto t128 = estimate_systolic(128);
+  const double ratio =
+      static_cast<double>(t128.cycles) / static_cast<double>(t64.cycles);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 2.5);  // n log n: 2 * (11/10) ~ 2.2
+}
+
+TEST(Systolic, RejectsDegenerate) {
+  EXPECT_THROW(estimate_systolic(1), Error);
+}
+
+}  // namespace
+}  // namespace hjsvd::arch

@@ -1,0 +1,135 @@
+// Tests for the analytic timing model against the paper's Table I and its
+// qualitative claims.
+#include "arch/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/literature.hpp"
+
+namespace hjsvd::arch {
+namespace {
+
+TEST(TimingModel, ReproducesEveryTableOneCellWithinBand) {
+  // The model is a reproduction on a simulated substrate: we require every
+  // cell of Table I to agree within 35% (most are well inside 15%).
+  const AcceleratorConfig cfg;
+  for (const auto& cell : literature::paper_table1()) {
+    const double ours = estimate_seconds(cfg, cell.rows, cell.cols);
+    const double ratio = ours / cell.seconds;
+    EXPECT_GT(ratio, 0.65) << "n=" << cell.cols << " m=" << cell.rows;
+    EXPECT_LT(ratio, 1.35) << "n=" << cell.cols << " m=" << cell.rows;
+  }
+}
+
+TEST(TimingModel, ColumnGrowthIsRoughlyCubic) {
+  // Table I's dominant axis: doubling the column count multiplies time by
+  // ~7-8 (the covariance work is O(n^3) per sweep set).
+  const AcceleratorConfig cfg;
+  const double t128 = estimate_seconds(cfg, 128, 128);
+  const double t256 = estimate_seconds(cfg, 128, 256);
+  const double t512 = estimate_seconds(cfg, 128, 512);
+  EXPECT_GT(t256 / t128, 4.0);
+  EXPECT_LT(t256 / t128, 9.0);
+  EXPECT_GT(t512 / t256, 5.0);
+  EXPECT_LT(t512 / t256, 9.0);
+}
+
+TEST(TimingModel, RowGrowthIsMild) {
+  // "the number of rows ... has smaller impact on the performance".
+  const AcceleratorConfig cfg;
+  const double t128 = estimate_seconds(cfg, 128, 512);
+  const double t1024 = estimate_seconds(cfg, 1024, 512);
+  EXPECT_LT(t1024 / t128, 3.0);  // 8x rows => well under 3x time
+  EXPECT_GT(t1024 / t128, 1.0);
+}
+
+TEST(TimingModel, MonotoneInBothDimensions) {
+  const AcceleratorConfig cfg;
+  for (std::size_t n : {64u, 128u, 256u}) {
+    EXPECT_LT(estimate_seconds(cfg, 128, n), estimate_seconds(cfg, 256, n));
+    EXPECT_LT(estimate_seconds(cfg, 128, n), estimate_seconds(cfg, 128, 2 * n));
+  }
+}
+
+TEST(TimingModel, CovarianceSpillsOffChipBeyond256Columns) {
+  const AcceleratorConfig cfg;
+  EXPECT_TRUE(estimate_timing(cfg, 128, 256).covariance_fits_onchip);
+  EXPECT_FALSE(estimate_timing(cfg, 128, 257).covariance_fits_onchip);
+  EXPECT_EQ(estimate_timing(cfg, 128, 256).io_bound_cycles, 0u);
+  EXPECT_GT(estimate_timing(cfg, 128, 1024).io_bound_cycles, 0u);
+}
+
+TEST(TimingModel, ReducedBandwidthHurtsLargeColumnsOnly)
+{
+  AcceleratorConfig fast, slow;
+  slow.memory.words_per_cycle = 8.0;  // throttle the HC-2 interface
+  EXPECT_EQ(estimate_seconds(fast, 128, 128),
+            estimate_seconds(slow, 128, 128));  // on-chip: no effect
+  EXPECT_GT(estimate_seconds(slow, 128, 512),
+            1.5 * estimate_seconds(fast, 128, 512));
+}
+
+TEST(TimingModel, RotationLatencyComesFromTheDataflow) {
+  const auto t = estimate_timing(AcceleratorConfig{}, 64, 64);
+  EXPECT_GE(t.rotation_latency, 231u);
+  EXPECT_LE(t.rotation_latency, 260u);
+}
+
+TEST(TimingModel, RotationsPerSweepIsAllPairs) {
+  const auto t = estimate_timing(AcceleratorConfig{}, 64, 48);
+  EXPECT_EQ(t.rotations_per_sweep, 48u * 47u / 2u);
+}
+
+TEST(TimingModel, BreakdownSumsToTotal) {
+  const auto t = estimate_timing(AcceleratorConfig{}, 256, 128);
+  EXPECT_EQ(t.preprocess + t.sweep1 + t.later_sweeps + t.finalize, t.total);
+  EXPECT_NEAR(t.seconds * 150e6, static_cast<double>(t.total), 1.0);
+}
+
+TEST(TimingModel, MoreSweepsCostProportionally) {
+  AcceleratorConfig six, twelve;
+  twelve.sweeps = 12;
+  const auto t6 = estimate_timing(six, 128, 128);
+  const auto t12 = estimate_timing(twelve, 128, 128);
+  EXPECT_NEAR(static_cast<double>(t12.later_sweeps) /
+                  static_cast<double>(t6.later_sweeps),
+              11.0 / 5.0, 0.05);
+}
+
+TEST(TimingModel, TallSkinnyDominatedByPreprocess) {
+  const auto t = estimate_timing(AcceleratorConfig{}, 4096, 16);
+  EXPECT_GT(t.preprocess, t.later_sweeps);
+}
+
+TEST(TimingModel, VAccumulationCostsExtraUpdateWork) {
+  AcceleratorConfig plain, with_v;
+  with_v.accumulate_v = true;
+  const double t_plain = estimate_seconds(plain, 128, 128);
+  const double t_v = estimate_seconds(with_v, 128, 128);
+  EXPECT_GT(t_v, t_plain);
+  // V rows (n) rotate at the column rate every sweep: roughly doubles the
+  // covariance-bound update work at square sizes, so well under 3x total.
+  EXPECT_LT(t_v / t_plain, 3.0);
+}
+
+TEST(TimingModel, VAccumulationCheaperForTallMatrices) {
+  // V is n x n: its cost is row-independent, so the relative overhead
+  // shrinks as m grows.
+  AcceleratorConfig plain, with_v;
+  with_v.accumulate_v = true;
+  const double square_overhead = estimate_seconds(with_v, 128, 128) /
+                                 estimate_seconds(plain, 128, 128);
+  const double tall_overhead = estimate_seconds(with_v, 2048, 128) /
+                               estimate_seconds(plain, 2048, 128);
+  EXPECT_LT(tall_overhead, square_overhead);
+}
+
+TEST(TimingModel, FormatIsHumanReadable) {
+  const auto t = estimate_timing(AcceleratorConfig{}, 128, 128);
+  const std::string s = format_timing(t, 128, 128);
+  EXPECT_NE(s.find("preprocess"), std::string::npos);
+  EXPECT_NE(s.find("128 x 128"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hjsvd::arch

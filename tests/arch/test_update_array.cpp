@@ -1,0 +1,107 @@
+// Tests for the cycle-stepped update-array simulation.
+#include "arch/update_array_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hjsvd::arch {
+namespace {
+
+const fp::CoreLatencies kLat;
+constexpr hwsim::Cycle kKernelLatency = 9 + 14;  // mul + add
+
+TEST(UpdateArray, SingleGroupDrainsAtKernelRate) {
+  // 80 pairs on 8 kernels = 10 issue cycles + datapath latency.
+  const std::vector<UpdateGroupArrival> groups = {{0, 80}};
+  const auto r = simulate_update_array(groups, 8, 12, 4, kLat);
+  EXPECT_EQ(r.pairs_processed, 80u);
+  EXPECT_EQ(r.drain_cycle, 9u + kKernelLatency);  // last issue at cycle 9
+  EXPECT_NEAR(r.kernel_utilization, 1.0, 1e-9);
+  EXPECT_EQ(r.bank_conflict_retries, 0u);
+}
+
+TEST(UpdateArray, MatchesTransactionLevelCharge) {
+  // The transaction model charges ceil(pairs/kernels); the cycle-stepped
+  // issue window must equal that exactly for a lone group.
+  for (std::uint64_t pairs : {1u, 7u, 8u, 9u, 100u, 1000u}) {
+    const std::vector<UpdateGroupArrival> groups = {{0, pairs}};
+    const auto r = simulate_update_array(groups, 8, 8, 4, kLat);
+    const hwsim::Cycle expect_issue = (pairs + 7) / 8;
+    EXPECT_EQ(r.drain_cycle, expect_issue - 1 + kKernelLatency) << pairs;
+  }
+}
+
+TEST(UpdateArray, BankShortageThrottlesThroughput) {
+  // 8 kernels but only 4 banks: effective rate halves.
+  const std::vector<UpdateGroupArrival> groups = {{0, 80}};
+  const auto full = simulate_update_array(groups, 8, 8, 4, kLat);
+  const auto starved = simulate_update_array(groups, 8, 4, 4, kLat);
+  EXPECT_GT(starved.drain_cycle, full.drain_cycle);
+  EXPECT_GT(starved.bank_conflict_retries, 0u);
+  EXPECT_EQ(starved.drain_cycle, 19u + kKernelLatency);  // 80/4 = 20 cycles
+}
+
+TEST(UpdateArray, IdleGapsCountAsFifoStalls) {
+  // Second group's parameters arrive long after the first drains.
+  const std::vector<UpdateGroupArrival> groups = {{0, 8}, {100, 8}};
+  const auto r = simulate_update_array(groups, 8, 8, 4, kLat);
+  EXPECT_GT(r.fifo_stall_cycles, 90u);
+  EXPECT_EQ(r.pairs_processed, 16u);
+  EXPECT_EQ(r.drain_cycle, 100u + kKernelLatency);
+  EXPECT_LT(r.kernel_utilization, 0.05);
+}
+
+TEST(UpdateArray, BackToBackGroupsKeepKernelsSaturated) {
+  std::vector<UpdateGroupArrival> groups;
+  for (int g = 0; g < 10; ++g)
+    groups.push_back({static_cast<hwsim::Cycle>(g), 64});
+  const auto r = simulate_update_array(groups, 8, 8, 8, kLat);
+  EXPECT_EQ(r.pairs_processed, 640u);
+  EXPECT_NEAR(r.kernel_utilization, 1.0, 0.02);
+  EXPECT_EQ(r.drain_cycle, 79u + kKernelLatency);  // 640/8 = 80 issue cycles
+}
+
+TEST(UpdateArray, ShallowFifoDelaysLateGroups) {
+  // All groups ready at cycle 0; a depth-1 FIFO admits them one at a time,
+  // but since the kernels drain the head immediately, total time matches —
+  // the FIFO only matters when the producer must not stall (checked via the
+  // accelerator model); here we just check correctness of accounting.
+  std::vector<UpdateGroupArrival> groups = {{0, 16}, {0, 16}, {0, 16}};
+  const auto deep = simulate_update_array(groups, 8, 8, 8, kLat);
+  const auto shallow = simulate_update_array(groups, 8, 8, 1, kLat);
+  EXPECT_EQ(deep.pairs_processed, shallow.pairs_processed);
+  EXPECT_EQ(deep.drain_cycle, shallow.drain_cycle);
+}
+
+TEST(UpdateArray, EmptyScheduleIsZero) {
+  const auto r = simulate_update_array({}, 8, 8, 4, kLat);
+  EXPECT_EQ(r.pairs_processed, 0u);
+  EXPECT_EQ(r.drain_cycle, 0u);
+}
+
+TEST(UpdateArray, RejectsBadConfigAndDisorder) {
+  EXPECT_THROW(simulate_update_array({{0, 8}}, 0, 8, 4, kLat), Error);
+  EXPECT_THROW(simulate_update_array({{0, 8}}, 8, 0, 4, kLat), Error);
+  EXPECT_THROW(simulate_update_array({{0, 8}}, 8, 8, 0, kLat), Error);
+  const std::vector<UpdateGroupArrival> disordered = {{10, 8}, {5, 8}};
+  EXPECT_THROW(simulate_update_array(disordered, 8, 8, 4, kLat), Error);
+}
+
+TEST(UpdateArray, PaperConfigurationSweepSegment) {
+  // A slice of the paper's workload: groups of 8 rotations at n = 128 in a
+  // late sweep — 8 * 126 = 1008 covariance pairs per group, arriving at the
+  // 64-cycle cadence.  With 12 kernels the array is the bottleneck, so the
+  // drain rate is pairs/kernels per group, far above the cadence.
+  std::vector<UpdateGroupArrival> groups;
+  for (int g = 0; g < 8; ++g)
+    groups.push_back({static_cast<hwsim::Cycle>(64 * g), 1008});
+  const auto r = simulate_update_array(groups, 12, 12, 4, kLat);
+  EXPECT_EQ(r.pairs_processed, 8u * 1008u);
+  // 8064 pairs / 12 per cycle = 672 issue cycles, >> 8 * 64 cadence.
+  EXPECT_GE(r.drain_cycle, 671u);
+  EXPECT_NEAR(r.kernel_utilization, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace hjsvd::arch

@@ -1,0 +1,150 @@
+// Tests for the Golub-Kahan-Reinsch SVD baseline.
+#include "baselines/golub_kahan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/kernels.hpp"
+
+namespace hjsvd {
+namespace {
+
+TEST(GolubKahan, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 3.0;
+  const SvdResult r = golub_kahan_svd(a);
+  ASSERT_EQ(r.singular_values.size(), 3u);
+  EXPECT_NEAR(r.singular_values[0], 5.0, 1e-12);
+  EXPECT_NEAR(r.singular_values[1], 3.0, 1e-12);
+  EXPECT_NEAR(r.singular_values[2], 1.0, 1e-12);
+}
+
+TEST(GolubKahan, KnownTwoByTwo) {
+  const Matrix a = Matrix::from_rows({{3, 0}, {4, 5}});
+  const SvdResult r = golub_kahan_svd(a);
+  EXPECT_NEAR(r.singular_values[0], 3.0 * std::sqrt(5.0), 1e-12);
+  EXPECT_NEAR(r.singular_values[1], std::sqrt(5.0), 1e-12);
+}
+
+TEST(GolubKahan, PrescribedValues) {
+  Rng rng(7);
+  const std::vector<double> sv = {9.0, 4.0, 2.0, 1.0, 0.25};
+  const Matrix a = with_singular_values(12, 5, sv, rng);
+  const SvdResult r = golub_kahan_svd(a);
+  for (std::size_t i = 0; i < sv.size(); ++i)
+    EXPECT_NEAR(r.singular_values[i], sv[i], 1e-10);
+}
+
+TEST(GolubKahan, WideMatrixViaTranspose) {
+  Rng rng(8);
+  const Matrix a = random_gaussian(4, 20, rng);
+  const SvdResult r = golub_kahan_svd(a);
+  const SvdResult rt = golub_kahan_svd(a.transposed());
+  ASSERT_EQ(r.singular_values.size(), 4u);
+  EXPECT_LT(singular_value_error(r.singular_values, rt.singular_values),
+            1e-11);
+}
+
+TEST(GolubKahan, VectorsReconstructTallMatrix) {
+  Rng rng(9);
+  const Matrix a = random_gaussian(10, 6, rng);
+  GolubKahanConfig cfg;
+  cfg.compute_u = true;
+  cfg.compute_v = true;
+  const SvdResult r = golub_kahan_svd(a, cfg);
+  EXPECT_LT(orthogonality_error(r.u), 1e-11);
+  EXPECT_LT(orthogonality_error(r.v), 1e-11);
+  EXPECT_LT(reconstruction_error(a, r), 1e-12);
+}
+
+TEST(GolubKahan, VectorsReconstructWideMatrix) {
+  Rng rng(10);
+  const Matrix a = random_gaussian(5, 11, rng);
+  GolubKahanConfig cfg;
+  cfg.compute_u = true;
+  cfg.compute_v = true;
+  const SvdResult r = golub_kahan_svd(a, cfg);
+  EXPECT_LT(orthogonality_error(r.u), 1e-11);
+  EXPECT_LT(orthogonality_error(r.v), 1e-11);
+  EXPECT_LT(reconstruction_error(a, r), 1e-12);
+}
+
+TEST(GolubKahan, HilbertMatrixValuesArePositiveAndDecay) {
+  const SvdResult r = golub_kahan_svd(hilbert(8));
+  for (std::size_t i = 1; i < 8; ++i)
+    EXPECT_LT(r.singular_values[i], r.singular_values[i - 1]);
+  EXPECT_GT(r.singular_values[0], 1.0);
+  EXPECT_GT(r.singular_values[0] / r.singular_values[7], 1e8);
+}
+
+TEST(GolubKahan, ZeroMatrix) {
+  const SvdResult r = golub_kahan_svd(Matrix(4, 3));
+  for (double s : r.singular_values) EXPECT_EQ(s, 0.0);
+}
+
+TEST(GolubKahan, SingleColumnIsNorm) {
+  Matrix a(3, 1);
+  a(0, 0) = 2.0;
+  a(1, 0) = 3.0;
+  a(2, 0) = 6.0;
+  const SvdResult r = golub_kahan_svd(a);
+  ASSERT_EQ(r.singular_values.size(), 1u);
+  EXPECT_NEAR(r.singular_values[0], 7.0, 1e-12);
+}
+
+TEST(GolubKahan, EmptyThrows) { EXPECT_THROW(golub_kahan_svd(Matrix{}), Error); }
+
+TEST(Bidiagonalize, PreservesFrobeniusNorm) {
+  Rng rng(11);
+  const Matrix a = random_gaussian(15, 7, rng);
+  std::vector<double> d, e;
+  bidiagonalize(a, d, e);
+  double sum = 0.0;
+  for (double x : d) sum += x * x;
+  for (double x : e) sum += x * x;
+  EXPECT_NEAR(std::sqrt(sum), frobenius_norm(a), 1e-10);
+}
+
+TEST(Bidiagonalize, BidiagonalOfDiagonalIsItself) {
+  Matrix a(4, 4);
+  a(0, 0) = 3.0;
+  a(1, 1) = 2.0;
+  a(2, 2) = 1.0;
+  a(3, 3) = 0.5;
+  std::vector<double> d, e;
+  bidiagonalize(a, d, e);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(std::abs(d[i]), a(i, i), 1e-14);
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_NEAR(e[i], 0.0, 1e-14);
+}
+
+TEST(Bidiagonalize, SingularValuesPreserved) {
+  // Rebuild the bidiagonal as an explicit matrix and compare spectra.
+  Rng rng(12);
+  const Matrix a = random_gaussian(9, 6, rng);
+  std::vector<double> d, e;
+  bidiagonalize(a, d, e);
+  Matrix b(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    b(i, i) = d[i];
+    if (i > 0) b(i - 1, i) = e[i];
+  }
+  const SvdResult ra = golub_kahan_svd(a);
+  const SvdResult rb = golub_kahan_svd(b);
+  EXPECT_LT(singular_value_error(ra.singular_values, rb.singular_values),
+            1e-11);
+}
+
+TEST(Bidiagonalize, RequiresTall) {
+  std::vector<double> d, e;
+  auto call = [&] { bidiagonalize(Matrix(3, 5), d, e); };
+  EXPECT_THROW(call(), Error);
+}
+
+}  // namespace
+}  // namespace hjsvd

@@ -1,0 +1,84 @@
+// Tests for the classic two-sided Jacobi (Kogbetliantz) baseline.
+#include "baselines/twosided_jacobi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/golub_kahan.hpp"
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+
+namespace hjsvd {
+namespace {
+
+TEST(TwoSidedAngles, AnnihilateTheTwoByTwo) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const double w = rng.gaussian(), x = rng.gaussian();
+    const double y = rng.gaussian(), z = rng.gaussian();
+    const auto ang = solve_two_sided_angles(w, x, y, z);
+    const double ca = std::cos(ang.alpha), sa = std::sin(ang.alpha);
+    const double cb = std::cos(ang.beta), sb = std::sin(ang.beta);
+    // A' = R(-alpha) * [[w, x], [y, z]] * R(beta)
+    const double r0c0 = ca * w - sa * y, r0c1 = ca * x - sa * z;
+    const double r1c0 = sa * w + ca * y, r1c1 = sa * x + ca * z;
+    const double apq = r0c0 * sb + r0c1 * cb;
+    const double aqp = r1c0 * cb - r1c1 * sb;
+    const double scale = std::abs(w) + std::abs(x) + std::abs(y) +
+                         std::abs(z) + 1e-30;
+    ASSERT_NEAR(apq / scale, 0.0, 1e-14);
+    ASSERT_NEAR(aqp / scale, 0.0, 1e-14);
+  }
+}
+
+TEST(TwoSided, MatchesGolubKahanOnSquare) {
+  Rng rng(4);
+  for (std::size_t n : {2u, 3u, 8u, 16u, 32u}) {
+    const Matrix a = random_gaussian(n, n, rng);
+    const SvdResult ours = twosided_jacobi_svd(a);
+    const SvdResult ref = golub_kahan_svd(a);
+    EXPECT_LT(singular_value_error(ours.singular_values, ref.singular_values),
+              1e-10)
+        << "n=" << n;
+  }
+}
+
+TEST(TwoSided, VectorsReconstruct) {
+  Rng rng(5);
+  const Matrix a = random_gaussian(10, 10, rng);
+  TwoSidedConfig cfg;
+  cfg.compute_u = true;
+  cfg.compute_v = true;
+  const SvdResult r = twosided_jacobi_svd(a, cfg);
+  EXPECT_LT(orthogonality_error(r.u), 1e-10);
+  EXPECT_LT(orthogonality_error(r.v), 1e-10);
+  EXPECT_LT(reconstruction_error(a, r), 1e-11);
+}
+
+TEST(TwoSided, RejectsRectangular) {
+  // The documented restriction that motivates the Hestenes-Jacobi method.
+  EXPECT_THROW(twosided_jacobi_svd(Matrix(4, 6)), Error);
+}
+
+TEST(TwoSided, ConvergesOnSymmetric) {
+  const Matrix h = hilbert(6);
+  const SvdResult r = twosided_jacobi_svd(h);
+  EXPECT_TRUE(r.converged);
+  const SvdResult ref = golub_kahan_svd(h);
+  EXPECT_LT(singular_value_error(r.singular_values, ref.singular_values),
+            1e-10);
+}
+
+TEST(TwoSided, NegativeDiagonalFoldedIntoU) {
+  const Matrix a = Matrix::from_rows({{-2.0, 0.0}, {0.0, 1.0}});
+  TwoSidedConfig cfg;
+  cfg.compute_u = true;
+  cfg.compute_v = true;
+  const SvdResult r = twosided_jacobi_svd(a, cfg);
+  EXPECT_NEAR(r.singular_values[0], 2.0, 1e-12);
+  EXPECT_LT(reconstruction_error(a, r), 1e-12);
+}
+
+}  // namespace
+}  // namespace hjsvd

@@ -1,0 +1,100 @@
+// Tests for the command-line flag parser.
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hjsvd {
+namespace {
+
+Cli make_cli() {
+  Cli cli("test program");
+  cli.add_option("size", "128", "matrix size");
+  cli.add_option("ratio", "1.5", "aspect ratio");
+  cli.add_option("verbose", "false", "chatty output");
+  cli.add_option("sizes", "1,2,3", "size list");
+  return cli;
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_EQ(cli.get_int("size"), 128);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 1.5);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--size", "256"};
+  cli.parse(3, argv);
+  EXPECT_EQ(cli.get_int("size"), 256);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--size=512"};
+  cli.parse(2, argv);
+  EXPECT_EQ(cli.get_int("size"), 512);
+}
+
+TEST(Cli, BareBooleanFlag) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose"};
+  cli.parse(2, argv);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, BareFlagFollowedByAnotherFlag) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose", "--size", "64"};
+  cli.parse(4, argv);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get_int("size"), 64);
+}
+
+TEST(Cli, IntListParses) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--sizes", "128,256,512"};
+  cli.parse(3, argv);
+  EXPECT_EQ(cli.get_int_list("sizes"),
+            (std::vector<std::int64_t>{128, 256, 512}));
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(cli.parse(3, argv), Error);
+}
+
+TEST(Cli, BadIntegerThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--size", "abc"};
+  cli.parse(3, argv);
+  EXPECT_THROW((void)cli.get_int("size"), Error);
+}
+
+TEST(Cli, BadBooleanThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose", "maybe"};
+  cli.parse(3, argv);
+  EXPECT_THROW((void)cli.get_bool("verbose"), Error);
+}
+
+TEST(Cli, DuplicateRegistrationThrows) {
+  Cli cli("x");
+  cli.add_option("a", "1", "first");
+  EXPECT_THROW(cli.add_option("a", "2", "again"), Error);
+}
+
+TEST(Cli, HelpListsOptions) {
+  Cli cli = make_cli();
+  const std::string h = cli.help();
+  EXPECT_NE(h.find("--size"), std::string::npos);
+  EXPECT_NE(h.find("matrix size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hjsvd

@@ -1,0 +1,103 @@
+// Tests for the deterministic xoshiro256++ generator.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace hjsvd {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanAndVariance) {
+  Rng rng(123);
+  const int kN = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.uniform01();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(99);
+  const int kN = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.gaussian();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / kN - mean * mean, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianIsFinite) {
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) ASSERT_TRUE(std::isfinite(rng.gaussian()));
+}
+
+TEST(Rng, BoundedStaysInBound) {
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) ASSERT_LT(rng.bounded(17), 17u);
+}
+
+TEST(Rng, BoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.bounded(0), Error);
+}
+
+}  // namespace
+}  // namespace hjsvd

@@ -1,0 +1,72 @@
+// Tests for the ASCII-table / CSV / formatting helpers.
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hjsvd {
+namespace {
+
+TEST(AsciiTable, RendersAlignedColumns) {
+  AsciiTable t({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yyyy", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a    | long-header |"), std::string::npos);
+  EXPECT_NE(s.find("| yyyy | 2           |"), std::string::npos);
+}
+
+TEST(AsciiTable, CaptionAppearsFirst) {
+  AsciiTable t({"c"});
+  t.set_caption("My caption");
+  t.add_row({"v"});
+  EXPECT_EQ(t.to_string().rfind("My caption", 0), 0u);
+}
+
+TEST(AsciiTable, RowWidthMismatchThrows) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(AsciiTable, EmptyHeaderThrows) {
+  EXPECT_THROW(AsciiTable({}), Error);
+}
+
+TEST(AsciiTable, CsvEscapesSpecialCharacters) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"has,comma", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(AsciiTable, CsvHasHeaderAndRows) {
+  AsciiTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Format, Scientific) {
+  EXPECT_EQ(format_sci(4.39e-3, 3), "4.39e-03");
+  EXPECT_EQ(format_sci(1.23, 3), "1.23e+00");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 1), "-1.0");
+}
+
+TEST(Format, Duration) {
+  EXPECT_EQ(format_duration(2.5), "2.50 s");
+  EXPECT_EQ(format_duration(2.5e-3), "2.50 ms");
+  EXPECT_EQ(format_duration(2.5e-6), "2.50 us");
+  EXPECT_EQ(format_duration(25e-9), "25.0 ns");
+}
+
+TEST(WriteFile, FailsOnBadPath) {
+  EXPECT_THROW(write_file("/nonexistent-dir/x/y.txt", "data"), Error);
+}
+
+}  // namespace
+}  // namespace hjsvd

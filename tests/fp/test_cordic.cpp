@@ -1,0 +1,134 @@
+// Tests for the fixed-point CORDIC engine.
+#include "fp/cordic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "svd/rotation.hpp"
+
+namespace hjsvd::fp {
+namespace {
+
+TEST(CordicGain, ApproachesKnownLimit) {
+  // K -> ~1.6467602581210657 as iterations grow.
+  EXPECT_NEAR(cordic_gain(40), 1.6467602581210657, 1e-12);
+  EXPECT_GT(cordic_gain(4), 1.64);
+}
+
+TEST(CordicVectoring, MatchesAtan2AcrossQuadrants) {
+  Rng rng(21);
+  CordicConfig cfg{48};
+  for (int k = 0; k < 5000; ++k) {
+    const double x = rng.gaussian() * 3.0;
+    const double y = rng.gaussian() * 3.0;
+    if (x == 0.0 && y == 0.0) continue;
+    const auto v = cordic_vectoring(x, y, cfg);
+    ASSERT_NEAR(v.angle, std::atan2(y, x), 1e-12)
+        << "x=" << x << " y=" << y;
+    ASSERT_NEAR(v.magnitude, std::hypot(x, y), 1e-10 * std::hypot(x, y));
+  }
+}
+
+TEST(CordicVectoring, ZeroVector) {
+  const auto v = cordic_vectoring(0.0, 0.0);
+  EXPECT_EQ(v.magnitude, 0.0);
+  EXPECT_EQ(v.angle, 0.0);
+}
+
+TEST(CordicVectoring, PureAxisCases) {
+  CordicConfig cfg{48};
+  EXPECT_NEAR(cordic_vectoring(1.0, 0.0, cfg).angle, 0.0, 1e-13);
+  EXPECT_NEAR(cordic_vectoring(0.0, 1.0, cfg).angle, M_PI / 2, 1e-12);
+  EXPECT_NEAR(cordic_vectoring(0.0, -1.0, cfg).angle, -M_PI / 2, 1e-12);
+  EXPECT_NEAR(std::abs(cordic_vectoring(-1.0, 1e-18, cfg).angle), M_PI,
+              1e-12);
+}
+
+TEST(CordicVectoring, AccuracyScalesWithIterations) {
+  // Error ~ atan(2^-N): each batch of iterations buys bits.
+  const double x = 0.83, y = -0.41;
+  const double exact = std::atan2(y, x);
+  double prev = 1.0;
+  for (int iters : {8, 16, 24, 32}) {
+    const double err =
+        std::abs(cordic_vectoring(x, y, CordicConfig{iters}).angle - exact);
+    EXPECT_LT(err, std::ldexp(4.0, -iters)) << iters;
+    EXPECT_LT(err, prev + 1e-15);
+    prev = err;
+  }
+}
+
+TEST(CordicRotation, MatchesCosSin) {
+  Rng rng(22);
+  CordicConfig cfg{48};
+  for (int k = 0; k < 5000; ++k) {
+    const double angle = rng.uniform(-1.5, 1.5);
+    const auto cs = cordic_cos_sin(angle, cfg);
+    ASSERT_NEAR(cs.x, std::cos(angle), 1e-12);
+    ASSERT_NEAR(cs.y, std::sin(angle), 1e-12);
+  }
+}
+
+TEST(CordicRotation, RotatesArbitraryVectors) {
+  CordicConfig cfg{48};
+  const auto v = cordic_rotation(2.0, 1.0, 0.7, cfg);
+  EXPECT_NEAR(v.x, 2.0 * std::cos(0.7) - 1.0 * std::sin(0.7), 1e-11);
+  EXPECT_NEAR(v.y, 2.0 * std::sin(0.7) + 1.0 * std::cos(0.7), 1e-11);
+}
+
+TEST(CordicRotation, OutsideDomainThrows) {
+  EXPECT_THROW(cordic_rotation(1.0, 0.0, 2.5), hjsvd::Error);
+}
+
+TEST(CordicConfigValidation, IterationBounds) {
+  EXPECT_THROW(cordic_vectoring(1.0, 1.0, CordicConfig{0}), hjsvd::Error);
+  EXPECT_THROW(cordic_vectoring(1.0, 1.0, CordicConfig{62}), hjsvd::Error);
+}
+
+TEST(CordicJacobi, MatchesClosedFormParameters) {
+  Rng rng(23);
+  CordicConfig cfg{52};
+  for (int k = 0; k < 5000; ++k) {
+    const double njj = std::abs(rng.gaussian()) * 10 + 1e-3;
+    const double nii = std::abs(rng.gaussian()) * 10 + 1e-3;
+    const double cov = rng.gaussian() * 3;
+    if (cov == 0.0) continue;
+    const auto exact =
+        hjsvd::rotation_hardware(njj, nii, cov, NativeOps{});
+    const auto cord = cordic_jacobi_params(njj, nii, cov, cfg);
+    ASSERT_NEAR(cord.cos, exact.cos, 1e-10);
+    ASSERT_NEAR(cord.sin, exact.sin, 1e-10);
+  }
+}
+
+TEST(CordicJacobi, AnnihilatesCovariance) {
+  Rng rng(24);
+  CordicConfig cfg{52};
+  for (int k = 0; k < 5000; ++k) {
+    const double njj = std::abs(rng.gaussian()) * 5 + 1e-3;
+    const double nii = std::abs(rng.gaussian()) * 5 + 1e-3;
+    const double cov = rng.gaussian();
+    if (cov == 0.0) continue;
+    const auto p = cordic_jacobi_params(njj, nii, cov, cfg);
+    const double resid = p.cos * p.sin * (nii - njj) +
+                         (p.cos * p.cos - p.sin * p.sin) * cov;
+    const double scale = std::max({nii, njj, std::abs(cov)});
+    ASSERT_NEAR(resid / scale, 0.0, 1e-10);
+  }
+}
+
+TEST(CordicJacobi, ZeroCovarianceIsIdentity) {
+  const auto p = cordic_jacobi_params(2.0, 1.0, 0.0);
+  EXPECT_EQ(p.cos, 1.0);
+  EXPECT_EQ(p.sin, 0.0);
+}
+
+TEST(CordicJacobi, EqualNormsGiveFortyFive) {
+  const auto p = cordic_jacobi_params(3.0, 3.0, 0.5, CordicConfig{52});
+  EXPECT_NEAR(std::abs(p.theta), M_PI / 4, 1e-12);
+}
+
+}  // namespace
+}  // namespace hjsvd::fp

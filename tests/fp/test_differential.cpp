@@ -1,0 +1,156 @@
+// Differential tests: the soft-float must be bit-identical to the host FPU
+// (x86-64 SSE2 is IEEE-754 binary64 with round-to-nearest-even) on finite
+// inputs, including subnormals — this is the justification for running the
+// large simulations with native doubles (DESIGN.md §6).
+#include "fp/softfloat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "common/rng.hpp"
+
+namespace hjsvd::fp {
+namespace {
+
+enum class Dist { kNormalRange, kWideExponent, kSubnormalHeavy, kNearEqual };
+
+const char* dist_name(Dist d) {
+  switch (d) {
+    case Dist::kNormalRange: return "NormalRange";
+    case Dist::kWideExponent: return "WideExponent";
+    case Dist::kSubnormalHeavy: return "SubnormalHeavy";
+    case Dist::kNearEqual: return "NearEqual";
+  }
+  return "?";
+}
+
+/// Draws a finite double from the distribution.
+double draw(Rng& rng, Dist d) {
+  switch (d) {
+    case Dist::kNormalRange:
+      return rng.gaussian() * 100.0;
+    case Dist::kWideExponent: {
+      // Random sign/exponent/mantissa over nearly the full finite range.
+      const std::uint64_t sign = rng.next_u64() & 0x8000000000000000ULL;
+      const std::uint64_t exp = rng.bounded(2046) + 1;  // normals
+      const std::uint64_t frac = rng.next_u64() & 0x000FFFFFFFFFFFFFULL;
+      return from_bits(sign | (exp << 52) | frac);
+    }
+    case Dist::kSubnormalHeavy: {
+      const std::uint64_t sign = rng.next_u64() & 0x8000000000000000ULL;
+      if (rng.bounded(2) == 0) {
+        // Pure subnormal.
+        return from_bits(sign | (rng.next_u64() & 0x000FFFFFFFFFFFFFULL));
+      }
+      // Tiny normal whose products/sums underflow.
+      const std::uint64_t exp = rng.bounded(80) + 1;
+      const std::uint64_t frac = rng.next_u64() & 0x000FFFFFFFFFFFFFULL;
+      return from_bits(sign | (exp << 52) | frac);
+    }
+    case Dist::kNearEqual:
+      return 0.0;  // handled by the pair-drawing helper
+  }
+  return 0.0;
+}
+
+/// Draws an operand pair; kNearEqual produces values within a few ulps of
+/// each other (the catastrophic-cancellation regime of subtraction).
+std::pair<double, double> draw_pair(Rng& rng, Dist d) {
+  if (d != Dist::kNearEqual) return {draw(rng, d), draw(rng, d)};
+  const double x = rng.gaussian() * 10.0;
+  std::uint64_t b = to_bits(x);
+  b += rng.bounded(9);  // within 8 ulps
+  return {x, from_bits(b)};
+}
+
+class Differential : public ::testing::TestWithParam<Dist> {};
+
+constexpr int kTrials = 200000;
+
+TEST_P(Differential, Add) {
+  Rng rng(101);
+  for (int i = 0; i < kTrials; ++i) {
+    const auto [x, y] = draw_pair(rng, GetParam());
+    const double got = sf_add(x, y);
+    const double ref = x + y;
+    ASSERT_EQ(to_bits(got), to_bits(ref))
+        << std::hexfloat << "x=" << x << " y=" << y;
+  }
+}
+
+TEST_P(Differential, Sub) {
+  Rng rng(102);
+  for (int i = 0; i < kTrials; ++i) {
+    const auto [x, y] = draw_pair(rng, GetParam());
+    ASSERT_EQ(to_bits(sf_sub(x, y)), to_bits(x - y))
+        << std::hexfloat << "x=" << x << " y=" << y;
+  }
+}
+
+TEST_P(Differential, Mul) {
+  Rng rng(103);
+  for (int i = 0; i < kTrials; ++i) {
+    const auto [x, y] = draw_pair(rng, GetParam());
+    ASSERT_EQ(to_bits(sf_mul(x, y)), to_bits(x * y))
+        << std::hexfloat << "x=" << x << " y=" << y;
+  }
+}
+
+TEST_P(Differential, Div) {
+  Rng rng(104);
+  for (int i = 0; i < kTrials; ++i) {
+    auto [x, y] = draw_pair(rng, GetParam());
+    if (y == 0.0) continue;
+    ASSERT_EQ(to_bits(sf_div(x, y)), to_bits(x / y))
+        << std::hexfloat << "x=" << x << " y=" << y;
+  }
+}
+
+TEST_P(Differential, Sqrt) {
+  Rng rng(105);
+  for (int i = 0; i < kTrials; ++i) {
+    const double x = std::abs(draw_pair(rng, GetParam()).first);
+    ASSERT_EQ(to_bits(sf_sqrt(x)), to_bits(std::sqrt(x)))
+        << std::hexfloat << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, Differential,
+                         ::testing::Values(Dist::kNormalRange,
+                                           Dist::kWideExponent,
+                                           Dist::kSubnormalHeavy,
+                                           Dist::kNearEqual),
+                         [](const auto& param_info) {
+                           return dist_name(param_info.param);
+                         });
+
+/// The exact dataflow the rotation unit evaluates, fed with realistic
+/// norm/covariance magnitudes: chained soft ops must equal chained native.
+TEST(DifferentialChained, RotationFormulaPath) {
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const double n1 = std::abs(rng.gaussian()) * 50.0 + 1e-12;
+    const double n2 = std::abs(rng.gaussian()) * 50.0 + 1e-12;
+    const double c = rng.gaussian() * 5.0;
+    if (c == 0.0) continue;
+    // Soft path.
+    const double d_s = sf_sub(n1, n2);
+    const double d2_s = sf_mul(d_s, d_s);
+    const double c2_s = sf_mul(c, c);
+    const double s_s = sf_add(d2_s, 4.0 * c2_s);
+    const double r_s = sf_sqrt(s_s);
+    const double t_s = sf_div(2.0 * std::abs(c), sf_add(std::abs(d_s), r_s));
+    // Native path.
+    const double d_n = n1 - n2;
+    const double r_n = std::sqrt(d_n * d_n + 4.0 * (c * c));
+    const double t_n = (2.0 * std::abs(c)) / (std::abs(d_n) + r_n);
+    ASSERT_EQ(to_bits(t_s), to_bits(t_n)) << "n1=" << n1 << " n2=" << n2;
+    ASSERT_EQ(to_bits(r_s), to_bits(r_n));
+  }
+}
+
+}  // namespace
+}  // namespace hjsvd::fp

@@ -1,0 +1,136 @@
+// Tests for the fixed-point arithmetic substrate and the fixed-point
+// Hestenes model of the prior FPGA design [11].
+#include "fp/fixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/golub_kahan.hpp"
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "svd/fixed_hestenes.hpp"
+
+namespace hjsvd {
+namespace {
+
+using fp::FixedFormat;
+using fp::FixedOps;
+using fp::FixedStats;
+using fp::fixed_quantize;
+
+TEST(FixedFormat, RangeAndResolution) {
+  FixedFormat q16{15, 16};  // Q15.16, 32 bits
+  EXPECT_EQ(q16.total_bits(), 32);
+  EXPECT_DOUBLE_EQ(q16.resolution(), std::ldexp(1.0, -16));
+  EXPECT_NEAR(q16.max_value(), 32768.0, 1.0);
+}
+
+TEST(FixedQuantize, ExactValuesPassThrough) {
+  FixedFormat fmt{15, 16};
+  EXPECT_EQ(fixed_quantize(1.0, fmt), 1.0);
+  EXPECT_EQ(fixed_quantize(-2.5, fmt), -2.5);
+  EXPECT_EQ(fixed_quantize(0.0, fmt), 0.0);
+  EXPECT_EQ(fixed_quantize(std::ldexp(1.0, -16), fmt),
+            std::ldexp(1.0, -16));
+}
+
+TEST(FixedQuantize, RoundsToGrid) {
+  FixedFormat fmt{15, 16};
+  const double step = fmt.resolution();
+  EXPECT_EQ(fixed_quantize(step * 10.4, fmt), step * 10.0);
+  EXPECT_EQ(fixed_quantize(step * 10.6, fmt), step * 11.0);
+}
+
+TEST(FixedQuantize, SaturatesAndCounts) {
+  FixedFormat fmt{7, 8};  // Q7.8: range ~(-128, 128)
+  FixedStats stats;
+  EXPECT_NEAR(fixed_quantize(1e9, fmt, &stats), fmt.max_value(), 1e-6);
+  EXPECT_LT(fixed_quantize(-1e9, fmt, &stats), -127.9);
+  EXPECT_EQ(stats.saturations, 2u);
+}
+
+TEST(FixedQuantize, UnderflowCounts) {
+  FixedFormat fmt{15, 8};
+  FixedStats stats;
+  EXPECT_EQ(fixed_quantize(1e-6, fmt, &stats), 0.0);
+  EXPECT_EQ(stats.underflows, 1u);
+}
+
+TEST(FixedQuantize, InvalidFormatThrows) {
+  EXPECT_THROW(fixed_quantize(1.0, FixedFormat{60, 60}), Error);
+}
+
+TEST(FixedOps, ArithmeticStaysOnGrid) {
+  FixedFormat fmt{15, 8};
+  FixedStats stats;
+  FixedOps ops(fmt, stats);
+  const double a = ops.add(1.0, 0.5);
+  EXPECT_EQ(a, 1.5);
+  const double p = ops.mul(0.1015625, 0.5);  // representable inputs
+  EXPECT_EQ(p * 256.0, std::nearbyint(p * 256.0));  // result on grid
+  EXPECT_GE(stats.operations, 2u);
+}
+
+TEST(FixedOps, SqrtOfNegativeIsZero) {
+  FixedFormat fmt{15, 16};
+  FixedStats stats;
+  FixedOps ops(fmt, stats);
+  EXPECT_EQ(ops.sqrt(-4.0), 0.0);
+}
+
+TEST(FixedHestenes, AccurateForWellScaledData) {
+  // Data in [-1, 1] fits Q15.16 comfortably: the fixed-point SVD matches
+  // the double oracle to roughly the quantization level.
+  Rng rng(13);
+  const Matrix a = random_uniform(16, 12, rng);
+  const SvdResult oracle = golub_kahan_svd(a);
+  FixedStats stats;
+  HestenesConfig cfg;
+  cfg.max_sweeps = 12;
+  const SvdResult fixed =
+      fixed_point_hestenes_svd(a, FixedFormat{15, 16}, stats, cfg);
+  EXPECT_LT(singular_value_error(fixed.singular_values,
+                                 oracle.singular_values),
+            1e-3);
+  EXPECT_EQ(stats.saturations, 0u);
+}
+
+TEST(FixedHestenes, SaturatesOnLargeDynamicRange) {
+  // Squared norms of scaled columns overflow Q15.16 -> saturation events
+  // and garbage values: the dynamic-range failure of [11] that motivates
+  // the paper's move to double precision.
+  Rng rng(14);
+  Matrix a = random_uniform(16, 12, rng);
+  for (double& x : a.data()) x *= 1000.0;  // norms^2 ~ 16e6 >> 32767
+  FixedStats stats;
+  HestenesConfig cfg;
+  cfg.max_sweeps = 6;
+  const SvdResult fixed =
+      fixed_point_hestenes_svd(a, FixedFormat{15, 16}, stats, cfg);
+  EXPECT_GT(stats.saturations, 0u);
+  const SvdResult oracle = golub_kahan_svd(a);
+  EXPECT_GT(singular_value_error(fixed.singular_values,
+                                 oracle.singular_values),
+            1e-2);
+}
+
+TEST(FixedHestenes, WiderFormatRecoversAccuracy) {
+  Rng rng(15);
+  const Matrix a = random_uniform(12, 10, rng);
+  const SvdResult oracle = golub_kahan_svd(a);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 12;
+  FixedStats narrow_stats, wide_stats;
+  const SvdResult narrow =
+      fixed_point_hestenes_svd(a, FixedFormat{15, 8}, narrow_stats, cfg);
+  const SvdResult wide =
+      fixed_point_hestenes_svd(a, FixedFormat{15, 32}, wide_stats, cfg);
+  EXPECT_LT(singular_value_error(wide.singular_values,
+                                 oracle.singular_values),
+            singular_value_error(narrow.singular_values,
+                                 oracle.singular_values));
+}
+
+}  // namespace
+}  // namespace hjsvd

@@ -1,0 +1,191 @@
+// Directed tests of the bit-accurate soft-float: IEEE-754 special values,
+// signed zeros, subnormals, rounding boundaries, and exactness properties.
+#include "fp/softfloat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace hjsvd::fp {
+namespace {
+
+constexpr std::uint64_t kPosZero = 0x0000000000000000ULL;
+constexpr std::uint64_t kNegZero = 0x8000000000000000ULL;
+constexpr std::uint64_t kPosInf = 0x7FF0000000000000ULL;
+constexpr std::uint64_t kNegInf = 0xFFF0000000000000ULL;
+constexpr std::uint64_t kQNan = 0x7FF8000000000000ULL;
+constexpr std::uint64_t kMinSub = 0x0000000000000001ULL;  // smallest subnormal
+constexpr std::uint64_t kMaxSub = 0x000FFFFFFFFFFFFFULL;  // largest subnormal
+constexpr std::uint64_t kMinNorm = 0x0010000000000000ULL;
+constexpr std::uint64_t kMaxFinite = 0x7FEFFFFFFFFFFFFFULL;
+
+double D(std::uint64_t b) { return from_bits(b); }
+std::uint64_t B(double x) { return to_bits(x); }
+
+// --- Classification ---------------------------------------------------------
+
+TEST(Classify, RecognizesSpecials) {
+  EXPECT_TRUE(f64_is_nan(kQNan));
+  EXPECT_FALSE(f64_is_nan(kPosInf));
+  EXPECT_TRUE(f64_is_inf(kPosInf));
+  EXPECT_TRUE(f64_is_inf(kNegInf));
+  EXPECT_FALSE(f64_is_inf(kQNan));
+  EXPECT_TRUE(f64_is_zero(kPosZero));
+  EXPECT_TRUE(f64_is_zero(kNegZero));
+  EXPECT_TRUE(f64_is_subnormal(kMinSub));
+  EXPECT_TRUE(f64_is_subnormal(kMaxSub));
+  EXPECT_FALSE(f64_is_subnormal(kMinNorm));
+  EXPECT_FALSE(f64_is_subnormal(kPosZero));
+}
+
+// --- Addition special cases -------------------------------------------------
+
+TEST(Add, NanPropagates) {
+  EXPECT_TRUE(f64_is_nan(f64_add(kQNan, B(1.0))));
+  EXPECT_TRUE(f64_is_nan(f64_add(B(1.0), kQNan)));
+}
+
+TEST(Add, InfMinusInfIsNan) {
+  EXPECT_TRUE(f64_is_nan(f64_add(kPosInf, kNegInf)));
+  EXPECT_EQ(f64_add(kPosInf, kPosInf), kPosInf);
+  EXPECT_EQ(f64_add(kNegInf, kNegInf), kNegInf);
+}
+
+TEST(Add, SignedZeroRules) {
+  EXPECT_EQ(f64_add(kPosZero, kPosZero), kPosZero);
+  EXPECT_EQ(f64_add(kNegZero, kNegZero), kNegZero);
+  EXPECT_EQ(f64_add(kPosZero, kNegZero), kPosZero);  // RNE: +0
+  EXPECT_EQ(f64_add(kNegZero, kPosZero), kPosZero);
+}
+
+TEST(Add, ExactCancellationGivesPositiveZero) {
+  EXPECT_EQ(f64_add(B(1.5), B(-1.5)), kPosZero);
+  EXPECT_EQ(f64_sub(B(1.5), B(1.5)), kPosZero);
+}
+
+TEST(Add, ZeroPlusXIsX) {
+  EXPECT_EQ(f64_add(kPosZero, B(3.25)), B(3.25));
+  EXPECT_EQ(f64_add(B(-7.5), kNegZero), B(-7.5));
+}
+
+TEST(Add, OverflowToInfinity) {
+  EXPECT_EQ(f64_add(kMaxFinite, kMaxFinite), kPosInf);
+  EXPECT_EQ(f64_add(kMaxFinite | 0x8000000000000000ULL,
+                    kMaxFinite | 0x8000000000000000ULL),
+            kNegInf);
+}
+
+TEST(Add, SubnormalPlusSubnormal) {
+  EXPECT_EQ(f64_add(kMinSub, kMinSub), 0x0000000000000002ULL);
+  // Largest subnormal + smallest subnormal = smallest normal (exact).
+  EXPECT_EQ(f64_add(kMaxSub, kMinSub), kMinNorm);
+}
+
+TEST(Add, GradualUnderflowOnSubtraction) {
+  // min_norm - min_sub is the largest subnormal.
+  EXPECT_EQ(f64_sub(kMinNorm, kMinSub), kMaxSub);
+}
+
+TEST(Add, RoundsTieToEven) {
+  // 1 + 2^-53 is exactly halfway between 1 and nextafter(1): ties to 1.
+  EXPECT_EQ(f64_add(B(1.0), B(0x1.0p-53)), B(1.0));
+  // nextafter(1) + 2^-53 is halfway and ties UP to the even 1+2^-51... i.e.
+  // the neighbor with even last bit.
+  const double next1 = std::nextafter(1.0, 2.0);
+  EXPECT_EQ(f64_add(B(next1), B(0x1.0p-53)),
+            B(std::nextafter(next1, 2.0)));
+}
+
+// --- Multiplication ----------------------------------------------------------
+
+TEST(Mul, SpecialRules) {
+  EXPECT_TRUE(f64_is_nan(f64_mul(kPosInf, kPosZero)));
+  EXPECT_TRUE(f64_is_nan(f64_mul(kNegZero, kNegInf)));
+  EXPECT_EQ(f64_mul(kPosInf, B(-2.0)), kNegInf);
+  EXPECT_EQ(f64_mul(B(-3.0), B(-2.0)), B(6.0));
+  EXPECT_EQ(f64_mul(B(-3.0), kPosZero), kNegZero);
+}
+
+TEST(Mul, ExactPowersOfTwo) {
+  EXPECT_EQ(f64_mul(B(0.5), B(0.5)), B(0.25));
+  EXPECT_EQ(f64_mul(B(3.0), B(0.5)), B(1.5));
+}
+
+TEST(Mul, UnderflowToSubnormal) {
+  // min_norm * 0.5 = subnormal 2^-1023 exactly.
+  EXPECT_EQ(f64_mul(kMinNorm, B(0.5)), 0x0008000000000000ULL);
+}
+
+TEST(Mul, UnderflowToZero) {
+  EXPECT_EQ(f64_mul(kMinSub, B(0.25)), kPosZero);  // rounds to zero
+}
+
+TEST(Mul, OverflowToInfinity) {
+  EXPECT_EQ(f64_mul(kMaxFinite, B(2.0)), kPosInf);
+}
+
+// --- Division ------------------------------------------------------------------
+
+TEST(Div, SpecialRules) {
+  EXPECT_TRUE(f64_is_nan(f64_div(kPosInf, kNegInf)));
+  EXPECT_TRUE(f64_is_nan(f64_div(kPosZero, kNegZero)));
+  EXPECT_EQ(f64_div(B(1.0), kPosZero), kPosInf);
+  EXPECT_EQ(f64_div(B(-1.0), kPosZero), kNegInf);
+  EXPECT_EQ(f64_div(B(1.0), kNegInf), kNegZero);
+  EXPECT_EQ(f64_div(kPosInf, B(-2.0)), kNegInf);
+}
+
+TEST(Div, ExactQuotients) {
+  EXPECT_EQ(f64_div(B(6.0), B(3.0)), B(2.0));
+  EXPECT_EQ(f64_div(B(1.0), B(4.0)), B(0.25));
+}
+
+TEST(Div, OneThirdRoundsCorrectly) {
+  EXPECT_EQ(f64_div(B(1.0), B(3.0)), B(1.0 / 3.0));
+}
+
+// --- Square root ----------------------------------------------------------------
+
+TEST(Sqrt, SpecialRules) {
+  EXPECT_EQ(f64_sqrt(kPosZero), kPosZero);
+  EXPECT_EQ(f64_sqrt(kNegZero), kNegZero);  // IEEE: sqrt(-0) = -0
+  EXPECT_EQ(f64_sqrt(kPosInf), kPosInf);
+  EXPECT_TRUE(f64_is_nan(f64_sqrt(B(-1.0))));
+  EXPECT_TRUE(f64_is_nan(f64_sqrt(kNegInf)));
+  EXPECT_TRUE(f64_is_nan(f64_sqrt(kQNan)));
+}
+
+TEST(Sqrt, ExactSquares) {
+  EXPECT_EQ(f64_sqrt(B(4.0)), B(2.0));
+  EXPECT_EQ(f64_sqrt(B(9.0)), B(3.0));
+  EXPECT_EQ(f64_sqrt(B(0.25)), B(0.5));
+  EXPECT_EQ(f64_sqrt(B(1.0)), B(1.0));
+}
+
+TEST(Sqrt, MatchesHostOnIrrationals) {
+  for (double x : {2.0, 3.0, 5.0, 7.0, 10.0, 0.1, 123.456, 1e100, 1e-100}) {
+    EXPECT_EQ(f64_sqrt(B(x)), B(std::sqrt(x))) << "x=" << x;
+  }
+}
+
+TEST(Sqrt, SubnormalInput) {
+  EXPECT_EQ(f64_sqrt(kMinSub), B(std::sqrt(D(kMinSub))));
+  EXPECT_EQ(f64_sqrt(kMaxSub), B(std::sqrt(D(kMaxSub))));
+}
+
+// --- Algebraic identities ----------------------------------------------------
+
+TEST(Identities, SubIsAddOfNegation) {
+  EXPECT_EQ(f64_sub(B(5.0), B(3.0)), f64_add(B(5.0), B(-3.0)));
+}
+
+TEST(Identities, AdditionCommutes) {
+  const double xs[] = {1.0, -2.5, 1e300, 1e-300, 0.1};
+  for (double x : xs)
+    for (double y : xs)
+      EXPECT_EQ(f64_add(B(x), B(y)), f64_add(B(y), B(x)));
+}
+
+}  // namespace
+}  // namespace hjsvd::fp

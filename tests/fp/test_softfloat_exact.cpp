@@ -1,0 +1,98 @@
+// Exact-arithmetic soft-float tests, independent of the host FPU: on
+// operand sets whose results are exactly representable, the soft-float must
+// return the mathematically exact answer.  This complements the
+// differential suite (which would not catch a bug shared with the host).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "fp/softfloat.hpp"
+
+namespace hjsvd::fp {
+namespace {
+
+TEST(ExactArithmetic, SmallIntegerGridAddSubMul) {
+  // All sums/differences/products of integers in [-64, 64] are exactly
+  // representable in binary64; verify against integer arithmetic.
+  for (int a = -64; a <= 64; ++a) {
+    for (int b = -64; b <= 64; ++b) {
+      const double x = a, y = b;
+      ASSERT_EQ(sf_add(x, y), static_cast<double>(a + b)) << a << "+" << b;
+      ASSERT_EQ(sf_sub(x, y), static_cast<double>(a - b)) << a << "-" << b;
+      ASSERT_EQ(sf_mul(x, y), static_cast<double>(a * b)) << a << "*" << b;
+    }
+  }
+}
+
+TEST(ExactArithmetic, ExactDivisionGrid) {
+  // q = a / b is exact whenever a = q * b with q a small integer.
+  for (int q = -40; q <= 40; ++q) {
+    for (int b = 1; b <= 40; ++b) {
+      const double a = static_cast<double>(q) * b;
+      ASSERT_EQ(sf_div(a, b), static_cast<double>(q)) << q << " " << b;
+      ASSERT_EQ(sf_div(a, -b), static_cast<double>(-q));
+    }
+  }
+}
+
+TEST(ExactArithmetic, PerfectSquares) {
+  for (int r = 0; r <= 2000; ++r) {
+    const double sq = static_cast<double>(r) * r;
+    ASSERT_EQ(sf_sqrt(sq), static_cast<double>(r)) << r;
+  }
+}
+
+TEST(ExactArithmetic, PowersOfTwoScaleExactly) {
+  for (int e = -1000; e <= 1000; e += 37) {
+    const double p = std::ldexp(1.0, e);
+    ASSERT_EQ(sf_mul(p, 2.0), std::ldexp(1.0, e + 1));
+    ASSERT_EQ(sf_div(p, 2.0), std::ldexp(1.0, e - 1));
+    ASSERT_EQ(sf_mul(p, p == 0.0 ? 1.0 : 1.0), p);
+  }
+}
+
+TEST(ExactArithmetic, SqrtOfEvenPowersOfTwo) {
+  for (int e = -600; e <= 600; e += 2) {
+    ASSERT_EQ(sf_sqrt(std::ldexp(1.0, e)), std::ldexp(1.0, e / 2)) << e;
+  }
+}
+
+TEST(ExactArithmetic, DyadicFractions) {
+  // Sums of dyadic fractions with small denominators are exact.
+  for (int a = 1; a <= 32; ++a) {
+    for (int b = 1; b <= 32; ++b) {
+      const double x = a / 32.0, y = b / 32.0;
+      ASSERT_EQ(sf_add(x, y), (a + b) / 32.0);
+      ASSERT_EQ(sf_mul(x, y), (static_cast<double>(a) * b) / 1024.0);
+    }
+  }
+}
+
+TEST(ExactArithmetic, KnownRoundingCases) {
+  // (1 + 2^-52) * (1 + 2^-52) = 1 + 2^-51 + 2^-104 rounds to 1 + 2^-51
+  // (the 2^-104 tail is below the rounding point, sticky only).
+  const double one_ulp = 1.0 + std::ldexp(1.0, -52);
+  EXPECT_EQ(sf_mul(one_ulp, one_ulp), 1.0 + std::ldexp(1.0, -51));
+  // 2^53 + 1 is not representable: adding 1 to 2^53 ties to even (stays).
+  const double big = std::ldexp(1.0, 53);
+  EXPECT_EQ(sf_add(big, 1.0), big);
+  // ...but adding 2 is exact.
+  EXPECT_EQ(sf_add(big, 2.0), big + 2.0);
+  // 2^53 + 3 ties at 2^53+3 -> nearest even multiple of 2 is 2^53+4.
+  EXPECT_EQ(sf_add(big, 3.0), big + 4.0);
+}
+
+TEST(ExactArithmetic, OneThirdKnownBits) {
+  // 1/3 rounds to 0x3FD5555555555555 (the classic pattern).
+  EXPECT_EQ(f64_div(to_bits(1.0), to_bits(3.0)), 0x3FD5555555555555ULL);
+  // 2/3 rounds to 0x3FE5555555555555.
+  EXPECT_EQ(f64_div(to_bits(2.0), to_bits(3.0)), 0x3FE5555555555555ULL);
+}
+
+TEST(ExactArithmetic, SqrtTwoKnownBits) {
+  EXPECT_EQ(f64_sqrt(to_bits(2.0)), 0x3FF6A09E667F3BCDULL);
+}
+
+}  // namespace
+}  // namespace hjsvd::fp

@@ -1,0 +1,82 @@
+// Special-value fuzzing: feed the soft-float completely random 64-bit
+// patterns — including NaNs, infinities and subnormals — and check the
+// IEEE-754 classification contract against the host FPU on every op.
+// (Exact NaN payloads are implementation-defined on the host, so NaN
+// results are compared by class, everything else bit-exactly.)
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fp/softfloat.hpp"
+
+namespace hjsvd::fp {
+namespace {
+
+/// Compares a soft result against the host result: bit-exact unless both
+/// are NaN (payload may differ).
+void expect_equivalent(std::uint64_t soft, double host, std::uint64_t a,
+                       std::uint64_t b, const char* op) {
+  const std::uint64_t ref = to_bits(host);
+  if (f64_is_nan(soft) || std::isnan(host)) {
+    ASSERT_TRUE(f64_is_nan(soft) && std::isnan(host))
+        << op << " class mismatch: a=" << std::hex << a << " b=" << b
+        << " soft=" << soft << " host=" << ref;
+    return;
+  }
+  ASSERT_EQ(soft, ref) << op << ": a=" << std::hex << a << " b=" << b;
+}
+
+class SpecialsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+constexpr int kTrials = 150000;
+
+TEST_P(SpecialsFuzz, AddSubMulDivOnRawBitPatterns) {
+  Rng rng(GetParam());
+  for (int t = 0; t < kTrials; ++t) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const double x = from_bits(a);
+    const double y = from_bits(b);
+    expect_equivalent(f64_add(a, b), x + y, a, b, "add");
+    expect_equivalent(f64_sub(a, b), x - y, a, b, "sub");
+    expect_equivalent(f64_mul(a, b), x * y, a, b, "mul");
+    expect_equivalent(f64_div(a, b), x / y, a, b, "div");
+  }
+}
+
+TEST_P(SpecialsFuzz, SqrtOnRawBitPatterns) {
+  Rng rng(GetParam() ^ 0xD00D);
+  for (int t = 0; t < kTrials; ++t) {
+    const std::uint64_t a = rng.next_u64();
+    expect_equivalent(f64_sqrt(a), std::sqrt(from_bits(a)), a, 0, "sqrt");
+  }
+}
+
+TEST_P(SpecialsFuzz, BiasedTowardSpecialExponents) {
+  // Force exponents to the extremes (0, 1, 2046, 2047) where the rounding
+  // and special-case paths live.
+  Rng rng(GetParam() ^ 0xBEEF);
+  const std::uint64_t exps[] = {0ull, 1ull, 2ull, 2045ull, 2046ull, 2047ull};
+  for (int t = 0; t < kTrials; ++t) {
+    auto draw = [&] {
+      const std::uint64_t sign = rng.next_u64() & 0x8000000000000000ULL;
+      const std::uint64_t e = exps[rng.bounded(6)];
+      const std::uint64_t frac = rng.next_u64() & 0x000FFFFFFFFFFFFFULL;
+      return sign | (e << 52) | frac;
+    };
+    const std::uint64_t a = draw();
+    const std::uint64_t b = draw();
+    const double x = from_bits(a);
+    const double y = from_bits(b);
+    expect_equivalent(f64_add(a, b), x + y, a, b, "add");
+    expect_equivalent(f64_mul(a, b), x * y, a, b, "mul");
+    expect_equivalent(f64_div(a, b), x / y, a, b, "div");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecialsFuzz,
+                         ::testing::Values(0x11u, 0x22u, 0x33u));
+
+}  // namespace
+}  // namespace hjsvd::fp

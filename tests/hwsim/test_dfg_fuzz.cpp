@@ -1,0 +1,118 @@
+// Property/fuzz tests for the list scheduler: random DAGs scheduled onto
+// random unit sets must respect dependencies and never oversubscribe any
+// resource class in any cycle.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "hwsim/dfg.hpp"
+
+namespace hjsvd::hwsim {
+namespace {
+
+using fp::CoreLatencies;
+using fp::OpKind;
+
+OpKind random_kind(Rng& rng) {
+  switch (rng.bounded(5)) {
+    case 0: return OpKind::kMul;
+    case 1: return OpKind::kAdd;
+    case 2: return OpKind::kSub;
+    case 3: return OpKind::kDiv;
+    default: return OpKind::kSqrt;
+  }
+}
+
+Dataflow random_dag(Rng& rng, std::size_t nodes, double edge_prob_percent) {
+  Dataflow g;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    std::vector<std::size_t> deps;
+    for (std::size_t d = 0; d < i; ++d)
+      if (rng.bounded(100) < edge_prob_percent) deps.push_back(d);
+    g.add(random_kind(rng), std::move(deps));
+  }
+  return g;
+}
+
+int resource_class_of(OpKind k) {
+  switch (k) {
+    case OpKind::kMul: return 0;
+    case OpKind::kAdd:
+    case OpKind::kSub: return 1;
+    case OpKind::kDiv: return 2;
+    case OpKind::kSqrt: return 3;
+  }
+  return 0;
+}
+
+class SchedulerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerFuzz, ScheduleIsValid) {
+  Rng rng(GetParam());
+  const CoreLatencies lat;
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t nodes = 2 + rng.bounded(60);
+    const auto g = random_dag(rng, nodes, 5 + rng.bounded(25));
+    const FuSet fus{static_cast<std::uint32_t>(1 + rng.bounded(3)),
+                    static_cast<std::uint32_t>(1 + rng.bounded(3)),
+                    static_cast<std::uint32_t>(1 + rng.bounded(2)),
+                    static_cast<std::uint32_t>(1 + rng.bounded(2))};
+    const Schedule s = list_schedule(g, fus, lat);
+
+    // 1. Dependencies: a node starts only after all producers finish.
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      for (std::size_t d : g.nodes()[i].deps)
+        ASSERT_GE(s.start[i], s.finish[d]);
+      ASSERT_EQ(s.finish[i], s.start[i] + lat.of(g.nodes()[i].kind));
+    }
+    // 2. Resources: per class, at most `count` issues per cycle (II = 1).
+    std::map<std::pair<int, Cycle>, std::uint32_t> issues;
+    for (std::size_t i = 0; i < g.size(); ++i)
+      ++issues[{resource_class_of(g.nodes()[i].kind), s.start[i]}];
+    const std::uint32_t caps[4] = {fus.mul, fus.add, fus.div, fus.sqrt};
+    for (const auto& [key, count] : issues)
+      ASSERT_LE(count, caps[key.first]);
+    // 3. Makespan is the max finish.
+    Cycle max_finish = 0;
+    for (Cycle f : s.finish) max_finish = std::max(max_finish, f);
+    ASSERT_EQ(s.makespan, max_finish);
+  }
+}
+
+TEST_P(SchedulerFuzz, MoreUnitsNeverHurt) {
+  Rng rng(GetParam() ^ 0xABCD);
+  const CoreLatencies lat;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = random_dag(rng, 2 + rng.bounded(40), 20);
+    const Schedule narrow = list_schedule(g, FuSet{1, 1, 1, 1}, lat);
+    const Schedule wide = list_schedule(g, FuSet{4, 4, 4, 4}, lat);
+    ASSERT_LE(wide.makespan, narrow.makespan);
+  }
+}
+
+TEST_P(SchedulerFuzz, MakespanAtLeastCriticalPathAndWorkBound) {
+  Rng rng(GetParam() ^ 0x1234);
+  const CoreLatencies lat;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = random_dag(rng, 2 + rng.bounded(40), 15);
+    const FuSet fus{1, 2, 1, 1};
+    const Schedule s = list_schedule(g, fus, lat);
+    // Work bound per class: ops / units issue cycles + final latency.
+    std::uint64_t per_class[4] = {0, 0, 0, 0};
+    for (const auto& node : g.nodes())
+      ++per_class[resource_class_of(node.kind)];
+    const std::uint32_t caps[4] = {fus.mul, fus.add, fus.div, fus.sqrt};
+    for (int c = 0; c < 4; ++c) {
+      if (per_class[c] == 0) continue;
+      const Cycle issue_floor = (per_class[c] - 1) / caps[c];
+      ASSERT_GE(s.makespan, issue_floor);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace hjsvd::hwsim

@@ -1,0 +1,110 @@
+// Tests for the hardware-simulation primitives: pipelined units, FIFOs,
+// BRAM ports, memory channel.
+#include <gtest/gtest.h>
+
+#include "hwsim/bram.hpp"
+#include "hwsim/clock.hpp"
+#include "hwsim/fifo.hpp"
+#include "hwsim/memory.hpp"
+#include "hwsim/pipeline.hpp"
+
+namespace hjsvd::hwsim {
+namespace {
+
+TEST(ClockDomain, ConvertsCyclesToSeconds) {
+  ClockDomain clk{150e6};
+  EXPECT_DOUBLE_EQ(clk.seconds(150'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(clk.seconds(150'000), 1e-3);
+}
+
+TEST(PipelinedUnit, FullyPipelinedIssuesEveryCycle) {
+  PipelinedUnit u(9);  // multiplier latency, II = 1
+  EXPECT_EQ(u.issue(0), 9u);
+  EXPECT_EQ(u.issue(1), 10u);
+  EXPECT_EQ(u.issue(2), 11u);
+  EXPECT_EQ(u.issued(), 3u);
+}
+
+TEST(PipelinedUnit, RespectsInitiationInterval) {
+  PipelinedUnit u(10, 4);
+  EXPECT_EQ(u.issue(0), 10u);
+  EXPECT_FALSE(u.can_issue(3));
+  EXPECT_TRUE(u.can_issue(4));
+  // Issuing "at 1" is deferred to cycle 4 by the II.
+  EXPECT_EQ(u.issue(1), 14u);
+}
+
+TEST(PipelinedUnit, IdleGapsAllowed) {
+  PipelinedUnit u(5);
+  EXPECT_EQ(u.issue(0), 5u);
+  EXPECT_EQ(u.issue(100), 105u);
+  EXPECT_EQ(u.last_retire(), 105u);
+}
+
+TEST(Fifo, PushPopFifoOrder) {
+  Fifo<int> f(4);
+  EXPECT_TRUE(f.try_push(1));
+  EXPECT_TRUE(f.try_push(2));
+  int out = 0;
+  EXPECT_TRUE(f.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(f.try_pop(out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(Fifo, FullStallsProducer) {
+  Fifo<int> f(2);
+  EXPECT_TRUE(f.try_push(1));
+  EXPECT_TRUE(f.try_push(2));
+  EXPECT_FALSE(f.try_push(3));
+  EXPECT_EQ(f.push_stalls(), 1u);
+  EXPECT_EQ(f.high_water(), 2u);
+}
+
+TEST(Fifo, EmptyStallsConsumer) {
+  Fifo<int> f(2);
+  int out = 0;
+  EXPECT_FALSE(f.try_pop(out));
+  EXPECT_EQ(f.pop_stalls(), 1u);
+}
+
+TEST(Fifo, ZeroCapacityThrows) { EXPECT_THROW(Fifo<int>(0), Error); }
+
+TEST(Bram, CapacityCheck) {
+  DualPortBram bram(1024);
+  EXPECT_TRUE(bram.fits(1024));
+  EXPECT_FALSE(bram.fits(1025));
+}
+
+TEST(Bram, OnePortPerCyclePerDirection) {
+  DualPortBram bram(16);
+  EXPECT_TRUE(bram.try_read(0));
+  EXPECT_FALSE(bram.try_read(0));  // conflict in the same cycle
+  EXPECT_TRUE(bram.try_write(0));  // independent write port
+  EXPECT_TRUE(bram.try_read(1));   // next cycle is fine
+  EXPECT_EQ(bram.read_conflicts(), 1u);
+}
+
+TEST(Memory, SerializesTransfersAtBandwidth) {
+  MemoryChannelModel mem(MemoryConfig{8.0, 10});
+  // 80 words at 8/cycle: busy 10 cycles, done at 10 + latency 10 = 20.
+  EXPECT_EQ(mem.transfer(0, 80), 20u);
+  // Second transfer queues behind the first's channel occupancy (10).
+  EXPECT_EQ(mem.transfer(0, 16), 10u + 2u + 10u);
+  EXPECT_EQ(mem.words_moved(), 96u);
+  EXPECT_EQ(mem.transfers(), 2u);
+}
+
+TEST(Memory, StreamingCyclesCeil) {
+  MemoryChannelModel mem(MemoryConfig{64.0, 0});
+  EXPECT_EQ(mem.streaming_cycles(1), 1u);
+  EXPECT_EQ(mem.streaming_cycles(64), 1u);
+  EXPECT_EQ(mem.streaming_cycles(65), 2u);
+}
+
+TEST(Memory, ZeroBandwidthThrows) {
+  EXPECT_THROW(MemoryChannelModel(MemoryConfig{0.0, 0}), Error);
+}
+
+}  // namespace
+}  // namespace hjsvd::hwsim

@@ -1,0 +1,84 @@
+// Algebraic property tests for the matrix kernels.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hjsvd {
+namespace {
+
+class AlgebraProps : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+  Matrix random(std::size_t r, std::size_t c) {
+    return random_gaussian(r, c, rng_);
+  }
+};
+
+TEST_P(AlgebraProps, MatmulIsAssociative) {
+  const Matrix a = random(5, 7), b = random(7, 4), c = random(4, 6);
+  const Matrix left = matmul(matmul(a, b), c);
+  const Matrix right = matmul(a, matmul(b, c));
+  EXPECT_LT(Matrix::max_abs_diff(left, right), 1e-12);
+}
+
+TEST_P(AlgebraProps, MatmulDistributesOverAddition) {
+  const Matrix a = random(6, 5), b = random(5, 3), c = random(5, 3);
+  Matrix sum(5, 3);
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t i = 0; i < 5; ++i) sum(i, j) = b(i, j) + c(i, j);
+  const Matrix left = matmul(a, sum);
+  const Matrix ab = matmul(a, b);
+  const Matrix ac = matmul(a, c);
+  Matrix right(6, 3);
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t i = 0; i < 6; ++i) right(i, j) = ab(i, j) + ac(i, j);
+  EXPECT_LT(Matrix::max_abs_diff(left, right), 1e-12);
+}
+
+TEST_P(AlgebraProps, TransposeOfProduct) {
+  const Matrix a = random(4, 6), b = random(6, 5);
+  const Matrix lhs = matmul(a, b).transposed();
+  const Matrix rhs = matmul(b.transposed(), a.transposed());
+  EXPECT_LT(Matrix::max_abs_diff(lhs, rhs), 1e-13);
+}
+
+TEST_P(AlgebraProps, GramIsPositiveSemiDefinite) {
+  const Matrix a = random(9, 6);
+  const Matrix g = gram_full(a);
+  // x^T G x = ||A x||^2 >= 0 for random probes.
+  for (int probe = 0; probe < 20; ++probe) {
+    Matrix x(6, 1);
+    for (double& v : x.data()) v = rng_.gaussian();
+    const Matrix gx = matmul(g, x);
+    double quad = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) quad += x(i, 0) * gx(i, 0);
+    EXPECT_GE(quad, -1e-10);
+  }
+}
+
+TEST_P(AlgebraProps, FrobeniusIsOrthogonallyInvariant) {
+  Matrix a = random(8, 5);
+  const double before = frobenius_norm(a);
+  apply_random_orthogonal_left(a, rng_, 6);
+  EXPECT_NEAR(frobenius_norm(a), before, 1e-10 * (1.0 + before));
+}
+
+TEST_P(AlgebraProps, CauchySchwarzOnColumns) {
+  const Matrix a = random(12, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) {
+      const double lhs = dot(a.col(i), a.col(j)) * dot(a.col(i), a.col(j));
+      const double rhs =
+          squared_norm(a.col(i)) * squared_norm(a.col(j));
+      EXPECT_LE(lhs, rhs * (1.0 + 1e-12));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraProps,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace hjsvd

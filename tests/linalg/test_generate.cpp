@@ -1,0 +1,97 @@
+// Tests for the matrix generators.
+#include "linalg/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/golub_kahan.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/residuals.hpp"
+
+namespace hjsvd {
+namespace {
+
+TEST(Generate, UniformRespectsRange) {
+  Rng rng(1);
+  const Matrix m = random_uniform(20, 30, rng, -2.0, 3.0);
+  for (double v : m.data()) {
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Generate, Deterministic) {
+  Rng r1(42), r2(42);
+  const Matrix a = random_gaussian(10, 10, r1);
+  const Matrix b = random_gaussian(10, 10, r2);
+  EXPECT_EQ(Matrix::max_abs_diff(a, b), 0.0);
+}
+
+TEST(Generate, WithSingularValuesPreservesFrobenius) {
+  // ||A||_F^2 = sum of squared singular values, invariant under the random
+  // orthogonal transforms.
+  Rng rng(5);
+  const std::vector<double> sv = {5.0, 3.0, 1.0, 0.5};
+  const Matrix a = with_singular_values(8, 4, sv, rng);
+  double expect = 0.0;
+  for (double s : sv) expect += s * s;
+  EXPECT_NEAR(frobenius_norm(a), std::sqrt(expect), 1e-10);
+}
+
+TEST(Generate, WithSingularValuesExactlyRecovered) {
+  Rng rng(9);
+  const std::vector<double> sv = {4.0, 2.0, 1.0};
+  const Matrix a = with_singular_values(6, 3, sv, rng);
+  const SvdResult ref = golub_kahan_svd(a);
+  ASSERT_EQ(ref.singular_values.size(), 3u);
+  EXPECT_NEAR(ref.singular_values[0], 4.0, 1e-10);
+  EXPECT_NEAR(ref.singular_values[1], 2.0, 1e-10);
+  EXPECT_NEAR(ref.singular_values[2], 1.0, 1e-10);
+}
+
+TEST(Generate, WithSingularValuesWrongCountThrows) {
+  Rng rng(1);
+  EXPECT_THROW(with_singular_values(4, 4, {1.0, 2.0}, rng), Error);
+}
+
+TEST(Generate, RankDeficientHasZeroTail) {
+  Rng rng(3);
+  const Matrix a = random_rank_deficient(10, 6, 3, rng);
+  const SvdResult ref = golub_kahan_svd(a);
+  ASSERT_EQ(ref.singular_values.size(), 6u);
+  EXPECT_GT(ref.singular_values[2], 0.1);
+  EXPECT_NEAR(ref.singular_values[3], 0.0, 1e-10);
+  EXPECT_NEAR(ref.singular_values[5], 0.0, 1e-10);
+}
+
+TEST(Generate, ConditionedHitsKappa) {
+  Rng rng(4);
+  const double kappa = 1e6;
+  const Matrix a = random_conditioned(12, 8, kappa, rng);
+  const SvdResult ref = golub_kahan_svd(a);
+  const double measured =
+      ref.singular_values.front() / ref.singular_values.back();
+  EXPECT_NEAR(measured / kappa, 1.0, 1e-6);
+}
+
+TEST(Generate, HilbertIsSymmetricAndIllConditioned) {
+  const Matrix h = hilbert(6);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j) EXPECT_EQ(h(i, j), h(j, i));
+  EXPECT_EQ(h(0, 0), 1.0);
+  EXPECT_EQ(h(1, 2), 0.25);
+  const SvdResult ref = golub_kahan_svd(h);
+  EXPECT_GT(ref.singular_values.front() / ref.singular_values.back(), 1e6);
+}
+
+TEST(Generate, RandomOrthogonalPreservesNorms) {
+  Rng rng(6);
+  Matrix a = random_gaussian(10, 4, rng);
+  const double before = frobenius_norm(a);
+  apply_random_orthogonal_left(a, rng, 5);
+  EXPECT_NEAR(frobenius_norm(a), before, 1e-10);
+}
+
+}  // namespace
+}  // namespace hjsvd

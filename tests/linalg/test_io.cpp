@@ -1,0 +1,88 @@
+// Tests for Matrix Market I/O.
+#include "linalg/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+
+namespace hjsvd {
+namespace {
+
+TEST(MatrixMarket, RoundTripsThroughStreams) {
+  Rng rng(41);
+  const Matrix a = random_gaussian(7, 5, rng);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const Matrix b = read_matrix_market(ss);
+  EXPECT_EQ(b.rows(), 7u);
+  EXPECT_EQ(b.cols(), 5u);
+  EXPECT_EQ(Matrix::max_abs_diff(a, b), 0.0);  // 17 digits: exact round trip
+}
+
+TEST(MatrixMarket, RoundTripsThroughFiles) {
+  Rng rng(42);
+  const Matrix a = random_gaussian(4, 6, rng);
+  const std::string path = "/tmp/hjsvd_io_test.mtx";
+  write_matrix_market_file(path, a);
+  const Matrix b = read_matrix_market_file(path);
+  EXPECT_EQ(Matrix::max_abs_diff(a, b), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, ParsesCoordinateGeneral) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 3\n"
+      "1 1 2.5\n"
+      "3 2 -1.0\n"
+      "2 4 7\n");
+  const Matrix m = read_matrix_market(ss);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m(0, 0), 2.5);
+  EXPECT_EQ(m(2, 1), -1.0);
+  EXPECT_EQ(m(1, 3), 7.0);
+  EXPECT_EQ(m(1, 1), 0.0);
+}
+
+TEST(MatrixMarket, ParsesCoordinateSymmetric) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 1.0\n"
+      "2 1 5.0\n"
+      "3 3 2.0\n");
+  const Matrix m = read_matrix_market(ss);
+  EXPECT_EQ(m(1, 0), 5.0);
+  EXPECT_EQ(m(0, 1), 5.0);  // mirrored
+  EXPECT_EQ(m(2, 2), 2.0);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedFlavors) {
+  std::stringstream complex_mtx(
+      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n");
+  EXPECT_THROW(read_matrix_market(complex_mtx), Error);
+  std::stringstream bad_banner("%%NotMatrixMarket matrix array real general\n");
+  EXPECT_THROW(read_matrix_market(bad_banner), Error);
+}
+
+TEST(MatrixMarket, RejectsMalformedData) {
+  std::stringstream truncated(
+      "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(truncated), Error);
+  std::stringstream out_of_range(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(out_of_range), Error);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/x.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace hjsvd

@@ -1,0 +1,93 @@
+// Tests for the vector/matrix kernels and convergence metrics.
+#include "linalg/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+
+namespace hjsvd {
+namespace {
+
+TEST(Dot, Basic) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {4, 5, 6};
+  EXPECT_EQ(dot(x, y), 32.0);
+}
+
+TEST(Dot, MismatchThrows) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1};
+  EXPECT_THROW(dot(x, y), Error);
+}
+
+TEST(SquaredNorm, Basic) {
+  const std::vector<double> x = {3, 4};
+  EXPECT_EQ(squared_norm(x), 25.0);
+}
+
+TEST(Frobenius, KnownValue) {
+  const Matrix a = Matrix::from_rows({{3, 0}, {0, 4}});
+  EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
+}
+
+TEST(Frobenius, ScaledAccumulationAvoidsOverflow) {
+  Matrix a(1, 2);
+  a(0, 0) = 1e200;
+  a(0, 1) = 1e200;
+  EXPECT_NEAR(frobenius_norm(a) / (std::sqrt(2.0) * 1e200), 1.0, 1e-12);
+}
+
+TEST(Gram, MatchesExplicitTransposeProduct) {
+  Rng rng(2);
+  const Matrix a = random_gaussian(12, 5, rng);
+  const Matrix d = gram_full(a);
+  const Matrix ref = matmul(a.transposed(), a);
+  EXPECT_LT(Matrix::max_abs_diff(d, ref), 1e-12);
+}
+
+TEST(Gram, UpperLeavesLowerZero) {
+  Rng rng(2);
+  const Matrix a = random_gaussian(6, 4, rng);
+  const Matrix d = gram_upper(a);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < i; ++j) EXPECT_EQ(d(i, j), 0.0);
+}
+
+TEST(Gram, DiagonalIsSquaredNorms) {
+  Rng rng(8);
+  const Matrix a = random_gaussian(9, 3, rng);
+  const Matrix d = gram_upper(a);
+  const auto norms = squared_col_norms(a);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(d(j, j), norms[j]);
+}
+
+TEST(MeanAbsOffdiag, KnownValue) {
+  const Matrix d = Matrix::from_rows({{1, 2, -4}, {0, 1, 6}, {0, 0, 1}});
+  // Off-diagonals (upper): 2, -4, 6 -> mean |.| = 4.
+  EXPECT_DOUBLE_EQ(mean_abs_offdiag(d), 4.0);
+}
+
+TEST(MeanAbsOffdiag, ZeroForDiagonal) {
+  EXPECT_EQ(mean_abs_offdiag(Matrix::identity(5)), 0.0);
+  EXPECT_EQ(mean_abs_offdiag(Matrix(1, 1)), 0.0);
+}
+
+TEST(MaxRelativeOffdiag, KnownValue) {
+  const Matrix d = Matrix::from_rows({{10, 2}, {0, 5}});
+  EXPECT_DOUBLE_EQ(max_relative_offdiag(d), 0.2);
+}
+
+TEST(MaxRelativeOffdiag, ZeroMatrix) {
+  EXPECT_EQ(max_relative_offdiag(Matrix(3, 3)), 0.0);
+}
+
+TEST(Metrics, NonSquareThrows) {
+  EXPECT_THROW(mean_abs_offdiag(Matrix(2, 3)), Error);
+  EXPECT_THROW(max_relative_offdiag(Matrix(2, 3)), Error);
+}
+
+}  // namespace
+}  // namespace hjsvd

@@ -1,0 +1,94 @@
+// Tests for the dense column-major matrix type.
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hjsvd {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 2);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, FromRowsLaysOutNaturally) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 1), 5.0);
+}
+
+TEST(Matrix, FromRowsRaggedThrows) {
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), Error);
+}
+
+TEST(Matrix, ColumnsAreContiguousViews) {
+  Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  auto c0 = m.col(0);
+  EXPECT_EQ(c0[0], 1.0);
+  EXPECT_EQ(c0[1], 3.0);
+  c0[1] = 9.0;
+  EXPECT_EQ(m(1, 0), 9.0);
+}
+
+TEST(Matrix, IdentityHasUnitDiagonal) {
+  const Matrix i = Matrix::identity(4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, TransposeRoundTrips) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(Matrix::max_abs_diff(t.transposed(), m), 0.0);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{1, 2}, {3, 4.5}});
+  EXPECT_EQ(Matrix::max_abs_diff(a, b), 0.5);
+}
+
+TEST(Matrix, MaxAbsDiffShapeMismatchThrows) {
+  EXPECT_THROW(Matrix::max_abs_diff(Matrix(2, 2), Matrix(2, 3)), Error);
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(Matrix::max_abs_diff(matmul(a, Matrix::identity(2)), a), 0.0);
+  EXPECT_EQ(Matrix::max_abs_diff(matmul(Matrix::identity(3), a), a), 0.0);
+}
+
+TEST(Matmul, KnownProduct) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = matmul(a, b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matmul, RectangularShapes) {
+  const Matrix a(3, 5);
+  const Matrix b(5, 2);
+  const Matrix c = matmul(a, b);
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 2u);
+}
+
+TEST(Matmul, InnerDimensionMismatchThrows) {
+  EXPECT_THROW(matmul(Matrix(2, 3), Matrix(2, 3)), Error);
+}
+
+}  // namespace
+}  // namespace hjsvd

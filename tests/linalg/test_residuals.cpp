@@ -1,0 +1,71 @@
+// Tests for the SVD quality metrics.
+#include "linalg/residuals.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/kernels.hpp"
+
+namespace hjsvd {
+namespace {
+
+TEST(Reconstruction, PerfectFactorizationHasZeroError) {
+  // A = U diag(2,1) V^T with U = V = I.
+  SvdResult svd;
+  svd.singular_values = {2.0, 1.0};
+  svd.u = Matrix::identity(2);
+  svd.v = Matrix::identity(2);
+  const Matrix a = Matrix::from_rows({{2, 0}, {0, 1}});
+  EXPECT_NEAR(reconstruction_error(a, svd), 0.0, 1e-15);
+}
+
+TEST(Reconstruction, DetectsWrongFactorization) {
+  SvdResult svd;
+  svd.singular_values = {1.0, 1.0};
+  svd.u = Matrix::identity(2);
+  svd.v = Matrix::identity(2);
+  const Matrix a = Matrix::from_rows({{2, 0}, {0, 1}});
+  EXPECT_GT(reconstruction_error(a, svd), 0.1);
+}
+
+TEST(Reconstruction, RequiresVectors) {
+  SvdResult svd;
+  svd.singular_values = {1.0};
+  EXPECT_THROW(reconstruction_error(Matrix(1, 1), svd), Error);
+}
+
+TEST(Orthogonality, IdentityIsPerfect) {
+  EXPECT_EQ(orthogonality_error(Matrix::identity(4)), 0.0);
+}
+
+TEST(Orthogonality, ScaledColumnsDetected) {
+  Matrix q = Matrix::identity(3);
+  q(0, 0) = 2.0;
+  EXPECT_NEAR(orthogonality_error(q), 3.0, 1e-15);  // 4 - 1
+}
+
+TEST(SingularValueError, IdenticalListsAreZero) {
+  EXPECT_EQ(singular_value_error({3, 2, 1}, {3, 2, 1}), 0.0);
+}
+
+TEST(SingularValueError, NormalizedByLargest) {
+  EXPECT_DOUBLE_EQ(singular_value_error({10, 1}, {10, 2}), 0.1);
+}
+
+TEST(SingularValueError, SizeMismatchThrows) {
+  EXPECT_THROW(singular_value_error({1.0}, {1.0, 2.0}), Error);
+}
+
+TEST(SingularValueError, AllZeroIsZero) {
+  EXPECT_EQ(singular_value_error({0, 0}, {0, 0}), 0.0);
+}
+
+TEST(SortDescending, Sorts) {
+  std::vector<double> v = {1.0, 3.0, 2.0};
+  sort_descending(v);
+  EXPECT_EQ(v, (std::vector<double>{3.0, 2.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace hjsvd

@@ -1,0 +1,60 @@
+// Tests for the benchmark plumbing.
+#include "reportgen/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hjsvd::report {
+namespace {
+
+TEST(Runner, ExperimentMatrixShapeAndDeterminism) {
+  const Matrix a = experiment_matrix(12, 7);
+  EXPECT_EQ(a.rows(), 12u);
+  EXPECT_EQ(a.cols(), 7u);
+  EXPECT_EQ(Matrix::max_abs_diff(a, experiment_matrix(12, 7)), 0.0);
+}
+
+TEST(Runner, DifferentShapesGetDifferentData) {
+  const Matrix a = experiment_matrix(8, 8);
+  const Matrix b = experiment_matrix(8, 8, 9999);
+  EXPECT_GT(Matrix::max_abs_diff(a, b), 0.0);
+}
+
+TEST(Runner, TimeBestRunsAtLeastOnce) {
+  int calls = 0;
+  const double t = time_best([&] { ++calls; }, 0.0, 5);
+  EXPECT_GE(calls, 1);
+  EXPECT_GE(t, 0.0);
+}
+
+TEST(Runner, TimeBestStopsAtRepCap) {
+  int calls = 0;
+  (void)time_best([&] { ++calls; }, 1e9, 3);  // never reaches min_seconds
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Runner, TimeBestReturnsTheMinimum) {
+  // The first call sleeps longer than the rest; best must be < first.
+  int call = 0;
+  const double t = time_best(
+      [&] {
+        ++call;
+        volatile double x = 0;
+        const int spin = call == 1 ? 2000000 : 1000;
+        for (int i = 0; i < spin; ++i) x = x + i;
+      },
+      1e9, 4);
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(Runner, HostDescriptionMentionsThreads) {
+  EXPECT_NE(host_description().find("threads"), std::string::npos);
+}
+
+TEST(Runner, BaselineTimersReturnPositive) {
+  const Matrix a = experiment_matrix(16, 8);
+  EXPECT_GT(golub_kahan_seconds(a), 0.0);
+  EXPECT_GT(parallel_hestenes_seconds(a), 0.0);
+}
+
+}  // namespace
+}  // namespace hjsvd::report

@@ -1,0 +1,216 @@
+// Correctness tests for the modified Hestenes-Jacobi SVD (Algorithm 1).
+#include "svd/hestenes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/golub_kahan.hpp"
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/kernels.hpp"
+
+namespace hjsvd {
+namespace {
+
+HestenesConfig tolerant_config() {
+  HestenesConfig cfg;
+  cfg.max_sweeps = 30;
+  cfg.tolerance = 1e-14;
+  return cfg;
+}
+
+TEST(Hestenes, DiagonalMatrixIsImmediate) {
+  Matrix a(4, 4);
+  a(0, 0) = 4.0;
+  a(1, 1) = 3.0;
+  a(2, 2) = 2.0;
+  a(3, 3) = 1.0;
+  const SvdResult r = modified_hestenes_svd(a);
+  ASSERT_EQ(r.singular_values.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.singular_values[0], 4.0);
+  EXPECT_DOUBLE_EQ(r.singular_values[3], 1.0);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Hestenes, KnownTwoByTwo) {
+  // A = [[3, 0], [4, 5]] has singular values sqrt(45/2 +- sqrt(45^2/4-225))
+  // = {sqrt(45), sqrt(5)} ... classic example: {3*sqrt(5), sqrt(5)}.
+  const Matrix a = Matrix::from_rows({{3, 0}, {4, 5}});
+  const SvdResult r = modified_hestenes_svd(a, tolerant_config());
+  EXPECT_NEAR(r.singular_values[0], 3.0 * std::sqrt(5.0), 1e-10);
+  EXPECT_NEAR(r.singular_values[1], std::sqrt(5.0), 1e-10);
+}
+
+TEST(Hestenes, PrescribedSingularValuesRecovered) {
+  Rng rng(31);
+  const std::vector<double> sv = {7.0, 3.0, 1.0, 0.1};
+  const Matrix a = with_singular_values(10, 4, sv, rng);
+  const SvdResult r = modified_hestenes_svd(a, tolerant_config());
+  ASSERT_EQ(r.singular_values.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(r.singular_values[i], sv[i], 1e-9);
+}
+
+struct Shape {
+  std::size_t m, n;
+};
+
+class HestenesVsGolubKahan : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(HestenesVsGolubKahan, SingularValuesAgree) {
+  const auto [m, n] = GetParam();
+  Rng rng(1000 + m * 131 + n);
+  const Matrix a = random_gaussian(m, n, rng);
+  const SvdResult ours = modified_hestenes_svd(a, tolerant_config());
+  const SvdResult ref = golub_kahan_svd(a);
+  EXPECT_LT(singular_value_error(ours.singular_values, ref.singular_values),
+            1e-9)
+      << m << "x" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HestenesVsGolubKahan,
+    ::testing::Values(Shape{2, 2}, Shape{3, 3}, Shape{8, 8}, Shape{16, 16},
+                      Shape{33, 33}, Shape{64, 64}, Shape{10, 4}, Shape{4, 10},
+                      Shape{100, 8}, Shape{8, 100}, Shape{64, 17},
+                      Shape{17, 64}, Shape{128, 32}, Shape{1, 5}, Shape{5, 1},
+                      Shape{1, 1}),
+    [](const auto& param_info) {
+      return std::to_string(param_info.param.m) + "x" + std::to_string(param_info.param.n);
+    });
+
+TEST(Hestenes, SixSweepsMatchThePaperProtocol) {
+  // The paper runs a fixed 6 sweeps, "believed sufficient for achieving
+  // convergence with certain thresholds".  At n = 64 that delivers singular
+  // values accurate to ~1e-4 relative (threshold-level, not working
+  // precision — see EXPERIMENTS.md accuracy notes); a few more sweeps reach
+  // machine precision (covered by the tolerance-driven tests).
+  Rng rng(77);
+  const Matrix a = random_gaussian(64, 64, rng);
+  HestenesConfig cfg;  // defaults: 6 sweeps, no tolerance
+  const SvdResult ours = modified_hestenes_svd(a, cfg);
+  const SvdResult ref = golub_kahan_svd(a);
+  EXPECT_EQ(ours.sweeps, 6u);
+  EXPECT_LT(singular_value_error(ours.singular_values, ref.singular_values),
+            1e-3);
+}
+
+TEST(Hestenes, OrderingsConvergeToTheSameValues) {
+  Rng rng(78);
+  const Matrix a = random_gaussian(24, 24, rng);
+  HestenesConfig row = tolerant_config();
+  row.ordering = Ordering::kRowCyclic;
+  HestenesConfig rr = tolerant_config();
+  rr.ordering = Ordering::kRoundRobin;
+  const auto r1 = modified_hestenes_svd(a, row);
+  const auto r2 = modified_hestenes_svd(a, rr);
+  EXPECT_LT(singular_value_error(r1.singular_values, r2.singular_values),
+            1e-12);
+}
+
+TEST(Hestenes, FormulasConvergeToTheSameValues) {
+  Rng rng(79);
+  const Matrix a = random_gaussian(20, 20, rng);
+  HestenesConfig hw = tolerant_config();
+  hw.formula = RotationFormula::kHardware;
+  HestenesConfig tb = tolerant_config();
+  tb.formula = RotationFormula::kTextbook;
+  const auto r1 = modified_hestenes_svd(a, hw);
+  const auto r2 = modified_hestenes_svd(a, tb);
+  EXPECT_LT(singular_value_error(r1.singular_values, r2.singular_values),
+            1e-12);
+}
+
+TEST(Hestenes, SoftFloatRunIsBitIdenticalToNative) {
+  // The central fidelity claim (DESIGN.md §6): the whole algorithm, run with
+  // the bit-accurate model of the hardware FP cores, produces bit-identical
+  // singular values to the native-double run.
+  Rng rng(80);
+  const Matrix a = random_gaussian(12, 12, rng);
+  HestenesConfig cfg;  // paper protocol
+  const SvdResult native = modified_hestenes_svd(a, cfg);
+  const SvdResult soft = modified_hestenes_svd_soft(a, cfg);
+  ASSERT_EQ(native.singular_values.size(), soft.singular_values.size());
+  for (std::size_t i = 0; i < native.singular_values.size(); ++i)
+    EXPECT_EQ(fp::to_bits(native.singular_values[i]),
+              fp::to_bits(soft.singular_values[i]))
+        << "index " << i;
+}
+
+TEST(Hestenes, StatsCountRotationsAndSkips) {
+  Rng rng(81);
+  const Matrix a = random_gaussian(10, 10, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 2;
+  HestenesStats stats;
+  (void)modified_hestenes_svd(a, cfg, &stats);
+  // Dense random data: essentially every pair rotates, both sweeps.
+  EXPECT_EQ(stats.total_rotations + stats.total_skipped, 2u * 45u);
+  EXPECT_GT(stats.total_rotations, 80u);
+}
+
+TEST(Hestenes, ConvergenceTrackingRecordsEverySweep) {
+  Rng rng(82);
+  const Matrix a = random_gaussian(16, 16, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 5;
+  cfg.track_convergence = true;
+  HestenesStats stats;
+  (void)modified_hestenes_svd(a, cfg, &stats);
+  ASSERT_EQ(stats.sweeps.size(), 5u);
+  // The covariance deviation must fall dramatically across sweeps (Fig. 10).
+  EXPECT_LT(stats.sweeps.back().mean_abs_offdiag,
+            stats.sweeps.front().mean_abs_offdiag * 1e-3);
+}
+
+TEST(Hestenes, EarlyTerminationOnTolerance) {
+  Rng rng(83);
+  const Matrix a = random_gaussian(12, 12, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 50;
+  cfg.tolerance = 1e-12;
+  const SvdResult r = modified_hestenes_svd(a, cfg);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.sweeps, 50u);
+}
+
+TEST(Hestenes, GramChunkingChangesAssociationNotCorrectness) {
+  Rng rng(84);
+  const Matrix a = random_gaussian(9, 6, rng);
+  HestenesConfig c1 = tolerant_config();
+  HestenesConfig c4 = tolerant_config();
+  c4.gram_chunk_rows = 4;
+  const auto r1 = modified_hestenes_svd(a, c1);
+  const auto r4 = modified_hestenes_svd(a, c4);
+  EXPECT_LT(singular_value_error(r1.singular_values, r4.singular_values),
+            1e-12);
+}
+
+TEST(Hestenes, RejectsEmptyAndZeroSweepConfigs) {
+  EXPECT_THROW(modified_hestenes_svd(Matrix{}), Error);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 0;
+  Rng rng(1);
+  EXPECT_THROW(modified_hestenes_svd(random_gaussian(3, 3, rng), cfg), Error);
+}
+
+TEST(GramUpperOps, MatchesPlainGram) {
+  Rng rng(85);
+  const Matrix a = random_gaussian(20, 7, rng);
+  const Matrix d = gram_upper_ops(a, fp::NativeOps{});
+  const Matrix ref = gram_upper(a);
+  EXPECT_LT(Matrix::max_abs_diff(d, ref), 1e-12);
+}
+
+TEST(GramUpperOps, ChunkedEqualsUnchunkedToRounding) {
+  Rng rng(86);
+  const Matrix a = random_gaussian(23, 5, rng);
+  const Matrix d1 = gram_upper_ops(a, fp::NativeOps{}, 1);
+  const Matrix d4 = gram_upper_ops(a, fp::NativeOps{}, 4);
+  EXPECT_LT(Matrix::max_abs_diff(d1, d4), 1e-12);
+  EXPECT_GE(Matrix::max_abs_diff(d1, d4), 0.0);
+}
+
+}  // namespace
+}  // namespace hjsvd

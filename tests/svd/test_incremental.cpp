@@ -1,0 +1,107 @@
+// Tests for the incremental (column-append) SVD.
+#include "svd/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "baselines/golub_kahan.hpp"
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/kernels.hpp"
+
+namespace hjsvd {
+namespace {
+
+TEST(Incremental, MatchesBatchAfterAllAppends) {
+  Rng rng(201);
+  const Matrix a = random_gaussian(24, 10, rng);
+  IncrementalHestenes inc(24);
+  for (std::size_t j = 0; j < a.cols(); ++j) inc.append_column(a.col(j));
+  const SvdResult ours = inc.finalize();
+  const SvdResult ref = golub_kahan_svd(a);
+  EXPECT_LT(singular_value_error(ours.singular_values, ref.singular_values),
+            1e-9);
+}
+
+TEST(Incremental, AssembledReconstructsTheInput) {
+  Rng rng(202);
+  const Matrix a = random_gaussian(15, 6, rng);
+  IncrementalHestenes inc(15);
+  for (std::size_t j = 0; j < a.cols(); ++j) inc.append_column(a.col(j));
+  EXPECT_LT(Matrix::max_abs_diff(inc.assembled(), a), 1e-11);
+  (void)inc.finalize();
+  // Reconstruction still exact after the finalize sweeps.
+  EXPECT_LT(Matrix::max_abs_diff(inc.assembled(), a), 1e-11);
+}
+
+TEST(Incremental, VectorsFormAValidSvd) {
+  Rng rng(203);
+  const Matrix a = random_gaussian(18, 7, rng);
+  IncrementalHestenes inc(18);
+  for (std::size_t j = 0; j < a.cols(); ++j) inc.append_column(a.col(j));
+  const SvdResult r = inc.finalize(/*compute_u=*/true, /*compute_v=*/true);
+  EXPECT_LT(orthogonality_error(r.u), 1e-10);
+  EXPECT_LT(orthogonality_error(r.v), 1e-10);
+  EXPECT_LT(reconstruction_error(a, r), 1e-11);
+}
+
+TEST(Incremental, IntermediateQueriesAreConsistent) {
+  // Query after every append: values must match the batch SVD of the prefix.
+  Rng rng(204);
+  const Matrix a = random_gaussian(12, 6, rng);
+  IncrementalHestenes inc(12);
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    inc.append_column(a.col(j));
+    const SvdResult ours = inc.finalize();
+    Matrix prefix(12, j + 1);
+    for (std::size_t c = 0; c <= j; ++c) {
+      auto src = a.col(c);
+      auto dst = prefix.col(c);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    const SvdResult ref = golub_kahan_svd(prefix);
+    EXPECT_LT(
+        singular_value_error(ours.singular_values, ref.singular_values),
+        1e-9)
+        << "after column " << j;
+  }
+}
+
+TEST(Incremental, SingleColumn) {
+  Matrix col(4, 1);
+  col(0, 0) = 3.0;
+  col(2, 0) = 4.0;
+  IncrementalHestenes inc(4);
+  inc.append_column(col.col(0));
+  const SvdResult r = inc.finalize();
+  ASSERT_EQ(r.singular_values.size(), 1u);
+  EXPECT_NEAR(r.singular_values[0], 5.0, 1e-12);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Incremental, MoreColumnsThanRows) {
+  Rng rng(205);
+  const Matrix a = random_gaussian(5, 9, rng);
+  IncrementalHestenes inc(5);
+  for (std::size_t j = 0; j < a.cols(); ++j) inc.append_column(a.col(j));
+  const SvdResult ours = inc.finalize();
+  const SvdResult ref = golub_kahan_svd(a);
+  ASSERT_EQ(ours.singular_values.size(), 5u);
+  EXPECT_LT(singular_value_error(ours.singular_values, ref.singular_values),
+            1e-9);
+}
+
+TEST(Incremental, RejectsBadInput) {
+  IncrementalHestenes inc(4);
+  std::vector<double> wrong_length(3, 1.0);
+  EXPECT_THROW(inc.append_column(wrong_length), Error);
+  std::vector<double> with_nan(4, 1.0);
+  with_nan[2] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(inc.append_column(with_nan), Error);
+  EXPECT_THROW(inc.finalize(), Error);  // nothing appended yet
+  EXPECT_THROW(IncrementalHestenes(0), Error);
+}
+
+}  // namespace
+}  // namespace hjsvd

@@ -1,0 +1,104 @@
+// Tests for the low-rank approximation utilities.
+#include "svd/lowrank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/kernels.hpp"
+#include "svd/hestenes.hpp"
+
+namespace hjsvd {
+namespace {
+
+SvdResult full_svd(const Matrix& a) {
+  HestenesConfig cfg;
+  cfg.max_sweeps = 30;
+  cfg.tolerance = 1e-14;
+  cfg.compute_u = true;
+  cfg.compute_v = true;
+  return modified_hestenes_svd(a, cfg);
+}
+
+TEST(LowRank, FullRankReconstructsExactly) {
+  Rng rng(81);
+  const Matrix a = random_gaussian(9, 6, rng);
+  const SvdResult svd = full_svd(a);
+  const Matrix recon = low_rank_approximation(svd, 6);
+  EXPECT_LT(Matrix::max_abs_diff(recon, a), 1e-10);
+}
+
+TEST(LowRank, EckartYoungOptimalityHolds) {
+  // The rank-k SVD truncation error equals sqrt(sum of dropped sigma^2)
+  // (Eckart-Young in Frobenius norm).
+  Rng rng(82);
+  const Matrix a = random_gaussian(12, 8, rng);
+  const SvdResult svd = full_svd(a);
+  for (std::size_t k : {1u, 3u, 5u}) {
+    const Matrix recon = low_rank_approximation(svd, k);
+    Matrix diff(a.rows(), a.cols());
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      for (std::size_t r = 0; r < a.rows(); ++r)
+        diff(r, c) = a(r, c) - recon(r, c);
+    double dropped = 0.0;
+    for (std::size_t t = k; t < svd.singular_values.size(); ++t)
+      dropped += svd.singular_values[t] * svd.singular_values[t];
+    EXPECT_NEAR(frobenius_norm(diff), std::sqrt(dropped), 1e-9) << k;
+  }
+}
+
+TEST(LowRank, KIsClampedToSpectrum) {
+  Rng rng(83);
+  const Matrix a = random_gaussian(5, 4, rng);
+  const SvdResult svd = full_svd(a);
+  const Matrix r1 = low_rank_approximation(svd, 4);
+  const Matrix r2 = low_rank_approximation(svd, 99);
+  EXPECT_EQ(Matrix::max_abs_diff(r1, r2), 0.0);
+}
+
+TEST(LowRank, CapturedEnergyMonotoneToOne) {
+  Rng rng(84);
+  const Matrix a = random_gaussian(10, 7, rng);
+  const SvdResult svd = full_svd(a);
+  double prev = 0.0;
+  for (std::size_t k = 0; k <= 7; ++k) {
+    const double e = captured_energy(svd, k);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+TEST(LowRank, RankForEnergyFindsKneePoint) {
+  Rng rng(85);
+  // Spectrum {10, 1, 0.1, 0.01}: 99% of energy is in the first value.
+  const Matrix a =
+      with_singular_values(8, 4, {10.0, 1.0, 0.1, 0.01}, rng);
+  const SvdResult svd = full_svd(a);
+  EXPECT_EQ(rank_for_energy(svd, 0.95), 1u);
+  EXPECT_EQ(rank_for_energy(svd, 0.9999), 2u);
+  EXPECT_EQ(rank_for_energy(svd, 1.0), 4u);
+}
+
+TEST(LowRank, ZeroSpectrumEdgeCases) {
+  SvdResult svd;
+  svd.singular_values = {0.0, 0.0};
+  svd.u = Matrix(3, 2);
+  svd.v = Matrix(2, 2);
+  EXPECT_EQ(captured_energy(svd, 1), 1.0);
+  EXPECT_EQ(rank_for_energy(svd, 0.5), 0u);
+  const Matrix z = low_rank_approximation(svd, 2);
+  EXPECT_EQ(frobenius_norm(z), 0.0);
+}
+
+TEST(LowRank, RequiresVectors) {
+  SvdResult svd;
+  svd.singular_values = {1.0};
+  EXPECT_THROW(low_rank_approximation(svd, 1), Error);
+  EXPECT_THROW(rank_for_energy(svd, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace hjsvd

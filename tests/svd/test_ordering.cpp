@@ -1,0 +1,106 @@
+// Tests for the pair orderings (Fig. 6).
+#include "svd/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace hjsvd {
+namespace {
+
+/// Checks that a flattened sweep covers each pair (i, j), i < j, once.
+void expect_covers_all_pairs_once(const std::vector<Pair>& pairs,
+                                  std::size_t n) {
+  std::set<Pair> seen;
+  for (const auto& [i, j] : pairs) {
+    EXPECT_LT(i, j);
+    EXPECT_LT(j, n);
+    EXPECT_TRUE(seen.insert({i, j}).second) << "duplicate (" << i << "," << j
+                                            << ")";
+  }
+  EXPECT_EQ(seen.size(), n * (n - 1) / 2);
+}
+
+class OrderingCoverage : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OrderingCoverage, RowCyclicCoversAllPairsOnce) {
+  const std::size_t n = GetParam();
+  expect_covers_all_pairs_once(row_cyclic_sweep(n), n);
+}
+
+TEST_P(OrderingCoverage, RoundRobinCoversAllPairsOnce) {
+  const std::size_t n = GetParam();
+  expect_covers_all_pairs_once(sweep_pairs(Ordering::kRoundRobin, n), n);
+}
+
+TEST_P(OrderingCoverage, RoundRobinRoundsAreDisjoint) {
+  const std::size_t n = GetParam();
+  for (const auto& round : round_robin_rounds(n)) {
+    std::set<std::size_t> used;
+    for (const auto& [i, j] : round) {
+      EXPECT_TRUE(used.insert(i).second);
+      EXPECT_TRUE(used.insert(j).second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndOddSizes, OrderingCoverage,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 16, 31, 32, 33,
+                                           64));
+
+TEST(RoundRobin, EvenSizeHasNMinusOneFullRounds) {
+  const auto rounds = round_robin_rounds(8);
+  EXPECT_EQ(rounds.size(), 7u);
+  for (const auto& r : rounds) EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(RoundRobin, OddSizeHasNRoundsWithBye) {
+  const auto rounds = round_robin_rounds(7);
+  EXPECT_EQ(rounds.size(), 7u);
+  for (const auto& r : rounds) EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(RowCyclic, MatchesAlgorithmOneOrder) {
+  const auto pairs = row_cyclic_sweep(4);
+  const std::vector<Pair> expect = {{0, 1}, {0, 2}, {0, 3},
+                                    {1, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(pairs, expect);
+}
+
+TEST(OddEven, AlternatesNeighborExchanges) {
+  const auto rounds = odd_even_rounds(5);
+  EXPECT_EQ(rounds.size(), 5u);
+  EXPECT_EQ(rounds[0], (std::vector<Pair>{{0, 1}, {2, 3}}));
+  EXPECT_EQ(rounds[1], (std::vector<Pair>{{1, 2}, {3, 4}}));
+}
+
+TEST(Degenerate, SizeOneAndZeroAreEmpty) {
+  EXPECT_TRUE(row_cyclic_sweep(1).empty());
+  EXPECT_TRUE(round_robin_rounds(1).empty());
+  EXPECT_TRUE(sweep_pairs(Ordering::kOddEven, 0).empty());
+}
+
+TEST(ChunkGroups, SplitsIntoHardwareGroups) {
+  const auto rounds = round_robin_rounds(32);
+  ASSERT_FALSE(rounds.empty());
+  const auto groups = chunk_groups(rounds[0], 8);
+  EXPECT_EQ(groups.size(), 2u);  // 16 disjoint pairs -> two groups of 8
+  EXPECT_EQ(groups[0].size(), 8u);
+  EXPECT_EQ(groups[1].size(), 8u);
+}
+
+TEST(ChunkGroups, TailGroupIsSmaller) {
+  std::vector<Pair> round = {{0, 1}, {2, 3}, {4, 5}};
+  const auto groups = chunk_groups(round, 2);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[1].size(), 1u);
+}
+
+TEST(ChunkGroups, ZeroSizeThrows) {
+  EXPECT_THROW(chunk_groups({}, 0), Error);
+}
+
+}  // namespace
+}  // namespace hjsvd

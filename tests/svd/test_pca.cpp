@@ -1,0 +1,141 @@
+// Tests for the PCA layer built on the Hestenes-Jacobi SVD.
+#include "svd/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/residuals.hpp"
+
+namespace hjsvd {
+namespace {
+
+/// Samples from a 2D subspace embedded in `features` dimensions + noise.
+Matrix low_rank_data(std::size_t samples, std::size_t features,
+                     double noise, Rng& rng) {
+  Matrix data(samples, features);
+  std::vector<double> dir1(features), dir2(features);
+  for (auto& v : dir1) v = rng.gaussian();
+  for (auto& v : dir2) v = rng.gaussian();
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double a = 5.0 * rng.gaussian();
+    const double b = 2.0 * rng.gaussian();
+    for (std::size_t f = 0; f < features; ++f)
+      data(s, f) = a * dir1[f] + b * dir2[f] + noise * rng.gaussian() + 3.0;
+  }
+  return data;
+}
+
+TEST(Pca, ComponentsAreOrthonormal) {
+  Rng rng(31);
+  const Matrix data = low_rank_data(60, 10, 0.1, rng);
+  const PcaModel model = pca_fit(data);
+  EXPECT_LT(orthogonality_error(model.components), 1e-10);
+}
+
+TEST(Pca, ExplainedVarianceRatiosSumToOne) {
+  Rng rng(32);
+  const Matrix data = low_rank_data(50, 8, 0.5, rng);
+  const PcaModel model = pca_fit(data);
+  double sum = 0.0;
+  for (double r : model.explained_variance_ratio) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+  for (std::size_t i = 1; i < model.explained_variance.size(); ++i)
+    EXPECT_LE(model.explained_variance[i], model.explained_variance[i - 1]);
+}
+
+TEST(Pca, TwoComponentsCaptureRankTwoData) {
+  Rng rng(33);
+  const Matrix data = low_rank_data(80, 12, 0.01, rng);
+  const PcaModel model = pca_fit(data);
+  const double top2 = model.explained_variance_ratio[0] +
+                      model.explained_variance_ratio[1];
+  EXPECT_GT(top2, 0.999);
+  EXPECT_EQ(pca_components_for_variance(model, 0.99), 2u);
+}
+
+TEST(Pca, TransformInverseRoundTripsInTheSubspace) {
+  Rng rng(34);
+  const Matrix data = low_rank_data(40, 9, 0.0, rng);  // exactly rank 2
+  PcaConfig cfg;
+  cfg.components = 2;
+  const PcaModel model = pca_fit(data, cfg);
+  const Matrix scores = pca_transform(model, data);
+  EXPECT_EQ(scores.cols(), 2u);
+  const Matrix recon = pca_inverse_transform(model, scores);
+  EXPECT_LT(Matrix::max_abs_diff(recon, data), 1e-9);
+}
+
+TEST(Pca, MeanIsRemovedAndRestored) {
+  Rng rng(35);
+  const Matrix data = low_rank_data(30, 6, 0.2, rng);
+  const PcaModel model = pca_fit(data);
+  ASSERT_EQ(model.mean.size(), 6u);
+  // Column means of the data match the model's means.
+  for (std::size_t j = 0; j < 6; ++j) {
+    double mu = 0.0;
+    for (std::size_t i = 0; i < data.rows(); ++i) mu += data(i, j);
+    mu /= static_cast<double>(data.rows());
+    EXPECT_NEAR(model.mean[j], mu, 1e-12);
+  }
+  // Transforming the mean row gives (approximately) zero scores.
+  Matrix mean_row(1, 6);
+  for (std::size_t j = 0; j < 6; ++j) mean_row(0, j) = model.mean[j];
+  const Matrix scores = pca_transform(model, mean_row);
+  for (std::size_t k = 0; k < scores.cols(); ++k)
+    EXPECT_NEAR(scores(0, k), 0.0, 1e-10);
+}
+
+TEST(Pca, UncenteredModeSkipsMean) {
+  Rng rng(36);
+  const Matrix data = low_rank_data(30, 6, 0.2, rng);
+  PcaConfig cfg;
+  cfg.center = false;
+  const PcaModel model = pca_fit(data, cfg);
+  EXPECT_TRUE(model.mean.empty());
+}
+
+TEST(Pca, ComponentCapRespected) {
+  Rng rng(37);
+  const Matrix data = low_rank_data(30, 10, 0.3, rng);
+  PcaConfig cfg;
+  cfg.components = 3;
+  const PcaModel model = pca_fit(data, cfg);
+  EXPECT_EQ(model.components.cols(), 3u);
+  EXPECT_EQ(model.singular_values.size(), 3u);
+}
+
+TEST(Pca, RejectsDegenerateInputs) {
+  EXPECT_THROW(pca_fit(Matrix(1, 4)), Error);
+  Rng rng(38);
+  const Matrix data = low_rank_data(10, 4, 0.1, rng);
+  const PcaModel model = pca_fit(data);
+  EXPECT_THROW(pca_transform(model, Matrix(3, 5)), Error);
+  EXPECT_THROW(pca_inverse_transform(model, Matrix(3, 1)), Error);
+  EXPECT_THROW(pca_components_for_variance(model, 0.0), Error);
+}
+
+TEST(Pca, VarianceMatchesDirectComputation) {
+  // The first explained variance equals the variance of the data projected
+  // onto the first component.
+  Rng rng(39);
+  const Matrix data = low_rank_data(100, 5, 0.3, rng);
+  const PcaModel model = pca_fit(data);
+  const Matrix scores = pca_transform(model, data);
+  double mu = 0.0;
+  for (std::size_t i = 0; i < scores.rows(); ++i) mu += scores(i, 0);
+  mu /= static_cast<double>(scores.rows());
+  double var = 0.0;
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    const double d = scores(i, 0) - mu;
+    var += d * d;
+  }
+  var /= static_cast<double>(scores.rows() - 1);
+  EXPECT_NEAR(var / model.explained_variance[0], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hjsvd

@@ -1,0 +1,136 @@
+// Tests for pseudoinverse / least squares / polar decomposition.
+#include "svd/pinv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/residuals.hpp"
+
+namespace hjsvd {
+namespace {
+
+TEST(Pinv, InverseOfSquareNonsingular) {
+  Rng rng(71);
+  const Matrix a = random_conditioned(6, 6, 100.0, rng);
+  const Matrix p = pseudoinverse(a);
+  EXPECT_LT(Matrix::max_abs_diff(matmul(a, p), Matrix::identity(6)), 1e-10);
+  EXPECT_LT(Matrix::max_abs_diff(matmul(p, a), Matrix::identity(6)), 1e-10);
+}
+
+TEST(Pinv, MoorePenroseConditionsTall) {
+  Rng rng(72);
+  const Matrix a = random_gaussian(10, 4, rng);
+  const Matrix p = pseudoinverse(a);
+  EXPECT_EQ(p.rows(), 4u);
+  EXPECT_EQ(p.cols(), 10u);
+  // A A+ A = A and A+ A A+ = A+.
+  EXPECT_LT(Matrix::max_abs_diff(matmul(matmul(a, p), a), a), 1e-10);
+  EXPECT_LT(Matrix::max_abs_diff(matmul(matmul(p, a), p), p), 1e-10);
+  // A+ A is symmetric.
+  const Matrix pa = matmul(p, a);
+  EXPECT_LT(Matrix::max_abs_diff(pa, pa.transposed()), 1e-10);
+}
+
+TEST(Pinv, MoorePenroseConditionsWide) {
+  Rng rng(73);
+  const Matrix a = random_gaussian(4, 9, rng);
+  const Matrix p = pseudoinverse(a);
+  EXPECT_LT(Matrix::max_abs_diff(matmul(matmul(a, p), a), a), 1e-10);
+  const Matrix ap = matmul(a, p);
+  EXPECT_LT(Matrix::max_abs_diff(ap, ap.transposed()), 1e-10);
+}
+
+TEST(Pinv, RankDeficientTruncates) {
+  Rng rng(74);
+  const Matrix a = random_rank_deficient(8, 6, 3, rng);
+  EXPECT_EQ(numerical_rank(a), 3u);
+  const Matrix p = pseudoinverse(a);
+  // A A+ A = A still holds through the truncated spectrum.
+  EXPECT_LT(Matrix::max_abs_diff(matmul(matmul(a, p), a), a), 1e-9);
+}
+
+TEST(Pinv, RcondControlsTruncation) {
+  Rng rng(75);
+  const Matrix a = random_conditioned(8, 8, 1e6, rng);
+  PinvConfig strict;
+  strict.rcond = 1e-3;  // cut everything below 1e-3 * sigma_max
+  EXPECT_LT(numerical_rank(a, strict), 8u);
+  EXPECT_EQ(numerical_rank(a), 8u);  // default keeps the full spectrum
+}
+
+TEST(Lstsq, RecoversExactSolution) {
+  Rng rng(76);
+  const Matrix a = random_gaussian(12, 5, rng);
+  Matrix x_true(5, 2);
+  for (double& v : x_true.data()) v = rng.gaussian();
+  const Matrix b = matmul(a, x_true);
+  const Matrix x = lstsq(a, b);
+  EXPECT_LT(Matrix::max_abs_diff(x, x_true), 1e-10);
+}
+
+TEST(Lstsq, ResidualOrthogonalToColumnSpace) {
+  Rng rng(77);
+  const Matrix a = random_gaussian(15, 4, rng);
+  Matrix b(15, 1);
+  for (double& v : b.data()) v = rng.gaussian();
+  const Matrix x = lstsq(a, b);
+  const Matrix fitted = matmul(a, x);
+  // A^T (b - A x) = 0.
+  for (std::size_t j = 0; j < 4; ++j) {
+    double dot_col = 0.0;
+    for (std::size_t i = 0; i < 15; ++i)
+      dot_col += a(i, j) * (b(i, 0) - fitted(i, 0));
+    EXPECT_NEAR(dot_col, 0.0, 1e-10);
+  }
+}
+
+TEST(Lstsq, MinimumNormForUnderdetermined) {
+  Rng rng(78);
+  const Matrix a = random_gaussian(3, 7, rng);
+  Matrix b(3, 1);
+  for (double& v : b.data()) v = rng.gaussian();
+  const Matrix x = lstsq(a, b);
+  // Exact solution of the underdetermined system...
+  const Matrix ax = matmul(a, x);
+  EXPECT_LT(Matrix::max_abs_diff(ax, b), 1e-10);
+  // ...and minimum norm: x lies in the row space, i.e. x = A^T y.  Check by
+  // comparing with pinv(a)*b (the canonical minimum-norm solution).
+  const Matrix x_pinv = matmul(pseudoinverse(a), b);
+  EXPECT_LT(Matrix::max_abs_diff(x, x_pinv), 1e-10);
+}
+
+TEST(Lstsq, ShapeMismatchThrows) {
+  EXPECT_THROW(lstsq(Matrix(4, 2), Matrix(5, 1)), Error);
+}
+
+TEST(Polar, FactorsAreOrthogonalAndSpd) {
+  Rng rng(79);
+  const Matrix a = random_gaussian(8, 5, rng);
+  const auto pd = polar_decompose(a);
+  EXPECT_LT(orthogonality_error(pd.q), 1e-10);
+  EXPECT_LT(Matrix::max_abs_diff(pd.h, pd.h.transposed()), 1e-12);
+  EXPECT_LT(Matrix::max_abs_diff(matmul(pd.q, pd.h), a), 1e-10);
+  // H is PSD: x^T H x >= 0 for random probes.
+  for (int probe = 0; probe < 10; ++probe) {
+    Matrix x(5, 1);
+    for (double& v : x.data()) v = rng.gaussian();
+    const Matrix hx = matmul(pd.h, x);
+    double quad = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) quad += x(i, 0) * hx(i, 0);
+    EXPECT_GE(quad, -1e-10);
+  }
+}
+
+TEST(Polar, RequiresTallFullRank) {
+  EXPECT_THROW(polar_decompose(Matrix(3, 5)), Error);
+  Rng rng(80);
+  const Matrix rank_def = random_rank_deficient(6, 4, 2, rng);
+  EXPECT_THROW(polar_decompose(rank_def), Error);
+}
+
+}  // namespace
+}  // namespace hjsvd

@@ -1,0 +1,114 @@
+// Tests for the plain (recomputing) one-sided Hestenes-Jacobi, and its
+// relationship to the modified (D-caching) algorithm.
+#include "svd/plain_hestenes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/golub_kahan.hpp"
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "svd/hestenes.hpp"
+
+namespace hjsvd {
+namespace {
+
+HestenesConfig tolerant_config() {
+  HestenesConfig cfg;
+  cfg.max_sweeps = 30;
+  cfg.tolerance = 1e-14;
+  return cfg;
+}
+
+TEST(PlainHestenes, MatchesGolubKahan) {
+  Rng rng(42);
+  const Matrix a = random_gaussian(20, 12, rng);
+  const SvdResult ours = plain_hestenes_svd(a, tolerant_config());
+  const SvdResult ref = golub_kahan_svd(a);
+  EXPECT_LT(singular_value_error(ours.singular_values, ref.singular_values),
+            1e-10);
+}
+
+TEST(PlainHestenes, MatchesModifiedAlgorithm) {
+  // Exact arithmetic would make them identical; in floating point they agree
+  // to rounding levels after convergence.
+  Rng rng(43);
+  const Matrix a = random_gaussian(16, 16, rng);
+  const SvdResult plain = plain_hestenes_svd(a, tolerant_config());
+  const SvdResult modified = modified_hestenes_svd(a, tolerant_config());
+  EXPECT_LT(
+      singular_value_error(plain.singular_values, modified.singular_values),
+      1e-11);
+}
+
+TEST(PlainHestenes, ProducesOrthogonalUDirectly) {
+  Rng rng(44);
+  const Matrix a = random_gaussian(15, 9, rng);
+  HestenesConfig cfg = tolerant_config();
+  cfg.compute_u = true;
+  cfg.compute_v = true;
+  const SvdResult r = plain_hestenes_svd(a, cfg);
+  EXPECT_LT(orthogonality_error(r.u), 1e-10);
+  EXPECT_LT(orthogonality_error(r.v), 1e-10);
+  EXPECT_LT(reconstruction_error(a, r), 1e-12);
+}
+
+TEST(PlainHestenes, DCachingAblationOpCounts) {
+  // The point of Algorithm 1: the modified algorithm does far less work for
+  // tall matrices because it never re-reads the m-length columns after the
+  // first pass.  Compare total FP op counts on a tall matrix.
+  Rng rng(45);
+  const Matrix a = random_gaussian(200, 12, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 6;
+  fp::OpCounts plain_counts, modified_counts;
+  (void)plain_hestenes_svd_counting(a, cfg, plain_counts);
+  (void)modified_hestenes_svd_counting(a, cfg, modified_counts);
+  EXPECT_GT(plain_counts.total(), 3 * modified_counts.total())
+      << "plain=" << plain_counts.total()
+      << " modified=" << modified_counts.total();
+}
+
+TEST(PlainHestenes, ModifiedGramOnlyOnceButPlainEverySweep) {
+  // Multiplication counts isolate the dot-product recomputation: plain does
+  // ~3 m-length dots per pair per sweep; modified pays m-length work only in
+  // the initial Gram computation.
+  Rng rng(46);
+  const Matrix a = random_gaussian(100, 8, rng);
+  HestenesConfig one, six;
+  one.max_sweeps = 1;
+  six.max_sweeps = 6;
+  fp::OpCounts p1, p6, m1, m6;
+  (void)plain_hestenes_svd_counting(a, one, p1);
+  (void)plain_hestenes_svd_counting(a, six, p6);
+  (void)modified_hestenes_svd_counting(a, one, m1);
+  (void)modified_hestenes_svd_counting(a, six, m6);
+  // Plain grows ~linearly with sweeps; modified's per-sweep increment is
+  // m-independent (covariance updates only).
+  const auto plain_growth = p6.mul - p1.mul;
+  const auto modified_growth = m6.mul - m1.mul;
+  EXPECT_GT(plain_growth, 4 * modified_growth);
+}
+
+TEST(PlainHestenes, StatsTrackConvergence) {
+  Rng rng(47);
+  const Matrix a = random_gaussian(12, 10, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 4;
+  cfg.track_convergence = true;
+  HestenesStats stats;
+  (void)plain_hestenes_svd(a, cfg, &stats);
+  ASSERT_EQ(stats.sweeps.size(), 4u);
+  EXPECT_LT(stats.sweeps.back().mean_abs_offdiag,
+            stats.sweeps.front().mean_abs_offdiag);
+}
+
+TEST(PlainHestenes, RankDeficientValues) {
+  Rng rng(48);
+  const Matrix a = random_rank_deficient(12, 8, 3, rng);
+  const SvdResult r = plain_hestenes_svd(a, tolerant_config());
+  EXPECT_GT(r.singular_values[2], 1e-3);
+  EXPECT_NEAR(r.singular_values[3], 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace hjsvd

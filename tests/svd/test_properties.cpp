@@ -1,0 +1,180 @@
+// Property-based tests of SVD invariants, parameterized over matrix shapes,
+// distributions and algorithm variants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baselines/golub_kahan.hpp"
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/kernels.hpp"
+#include "svd/hestenes.hpp"
+
+namespace hjsvd {
+namespace {
+
+enum class Dist { kGaussian, kUniform, kConditioned, kRankDeficient };
+
+const char* dist_name(Dist d) {
+  switch (d) {
+    case Dist::kGaussian: return "Gaussian";
+    case Dist::kUniform: return "Uniform";
+    case Dist::kConditioned: return "Conditioned";
+    case Dist::kRankDeficient: return "RankDeficient";
+  }
+  return "?";
+}
+
+/// Singular-value comparison tolerance.  The modified algorithm works on
+/// the Gram matrix D = A^T A, which squares the condition number: singular
+/// values below sqrt(eps)*sigma_max are resolved only to absolute accuracy
+/// ~1e-8*sigma_max (a documented property of the method; see README
+/// "Accuracy notes").  Ill-conditioned and rank-deficient inputs therefore
+/// get the looser bound.
+double value_tol(Dist d) {
+  return (d == Dist::kConditioned || d == Dist::kRankDeficient) ? 1e-7 : 1e-9;
+}
+
+Matrix make(Dist d, std::size_t m, std::size_t n, Rng& rng) {
+  switch (d) {
+    case Dist::kGaussian: return random_gaussian(m, n, rng);
+    case Dist::kUniform: return random_uniform(m, n, rng);
+    case Dist::kConditioned: return random_conditioned(m, n, 1e8, rng);
+    case Dist::kRankDeficient:
+      return random_rank_deficient(m, n, std::min(m, n) / 2 + 1, rng);
+  }
+  return Matrix(m, n);
+}
+
+using PropertyParam = std::tuple<Dist, std::size_t, std::size_t>;
+
+class SvdProperties : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  HestenesConfig config() const {
+    HestenesConfig cfg;
+    cfg.max_sweeps = 30;
+    cfg.tolerance = 1e-14;
+    cfg.compute_u = true;
+    cfg.compute_v = true;
+    return cfg;
+  }
+};
+
+TEST_P(SvdProperties, FactorsReconstructTheMatrix) {
+  const auto [dist, m, n] = GetParam();
+  Rng rng(500 + m * 37 + n * 11 + static_cast<int>(dist));
+  const Matrix a = make(dist, m, n, rng);
+  const SvdResult r = modified_hestenes_svd(a, config());
+  EXPECT_LT(reconstruction_error(a, r), value_tol(dist));
+}
+
+TEST_P(SvdProperties, VHasOrthonormalColumns) {
+  const auto [dist, m, n] = GetParam();
+  Rng rng(600 + m * 37 + n * 11 + static_cast<int>(dist));
+  const Matrix a = make(dist, m, n, rng);
+  const SvdResult r = modified_hestenes_svd(a, config());
+  EXPECT_LT(orthogonality_error(r.v), 1e-10);
+}
+
+TEST_P(SvdProperties, UHasOrthonormalColumnsAtFullRank) {
+  const auto [dist, m, n] = GetParam();
+  if (dist == Dist::kRankDeficient) {
+    GTEST_SKIP() << "U's null-space columns are zero by contract";
+  }
+  if (dist == Dist::kConditioned) {
+    // U_k = A v_k / sigma_k loses orthogonality as eps * kappa for the
+    // smallest singular values — the documented limitation of forming U
+    // through the Gram matrix (README accuracy notes).
+    GTEST_SKIP() << "U accuracy degrades as eps*kappa on the Gram path";
+  }
+  Rng rng(700 + m * 37 + n * 11 + static_cast<int>(dist));
+  const Matrix a = make(dist, m, n, rng);
+  const SvdResult r = modified_hestenes_svd(a, config());
+  EXPECT_LT(orthogonality_error(r.u), 1e-8);
+}
+
+TEST_P(SvdProperties, ValuesAreNonNegativeAndSorted) {
+  const auto [dist, m, n] = GetParam();
+  Rng rng(800 + m * 37 + n * 11 + static_cast<int>(dist));
+  const Matrix a = make(dist, m, n, rng);
+  const SvdResult r = modified_hestenes_svd(a, config());
+  ASSERT_EQ(r.singular_values.size(), std::min(m, n));
+  for (std::size_t i = 0; i < r.singular_values.size(); ++i) {
+    EXPECT_GE(r.singular_values[i], 0.0);
+    if (i > 0) {
+      EXPECT_LE(r.singular_values[i], r.singular_values[i - 1]);
+    }
+  }
+}
+
+TEST_P(SvdProperties, FrobeniusNormEqualsValueNorm) {
+  // ||A||_F^2 == sum sigma_i^2.
+  const auto [dist, m, n] = GetParam();
+  Rng rng(900 + m * 37 + n * 11 + static_cast<int>(dist));
+  const Matrix a = make(dist, m, n, rng);
+  const SvdResult r = modified_hestenes_svd(a, config());
+  double sum = 0.0;
+  for (double s : r.singular_values) sum += s * s;
+  const double af = frobenius_norm(a);
+  EXPECT_NEAR(std::sqrt(sum), af, 1e-10 * (1.0 + af));
+}
+
+TEST_P(SvdProperties, TransposeHasSameValues) {
+  const auto [dist, m, n] = GetParam();
+  Rng rng(1000 + m * 37 + n * 11 + static_cast<int>(dist));
+  const Matrix a = make(dist, m, n, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 30;
+  cfg.tolerance = 1e-14;
+  const SvdResult r1 = modified_hestenes_svd(a, cfg);
+  const SvdResult r2 = modified_hestenes_svd(a.transposed(), cfg);
+  EXPECT_LT(singular_value_error(r1.singular_values, r2.singular_values),
+            value_tol(dist));
+}
+
+TEST_P(SvdProperties, ScalingIsEquivariant) {
+  const auto [dist, m, n] = GetParam();
+  Rng rng(1100 + m * 37 + n * 11 + static_cast<int>(dist));
+  const Matrix a = make(dist, m, n, rng);
+  Matrix scaled = a;
+  for (double& x : scaled.data()) x *= 4.0;  // power of two: exact
+  HestenesConfig cfg;
+  cfg.max_sweeps = 30;
+  cfg.tolerance = 1e-14;
+  const SvdResult r1 = modified_hestenes_svd(a, cfg);
+  const SvdResult r2 = modified_hestenes_svd(scaled, cfg);
+  ASSERT_EQ(r1.singular_values.size(), r2.singular_values.size());
+  for (std::size_t i = 0; i < r1.singular_values.size(); ++i)
+    EXPECT_NEAR(r2.singular_values[i], 4.0 * r1.singular_values[i],
+                1e-10 * (1.0 + r2.singular_values[i]));
+}
+
+TEST_P(SvdProperties, AgreesWithGolubKahan) {
+  const auto [dist, m, n] = GetParam();
+  Rng rng(1200 + m * 37 + n * 11 + static_cast<int>(dist));
+  const Matrix a = make(dist, m, n, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 30;
+  cfg.tolerance = 1e-14;
+  const SvdResult ours = modified_hestenes_svd(a, cfg);
+  const SvdResult ref = golub_kahan_svd(a);
+  EXPECT_LT(singular_value_error(ours.singular_values, ref.singular_values),
+            value_tol(dist));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndDistributions, SvdProperties,
+    ::testing::Combine(::testing::Values(Dist::kGaussian, Dist::kUniform,
+                                         Dist::kConditioned,
+                                         Dist::kRankDeficient),
+                       ::testing::Values<std::size_t>(6, 16, 40),
+                       ::testing::Values<std::size_t>(6, 16, 40)),
+    [](const auto& param_info) {
+      return std::string(dist_name(std::get<0>(param_info.param))) + "_" +
+             std::to_string(std::get<1>(param_info.param)) + "x" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace hjsvd

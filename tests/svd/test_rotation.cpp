@@ -1,0 +1,156 @@
+// Tests for Jacobi rotation parameter generation (Algorithm 1 lines 11-14
+// and the hardware closed forms of eqs. (8)-(10)).
+#include "svd/rotation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace hjsvd {
+namespace {
+
+using fp::NativeOps;
+
+struct Case {
+  double norm_jj, norm_ii, cov;
+};
+
+/// The defining property: after rotating two columns with the produced
+/// (cos, sin), their covariance is zero.  In Gram terms:
+/// cov' = cos*sin*(d_ii - d_jj) + (cos^2 - sin^2)*cov == 0.
+double rotated_cov(const RotationParams& p, const Case& c) {
+  return p.cos * p.sin * (c.norm_ii - c.norm_jj) +
+         (p.cos * p.cos - p.sin * p.sin) * c.cov;
+}
+
+class RotationProperty
+    : public ::testing::TestWithParam<RotationFormula> {};
+
+TEST_P(RotationProperty, AnnihilatesCovariance) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20000; ++trial) {
+    Case c{std::abs(rng.gaussian()) * 10 + 1e-6,
+           std::abs(rng.gaussian()) * 10 + 1e-6, rng.gaussian() * 3};
+    if (c.cov == 0.0) continue;
+    const auto p = compute_rotation(GetParam(), c.norm_jj, c.norm_ii, c.cov,
+                                    NativeOps{});
+    ASSERT_TRUE(p.rotate);
+    const double scale = std::max({c.norm_ii, c.norm_jj, std::abs(c.cov)});
+    ASSERT_NEAR(rotated_cov(p, c) / scale, 0.0, 1e-14)
+        << "njj=" << c.norm_jj << " nii=" << c.norm_ii << " cov=" << c.cov;
+  }
+}
+
+TEST_P(RotationProperty, CosSinOnUnitCircle) {
+  Rng rng(18);
+  for (int trial = 0; trial < 20000; ++trial) {
+    Case c{std::abs(rng.gaussian()) * 10 + 1e-6,
+           std::abs(rng.gaussian()) * 10 + 1e-6, rng.gaussian() * 3};
+    if (c.cov == 0.0) continue;
+    const auto p = compute_rotation(GetParam(), c.norm_jj, c.norm_ii, c.cov,
+                                    NativeOps{});
+    ASSERT_NEAR(p.cos * p.cos + p.sin * p.sin, 1.0, 1e-13);
+    ASSERT_GT(p.cos, 0.0);  // the small-angle branch keeps cos positive
+  }
+}
+
+TEST_P(RotationProperty, TraceOfNormUpdatesPreserved) {
+  // d_jj' + d_ii' = d_jj + d_ii because the updates are +t*cov and -t*cov;
+  // additionally each update must reproduce the exact 2x2 rotation result.
+  Rng rng(19);
+  for (int trial = 0; trial < 20000; ++trial) {
+    Case c{std::abs(rng.gaussian()) * 10 + 1e-6,
+           std::abs(rng.gaussian()) * 10 + 1e-6, rng.gaussian() * 3};
+    if (c.cov == 0.0) continue;
+    const auto p = compute_rotation(GetParam(), c.norm_jj, c.norm_ii, c.cov,
+                                    NativeOps{});
+    // Exact rotated diagonal entries of the 2x2 Gram block:
+    const double dii_rot = p.cos * p.cos * c.norm_ii -
+                           2 * p.cos * p.sin * c.cov +
+                           p.sin * p.sin * c.norm_jj;
+    const double djj_rot = p.sin * p.sin * c.norm_ii +
+                           2 * p.cos * p.sin * c.cov +
+                           p.cos * p.cos * c.norm_jj;
+    const double scale = std::max(c.norm_ii, c.norm_jj);
+    ASSERT_NEAR((c.norm_ii - p.t * c.cov - dii_rot) / scale, 0.0, 1e-13);
+    ASSERT_NEAR((c.norm_jj + p.t * c.cov - djj_rot) / scale, 0.0, 1e-13);
+  }
+}
+
+TEST_P(RotationProperty, ZeroCovarianceSkips) {
+  const auto p =
+      compute_rotation(GetParam(), 2.0, 3.0, 0.0, NativeOps{});
+  EXPECT_FALSE(p.rotate);
+  EXPECT_EQ(p.cos, 1.0);
+  EXPECT_EQ(p.sin, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFormulas, RotationProperty,
+                         ::testing::Values(RotationFormula::kTextbook,
+                                           RotationFormula::kHardware),
+                         [](const auto& param_info) {
+                           return param_info.param == RotationFormula::kTextbook
+                                      ? "Textbook"
+                                      : "Hardware";
+                         });
+
+TEST(RotationAgreement, FormulasAgreeToRounding) {
+  Rng rng(23);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const double njj = std::abs(rng.gaussian()) * 10 + 1e-3;
+    const double nii = std::abs(rng.gaussian()) * 10 + 1e-3;
+    const double cov = rng.gaussian() * 3;
+    if (cov == 0.0 || njj == nii) continue;
+    const auto a =
+        rotation_textbook(njj, nii, cov, fp::NativeOps{});
+    const auto b =
+        rotation_hardware(njj, nii, cov, fp::NativeOps{});
+    ASSERT_NEAR(a.t, b.t, 1e-12 * (1 + std::abs(a.t)));
+    ASSERT_NEAR(a.cos, b.cos, 1e-12);
+    ASSERT_NEAR(a.sin, b.sin, 1e-12 * (1 + std::abs(a.sin)));
+  }
+}
+
+TEST(RotationEdge, TinyCovarianceIsStableInHardwareForm) {
+  // The textbook rho = diff/(2 cov) overflows for tiny cov; the hardware
+  // form must stay finite and nearly-identity.
+  const auto p = rotation_hardware(2.0, 1.0, 1e-300, fp::NativeOps{});
+  EXPECT_TRUE(std::isfinite(p.t));
+  EXPECT_NEAR(p.cos, 1.0, 1e-15);
+  EXPECT_NEAR(p.sin, 0.0, 1e-15);
+}
+
+TEST(RotationEdge, EqualNormsGiveFortyFiveDegrees) {
+  const auto p = rotation_hardware(3.0, 3.0, 0.5, fp::NativeOps{});
+  EXPECT_NEAR(std::abs(p.t), 1.0, 1e-15);
+  EXPECT_NEAR(p.cos, std::sqrt(0.5), 1e-15);
+  EXPECT_NEAR(std::abs(p.sin), std::sqrt(0.5), 1e-15);
+}
+
+TEST(RotationEdge, SignConvention) {
+  // t carries sign((d_jj - d_ii) * cov).
+  EXPECT_GT(rotation_hardware(2.0, 1.0, 0.5, fp::NativeOps{}).t, 0.0);
+  EXPECT_LT(rotation_hardware(1.0, 2.0, 0.5, fp::NativeOps{}).t, 0.0);
+  EXPECT_LT(rotation_hardware(2.0, 1.0, -0.5, fp::NativeOps{}).t, 0.0);
+  EXPECT_GT(rotation_hardware(1.0, 2.0, -0.5, fp::NativeOps{}).t, 0.0);
+}
+
+TEST(RotationSoftFloat, BitIdenticalToNative) {
+  Rng rng(29);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const double njj = std::abs(rng.gaussian()) * 10 + 1e-3;
+    const double nii = std::abs(rng.gaussian()) * 10 + 1e-3;
+    const double cov = rng.gaussian() * 3;
+    if (cov == 0.0) continue;
+    const auto n = rotation_hardware(njj, nii, cov, fp::NativeOps{});
+    const auto s = rotation_hardware(njj, nii, cov, fp::SoftOps{});
+    ASSERT_EQ(fp::to_bits(n.t), fp::to_bits(s.t));
+    ASSERT_EQ(fp::to_bits(n.cos), fp::to_bits(s.cos));
+    ASSERT_EQ(fp::to_bits(n.sin), fp::to_bits(s.sin));
+  }
+}
+
+}  // namespace
+}  // namespace hjsvd

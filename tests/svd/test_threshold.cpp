@@ -1,0 +1,93 @@
+// Tests for the threshold-Jacobi extension (rotation_threshold).
+#include <gtest/gtest.h>
+
+#include "baselines/golub_kahan.hpp"
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "svd/hestenes.hpp"
+#include "svd/plain_hestenes.hpp"
+
+namespace hjsvd {
+namespace {
+
+TEST(Threshold, ZeroThresholdSkipsOnlyExactZeros) {
+  Rng rng(51);
+  const Matrix a = random_gaussian(12, 12, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 2;
+  HestenesStats stats;
+  (void)modified_hestenes_svd(a, cfg, &stats);
+  EXPECT_EQ(stats.total_skipped, 0u);  // dense random: no exact zeros
+}
+
+TEST(Threshold, SkipsGrowAcrossSweeps) {
+  Rng rng(52);
+  const Matrix a = random_gaussian(24, 24, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 10;
+  cfg.rotation_threshold = 1e-10;
+  cfg.track_convergence = true;
+  HestenesStats stats;
+  (void)modified_hestenes_svd(a, cfg, &stats);
+  EXPECT_GT(stats.total_skipped, 0u);
+  // Later sweeps skip more than early ones (covariances have shrunk).
+  EXPECT_GT(stats.sweeps.back().skipped, stats.sweeps.front().skipped);
+}
+
+TEST(Threshold, AccuracyMatchesThresholdLevel) {
+  Rng rng(53);
+  const Matrix a = random_gaussian(32, 32, rng);
+  const SvdResult oracle = golub_kahan_svd(a);
+  for (double tau : {1e-12, 1e-8}) {
+    HestenesConfig cfg;
+    cfg.max_sweeps = 15;
+    cfg.rotation_threshold = tau;
+    const SvdResult r = modified_hestenes_svd(a, cfg);
+    EXPECT_LT(singular_value_error(r.singular_values, oracle.singular_values),
+              tau * 100)
+        << "tau=" << tau;
+  }
+}
+
+TEST(Threshold, SavesRotationsWithoutAccuracyLossAtTightTau) {
+  Rng rng(54);
+  const Matrix a = random_gaussian(32, 32, rng);
+  HestenesConfig base, thr;
+  base.max_sweeps = thr.max_sweeps = 12;
+  thr.rotation_threshold = 1e-13;
+  HestenesStats sb, st;
+  const SvdResult rb = modified_hestenes_svd(a, base, &sb);
+  const SvdResult rt = modified_hestenes_svd(a, thr, &st);
+  EXPECT_LT(st.total_rotations, sb.total_rotations);
+  EXPECT_LT(singular_value_error(rb.singular_values, rt.singular_values),
+            1e-10);
+}
+
+TEST(Threshold, WorksInPlainVariantToo) {
+  Rng rng(55);
+  const Matrix a = random_gaussian(20, 14, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 12;
+  cfg.rotation_threshold = 1e-10;
+  HestenesStats stats;
+  const SvdResult r = plain_hestenes_svd(a, cfg, &stats);
+  EXPECT_GT(stats.total_skipped, 0u);
+  const SvdResult oracle = golub_kahan_svd(a);
+  EXPECT_LT(singular_value_error(r.singular_values, oracle.singular_values),
+            1e-7);
+}
+
+TEST(Threshold, DiagonalInputSkipsEverything) {
+  Matrix a(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) a(i, i) = static_cast<double>(i + 1);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 3;
+  cfg.rotation_threshold = 1e-12;
+  HestenesStats stats;
+  (void)modified_hestenes_svd(a, cfg, &stats);
+  EXPECT_EQ(stats.total_rotations, 0u);
+  EXPECT_EQ(stats.total_skipped, 3u * 15u);
+}
+
+}  // namespace
+}  // namespace hjsvd

@@ -1,0 +1,35 @@
+# CLI smoke test: generate a matrix, decompose it with two methods, check
+# both runs succeed and agree on the leading singular value.
+execute_process(
+  COMMAND ${CLI} --generate 24x16 --seed 7 --output ${WORKDIR}/smoke.mtx
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${out}${err}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} --input ${WORKDIR}/smoke.mtx --method hestenes --values 3
+  RESULT_VARIABLE rc1 OUTPUT_VARIABLE out1 ERROR_VARIABLE err1)
+execute_process(
+  COMMAND ${CLI} --input ${WORKDIR}/smoke.mtx --method golub-kahan --values 3
+  RESULT_VARIABLE rc2 OUTPUT_VARIABLE out2 ERROR_VARIABLE err2)
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "decompose failed: ${out1}${err1}${out2}${err2}")
+endif()
+
+string(REGEX MATCH "sigma\\[0\\] = ([0-9.e+-]+)" m1 "${out1}")
+set(v1 ${CMAKE_MATCH_1})
+string(REGEX MATCH "sigma\\[0\\] = ([0-9.e+-]+)" m2 "${out2}")
+set(v2 ${CMAKE_MATCH_1})
+if(NOT v1 OR NOT v2)
+  message(FATAL_ERROR "missing sigma output: ${out1} / ${out2}")
+endif()
+math(EXPR dummy "0")  # keep CMake happy for float compare below
+if(NOT v1 STREQUAL v2)
+  # Allow tiny difference: compare to 6 significant digits.
+  string(SUBSTRING "${v1}" 0 8 p1)
+  string(SUBSTRING "${v2}" 0 8 p2)
+  if(NOT p1 STREQUAL p2)
+    message(FATAL_ERROR "methods disagree: ${v1} vs ${v2}")
+  endif()
+endif()

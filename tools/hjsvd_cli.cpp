@@ -1,0 +1,131 @@
+// hjsvd_cli — command-line SVD driver.
+//
+// Decompose a Matrix Market file with any of the library's algorithms,
+// print singular values, optionally write U/V back out as .mtx, estimate
+// the FPGA accelerator's execution for the same problem, or generate test
+// matrices.
+//
+//   hjsvd_cli --input A.mtx --method hestenes --values 10
+//   hjsvd_cli --input A.mtx --method golub-kahan --write-u U.mtx --write-v V.mtx
+//   hjsvd_cli --input A.mtx --fpga-estimate
+//   hjsvd_cli --generate 512x128 --seed 3 --output A.mtx
+#include <iostream>
+
+#include "api/svd.hpp"
+#include "arch/timing_model.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/io.hpp"
+
+using namespace hjsvd;
+
+namespace {
+
+SvdMethod parse_method(const std::string& name) {
+  if (name == "hestenes" || name == "modified") {
+    return SvdMethod::kModifiedHestenes;
+  }
+  if (name == "plain") return SvdMethod::kPlainHestenes;
+  if (name == "parallel") return SvdMethod::kParallelHestenes;
+  if (name == "two-sided" || name == "twosided") {
+    return SvdMethod::kTwoSidedJacobi;
+  }
+  if (name == "golub-kahan" || name == "gk") return SvdMethod::kGolubKahan;
+  throw Error("unknown --method '" + name +
+              "' (hestenes|plain|parallel|two-sided|golub-kahan)");
+}
+
+/// Parses "MxN" into dimensions.
+std::pair<std::size_t, std::size_t> parse_shape(const std::string& s) {
+  const auto x = s.find('x');
+  HJSVD_ENSURE(x != std::string::npos && x > 0 && x + 1 < s.size(),
+               "--generate expects ROWSxCOLS, e.g. 512x128");
+  return {static_cast<std::size_t>(std::stoull(s.substr(0, x))),
+          static_cast<std::size_t>(std::stoull(s.substr(x + 1)))};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli("hjsvd_cli: SVD of Matrix Market files via Hestenes-Jacobi");
+    cli.add_option("input", "", "input .mtx file");
+    cli.add_option("method", "hestenes",
+                   "hestenes|plain|parallel|two-sided|golub-kahan");
+    cli.add_option("values", "10", "how many singular values to print");
+    cli.add_option("sweeps", "30", "max sweeps (Jacobi methods)");
+    cli.add_option("tolerance", "1e-13", "convergence tolerance");
+    cli.add_option("write-u", "", "write left singular vectors to .mtx");
+    cli.add_option("write-v", "", "write right singular vectors to .mtx");
+    cli.add_option("fpga-estimate", "false",
+                   "also print the accelerator model's time for this shape");
+    cli.add_option("generate", "",
+                   "generate a gaussian ROWSxCOLS matrix instead of reading");
+    cli.add_option("seed", "1", "generation seed");
+    cli.add_option("output", "", "output path for --generate");
+    cli.parse(argc, argv);
+
+    if (const auto shape = cli.get("generate"); !shape.empty()) {
+      const auto [rows, cols] = parse_shape(shape);
+      Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+      const Matrix a = random_gaussian(rows, cols, rng);
+      const auto out = cli.get("output");
+      HJSVD_ENSURE(!out.empty(), "--generate requires --output PATH");
+      write_matrix_market_file(out, a);
+      std::cout << "wrote " << rows << " x " << cols << " matrix to " << out
+                << '\n';
+      return 0;
+    }
+
+    const auto input = cli.get("input");
+    HJSVD_ENSURE(!input.empty(), "need --input FILE.mtx (or --generate)");
+    const Matrix a = read_matrix_market_file(input);
+    std::cout << "read " << a.rows() << " x " << a.cols() << " matrix from "
+              << input << '\n';
+
+    SvdOptions opt;
+    opt.method = parse_method(cli.get("method"));
+    opt.max_sweeps = static_cast<std::size_t>(cli.get_int("sweeps"));
+    opt.tolerance = cli.get_double("tolerance");
+    opt.compute_u = !cli.get("write-u").empty();
+    opt.compute_v = !cli.get("write-v").empty();
+
+    Timer timer;
+    const SvdResult r = svd(a, opt);
+    const double seconds = timer.seconds();
+    std::cout << svd_method_name(opt.method) << ": " << r.sweeps
+              << " sweeps, " << format_duration(seconds)
+              << (r.converged ? ", converged" : ", NOT converged") << '\n';
+    const auto count = std::min<std::size_t>(
+        static_cast<std::size_t>(cli.get_int("values")),
+        r.singular_values.size());
+    for (std::size_t i = 0; i < count; ++i)
+      std::cout << "sigma[" << i << "] = " << format_sci(r.singular_values[i], 9)
+                << '\n';
+
+    if (const auto path = cli.get("write-u"); !path.empty()) {
+      write_matrix_market_file(path, r.u);
+      std::cout << "wrote U to " << path << '\n';
+    }
+    if (const auto path = cli.get("write-v"); !path.empty()) {
+      write_matrix_market_file(path, r.v);
+      std::cout << "wrote V to " << path << '\n';
+    }
+
+    if (cli.get_bool("fpga-estimate")) {
+      const arch::AcceleratorConfig cfg;
+      const auto t = arch::estimate_timing(cfg, a.rows(), a.cols());
+      std::cout << "\nFPGA accelerator model (paper configuration):\n"
+                << arch::format_timing(t, a.rows(), a.cols())
+                << "speedup over this run: "
+                << format_fixed(seconds / t.seconds, 1) << "x\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "hjsvd_cli: " << e.what() << '\n';
+    return 1;
+  }
+}
