@@ -1,0 +1,190 @@
+// Thread-scaling benchmark for the parallel sweep engines and svd_batch().
+//
+// Measures, per matrix size and thread count, the wall-clock time of the
+// block-partitioned modified (Gram-rotating) engine and the pair-parallel
+// plain engine against the sequential round-robin implementations, and the
+// throughput of svd_batch() over a mixed batch.  Every parallel run is
+// checked bit-for-bit against its sequential reference — speedup numbers are
+// only meaningful if the determinism contract holds.
+//
+// Results are written as JSON (default BENCH_parallel_sweep.json) so runs on
+// different hosts can be compared; on a single-core host the speedups are
+// expected to hover around 1.0x.
+#include <cstddef>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "api/svd.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "fp/softfloat.hpp"
+#include "linalg/generate.hpp"
+#include "svd/hestenes.hpp"
+#include "svd/parallel_sweep.hpp"
+#include "svd/plain_hestenes.hpp"
+
+using namespace hjsvd;
+
+namespace {
+
+bool values_bit_identical(const SvdResult& a, const SvdResult& b) {
+  if (a.singular_values.size() != b.singular_values.size()) return false;
+  for (std::size_t i = 0; i < a.singular_values.size(); ++i)
+    if (fp::to_bits(a.singular_values[i]) != fp::to_bits(b.singular_values[i]))
+      return false;
+  return true;
+}
+
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+std::string fmt(double x) {
+  std::ostringstream os;
+  os.precision(6);
+  os << x;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("Thread scaling of the parallel sweep engines and svd_batch");
+  cli.add_option("sizes", "64,128,256", "square matrix sizes");
+  cli.add_option("threads", "1,2,4", "thread counts to benchmark");
+  cli.add_option("reps", "3", "repetitions per timing (best-of)");
+  cli.add_option("batch", "24", "number of matrices in the svd_batch run");
+  cli.add_option("batch-rows", "48", "rows of each batch matrix");
+  cli.add_option("batch-cols", "32", "cols of each batch matrix");
+  cli.add_option("out", "BENCH_parallel_sweep.json", "JSON output path");
+  cli.parse(argc, argv);
+  const auto sizes = cli.get_int_list("sizes");
+  const auto threads = cli.get_int_list("threads");
+  const int reps = static_cast<int>(cli.get_int("reps"));
+
+#ifdef _OPENMP
+  const int hw_threads = omp_get_max_threads();
+#else
+  const int hw_threads = 1;
+#endif
+  std::cout << "== Parallel sweep engine scaling ==\n"
+            << "hardware threads available: " << hw_threads << "\n\n";
+
+  HestenesConfig cfg;
+  cfg.ordering = Ordering::kRoundRobin;
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"parallel_sweep\",\n"
+       << "  \"hardware_threads\": " << hw_threads << ",\n"
+       << "  \"reps\": " << reps << ",\n  \"sizes\": [\n";
+
+  std::vector<std::string> headers{"n", "seq modified (s)"};
+  for (auto t : threads)
+    headers.push_back("t=" + std::to_string(t) + " speedup");
+  AsciiTable table(headers);
+  table.set_caption(
+      "Modified-engine speedup vs sequential (bit-identical checked):");
+
+  bool all_identical = true;
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const auto n = static_cast<std::size_t>(sizes[si]);
+    Rng rng(4200 + static_cast<std::uint64_t>(n));
+    const Matrix a = random_gaussian(n, n, rng);
+
+    SvdResult seq_mod, seq_plain;
+    const double t_seq_mod =
+        best_of(reps, [&] { seq_mod = modified_hestenes_svd(a, cfg); });
+    const double t_seq_plain =
+        best_of(reps, [&] { seq_plain = plain_hestenes_svd(a, cfg); });
+
+    json << "    {\"n\": " << n << ", \"sequential_modified_s\": "
+         << fmt(t_seq_mod) << ", \"sequential_plain_s\": " << fmt(t_seq_plain)
+         << ", \"engines\": [";
+    std::vector<std::string> row{std::to_string(n), fmt(t_seq_mod)};
+    for (std::size_t ti = 0; ti < threads.size(); ++ti) {
+      ParallelSweepConfig par;
+      par.threads = static_cast<std::size_t>(threads[ti]);
+      SvdResult par_mod, par_plain;
+      const double t_mod = best_of(
+          reps, [&] { par_mod = parallel_modified_hestenes_svd(a, cfg, par); });
+      const double t_plain = best_of(
+          reps, [&] { par_plain = parallel_plain_hestenes_svd(a, cfg, par); });
+      const bool ok = values_bit_identical(par_mod, seq_mod) &&
+                      values_bit_identical(par_plain, seq_plain);
+      all_identical = all_identical && ok;
+      json << (ti ? ", " : "") << "{\"threads\": " << threads[ti]
+           << ", \"modified_s\": " << fmt(t_mod)
+           << ", \"plain_s\": " << fmt(t_plain)
+           << ", \"modified_speedup\": " << fmt(t_seq_mod / t_mod)
+           << ", \"plain_speedup\": " << fmt(t_seq_plain / t_plain)
+           << ", \"bit_identical\": " << (ok ? "true" : "false") << "}";
+      row.push_back(format_fixed(t_seq_mod / t_mod, 2) + "x" +
+                    (ok ? "" : " MISMATCH"));
+    }
+    json << "]}" << (si + 1 < sizes.size() ? "," : "") << "\n";
+    table.add_row(row);
+  }
+  std::cout << table.to_string() << '\n';
+
+  // --- svd_batch throughput ------------------------------------------------
+  const auto count = static_cast<std::size_t>(cli.get_int("batch"));
+  const auto bm = static_cast<std::size_t>(cli.get_int("batch-rows"));
+  const auto bn = static_cast<std::size_t>(cli.get_int("batch-cols"));
+  Rng brng(777);
+  std::vector<Matrix> batch;
+  for (std::size_t i = 0; i < count; ++i)
+    batch.push_back(random_gaussian(bm, bn, brng));
+
+  json << "  ],\n  \"batch\": {\"count\": " << count << ", \"rows\": " << bm
+       << ", \"cols\": " << bn << ", \"runs\": [";
+  std::vector<SvdResult> ref_batch;
+  AsciiTable btab({"threads", "seconds", "matrices/s"});
+  btab.set_caption("svd_batch throughput (" + std::to_string(count) + " x " +
+                   std::to_string(bm) + "x" + std::to_string(bn) + "):");
+  for (std::size_t ti = 0; ti < threads.size(); ++ti) {
+    const auto t = static_cast<std::size_t>(threads[ti]);
+    std::vector<SvdResult> out;
+    const double secs = best_of(reps, [&] { out = svd_batch(batch, {}, t); });
+    bool ok = true;
+    if (ti == 0) {
+      ref_batch = out;
+    } else {
+      for (std::size_t i = 0; i < out.size(); ++i)
+        ok = ok && values_bit_identical(out[i], ref_batch[i]);
+    }
+    all_identical = all_identical && ok;
+    json << (ti ? ", " : "") << "{\"threads\": " << t
+         << ", \"seconds\": " << fmt(secs) << ", \"matrices_per_s\": "
+         << fmt(static_cast<double>(count) / secs)
+         << ", \"bit_identical\": " << (ok ? "true" : "false") << "}";
+    btab.add_row({std::to_string(t), fmt(secs),
+                  format_fixed(static_cast<double>(count) / secs, 1)});
+  }
+  json << "]},\n  \"all_bit_identical\": "
+       << (all_identical ? "true" : "false") << "\n}\n";
+  std::cout << btab.to_string() << '\n';
+
+  const std::string out_path = cli.get("out");
+  write_file(out_path, json.str());
+  std::cout << "JSON written to " << out_path << '\n'
+            << (all_identical
+                    ? "All parallel runs bit-identical to sequential.\n"
+                    : "ERROR: bitwise mismatch between parallel and "
+                      "sequential runs!\n");
+  return all_identical ? 0 : 1;
+}

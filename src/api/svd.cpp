@@ -1,13 +1,32 @@
 #include "api/svd.hpp"
 
+#include <algorithm>
+#include <exception>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "arch/multi_engine.hpp"
 #include "baselines/golub_kahan.hpp"
-#include "baselines/parallel_hestenes.hpp"
 #include "baselines/twosided_jacobi.hpp"
 #include "common/error.hpp"
 #include "svd/hestenes.hpp"
+#include "svd/parallel_sweep.hpp"
 #include "svd/plain_hestenes.hpp"
 
 namespace hjsvd {
+namespace {
+
+std::size_t default_threads() {
+#ifdef _OPENMP
+  return static_cast<std::size_t>(omp_get_max_threads());
+#else
+  return 1;
+#endif
+}
+
+}  // namespace
 
 SvdResult svd(const Matrix& a, const SvdOptions& options) {
   HestenesConfig hj;
@@ -15,13 +34,17 @@ SvdResult svd(const Matrix& a, const SvdOptions& options) {
   hj.tolerance = options.tolerance;
   hj.compute_u = options.compute_u;
   hj.compute_v = options.compute_v;
+  ParallelSweepConfig par;
+  par.threads = options.threads;
   switch (options.method) {
     case SvdMethod::kModifiedHestenes:
       return modified_hestenes_svd(a, hj);
     case SvdMethod::kPlainHestenes:
       return plain_hestenes_svd(a, hj);
     case SvdMethod::kParallelHestenes:
-      return parallel_hestenes_svd(a, hj);
+      return parallel_plain_hestenes_svd(a, hj, par);
+    case SvdMethod::kParallelModifiedHestenes:
+      return parallel_modified_hestenes_svd(a, hj, par);
     case SvdMethod::kTwoSidedJacobi: {
       TwoSidedConfig cfg;
       cfg.max_sweeps = options.max_sweeps;
@@ -40,11 +63,65 @@ SvdResult svd(const Matrix& a, const SvdOptions& options) {
   throw Error("unknown SVD method");
 }
 
+std::vector<SvdResult> svd_batch(const std::vector<Matrix>& batch,
+                                 const SvdOptions& options,
+                                 std::size_t threads) {
+  // Validate the whole batch before any work starts, so a bad entry cannot
+  // leave a half-computed result vector.
+  for (const Matrix& a : batch)
+    HJSVD_ENSURE(!a.empty(), "batch entries must be non-empty matrices");
+  std::vector<SvdResult> results(batch.size());
+  if (batch.empty()) return results;
+
+  // Each matrix runs on exactly one worker through the sequential path, so
+  // results are bitwise independent of the thread count; the parallel
+  // methods degrade gracefully (nested OpenMP regions serialize).
+  SvdOptions per_item = options;
+  per_item.threads = 1;
+
+  // Jacobi sweep cost ~ m n^2 (Gram) + n^3 (updates); LPT sharding over
+  // that estimate balances mixed-size batches (the multi-engine rule).
+  std::vector<double> costs(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto m = static_cast<double>(batch[i].rows());
+    const auto n = static_cast<double>(batch[i].cols());
+    costs[i] = m * n * n + n * n * n;
+  }
+  const std::size_t workers =
+      std::min(threads == 0 ? default_threads() : threads, batch.size());
+  const auto shards = arch::shard_by_cost(costs, std::max<std::size_t>(1, workers));
+
+  std::exception_ptr first_error;
+  const auto nshards = static_cast<std::ptrdiff_t>(shards.size());
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static, 1) \
+    num_threads(static_cast<int>(std::max<std::size_t>(1, workers)))
+#endif
+  for (std::ptrdiff_t s = 0; s < nshards; ++s) {
+    for (std::size_t idx : shards[static_cast<std::size_t>(s)]) {
+      try {
+        results[idx] = svd(batch[idx], per_item);
+      } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical(hjsvd_svd_batch_error)
+#endif
+        {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
 const char* svd_method_name(SvdMethod method) {
   switch (method) {
     case SvdMethod::kModifiedHestenes: return "modified Hestenes-Jacobi";
     case SvdMethod::kPlainHestenes: return "plain Hestenes-Jacobi";
     case SvdMethod::kParallelHestenes: return "parallel Hestenes-Jacobi";
+    case SvdMethod::kParallelModifiedHestenes:
+      return "parallel modified Hestenes-Jacobi (block sweep)";
     case SvdMethod::kTwoSidedJacobi: return "two-sided Jacobi";
     case SvdMethod::kGolubKahan: return "Golub-Kahan-Reinsch";
   }

@@ -13,11 +13,12 @@
 namespace hjsvd {
 
 enum class SvdMethod {
-  kModifiedHestenes,  // the paper's Algorithm 1 (default)
-  kPlainHestenes,     // recomputing one-sided Jacobi
-  kParallelHestenes,  // OpenMP bulk-synchronous one-sided Jacobi
-  kTwoSidedJacobi,    // Kogbetliantz (square matrices only)
-  kGolubKahan,        // Householder bidiagonalization + QR iteration
+  kModifiedHestenes,          // the paper's Algorithm 1 (default)
+  kPlainHestenes,             // recomputing one-sided Jacobi
+  kParallelHestenes,          // pair-parallel plain one-sided Jacobi
+  kParallelModifiedHestenes,  // block-partitioned Gram-rotating engine
+  kTwoSidedJacobi,            // Kogbetliantz (square matrices only)
+  kGolubKahan,                // Householder bidiagonalization + QR iteration
 };
 
 struct SvdOptions {
@@ -28,11 +29,26 @@ struct SvdOptions {
   double tolerance = 1e-13;
   /// Iteration cap for the Jacobi methods (sweeps).
   std::size_t max_sweeps = 30;
+  /// Worker threads of the parallel methods; 0 defers to the OpenMP
+  /// runtime.  Results are bitwise independent of this value.
+  std::size_t threads = 0;
 };
 
 /// Decomposes an arbitrary m x n matrix.  Throws hjsvd::Error for invalid
 /// inputs (empty matrices; rectangular input to the two-sided method).
 SvdResult svd(const Matrix& a, const SvdOptions& options = {});
+
+/// Decomposes every matrix of a batch, spreading the work across a thread
+/// pool — the serving-shaped workload of many small independent problems.
+/// Matrices are assigned to workers by deterministic cost-based sharding
+/// (arch::shard_by_cost, the multi-engine dispatch rule), and each matrix
+/// is decomposed by the sequential path of options.method, so results[i] is
+/// bitwise identical to svd(batch[i], options) at every thread count.
+/// `threads` = 0 defers to the OpenMP runtime.  Throws hjsvd::Error if any
+/// input is invalid (the whole batch is validated before any work starts).
+std::vector<SvdResult> svd_batch(const std::vector<Matrix>& batch,
+                                 const SvdOptions& options = {},
+                                 std::size_t threads = 0);
 
 /// Human-readable method name (for reports).
 const char* svd_method_name(SvdMethod method);

@@ -27,6 +27,24 @@ AcceleratorRunResult simulate_accelerator(const Matrix& a,
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
   HJSVD_ENSURE(m > 0 && n > 0, "matrix must be non-empty");
+  // Rates below feed ceil_div denominators and the seconds conversion: a
+  // zero or non-finite value would silently produce inf/NaN cycle counts
+  // instead of an error.
+  HJSVD_ENSURE(cfg.sweeps >= 1, "need at least one sweep");
+  HJSVD_ENSURE(std::isfinite(cfg.cov_pairs_per_cycle) &&
+                   cfg.cov_pairs_per_cycle > 0.0,
+               "cov_pairs_per_cycle must be finite and positive");
+  HJSVD_ENSURE(std::isfinite(cfg.col_pairs_per_cycle) &&
+                   cfg.col_pairs_per_cycle > 0.0,
+               "col_pairs_per_cycle must be finite and positive");
+  HJSVD_ENSURE(std::isfinite(cfg.clock_hz) && cfg.clock_hz > 0.0,
+               "clock_hz must be finite and positive");
+  HJSVD_ENSURE(std::isfinite(cfg.input_words_per_cycle) &&
+                   cfg.input_words_per_cycle > 0.0,
+               "input_words_per_cycle must be finite and positive");
+  HJSVD_ENSURE(std::isfinite(cfg.memory.words_per_cycle) &&
+                   cfg.memory.words_per_cycle > 0.0,
+               "memory words_per_cycle must be finite and positive");
 
   AcceleratorRunResult result;
 

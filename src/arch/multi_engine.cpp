@@ -92,4 +92,27 @@ MultiEngineTiming estimate_multi_engine(const MultiEngineConfig& cfg,
   return t;
 }
 
+std::vector<std::vector<std::size_t>> shard_by_cost(
+    const std::vector<double>& costs, std::size_t shards) {
+  HJSVD_ENSURE(shards >= 1, "need at least one shard");
+  for (double c : costs)
+    HJSVD_ENSURE(c >= 0.0 && std::isfinite(c),
+                 "work-item costs must be finite and non-negative");
+  std::vector<std::size_t> order(costs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return costs[a] > costs[b];
+  });
+  std::vector<std::vector<std::size_t>> bins(shards);
+  std::vector<double> load(shards, 0.0);
+  for (std::size_t idx : order) {
+    std::size_t target = 0;
+    for (std::size_t s = 1; s < shards; ++s)
+      if (load[s] < load[target]) target = s;
+    bins[target].push_back(idx);
+    load[target] += costs[idx];
+  }
+  return bins;
+}
+
 }  // namespace hjsvd::arch

@@ -16,6 +16,9 @@
 //    the Amdahl bottleneck the bench makes visible.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "arch/config.hpp"
 #include "arch/timing_model.hpp"
 
@@ -42,5 +45,16 @@ struct MultiEngineTiming {
 
 MultiEngineTiming estimate_multi_engine(const MultiEngineConfig& cfg,
                                         std::size_t m, std::size_t n);
+
+/// Deterministic longest-processing-time sharding of weighted work items
+/// across `shards` bins: items are taken in descending-cost order (index
+/// ascending on ties) and each is placed on the currently least-loaded bin
+/// (lowest id on ties).  This is the dispatch rule a multi-engine build
+/// would use to spread independent decompositions over its AEs; the
+/// software batch API (hjsvd::svd_batch) reuses it to spread a batch over
+/// worker threads.  Every index appears in exactly one bin; bins may be
+/// empty when there are fewer items than shards.
+std::vector<std::vector<std::size_t>> shard_by_cost(
+    const std::vector<double>& costs, std::size_t shards);
 
 }  // namespace hjsvd::arch

@@ -1,123 +1,14 @@
 #include "baselines/parallel_hestenes.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <numeric>
-
-#include "linalg/kernels.hpp"
-#include "svd/hestenes_impl.hpp"  // detail::rotate_columns, detail::make_record
+#include "svd/parallel_sweep.hpp"
 
 namespace hjsvd {
 
 SvdResult parallel_hestenes_svd(const Matrix& a, const HestenesConfig& cfg,
                                 HestenesStats* stats) {
-  const std::size_t m = a.rows();
-  const std::size_t n = a.cols();
-  HJSVD_ENSURE(m > 0 && n > 0, "matrix must be non-empty");
-  HJSVD_ENSURE(cfg.max_sweeps > 0, "need at least one sweep");
-  HJSVD_ENSURE(all_finite(a), "input matrix must be finite (no NaN/inf)");
-  const fp::NativeOps ops;
-
-  Matrix r = a;
-  const bool need_v = cfg.compute_v;
-  Matrix v;
-  if (need_v) v = Matrix::identity(n);
-
-  const auto rounds = round_robin_rounds(n);
-  SvdResult result;
-  if (stats != nullptr) *stats = HestenesStats{};
-
-  std::size_t sweeps_done = 0;
-  for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
-    std::atomic<std::uint64_t> rotations{0}, skipped{0};
-    for (const auto& round : rounds) {
-      // All pairs in a round touch disjoint columns: embarrassingly
-      // parallel, and bit-identical to sequential execution.
-      const auto count = static_cast<std::ptrdiff_t>(round.size());
-#pragma omp parallel for schedule(dynamic, 1)
-      for (std::ptrdiff_t p = 0; p < count; ++p) {
-        const auto [i, j] = round[static_cast<std::size_t>(p)];
-        const double norm_ii = dot(r.col(i), r.col(i));
-        const double norm_jj = dot(r.col(j), r.col(j));
-        const double cov = dot(r.col(i), r.col(j));
-        if (detail::below_threshold(cov, norm_ii, norm_jj,
-                                    cfg.rotation_threshold)) {
-          skipped.fetch_add(1, std::memory_order_relaxed);
-          continue;
-        }
-        const RotationParams rp =
-            compute_rotation(cfg.formula, norm_jj, norm_ii, cov, ops);
-        if (!rp.rotate) {
-          skipped.fetch_add(1, std::memory_order_relaxed);
-          continue;
-        }
-        detail::rotate_columns(r, i, j, rp.cos, rp.sin, ops);
-        if (need_v) detail::rotate_columns(v, i, j, rp.cos, rp.sin, ops);
-        rotations.fetch_add(1, std::memory_order_relaxed);
-      }
-      // Implicit barrier at the end of the parallel region = the GPU
-      // round synchronization.
-    }
-    ++sweeps_done;
-    Matrix d;
-    const bool need_metrics =
-        (stats != nullptr && cfg.track_convergence) || cfg.tolerance > 0.0;
-    if (need_metrics) d = gram_upper_ops(r, ops);
-    if (stats != nullptr) {
-      stats->total_rotations += rotations.load();
-      stats->total_skipped += skipped.load();
-      if (cfg.track_convergence)
-        stats->sweeps.push_back(
-            detail::make_record(d, rotations.load(), skipped.load()));
-    }
-    if (cfg.tolerance > 0.0 && max_relative_offdiag(d) < cfg.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
-  result.sweeps = sweeps_done;
-  if (cfg.tolerance == 0.0) {
-    result.converged =
-        max_relative_offdiag(gram_upper_ops(r, ops)) < 1e-10;
-  }
-
-  const std::size_t k = std::min(m, n);
-  std::vector<double> norms(n);
-  for (std::size_t c = 0; c < n; ++c) {
-    const double sq = squared_norm(r.col(c));
-    norms[c] = sq > 0.0 ? std::sqrt(sq) : 0.0;
-  }
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t x, std::size_t y) { return norms[x] > norms[y]; });
-  result.singular_values.resize(k);
-  for (std::size_t t = 0; t < k; ++t)
-    result.singular_values[t] = norms[order[t]];
-
-  const double sigma_max =
-      result.singular_values.empty() ? 0.0 : result.singular_values[0];
-  const double cutoff = sigma_max * static_cast<double>(std::max(m, n)) * 1e-15;
-  if (cfg.compute_u) {
-    result.u = Matrix(m, k);
-    for (std::size_t t = 0; t < k; ++t) {
-      const double sv = norms[order[t]];
-      if (sv <= cutoff) continue;
-      const auto bt = r.col(order[t]);
-      auto ut = result.u.col(t);
-      for (std::size_t row = 0; row < m; ++row) ut[row] = bt[row] / sv;
-    }
-  }
-  if (need_v) {
-    Matrix v_sorted(n, k);
-    for (std::size_t t = 0; t < k; ++t) {
-      const auto src = v.col(order[t]);
-      auto dst = v_sorted.col(t);
-      std::copy(src.begin(), src.end(), dst.begin());
-    }
-    result.v = std::move(v_sorted);
-  }
-  return result;
+  // The bulk-synchronous GPU-like execution is exactly the pair-parallel
+  // plain path of the sweep engine at the runtime's default thread count.
+  return parallel_plain_hestenes_svd(a, cfg, ParallelSweepConfig{}, stats);
 }
 
 }  // namespace hjsvd

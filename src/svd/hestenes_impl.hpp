@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "linalg/kernels.hpp"
@@ -102,6 +103,139 @@ inline SweepRecord make_record(const Matrix& d, std::uint64_t rotations,
   return rec;
 }
 
+/// Dot product with strict left-to-right accumulation under the policy.
+template <class Ops>
+double dot_ops(std::span<const double> x, std::span<const double> y, Ops ops) {
+  double acc = 0.0;
+  for (std::size_t r = 0; r < x.size(); ++r)
+    acc = ops.add(acc, ops.mul(x[r], y[r]));
+  return acc;
+}
+
+/// Modified Gram-Schmidt orthonormalization of U's columns, in place.
+///
+/// U = A * V * Sigma^-1 loses column orthogonality as eps * kappa(A) on the
+/// Gram path (cond(A^T A) = cond(A)^2; docs/ALGORITHM.md §6), and columns
+/// whose singular value is numerically zero arrive as zero vectors.  Two
+/// projection passes per column ("twice is enough", Giraud et al.) restore
+/// orthogonality to machine precision; a column annihilated by the
+/// projections — or zero on arrival — is completed from the null space with
+/// the standard-basis vector least represented in the span of the previous
+/// columns, so U always has exactly orthonormal columns.
+template <class Ops>
+void orthonormalize_columns(Matrix& u, Ops ops) {
+  const std::size_t m = u.rows();
+  const std::size_t k = u.cols();
+  HJSVD_ASSERT(k <= m, "cannot orthonormalize more columns than rows");
+  for (std::size_t t = 0; t < k; ++t) {
+    auto ut = u.col(t);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t s = 0; s < t; ++s) {
+        const auto us = u.col(s);
+        const double coef = dot_ops<Ops>(us, ut, ops);
+        for (std::size_t r = 0; r < m; ++r)
+          ut[r] = ops.sub(ut[r], ops.mul(coef, us[r]));
+      }
+    }
+    double norm = ops.sqrt(dot_ops<Ops>(ut, ut, ops));
+    // Valid columns arrive with norm near 1 (u_t = A v_t / sigma_t and
+    // ||A v_t|| ~ sigma_t); a norm this small means the column carried no
+    // independent direction (zero singular value, or pure rounding noise
+    // aligned with earlier columns) and must be replaced, not rescaled.
+    if (norm <= 0.25) {
+      // Seed with the basis vector least represented in the current span:
+      // residual^2 of e_r against orthonormal u_0..u_{t-1} is
+      // 1 - sum_s u_s[r]^2, so minimize the row's energy.
+      std::size_t best_row = 0;
+      double best_energy = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < m; ++r) {
+        double energy = 0.0;
+        for (std::size_t s = 0; s < t; ++s) {
+          const double e = u.col(s)[r];
+          energy = ops.add(energy, ops.mul(e, e));
+        }
+        if (energy < best_energy) {
+          best_energy = energy;
+          best_row = r;
+        }
+      }
+      std::fill(ut.begin(), ut.end(), 0.0);
+      ut[best_row] = 1.0;
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t s = 0; s < t; ++s) {
+          const auto us = u.col(s);
+          const double coef = dot_ops<Ops>(us, ut, ops);
+          for (std::size_t r = 0; r < m; ++r)
+            ut[r] = ops.sub(ut[r], ops.mul(coef, us[r]));
+        }
+      }
+      norm = ops.sqrt(dot_ops<Ops>(ut, ut, ops));
+      HJSVD_ASSERT(norm > 0.0, "null-space completion produced a zero vector");
+    }
+    const double inv = ops.div(1.0, norm);
+    for (std::size_t r = 0; r < m; ++r) ut[r] = ops.mul(ut[r], inv);
+  }
+}
+
+/// Shared finalization of the Gram-rotating paths: sqrt + sort the diagonal
+/// of the converged D, gather the requested singular vectors, and form
+/// U = A * V * Sigma^-1 (eq. (7)) with the re-orthonormalization pass.
+/// `v` is the accumulated rotation product (identity-seeded) and may be
+/// empty when neither U nor V was requested.
+template <class Ops>
+void finalize_gram_result(const Matrix& a, const Matrix& d, Matrix& v,
+                          const HestenesConfig& cfg, SvdResult& result,
+                          Ops ops) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t k = std::min(m, n);
+  // Singular values: sqrt of the diagonal (Algorithm 1 lines 28-29), sorted
+  // descending.  Tiny negative diagonals can appear from rounding; clamp.
+  std::vector<double> diag(n);
+  for (std::size_t c = 0; c < n; ++c)
+    diag[c] = d(c, c) > 0.0 ? ops.sqrt(d(c, c)) : 0.0;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return diag[x] > diag[y];
+  });
+  result.singular_values.resize(k);
+  for (std::size_t t = 0; t < k; ++t)
+    result.singular_values[t] = diag[order[t]];
+
+  if (cfg.compute_u || cfg.compute_v) {
+    Matrix v_sorted(n, k);
+    for (std::size_t t = 0; t < k; ++t) {
+      const auto src = v.col(order[t]);
+      auto dst = v_sorted.col(t);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    if (cfg.compute_u) {
+      // U = A * V * Sigma^-1 (eq. (7)), then modified Gram-Schmidt: the
+      // division restores unit scale only to eps * kappa(A), and columns
+      // whose singular value is numerically zero need a null-space
+      // completion (see orthonormalize_columns).
+      Matrix b = matmul(a, v_sorted);
+      const double sigma_max =
+          result.singular_values.empty() ? 0.0 : result.singular_values[0];
+      const double cutoff =
+          sigma_max * static_cast<double>(std::max(m, n)) * 1e-15;
+      result.u = Matrix(m, k);
+      for (std::size_t t = 0; t < k; ++t) {
+        const double sv = result.singular_values[t];
+        if (sv <= cutoff) continue;
+        const auto bt = b.col(t);
+        auto ut = result.u.col(t);
+        for (std::size_t r = 0; r < m; ++r) ut[r] = bt[r] / sv;
+      }
+      orthonormalize_columns(result.u, ops);
+    }
+    if (cfg.compute_v) {
+      result.v = std::move(v_sorted);
+    }
+  }
+}
+
 }  // namespace detail
 
 template <class Ops>
@@ -181,50 +315,7 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
     result.converged = max_relative_offdiag(d) < 1e-10;
   }
 
-  // Singular values: sqrt of the diagonal (Algorithm 1 lines 28-29), sorted
-  // descending.  Tiny negative diagonals can appear from rounding; clamp.
-  const std::size_t k = std::min(m, n);
-  std::vector<double> diag(n);
-  for (std::size_t c = 0; c < n; ++c)
-    diag[c] = d(c, c) > 0.0 ? ops.sqrt(d(c, c)) : 0.0;
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
-    return diag[x] > diag[y];
-  });
-  result.singular_values.resize(k);
-  for (std::size_t t = 0; t < k; ++t)
-    result.singular_values[t] = diag[order[t]];
-
-  if (need_v) {
-    Matrix v_sorted(n, k);
-    for (std::size_t t = 0; t < k; ++t) {
-      const auto src = v.col(order[t]);
-      auto dst = v_sorted.col(t);
-      std::copy(src.begin(), src.end(), dst.begin());
-    }
-    if (cfg.compute_u) {
-      // U = A * V * Sigma^-1 (eq. (7)).  Columns whose singular value is
-      // numerically zero are left as zero vectors (documented contract for
-      // rank-deficient inputs).
-      Matrix b = matmul(a, v_sorted);
-      const double sigma_max =
-          result.singular_values.empty() ? 0.0 : result.singular_values[0];
-      const double cutoff =
-          sigma_max * static_cast<double>(std::max(m, n)) * 1e-15;
-      result.u = Matrix(m, k);
-      for (std::size_t t = 0; t < k; ++t) {
-        const double sv = result.singular_values[t];
-        if (sv <= cutoff) continue;
-        const auto bt = b.col(t);
-        auto ut = result.u.col(t);
-        for (std::size_t r = 0; r < m; ++r) ut[r] = bt[r] / sv;
-      }
-    }
-    if (cfg.compute_v) {
-      result.v = std::move(v_sorted);
-    }
-  }
+  detail::finalize_gram_result(a, d, v, cfg, result, ops);
   return result;
 }
 

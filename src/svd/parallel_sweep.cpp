@@ -1,0 +1,295 @@
+#include "svd/parallel_sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "linalg/kernels.hpp"
+#include "svd/hestenes_impl.hpp"
+#include "svd/plain_hestenes_impl.hpp"
+
+namespace hjsvd {
+namespace {
+
+int resolve_threads(const ParallelSweepConfig& par) {
+#ifdef _OPENMP
+  return par.threads == 0 ? omp_get_max_threads()
+                          : static_cast<int>(par.threads);
+#else
+  (void)par;
+  return 1;
+#endif
+}
+
+/// Canonical upper-triangle location of the covariance between x and y.
+inline double& cov_at(Matrix& d, std::size_t x, std::size_t y) {
+  return x < y ? d(x, y) : d(y, x);
+}
+
+/// One rotation's update of the covariance pair with free index k — the
+/// same arithmetic detail::rotate_covariances performs for that k, via the
+/// canonical storage locations (docs/ALGORITHM.md §4).
+inline void update_cov_entry(Matrix& d, std::size_t k, std::size_t i,
+                             std::size_t j, double c, double s,
+                             fp::NativeOps ops) {
+  double& di = cov_at(d, k, i);
+  double& dj = cov_at(d, k, j);
+  const double x = di;
+  const double y = dj;
+  di = ops.sub(ops.mul(x, c), ops.mul(y, s));
+  dj = ops.add(ops.mul(x, s), ops.mul(y, c));
+}
+
+/// A round slot: one disjoint pair of the round, or one idle column (the
+/// round-robin bye for odd n).  Pair slots come first, in round order — the
+/// order the sequential algorithm applies the rotations in.
+struct Slot {
+  std::size_t cols[2];
+  std::size_t count = 0;
+};
+
+/// Rotation parameters generated for a pair slot (identity when skipped).
+struct SlotRotation {
+  double c = 1.0;
+  double s = 0.0;
+  bool active = false;
+};
+
+/// Static decomposition of one round: slots plus the cross-task list.  A
+/// task (a, b) owns every covariance entry with one index in slot a and one
+/// in slot b, and applies slot a's rotation before slot b's — the order the
+/// sequential sweep would touch those entries in.  Each entry of D belongs
+/// to exactly one task (or to the serial diagonal step), so the schedule is
+/// race-free and bitwise deterministic.
+struct RoundPlan {
+  std::vector<Slot> slots;
+  std::size_t pair_slots = 0;  // slots [0, pair_slots) rotate
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> tasks;
+};
+
+RoundPlan plan_round(const std::vector<Pair>& round, std::size_t n) {
+  RoundPlan plan;
+  std::vector<bool> covered(n, false);
+  for (const auto& [i, j] : round) {
+    Slot s;
+    s.cols[0] = i;
+    s.cols[1] = j;
+    s.count = 2;
+    plan.slots.push_back(s);
+    covered[i] = covered[j] = true;
+  }
+  plan.pair_slots = plan.slots.size();
+  for (std::size_t c = 0; c < n; ++c) {
+    if (covered[c]) continue;
+    Slot s;
+    s.cols[0] = c;
+    s.count = 1;
+    plan.slots.push_back(s);
+  }
+  // Cross tasks: every slot pair with at least one rotating member.  Idle
+  // slots pair only with rotating slots (an idle-idle block has no work).
+  const std::size_t total = plan.slots.size();
+  for (std::size_t a = 0; a < plan.pair_slots; ++a)
+    for (std::size_t b = a + 1; b < total; ++b)
+      plan.tasks.emplace_back(static_cast<std::uint32_t>(a),
+                              static_cast<std::uint32_t>(b));
+  return plan;
+}
+
+}  // namespace
+
+SvdResult parallel_modified_hestenes_svd(const Matrix& a,
+                                         const HestenesConfig& cfg,
+                                         const ParallelSweepConfig& par,
+                                         HestenesStats* stats) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  HJSVD_ENSURE(m > 0 && n > 0, "matrix must be non-empty");
+  HJSVD_ENSURE(cfg.max_sweeps > 0, "need at least one sweep");
+  HJSVD_ENSURE(all_finite(a), "input matrix must be finite (no NaN/inf)");
+  const fp::NativeOps ops;
+  [[maybe_unused]] const int nt = resolve_threads(par);
+
+  Matrix d = gram_upper_ops(a, ops, cfg.gram_chunk_rows);
+  const bool need_v = cfg.compute_u || cfg.compute_v;
+  Matrix v;
+  if (need_v) v = Matrix::identity(n);
+
+  const auto rounds = round_robin_rounds(n);
+  std::vector<RoundPlan> plans;
+  plans.reserve(rounds.size());
+  for (const auto& round : rounds) plans.push_back(plan_round(round, n));
+
+  SvdResult result;
+  if (stats != nullptr) *stats = HestenesStats{};
+  std::vector<SlotRotation> rot;
+
+  std::size_t sweeps_done = 0;
+  for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
+    std::uint64_t rotations = 0, skipped = 0;
+    for (const auto& plan : plans) {
+      // --- Rotation component (serial): parameters and diagonal updates.
+      // Within a round no pair touches another pair's D(i,i), D(j,j) or
+      // D(i,j), so generating every parameter up front reads exactly the
+      // values the sequential sweep would.
+      rot.assign(plan.slots.size(), SlotRotation{});
+      for (std::size_t p = 0; p < plan.pair_slots; ++p) {
+        const std::size_t i = plan.slots[p].cols[0];
+        const std::size_t j = plan.slots[p].cols[1];
+        const double cov = d(i, j);
+        if (detail::below_threshold(cov, d(i, i), d(j, j),
+                                    cfg.rotation_threshold)) {
+          ++skipped;
+          continue;
+        }
+        const RotationParams rp =
+            compute_rotation(cfg.formula, d(j, j), d(i, i), cov, ops);
+        if (!rp.rotate) {
+          ++skipped;
+          continue;
+        }
+        const double tc = ops.mul(rp.t, cov);
+        d(j, j) = ops.add(d(j, j), tc);  // Algorithm 1 line 15
+        d(i, i) = ops.sub(d(i, i), tc);  // line 16
+        d(i, j) = 0.0;                   // line 17
+        rot[p] = SlotRotation{rp.cos, rp.sin, true};
+        ++rotations;
+      }
+
+      // --- Update array (parallel): cross-block covariance updates.
+      const auto ntasks = static_cast<std::ptrdiff_t>(plan.tasks.size());
+#pragma omp parallel for schedule(static) num_threads(nt)
+      for (std::ptrdiff_t t = 0; t < ntasks; ++t) {
+        const auto [sa, sb] = plan.tasks[static_cast<std::size_t>(t)];
+        const Slot& slot_a = plan.slots[sa];
+        const Slot& slot_b = plan.slots[sb];
+        if (rot[sa].active) {
+          for (std::size_t c = 0; c < slot_b.count; ++c)
+            update_cov_entry(d, slot_b.cols[c], slot_a.cols[0],
+                             slot_a.cols[1], rot[sa].c, rot[sa].s, ops);
+        }
+        if (sb < plan.pair_slots && rot[sb].active) {
+          for (std::size_t c = 0; c < slot_a.count; ++c)
+            update_cov_entry(d, slot_a.cols[c], slot_b.cols[0],
+                             slot_b.cols[1], rot[sb].c, rot[sb].s, ops);
+        }
+      }
+
+      // --- V accumulation (parallel): pairs own disjoint columns of V.
+      if (need_v) {
+        const auto npairs = static_cast<std::ptrdiff_t>(plan.pair_slots);
+#pragma omp parallel for schedule(static) num_threads(nt)
+        for (std::ptrdiff_t p = 0; p < npairs; ++p) {
+          if (!rot[static_cast<std::size_t>(p)].active) continue;
+          const Slot& s = plan.slots[static_cast<std::size_t>(p)];
+          detail::rotate_columns(v, s.cols[0], s.cols[1],
+                                 rot[static_cast<std::size_t>(p)].c,
+                                 rot[static_cast<std::size_t>(p)].s, ops);
+        }
+      }
+    }
+    ++sweeps_done;
+    if (stats != nullptr) {
+      stats->total_rotations += rotations;
+      stats->total_skipped += skipped;
+      if (cfg.track_convergence)
+        stats->sweeps.push_back(detail::make_record(d, rotations, skipped));
+    }
+    if (cfg.tolerance > 0.0 && max_relative_offdiag(d) < cfg.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.sweeps = sweeps_done;
+  if (cfg.tolerance == 0.0) {
+    result.converged = max_relative_offdiag(d) < 1e-10;
+  }
+
+  detail::finalize_gram_result(a, d, v, cfg, result, ops);
+  return result;
+}
+
+SvdResult parallel_plain_hestenes_svd(const Matrix& a,
+                                      const HestenesConfig& cfg,
+                                      const ParallelSweepConfig& par,
+                                      HestenesStats* stats) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  HJSVD_ENSURE(m > 0 && n > 0, "matrix must be non-empty");
+  HJSVD_ENSURE(cfg.max_sweeps > 0, "need at least one sweep");
+  HJSVD_ENSURE(all_finite(a), "input matrix must be finite (no NaN/inf)");
+  const fp::NativeOps ops;
+  [[maybe_unused]] const int nt = resolve_threads(par);
+
+  Matrix r = a;
+  const bool need_v = cfg.compute_v;
+  Matrix v;
+  if (need_v) v = Matrix::identity(n);
+
+  const auto rounds = round_robin_rounds(n);
+  SvdResult result;
+  if (stats != nullptr) *stats = HestenesStats{};
+
+  std::size_t sweeps_done = 0;
+  for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
+    std::atomic<std::uint64_t> rotations{0}, skipped{0};
+    for (const auto& round : rounds) {
+      // All pairs in a round touch disjoint columns: embarrassingly
+      // parallel, and bit-identical to sequential execution.
+      const auto count = static_cast<std::ptrdiff_t>(round.size());
+#pragma omp parallel for schedule(dynamic, 1) num_threads(nt)
+      for (std::ptrdiff_t p = 0; p < count; ++p) {
+        const auto [i, j] = round[static_cast<std::size_t>(p)];
+        const double norm_ii = detail::dot_ops(r.col(i), r.col(i), ops);
+        const double norm_jj = detail::dot_ops(r.col(j), r.col(j), ops);
+        const double cov = detail::dot_ops(r.col(i), r.col(j), ops);
+        if (detail::below_threshold(cov, norm_ii, norm_jj,
+                                    cfg.rotation_threshold)) {
+          skipped.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const RotationParams rp =
+            compute_rotation(cfg.formula, norm_jj, norm_ii, cov, ops);
+        if (!rp.rotate) {
+          skipped.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        detail::rotate_columns(r, i, j, rp.cos, rp.sin, ops);
+        if (need_v) detail::rotate_columns(v, i, j, rp.cos, rp.sin, ops);
+        rotations.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Implicit barrier at the end of the parallel region = the round
+      // synchronization.
+    }
+    ++sweeps_done;
+    Matrix d;
+    const bool need_metrics =
+        (stats != nullptr && cfg.track_convergence) || cfg.tolerance > 0.0;
+    if (need_metrics) d = gram_upper_ops(r, ops);
+    if (stats != nullptr) {
+      stats->total_rotations += rotations.load();
+      stats->total_skipped += skipped.load();
+      if (cfg.track_convergence)
+        stats->sweeps.push_back(
+            detail::make_record(d, rotations.load(), skipped.load()));
+    }
+    if (cfg.tolerance > 0.0 && max_relative_offdiag(d) < cfg.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.sweeps = sweeps_done;
+  if (cfg.tolerance == 0.0) {
+    result.converged = max_relative_offdiag(gram_upper_ops(r, ops)) < 1e-10;
+  }
+
+  detail::finalize_column_result(r, v, cfg, result, ops);
+  return result;
+}
+
+}  // namespace hjsvd

@@ -1,6 +1,7 @@
 // Template implementation of the plain (recomputing) Hestenes-Jacobi SVD.
 // Included by plain_hestenes.cpp and fixed_hestenes.cpp for their
-// respective explicit instantiations.
+// respective explicit instantiations, and by parallel_sweep.cpp for the
+// pair-parallel engine's shared finalization.
 #pragma once
 
 #include "svd/plain_hestenes.hpp"
@@ -9,21 +10,60 @@
 #include <numeric>
 
 #include "linalg/kernels.hpp"
-#include "svd/hestenes_impl.hpp"  // rotate_columns, gram_upper_ops
+#include "svd/hestenes_impl.hpp"  // rotate_columns, dot_ops, gram_upper_ops
 
 namespace hjsvd {
-namespace {
+namespace detail {
 
-/// Dot product with strict left-to-right accumulation under the policy.
+/// Shared finalization of the column-rotating paths: singular values are the
+/// 2-norms of the converged B = U * Sigma (in `r`), sorted descending; U's
+/// non-null columns are the normalized columns of B, and V is gathered from
+/// the accumulated rotation product.
 template <class Ops>
-double dot_ops(std::span<const double> x, std::span<const double> y, Ops ops) {
-  double acc = 0.0;
-  for (std::size_t r = 0; r < x.size(); ++r)
-    acc = ops.add(acc, ops.mul(x[r], y[r]));
-  return acc;
+void finalize_column_result(const Matrix& r, Matrix& v,
+                            const HestenesConfig& cfg, SvdResult& result,
+                            Ops ops) {
+  const std::size_t m = r.rows();
+  const std::size_t n = r.cols();
+  const std::size_t k = std::min(m, n);
+  std::vector<double> norms(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const double sq = dot_ops<Ops>(r.col(c), r.col(c), ops);
+    norms[c] = sq > 0.0 ? ops.sqrt(sq) : 0.0;
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return norms[x] > norms[y]; });
+  result.singular_values.resize(k);
+  for (std::size_t t = 0; t < k; ++t)
+    result.singular_values[t] = norms[order[t]];
+
+  const double sigma_max =
+      result.singular_values.empty() ? 0.0 : result.singular_values[0];
+  const double cutoff = sigma_max * static_cast<double>(std::max(m, n)) * 1e-15;
+  if (cfg.compute_u) {
+    result.u = Matrix(m, k);
+    for (std::size_t t = 0; t < k; ++t) {
+      const double sv = norms[order[t]];
+      if (sv <= cutoff) continue;
+      const auto bt = r.col(order[t]);
+      auto ut = result.u.col(t);
+      for (std::size_t row = 0; row < m; ++row) ut[row] = bt[row] / sv;
+    }
+  }
+  if (cfg.compute_v) {
+    Matrix v_sorted(n, k);
+    for (std::size_t t = 0; t < k; ++t) {
+      const auto src = v.col(order[t]);
+      auto dst = v_sorted.col(t);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    result.v = std::move(v_sorted);
+  }
 }
 
-}  // namespace
+}  // namespace detail
 
 template <class Ops>
 SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
@@ -49,9 +89,9 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
     for (const auto& [i, j] : pairs) {
       // Recompute norms and covariance from the column data every time —
       // the "duplicated computations" the modified algorithm eliminates.
-      const double norm_ii = dot_ops<Ops>(r.col(i), r.col(i), ops);
-      const double norm_jj = dot_ops<Ops>(r.col(j), r.col(j), ops);
-      const double cov = dot_ops<Ops>(r.col(i), r.col(j), ops);
+      const double norm_ii = detail::dot_ops<Ops>(r.col(i), r.col(i), ops);
+      const double norm_jj = detail::dot_ops<Ops>(r.col(j), r.col(j), ops);
+      const double cov = detail::dot_ops<Ops>(r.col(i), r.col(j), ops);
       if (detail::below_threshold(cov, norm_ii, norm_jj,
                                   cfg.rotation_threshold)) {
         ++skipped;
@@ -88,43 +128,7 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
     result.converged = max_relative_offdiag(gram_upper_ops(r, ops)) < 1e-10;
   }
 
-  // Singular values are the column 2-norms of the converged B.
-  const std::size_t k = std::min(m, n);
-  std::vector<double> norms(n);
-  for (std::size_t c = 0; c < n; ++c) {
-    const double sq = dot_ops<Ops>(r.col(c), r.col(c), ops);
-    norms[c] = sq > 0.0 ? ops.sqrt(sq) : 0.0;
-  }
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t x, std::size_t y) { return norms[x] > norms[y]; });
-  result.singular_values.resize(k);
-  for (std::size_t t = 0; t < k; ++t)
-    result.singular_values[t] = norms[order[t]];
-
-  const double sigma_max =
-      result.singular_values.empty() ? 0.0 : result.singular_values[0];
-  const double cutoff = sigma_max * static_cast<double>(std::max(m, n)) * 1e-15;
-  if (cfg.compute_u) {
-    result.u = Matrix(m, k);
-    for (std::size_t t = 0; t < k; ++t) {
-      const double sv = norms[order[t]];
-      if (sv <= cutoff) continue;
-      const auto bt = r.col(order[t]);
-      auto ut = result.u.col(t);
-      for (std::size_t row = 0; row < m; ++row) ut[row] = bt[row] / sv;
-    }
-  }
-  if (need_v) {
-    Matrix v_sorted(n, k);
-    for (std::size_t t = 0; t < k; ++t) {
-      const auto src = v.col(order[t]);
-      auto dst = v_sorted.col(t);
-      std::copy(src.begin(), src.end(), dst.begin());
-    }
-    result.v = std::move(v_sorted);
-  }
+  detail::finalize_column_result(r, v, cfg, result, ops);
   return result;
 }
 

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
+#include "fp/softfloat.hpp"
 #include "common/rng.hpp"
 #include "linalg/generate.hpp"
 #include "linalg/kernels.hpp"
@@ -41,8 +44,9 @@ TEST_P(AllMethods, VectorsReconstructWhenRequested) {
 INSTANTIATE_TEST_SUITE_P(
     Methods, AllMethods,
     ::testing::Values(SvdMethod::kModifiedHestenes, SvdMethod::kPlainHestenes,
-                      SvdMethod::kParallelHestenes, SvdMethod::kTwoSidedJacobi,
-                      SvdMethod::kGolubKahan),
+                      SvdMethod::kParallelHestenes,
+                      SvdMethod::kParallelModifiedHestenes,
+                      SvdMethod::kTwoSidedJacobi, SvdMethod::kGolubKahan),
     [](const auto& param_info) {
       std::string name = svd_method_name(param_info.param);
       for (char& c : name)
@@ -69,6 +73,80 @@ TEST(SvdApi, MethodNamesAreDistinct) {
                svd_method_name(SvdMethod::kPlainHestenes));
   EXPECT_STRNE(svd_method_name(SvdMethod::kGolubKahan),
                svd_method_name(SvdMethod::kTwoSidedJacobi));
+  EXPECT_STRNE(svd_method_name(SvdMethod::kParallelHestenes),
+               svd_method_name(SvdMethod::kParallelModifiedHestenes));
+}
+
+std::vector<Matrix> make_batch(Rng& rng) {
+  std::vector<Matrix> batch;
+  batch.push_back(random_gaussian(12, 12, rng));
+  batch.push_back(random_gaussian(30, 9, rng));   // tall
+  batch.push_back(random_gaussian(8, 21, rng));   // wide
+  batch.push_back(random_rank_deficient(16, 14, 6, rng));
+  batch.push_back(random_gaussian(5, 5, rng));
+  batch.push_back(random_gaussian(24, 16, rng));
+  return batch;
+}
+
+TEST(SvdBatch, MatchesSequentialPathBitForBit) {
+  Rng rng(94);
+  const auto batch = make_batch(rng);
+  SvdOptions opt;
+  opt.compute_u = true;
+  opt.compute_v = true;
+  const auto results = svd_batch(batch, opt, /*threads=*/4);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    const SvdResult ref = svd(batch[b], opt);
+    ASSERT_EQ(results[b].singular_values.size(), ref.singular_values.size());
+    for (std::size_t i = 0; i < ref.singular_values.size(); ++i)
+      EXPECT_EQ(fp::to_bits(results[b].singular_values[i]),
+                fp::to_bits(ref.singular_values[i]))
+          << "matrix " << b << " value " << i;
+    for (std::size_t i = 0; i < ref.u.data().size(); ++i)
+      EXPECT_EQ(fp::to_bits(results[b].u.data()[i]),
+                fp::to_bits(ref.u.data()[i]))
+          << "matrix " << b << " U entry " << i;
+  }
+}
+
+TEST(SvdBatch, ResultsIndependentOfThreadCount) {
+  Rng rng(95);
+  const auto batch = make_batch(rng);
+  const auto one = svd_batch(batch, {}, 1);
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    const auto many = svd_batch(batch, {}, threads);
+    ASSERT_EQ(many.size(), one.size());
+    for (std::size_t b = 0; b < one.size(); ++b)
+      for (std::size_t i = 0; i < one[b].singular_values.size(); ++i)
+        EXPECT_EQ(fp::to_bits(many[b].singular_values[i]),
+                  fp::to_bits(one[b].singular_values[i]))
+            << "threads " << threads << " matrix " << b;
+  }
+}
+
+TEST(SvdBatch, EmptyBatchYieldsEmptyResults) {
+  EXPECT_TRUE(svd_batch({}).empty());
+}
+
+TEST(SvdBatch, ValidatesTheWholeBatchUpFront) {
+  Rng rng(96);
+  std::vector<Matrix> batch;
+  batch.push_back(random_gaussian(6, 6, rng));
+  batch.push_back(Matrix());  // invalid
+  EXPECT_THROW(svd_batch(batch), Error);
+}
+
+TEST(SvdBatch, MoreThreadsThanMatrices) {
+  Rng rng(97);
+  std::vector<Matrix> batch;
+  batch.push_back(random_gaussian(10, 8, rng));
+  const auto results = svd_batch(batch, {}, 16);
+  ASSERT_EQ(results.size(), 1u);
+  const SvdResult ref = svd(batch[0]);
+  for (std::size_t i = 0; i < ref.singular_values.size(); ++i)
+    EXPECT_EQ(fp::to_bits(results[0].singular_values[i]),
+              fp::to_bits(ref.singular_values[i]));
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "baselines/golub_kahan.hpp"
 #include "common/rng.hpp"
 #include "linalg/generate.hpp"
@@ -147,6 +149,44 @@ TEST(AcceleratorSim, ZeroDepthFifoRejected) {
   AcceleratorConfig cfg;
   cfg.param_fifo_depth = 0;
   EXPECT_THROW(simulate_accelerator(random_gaussian(8, 8, rng), cfg), Error);
+}
+
+TEST(AcceleratorSim, InvalidRatesRejected) {
+  // Regression: zero / non-finite rates used to flow straight into ceil_div
+  // denominators and the seconds conversion, yielding inf/NaN cycle counts
+  // instead of an error.
+  Rng rng(107);
+  const Matrix a = random_gaussian(8, 8, rng);
+  {
+    AcceleratorConfig cfg;
+    cfg.cov_pairs_per_cycle = 0.0;
+    EXPECT_THROW(simulate_accelerator(a, cfg), Error);
+  }
+  {
+    AcceleratorConfig cfg;
+    cfg.col_pairs_per_cycle = -1.0;
+    EXPECT_THROW(simulate_accelerator(a, cfg), Error);
+  }
+  {
+    AcceleratorConfig cfg;
+    cfg.clock_hz = 0.0;
+    EXPECT_THROW(simulate_accelerator(a, cfg), Error);
+  }
+  {
+    AcceleratorConfig cfg;
+    cfg.input_words_per_cycle = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(simulate_accelerator(a, cfg), Error);
+  }
+  {
+    AcceleratorConfig cfg;
+    cfg.memory.words_per_cycle = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(simulate_accelerator(a, cfg), Error);
+  }
+  {
+    AcceleratorConfig cfg;
+    cfg.sweeps = 0;
+    EXPECT_THROW(simulate_accelerator(a, cfg), Error);
+  }
 }
 
 TEST(AcceleratorSim, SingleColumnMatrixIsPreprocessPlusFinalize) {

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <vector>
+
 #include "arch/timing_model.hpp"
 #include "common/error.hpp"
 
@@ -87,6 +91,65 @@ TEST(MultiEngine, ZeroEnginesThrows) {
   MultiEngineConfig cfg;
   cfg.engines = 0;
   EXPECT_THROW(estimate_multi_engine(cfg, 64, 64), Error);
+}
+
+TEST(ShardByCost, CoversEveryIndexExactlyOnce) {
+  const std::vector<double> costs{5.0, 1.0, 3.0, 8.0, 2.0, 2.0, 7.0};
+  const auto shards = shard_by_cost(costs, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  std::vector<int> seen(costs.size(), 0);
+  for (const auto& shard : shards)
+    for (std::size_t i : shard) {
+      ASSERT_LT(i, costs.size());
+      ++seen[i];
+    }
+  for (std::size_t i = 0; i < costs.size(); ++i) EXPECT_EQ(seen[i], 1) << i;
+}
+
+TEST(ShardByCost, BalancesLoadWithinLargestItem) {
+  // LPT guarantee: max load <= mean load + largest item.
+  const std::vector<double> costs{9.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0};
+  const auto shards = shard_by_cost(costs, 3);
+  double total = 0.0, largest = 0.0, max_load = 0.0;
+  for (double c : costs) {
+    total += c;
+    largest = std::max(largest, c);
+  }
+  for (const auto& shard : shards) {
+    double load = 0.0;
+    for (std::size_t i : shard) load += costs[i];
+    max_load = std::max(max_load, load);
+  }
+  EXPECT_LE(max_load, total / 3.0 + largest + 1e-12);
+}
+
+TEST(ShardByCost, DeterministicAcrossCalls) {
+  const std::vector<double> costs{2.0, 2.0, 2.0, 2.0, 5.0};
+  const auto a = shard_by_cost(costs, 2);
+  const auto b = shard_by_cost(costs, 2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShardByCost, MoreShardsThanItems) {
+  const std::vector<double> costs{1.0, 4.0};
+  const auto shards = shard_by_cost(costs, 5);
+  ASSERT_EQ(shards.size(), 5u);
+  std::size_t assigned = 0;
+  for (const auto& shard : shards) assigned += shard.size();
+  EXPECT_EQ(assigned, costs.size());
+}
+
+TEST(ShardByCost, EmptyCostsYieldEmptyShards) {
+  const auto shards = shard_by_cost({}, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  for (const auto& shard : shards) EXPECT_TRUE(shard.empty());
+}
+
+TEST(ShardByCost, RejectsInvalidArguments) {
+  EXPECT_THROW(shard_by_cost({1.0}, 0), Error);
+  EXPECT_THROW(shard_by_cost({-1.0}, 2), Error);
+  EXPECT_THROW(shard_by_cost({std::numeric_limits<double>::infinity()}, 2),
+               Error);
 }
 
 }  // namespace

@@ -30,12 +30,16 @@ SvdMethod parse_method(const std::string& name) {
   }
   if (name == "plain") return SvdMethod::kPlainHestenes;
   if (name == "parallel") return SvdMethod::kParallelHestenes;
+  if (name == "parallel-modified" || name == "block") {
+    return SvdMethod::kParallelModifiedHestenes;
+  }
   if (name == "two-sided" || name == "twosided") {
     return SvdMethod::kTwoSidedJacobi;
   }
   if (name == "golub-kahan" || name == "gk") return SvdMethod::kGolubKahan;
-  throw Error("unknown --method '" + name +
-              "' (hestenes|plain|parallel|two-sided|golub-kahan)");
+  throw Error(
+      "unknown --method '" + name +
+      "' (hestenes|plain|parallel|parallel-modified|two-sided|golub-kahan)");
 }
 
 /// Parses "MxN" into dimensions.
@@ -54,7 +58,10 @@ int main(int argc, char** argv) {
     Cli cli("hjsvd_cli: SVD of Matrix Market files via Hestenes-Jacobi");
     cli.add_option("input", "", "input .mtx file");
     cli.add_option("method", "hestenes",
-                   "hestenes|plain|parallel|two-sided|golub-kahan");
+                   "hestenes|plain|parallel|parallel-modified|two-sided|"
+                   "golub-kahan");
+    cli.add_option("threads", "0",
+                   "worker threads for the parallel methods (0 = all)");
     cli.add_option("values", "10", "how many singular values to print");
     cli.add_option("sweeps", "30", "max sweeps (Jacobi methods)");
     cli.add_option("tolerance", "1e-13", "convergence tolerance");
@@ -90,6 +97,7 @@ int main(int argc, char** argv) {
     opt.method = parse_method(cli.get("method"));
     opt.max_sweeps = static_cast<std::size_t>(cli.get_int("sweeps"));
     opt.tolerance = cli.get_double("tolerance");
+    opt.threads = static_cast<std::size_t>(cli.get_int("threads"));
     opt.compute_u = !cli.get("write-u").empty();
     opt.compute_v = !cli.get("write-v").empty();
 
