@@ -9,7 +9,9 @@
 //
 // Results are written as JSON (default BENCH_parallel_sweep.json) so runs on
 // different hosts can be compared; on a single-core host the speedups are
-// expected to hover around 1.0x.
+// expected to hover around 1.0x.  A second section compares the blocked
+// engine against the param-FIFO pipelined engine at larger sizes and writes
+// its results to a separate file (default BENCH_pipelined_sweep.json).
 #include <cstddef>
 #include <iostream>
 #include <sstream>
@@ -72,6 +74,12 @@ int main(int argc, char** argv) {
   cli.add_option("batch-rows", "48", "rows of each batch matrix");
   cli.add_option("batch-cols", "32", "cols of each batch matrix");
   cli.add_option("out", "BENCH_parallel_sweep.json", "JSON output path");
+  cli.add_option("pipelined-sizes", "256,512",
+                 "square sizes for the blocked-vs-pipelined comparison");
+  cli.add_option("queue-depth", "8",
+                 "parameter-queue depth of the pipelined engine");
+  cli.add_option("pipelined-out", "BENCH_pipelined_sweep.json",
+                 "JSON output path of the blocked-vs-pipelined comparison");
   cli.parse(argc, argv);
   const auto sizes = cli.get_int_list("sizes");
   const auto threads = cli.get_int_list("threads");
@@ -181,7 +189,86 @@ int main(int argc, char** argv) {
 
   const std::string out_path = cli.get("out");
   write_file(out_path, json.str());
-  std::cout << "JSON written to " << out_path << '\n'
+  std::cout << "JSON written to " << out_path << '\n';
+
+  // --- Blocked vs pipelined modified engine --------------------------------
+  // The pipelined engine overlaps round r+1's parameter generation with
+  // round r's covariance updates (the hardware's param-FIFO trick); the
+  // blocked engine serializes the two phases.  Bit-identity against the
+  // sequential reference is re-checked on every timed repetition — a rep
+  // whose result drifts would invalidate its timing.
+  const auto pipe_sizes = cli.get_int_list("pipelined-sizes");
+  const auto queue_depth = static_cast<std::size_t>(cli.get_int("queue-depth"));
+
+  std::ostringstream pjson;
+  pjson << "{\n  \"bench\": \"pipelined_sweep\",\n"
+        << "  \"hardware_threads\": " << hw_threads << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"queue_depth\": " << queue_depth << ",\n  \"sizes\": [\n";
+
+  std::vector<std::string> pheaders{"n", "seq (s)"};
+  for (auto t : threads)
+    pheaders.push_back("t=" + std::to_string(t) + " pipe/blocked");
+  AsciiTable ptab(pheaders);
+  ptab.set_caption(
+      "Pipelined vs blocked modified engine (bit-identical re-checked per "
+      "rep):");
+
+  for (std::size_t si = 0; si < pipe_sizes.size(); ++si) {
+    const auto n = static_cast<std::size_t>(pipe_sizes[si]);
+    Rng rng(5200 + static_cast<std::uint64_t>(n));
+    const Matrix a = random_gaussian(n, n, rng);
+
+    SvdResult seq;
+    const double t_seq =
+        best_of(reps, [&] { seq = modified_hestenes_svd(a, cfg); });
+
+    pjson << "    {\"n\": " << n << ", \"sequential_s\": " << fmt(t_seq)
+          << ", \"engines\": [";
+    std::vector<std::string> row{std::to_string(n), fmt(t_seq)};
+    for (std::size_t ti = 0; ti < threads.size(); ++ti) {
+      const auto t = static_cast<std::size_t>(threads[ti]);
+      ParallelSweepConfig par;
+      par.threads = t;
+      PipelinedSweepConfig pipe;
+      pipe.threads = t;
+      pipe.queue_depth = queue_depth;
+
+      bool ok = true;
+      const double t_blocked = best_of(reps, [&] {
+        const SvdResult r = parallel_modified_hestenes_svd(a, cfg, par);
+        ok = ok && values_bit_identical(r, seq);
+      });
+      PipelineStats qs;
+      const double t_pipe = best_of(reps, [&] {
+        const SvdResult r =
+            pipelined_modified_hestenes_svd(a, cfg, pipe, nullptr, &qs);
+        ok = ok && values_bit_identical(r, seq);
+      });
+      all_identical = all_identical && ok;
+
+      pjson << (ti ? ", " : "") << "{\"threads\": " << t
+            << ", \"blocked_s\": " << fmt(t_blocked)
+            << ", \"pipelined_s\": " << fmt(t_pipe)
+            << ", \"pipelined_vs_blocked\": " << fmt(t_blocked / t_pipe)
+            << ", \"pipelined_vs_sequential\": " << fmt(t_seq / t_pipe)
+            << ", \"queue_high_water\": " << qs.queue_high_water
+            << ", \"producer_stalls\": " << qs.producer_stalls
+            << ", \"consumer_stalls\": " << qs.consumer_stalls
+            << ", \"bit_identical\": " << (ok ? "true" : "false") << "}";
+      row.push_back(format_fixed(t_blocked / t_pipe, 2) + "x" +
+                    (ok ? "" : " MISMATCH"));
+    }
+    pjson << "]}" << (si + 1 < pipe_sizes.size() ? "," : "") << "\n";
+    ptab.add_row(row);
+  }
+  pjson << "  ],\n  \"all_bit_identical\": "
+        << (all_identical ? "true" : "false") << "\n}\n";
+  std::cout << ptab.to_string() << '\n';
+
+  const std::string pipe_out = cli.get("pipelined-out");
+  write_file(pipe_out, pjson.str());
+  std::cout << "JSON written to " << pipe_out << '\n'
             << (all_identical
                     ? "All parallel runs bit-identical to sequential.\n"
                     : "ERROR: bitwise mismatch between parallel and "

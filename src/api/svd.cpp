@@ -45,6 +45,12 @@ SvdResult svd(const Matrix& a, const SvdOptions& options) {
       return parallel_plain_hestenes_svd(a, hj, par);
     case SvdMethod::kParallelModifiedHestenes:
       return parallel_modified_hestenes_svd(a, hj, par);
+    case SvdMethod::kPipelinedModifiedHestenes: {
+      PipelinedSweepConfig pipe;
+      pipe.threads = options.threads;
+      pipe.queue_depth = options.pipeline_queue_depth;
+      return pipelined_modified_hestenes_svd(a, hj, pipe);
+    }
     case SvdMethod::kTwoSidedJacobi: {
       TwoSidedConfig cfg;
       cfg.max_sweeps = options.max_sweeps;
@@ -122,6 +128,8 @@ const char* svd_method_name(SvdMethod method) {
     case SvdMethod::kParallelHestenes: return "parallel Hestenes-Jacobi";
     case SvdMethod::kParallelModifiedHestenes:
       return "parallel modified Hestenes-Jacobi (block sweep)";
+    case SvdMethod::kPipelinedModifiedHestenes:
+      return "pipelined modified Hestenes-Jacobi (param-FIFO overlap)";
     case SvdMethod::kTwoSidedJacobi: return "two-sided Jacobi";
     case SvdMethod::kGolubKahan: return "Golub-Kahan-Reinsch";
   }

@@ -17,6 +17,7 @@ enum class SvdMethod {
   kPlainHestenes,             // recomputing one-sided Jacobi
   kParallelHestenes,          // pair-parallel plain one-sided Jacobi
   kParallelModifiedHestenes,  // block-partitioned Gram-rotating engine
+  kPipelinedModifiedHestenes, // param-FIFO pipelined Gram-rotating engine
   kTwoSidedJacobi,            // Kogbetliantz (square matrices only)
   kGolubKahan,                // Householder bidiagonalization + QR iteration
 };
@@ -32,6 +33,10 @@ struct SvdOptions {
   /// Worker threads of the parallel methods; 0 defers to the OpenMP
   /// runtime.  Results are bitwise independent of this value.
   std::size_t threads = 0;
+  /// Rotation-parameter queue capacity of kPipelinedModifiedHestenes (the
+  /// software analogue of the accelerator's param FIFO depth); other
+  /// methods ignore it.  Results are bitwise independent of this value.
+  std::size_t pipeline_queue_depth = 8;
 };
 
 /// Decomposes an arbitrary m x n matrix.  Throws hjsvd::Error for invalid

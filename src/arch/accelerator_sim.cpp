@@ -122,6 +122,14 @@ AcceleratorRunResult simulate_accelerator(const Matrix& a,
         update_free = done;
         last_update_done = std::max(last_update_done, done);
         inflight_updates.push_back(done);
+        // FIFO occupancy at this issue: groups whose updates are still
+        // pending (the deque also keeps already-drained completion times
+        // until capacity forces a pop, so filter on the issue cycle).
+        std::size_t occupancy = 0;
+        for (const Cycle done_at : inflight_updates)
+          if (done_at > issue) ++occupancy;
+        result.param_fifo_high_water =
+            std::max(result.param_fifo_high_water, occupancy);
       }
     }
   }

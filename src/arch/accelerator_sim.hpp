@@ -40,6 +40,12 @@ struct AcceleratorRunResult {
   std::uint64_t fifo_backpressure_events = 0;  // rotation unit held by updates
   std::uint64_t offchip_words = 0;
   std::uint32_t rotation_latency = 0;
+  /// Max parameter-FIFO occupancy observed at any group issue: rotation
+  /// groups issued whose covariance updates had not yet drained (in
+  /// groups; the software pipeline's PipelineStats::queue_high_water is
+  /// the analogous measure in single rotations).  Bounded by
+  /// AcceleratorConfig::param_fifo_depth.
+  std::size_t param_fifo_high_water = 0;
 
   // Component occupancy: cycles each unit spent doing work, and its
   // utilization over the sweep phase (the paper's bottleneck analysis —

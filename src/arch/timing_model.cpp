@@ -114,6 +114,31 @@ TimingBreakdown estimate_timing(const AcceleratorConfig& cfg, std::size_t m,
     t.io_bound_cycles += (static_cast<Cycle>(cfg.sweeps - 1) - 1) * io_delta;
   }
 
+  // --- Parameter-FIFO steady state ------------------------------------------
+  // Occupancy of a later sweep's full group (the regime nearly all cycles
+  // run in): a group occupies a FIFO slot from issue until its updates
+  // drain, i.e. for rotation_latency + drain cycles, and groups issue
+  // every rotation_issue_cycles — unless updates outlast the cadence, in
+  // which case the rotation unit runs ahead until the FIFO is full.
+  if (rounds > 0) {
+    const std::uint64_t g = std::min<std::uint64_t>(
+        cfg.rotation_group_size, std::max<std::uint64_t>(per_round, 1));
+    Cycle drain = ceil_div_u64(g * cov_updates_per_rot,
+                               cfg.cov_pairs_per_cycle);
+    if (cfg.accumulate_v)
+      drain += ceil_div_u64(g * nn, cfg.col_pairs_per_cycle);
+    if (!t.covariance_fits_onchip)
+      drain = std::max(drain, ceil_div_u64(4 * g * cov_updates_per_rot,
+                                           cfg.memory.words_per_cycle));
+    if (drain >= cfg.rotation_issue_cycles) {
+      t.param_fifo_occupancy = cfg.param_fifo_depth;
+    } else {
+      t.param_fifo_occupancy = std::min<std::size_t>(
+          cfg.param_fifo_depth,
+          1 + (t.rotation_latency + drain) / cfg.rotation_issue_cycles);
+    }
+  }
+
   // --- Finalization: sqrt of the n diagonal entries, pipelined --------------
   t.finalize = nn + cfg.latencies.sqrt;
 

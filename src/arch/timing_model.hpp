@@ -33,6 +33,13 @@ struct TimingBreakdown {
   std::uint64_t rotations_per_sweep = 0;
   bool covariance_fits_onchip = true;
   std::uint32_t rotation_latency = 0;  // derived from the dataflow schedule
+  /// Steady-state parameter-FIFO occupancy (in rotation groups): the FIFO
+  /// saturates at param_fifo_depth when a group's updates take longer than
+  /// the issue cadence; otherwise a group stays resident for its rotation
+  /// latency plus update drain, so occupancy is that residency divided by
+  /// the cadence.  Cross-checked against the simulator's measured
+  /// param_fifo_high_water.
+  std::size_t param_fifo_occupancy = 0;
 };
 
 /// Estimates the execution of an m x n decomposition on the accelerator.

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #ifdef _OPENMP
@@ -23,6 +27,18 @@ int resolve_threads(const ParallelSweepConfig& par) {
 #else
   (void)par;
   return 1;
+#endif
+}
+
+/// Update-worker count of the pipelined engine (usable without OpenMP —
+/// the pipelined pool is plain std::thread).
+std::size_t resolve_pool_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+#ifdef _OPENMP
+  return static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
+#else
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
 #endif
 }
 
@@ -70,25 +86,29 @@ struct RoundPlan {
   std::vector<Slot> slots;
   std::size_t pair_slots = 0;  // slots [0, pair_slots) rotate
   std::vector<std::pair<std::uint32_t, std::uint32_t>> tasks;
+  std::vector<std::uint32_t> slot_of;  // column index -> slot index
 };
 
 RoundPlan plan_round(const std::vector<Pair>& round, std::size_t n) {
   RoundPlan plan;
-  std::vector<bool> covered(n, false);
+  constexpr auto kUncovered = static_cast<std::uint32_t>(-1);
+  plan.slot_of.assign(n, kUncovered);
   for (const auto& [i, j] : round) {
     Slot s;
     s.cols[0] = i;
     s.cols[1] = j;
     s.count = 2;
+    plan.slot_of[i] = plan.slot_of[j] =
+        static_cast<std::uint32_t>(plan.slots.size());
     plan.slots.push_back(s);
-    covered[i] = covered[j] = true;
   }
   plan.pair_slots = plan.slots.size();
   for (std::size_t c = 0; c < n; ++c) {
-    if (covered[c]) continue;
+    if (plan.slot_of[c] != kUncovered) continue;
     Slot s;
     s.cols[0] = c;
     s.count = 1;
+    plan.slot_of[c] = static_cast<std::uint32_t>(plan.slots.size());
     plan.slots.push_back(s);
   }
   // Cross tasks: every slot pair with at least one rotating member.  Idle
@@ -99,6 +119,30 @@ RoundPlan plan_round(const std::vector<Pair>& round, std::size_t n) {
       plan.tasks.emplace_back(static_cast<std::uint32_t>(a),
                               static_cast<std::uint32_t>(b));
   return plan;
+}
+
+/// Index of task (a, b), a < b, in RoundPlan::tasks — inverts the
+/// emplacement order of plan_round.
+inline std::size_t task_index(const RoundPlan& plan, std::size_t a,
+                              std::size_t b) {
+  const std::size_t total = plan.slots.size();
+  return a * total - a * (a + 1) / 2 + (b - a - 1);
+}
+
+/// Spins (with yields, falling back to short sleeps) until pred() holds.
+/// Returns false — without waiting out pred — once stop is set, so every
+/// pipeline wait unblocks when a peer thread fails.
+template <class Pred>
+bool spin_until(Pred&& pred, const std::atomic<bool>& stop) {
+  for (int spins = 0; !pred(); ++spins) {
+    if (stop.load(std::memory_order_acquire)) return false;
+    if (spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -289,6 +333,381 @@ SvdResult parallel_plain_hestenes_svd(const Matrix& a,
   }
 
   detail::finalize_column_result(r, v, cfg, result, ops);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined round engine.
+//
+// Thread roles (all persistent for the whole decomposition):
+//   generator — the Jacobi rotation component.  Walks rounds in sequential
+//     order; for each pair it waits for the single round r-1 cross-block
+//     task that owns D(i, j) (diagonals are written only by the generator
+//     itself, in program order), then reads D, computes the rotation,
+//     applies the diagonal updates and zeroes D(i, j), and publishes
+//     {cos, sin} through the bounded parameter queue.  It therefore runs at
+//     most one round ahead of the update array — exactly the hardware's
+//     param-FIFO overlap.
+//   nt workers — the update-kernel array.  Each owns a static chunk of the
+//     round's cross-block tasks (plus V column rotations), waits for the
+//     two parameters a task needs, and applies the same arithmetic in the
+//     same per-entry order as the blocked engine.
+//   main — the coordinator.  Dispatches rounds, waits the per-round
+//     barrier, drains parameters nothing consumed (degenerate rounds), and
+//     runs the per-sweep convergence bookkeeping while the pipeline is
+//     fenced.
+//
+// All cross-thread signals are monotonically-versioned atomics stamped with
+// the global round id (sweep * num_rounds + round + 1): a waiter checks
+// `counter >= id`, so no flag is ever cleared and no ABA race exists.
+// Queue occupancy is a plain credit counter; a parameter is charged on push
+// and released by whichever consumer (cross task, V task, or the main-loop
+// drain) reaches it first, via a first-user CAS on param_consumed.
+// ---------------------------------------------------------------------------
+SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
+                                          const HestenesConfig& cfg,
+                                          const PipelinedSweepConfig& pipe,
+                                          HestenesStats* stats,
+                                          PipelineStats* pipeline) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  HJSVD_ENSURE(m > 0 && n > 0, "matrix must be non-empty");
+  HJSVD_ENSURE(cfg.max_sweeps > 0, "need at least one sweep");
+  HJSVD_ENSURE(all_finite(a), "input matrix must be finite (no NaN/inf)");
+  const std::size_t depth = std::max<std::size_t>(1, pipe.queue_depth);
+  if (pipeline != nullptr) {
+    *pipeline = PipelineStats{};
+    pipeline->queue_capacity = depth;
+  }
+  if (n < 2) {
+    // No pairs, hence nothing to pipeline: defer to the sequential
+    // algorithm the engine is contractually identical to.
+    HestenesConfig seq = cfg;
+    seq.ordering = Ordering::kRoundRobin;
+    return modified_hestenes_svd(a, seq, stats);
+  }
+
+  const fp::NativeOps ops;
+  const std::size_t nt = resolve_pool_threads(pipe.threads);
+
+  Matrix d = gram_upper_ops(a, ops, cfg.gram_chunk_rows);
+  const bool need_v = cfg.compute_u || cfg.compute_v;
+  Matrix v;
+  if (need_v) v = Matrix::identity(n);
+
+  const auto rounds = round_robin_rounds(n);
+  const std::size_t num_rounds = rounds.size();
+  std::vector<RoundPlan> plans;
+  plans.reserve(num_rounds);
+  for (const auto& round : rounds) plans.push_back(plan_round(round, n));
+
+  // deps[r][p]: index of the plans[r-1] task owning covariance entry
+  // (i, j) of pair p in round r — the only round r-1 update the generator
+  // must wait for before touching that pair.  deps[0] is empty: sweep
+  // boundaries flush the whole pipeline.
+  std::vector<std::vector<std::uint32_t>> deps(num_rounds);
+  for (std::size_t r = 1; r < num_rounds; ++r) {
+    const RoundPlan& prev = plans[r - 1];
+    deps[r].reserve(plans[r].pair_slots);
+    for (std::size_t p = 0; p < plans[r].pair_slots; ++p) {
+      const std::size_t i = plans[r].slots[p].cols[0];
+      const std::size_t j = plans[r].slots[p].cols[1];
+      // The two columns sit in distinct prev-round slots (at most one can
+      // be prev's idle slot), so (min, max) names a valid cross task.
+      const std::size_t sa = std::min(prev.slot_of[i], prev.slot_of[j]);
+      const std::size_t sb = std::max(prev.slot_of[i], prev.slot_of[j]);
+      deps[r].push_back(static_cast<std::uint32_t>(task_index(prev, sa, sb)));
+    }
+  }
+
+  std::size_t max_slots = 0, max_tasks = 1;
+  for (const RoundPlan& plan : plans) {
+    max_slots = std::max(max_slots, plan.slots.size());
+    max_tasks = std::max(max_tasks, plan.tasks.size());
+  }
+
+  // Parameter buffers ping-pong on round-id parity: round id writes
+  // rot[id % 2], which round id + 2 may reuse only after the id barrier —
+  // and the barrier for id completes before id + 1 is even dispatched.
+  std::vector<SlotRotation> rot[2];
+  rot[0].assign(max_slots, SlotRotation{});
+  rot[1].assign(max_slots, SlotRotation{});
+  std::vector<std::atomic<std::uint64_t>> param_ready(max_slots);
+  std::vector<std::atomic<std::uint64_t>> param_consumed(max_slots);
+  std::vector<std::atomic<std::uint64_t>> task_done(max_tasks);
+  std::vector<std::atomic<std::uint64_t>> worker_done(nt);
+  for (auto& x : param_ready) x.store(0, std::memory_order_relaxed);
+  for (auto& x : param_consumed) x.store(0, std::memory_order_relaxed);
+  for (auto& x : task_done) x.store(0, std::memory_order_relaxed);
+  for (auto& x : worker_done) x.store(0, std::memory_order_relaxed);
+  std::atomic<std::uint64_t> dispatch{0};
+  std::atomic<std::size_t> queue_size{0};
+  std::atomic<std::size_t> queue_high_water{0};
+  std::atomic<std::uint64_t> params_issued{0};
+  std::atomic<std::uint64_t> producer_stalls{0};
+  std::atomic<std::uint64_t> consumer_stalls{0};
+  std::atomic<std::uint64_t> go_sweep{0};
+  std::atomic<std::uint64_t> gen_sweep_done{0};
+  std::atomic<bool> quit{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::uint64_t> sweep_rotations(cfg.max_sweeps, 0);
+  std::vector<std::uint64_t> sweep_skipped(cfg.max_sweeps, 0);
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  const auto round_id = [num_rounds](std::size_t sweep, std::size_t r) {
+    return static_cast<std::uint64_t>(sweep) * num_rounds + r + 1;
+  };
+  const auto record_error = [&] {
+    {
+      const std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+    failed.store(true, std::memory_order_release);
+  };
+  // Releases slot s's queue credit for round `id` exactly once, no matter
+  // how many consumers touch the slot.
+  const auto consume_param = [&](std::size_t s, std::uint64_t id) {
+    std::uint64_t seen = param_consumed[s].load(std::memory_order_relaxed);
+    while (seen < id) {
+      if (param_consumed[s].compare_exchange_weak(
+              seen, id, std::memory_order_relaxed)) {
+        queue_size.fetch_sub(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  const auto await_param = [&](std::size_t s, std::uint64_t id) {
+    if (param_ready[s].load(std::memory_order_acquire) >= id) return true;
+    consumer_stalls.fetch_add(1, std::memory_order_relaxed);
+    return spin_until(
+        [&] { return param_ready[s].load(std::memory_order_acquire) >= id; },
+        failed);
+  };
+
+  // --- The rotation component --------------------------------------------
+  std::thread generator([&] {
+    try {
+      for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
+        if (!spin_until(
+                [&] {
+                  return go_sweep.load(std::memory_order_acquire) > sweep ||
+                         quit.load(std::memory_order_acquire);
+                },
+                failed)) {
+          return;
+        }
+        if (go_sweep.load(std::memory_order_acquire) <= sweep) return;
+        std::uint64_t rotations = 0, skipped = 0;
+        for (std::size_t r = 0; r < num_rounds; ++r) {
+          const std::uint64_t id = round_id(sweep, r);
+          auto& params = rot[id % 2];
+          const RoundPlan& plan = plans[r];
+          for (std::size_t p = 0; p < plan.pair_slots; ++p) {
+            if (r > 0) {
+              std::atomic<std::uint64_t>& owner = task_done[deps[r][p]];
+              if (!spin_until(
+                      [&] {
+                        return owner.load(std::memory_order_acquire) >= id - 1;
+                      },
+                      failed)) {
+                return;
+              }
+            }
+            if (queue_size.load(std::memory_order_relaxed) >= depth) {
+              producer_stalls.fetch_add(1, std::memory_order_relaxed);
+              if (!spin_until(
+                      [&] {
+                        return queue_size.load(std::memory_order_relaxed) <
+                               depth;
+                      },
+                      failed)) {
+                return;
+              }
+            }
+            const std::size_t i = plan.slots[p].cols[0];
+            const std::size_t j = plan.slots[p].cols[1];
+            SlotRotation sr;
+            const double cov = d(i, j);
+            if (detail::below_threshold(cov, d(i, i), d(j, j),
+                                        cfg.rotation_threshold)) {
+              ++skipped;
+            } else {
+              const RotationParams rp =
+                  compute_rotation(cfg.formula, d(j, j), d(i, i), cov, ops);
+              if (!rp.rotate) {
+                ++skipped;
+              } else {
+                const double tc = ops.mul(rp.t, cov);
+                d(j, j) = ops.add(d(j, j), tc);  // Algorithm 1 line 15
+                d(i, i) = ops.sub(d(i, i), tc);  // line 16
+                d(i, j) = 0.0;                   // line 17
+                sr = SlotRotation{rp.cos, rp.sin, true};
+                ++rotations;
+              }
+            }
+            params[p] = sr;
+            const std::size_t size =
+                queue_size.fetch_add(1, std::memory_order_relaxed) + 1;
+            std::size_t hw = queue_high_water.load(std::memory_order_relaxed);
+            while (hw < size && !queue_high_water.compare_exchange_weak(
+                                    hw, size, std::memory_order_relaxed)) {
+            }
+            params_issued.fetch_add(1, std::memory_order_relaxed);
+            param_ready[p].store(id, std::memory_order_release);
+          }
+        }
+        sweep_rotations[sweep] = rotations;
+        sweep_skipped[sweep] = skipped;
+        gen_sweep_done.store(sweep + 1, std::memory_order_release);
+      }
+    } catch (...) {
+      record_error();
+    }
+  });
+
+  // --- The update-kernel array -------------------------------------------
+  std::vector<std::thread> workers;
+  workers.reserve(nt);
+  for (std::size_t w = 0; w < nt; ++w) {
+    workers.emplace_back([&, w] {
+      try {
+        for (std::uint64_t next = 1;; ++next) {
+          if (!spin_until(
+                  [&] {
+                    return dispatch.load(std::memory_order_acquire) >= next ||
+                           quit.load(std::memory_order_acquire);
+                  },
+                  failed)) {
+            return;
+          }
+          if (dispatch.load(std::memory_order_acquire) < next) return;
+          const auto r = static_cast<std::size_t>((next - 1) % num_rounds);
+          const RoundPlan& plan = plans[r];
+          const auto& params = rot[next % 2];
+          const std::size_t ntasks = plan.tasks.size();
+          const std::size_t total =
+              ntasks + (need_v ? plan.pair_slots : 0);
+          const std::size_t begin = w * total / nt;
+          const std::size_t end = (w + 1) * total / nt;
+          for (std::size_t idx = begin; idx < end; ++idx) {
+            if (idx < ntasks) {
+              const auto [sa, sb] = plan.tasks[idx];
+              if (!await_param(sa, next)) return;
+              consume_param(sa, next);
+              const bool sb_rotates = sb < plan.pair_slots;
+              if (sb_rotates) {
+                if (!await_param(sb, next)) return;
+                consume_param(sb, next);
+              }
+              const Slot& slot_a = plan.slots[sa];
+              const Slot& slot_b = plan.slots[sb];
+              if (params[sa].active) {
+                for (std::size_t c = 0; c < slot_b.count; ++c)
+                  update_cov_entry(d, slot_b.cols[c], slot_a.cols[0],
+                                   slot_a.cols[1], params[sa].c, params[sa].s,
+                                   ops);
+              }
+              if (sb_rotates && params[sb].active) {
+                for (std::size_t c = 0; c < slot_a.count; ++c)
+                  update_cov_entry(d, slot_a.cols[c], slot_b.cols[0],
+                                   slot_b.cols[1], params[sb].c, params[sb].s,
+                                   ops);
+              }
+              task_done[idx].store(next, std::memory_order_release);
+            } else {
+              const std::size_t p = idx - ntasks;
+              if (!await_param(p, next)) return;
+              consume_param(p, next);
+              if (params[p].active) {
+                detail::rotate_columns(v, plan.slots[p].cols[0],
+                                       plan.slots[p].cols[1], params[p].c,
+                                       params[p].s, ops);
+              }
+            }
+          }
+          worker_done[w].store(next, std::memory_order_release);
+        }
+      } catch (...) {
+        record_error();
+      }
+    });
+  }
+
+  // --- The coordinator -----------------------------------------------------
+  SvdResult result;
+  if (stats != nullptr) *stats = HestenesStats{};
+  std::size_t sweeps_done = 0;
+  bool aborted = false;
+  for (std::size_t sweep = 0; sweep < cfg.max_sweeps && !aborted; ++sweep) {
+    go_sweep.store(sweep + 1, std::memory_order_release);
+    for (std::size_t r = 0; r < num_rounds && !aborted; ++r) {
+      const std::uint64_t id = round_id(sweep, r);
+      dispatch.store(id, std::memory_order_release);
+      for (std::size_t w = 0; w < nt; ++w) {
+        if (!spin_until(
+                [&] {
+                  return worker_done[w].load(std::memory_order_acquire) >= id;
+                },
+                failed)) {
+          aborted = true;
+          break;
+        }
+      }
+      if (aborted) break;
+      // Drain parameters no task or V rotation consumed (degenerate rounds
+      // only, e.g. n == 2 with no vectors requested), so the queue cannot
+      // silt up across rounds.
+      for (std::size_t p = 0; p < plans[r].pair_slots; ++p) {
+        if (param_consumed[p].load(std::memory_order_relaxed) >= id) continue;
+        if (!await_param(p, id)) {
+          aborted = true;
+          break;
+        }
+        consume_param(p, id);
+      }
+    }
+    if (aborted) break;
+    // Fence: the generator finished the sweep (it cannot have entered the
+    // next one — go_sweep still gates it), so d is stable for bookkeeping.
+    if (!spin_until(
+            [&] {
+              return gen_sweep_done.load(std::memory_order_acquire) >=
+                     sweep + 1;
+            },
+            failed)) {
+      break;
+    }
+    ++sweeps_done;
+    if (stats != nullptr) {
+      stats->total_rotations += sweep_rotations[sweep];
+      stats->total_skipped += sweep_skipped[sweep];
+      if (cfg.track_convergence)
+        stats->sweeps.push_back(detail::make_record(
+            d, sweep_rotations[sweep], sweep_skipped[sweep]));
+    }
+    if (cfg.tolerance > 0.0 && max_relative_offdiag(d) < cfg.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  quit.store(true, std::memory_order_release);
+  generator.join();
+  for (auto& t : workers) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.sweeps = sweeps_done;
+  if (cfg.tolerance == 0.0) {
+    result.converged = max_relative_offdiag(d) < 1e-10;
+  }
+  if (pipeline != nullptr) {
+    pipeline->queue_high_water = queue_high_water.load();
+    pipeline->params_issued = params_issued.load();
+    pipeline->producer_stalls = producer_stalls.load();
+    pipeline->consumer_stalls = consumer_stalls.load();
+  }
+
+  detail::finalize_gram_result(a, d, v, cfg, result, ops);
   return result;
 }
 

@@ -16,9 +16,10 @@ namespace hjsvd {
 namespace detail {
 
 /// Shared finalization of the column-rotating paths: singular values are the
-/// 2-norms of the converged B = U * Sigma (in `r`), sorted descending; U's
-/// non-null columns are the normalized columns of B, and V is gathered from
-/// the accumulated rotation product.
+/// 2-norms of the converged B = U * Sigma (in `r`), sorted descending; U is
+/// the normalized columns of B re-orthogonalized and completed from the
+/// null space (orthonormalize_columns, shared with the Gram path), and V is
+/// gathered from the accumulated rotation product.
 template <class Ops>
 void finalize_column_result(const Matrix& r, Matrix& v,
                             const HestenesConfig& cfg, SvdResult& result,
@@ -51,6 +52,11 @@ void finalize_column_result(const Matrix& r, Matrix& v,
       auto ut = result.u.col(t);
       for (std::size_t row = 0; row < m; ++row) ut[row] = bt[row] / sv;
     }
+    // Same re-orthogonalization + null-space completion as the Gram path:
+    // columns skipped above (numerically zero singular values) would
+    // otherwise stay zero vectors, and the normalized columns are only
+    // orthogonal to eps * kappa(A).
+    orthonormalize_columns(result.u, ops);
   }
   if (cfg.compute_v) {
     Matrix v_sorted(n, k);

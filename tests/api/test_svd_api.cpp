@@ -46,6 +46,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SvdMethod::kModifiedHestenes, SvdMethod::kPlainHestenes,
                       SvdMethod::kParallelHestenes,
                       SvdMethod::kParallelModifiedHestenes,
+                      SvdMethod::kPipelinedModifiedHestenes,
                       SvdMethod::kTwoSidedJacobi, SvdMethod::kGolubKahan),
     [](const auto& param_info) {
       std::string name = svd_method_name(param_info.param);
@@ -75,6 +76,31 @@ TEST(SvdApi, MethodNamesAreDistinct) {
                svd_method_name(SvdMethod::kTwoSidedJacobi));
   EXPECT_STRNE(svd_method_name(SvdMethod::kParallelHestenes),
                svd_method_name(SvdMethod::kParallelModifiedHestenes));
+  EXPECT_STRNE(svd_method_name(SvdMethod::kParallelModifiedHestenes),
+               svd_method_name(SvdMethod::kPipelinedModifiedHestenes));
+}
+
+TEST(SvdApi, PipelinedMethodMatchesSequentialBitForBit) {
+  Rng rng(98);
+  const Matrix a = random_gaussian(17, 12, rng);
+  SvdOptions opt;
+  opt.compute_u = true;
+  opt.compute_v = true;
+  const SvdResult seq = svd(a, opt);
+  opt.method = SvdMethod::kPipelinedModifiedHestenes;
+  for (std::size_t depth : {1u, 8u}) {
+    opt.pipeline_queue_depth = depth;
+    opt.threads = 2;
+    const SvdResult r = svd(a, opt);
+    ASSERT_EQ(r.singular_values.size(), seq.singular_values.size());
+    for (std::size_t i = 0; i < seq.singular_values.size(); ++i)
+      EXPECT_EQ(fp::to_bits(r.singular_values[i]),
+                fp::to_bits(seq.singular_values[i]))
+          << "depth " << depth << " value " << i;
+    for (std::size_t i = 0; i < seq.u.data().size(); ++i)
+      EXPECT_EQ(fp::to_bits(r.u.data()[i]), fp::to_bits(seq.u.data()[i]))
+          << "depth " << depth << " U entry " << i;
+  }
 }
 
 std::vector<Matrix> make_batch(Rng& rng) {
@@ -135,6 +161,26 @@ TEST(SvdBatch, ValidatesTheWholeBatchUpFront) {
   batch.push_back(random_gaussian(6, 6, rng));
   batch.push_back(Matrix());  // invalid
   EXPECT_THROW(svd_batch(batch), Error);
+}
+
+TEST(SvdBatch, SelectsPipelinedMethod) {
+  Rng rng(99);
+  const auto batch = make_batch(rng);
+  SvdOptions opt;
+  opt.method = SvdMethod::kPipelinedModifiedHestenes;
+  opt.compute_v = true;
+  const auto results = svd_batch(batch, opt, /*threads=*/3);
+  ASSERT_EQ(results.size(), batch.size());
+  SvdOptions seq = opt;
+  seq.method = SvdMethod::kModifiedHestenes;
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    const SvdResult ref = svd(batch[b], seq);
+    ASSERT_EQ(results[b].singular_values.size(), ref.singular_values.size());
+    for (std::size_t i = 0; i < ref.singular_values.size(); ++i)
+      EXPECT_EQ(fp::to_bits(results[b].singular_values[i]),
+                fp::to_bits(ref.singular_values[i]))
+          << "matrix " << b << " value " << i;
+  }
 }
 
 TEST(SvdBatch, MoreThreadsThanMatrices) {

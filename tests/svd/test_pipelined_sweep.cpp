@@ -1,0 +1,252 @@
+// Tests for the pipelined round engine: bitwise identity with the
+// sequential round-robin modified Hestenes across every combination of
+// worker count and parameter-queue depth, per-sweep stats equality, queue
+// accounting, and the degenerate shapes that stress the pipeline fences
+// (n == 2, odd n, no-vector runs).
+#include "svd/parallel_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fp/softfloat.hpp"
+#include "linalg/generate.hpp"
+#include "svd/hestenes.hpp"
+
+namespace hjsvd {
+namespace {
+
+enum class Shape { kSquare, kTall, kWide, kRankDeficient };
+
+const char* shape_name(Shape s) {
+  switch (s) {
+    case Shape::kSquare: return "Square";
+    case Shape::kTall: return "Tall";
+    case Shape::kWide: return "Wide";
+    case Shape::kRankDeficient: return "RankDeficient";
+  }
+  return "?";
+}
+
+Matrix make(Shape s, Rng& rng) {
+  switch (s) {
+    case Shape::kSquare: return random_gaussian(24, 24, rng);
+    case Shape::kTall: return random_gaussian(48, 17, rng);
+    case Shape::kWide: return random_gaussian(14, 33, rng);
+    case Shape::kRankDeficient: return random_rank_deficient(26, 20, 9, rng);
+  }
+  return Matrix(1, 1);
+}
+
+void expect_bit_identical(const SvdResult& a, const SvdResult& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.singular_values.size(), b.singular_values.size()) << what;
+  for (std::size_t i = 0; i < a.singular_values.size(); ++i)
+    EXPECT_EQ(fp::to_bits(a.singular_values[i]),
+              fp::to_bits(b.singular_values[i]))
+        << what << " singular value " << i;
+  EXPECT_EQ(a.sweeps, b.sweeps) << what;
+  EXPECT_EQ(a.converged, b.converged) << what;
+  ASSERT_EQ(a.u.rows(), b.u.rows()) << what;
+  ASSERT_EQ(a.u.cols(), b.u.cols()) << what;
+  for (std::size_t i = 0; i < a.u.data().size(); ++i)
+    EXPECT_EQ(fp::to_bits(a.u.data()[i]), fp::to_bits(b.u.data()[i]))
+        << what << " U entry " << i;
+  ASSERT_EQ(a.v.rows(), b.v.rows()) << what;
+  ASSERT_EQ(a.v.cols(), b.v.cols()) << what;
+  for (std::size_t i = 0; i < a.v.data().size(); ++i)
+    EXPECT_EQ(fp::to_bits(a.v.data()[i]), fp::to_bits(b.v.data()[i]))
+        << what << " V entry " << i;
+}
+
+class PipelinedSweepShapes : public ::testing::TestWithParam<Shape> {
+ protected:
+  HestenesConfig config() const {
+    HestenesConfig cfg;
+    cfg.max_sweeps = 20;
+    cfg.tolerance = 1e-14;
+    cfg.ordering = Ordering::kRoundRobin;
+    cfg.compute_u = true;
+    cfg.compute_v = true;
+    return cfg;
+  }
+};
+
+TEST_P(PipelinedSweepShapes, BitIdenticalAcrossThreadsAndQueueDepths) {
+  Rng rng(11100 + static_cast<int>(GetParam()));
+  const Matrix a = make(GetParam(), rng);
+  const HestenesConfig cfg = config();
+  const SvdResult seq = modified_hestenes_svd(a, cfg);
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    for (std::size_t depth : {1u, 2u, 8u}) {
+      PipelinedSweepConfig pipe;
+      pipe.threads = threads;
+      pipe.queue_depth = depth;
+      PipelineStats qs;
+      const SvdResult r =
+          pipelined_modified_hestenes_svd(a, cfg, pipe, nullptr, &qs);
+      expect_bit_identical(r, seq,
+                           std::string(shape_name(GetParam())) +
+                               " threads=" + std::to_string(threads) +
+                               " depth=" + std::to_string(depth));
+      EXPECT_EQ(qs.queue_capacity, depth);
+      EXPECT_LE(qs.queue_high_water, depth);
+      EXPECT_GE(qs.queue_high_water, 1u);
+      // Every pair of every executed round pushes exactly one parameter.
+      const std::size_t n = a.cols();
+      const std::uint64_t per_sweep =
+          static_cast<std::uint64_t>(n / 2) * (n - 1 + (n % 2));
+      EXPECT_EQ(qs.params_issued, per_sweep * r.sweeps);
+    }
+  }
+}
+
+TEST_P(PipelinedSweepShapes, StatsMatchSequentialPerSweep) {
+  Rng rng(11200 + static_cast<int>(GetParam()));
+  const Matrix a = make(GetParam(), rng);
+  HestenesConfig cfg = config();
+  cfg.track_convergence = true;
+  HestenesStats ref_stats;
+  (void)modified_hestenes_svd(a, cfg, &ref_stats);
+  for (std::size_t threads : {1u, 3u}) {
+    PipelinedSweepConfig pipe;
+    pipe.threads = threads;
+    HestenesStats stats;
+    (void)pipelined_modified_hestenes_svd(a, cfg, pipe, &stats);
+    EXPECT_EQ(stats.total_rotations, ref_stats.total_rotations);
+    EXPECT_EQ(stats.total_skipped, ref_stats.total_skipped);
+    ASSERT_EQ(stats.sweeps.size(), ref_stats.sweeps.size());
+    for (std::size_t s = 0; s < stats.sweeps.size(); ++s) {
+      EXPECT_EQ(fp::to_bits(stats.sweeps[s].mean_abs_offdiag),
+                fp::to_bits(ref_stats.sweeps[s].mean_abs_offdiag));
+      EXPECT_EQ(fp::to_bits(stats.sweeps[s].max_rel_offdiag),
+                fp::to_bits(ref_stats.sweeps[s].max_rel_offdiag));
+      EXPECT_EQ(stats.sweeps[s].rotations, ref_stats.sweeps[s].rotations);
+      EXPECT_EQ(stats.sweeps[s].skipped, ref_stats.sweeps[s].skipped);
+    }
+  }
+}
+
+TEST_P(PipelinedSweepShapes, MatchesBlockedEngineBitForBit) {
+  Rng rng(11300 + static_cast<int>(GetParam()));
+  const Matrix a = make(GetParam(), rng);
+  const HestenesConfig cfg = config();
+  ParallelSweepConfig par;
+  par.threads = 2;
+  const SvdResult blocked = parallel_modified_hestenes_svd(a, cfg, par);
+  PipelinedSweepConfig pipe;
+  pipe.threads = 2;
+  pipe.queue_depth = 4;
+  const SvdResult r = pipelined_modified_hestenes_svd(a, cfg, pipe);
+  expect_bit_identical(r, blocked, shape_name(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PipelinedSweepShapes,
+                         ::testing::Values(Shape::kSquare, Shape::kTall,
+                                           Shape::kWide,
+                                           Shape::kRankDeficient),
+                         [](const auto& param_info) {
+                           return std::string(shape_name(param_info.param));
+                         });
+
+TEST(PipelinedSweep, OddColumnCountHandled) {
+  // Odd n exercises the bye slot: the generator's dependency may sit in a
+  // cross task between a pair slot and the idle slot of the prior round.
+  Rng rng(11400);
+  const Matrix a = random_gaussian(19, 13, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 20;
+  cfg.tolerance = 1e-14;
+  cfg.compute_u = true;
+  cfg.compute_v = true;
+  const SvdResult seq = modified_hestenes_svd(a, cfg);
+  PipelinedSweepConfig pipe;
+  pipe.threads = 3;
+  pipe.queue_depth = 2;
+  const SvdResult r = pipelined_modified_hestenes_svd(a, cfg, pipe);
+  expect_bit_identical(r, seq, "odd n");
+}
+
+TEST(PipelinedSweep, TwoColumnsNoVectorsDoesNotDeadlock) {
+  // n == 2 has one pair and zero cross tasks; with no vectors requested
+  // nothing downstream consumes the parameter, so this exercises the
+  // coordinator's queue drain.  Depth 1 makes any leak an immediate hang.
+  Rng rng(11500);
+  const Matrix a = random_gaussian(6, 2, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 30;
+  cfg.tolerance = 1e-14;
+  PipelinedSweepConfig pipe;
+  pipe.threads = 2;
+  pipe.queue_depth = 1;
+  const SvdResult seq = modified_hestenes_svd(a, cfg);
+  const SvdResult r = pipelined_modified_hestenes_svd(a, cfg, pipe);
+  ASSERT_EQ(r.singular_values.size(), seq.singular_values.size());
+  for (std::size_t i = 0; i < r.singular_values.size(); ++i)
+    EXPECT_EQ(fp::to_bits(r.singular_values[i]),
+              fp::to_bits(seq.singular_values[i]));
+}
+
+TEST(PipelinedSweep, SingleColumnDelegates) {
+  Rng rng(11600);
+  const Matrix one_col = random_gaussian(7, 1, rng);
+  PipelinedSweepConfig pipe;
+  PipelineStats qs;
+  const SvdResult r =
+      pipelined_modified_hestenes_svd(one_col, {}, pipe, nullptr, &qs);
+  ASSERT_EQ(r.singular_values.size(), 1u);
+  EXPECT_EQ(qs.params_issued, 0u);
+  EXPECT_EQ(qs.queue_high_water, 0u);
+}
+
+TEST(PipelinedSweep, ZeroQueueDepthClampedToOne) {
+  Rng rng(11700);
+  const Matrix a = random_gaussian(9, 6, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 20;
+  cfg.tolerance = 1e-14;
+  PipelinedSweepConfig pipe;
+  pipe.queue_depth = 0;
+  PipelineStats qs;
+  const SvdResult seq = modified_hestenes_svd(a, cfg);
+  const SvdResult r =
+      pipelined_modified_hestenes_svd(a, cfg, pipe, nullptr, &qs);
+  EXPECT_EQ(qs.queue_capacity, 1u);
+  EXPECT_EQ(qs.queue_high_water, 1u);
+  for (std::size_t i = 0; i < r.singular_values.size(); ++i)
+    EXPECT_EQ(fp::to_bits(r.singular_values[i]),
+              fp::to_bits(seq.singular_values[i]));
+}
+
+TEST(PipelinedSweep, RotationThresholdHonored) {
+  Rng rng(11800);
+  const Matrix a = random_gaussian(22, 16, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 8;
+  cfg.rotation_threshold = 1e-9;
+  HestenesStats seq_stats, pipe_stats;
+  const SvdResult seq = modified_hestenes_svd(a, cfg, &seq_stats);
+  PipelinedSweepConfig pipe;
+  pipe.threads = 2;
+  const SvdResult r =
+      pipelined_modified_hestenes_svd(a, cfg, pipe, &pipe_stats);
+  EXPECT_EQ(pipe_stats.total_rotations, seq_stats.total_rotations);
+  EXPECT_EQ(pipe_stats.total_skipped, seq_stats.total_skipped);
+  for (std::size_t i = 0; i < r.singular_values.size(); ++i)
+    EXPECT_EQ(fp::to_bits(r.singular_values[i]),
+              fp::to_bits(seq.singular_values[i]));
+}
+
+TEST(PipelinedSweep, RejectsInvalidInputs) {
+  EXPECT_THROW(pipelined_modified_hestenes_svd(Matrix()), Error);
+  Rng rng(11900);
+  const Matrix a = random_gaussian(4, 4, rng);
+  HestenesConfig cfg;
+  cfg.max_sweeps = 0;
+  EXPECT_THROW(pipelined_modified_hestenes_svd(a, cfg), Error);
+}
+
+}  // namespace
+}  // namespace hjsvd

@@ -110,5 +110,40 @@ TEST(PlainHestenes, RankDeficientValues) {
   EXPECT_NEAR(r.singular_values[3], 0.0, 1e-10);
 }
 
+TEST(PlainHestenes, RankDeficientUIsOrthonormal) {
+  // Regression: columns of U belonging to numerically-zero singular values
+  // used to stay zero vectors on the plain path (only the Gram path
+  // completed them from the null space).
+  Rng rng(49);
+  const Matrix a = random_rank_deficient(12, 8, 3, rng);
+  HestenesConfig cfg = tolerant_config();
+  cfg.compute_u = true;
+  cfg.compute_v = true;
+  const SvdResult r = plain_hestenes_svd(a, cfg);
+  ASSERT_EQ(r.u.cols(), 8u);
+  for (std::size_t c = 0; c < r.u.cols(); ++c) {
+    double norm_sq = 0.0;
+    for (double x : r.u.col(c)) norm_sq += x * x;
+    EXPECT_NEAR(norm_sq, 1.0, 1e-10) << "U column " << c;
+  }
+  EXPECT_LT(orthogonality_error(r.u), 1e-10);
+  EXPECT_LT(reconstruction_error(a, r), 1e-10);
+}
+
+TEST(PlainHestenes, RankDeficientUMatchesGramPathQuality) {
+  // Both paths now share detail::orthonormalize_columns, so both must give
+  // fully orthonormal U on the same rank-deficient input.
+  Rng rng(50);
+  const Matrix a = random_rank_deficient(15, 10, 4, rng);
+  HestenesConfig cfg = tolerant_config();
+  cfg.compute_u = true;
+  cfg.compute_v = true;
+  const SvdResult plain = plain_hestenes_svd(a, cfg);
+  const SvdResult gram = modified_hestenes_svd(a, cfg);
+  EXPECT_LT(orthogonality_error(plain.u), 1e-10);
+  EXPECT_LT(orthogonality_error(gram.u), 1e-10);
+  EXPECT_LT(reconstruction_error(a, plain), 1e-10);
+}
+
 }  // namespace
 }  // namespace hjsvd

@@ -33,3 +33,30 @@ if(NOT v1 STREQUAL v2)
     message(FATAL_ERROR "methods disagree: ${v1} vs ${v2}")
   endif()
 endif()
+
+# The pipelined engine must agree with the sequential method bit-for-bit
+# (same printed digits) at a non-default thread count and queue depth.
+execute_process(
+  COMMAND ${CLI} --input ${WORKDIR}/smoke.mtx --method pipelined-modified
+          --threads 3 --queue-depth 2 --values 3
+  RESULT_VARIABLE rc3 OUTPUT_VARIABLE out3 ERROR_VARIABLE err3)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR "pipelined decompose failed: ${out3}${err3}")
+endif()
+string(REGEX MATCH "sigma\\[0\\] = ([0-9.e+-]+)" m3 "${out3}")
+if(NOT CMAKE_MATCH_1 STREQUAL v1)
+  message(FATAL_ERROR "pipelined sigma differs: ${CMAKE_MATCH_1} vs ${v1}")
+endif()
+
+# Bad usage must exit non-zero and print the usage text, not fall back.
+foreach(bad_args "--threads;0" "--threads;-2" "--method;bogus")
+  execute_process(
+    COMMAND ${CLI} --input ${WORKDIR}/smoke.mtx ${bad_args}
+    RESULT_VARIABLE rc_bad OUTPUT_VARIABLE out_bad ERROR_VARIABLE err_bad)
+  if(rc_bad EQUAL 0)
+    message(FATAL_ERROR "'${bad_args}' unexpectedly succeeded")
+  endif()
+  if(NOT err_bad MATCHES "--method")
+    message(FATAL_ERROR "'${bad_args}' did not print usage: ${err_bad}")
+  endif()
+endforeach()

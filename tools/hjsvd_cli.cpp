@@ -24,6 +24,13 @@ using namespace hjsvd;
 
 namespace {
 
+/// Bad command-line usage: reported with the full help text and a distinct
+/// exit code (2), unlike runtime failures (1).
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
 SvdMethod parse_method(const std::string& name) {
   if (name == "hestenes" || name == "modified") {
     return SvdMethod::kModifiedHestenes;
@@ -33,13 +40,36 @@ SvdMethod parse_method(const std::string& name) {
   if (name == "parallel-modified" || name == "block") {
     return SvdMethod::kParallelModifiedHestenes;
   }
+  if (name == "pipelined-modified" || name == "pipelined") {
+    return SvdMethod::kPipelinedModifiedHestenes;
+  }
   if (name == "two-sided" || name == "twosided") {
     return SvdMethod::kTwoSidedJacobi;
   }
   if (name == "golub-kahan" || name == "gk") return SvdMethod::kGolubKahan;
-  throw Error(
-      "unknown --method '" + name +
-      "' (hestenes|plain|parallel|parallel-modified|two-sided|golub-kahan)");
+  throw UsageError("unknown --method '" + name +
+                   "' (hestenes|plain|parallel|parallel-modified|"
+                   "pipelined-modified|two-sided|golub-kahan)");
+}
+
+/// Parses a strictly positive count option; "auto" (and, for --threads,
+/// its historical spelling "all") means implementation-chosen.
+std::size_t parse_count(const Cli& cli, const std::string& name,
+                        std::size_t auto_value) {
+  const std::string raw = cli.get(name);
+  if (raw == "auto" || raw == "all") return auto_value;
+  std::int64_t value = 0;
+  try {
+    value = cli.get_int(name);
+  } catch (const Error&) {
+    throw UsageError("--" + name + " expects a positive integer or 'auto', got '" +
+                     raw + "'");
+  }
+  if (value <= 0) {
+    throw UsageError("--" + name + " must be >= 1 (or 'auto'), got '" + raw +
+                     "'");
+  }
+  return static_cast<std::size_t>(value);
 }
 
 /// Parses "MxN" into dimensions.
@@ -54,14 +84,17 @@ std::pair<std::size_t, std::size_t> parse_shape(const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  Cli cli("hjsvd_cli: SVD of Matrix Market files via Hestenes-Jacobi");
   try {
-    Cli cli("hjsvd_cli: SVD of Matrix Market files via Hestenes-Jacobi");
     cli.add_option("input", "", "input .mtx file");
     cli.add_option("method", "hestenes",
-                   "hestenes|plain|parallel|parallel-modified|two-sided|"
-                   "golub-kahan");
-    cli.add_option("threads", "0",
-                   "worker threads for the parallel methods (0 = all)");
+                   "hestenes|plain|parallel|parallel-modified|"
+                   "pipelined-modified|two-sided|golub-kahan");
+    cli.add_option("threads", "auto",
+                   "worker threads for the parallel methods (positive "
+                   "integer, or 'auto' = all)");
+    cli.add_option("queue-depth", "8",
+                   "parameter-queue capacity of --method pipelined-modified");
     cli.add_option("values", "10", "how many singular values to print");
     cli.add_option("sweeps", "30", "max sweeps (Jacobi methods)");
     cli.add_option("tolerance", "1e-13", "convergence tolerance");
@@ -97,7 +130,8 @@ int main(int argc, char** argv) {
     opt.method = parse_method(cli.get("method"));
     opt.max_sweeps = static_cast<std::size_t>(cli.get_int("sweeps"));
     opt.tolerance = cli.get_double("tolerance");
-    opt.threads = static_cast<std::size_t>(cli.get_int("threads"));
+    opt.threads = parse_count(cli, "threads", 0);
+    opt.pipeline_queue_depth = parse_count(cli, "queue-depth", 8);
     opt.compute_u = !cli.get("write-u").empty();
     opt.compute_v = !cli.get("write-v").empty();
 
@@ -132,6 +166,9 @@ int main(int argc, char** argv) {
                 << format_fixed(seconds / t.seconds, 1) << "x\n";
     }
     return 0;
+  } catch (const UsageError& e) {
+    std::cerr << "hjsvd_cli: " << e.what() << "\n\n" << cli.help();
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "hjsvd_cli: " << e.what() << '\n';
     return 1;
