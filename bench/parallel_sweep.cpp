@@ -24,6 +24,8 @@
 
 #include "api/svd.hpp"
 #include "common/cli.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -80,6 +82,10 @@ int main(int argc, char** argv) {
                  "parameter-queue depth of the pipelined engine");
   cli.add_option("pipelined-out", "BENCH_pipelined_sweep.json",
                  "JSON output path of the blocked-vs-pipelined comparison");
+  cli.add_option("obs-sizes", "256,512",
+                 "square sizes for the observability-overhead guardrail");
+  cli.add_option("obs-out", "BENCH_obs_overhead.json",
+                 "JSON output path of the observability-overhead section");
   cli.parse(argc, argv);
   const auto sizes = cli.get_int_list("sizes");
   const auto threads = cli.get_int_list("threads");
@@ -247,6 +253,17 @@ int main(int argc, char** argv) {
       });
       all_identical = all_identical && ok;
 
+      // Busy fractions answer the ROADMAP's generator-bottleneck question:
+      // a generator busy fraction near 1 means parameter generation (the
+      // serial rotation component) is the pipeline's critical path.
+      double worker_busy = 0.0;
+      for (const double b : qs.worker_busy_s) worker_busy += b;
+      const double wall = qs.wall_s > 0.0 ? qs.wall_s : 1.0;
+      const double worker_frac =
+          qs.worker_busy_s.empty()
+              ? 0.0
+              : worker_busy / (static_cast<double>(qs.worker_busy_s.size()) *
+                               wall);
       pjson << (ti ? ", " : "") << "{\"threads\": " << t
             << ", \"blocked_s\": " << fmt(t_blocked)
             << ", \"pipelined_s\": " << fmt(t_pipe)
@@ -255,6 +272,11 @@ int main(int argc, char** argv) {
             << ", \"queue_high_water\": " << qs.queue_high_water
             << ", \"producer_stalls\": " << qs.producer_stalls
             << ", \"consumer_stalls\": " << qs.consumer_stalls
+            << ", \"generator_busy_s\": " << fmt(qs.generator_busy_s)
+            << ", \"generator_stall_s\": " << fmt(qs.generator_stall_s)
+            << ", \"generator_busy_frac\": "
+            << fmt(qs.generator_busy_s / wall)
+            << ", \"worker_busy_frac\": " << fmt(worker_frac)
             << ", \"bit_identical\": " << (ok ? "true" : "false") << "}";
       row.push_back(format_fixed(t_blocked / t_pipe, 2) + "x" +
                     (ok ? "" : " MISMATCH"));
@@ -268,10 +290,74 @@ int main(int argc, char** argv) {
 
   const std::string pipe_out = cli.get("pipelined-out");
   write_file(pipe_out, pjson.str());
-  std::cout << "JSON written to " << pipe_out << '\n'
+  std::cout << "JSON written to " << pipe_out << '\n';
+
+  // --- Observability overhead guardrail ------------------------------------
+  // Both runs use the instrumented build (the same binary): "disabled"
+  // detaches the sinks (the shipping default — one null-pointer test per
+  // sweep/round), "enabled" attaches a live recorder and registry.  The
+  // guardrail asserts the disabled path costs at most 5% over the enabled
+  // path's floor — i.e. detached sinks are effectively free; compiling with
+  // -DHJSVD_OBS=0 removes even the pointer tests.  Results are re-checked
+  // bit-identical between the two modes (the obs layer's core contract).
+  const auto obs_sizes = cli.get_int_list("obs-sizes");
+  std::ostringstream ojson;
+  ojson << "{\n  \"bench\": \"obs_overhead\",\n"
+        << "  \"hardware_threads\": " << hw_threads << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"compiled_in\": " << (obs::kEnabled ? "true" : "false")
+        << ",\n  \"sizes\": [\n";
+  AsciiTable otab({"n", "disabled (s)", "enabled (s)", "enabled overhead"});
+  otab.set_caption("Observability overhead (pipelined engine, sinks "
+                   "detached vs attached):");
+  bool overhead_ok = true;
+  for (std::size_t si = 0; si < obs_sizes.size(); ++si) {
+    const auto n = static_cast<std::size_t>(obs_sizes[si]);
+    Rng rng(6200 + static_cast<std::uint64_t>(n));
+    const Matrix a = random_gaussian(n, n, rng);
+    PipelinedSweepConfig pipe;
+    pipe.queue_depth = queue_depth;
+
+    SvdResult off_result, on_result;
+    const double t_off = best_of(reps, [&] {
+      off_result = pipelined_modified_hestenes_svd(a, cfg, pipe);
+    });
+    const double t_on = best_of(reps, [&] {
+      obs::TraceRecorder trace;
+      obs::MetricsRegistry metrics;
+      HestenesConfig with = cfg;
+      with.obs.trace = &trace;
+      with.obs.metrics = &metrics;
+      on_result = pipelined_modified_hestenes_svd(a, with, pipe);
+    });
+    const bool ok = values_bit_identical(off_result, on_result);
+    const bool within = t_off <= 1.05 * t_on;
+    all_identical = all_identical && ok;
+    overhead_ok = overhead_ok && within;
+    ojson << "    {\"n\": " << n << ", \"disabled_s\": " << fmt(t_off)
+          << ", \"enabled_s\": " << fmt(t_on)
+          << ", \"enabled_overhead_frac\": " << fmt(t_on / t_off - 1.0)
+          << ", \"disabled_within_5pct_of_enabled\": "
+          << (within ? "true" : "false")
+          << ", \"bit_identical\": " << (ok ? "true" : "false") << "}"
+          << (si + 1 < obs_sizes.size() ? "," : "") << "\n";
+    otab.add_row({std::to_string(n), fmt(t_off), fmt(t_on),
+                  format_fixed((t_on / t_off - 1.0) * 100.0, 1) + "%" +
+                      (within ? "" : " GUARDRAIL")});
+  }
+  ojson << "  ],\n  \"guardrail_ok\": " << (overhead_ok ? "true" : "false")
+        << "\n}\n";
+  std::cout << otab.to_string() << '\n';
+  const std::string obs_out = cli.get("obs-out");
+  write_file(obs_out, ojson.str());
+  std::cout << "JSON written to " << obs_out << '\n'
             << (all_identical
                     ? "All parallel runs bit-identical to sequential.\n"
                     : "ERROR: bitwise mismatch between parallel and "
-                      "sequential runs!\n");
-  return all_identical ? 0 : 1;
+                      "sequential runs!\n")
+            << (overhead_ok
+                    ? ""
+                    : "ERROR: detached-sink runs exceeded the 5% overhead "
+                      "guardrail!\n");
+  return (all_identical && overhead_ok) ? 0 : 1;
 }

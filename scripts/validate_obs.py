@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validate hjsvd observability outputs (stdlib only).
+
+Checks a Chrome trace-event JSON (hjsvd.trace.v1) and/or a metrics JSON
+(hjsvd.metrics.v1) produced by `hjsvd_cli --trace-out/--metrics-out`, the
+benches, or any library user:
+
+  * JSON well-formedness and schema tag.
+  * Trace: every event carries ph/pid/tid/ts; complete events ('X') have a
+    non-negative dur; spans nest (no interleaving) per (pid, tid) timeline.
+  * Metrics: every metric has name/type/unit; names are unique and sorted;
+    per-type required fields are present.
+  * Optionally, that a list of required span names / metric names occurs.
+
+Exit code 0 = valid, 1 = validation failure, 2 = usage error.
+
+Usage:
+  scripts/validate_obs.py --trace trace.json --metrics metrics.json \
+      --require-span sweep --require-span generate \
+      --require-metric svd.sweep.offdiag_frobenius
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TRACE_SCHEMA = "hjsvd.trace.v1"
+METRICS_SCHEMA = "hjsvd.metrics.v1"
+METRIC_TYPES = {"counter", "gauge", "histogram", "series"}
+EPS = 1e-6  # double round-off tolerance at span boundaries (microseconds)
+
+
+def fail(msg: str) -> None:
+    print(f"validate_obs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_trace(path: str, required_spans: list[str]) -> int:
+    doc = load(path)
+    if doc.get("schema") != TRACE_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want {TRACE_SCHEMA!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+
+    timelines: dict[tuple, list] = {}
+    names = set()
+    for i, e in enumerate(events):
+        # Metadata events ('M') carry no timestamp in the Chrome format.
+        required = ("ph", "pid", "tid") if e.get("ph") == "M" else (
+            "ph", "pid", "tid", "ts")
+        for field in required:
+            if field not in e:
+                fail(f"{path}: event {i} lacks {field!r}: {e}")
+        names.add(e.get("name"))
+        if e["ph"] == "X":
+            if "dur" not in e or not isinstance(e["dur"], (int, float)):
+                fail(f"{path}: complete event {i} lacks numeric dur: {e}")
+            if e["dur"] < 0:
+                fail(f"{path}: event {i} has negative dur: {e}")
+            timelines.setdefault((e["pid"], e["tid"]), []).append(
+                (e["ts"], e["ts"] + e["dur"], e.get("name", "?"))
+            )
+
+    # Spans on one timeline must nest like call frames, never interleave.
+    for (pid, tid), spans in timelines.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: list[float] = []
+        for ts, end, name in spans:
+            while stack and stack[-1] <= ts + EPS:
+                stack.pop()
+            if stack and end > stack[-1] + EPS:
+                fail(
+                    f"{path}: span {name!r} [{ts}, {end}] interleaves with an "
+                    f"open span ending at {stack[-1]} on pid={pid} tid={tid}"
+                )
+            stack.append(end)
+
+    for span in required_spans:
+        if span not in names:
+            fail(f"{path}: required span {span!r} not found")
+    print(
+        f"validate_obs: {path}: OK "
+        f"({len(events)} events, {len(timelines)} span timelines)"
+    )
+    return len(events)
+
+
+def check_metrics(path: str, required_metrics: list[str]) -> int:
+    doc = load(path)
+    if doc.get("schema") != METRICS_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want {METRICS_SCHEMA!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        fail(f"{path}: metrics missing or not a list")
+
+    names = []
+    for i, m in enumerate(metrics):
+        for field in ("name", "type", "unit"):
+            if field not in m:
+                fail(f"{path}: metric {i} lacks {field!r}: {m}")
+        if m["type"] not in METRIC_TYPES:
+            fail(f"{path}: metric {m['name']!r} has unknown type {m['type']!r}")
+        if m["type"] in ("counter", "gauge") and "value" not in m:
+            fail(f"{path}: {m['type']} {m['name']!r} lacks value")
+        if m["type"] == "histogram":
+            for field in ("count", "min", "max", "mean", "p50", "p90", "p99"):
+                if field not in m:
+                    fail(f"{path}: histogram {m['name']!r} lacks {field!r}")
+        if m["type"] == "series":
+            pts = m.get("points")
+            if not isinstance(pts, list) or any(
+                not (isinstance(p, list) and len(p) == 2) for p in pts
+            ):
+                fail(f"{path}: series {m['name']!r} points malformed")
+        names.append(m["name"])
+
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        fail(f"{path}: duplicate metric names: {dupes}")
+    if names != sorted(names):
+        fail(f"{path}: metric names are not sorted (non-deterministic emit?)")
+    for name in required_metrics:
+        if name not in names:
+            fail(f"{path}: required metric {name!r} not found")
+    print(f"validate_obs: {path}: OK ({len(metrics)} metrics)")
+    return len(metrics)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="trace-event JSON to validate")
+    ap.add_argument("--metrics", help="metrics JSON to validate")
+    ap.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        help="span name that must appear in the trace (repeatable)",
+    )
+    ap.add_argument(
+        "--require-metric",
+        action="append",
+        default=[],
+        help="metric name that must appear in the metrics (repeatable)",
+    )
+    args = ap.parse_args()
+    if not args.trace and not args.metrics:
+        ap.error("need --trace and/or --metrics")
+    if args.trace:
+        check_trace(args.trace, args.require_span)
+    if args.metrics:
+        check_metrics(args.metrics, args.require_metric)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@
 #include "baselines/golub_kahan.hpp"
 #include "baselines/twosided_jacobi.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "svd/hestenes.hpp"
 #include "svd/parallel_sweep.hpp"
 #include "svd/plain_hestenes.hpp"
@@ -26,6 +28,36 @@ std::size_t default_threads() {
 #endif
 }
 
+/// Run-level observability wrapper of the non-Hestenes baselines, which have
+/// no internal instrumentation: one span covering the whole decomposition
+/// plus shape/outcome gauges.
+template <class Fn>
+SvdResult run_baseline(const Matrix& a, const SvdOptions& options,
+                       const char* name, Fn&& fn) {
+  auto* trace = obs::active(options.trace);
+  auto* metrics = obs::active(options.metrics);
+  obs::Span run_span;
+  if (trace != nullptr) {
+    const std::uint32_t tid = trace->register_thread(name);
+    run_span = obs::Span(trace, tid, "svd", "run",
+                         obs::ArgsBuilder()
+                             .add("rows", a.rows())
+                             .add("cols", a.cols())
+                             .add("method", name)
+                             .str());
+  }
+  SvdResult result = fn();
+  run_span.end();
+  if (metrics != nullptr) {
+    metrics->gauge_set("svd.rows", "1", static_cast<double>(a.rows()));
+    metrics->gauge_set("svd.cols", "1", static_cast<double>(a.cols()));
+    metrics->gauge_set("svd.sweeps", "sweeps",
+                       static_cast<double>(result.sweeps));
+    metrics->gauge_set("svd.converged", "bool", result.converged ? 1.0 : 0.0);
+  }
+  return result;
+}
+
 }  // namespace
 
 SvdResult svd(const Matrix& a, const SvdOptions& options) {
@@ -34,6 +66,8 @@ SvdResult svd(const Matrix& a, const SvdOptions& options) {
   hj.tolerance = options.tolerance;
   hj.compute_u = options.compute_u;
   hj.compute_v = options.compute_v;
+  hj.obs.trace = options.trace;
+  hj.obs.metrics = options.metrics;
   ParallelSweepConfig par;
   par.threads = options.threads;
   switch (options.method) {
@@ -57,13 +91,15 @@ SvdResult svd(const Matrix& a, const SvdOptions& options) {
       cfg.tolerance = options.tolerance;
       cfg.compute_u = options.compute_u;
       cfg.compute_v = options.compute_v;
-      return twosided_jacobi_svd(a, cfg);
+      return run_baseline(a, options, "two-sided Jacobi",
+                          [&] { return twosided_jacobi_svd(a, cfg); });
     }
     case SvdMethod::kGolubKahan: {
       GolubKahanConfig cfg;
       cfg.compute_u = options.compute_u;
       cfg.compute_v = options.compute_v;
-      return golub_kahan_svd(a, cfg);
+      return run_baseline(a, options, "Golub-Kahan-Reinsch",
+                          [&] { return golub_kahan_svd(a, cfg); });
     }
   }
   throw Error("unknown SVD method");
@@ -82,8 +118,15 @@ std::vector<SvdResult> svd_batch(const std::vector<Matrix>& batch,
   // Each matrix runs on exactly one worker through the sequential path, so
   // results are bitwise independent of the thread count; the parallel
   // methods degrade gracefully (nested OpenMP regions serialize).
+  // Per-item sinks are stripped: concurrent workers would interleave their
+  // emissions nondeterministically.  The batch layer records its own
+  // per-matrix spans (one timeline per shard worker) and batch.* metrics.
   SvdOptions per_item = options;
   per_item.threads = 1;
+  per_item.trace = nullptr;
+  per_item.metrics = nullptr;
+  auto* trace = obs::active(options.trace);
+  auto* metrics = obs::active(options.metrics);
 
   // Jacobi sweep cost ~ m n^2 (Gram) + n^3 (updates); LPT sharding over
   // that estimate balances mixed-size batches (the multi-engine rule).
@@ -99,12 +142,28 @@ std::vector<SvdResult> svd_batch(const std::vector<Matrix>& batch,
 
   std::exception_ptr first_error;
   const auto nshards = static_cast<std::ptrdiff_t>(shards.size());
+  const double batch_t0_us = trace != nullptr ? trace->now_us() : 0.0;
+  std::uint32_t batch_tid = 0;
+  if (trace != nullptr)
+    batch_tid = trace->register_thread("svd_batch coordinator");
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static, 1) \
     num_threads(static_cast<int>(std::max<std::size_t>(1, workers)))
 #endif
   for (std::ptrdiff_t s = 0; s < nshards; ++s) {
+    std::uint32_t shard_tid = 0;
+    if (trace != nullptr)
+      shard_tid = trace->register_thread("svd_batch worker " +
+                                         std::to_string(s));
     for (std::size_t idx : shards[static_cast<std::size_t>(s)]) {
+      obs::Span item_span;
+      if (trace != nullptr)
+        item_span = obs::Span(trace, shard_tid, "batch", "item",
+                              obs::ArgsBuilder()
+                                  .add("index", idx)
+                                  .add("rows", batch[idx].rows())
+                                  .add("cols", batch[idx].cols())
+                                  .str());
       try {
         results[idx] = svd(batch[idx], per_item);
       } catch (...) {
@@ -116,6 +175,19 @@ std::vector<SvdResult> svd_batch(const std::vector<Matrix>& batch,
         }
       }
     }
+  }
+  if (trace != nullptr)
+    trace->emit_complete(batch_tid, "batch", "svd_batch", batch_t0_us,
+                         trace->now_us() - batch_t0_us,
+                         obs::ArgsBuilder()
+                             .add("items", batch.size())
+                             .add("workers", workers)
+                             .str());
+  if (metrics != nullptr) {
+    metrics->counter_add("batch.items", "matrices", batch.size());
+    metrics->gauge_set("batch.workers", "threads",
+                       static_cast<double>(std::max<std::size_t>(1, workers)));
+    for (double c : costs) metrics->hist_record("batch.item_cost", "flops", c);
   }
   if (first_error) std::rethrow_exception(first_error);
   return results;

@@ -9,6 +9,7 @@
 
 #include "linalg/matrix.hpp"
 #include "linalg/residuals.hpp"
+#include "obs/sinks.hpp"
 
 namespace hjsvd {
 
@@ -37,6 +38,17 @@ struct SvdOptions {
   /// software analogue of the accelerator's param FIFO depth); other
   /// methods ignore it.  Results are bitwise independent of this value.
   std::size_t pipeline_queue_depth = 8;
+  /// Observability sinks (see docs/OBSERVABILITY.md).  `trace` collects
+  /// Chrome trace-event spans, `metrics` collects counters / gauges /
+  /// series; null (the default) records nothing.  Recording never changes
+  /// the arithmetic: results are byte-identical with and without sinks
+  /// (tests/obs/test_obs.cpp).  The Hestenes-family methods emit
+  /// sweep/round-level detail; baseline methods record run-level shape
+  /// metrics only.  svd_batch() ignores per-item sinks (concurrent workers
+  /// would interleave nondeterministically) and records batch-level spans
+  /// and metrics instead.
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Decomposes an arbitrary m x n matrix.  Throws hjsvd::Error for invalid

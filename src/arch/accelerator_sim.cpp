@@ -8,6 +8,8 @@
 #include "common/error.hpp"
 #include "hwsim/dfg.hpp"
 #include "hwsim/memory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "svd/hestenes.hpp"
 #include "svd/ordering.hpp"
 
@@ -48,7 +50,23 @@ AcceleratorRunResult simulate_accelerator(const Matrix& a,
 
   AcceleratorRunResult result;
 
+  auto* trace = obs::active(cfg.obs.trace);
+  auto* metrics = obs::active(cfg.obs.metrics);
+  // Simulated-time timelines under the simulator pid: spans are stamped in
+  // microseconds of *simulated* time (cycles / clock_hz), not wall clock.
+  const double us_per_cycle = 1e6 / cfg.clock_hz;
+  std::uint32_t pre_tid = 0, rot_tid = 0, upd_tid = 0;
+  if (trace != nullptr) {
+    pre_tid = trace->register_thread("sim preprocessor", obs::kSimulatorPid);
+    rot_tid = trace->register_thread("sim rotation unit", obs::kSimulatorPid);
+    upd_tid = trace->register_thread("sim update kernels", obs::kSimulatorPid);
+  }
+
   // --- Numerics: exactly the library algorithm in hardware configuration ---
+  // Deliberately runs with null sinks: the simulator's own sim.* emission
+  // covers this run, and forwarding the sinks here would double-count the
+  // svd.* counters when a CLI attaches one registry to a library run and a
+  // simulator run side by side.
   HestenesConfig num_cfg;
   num_cfg.max_sweeps = cfg.sweeps;
   num_cfg.ordering = Ordering::kRoundRobin;
@@ -59,6 +77,14 @@ AcceleratorRunResult simulate_accelerator(const Matrix& a,
   // --- Timing: discrete-event walk over the group schedule -----------------
   const auto pre = simulate_preprocessor(cfg, m, n);
   result.preprocess_cycles = pre.cycles;
+  if (trace != nullptr)
+    trace->emit_complete(pre_tid, "sim", "preprocess", 0.0,
+                         static_cast<double>(pre.cycles) * us_per_cycle,
+                         obs::ArgsBuilder()
+                             .add("rows", m)
+                             .add("cols", n)
+                             .add("cycles", static_cast<std::uint64_t>(pre.cycles))
+                             .str());
 
   const auto rotation_graph = hwsim::make_rotation_dataflow();
   const hwsim::FuSet rotation_fus{1, 2, 1, 1};
@@ -83,6 +109,25 @@ AcceleratorRunResult simulate_accelerator(const Matrix& a,
   Cycle rot_next_issue = pre.cycles;  // rotations start after D is ready
   Cycle update_free = pre.cycles;
   Cycle last_update_done = pre.cycles;
+
+  // Per-group spans and the occupancy timeline are capped: a large run has
+  // hundreds of thousands of groups and the trace would dwarf the data it
+  // describes.  Above the cap only phase-level events are recorded (an
+  // instant marks the suppression).
+  constexpr std::uint64_t kMaxGroupEvents = 20000;
+  std::uint64_t groups_per_sweep = 0;
+  for (const auto& round : rounds)
+    groups_per_sweep += chunk_groups(round, cfg.rotation_group_size).size();
+  const std::uint64_t total_groups =
+      groups_per_sweep * static_cast<std::uint64_t>(cfg.sweeps);
+  const bool group_detail = total_groups <= kMaxGroupEvents;
+  if (trace != nullptr && !group_detail)
+    trace->emit_instant(rot_tid, "sim", "group-detail-suppressed",
+                        static_cast<double>(pre.cycles) * us_per_cycle,
+                        obs::ArgsBuilder()
+                            .add("total_groups", total_groups)
+                            .add("cap", kMaxGroupEvents)
+                            .str());
 
   for (std::uint32_t sweep = 1; sweep <= cfg.sweeps; ++sweep) {
     const bool first = sweep == 1;
@@ -130,6 +175,29 @@ AcceleratorRunResult simulate_accelerator(const Matrix& a,
           if (done_at > issue) ++occupancy;
         result.param_fifo_high_water =
             std::max(result.param_fifo_high_water, occupancy);
+        if (group_detail) {
+          if (trace != nullptr) {
+            const auto group_args = obs::ArgsBuilder()
+                                        .add("sweep", sweep)
+                                        .add("rotations", g)
+                                        .str();
+            trace->emit_complete(
+                rot_tid, "sim", "rotation-group",
+                static_cast<double>(issue) * us_per_cycle,
+                static_cast<double>(cfg.rotation_issue_cycles) * us_per_cycle,
+                group_args);
+            trace->emit_complete(upd_tid, "sim", "update-group",
+                                 static_cast<double>(start) * us_per_cycle,
+                                 static_cast<double>(done - start) *
+                                     us_per_cycle,
+                                 group_args);
+          }
+          if (metrics != nullptr)
+            metrics->series_append("sim.param_fifo.occupancy",
+                                   "rotation_groups",
+                                   static_cast<double>(issue),
+                                   static_cast<double>(occupancy));
+        }
       }
     }
   }
@@ -147,6 +215,43 @@ AcceleratorRunResult simulate_accelerator(const Matrix& a,
     result.rotation_utilization =
         static_cast<double>(result.rotation_busy_cycles) /
         static_cast<double>(result.compute_cycles);
+  }
+  result.param_fifo_high_water_rotations =
+      result.param_fifo_high_water * cfg.rotation_group_size;
+  if (trace != nullptr)
+    trace->emit_complete(rot_tid, "sim", "finalize",
+                         static_cast<double>(final_start) * us_per_cycle,
+                         static_cast<double>(result.finalize_cycles) *
+                             us_per_cycle);
+  if (metrics != nullptr) {
+    const auto cycles_gauge = [&](const char* name, Cycle c) {
+      metrics->gauge_set(name, "cycles", static_cast<double>(c));
+    };
+    cycles_gauge("sim.cycles.preprocess", result.preprocess_cycles);
+    cycles_gauge("sim.cycles.compute", result.compute_cycles);
+    cycles_gauge("sim.cycles.finalize", result.finalize_cycles);
+    cycles_gauge("sim.cycles.total", result.total_cycles);
+    metrics->gauge_set("sim.seconds", "s", result.seconds);
+    metrics->counter_add("sim.rotation_groups", "rotation_groups",
+                         result.rotation_groups);
+    metrics->counter_add("sim.fifo_backpressure_events", "events",
+                         result.fifo_backpressure_events);
+    metrics->counter_add("sim.offchip_words", "words", result.offchip_words);
+    metrics->gauge_set("sim.rotation_latency", "cycles",
+                       static_cast<double>(result.rotation_latency));
+    metrics->gauge_set("sim.rotation_group_size", "rotations",
+                       static_cast<double>(cfg.rotation_group_size));
+    metrics->gauge_set("sim.param_fifo.depth", "rotation_groups",
+                       static_cast<double>(cfg.param_fifo_depth));
+    metrics->gauge_set("sim.param_fifo.high_water", "rotation_groups",
+                       static_cast<double>(result.param_fifo_high_water));
+    metrics->gauge_set("sim.param_fifo.high_water_rotations", "rotations",
+                       static_cast<double>(
+                           result.param_fifo_high_water_rotations));
+    metrics->gauge_set("sim.update_utilization", "1",
+                       result.update_utilization);
+    metrics->gauge_set("sim.rotation_utilization", "1",
+                       result.rotation_utilization);
   }
   return result;
 }

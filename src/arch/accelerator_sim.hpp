@@ -46,6 +46,12 @@ struct AcceleratorRunResult {
   /// the analogous measure in single rotations).  Bounded by
   /// AcceleratorConfig::param_fifo_depth.
   std::size_t param_fifo_high_water = 0;
+  /// The same high-water calibrated to single rotations (groups x
+  /// rotation_group_size) — directly comparable against the software
+  /// pipeline's PipelineStats::queue_high_water, which counts rotations
+  /// (tests/arch/test_fifo_calibration.cpp asserts this bound dominates a
+  /// software queue of the calibrated capacity).
+  std::size_t param_fifo_high_water_rotations = 0;
 
   // Component occupancy: cycles each unit spent doing work, and its
   // utilization over the sweep phase (the paper's bottleneck analysis —

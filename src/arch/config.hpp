@@ -6,6 +6,7 @@
 
 #include "arch/device.hpp"
 #include "fp/latency.hpp"
+#include "obs/sinks.hpp"
 
 namespace hjsvd::arch {
 
@@ -67,6 +68,14 @@ struct AcceleratorConfig {
 
   // --- Floating-point cores ---------------------------------------------------
   fp::CoreLatencies latencies;
+
+  /// Observability sinks (docs/OBSERVABILITY.md).  The simulator registers
+  /// its units under obs::kSimulatorPid and timestamps spans in *simulated*
+  /// time (cycles / clock_hz), so a hardware timeline loads side by side
+  /// with the software engines' wall-clock timelines; metrics land in the
+  /// sim.* namespace with explicit units ("rotation_groups" vs "rotations")
+  /// next to the software pipeline.* metrics.  Null sinks record nothing.
+  obs::ObsContext obs{};
 
   /// Total update-kernel count active from sweep 2 on.
   std::uint32_t total_kernels_late() const {

@@ -137,6 +137,8 @@ TimingBreakdown estimate_timing(const AcceleratorConfig& cfg, std::size_t m,
           cfg.param_fifo_depth,
           1 + (t.rotation_latency + drain) / cfg.rotation_issue_cycles);
     }
+    t.param_fifo_occupancy_rotations =
+        t.param_fifo_occupancy * cfg.rotation_group_size;
   }
 
   // --- Finalization: sqrt of the n diagonal entries, pipelined --------------
@@ -164,7 +166,9 @@ std::string format_timing(const TimingBreakdown& t, std::size_t m,
      << "  rotation latency: " << t.rotation_latency << " cycles; "
      << t.rotations_per_sweep << " rotations/sweep; covariance "
      << (t.covariance_fits_onchip ? "fits on-chip" : "spills off-chip")
-     << '\n';
+     << '\n'
+     << "  param FIFO steady state: " << t.param_fifo_occupancy
+     << " groups (" << t.param_fifo_occupancy_rotations << " rotations)\n";
   return os.str();
 }
 

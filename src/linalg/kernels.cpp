@@ -75,6 +75,15 @@ double mean_abs_offdiag(const Matrix& d) {
   return sum / (static_cast<double>(n) * (n - 1) / 2.0);
 }
 
+double offdiag_frobenius(const Matrix& d) {
+  HJSVD_ENSURE(d.rows() == d.cols(), "convergence metric needs square D");
+  const std::size_t n = d.cols();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) sum += d(i, j) * d(i, j);
+  return std::sqrt(2.0 * sum);
+}
+
 double max_relative_offdiag(const Matrix& d) {
   HJSVD_ENSURE(d.rows() == d.cols(), "convergence metric needs square D");
   const std::size_t n = d.cols();

@@ -42,4 +42,10 @@ double mean_abs_offdiag(const Matrix& d);
 /// convergence measure used for termination thresholds.
 double max_relative_offdiag(const Matrix& d);
 
+/// Frobenius norm of the off-diagonal part of a symmetric matrix given by
+/// its upper triangle: sqrt(2 * sum_{i<j} d(i,j)^2).  The classical Jacobi
+/// convergence quantity off(D); reported per sweep by the observability
+/// layer (metric svd.sweep.offdiag_frobenius).
+double offdiag_frobenius(const Matrix& d);
+
 }  // namespace hjsvd

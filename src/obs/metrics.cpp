@@ -1,0 +1,184 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hjsvd::obs {
+namespace {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+std::string quoted(std::string_view s) {
+  std::string out = "\"";
+  append_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+/// Nearest-rank percentile of a sorted sample vector.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+MetricsRegistry::Metric& MetricsRegistry::fetch(std::string_view name,
+                                                Type type,
+                                                std::string_view unit) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Metric metric;
+    metric.type = type;
+    metric.unit = std::string(unit);
+    it = metrics_.emplace(std::string(name), std::move(metric)).first;
+  } else {
+    HJSVD_ENSURE(it->second.type == type,
+                 "metric '" + it->first + "' re-registered with another type");
+    HJSVD_ENSURE(it->second.unit == unit,
+                 "metric '" + it->first + "' re-registered with another unit");
+  }
+  return it->second;
+}
+
+void MetricsRegistry::counter_add(std::string_view name, std::string_view unit,
+                                  std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  fetch(name, Type::kCounter, unit).count += delta;
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, std::string_view unit,
+                                double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  fetch(name, Type::kGauge, unit).value = value;
+}
+
+void MetricsRegistry::hist_record(std::string_view name, std::string_view unit,
+                                  double sample) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  fetch(name, Type::kHistogram, unit).samples.push_back(sample);
+}
+
+void MetricsRegistry::series_append(std::string_view name,
+                                    std::string_view unit, double index,
+                                    double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  fetch(name, Type::kSeries, unit).points.emplace_back(index, value);
+}
+
+std::optional<std::uint64_t> MetricsRegistry::counter(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.type != Type::kCounter)
+    return std::nullopt;
+  return it->second.count;
+}
+
+std::optional<double> MetricsRegistry::gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.type != Type::kGauge)
+    return std::nullopt;
+  return it->second.value;
+}
+
+std::vector<std::pair<double, double>> MetricsRegistry::series(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.type != Type::kSeries) return {};
+  return it->second.points;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) out.push_back(name);
+  return out;
+}
+
+std::optional<std::string> MetricsRegistry::unit(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end()) return std::nullopt;
+  return it->second.unit;
+}
+
+void MetricsRegistry::write(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n\"schema\": \"hjsvd.metrics.v1\",\n\"metrics\": [\n";
+  bool first = true;
+  for (const auto& [name, metric] : metrics_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": " << quoted(name) << ", \"unit\": "
+       << quoted(metric.unit);
+    switch (metric.type) {
+      case Type::kCounter:
+        os << ", \"type\": \"counter\", \"value\": " << metric.count;
+        break;
+      case Type::kGauge:
+        os << ", \"type\": \"gauge\", \"value\": " << json_number(metric.value);
+        break;
+      case Type::kHistogram: {
+        std::vector<double> sorted = metric.samples;
+        std::sort(sorted.begin(), sorted.end());
+        const double sum =
+            std::accumulate(sorted.begin(), sorted.end(), 0.0);
+        os << ", \"type\": \"histogram\", \"count\": " << sorted.size()
+           << ", \"min\": " << json_number(sorted.empty() ? 0.0 : sorted.front())
+           << ", \"max\": " << json_number(sorted.empty() ? 0.0 : sorted.back())
+           << ", \"mean\": "
+           << json_number(sorted.empty()
+                              ? 0.0
+                              : sum / static_cast<double>(sorted.size()))
+           << ", \"p50\": " << json_number(percentile(sorted, 50))
+           << ", \"p90\": " << json_number(percentile(sorted, 90))
+           << ", \"p99\": " << json_number(percentile(sorted, 99));
+        break;
+      }
+      case Type::kSeries: {
+        os << ", \"type\": \"series\", \"points\": [";
+        for (std::size_t i = 0; i < metric.points.size(); ++i) {
+          if (i != 0) os << ", ";
+          os << '[' << json_number(metric.points[i].first) << ", "
+             << json_number(metric.points[i].second) << ']';
+        }
+        os << ']';
+        break;
+      }
+    }
+    os << '}';
+  }
+  os << "\n]\n}\n";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+}  // namespace hjsvd::obs

@@ -1,0 +1,47 @@
+// Observability sink context threaded through every engine configuration.
+//
+// This header is deliberately tiny (forward declarations only) so that hot
+// configuration structs (HestenesConfig, AcceleratorConfig, SvdOptions) can
+// carry a pair of sink pointers without pulling the full tracing/metrics
+// machinery into every translation unit.
+//
+// Two independent switches make observability free when unused:
+//  * compile time — the CMake option HJSVD_OBS (default ON) defines the
+//    HJSVD_OBS macro.  When 0, obs::active() folds every sink pointer to a
+//    compile-time nullptr and the instrumentation branches dead-code
+//    eliminate: the engines compile exactly as if the layer did not exist.
+//  * runtime — sinks default to nullptr; an instrumented build with no sink
+//    attached pays one pointer test per recording site, all of which sit at
+//    round/sweep granularity (never inside the rotation inner loops).
+#pragma once
+
+namespace hjsvd::obs {
+
+class TraceRecorder;
+class MetricsRegistry;
+
+/// The pair of optional sinks an engine records into.  Copyable, two
+/// pointers; both null by default (observability off).
+struct ObsContext {
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
+
+#if !defined(HJSVD_OBS) || HJSVD_OBS
+inline constexpr bool kEnabled = true;
+/// Identity when observability is compiled in.
+template <class T>
+constexpr T* active(T* sink) {
+  return sink;
+}
+#else
+inline constexpr bool kEnabled = false;
+/// Compile-time nullptr when observability is compiled out: every
+/// `if (obs::active(...))` branch is statically dead.
+template <class T>
+constexpr T* active(T*) {
+  return nullptr;
+}
+#endif
+
+}  // namespace hjsvd::obs

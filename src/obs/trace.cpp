@@ -1,0 +1,200 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hjsvd::obs {
+namespace {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string quoted(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  append_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+/// Round-trip double formatting; JSON has no inf/nan, map them to null.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+ArgsBuilder& ArgsBuilder::add(std::string_view k, std::int64_t value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+ArgsBuilder& ArgsBuilder::add(std::string_view k, std::uint64_t value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+ArgsBuilder& ArgsBuilder::add(std::string_view k, double value) {
+  key(k);
+  body_ += json_number(value);
+  return *this;
+}
+
+ArgsBuilder& ArgsBuilder::add(std::string_view k, std::string_view value) {
+  key(k);
+  body_ += quoted(value);
+  return *this;
+}
+
+void ArgsBuilder::key(std::string_view k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += quoted(k);
+  body_ += ':';
+}
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint32_t TraceRecorder::register_thread(std::string name, int pid) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto log = std::make_unique<ThreadLog>();
+  log->name = std::move(name);
+  log->pid = pid;
+  logs_.push_back(std::move(log));
+  return static_cast<std::uint32_t>(logs_.size() - 1);
+}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::emit_complete(std::uint32_t tid, const char* cat,
+                                  std::string name, double ts_us,
+                                  double dur_us, std::string args_json) {
+  ThreadLog* log = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    HJSVD_ENSURE(tid < logs_.size(), "unknown trace tid");
+    log = logs_[tid].get();
+  }
+  Event e;
+  e.ph = 'X';
+  e.name = std::move(name);
+  e.cat = cat;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us < 0.0 ? 0.0 : dur_us;
+  e.args_json = std::move(args_json);
+  log->events.push_back(std::move(e));
+}
+
+void TraceRecorder::emit_instant(std::uint32_t tid, const char* cat,
+                                 std::string name, double ts_us,
+                                 std::string args_json) {
+  ThreadLog* log = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    HJSVD_ENSURE(tid < logs_.size(), "unknown trace tid");
+    log = logs_[tid].get();
+  }
+  Event e;
+  e.ph = 'i';
+  e.name = std::move(name);
+  e.cat = cat;
+  e.ts_us = ts_us;
+  e.args_json = std::move(args_json);
+  log->events.push_back(std::move(e));
+}
+
+void TraceRecorder::write(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n\"schema\": \"hjsvd.trace.v1\",\n"
+     << "\"displayTimeUnit\": \"ms\",\n"
+     << "\"otherData\": {\"time_unit\": \"us\", \"software_pid\": "
+     << kSoftwarePid << ", \"simulator_pid\": " << kSimulatorPid << "},\n"
+     << "\"traceEvents\": [\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  // Process/thread name metadata first, then the events.
+  sep();
+  os << R"({"ph":"M","name":"process_name","pid":)" << kSoftwarePid
+     << R"(,"tid":0,"args":{"name":"hjsvd"}})";
+  sep();
+  os << R"({"ph":"M","name":"process_name","pid":)" << kSimulatorPid
+     << R"(,"tid":0,"args":{"name":"hjsvd accelerator sim"}})";
+  for (std::size_t tid = 0; tid < logs_.size(); ++tid) {
+    const ThreadLog& log = *logs_[tid];
+    sep();
+    os << R"({"ph":"M","name":"thread_name","pid":)" << log.pid
+       << R"(,"tid":)" << tid << R"(,"args":{"name":)" << quoted(log.name)
+       << "}}";
+  }
+  for (std::size_t tid = 0; tid < logs_.size(); ++tid) {
+    const ThreadLog& log = *logs_[tid];
+    for (const Event& e : log.events) {
+      sep();
+      os << "{\"ph\":\"" << e.ph << "\",\"name\":" << quoted(e.name)
+         << ",\"cat\":" << quoted(e.cat) << ",\"pid\":" << log.pid
+         << ",\"tid\":" << tid << ",\"ts\":" << json_number(e.ts_us);
+      if (e.ph == 'X') os << ",\"dur\":" << json_number(e.dur_us);
+      if (e.ph == 'i') os << ",\"s\":\"t\"";
+      os << ",\"args\":" << (e.args_json.empty() ? "{}" : e.args_json) << "}";
+    }
+  }
+  os << "\n]\n}\n";
+}
+
+std::string TraceRecorder::to_json() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  for (std::size_t tid = 0; tid < logs_.size(); ++tid) {
+    for (const Event& e : logs_[tid]->events) {
+      Event copy = e;
+      copy.tid = static_cast<std::uint32_t>(tid);
+      copy.pid = logs_[tid]->pid;
+      copy.thread_name = logs_[tid]->name;
+      out.push_back(std::move(copy));
+    }
+  }
+  return out;
+}
+
+}  // namespace hjsvd::obs

@@ -1,0 +1,155 @@
+// Chrome trace-event recorder (open the output in Perfetto / about:tracing).
+//
+// Model: each participating thread registers once and receives a handle
+// (tid); events are appended to that handle's private buffer with no
+// synchronization, so recording is lock-free after registration (the only
+// mutex guards the registry of buffers).  Spans are emitted as complete
+// events (ph "X") with microsecond timestamps measured from the recorder's
+// construction on the steady clock; the accelerator simulator registers its
+// units under a separate process id and timestamps events in *simulated*
+// time, so hardware and software timelines can be loaded side by side.
+//
+// Serialized format (docs/OBSERVABILITY.md has the event taxonomy):
+//   { "schema": "hjsvd.trace.v1", "displayTimeUnit": "ms",
+//     "traceEvents": [ {"ph":"M",...thread/process names...},
+//                      {"ph":"X","name":"sweep","cat":"svd","pid":1,
+//                       "tid":2,"ts":12.5,"dur":801.2,"args":{...}}, ... ] }
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hjsvd::obs {
+
+/// Well-known process ids of the two timelines in one trace file.
+inline constexpr int kSoftwarePid = 1;   // wall-clock (steady_clock) events
+inline constexpr int kSimulatorPid = 2;  // simulated-time (cycle) events
+
+/// Incrementally builds the JSON object for an event's "args" field.
+class ArgsBuilder {
+ public:
+  ArgsBuilder& add(std::string_view key, std::int64_t value);
+  ArgsBuilder& add(std::string_view key, std::uint64_t value);
+  ArgsBuilder& add(std::string_view key, int value) {
+    return add(key, static_cast<std::int64_t>(value));
+  }
+  ArgsBuilder& add(std::string_view key, unsigned value) {
+    return add(key, static_cast<std::uint64_t>(value));
+  }
+  ArgsBuilder& add(std::string_view key, double value);
+  ArgsBuilder& add(std::string_view key, std::string_view value);
+  /// The finished JSON object, e.g. {"sweep":3,"n":512}.
+  std::string str() const { return body_.empty() ? "{}" : "{" + body_ + "}"; }
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+/// Thread-safe trace-event collector.  register_thread() is callable from
+/// any thread; emit_* must only be called with a tid by the thread that owns
+/// it (each tid's buffer is unsynchronized by design); write() must not run
+/// concurrently with emission.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  /// Registers a named timeline and returns its tid.  `pid` selects the
+  /// process group (kSoftwarePid or kSimulatorPid).
+  std::uint32_t register_thread(std::string name, int pid = kSoftwarePid);
+
+  /// Microseconds elapsed on the steady clock since construction — the
+  /// timestamp base of every software (kSoftwarePid) event.
+  double now_us() const;
+
+  /// Records a completed span [ts_us, ts_us + dur_us) on timeline `tid`.
+  /// `args_json` must be a JSON object (ArgsBuilder::str()).
+  void emit_complete(std::uint32_t tid, const char* cat, std::string name,
+                     double ts_us, double dur_us, std::string args_json = "{}");
+
+  /// Records a zero-duration instant event.
+  void emit_instant(std::uint32_t tid, const char* cat, std::string name,
+                    double ts_us, std::string args_json = "{}");
+
+  /// Serializes the Chrome trace-event JSON document.
+  void write(std::ostream& os) const;
+  std::string to_json() const;
+
+  /// One recorded event (test/inspection access via snapshot()).
+  struct Event {
+    char ph = 'X';  // 'X' complete, 'i' instant
+    std::string name;
+    const char* cat = "";
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    std::string args_json;
+    std::uint32_t tid = 0;
+    int pid = kSoftwarePid;
+    std::string thread_name;
+  };
+  /// All events recorded so far, in per-thread order.  Not for hot paths.
+  std::vector<Event> snapshot() const;
+
+ private:
+  struct ThreadLog {
+    std::string name;
+    int pid = kSoftwarePid;
+    std::vector<Event> events;
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  // guards logs_ growth; buffers are single-writer
+  std::deque<std::unique_ptr<ThreadLog>> logs_;
+};
+
+/// RAII wall-clock span on a software timeline: opens at construction,
+/// emits a complete event at end()/destruction.  A default-constructed or
+/// null-recorder Span is an inert no-op, so call sites need no branching.
+class Span {
+ public:
+  Span() = default;
+  Span(TraceRecorder* rec, std::uint32_t tid, const char* cat,
+       std::string name, std::string args_json = "{}")
+      : rec_(rec), tid_(tid), cat_(cat), name_(std::move(name)),
+        args_(std::move(args_json)), start_us_(rec ? rec->now_us() : 0.0) {}
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      end();
+      rec_ = other.rec_;
+      tid_ = other.tid_;
+      cat_ = other.cat_;
+      name_ = std::move(other.name_);
+      args_ = std::move(other.args_);
+      start_us_ = other.start_us_;
+      other.rec_ = nullptr;
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  void end() {
+    if (rec_ == nullptr) return;
+    rec_->emit_complete(tid_, cat_, std::move(name_), start_us_,
+                        rec_->now_us() - start_us_, std::move(args_));
+    rec_ = nullptr;
+  }
+
+ private:
+  TraceRecorder* rec_ = nullptr;
+  std::uint32_t tid_ = 0;
+  const char* cat_ = "";
+  std::string name_;
+  std::string args_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace hjsvd::obs

@@ -13,6 +13,7 @@
 #include "fp/ops.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/residuals.hpp"
+#include "obs/sinks.hpp"
 #include "svd/ordering.hpp"
 #include "svd/rotation.hpp"
 
@@ -49,6 +50,12 @@ struct HestenesConfig {
   /// (e.g. 1e-12) saves late-sweep rotations with negligible accuracy cost
   /// (bench_ablation_threshold quantifies the trade).
   double rotation_threshold = 0.0;
+
+  /// Observability sinks (trace spans + metrics).  Both pointers default to
+  /// null = record nothing; recording never changes the arithmetic, so
+  /// results are byte-identical with and without sinks attached (asserted
+  /// by tests/obs/test_obs.cpp).  See docs/OBSERVABILITY.md.
+  obs::ObsContext obs{};
 
   /// Accumulation chunking of the initial Gram computation: chunk_rows = 1
   /// is strict left-to-right; chunk_rows = L models the hardware's layered

@@ -9,6 +9,7 @@
 
 #include "linalg/kernels.hpp"
 #include "svd/hestenes.hpp"
+#include "svd/obs_hooks.hpp"
 
 namespace hjsvd {
 namespace detail {
@@ -278,7 +279,17 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
   HJSVD_ENSURE(cfg.max_sweeps > 0, "need at least one sweep");
   HJSVD_ENSURE(all_finite(a), "input matrix must be finite (no NaN/inf)");
 
+  auto* trace = obs::active(cfg.obs.trace);
+  auto* metrics = obs::active(cfg.obs.metrics);
+  const std::uint32_t tid =
+      trace != nullptr ? trace->register_thread("hestenes (sequential)") : 0;
+
+  obs::Span gram_span;
+  if (trace != nullptr)
+    gram_span = obs::Span(trace, tid, "svd", "gram",
+                          obs::ArgsBuilder().add("rows", m).add("cols", n).str());
   Matrix d = gram_upper_ops(a, ops, cfg.gram_chunk_rows);
+  gram_span.end();
   const bool need_v = cfg.compute_u || cfg.compute_v;
   Matrix v;
   if (need_v) v = Matrix::identity(n);
@@ -288,7 +299,12 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
   if (stats != nullptr) *stats = HestenesStats{};
 
   std::size_t sweeps_done = 0;
+  std::uint64_t total_rotations = 0, total_skipped = 0;
   for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
+    obs::Span sweep_span;
+    if (trace != nullptr)
+      sweep_span = obs::Span(trace, tid, "svd", "sweep",
+                             obs::ArgsBuilder().add("sweep", sweep).str());
     std::uint64_t rotations = 0, skipped = 0;
     for (const auto& [i, j] : pairs) {
       if (detail::apply_pair(d, need_v ? &v : nullptr, cfg, i, j, ops)) {
@@ -298,12 +314,15 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
       }
     }
     ++sweeps_done;
+    total_rotations += rotations;
+    total_skipped += skipped;
     if (stats != nullptr) {
       stats->total_rotations += rotations;
       stats->total_skipped += skipped;
       if (cfg.track_convergence)
         stats->sweeps.push_back(detail::make_record(d, rotations, skipped));
     }
+    detail::record_sweep_metrics(metrics, sweep, d, rotations, skipped);
     if (cfg.tolerance > 0.0 && max_relative_offdiag(d) < cfg.tolerance) {
       result.converged = true;
       break;
@@ -315,7 +334,12 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
     result.converged = max_relative_offdiag(d) < 1e-10;
   }
 
+  obs::Span finalize_span;
+  if (trace != nullptr) finalize_span = obs::Span(trace, tid, "svd", "finalize");
   detail::finalize_gram_result(a, d, v, cfg, result, ops);
+  finalize_span.end();
+  detail::record_run_metrics(metrics, m, n, sweeps_done, total_rotations,
+                             total_skipped, result.converged);
   return result;
 }
 

@@ -1,0 +1,51 @@
+// Shared observability hooks of the SVD engines (internal detail header).
+//
+// Every Hestenes-family engine reports the same metric names so runs are
+// comparable across engines; all emission sites are at sweep/round
+// granularity and guarded by a null check, and none of them touch the
+// matrices beyond reads, so results are byte-identical with sinks attached.
+// The full name/unit taxonomy is documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/kernels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hjsvd::detail {
+
+/// Per-sweep convergence metrics, appended as series indexed by the 0-based
+/// sweep number.  Deterministic across engines and thread counts (the
+/// engines are bitwise identical).
+inline void record_sweep_metrics(obs::MetricsRegistry* metrics,
+                                 std::size_t sweep, const Matrix& d,
+                                 std::uint64_t rotations,
+                                 std::uint64_t skipped) {
+  if (metrics == nullptr) return;
+  const auto idx = static_cast<double>(sweep);
+  metrics->series_append("svd.sweep.offdiag_frobenius", "1", idx,
+                         offdiag_frobenius(d));
+  metrics->series_append("svd.sweep.max_rel_offdiag", "1", idx,
+                         max_relative_offdiag(d));
+  metrics->series_append("svd.sweep.rotations", "rotations", idx,
+                         static_cast<double>(rotations));
+  metrics->series_append("svd.sweep.skipped", "rotations", idx,
+                         static_cast<double>(skipped));
+}
+
+/// Whole-run summary: problem shape, sweep count, rotation totals.
+inline void record_run_metrics(obs::MetricsRegistry* metrics, std::size_t m,
+                               std::size_t n, std::size_t sweeps,
+                               std::uint64_t rotations, std::uint64_t skipped,
+                               bool converged) {
+  if (metrics == nullptr) return;
+  metrics->gauge_set("svd.rows", "1", static_cast<double>(m));
+  metrics->gauge_set("svd.cols", "1", static_cast<double>(n));
+  metrics->gauge_set("svd.sweeps", "sweeps", static_cast<double>(sweeps));
+  metrics->gauge_set("svd.converged", "bool", converged ? 1.0 : 0.0);
+  metrics->counter_add("svd.rotations_applied", "rotations", rotations);
+  metrics->counter_add("svd.rotations_skipped", "rotations", skipped);
+}
+
+}  // namespace hjsvd::detail

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -15,10 +16,44 @@
 
 #include "linalg/kernels.hpp"
 #include "svd/hestenes_impl.hpp"
+#include "svd/obs_hooks.hpp"
 #include "svd/plain_hestenes_impl.hpp"
 
 namespace hjsvd {
 namespace {
+
+/// Seconds elapsed since t0 on the steady clock.
+inline double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Writes the elapsed lifetime of a scope into *out at destruction (used
+/// for whole-thread elapsed times; reads happen after join()).
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(double* out)
+      : out_(out), t0_(std::chrono::steady_clock::now()) {}
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+  ~ScopeTimer() { *out_ = seconds_since(t0_); }
+
+ private:
+  double* out_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Minimum stall duration worth a trace span: sub-microsecond waits would
+/// bloat the trace without being visible at any useful zoom level.
+constexpr double kMinStallSpanUs = 1.0;
+
+/// Sum of the first `sweeps` per-sweep totals (run-level rotation counts).
+inline std::uint64_t total_rotations_of(const std::vector<std::uint64_t>& per,
+                                        std::size_t sweeps) {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < sweeps && s < per.size(); ++s) total += per[s];
+  return total;
+}
 
 int resolve_threads(const ParallelSweepConfig& par) {
 #ifdef _OPENMP
@@ -159,7 +194,19 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
   const fp::NativeOps ops;
   [[maybe_unused]] const int nt = resolve_threads(par);
 
+  auto* trace = obs::active(cfg.obs.trace);
+  auto* metrics = obs::active(cfg.obs.metrics);
+  const std::uint32_t tid =
+      trace != nullptr ? trace->register_thread("blocked engine (coordinator)")
+                       : 0;
+
+  obs::Span gram_span;
+  if (trace != nullptr)
+    gram_span =
+        obs::Span(trace, tid, "svd", "gram",
+                  obs::ArgsBuilder().add("rows", m).add("cols", n).str());
   Matrix d = gram_upper_ops(a, ops, cfg.gram_chunk_rows);
+  gram_span.end();
   const bool need_v = cfg.compute_u || cfg.compute_v;
   Matrix v;
   if (need_v) v = Matrix::identity(n);
@@ -174,9 +221,20 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
   std::vector<SlotRotation> rot;
 
   std::size_t sweeps_done = 0;
+  std::uint64_t total_rotations = 0, total_skipped = 0;
   for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
+    obs::Span sweep_span;
+    if (trace != nullptr)
+      sweep_span = obs::Span(trace, tid, "svd", "sweep",
+                             obs::ArgsBuilder().add("sweep", sweep).str());
     std::uint64_t rotations = 0, skipped = 0;
-    for (const auto& plan : plans) {
+    for (std::size_t r = 0; r < plans.size(); ++r) {
+      const auto& plan = plans[r];
+      obs::Span generate_span;
+      if (trace != nullptr)
+        generate_span =
+            obs::Span(trace, tid, "pipeline", "generate",
+                      obs::ArgsBuilder().add("round", r).str());
       // --- Rotation component (serial): parameters and diagonal updates.
       // Within a round no pair touches another pair's D(i,i), D(j,j) or
       // D(i,j), so generating every parameter up front reads exactly the
@@ -204,8 +262,13 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
         rot[p] = SlotRotation{rp.cos, rp.sin, true};
         ++rotations;
       }
+      generate_span.end();
 
       // --- Update array (parallel): cross-block covariance updates.
+      obs::Span update_span;
+      if (trace != nullptr)
+        update_span = obs::Span(trace, tid, "pipeline", "update",
+                                obs::ArgsBuilder().add("round", r).str());
       const auto ntasks = static_cast<std::ptrdiff_t>(plan.tasks.size());
 #pragma omp parallel for schedule(static) num_threads(nt)
       for (std::ptrdiff_t t = 0; t < ntasks; ++t) {
@@ -236,14 +299,18 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
                                  rot[static_cast<std::size_t>(p)].s, ops);
         }
       }
+      update_span.end();
     }
     ++sweeps_done;
+    total_rotations += rotations;
+    total_skipped += skipped;
     if (stats != nullptr) {
       stats->total_rotations += rotations;
       stats->total_skipped += skipped;
       if (cfg.track_convergence)
         stats->sweeps.push_back(detail::make_record(d, rotations, skipped));
     }
+    detail::record_sweep_metrics(metrics, sweep, d, rotations, skipped);
     if (cfg.tolerance > 0.0 && max_relative_offdiag(d) < cfg.tolerance) {
       result.converged = true;
       break;
@@ -254,7 +321,13 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
     result.converged = max_relative_offdiag(d) < 1e-10;
   }
 
+  obs::Span finalize_span;
+  if (trace != nullptr)
+    finalize_span = obs::Span(trace, tid, "svd", "finalize");
   detail::finalize_gram_result(a, d, v, cfg, result, ops);
+  finalize_span.end();
+  detail::record_run_metrics(metrics, m, n, sweeps_done, total_rotations,
+                             total_skipped, result.converged);
   return result;
 }
 
@@ -390,7 +463,30 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
   const fp::NativeOps ops;
   const std::size_t nt = resolve_pool_threads(pipe.threads);
 
+  auto* trace = obs::active(cfg.obs.trace);
+  auto* metrics = obs::active(cfg.obs.metrics);
+  const auto engine_t0 = std::chrono::steady_clock::now();
+  std::uint32_t coord_tid = 0, gen_tid = 0;
+  std::vector<std::uint32_t> worker_tids(nt, 0);
+  if (trace != nullptr) {
+    coord_tid = trace->register_thread("pipeline coordinator");
+    gen_tid = trace->register_thread("pipeline generator");
+    for (std::size_t w = 0; w < nt; ++w)
+      worker_tids[w] =
+          trace->register_thread("pipeline worker " + std::to_string(w));
+  }
+  // Per-thread time accounting (seconds); written by the owning thread,
+  // read only after join().
+  double gen_elapsed_s = 0.0, gen_stall_s = 0.0;
+  std::vector<double> worker_elapsed_s(nt, 0.0), worker_stall_s(nt, 0.0);
+
+  obs::Span gram_span;
+  if (trace != nullptr)
+    gram_span =
+        obs::Span(trace, coord_tid, "svd", "gram",
+                  obs::ArgsBuilder().add("rows", m).add("cols", n).str());
   Matrix d = gram_upper_ops(a, ops, cfg.gram_chunk_rows);
+  gram_span.end();
   const bool need_v = cfg.compute_u || cfg.compute_v;
   Matrix v;
   if (need_v) v = Matrix::identity(n);
@@ -477,24 +573,48 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
       }
     }
   };
-  const auto await_param = [&](std::size_t s, std::uint64_t id) {
+  // Waits until pred() holds, accumulating the wait into *stall_acc (when
+  // non-null) and emitting a trace stall span on `stall_tid` (when tracing
+  // and the wait was long enough to be visible).  The fast path — pred
+  // already true — takes no timestamps at all.
+  const auto timed_spin_until = [&](auto&& pred, double* stall_acc,
+                                    std::uint32_t stall_tid,
+                                    const char* what) {
+    if (pred()) return true;
+    const auto t0 = std::chrono::steady_clock::now();
+    const double ts_us = trace != nullptr ? trace->now_us() : 0.0;
+    const bool ok = spin_until(pred, failed);
+    const double dt = seconds_since(t0);
+    if (stall_acc != nullptr) *stall_acc += dt;
+    if (trace != nullptr) {
+      // Duration from the recorder's own clock so the stall span cannot
+      // outlive an enclosing span closed a moment later on the same clock.
+      const double dur_us = trace->now_us() - ts_us;
+      if (dur_us >= kMinStallSpanUs)
+        trace->emit_complete(stall_tid, "stall", what, ts_us, dur_us);
+    }
+    return ok;
+  };
+  const auto await_param = [&](std::size_t s, std::uint64_t id,
+                               double* stall_acc, std::uint32_t stall_tid) {
     if (param_ready[s].load(std::memory_order_acquire) >= id) return true;
     consumer_stalls.fetch_add(1, std::memory_order_relaxed);
-    return spin_until(
+    return timed_spin_until(
         [&] { return param_ready[s].load(std::memory_order_acquire) >= id; },
-        failed);
+        stall_acc, stall_tid, "stall:param-wait");
   };
 
   // --- The rotation component --------------------------------------------
   std::thread generator([&] {
+    const ScopeTimer lifetime(&gen_elapsed_s);
     try {
       for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
-        if (!spin_until(
+        if (!timed_spin_until(
                 [&] {
                   return go_sweep.load(std::memory_order_acquire) > sweep ||
                          quit.load(std::memory_order_acquire);
                 },
-                failed)) {
+                &gen_stall_s, gen_tid, "stall:sweep-gate")) {
           return;
         }
         if (go_sweep.load(std::memory_order_acquire) <= sweep) return;
@@ -503,25 +623,32 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
           const std::uint64_t id = round_id(sweep, r);
           auto& params = rot[id % 2];
           const RoundPlan& plan = plans[r];
+          obs::Span generate_span;
+          if (trace != nullptr)
+            generate_span = obs::Span(trace, gen_tid, "pipeline", "generate",
+                                      obs::ArgsBuilder()
+                                          .add("sweep", sweep)
+                                          .add("round", r)
+                                          .str());
           for (std::size_t p = 0; p < plan.pair_slots; ++p) {
             if (r > 0) {
               std::atomic<std::uint64_t>& owner = task_done[deps[r][p]];
-              if (!spin_until(
+              if (!timed_spin_until(
                       [&] {
                         return owner.load(std::memory_order_acquire) >= id - 1;
                       },
-                      failed)) {
+                      &gen_stall_s, gen_tid, "stall:dep-wait")) {
                 return;
               }
             }
             if (queue_size.load(std::memory_order_relaxed) >= depth) {
               producer_stalls.fetch_add(1, std::memory_order_relaxed);
-              if (!spin_until(
+              if (!timed_spin_until(
                       [&] {
                         return queue_size.load(std::memory_order_relaxed) <
                                depth;
                       },
-                      failed)) {
+                      &gen_stall_s, gen_tid, "stall:queue-full")) {
                 return;
               }
             }
@@ -571,14 +698,15 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
   workers.reserve(nt);
   for (std::size_t w = 0; w < nt; ++w) {
     workers.emplace_back([&, w] {
+      const ScopeTimer lifetime(&worker_elapsed_s[w]);
       try {
         for (std::uint64_t next = 1;; ++next) {
-          if (!spin_until(
+          if (!timed_spin_until(
                   [&] {
                     return dispatch.load(std::memory_order_acquire) >= next ||
                            quit.load(std::memory_order_acquire);
                   },
-                  failed)) {
+                  &worker_stall_s[w], worker_tids[w], "stall:dispatch")) {
             return;
           }
           if (dispatch.load(std::memory_order_acquire) < next) return;
@@ -590,14 +718,25 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
               ntasks + (need_v ? plan.pair_slots : 0);
           const std::size_t begin = w * total / nt;
           const std::size_t end = (w + 1) * total / nt;
+          obs::Span update_span;
+          if (trace != nullptr && begin < end)
+            update_span = obs::Span(trace, worker_tids[w], "pipeline",
+                                    "update",
+                                    obs::ArgsBuilder()
+                                        .add("round", r)
+                                        .add("tasks", end - begin)
+                                        .str());
           for (std::size_t idx = begin; idx < end; ++idx) {
             if (idx < ntasks) {
               const auto [sa, sb] = plan.tasks[idx];
-              if (!await_param(sa, next)) return;
+              if (!await_param(sa, next, &worker_stall_s[w], worker_tids[w]))
+                return;
               consume_param(sa, next);
               const bool sb_rotates = sb < plan.pair_slots;
               if (sb_rotates) {
-                if (!await_param(sb, next)) return;
+                if (!await_param(sb, next, &worker_stall_s[w],
+                                 worker_tids[w]))
+                  return;
                 consume_param(sb, next);
               }
               const Slot& slot_a = plan.slots[sa];
@@ -617,7 +756,8 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
               task_done[idx].store(next, std::memory_order_release);
             } else {
               const std::size_t p = idx - ntasks;
-              if (!await_param(p, next)) return;
+              if (!await_param(p, next, &worker_stall_s[w], worker_tids[w]))
+                return;
               consume_param(p, next);
               if (params[p].active) {
                 detail::rotate_columns(v, plan.slots[p].cols[0],
@@ -640,10 +780,23 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
   std::size_t sweeps_done = 0;
   bool aborted = false;
   for (std::size_t sweep = 0; sweep < cfg.max_sweeps && !aborted; ++sweep) {
+    obs::Span sweep_span;
+    if (trace != nullptr)
+      sweep_span = obs::Span(trace, coord_tid, "svd", "sweep",
+                             obs::ArgsBuilder().add("sweep", sweep).str());
     go_sweep.store(sweep + 1, std::memory_order_release);
     for (std::size_t r = 0; r < num_rounds && !aborted; ++r) {
       const std::uint64_t id = round_id(sweep, r);
       dispatch.store(id, std::memory_order_release);
+      if (metrics != nullptr) {
+        // Occupancy sampled once per round, mid-drain: a timing-dependent
+        // timeline (indexed by the monotonic round id) comparable against
+        // the simulator's sim.param_fifo occupancy after the
+        // rotation_group_size calibration (docs/OBSERVABILITY.md).
+        metrics->series_append(
+            "pipeline.queue.occupancy", "rotations", static_cast<double>(id),
+            static_cast<double>(queue_size.load(std::memory_order_relaxed)));
+      }
       for (std::size_t w = 0; w < nt; ++w) {
         if (!spin_until(
                 [&] {
@@ -660,7 +813,7 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
       // silt up across rounds.
       for (std::size_t p = 0; p < plans[r].pair_slots; ++p) {
         if (param_consumed[p].load(std::memory_order_relaxed) >= id) continue;
-        if (!await_param(p, id)) {
+        if (!await_param(p, id, nullptr, coord_tid)) {
           aborted = true;
           break;
         }
@@ -679,6 +832,8 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
       break;
     }
     ++sweeps_done;
+    detail::record_sweep_metrics(metrics, sweep, d, sweep_rotations[sweep],
+                                 sweep_skipped[sweep]);
     if (stats != nullptr) {
       stats->total_rotations += sweep_rotations[sweep];
       stats->total_skipped += sweep_skipped[sweep];
@@ -700,14 +855,58 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
   if (cfg.tolerance == 0.0) {
     result.converged = max_relative_offdiag(d) < 1e-10;
   }
-  if (pipeline != nullptr) {
-    pipeline->queue_high_water = queue_high_water.load();
-    pipeline->params_issued = params_issued.load();
-    pipeline->producer_stalls = producer_stalls.load();
-    pipeline->consumer_stalls = consumer_stalls.load();
+  // Per-thread busy = lifetime - accumulated stalls (never negative: clock
+  // granularity can make the two measurements disagree by nanoseconds).
+  PipelineStats measured;
+  measured.queue_capacity = depth;
+  measured.queue_high_water = queue_high_water.load();
+  measured.params_issued = params_issued.load();
+  measured.producer_stalls = producer_stalls.load();
+  measured.consumer_stalls = consumer_stalls.load();
+  measured.wall_s = seconds_since(engine_t0);
+  measured.generator_stall_s = gen_stall_s;
+  measured.generator_busy_s = std::max(0.0, gen_elapsed_s - gen_stall_s);
+  measured.worker_busy_s.resize(nt);
+  measured.worker_stall_s.resize(nt);
+  for (std::size_t w = 0; w < nt; ++w) {
+    measured.worker_stall_s[w] = worker_stall_s[w];
+    measured.worker_busy_s[w] =
+        std::max(0.0, worker_elapsed_s[w] - worker_stall_s[w]);
+  }
+  if (pipeline != nullptr) *pipeline = measured;
+  if (metrics != nullptr) {
+    metrics->gauge_set("pipeline.queue.capacity", "rotations",
+                       static_cast<double>(measured.queue_capacity));
+    metrics->gauge_set("pipeline.queue.high_water", "rotations",
+                       static_cast<double>(measured.queue_high_water));
+    metrics->counter_add("pipeline.params_issued", "rotations",
+                         measured.params_issued);
+    metrics->counter_add("pipeline.producer_stalls", "stalls",
+                         measured.producer_stalls);
+    metrics->counter_add("pipeline.consumer_stalls", "stalls",
+                         measured.consumer_stalls);
+    metrics->gauge_set("pipeline.wall_s", "s", measured.wall_s);
+    metrics->gauge_set("pipeline.generator.busy_s", "s",
+                       measured.generator_busy_s);
+    metrics->gauge_set("pipeline.generator.stall_s", "s",
+                       measured.generator_stall_s);
+    for (std::size_t w = 0; w < nt; ++w) {
+      const std::string prefix =
+          "pipeline.worker." + std::to_string(w) + ".";
+      metrics->gauge_set(prefix + "busy_s", "s", measured.worker_busy_s[w]);
+      metrics->gauge_set(prefix + "stall_s", "s", measured.worker_stall_s[w]);
+    }
   }
 
+  obs::Span finalize_span;
+  if (trace != nullptr)
+    finalize_span = obs::Span(trace, coord_tid, "svd", "finalize");
   detail::finalize_gram_result(a, d, v, cfg, result, ops);
+  finalize_span.end();
+  detail::record_run_metrics(metrics, m, n, result.sweeps,
+                             total_rotations_of(sweep_rotations, sweeps_done),
+                             total_rotations_of(sweep_skipped, sweeps_done),
+                             result.converged);
   return result;
 }
 

@@ -78,6 +78,20 @@ struct PipelineStats {
   std::uint64_t params_issued = 0;  // pushes (incl. skipped-pair markers)
   std::uint64_t producer_stalls = 0; // generator waits on a full queue
   std::uint64_t consumer_stalls = 0; // worker waits on a missing parameter
+
+  // Per-phase/per-thread time accounting (seconds on the steady clock;
+  // timing-dependent like the stall counters).  "Stall" is time spent inside
+  // a pipeline wait — the generator waiting on a round r-1 dependency or a
+  // full queue, a worker waiting for dispatch or a missing parameter; "busy"
+  // is the thread's lifetime minus its stalls.  The ROADMAP's
+  // generator-bottleneck question reads directly off generator_busy_s /
+  // wall_s versus the workers' busy fractions (bench_parallel_sweep records
+  // them in BENCH_pipelined_sweep.json).
+  double wall_s = 0.0;              // whole-engine wall time
+  double generator_busy_s = 0.0;
+  double generator_stall_s = 0.0;
+  std::vector<double> worker_busy_s;   // one entry per update worker
+  std::vector<double> worker_stall_s;  // one entry per update worker
 };
 
 /// Pair-parallel plain (recomputing) one-sided Hestenes-Jacobi.  Uses

@@ -1,0 +1,116 @@
+// FIFO cross-check calibration (docs/OBSERVABILITY.md): the simulator's
+// parameter-FIFO high-water counts rotation *groups* of
+// AcceleratorConfig::rotation_group_size rotations, while the software
+// pipeline's PipelineStats::queue_high_water counts single rotations.  The
+// calibration maps a hardware FIFO of depth d groups to a software queue of
+// d * rotation_group_size rotations; these tests pin the mapping down and
+// assert the simulated hardware bound dominates the software engine's
+// measured high-water across queue depths.
+#include "arch/accelerator_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "arch/timing_model.hpp"
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "obs/metrics.hpp"
+#include "svd/parallel_sweep.hpp"
+
+namespace hjsvd::arch {
+namespace {
+
+// n chosen so a full group's covariance updates outlast the rotation issue
+// cadence — ceil(8 * (192 - 2) / 16) = 95 cycles > 64 — which is what lets
+// the rotation unit run ahead and actually fill the FIFO (the paper's
+// "performance is dominated by the amount of updates" regime).  Smaller n
+// would leave the FIFO near-empty and the domination check vacuous.
+constexpr std::size_t kN = 192;
+
+Matrix saturating_matrix() {
+  Rng rng(2026);
+  return random_gaussian(kN, kN, rng);
+}
+
+TEST(FifoCalibration, SimulatedFifoSaturatesAtConfiguredDepth) {
+  const Matrix a = saturating_matrix();
+  for (const std::uint32_t depth : {1u, 2u, 8u}) {
+    AcceleratorConfig cfg;
+    cfg.param_fifo_depth = depth;
+    const auto run = simulate_accelerator(a, cfg);
+    EXPECT_EQ(run.param_fifo_high_water, depth) << "depth " << depth;
+    EXPECT_EQ(run.param_fifo_high_water_rotations,
+              depth * cfg.rotation_group_size)
+        << "depth " << depth;
+  }
+}
+
+TEST(FifoCalibration, SimBoundDominatesSoftwareHighWater) {
+  const Matrix a = saturating_matrix();
+  for (const std::uint32_t depth : {1u, 2u, 8u}) {
+    AcceleratorConfig cfg;
+    cfg.param_fifo_depth = depth;
+    const auto run = simulate_accelerator(a, cfg);
+
+    // The calibrated software twin: a queue of depth * rotation_group_size
+    // single rotations.
+    PipelinedSweepConfig pipe;
+    pipe.threads = 2;
+    pipe.queue_depth =
+        static_cast<std::size_t>(depth) * cfg.rotation_group_size;
+    HestenesConfig num;
+    num.max_sweeps = cfg.sweeps;
+    PipelineStats stats;
+    pipelined_modified_hestenes_svd(a, num, pipe, nullptr, &stats);
+
+    EXPECT_GE(stats.queue_high_water, 1u) << "depth " << depth;
+    EXPECT_GE(run.param_fifo_high_water_rotations, stats.queue_high_water)
+        << "calibrated sim bound must dominate the software queue at depth "
+        << depth;
+  }
+}
+
+TEST(FifoCalibration, MetricsShareNamespaceWithExplicitUnits) {
+  const Matrix a = saturating_matrix();
+  obs::MetricsRegistry metrics;
+
+  AcceleratorConfig cfg;
+  cfg.param_fifo_depth = 2;
+  cfg.obs.metrics = &metrics;
+  simulate_accelerator(a, cfg);
+
+  PipelinedSweepConfig pipe;
+  pipe.threads = 2;
+  pipe.queue_depth = static_cast<std::size_t>(2) * cfg.rotation_group_size;
+  HestenesConfig num;
+  num.max_sweeps = cfg.sweeps;
+  num.obs.metrics = &metrics;
+  pipelined_modified_hestenes_svd(a, num, pipe);
+
+  // One registry, two producers, explicit units: groups on the sim side,
+  // rotations on both once calibrated.
+  EXPECT_EQ(metrics.unit("sim.param_fifo.high_water").value(),
+            "rotation_groups");
+  EXPECT_EQ(metrics.unit("sim.param_fifo.high_water_rotations").value(),
+            "rotations");
+  EXPECT_EQ(metrics.unit("pipeline.queue.high_water").value(), "rotations");
+  EXPECT_EQ(metrics.gauge("sim.rotation_group_size").value(),
+            static_cast<double>(cfg.rotation_group_size));
+  EXPECT_GE(metrics.gauge("sim.param_fifo.high_water_rotations").value(),
+            metrics.gauge("pipeline.queue.high_water").value());
+}
+
+TEST(FifoCalibration, AnalyticModelAgreesWithSimulatorWhenSaturated) {
+  for (const std::uint32_t depth : {1u, 2u, 8u}) {
+    AcceleratorConfig cfg;
+    cfg.param_fifo_depth = depth;
+    const auto t = estimate_timing(cfg, kN, kN);
+    EXPECT_EQ(t.param_fifo_occupancy, depth);
+    EXPECT_EQ(t.param_fifo_occupancy_rotations,
+              depth * cfg.rotation_group_size);
+  }
+}
+
+}  // namespace
+}  // namespace hjsvd::arch

@@ -48,13 +48,44 @@ if(NOT CMAKE_MATCH_1 STREQUAL v1)
   message(FATAL_ERROR "pipelined sigma differs: ${CMAKE_MATCH_1} vs ${v1}")
 endif()
 
+# Observability outputs: the run must succeed, announce both files, and
+# leave non-empty JSON documents with the right schema tags behind.
+execute_process(
+  COMMAND ${CLI} --input ${WORKDIR}/smoke.mtx --method pipelined-modified
+          --trace-out ${WORKDIR}/smoke_trace.json
+          --metrics-out ${WORKDIR}/smoke_metrics.json
+  RESULT_VARIABLE rc4 OUTPUT_VARIABLE out4 ERROR_VARIABLE err4)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "trace/metrics run failed: ${out4}${err4}")
+endif()
+if(NOT out4 MATCHES "wrote trace to" OR NOT out4 MATCHES "wrote metrics to")
+  message(FATAL_ERROR "trace/metrics run did not announce outputs: ${out4}")
+endif()
+foreach(obs_pair "smoke_trace.json;hjsvd.trace.v1"
+                 "smoke_metrics.json;hjsvd.metrics.v1")
+  list(GET obs_pair 0 obs_file)
+  list(GET obs_pair 1 obs_schema)
+  if(NOT EXISTS ${WORKDIR}/${obs_file})
+    message(FATAL_ERROR "${obs_file} was not written")
+  endif()
+  file(READ ${WORKDIR}/${obs_file} obs_body)
+  if(NOT obs_body MATCHES "\"schema\": \"${obs_schema}\"")
+    message(FATAL_ERROR "${obs_file} lacks schema tag ${obs_schema}")
+  endif()
+endforeach()
+
 # Bad usage must exit non-zero and print the usage text, not fall back.
-foreach(bad_args "--threads;0" "--threads;-2" "--method;bogus")
+foreach(bad_args "--threads;0" "--threads;-2" "--method;bogus"
+        "--trace-out;${WORKDIR}/no_such_dir/t.json"
+        "--metrics-out;${WORKDIR}/no_such_dir/m.json")
   execute_process(
     COMMAND ${CLI} --input ${WORKDIR}/smoke.mtx ${bad_args}
     RESULT_VARIABLE rc_bad OUTPUT_VARIABLE out_bad ERROR_VARIABLE err_bad)
   if(rc_bad EQUAL 0)
     message(FATAL_ERROR "'${bad_args}' unexpectedly succeeded")
+  endif()
+  if(NOT rc_bad EQUAL 2)
+    message(FATAL_ERROR "'${bad_args}' exited ${rc_bad}, want usage error 2")
   endif()
   if(NOT err_bad MATCHES "--method")
     message(FATAL_ERROR "'${bad_args}' did not print usage: ${err_bad}")

@@ -8,7 +8,10 @@
 //   hjsvd_cli --input A.mtx --method hestenes --values 10
 //   hjsvd_cli --input A.mtx --method golub-kahan --write-u U.mtx --write-v V.mtx
 //   hjsvd_cli --input A.mtx --fpga-estimate
+//   hjsvd_cli --input A.mtx --method pipelined-modified
+//       --trace-out trace.json --metrics-out metrics.json
 //   hjsvd_cli --generate 512x128 --seed 3 --output A.mtx
+#include <fstream>
 #include <iostream>
 
 #include "api/svd.hpp"
@@ -19,6 +22,8 @@
 #include "common/timer.hpp"
 #include "linalg/generate.hpp"
 #include "linalg/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace hjsvd;
 
@@ -106,6 +111,11 @@ int main(int argc, char** argv) {
                    "generate a gaussian ROWSxCOLS matrix instead of reading");
     cli.add_option("seed", "1", "generation seed");
     cli.add_option("output", "", "output path for --generate");
+    cli.add_option("trace-out", "",
+                   "write a Chrome trace-event JSON of the run (open in "
+                   "Perfetto; see docs/OBSERVABILITY.md)");
+    cli.add_option("metrics-out", "",
+                   "write run metrics as hjsvd.metrics.v1 JSON");
     cli.parse(argc, argv);
 
     if (const auto shape = cli.get("generate"); !shape.empty()) {
@@ -134,6 +144,32 @@ int main(int argc, char** argv) {
     opt.pipeline_queue_depth = parse_count(cli, "queue-depth", 8);
     opt.compute_u = !cli.get("write-u").empty();
     opt.compute_v = !cli.get("write-v").empty();
+
+    // Observability sinks.  Output files open *before* the decomposition so
+    // an unwritable path is a usage error (exit 2) up front, not a wasted
+    // run that fails at the end.
+    const auto trace_path = cli.get("trace-out");
+    const auto metrics_path = cli.get("metrics-out");
+    std::ofstream trace_file, metrics_file;
+    if (!trace_path.empty()) {
+      trace_file.open(trace_path);
+      if (!trace_file)
+        throw UsageError("--trace-out: cannot open '" + trace_path +
+                         "' for writing");
+    }
+    if (!metrics_path.empty()) {
+      metrics_file.open(metrics_path);
+      if (!metrics_file)
+        throw UsageError("--metrics-out: cannot open '" + metrics_path +
+                         "' for writing");
+    }
+    obs::TraceRecorder recorder;
+    obs::MetricsRegistry registry;
+    if (!trace_path.empty()) opt.trace = &recorder;
+    if (!metrics_path.empty()) opt.metrics = &registry;
+    if (!obs::kEnabled && (!trace_path.empty() || !metrics_path.empty()))
+      std::cerr << "hjsvd_cli: warning: observability was compiled out "
+                   "(HJSVD_OBS=0); trace/metrics outputs will be empty\n";
 
     Timer timer;
     const SvdResult r = svd(a, opt);
@@ -164,6 +200,36 @@ int main(int argc, char** argv) {
                 << arch::format_timing(t, a.rows(), a.cols())
                 << "speedup over this run: "
                 << format_fixed(seconds / t.seconds, 1) << "x\n";
+      if (opt.metrics != nullptr) {
+        // The analytic model's FIFO bound, in both its native unit and the
+        // software queue's unit, next to pipeline.queue.high_water.
+        registry.gauge_set("sim.model.cycles.total", "cycles",
+                           static_cast<double>(t.total));
+        registry.gauge_set("sim.model.seconds", "s", t.seconds);
+        registry.gauge_set("sim.model.param_fifo.occupancy",
+                           "rotation_groups",
+                           static_cast<double>(t.param_fifo_occupancy));
+        registry.gauge_set(
+            "sim.model.param_fifo.occupancy_rotations", "rotations",
+            static_cast<double>(t.param_fifo_occupancy_rotations));
+      }
+    }
+
+    if (opt.metrics != nullptr)
+      registry.gauge_set("cli.wall_s", "s", seconds);
+    if (!trace_path.empty()) {
+      recorder.write(trace_file);
+      trace_file << '\n';
+      HJSVD_ENSURE(static_cast<bool>(trace_file),
+                   "failed writing --trace-out file");
+      std::cout << "wrote trace to " << trace_path << '\n';
+    }
+    if (!metrics_path.empty()) {
+      registry.write(metrics_file);
+      metrics_file << '\n';
+      HJSVD_ENSURE(static_cast<bool>(metrics_file),
+                   "failed writing --metrics-out file");
+      std::cout << "wrote metrics to " << metrics_path << '\n';
     }
     return 0;
   } catch (const UsageError& e) {
