@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Gate benchmark JSON against provenance and history (stdlib only).
+
+Two subcommands:
+
+  check FILE...
+      Each BENCH_*.json must carry a run manifest (tool, config, git_sha,
+      host_threads, schema_versions) and, where present, green invariants:
+      every "bit_identical" leaf must be true and "guardrail_ok" /
+      "all_bit_identical" must be true.
+
+  compare OLD NEW [--max-slowdown FRAC]
+      Diff two runs of the same bench.  Refuses (exit 2) when the bench
+      names differ or the manifests disagree on schema versions — numbers
+      produced by different schema generations are not comparable.  Reports
+      (but tolerates) git_sha / host_threads differences.  Then walks every
+      numeric leaf shared by both documents: keys ending in "_s" are
+      lower-is-better timings and fail when NEW exceeds OLD by more than
+      --max-slowdown (default 0.10); keys ending in "_per_s" are
+      higher-is-better throughputs and fail on the mirrored drop.  Any
+      true->false flip of a boolean invariant leaf fails.
+
+Exit code 0 = gate passed, 1 = check failed, 2 = usage/compat error,
+3 = regression detected by compare.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def walk(node, prefix=""):
+    """Yield (dotted_path, leaf_value) for every scalar leaf."""
+    if isinstance(node, dict):
+        for k, v in node.items():
+            yield from walk(v, f"{prefix}.{k}" if prefix else k)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            yield from walk(v, f"{prefix}[{i}]")
+    else:
+        yield prefix, node
+
+
+MANIFEST_FIELDS = ("tool", "config", "git_sha", "host_threads",
+                   "schema_versions")
+
+
+def check_manifest(path: str, doc) -> list[str]:
+    problems = []
+    manifest = doc.get("manifest")
+    if not isinstance(manifest, dict):
+        problems.append(f"{path}: no run manifest (re-run the bench from a "
+                        f"build with src/obs/manifest.cpp)")
+        return problems
+    for field in MANIFEST_FIELDS:
+        if field not in manifest:
+            problems.append(f"{path}: manifest lacks {field!r}")
+    versions = manifest.get("schema_versions")
+    if not isinstance(versions, dict) or not versions:
+        problems.append(f"{path}: manifest schema_versions missing/empty")
+    return problems
+
+
+def cmd_check(paths: list[str]) -> int:
+    problems = []
+    for path in paths:
+        doc = load(path)
+        problems += check_manifest(path, doc)
+        for key, value in walk(doc):
+            leaf = key.rsplit(".", 1)[-1]
+            if leaf == "bit_identical" and value is not True:
+                problems.append(f"{path}: {key} is {value!r}")
+            if leaf in ("guardrail_ok", "all_bit_identical") \
+                    and value is not True:
+                problems.append(f"{path}: {key} is {value!r}")
+    for p in problems:
+        print(f"bench_gate: FAIL: {p}", file=sys.stderr)
+    if not problems:
+        print(f"bench_gate: check OK ({len(paths)} file(s))")
+    return 1 if problems else 0
+
+
+def cmd_compare(old_path: str, new_path: str, max_slowdown: float) -> int:
+    old, new = load(old_path), load(new_path)
+
+    if old.get("bench") != new.get("bench"):
+        print(
+            f"bench_gate: cannot compare {old.get('bench')!r} against "
+            f"{new.get('bench')!r}", file=sys.stderr)
+        return 2
+    om, nm = old.get("manifest") or {}, new.get("manifest") or {}
+    ov, nv = om.get("schema_versions"), nm.get("schema_versions")
+    if ov is not None and nv is not None and ov != nv:
+        print(
+            f"bench_gate: schema versions differ ({ov} vs {nv}); "
+            f"refusing to compare across schema generations", file=sys.stderr)
+        return 2
+    for field in ("git_sha", "host_threads"):
+        if om.get(field) != nm.get(field):
+            print(f"bench_gate: note: {field} differs "
+                  f"({om.get(field)!r} vs {nm.get(field)!r})")
+
+    old_leaves = dict(walk(old))
+    regressions = []
+    compared = 0
+    for key, new_value in walk(new):
+        if key not in old_leaves or key.startswith("manifest."):
+            continue
+        old_value = old_leaves[key]
+        leaf = key.rsplit(".", 1)[-1]
+        if isinstance(old_value, bool) or isinstance(new_value, bool):
+            if old_value is True and new_value is not True:
+                regressions.append(f"{key}: {old_value} -> {new_value}")
+                compared += 1
+            continue
+        if not isinstance(old_value, (int, float)) \
+                or not isinstance(new_value, (int, float)):
+            continue
+        if leaf.endswith("_s") and old_value > 0:
+            compared += 1
+            if new_value > old_value * (1.0 + max_slowdown):
+                regressions.append(
+                    f"{key}: {old_value:g} s -> {new_value:g} s "
+                    f"(+{(new_value / old_value - 1.0) * 100.0:.1f}%)")
+        elif leaf.endswith("_per_s") and old_value > 0:
+            compared += 1
+            if new_value < old_value / (1.0 + max_slowdown):
+                regressions.append(
+                    f"{key}: {old_value:g}/s -> {new_value:g}/s "
+                    f"({(new_value / old_value - 1.0) * 100.0:.1f}%)")
+    for r in regressions:
+        print(f"bench_gate: REGRESSION: {r}", file=sys.stderr)
+    if regressions:
+        print(
+            f"bench_gate: {len(regressions)} regression(s) across "
+            f"{compared} compared leaves", file=sys.stderr)
+        return 3
+    print(f"bench_gate: compare OK ({compared} leaves within "
+          f"{max_slowdown * 100.0:.0f}% of {old_path})")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    p_check = sub.add_parser("check", help="verify manifests and invariants")
+    p_check.add_argument("files", nargs="+")
+    p_cmp = sub.add_parser("compare", help="diff two runs of one bench")
+    p_cmp.add_argument("old")
+    p_cmp.add_argument("new")
+    p_cmp.add_argument("--max-slowdown", type=float, default=0.10,
+                       help="tolerated fractional slowdown (default 0.10)")
+    args = ap.parse_args()
+    if args.cmd == "check":
+        return cmd_check(args.files)
+    return cmd_compare(args.old, args.new, args.max_slowdown)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

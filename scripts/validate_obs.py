@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
 """Validate hjsvd observability outputs (stdlib only).
 
-Checks a Chrome trace-event JSON (hjsvd.trace.v1) and/or a metrics JSON
-(hjsvd.metrics.v1) produced by `hjsvd_cli --trace-out/--metrics-out`, the
-benches, or any library user:
+Checks a Chrome trace-event JSON (hjsvd.trace.v1 or .v2), a metrics JSON
+(hjsvd.metrics.v1), and/or an offline report (hjsvd.report.v1) produced by
+`hjsvd_cli --trace-out/--metrics-out`, `hjsvd_report`, the benches, or any
+library user:
 
   * JSON well-formedness and schema tag.
   * Trace: every event carries ph/pid/tid/ts; complete events ('X') have a
-    non-negative dur; spans nest (no interleaving) per (pid, tid) timeline.
+    non-negative dur; counter events ('C', trace.v2) carry a numeric
+    args.value; spans nest (no interleaving) per (pid, tid) timeline.
   * Metrics: every metric has name/type/unit; names are unique and sorted;
     per-type required fields are present.
+  * Report: run/phases/cross_checks blocks present with sane types.
   * Optionally, that a list of required span names / metric names occurs.
 
 Exit code 0 = valid, 1 = validation failure, 2 = usage error.
@@ -18,6 +21,7 @@ Usage:
   scripts/validate_obs.py --trace trace.json --metrics metrics.json \
       --require-span sweep --require-span generate \
       --require-metric svd.sweep.offdiag_frobenius
+  scripts/validate_obs.py --report report.json
 """
 from __future__ import annotations
 
@@ -25,8 +29,10 @@ import argparse
 import json
 import sys
 
-TRACE_SCHEMA = "hjsvd.trace.v1"
+# trace.v2 = v1 + counter ('C') events; v1 documents remain valid input.
+TRACE_SCHEMAS = ("hjsvd.trace.v1", "hjsvd.trace.v2")
 METRICS_SCHEMA = "hjsvd.metrics.v1"
+REPORT_SCHEMA = "hjsvd.report.v1"
 METRIC_TYPES = {"counter", "gauge", "histogram", "series"}
 EPS = 1e-6  # double round-off tolerance at span boundaries (microseconds)
 
@@ -46,8 +52,11 @@ def load(path: str):
 
 def check_trace(path: str, required_spans: list[str]) -> int:
     doc = load(path)
-    if doc.get("schema") != TRACE_SCHEMA:
-        fail(f"{path}: schema is {doc.get('schema')!r}, want {TRACE_SCHEMA!r}")
+    if doc.get("schema") not in TRACE_SCHEMAS:
+        fail(
+            f"{path}: schema is {doc.get('schema')!r}, "
+            f"want one of {TRACE_SCHEMAS}"
+        )
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail(f"{path}: traceEvents missing or empty")
@@ -70,6 +79,12 @@ def check_trace(path: str, required_spans: list[str]) -> int:
             timelines.setdefault((e["pid"], e["tid"]), []).append(
                 (e["ts"], e["ts"] + e["dur"], e.get("name", "?"))
             )
+        if e["ph"] == "C":
+            value = e.get("args", {}).get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(
+                    f"{path}: counter event {i} lacks numeric args.value: {e}"
+                )
 
     # Spans on one timeline must nest like call frames, never interleave.
     for (pid, tid), spans in timelines.items():
@@ -136,10 +151,40 @@ def check_metrics(path: str, required_metrics: list[str]) -> int:
     return len(metrics)
 
 
+def check_report(path: str) -> None:
+    doc = load(path)
+    if doc.get("schema") != REPORT_SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want {REPORT_SCHEMA!r}")
+    run = doc.get("run")
+    if not isinstance(run, dict):
+        fail(f"{path}: run block missing or not an object")
+    for field in ("rows", "cols", "sweeps", "converged", "wall_s"):
+        if field not in run:
+            fail(f"{path}: run block lacks {field!r}")
+    phases = doc.get("phases")
+    if not isinstance(phases, list):
+        fail(f"{path}: phases missing or not a list")
+    for i, p in enumerate(phases):
+        for field in ("cat", "name", "total_s", "count", "frac_of_wall"):
+            if field not in p:
+                fail(f"{path}: phase {i} lacks {field!r}: {p}")
+    totals = [p["total_s"] for p in phases]
+    if totals != sorted(totals, reverse=True):
+        fail(f"{path}: phases are not sorted by descending total_s")
+    checks = doc.get("cross_checks")
+    if not isinstance(checks, dict):
+        fail(f"{path}: cross_checks missing or not an object")
+    for field in ("generator_busy_frac", "generator_is_bottleneck"):
+        if field not in checks:
+            fail(f"{path}: cross_checks lacks {field!r}")
+    print(f"validate_obs: {path}: OK ({len(phases)} phases)")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="trace-event JSON to validate")
     ap.add_argument("--metrics", help="metrics JSON to validate")
+    ap.add_argument("--report", help="hjsvd_report JSON to validate")
     ap.add_argument(
         "--require-span",
         action="append",
@@ -153,12 +198,14 @@ def main() -> int:
         help="metric name that must appear in the metrics (repeatable)",
     )
     args = ap.parse_args()
-    if not args.trace and not args.metrics:
-        ap.error("need --trace and/or --metrics")
+    if not args.trace and not args.metrics and not args.report:
+        ap.error("need --trace, --metrics and/or --report")
     if args.trace:
         check_trace(args.trace, args.require_span)
     if args.metrics:
         check_metrics(args.metrics, args.require_metric)
+    if args.report:
+        check_report(args.report)
     return 0
 
 

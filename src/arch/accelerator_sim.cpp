@@ -191,6 +191,11 @@ AcceleratorRunResult simulate_accelerator(const Matrix& a,
                                  static_cast<double>(done - start) *
                                      us_per_cycle,
                                  group_args);
+            // Counter track mirrors the metrics series on simulated time, so
+            // Perfetto can plot FIFO fill level under the group spans.
+            trace->emit_counter(rot_tid, "sim", "sim.param_fifo.occupancy",
+                                static_cast<double>(issue) * us_per_cycle,
+                                static_cast<double>(occupancy));
           }
           if (metrics != nullptr)
             metrics->series_append("sim.param_fifo.occupancy",

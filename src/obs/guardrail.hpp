@@ -1,0 +1,34 @@
+// Overhead-guardrail predicate for observability benchmarks.
+//
+// The obs-overhead bench times the same workload with tracing+metrics
+// enabled and disabled and asserts the two are close.  The original check
+// was asymmetric — it only tested "disabled within 5% of enabled", so a
+// build where *enabling* observability cost 6% still passed.  The predicate
+// here is symmetric: the absolute gap must be within `frac` of the slower
+// side, so either direction of slowdown trips the guardrail.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace hjsvd::obs {
+
+/// True iff |a_s - b_s| <= frac * max(a_s, b_s).  Symmetric in its first two
+/// arguments; degenerate non-positive timings fail the guardrail (a zero or
+/// negative wall time means the measurement itself is broken).
+constexpr bool overhead_within(double a_s, double b_s, double frac) {
+  if (!(a_s > 0.0) || !(b_s > 0.0) || !(frac >= 0.0)) return false;
+  const double hi = std::max(a_s, b_s);
+  const double lo = std::min(a_s, b_s);
+  return hi - lo <= frac * hi;
+}
+
+/// Signed overhead of `enabled_s` relative to `disabled_s`
+/// ((enabled - disabled) / disabled); positive means observability made the
+/// run slower.  Returns 0 for degenerate baselines.
+constexpr double overhead_frac(double enabled_s, double disabled_s) {
+  if (!(disabled_s > 0.0)) return 0.0;
+  return (enabled_s - disabled_s) / disabled_s;
+}
+
+}  // namespace hjsvd::obs

@@ -128,7 +128,7 @@ std::optional<std::string> MetricsRegistry::unit(std::string_view name) const {
 
 void MetricsRegistry::write(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mu_);
-  os << "{\n\"schema\": \"hjsvd.metrics.v1\",\n\"metrics\": [\n";
+  os << "{\n\"schema\": \"" << kMetricsSchema << "\",\n\"metrics\": [\n";
   bool first = true;
   for (const auto& [name, metric] : metrics_) {
     if (!first) os << ",\n";

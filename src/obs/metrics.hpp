@@ -35,6 +35,9 @@
 
 namespace hjsvd::obs {
 
+/// Schema tag written into every serialized metrics document.
+inline constexpr const char* kMetricsSchema = "hjsvd.metrics.v1";
+
 /// Thread-safe (coarse mutex) metrics collector.  Designed for updates at
 /// round/sweep granularity, not per-rotation hot loops.
 class MetricsRegistry {

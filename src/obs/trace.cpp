@@ -135,9 +135,28 @@ void TraceRecorder::emit_instant(std::uint32_t tid, const char* cat,
   log->events.push_back(std::move(e));
 }
 
+void TraceRecorder::emit_counter(std::uint32_t tid, const char* cat,
+                                 std::string name, double ts_us,
+                                 double value) {
+  ThreadLog* log = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    HJSVD_ENSURE(tid < logs_.size(), "unknown trace tid");
+    log = logs_[tid].get();
+  }
+  Event e;
+  e.ph = 'C';
+  e.name = std::move(name);
+  e.cat = cat;
+  e.ts_us = ts_us;
+  e.value = value;
+  e.args_json = obs::ArgsBuilder().add("value", value).str();
+  log->events.push_back(std::move(e));
+}
+
 void TraceRecorder::write(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mu_);
-  os << "{\n\"schema\": \"hjsvd.trace.v1\",\n"
+  os << "{\n\"schema\": \"" << kTraceSchema << "\",\n"
      << "\"displayTimeUnit\": \"ms\",\n"
      << "\"otherData\": {\"time_unit\": \"us\", \"software_pid\": "
      << kSoftwarePid << ", \"simulator_pid\": " << kSimulatorPid << "},\n"

@@ -8,12 +8,20 @@
 // construction on the steady clock; the accelerator simulator registers its
 // units under a separate process id and timestamps events in *simulated*
 // time, so hardware and software timelines can be loaded side by side.
+// Counter samples (ph "C") render as Perfetto counter tracks next to the
+// spans — queue and FIFO occupancy timelines live there.
 //
 // Serialized format (docs/OBSERVABILITY.md has the event taxonomy):
-//   { "schema": "hjsvd.trace.v1", "displayTimeUnit": "ms",
+//   { "schema": "hjsvd.trace.v2", "displayTimeUnit": "ms",
 //     "traceEvents": [ {"ph":"M",...thread/process names...},
 //                      {"ph":"X","name":"sweep","cat":"svd","pid":1,
-//                       "tid":2,"ts":12.5,"dur":801.2,"args":{...}}, ... ] }
+//                       "tid":2,"ts":12.5,"dur":801.2,"args":{...}},
+//                      {"ph":"C","name":"pipeline.queue.occupancy","pid":1,
+//                       "tid":0,"ts":13.0,"args":{"value":5}}, ... ] }
+//
+// Schema history: hjsvd.trace.v2 is hjsvd.trace.v1 plus counter events
+// (ph "C").  v1 consumers that only read "X"/"M"/"i" events can treat the
+// two versions identically — nothing was removed or renamed.
 #pragma once
 
 #include <chrono>
@@ -30,6 +38,10 @@ namespace hjsvd::obs {
 /// Well-known process ids of the two timelines in one trace file.
 inline constexpr int kSoftwarePid = 1;   // wall-clock (steady_clock) events
 inline constexpr int kSimulatorPid = 2;  // simulated-time (cycle) events
+
+/// Schema tag written into every serialized trace document.  v2 = v1 plus
+/// counter events (ph "C"); see the header comment for the compat contract.
+inline constexpr const char* kTraceSchema = "hjsvd.trace.v2";
 
 /// Incrementally builds the JSON object for an event's "args" field.
 class ArgsBuilder {
@@ -77,17 +89,24 @@ class TraceRecorder {
   void emit_instant(std::uint32_t tid, const char* cat, std::string name,
                     double ts_us, std::string args_json = "{}");
 
+  /// Records a counter sample: Perfetto draws one counter track per
+  /// (pid, name) from the ph "C" events, so successive samples with the
+  /// same name form a plottable occupancy timeline alongside the spans.
+  void emit_counter(std::uint32_t tid, const char* cat, std::string name,
+                    double ts_us, double value);
+
   /// Serializes the Chrome trace-event JSON document.
   void write(std::ostream& os) const;
   std::string to_json() const;
 
   /// One recorded event (test/inspection access via snapshot()).
   struct Event {
-    char ph = 'X';  // 'X' complete, 'i' instant
+    char ph = 'X';  // 'X' complete, 'i' instant, 'C' counter
     std::string name;
     const char* cat = "";
     double ts_us = 0.0;
     double dur_us = 0.0;
+    double value = 0.0;  // counter sample ('C' only)
     std::string args_json;
     std::uint32_t tid = 0;
     int pid = kSoftwarePid;

@@ -1,0 +1,81 @@
+// Minimal JSON reader for the offline report tool.
+//
+// hjsvd's recorders *emit* JSON via hand-rolled writers (obs/trace.cpp,
+// obs/metrics.cpp); the report tool is the first component that has to read
+// those documents back, so this is the repo's first parser.  It is a small
+// recursive-descent parser over the full JSON grammar — objects, arrays,
+// strings with escapes, numbers, booleans, null — with line/column-aware
+// error messages.  It is deliberately not a general-purpose library: no
+// streaming, no SAX interface, documents are loaded whole (the largest
+// artifact in practice is a few tens of MB of trace events).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hjsvd::report {
+
+/// A parsed JSON document node.  Object member order is not preserved
+/// (members are stored sorted by key); hjsvd documents never rely on order.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw hjsvd::Error when the node has another type.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+
+  /// Object member lookup: nullptr when absent (or when not an object —
+  /// callers probing optional fields shouldn't need a type check first).
+  const JsonValue* find(std::string_view key) const;
+
+  /// Object member lookup that throws hjsvd::Error when missing.
+  const JsonValue& at(std::string_view key) const;
+
+  /// Convenience: member's numeric value, or `fallback` when the member is
+  /// absent; throws if present with a non-numeric type.
+  double number_or(std::string_view key, double fallback) const;
+
+  /// Convenience: member's string value, or "" when absent.
+  std::string string_or(std::string_view key, std::string fallback = "") const;
+
+  // Construction (used by the parser; tests may build values directly).
+  static JsonValue make_null();
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> v);
+  static JsonValue make_object(std::map<std::string, JsonValue, std::less<>> v);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue, std::less<>> object_;
+};
+
+/// Parses a complete JSON document; throws hjsvd::Error with a
+/// line:column-prefixed message on malformed input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+/// Reads and parses a JSON file; throws hjsvd::Error on I/O or parse errors
+/// (the message names the file).
+JsonValue parse_json_file(const std::string& path);
+
+}  // namespace hjsvd::report

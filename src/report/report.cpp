@@ -1,0 +1,616 @@
+#include "report/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/table.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hjsvd::report {
+namespace {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+const char* json_bool(bool v) { return v ? "true" : "false"; }
+
+/// Nearest-rank percentile of an unsorted sample copy (matches the
+/// histogram summarization in obs/metrics.cpp).
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  return samples[std::min(samples.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+SeriesStats series_stats(const std::vector<double>& values) {
+  SeriesStats out;
+  out.samples = values.size();
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+    out.max = std::max(out.max, v);
+  }
+  out.mean = sum / static_cast<double>(values.size());
+  out.p95 = percentile(values, 95);
+  return out;
+}
+
+/// Indexed view over an hjsvd.metrics.v1 document's "metrics" array.
+class MetricsView {
+ public:
+  explicit MetricsView(const JsonValue& doc) {
+    const std::string schema = doc.string_or("schema");
+    if (schema != obs::kMetricsSchema)
+      throw SchemaError("metrics document has schema '" + schema +
+                        "', expected '" + obs::kMetricsSchema + "'");
+    const JsonValue* list = doc.find("metrics");
+    if (list == nullptr || !list->is_array())
+      throw SchemaError("metrics document has no \"metrics\" array");
+    for (const JsonValue& m : list->as_array())
+      by_name_.emplace(m.string_or("name"), &m);
+  }
+
+  /// Gauge or counter value; `fallback` when absent or of another type.
+  double value_or(std::string_view name, double fallback) const {
+    const JsonValue* m = lookup(name);
+    if (m == nullptr) return fallback;
+    const std::string type = m->string_or("type");
+    if (type != "gauge" && type != "counter") return fallback;
+    return m->number_or("value", fallback);
+  }
+
+  bool has(std::string_view name) const { return lookup(name) != nullptr; }
+
+  /// Series values (the y column), empty when absent.
+  std::vector<double> series_values(std::string_view name) const {
+    std::vector<double> out;
+    const JsonValue* m = lookup(name);
+    if (m == nullptr || m->string_or("type") != "series") return out;
+    const JsonValue* points = m->find("points");
+    if (points == nullptr || !points->is_array()) return out;
+    for (const JsonValue& p : points->as_array()) {
+      const auto& pair = p.as_array();
+      if (pair.size() == 2) out.push_back(pair[1].as_number());
+    }
+    return out;
+  }
+
+  /// Full (index, value) series points.
+  std::vector<std::pair<double, double>> series_points(
+      std::string_view name) const {
+    std::vector<std::pair<double, double>> out;
+    const JsonValue* m = lookup(name);
+    if (m == nullptr || m->string_or("type") != "series") return out;
+    const JsonValue* points = m->find("points");
+    if (points == nullptr || !points->is_array()) return out;
+    for (const JsonValue& p : points->as_array()) {
+      const auto& pair = p.as_array();
+      if (pair.size() == 2)
+        out.emplace_back(pair[0].as_number(), pair[1].as_number());
+    }
+    return out;
+  }
+
+ private:
+  const JsonValue* lookup(std::string_view name) const {
+    const auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : it->second;
+  }
+
+  std::map<std::string, const JsonValue*, std::less<>> by_name_;
+};
+
+void check_trace_schema(const JsonValue& trace_doc) {
+  const std::string schema = trace_doc.string_or("schema");
+  if (schema != "hjsvd.trace.v1" && schema != "hjsvd.trace.v2")
+    throw SchemaError("trace document has schema '" + schema +
+                      "', expected hjsvd.trace.v1 or hjsvd.trace.v2");
+  const JsonValue* events = trace_doc.find("traceEvents");
+  if (events == nullptr || !events->is_array())
+    throw SchemaError("trace document has no \"traceEvents\" array");
+}
+
+void aggregate_phases(const JsonValue& trace_doc, RunReport* report) {
+  const JsonValue* other = trace_doc.find("otherData");
+  const int software_pid =
+      other == nullptr
+          ? obs::kSoftwarePid
+          : static_cast<int>(other->number_or("software_pid",
+                                              obs::kSoftwarePid));
+  std::map<std::pair<std::string, std::string>, PhaseStat> by_key;
+  double min_start_us = 0.0, max_end_us = 0.0;
+  bool any_span = false;
+  for (const JsonValue& e : trace_doc.at("traceEvents").as_array()) {
+    if (e.string_or("ph") != "X") continue;
+    if (static_cast<int>(e.number_or("pid", -1)) != software_pid) continue;
+    const double ts = e.number_or("ts", 0.0);
+    const double dur = e.number_or("dur", 0.0);
+    if (!any_span || ts < min_start_us) min_start_us = ts;
+    if (!any_span || ts + dur > max_end_us) max_end_us = ts + dur;
+    any_span = true;
+    const std::pair<std::string, std::string> key{e.string_or("cat"),
+                                                  e.string_or("name")};
+    PhaseStat& stat = by_key[key];
+    stat.cat = key.first;
+    stat.name = key.second;
+    stat.total_s += dur * 1e-6;
+    ++stat.count;
+  }
+  if (report->wall_s <= 0.0 && any_span)
+    report->wall_s = (max_end_us - min_start_us) * 1e-6;
+  for (auto& [key, stat] : by_key) {
+    if (report->wall_s > 0.0) stat.frac_of_wall = stat.total_s / report->wall_s;
+    report->phases.push_back(std::move(stat));
+  }
+  std::sort(report->phases.begin(), report->phases.end(),
+            [](const PhaseStat& a, const PhaseStat& b) {
+              if (a.total_s != b.total_s) return a.total_s > b.total_s;
+              return std::tie(a.cat, a.name) < std::tie(b.cat, b.name);
+            });
+}
+
+void fill_pipeline(const MetricsView& metrics, RunReport* report) {
+  if (!metrics.has("pipeline.wall_s")) return;
+  report->has_pipeline = true;
+  ThreadStat gen;
+  gen.name = "generator";
+  gen.busy_s = metrics.value_or("pipeline.generator.busy_s", 0.0);
+  gen.stall_s = metrics.value_or("pipeline.generator.stall_s", 0.0);
+  report->threads.push_back(gen);
+  for (std::size_t w = 0;; ++w) {
+    const std::string prefix = "pipeline.worker." + std::to_string(w) + ".";
+    if (!metrics.has(prefix + "busy_s")) break;
+    ThreadStat t;
+    t.name = "worker." + std::to_string(w);
+    t.busy_s = metrics.value_or(prefix + "busy_s", 0.0);
+    t.stall_s = metrics.value_or(prefix + "stall_s", 0.0);
+    report->threads.push_back(std::move(t));
+  }
+  for (ThreadStat& t : report->threads)
+    if (report->wall_s > 0.0) t.busy_frac_of_wall = t.busy_s / report->wall_s;
+  report->queue_capacity = metrics.value_or("pipeline.queue.capacity", 0.0);
+  report->queue_high_water = metrics.value_or("pipeline.queue.high_water", 0.0);
+  report->queue_occupancy =
+      series_stats(metrics.series_values("pipeline.queue.occupancy"));
+}
+
+void fill_sim(const MetricsView& metrics, RunReport* report) {
+  if (!metrics.has("sim.param_fifo.depth")) return;
+  report->has_sim = true;
+  report->sim_fifo_depth_groups = metrics.value_or("sim.param_fifo.depth", 0.0);
+  report->sim_fifo_high_water_groups =
+      metrics.value_or("sim.param_fifo.high_water", 0.0);
+  report->sim_fifo_high_water_rotations =
+      metrics.value_or("sim.param_fifo.high_water_rotations", 0.0);
+  report->sim_fifo_occupancy =
+      series_stats(metrics.series_values("sim.param_fifo.occupancy"));
+  report->sim_update_utilization =
+      metrics.value_or("sim.update_utilization", 0.0);
+}
+
+void fill_convergence(const MetricsView& metrics, RunReport* report) {
+  const auto frob = metrics.series_points("svd.sweep.offdiag_frobenius");
+  const auto rel = metrics.series_points("svd.sweep.max_rel_offdiag");
+  const auto rot = metrics.series_points("svd.sweep.rotations");
+  const auto skip = metrics.series_points("svd.sweep.skipped");
+  for (std::size_t i = 0; i < frob.size(); ++i) {
+    ConvergencePoint p;
+    p.sweep = static_cast<std::uint64_t>(frob[i].first);
+    p.offdiag_frobenius = frob[i].second;
+    if (i < rel.size()) p.max_rel_offdiag = rel[i].second;
+    if (i < rot.size()) p.rotations = static_cast<std::uint64_t>(rot[i].second);
+    if (i < skip.size()) p.skipped = static_cast<std::uint64_t>(skip[i].second);
+    report->convergence.push_back(p);
+  }
+}
+
+void fill_cross_checks(RunReport* report) {
+  if (report->has_pipeline && report->wall_s > 0.0 &&
+      !report->threads.empty()) {
+    report->generator_busy_frac = report->threads.front().busy_frac_of_wall;
+    double worker_sum = 0.0;
+    std::size_t workers = 0;
+    double max_worker_frac = 0.0;
+    for (std::size_t i = 1; i < report->threads.size(); ++i) {
+      worker_sum += report->threads[i].busy_frac_of_wall;
+      max_worker_frac =
+          std::max(max_worker_frac, report->threads[i].busy_frac_of_wall);
+      ++workers;
+    }
+    if (workers > 0)
+      report->mean_worker_busy_frac =
+          worker_sum / static_cast<double>(workers);
+    report->generator_is_bottleneck =
+        report->generator_busy_frac > max_worker_frac;
+  }
+  if (report->has_pipeline && report->has_sim &&
+      report->sim_fifo_high_water_rotations > 0.0) {
+    report->queue_vs_sim_bound_ratio =
+        report->queue_high_water / report->sim_fifo_high_water_rotations;
+    report->software_queue_within_sim_bound =
+        report->queue_high_water <= report->sim_fifo_high_water_rotations;
+  }
+}
+
+void append_series_stats(std::ostringstream& os, const SeriesStats& s) {
+  os << "{\"samples\": " << s.samples << ", \"mean\": " << json_number(s.mean)
+     << ", \"p95\": " << json_number(s.p95)
+     << ", \"max\": " << json_number(s.max) << '}';
+}
+
+SeriesStats series_stats_from_json(const JsonValue& v) {
+  SeriesStats out;
+  out.samples = static_cast<std::uint64_t>(v.number_or("samples", 0.0));
+  out.mean = v.number_or("mean", 0.0);
+  out.p95 = v.number_or("p95", 0.0);
+  out.max = v.number_or("max", 0.0);
+  return out;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string pct(double frac) { return format_fixed(frac * 100.0, 1) + "%"; }
+
+}  // namespace
+
+RunReport analyze_run(const JsonValue& trace_doc,
+                      const JsonValue& metrics_doc) {
+  check_trace_schema(trace_doc);
+  const MetricsView metrics(metrics_doc);
+  RunReport report;
+  report.rows = static_cast<std::uint64_t>(metrics.value_or("svd.rows", 0.0));
+  report.cols = static_cast<std::uint64_t>(metrics.value_or("svd.cols", 0.0));
+  report.sweeps =
+      static_cast<std::uint64_t>(metrics.value_or("svd.sweeps", 0.0));
+  report.converged = metrics.value_or("svd.converged", 0.0) != 0.0;
+  report.rotations_applied =
+      static_cast<std::uint64_t>(metrics.value_or("svd.rotations_applied", 0.0));
+  report.rotations_skipped =
+      static_cast<std::uint64_t>(metrics.value_or("svd.rotations_skipped", 0.0));
+  report.wall_s = metrics.value_or("pipeline.wall_s", 0.0);
+  aggregate_phases(trace_doc, &report);
+  fill_pipeline(metrics, &report);
+  fill_sim(metrics, &report);
+  fill_convergence(metrics, &report);
+  fill_cross_checks(&report);
+  return report;
+}
+
+std::string report_json(const RunReport& r) {
+  std::ostringstream os;
+  os << "{\n\"schema\": \"" << obs::kReportSchema << "\",\n";
+  os << "\"run\": {\"rows\": " << r.rows << ", \"cols\": " << r.cols
+     << ", \"sweeps\": " << r.sweeps
+     << ", \"converged\": " << json_bool(r.converged)
+     << ", \"rotations_applied\": " << r.rotations_applied
+     << ", \"rotations_skipped\": " << r.rotations_skipped
+     << ", \"wall_s\": " << json_number(r.wall_s) << "},\n";
+  os << "\"phases\": [";
+  for (std::size_t i = 0; i < r.phases.size(); ++i) {
+    const PhaseStat& p = r.phases[i];
+    os << (i == 0 ? "\n" : ",\n") << "  {\"cat\": " << quoted(p.cat)
+       << ", \"name\": " << quoted(p.name)
+       << ", \"total_s\": " << json_number(p.total_s)
+       << ", \"count\": " << p.count
+       << ", \"frac_of_wall\": " << json_number(p.frac_of_wall) << '}';
+  }
+  os << "\n],\n";
+  if (r.has_pipeline) {
+    os << "\"pipeline\": {\"threads\": [";
+    for (std::size_t i = 0; i < r.threads.size(); ++i) {
+      const ThreadStat& t = r.threads[i];
+      os << (i == 0 ? "\n" : ",\n") << "  {\"name\": " << quoted(t.name)
+         << ", \"busy_s\": " << json_number(t.busy_s)
+         << ", \"stall_s\": " << json_number(t.stall_s)
+         << ", \"busy_frac_of_wall\": " << json_number(t.busy_frac_of_wall)
+         << '}';
+    }
+    os << "\n], \"queue_capacity\": " << json_number(r.queue_capacity)
+       << ", \"queue_high_water\": " << json_number(r.queue_high_water)
+       << ", \"queue_occupancy\": ";
+    append_series_stats(os, r.queue_occupancy);
+    os << "},\n";
+  } else {
+    os << "\"pipeline\": null,\n";
+  }
+  if (r.has_sim) {
+    os << "\"sim\": {\"param_fifo_depth_groups\": "
+       << json_number(r.sim_fifo_depth_groups)
+       << ", \"param_fifo_high_water_groups\": "
+       << json_number(r.sim_fifo_high_water_groups)
+       << ", \"param_fifo_high_water_rotations\": "
+       << json_number(r.sim_fifo_high_water_rotations)
+       << ", \"param_fifo_occupancy\": ";
+    append_series_stats(os, r.sim_fifo_occupancy);
+    os << ", \"update_utilization\": "
+       << json_number(r.sim_update_utilization) << "},\n";
+  } else {
+    os << "\"sim\": null,\n";
+  }
+  os << "\"convergence\": [";
+  for (std::size_t i = 0; i < r.convergence.size(); ++i) {
+    const ConvergencePoint& p = r.convergence[i];
+    os << (i == 0 ? "\n" : ",\n") << "  {\"sweep\": " << p.sweep
+       << ", \"offdiag_frobenius\": " << json_number(p.offdiag_frobenius)
+       << ", \"max_rel_offdiag\": " << json_number(p.max_rel_offdiag)
+       << ", \"rotations\": " << p.rotations << ", \"skipped\": " << p.skipped
+       << '}';
+  }
+  os << "\n],\n";
+  os << "\"cross_checks\": {\"generator_busy_frac\": "
+     << json_number(r.generator_busy_frac)
+     << ", \"mean_worker_busy_frac\": "
+     << json_number(r.mean_worker_busy_frac)
+     << ", \"generator_is_bottleneck\": "
+     << json_bool(r.generator_is_bottleneck)
+     << ", \"queue_vs_sim_bound_ratio\": "
+     << json_number(r.queue_vs_sim_bound_ratio)
+     << ", \"software_queue_within_sim_bound\": "
+     << json_bool(r.software_queue_within_sim_bound) << "}\n}\n";
+  return os.str();
+}
+
+std::string report_table(const RunReport& r) {
+  std::ostringstream os;
+  os << "run: " << r.rows << "x" << r.cols << ", sweeps " << r.sweeps
+     << (r.converged ? " (converged)" : " (NOT converged)") << ", rotations "
+     << r.rotations_applied << " applied / " << r.rotations_skipped
+     << " skipped, wall " << format_duration(r.wall_s) << "\n\n";
+
+  if (!r.phases.empty()) {
+    AsciiTable phases({"cat", "phase", "total", "count", "% of wall"});
+    phases.set_caption("Per-phase wall-clock breakdown (spans nest; "
+                       "fractions are per-name shares, not a partition)");
+    for (const PhaseStat& p : r.phases)
+      phases.add_row({p.cat, p.name, format_duration(p.total_s),
+                      std::to_string(p.count), pct(p.frac_of_wall)});
+    os << phases.to_string() << '\n';
+  }
+
+  if (r.has_pipeline) {
+    AsciiTable threads({"thread", "busy", "stall", "busy % of wall"});
+    threads.set_caption("Pipelined-engine threads");
+    for (const ThreadStat& t : r.threads)
+      threads.add_row({t.name, format_duration(t.busy_s),
+                       format_duration(t.stall_s),
+                       pct(t.busy_frac_of_wall)});
+    os << threads.to_string() << '\n';
+    os << "queue: capacity " << format_fixed(r.queue_capacity, 0)
+       << " rotations, high-water " << format_fixed(r.queue_high_water, 0)
+       << ", occupancy mean " << format_fixed(r.queue_occupancy.mean, 2)
+       << " / p95 " << format_fixed(r.queue_occupancy.p95, 2) << " / max "
+       << format_fixed(r.queue_occupancy.max, 0) << " over "
+       << r.queue_occupancy.samples << " samples\n\n";
+  }
+
+  if (r.has_sim) {
+    os << "sim: param-FIFO depth " << format_fixed(r.sim_fifo_depth_groups, 0)
+       << " groups, high-water " << format_fixed(r.sim_fifo_high_water_groups, 0)
+       << " groups (= " << format_fixed(r.sim_fifo_high_water_rotations, 0)
+       << " rotations calibrated), occupancy mean "
+       << format_fixed(r.sim_fifo_occupancy.mean, 2) << " / p95 "
+       << format_fixed(r.sim_fifo_occupancy.p95, 2) << " over "
+       << r.sim_fifo_occupancy.samples << " samples, update utilization "
+       << pct(r.sim_update_utilization) << "\n\n";
+  }
+
+  if (!r.convergence.empty()) {
+    AsciiTable conv(
+        {"sweep", "offdiag Frobenius", "max rel offdiag", "rot", "skip"});
+    conv.set_caption("Convergence trajectory (svd.sweep.* series)");
+    for (const ConvergencePoint& p : r.convergence)
+      conv.add_row({std::to_string(p.sweep), format_sci(p.offdiag_frobenius),
+                    format_sci(p.max_rel_offdiag), std::to_string(p.rotations),
+                    std::to_string(p.skipped)});
+    os << conv.to_string() << '\n';
+  }
+
+  os << "cross-checks: generator busy " << pct(r.generator_busy_frac)
+     << " of wall vs mean worker busy " << pct(r.mean_worker_busy_frac)
+     << " -> generator "
+     << (r.generator_is_bottleneck ? "IS" : "is NOT") << " the bottleneck";
+  if (r.queue_vs_sim_bound_ratio > 0.0) {
+    os << "; software queue high-water is "
+       << format_fixed(r.queue_vs_sim_bound_ratio * 100.0, 1)
+       << "% of the sim's calibrated FIFO bound ("
+       << (r.software_queue_within_sim_bound ? "within" : "EXCEEDS")
+       << " bound)";
+  }
+  os << '\n';
+  return os.str();
+}
+
+RunReport report_from_json(const JsonValue& doc) {
+  const std::string schema = doc.string_or("schema");
+  if (schema != obs::kReportSchema)
+    throw SchemaError("report document has schema '" + schema +
+                      "', expected '" + obs::kReportSchema + "'");
+  RunReport r;
+  const JsonValue& run = doc.at("run");
+  r.rows = static_cast<std::uint64_t>(run.number_or("rows", 0.0));
+  r.cols = static_cast<std::uint64_t>(run.number_or("cols", 0.0));
+  r.sweeps = static_cast<std::uint64_t>(run.number_or("sweeps", 0.0));
+  const JsonValue* converged = run.find("converged");
+  r.converged = converged != nullptr && converged->as_bool();
+  r.rotations_applied =
+      static_cast<std::uint64_t>(run.number_or("rotations_applied", 0.0));
+  r.rotations_skipped =
+      static_cast<std::uint64_t>(run.number_or("rotations_skipped", 0.0));
+  r.wall_s = run.number_or("wall_s", 0.0);
+  if (const JsonValue* phases = doc.find("phases");
+      phases != nullptr && phases->is_array()) {
+    for (const JsonValue& p : phases->as_array()) {
+      PhaseStat stat;
+      stat.cat = p.string_or("cat");
+      stat.name = p.string_or("name");
+      stat.total_s = p.number_or("total_s", 0.0);
+      stat.count = static_cast<std::uint64_t>(p.number_or("count", 0.0));
+      stat.frac_of_wall = p.number_or("frac_of_wall", 0.0);
+      r.phases.push_back(std::move(stat));
+    }
+  }
+  if (const JsonValue* pipeline = doc.find("pipeline");
+      pipeline != nullptr && pipeline->is_object()) {
+    r.has_pipeline = true;
+    if (const JsonValue* threads = pipeline->find("threads");
+        threads != nullptr && threads->is_array()) {
+      for (const JsonValue& t : threads->as_array()) {
+        ThreadStat stat;
+        stat.name = t.string_or("name");
+        stat.busy_s = t.number_or("busy_s", 0.0);
+        stat.stall_s = t.number_or("stall_s", 0.0);
+        stat.busy_frac_of_wall = t.number_or("busy_frac_of_wall", 0.0);
+        r.threads.push_back(std::move(stat));
+      }
+    }
+    r.queue_capacity = pipeline->number_or("queue_capacity", 0.0);
+    r.queue_high_water = pipeline->number_or("queue_high_water", 0.0);
+    if (const JsonValue* occ = pipeline->find("queue_occupancy"))
+      r.queue_occupancy = series_stats_from_json(*occ);
+  }
+  if (const JsonValue* sim = doc.find("sim");
+      sim != nullptr && sim->is_object()) {
+    r.has_sim = true;
+    r.sim_fifo_depth_groups = sim->number_or("param_fifo_depth_groups", 0.0);
+    r.sim_fifo_high_water_groups =
+        sim->number_or("param_fifo_high_water_groups", 0.0);
+    r.sim_fifo_high_water_rotations =
+        sim->number_or("param_fifo_high_water_rotations", 0.0);
+    if (const JsonValue* occ = sim->find("param_fifo_occupancy"))
+      r.sim_fifo_occupancy = series_stats_from_json(*occ);
+    r.sim_update_utilization = sim->number_or("update_utilization", 0.0);
+  }
+  if (const JsonValue* conv = doc.find("convergence");
+      conv != nullptr && conv->is_array()) {
+    for (const JsonValue& p : conv->as_array()) {
+      ConvergencePoint point;
+      point.sweep = static_cast<std::uint64_t>(p.number_or("sweep", 0.0));
+      point.offdiag_frobenius = p.number_or("offdiag_frobenius", 0.0);
+      point.max_rel_offdiag = p.number_or("max_rel_offdiag", 0.0);
+      point.rotations =
+          static_cast<std::uint64_t>(p.number_or("rotations", 0.0));
+      point.skipped = static_cast<std::uint64_t>(p.number_or("skipped", 0.0));
+      r.convergence.push_back(point);
+    }
+  }
+  if (const JsonValue* checks = doc.find("cross_checks");
+      checks != nullptr && checks->is_object()) {
+    r.generator_busy_frac = checks->number_or("generator_busy_frac", 0.0);
+    r.mean_worker_busy_frac =
+        checks->number_or("mean_worker_busy_frac", 0.0);
+    const JsonValue* bottleneck = checks->find("generator_is_bottleneck");
+    r.generator_is_bottleneck =
+        bottleneck != nullptr && bottleneck->as_bool();
+    r.queue_vs_sim_bound_ratio =
+        checks->number_or("queue_vs_sim_bound_ratio", 0.0);
+    const JsonValue* within = checks->find("software_queue_within_sim_bound");
+    r.software_queue_within_sim_bound = within != nullptr && within->as_bool();
+  }
+  return r;
+}
+
+namespace {
+
+double total_stall_s(const RunReport& r) {
+  double sum = 0.0;
+  for (const ThreadStat& t : r.threads) sum += t.stall_s;
+  return sum;
+}
+
+}  // namespace
+
+CompareResult compare_reports(const RunReport& baseline,
+                              const RunReport& candidate,
+                              const CompareThresholds& thresholds) {
+  CompareResult out;
+  const auto check = [&](bool failed, const std::string& line) {
+    out.findings.push_back((failed ? "FAIL " : "ok   ") + line);
+    if (failed) out.regressed = true;
+  };
+
+  if (baseline.rows != candidate.rows || baseline.cols != candidate.cols) {
+    check(true, "workload mismatch: baseline " + std::to_string(baseline.rows) +
+                    "x" + std::to_string(baseline.cols) + " vs candidate " +
+                    std::to_string(candidate.rows) + "x" +
+                    std::to_string(candidate.cols) +
+                    " — reports are not comparable");
+    return out;
+  }
+
+  if (baseline.wall_s > 0.0) {
+    const double limit =
+        baseline.wall_s * (1.0 + thresholds.max_wall_regress_frac);
+    const double delta_frac =
+        (candidate.wall_s - baseline.wall_s) / baseline.wall_s;
+    check(candidate.wall_s > limit,
+          "wall_s " + format_sci(baseline.wall_s) + " -> " +
+              format_sci(candidate.wall_s) + " (" +
+              format_fixed(delta_frac * 100.0, 1) + "%, limit +" +
+              format_fixed(thresholds.max_wall_regress_frac * 100.0, 1) + "%)");
+  }
+
+  check(candidate.sweeps > baseline.sweeps + thresholds.max_sweep_increase,
+        "sweeps " + std::to_string(baseline.sweeps) + " -> " +
+            std::to_string(candidate.sweeps) + " (limit +" +
+            std::to_string(thresholds.max_sweep_increase) + ")");
+
+  check(baseline.converged && !candidate.converged,
+        std::string("converged ") + (baseline.converged ? "yes" : "no") +
+            " -> " + (candidate.converged ? "yes" : "no"));
+
+  if (baseline.rotations_applied > 0) {
+    const double limit =
+        static_cast<double>(baseline.rotations_applied) *
+        (1.0 + thresholds.max_rotation_increase_frac);
+    check(static_cast<double>(candidate.rotations_applied) > limit,
+          "rotations_applied " + std::to_string(baseline.rotations_applied) +
+              " -> " + std::to_string(candidate.rotations_applied) +
+              " (limit +" +
+              format_fixed(thresholds.max_rotation_increase_frac * 100.0, 1) +
+              "%)");
+  }
+
+  if (baseline.has_pipeline && candidate.has_pipeline) {
+    const double base_stall = total_stall_s(baseline);
+    const double cand_stall = total_stall_s(candidate);
+    if (base_stall > 0.0) {
+      const double limit =
+          base_stall * (1.0 + thresholds.max_stall_increase_frac);
+      check(cand_stall > limit,
+            "pipeline total stall " + format_sci(base_stall) + "s -> " +
+                format_sci(cand_stall) + "s (limit +" +
+                format_fixed(thresholds.max_stall_increase_frac * 100.0, 1) +
+                "%)");
+    }
+    check(!baseline.generator_is_bottleneck &&
+              candidate.generator_is_bottleneck,
+          std::string("generator_is_bottleneck ") +
+              (baseline.generator_is_bottleneck ? "true" : "false") + " -> " +
+              (candidate.generator_is_bottleneck ? "true" : "false"));
+  }
+
+  return out;
+}
+
+}  // namespace hjsvd::report

@@ -1,0 +1,151 @@
+// Offline run-report analyzer (`hjsvd.report.v1`).
+//
+// Ingests the observability artifacts a run recorded — an hjsvd.trace.v1/v2
+// trace and an hjsvd.metrics.v1 metrics document — and distills them into a
+// typed RunReport: per-phase wall-clock breakdown, per-thread busy/stall
+// fractions of the pipelined engine, queue / parameter-FIFO occupancy
+// statistics, the convergence trajectory, and software-vs-simulator
+// cross-checks.  The report serializes deterministically (fixed field
+// order, round-trip doubles) so golden-file tests can diff it byte-for-byte,
+// and two serialized reports can be compared for performance regressions
+// (`compare_reports`, driving hjsvd_report --compare's exit code 3).
+//
+// Layering: everything here is offline post-processing.  Engines never link
+// this library; it reads what obs/ recorded, after the run is over.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "report/json.hpp"
+
+namespace hjsvd::report {
+
+/// Input document with a missing or unsupported "schema" tag, or one whose
+/// shape contradicts its tag.  hjsvd_report maps this to exit code 2
+/// (usage), distinct from I/O or internal errors (exit 1).
+class SchemaError : public Error {
+ public:
+  explicit SchemaError(const std::string& what) : Error(what) {}
+};
+
+/// Wall-clock total of all trace spans sharing one (category, name), on the
+/// software process.  Spans nest (a "sweep" contains its "update" children),
+/// so fractions are per-name shares of the wall clock, not a partition.
+struct PhaseStat {
+  std::string cat;
+  std::string name;
+  double total_s = 0.0;
+  std::uint64_t count = 0;
+  double frac_of_wall = 0.0;
+};
+
+/// Busy/stall split of one engine thread (pipelined engine only — the
+/// sequential engines have no stall concept).
+struct ThreadStat {
+  std::string name;  // "generator", "worker.0", ...
+  double busy_s = 0.0;
+  double stall_s = 0.0;
+  double busy_frac_of_wall = 0.0;
+};
+
+/// Summary statistics of an occupancy series.
+struct SeriesStats {
+  std::uint64_t samples = 0;
+  double mean = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// One point of the unified convergence trajectory (svd.sweep.* series; all
+/// engines record the same names — see src/svd/obs_hooks.hpp).
+struct ConvergencePoint {
+  std::uint64_t sweep = 0;
+  double offdiag_frobenius = 0.0;
+  double max_rel_offdiag = 0.0;
+  std::uint64_t rotations = 0;
+  std::uint64_t skipped = 0;
+};
+
+/// The analyzed run.  `has_*` flags mark optional sections: sequential runs
+/// have no pipeline threads, software-only runs have no sim section.
+struct RunReport {
+  // Run summary (svd.* metrics).
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t sweeps = 0;
+  bool converged = false;
+  std::uint64_t rotations_applied = 0;
+  std::uint64_t rotations_skipped = 0;
+  double wall_s = 0.0;  // pipeline.wall_s gauge, else software span extent
+
+  std::vector<PhaseStat> phases;  // sorted by descending total_s
+
+  // Pipelined-engine sections.
+  bool has_pipeline = false;
+  std::vector<ThreadStat> threads;  // generator first, then workers by index
+  double queue_capacity = 0.0;      // rotations
+  double queue_high_water = 0.0;    // rotations
+  SeriesStats queue_occupancy;      // pipeline.queue.occupancy series
+
+  // Accelerator-simulator section.
+  bool has_sim = false;
+  double sim_fifo_depth_groups = 0.0;
+  double sim_fifo_high_water_groups = 0.0;
+  double sim_fifo_high_water_rotations = 0.0;  // calibrated bound
+  SeriesStats sim_fifo_occupancy;              // sim.param_fifo.occupancy
+  double sim_update_utilization = 0.0;
+
+  std::vector<ConvergencePoint> convergence;
+
+  // Cross-checks (derived; what PR 3 concluded by reading bench stdout).
+  double generator_busy_frac = 0.0;
+  double mean_worker_busy_frac = 0.0;
+  bool generator_is_bottleneck = false;  // busiest thread is the generator
+  /// Software queue high-water vs the sim's calibrated FIFO bound, in
+  /// rotations; 0 when either side is absent.
+  double queue_vs_sim_bound_ratio = 0.0;
+  bool software_queue_within_sim_bound = false;
+};
+
+/// Analyzes parsed trace + metrics documents.  Throws SchemaError when
+/// either document's "schema" tag is missing or unsupported (trace:
+/// hjsvd.trace.v1 or v2; metrics: hjsvd.metrics.v1) or when the tagged
+/// shape is missing ("traceEvents" / "metrics" arrays).
+RunReport analyze_run(const JsonValue& trace_doc, const JsonValue& metrics_doc);
+
+/// Serializes a report as the hjsvd.report.v1 JSON document.  Deterministic:
+/// fixed member order, doubles at round-trip precision.
+std::string report_json(const RunReport& report);
+
+/// Renders the human-readable view: run summary, phase table, thread table,
+/// occupancy and convergence tables (common/table.hpp).
+std::string report_table(const RunReport& report);
+
+/// Parses a serialized hjsvd.report.v1 document back into a RunReport.
+/// Throws SchemaError on a missing/foreign schema tag.
+RunReport report_from_json(const JsonValue& doc);
+
+/// Regression thresholds for compare_reports; defaults match
+/// hjsvd_report --compare's flag defaults.
+struct CompareThresholds {
+  double max_wall_regress_frac = 0.10;     // new wall ≤ old * (1 + frac)
+  std::uint64_t max_sweep_increase = 0;    // convergence must not degrade
+  double max_rotation_increase_frac = 0.05;
+  double max_stall_increase_frac = 0.25;   // total stall seconds (pipelined)
+};
+
+struct CompareResult {
+  bool regressed = false;
+  std::vector<std::string> findings;  // human-readable, one per check
+};
+
+/// Diffs two reports of the *same* workload.  Every check appends a finding
+/// line; checks that exceed their threshold set `regressed`.
+CompareResult compare_reports(const RunReport& baseline,
+                              const RunReport& candidate,
+                              const CompareThresholds& thresholds);
+
+}  // namespace hjsvd::report

@@ -6,6 +6,7 @@
 #include "fp/ops.hpp"
 #include "linalg/kernels.hpp"
 #include "svd/hestenes_impl.hpp"  // detail::rotate_columns
+#include "svd/obs_hooks.hpp"
 #include "svd/ordering.hpp"
 #include "svd/rotation.hpp"
 
@@ -89,6 +90,8 @@ SvdResult block_hestenes_svd(const Matrix& a, const BlockHestenesConfig& cfg,
 
   SvdResult result;
   std::size_t sweeps_done = 0;
+  std::uint64_t total_rotations = 0, total_skipped = 0;
+  auto* metrics = obs::active(cfg.obs.metrics);
   const fp::NativeOps ops;
   for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
     std::uint64_t rotations = 0, skipped = 0;
@@ -98,10 +101,13 @@ SvdResult block_hestenes_svd(const Matrix& a, const BlockHestenesConfig& cfg,
                                        cfg.inner_sweeps, skipped);
     }
     ++sweeps_done;
+    total_rotations += rotations;
+    total_skipped += skipped;
     Matrix d;
-    const bool need_metrics =
-        (stats != nullptr && cfg.track_convergence) || cfg.tolerance > 0.0;
-    if (need_metrics) d = gram_upper_ops(r, ops);
+    const bool need_gram = (stats != nullptr && cfg.track_convergence) ||
+                           metrics != nullptr || cfg.tolerance > 0.0;
+    if (need_gram) d = gram_upper_ops(r, ops);
+    detail::record_sweep_metrics(metrics, sweep, d, rotations, skipped);
     if (stats != nullptr) {
       stats->total_rotations += rotations;
       stats->total_skipped += skipped;
@@ -117,6 +123,8 @@ SvdResult block_hestenes_svd(const Matrix& a, const BlockHestenesConfig& cfg,
   if (cfg.tolerance == 0.0) {
     result.converged = max_relative_offdiag(gram_upper_ops(r, ops)) < 1e-10;
   }
+  detail::record_run_metrics(metrics, m, n, sweeps_done, total_rotations,
+                             total_skipped, result.converged);
 
   // Extraction identical to the plain variant: B = R = U * Sigma.
   const std::size_t k = std::min(m, n);

@@ -12,6 +12,7 @@
 
 #include "linalg/matrix.hpp"
 #include "linalg/residuals.hpp"
+#include "obs/sinks.hpp"
 #include "svd/hestenes.hpp"
 
 namespace hjsvd {
@@ -28,6 +29,10 @@ struct BlockHestenesConfig {
   bool compute_u = false;
   bool compute_v = false;
   bool track_convergence = false;
+  /// Optional observability sinks; with a metrics registry attached the
+  /// engine records the same svd.sweep.* convergence series and svd.*
+  /// run summary as every other Hestenes engine (src/svd/obs_hooks.hpp).
+  obs::ObsContext obs{};
 };
 
 /// Block one-sided Jacobi SVD of an arbitrary m x n matrix.

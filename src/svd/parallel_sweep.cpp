@@ -43,9 +43,13 @@ class ScopeTimer {
   std::chrono::steady_clock::time_point t0_;
 };
 
-/// Minimum stall duration worth a trace span: sub-microsecond waits would
-/// bloat the trace without being visible at any useful zoom level.
-constexpr double kMinStallSpanUs = 1.0;
+/// Minimum stall duration worth a trace span.  Spin waits shorter than
+/// this are invisible at any useful zoom level but arrive by the tens of
+/// thousands on an oversubscribed host, bloating the trace and costing
+/// measurable wall-clock just to record them; the *aggregate* stall time
+/// is still exact — it accumulates into the pipeline.*.stall_s gauges
+/// whether or not a span is emitted.
+constexpr double kMinStallSpanUs = 50.0;
 
 /// Sum of the first `sweeps` per-sweep totals (run-level rotation counts).
 inline std::uint64_t total_rotations_of(const std::vector<std::uint64_t>& per,
@@ -351,8 +355,10 @@ SvdResult parallel_plain_hestenes_svd(const Matrix& a,
   const auto rounds = round_robin_rounds(n);
   SvdResult result;
   if (stats != nullptr) *stats = HestenesStats{};
+  auto* metrics = obs::active(cfg.obs.metrics);
 
   std::size_t sweeps_done = 0;
+  std::uint64_t total_rotations = 0, total_skipped = 0;
   for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
     std::atomic<std::uint64_t> rotations{0}, skipped{0};
     for (const auto& round : rounds) {
@@ -384,10 +390,14 @@ SvdResult parallel_plain_hestenes_svd(const Matrix& a,
       // synchronization.
     }
     ++sweeps_done;
+    total_rotations += rotations.load();
+    total_skipped += skipped.load();
     Matrix d;
-    const bool need_metrics =
-        (stats != nullptr && cfg.track_convergence) || cfg.tolerance > 0.0;
-    if (need_metrics) d = gram_upper_ops(r, ops);
+    const bool need_gram = (stats != nullptr && cfg.track_convergence) ||
+                           metrics != nullptr || cfg.tolerance > 0.0;
+    if (need_gram) d = gram_upper_ops(r, ops);
+    detail::record_sweep_metrics(metrics, sweep, d, rotations.load(),
+                                 skipped.load());
     if (stats != nullptr) {
       stats->total_rotations += rotations.load();
       stats->total_skipped += skipped.load();
@@ -404,6 +414,8 @@ SvdResult parallel_plain_hestenes_svd(const Matrix& a,
   if (cfg.tolerance == 0.0) {
     result.converged = max_relative_offdiag(gram_upper_ops(r, ops)) < 1e-10;
   }
+  detail::record_run_metrics(metrics, m, n, sweeps_done, total_rotations,
+                             total_skipped, result.converged);
 
   detail::finalize_column_result(r, v, cfg, result, ops);
   return result;
@@ -788,14 +800,20 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
     for (std::size_t r = 0; r < num_rounds && !aborted; ++r) {
       const std::uint64_t id = round_id(sweep, r);
       dispatch.store(id, std::memory_order_release);
-      if (metrics != nullptr) {
+      if (metrics != nullptr || trace != nullptr) {
         // Occupancy sampled once per round, mid-drain: a timing-dependent
         // timeline (indexed by the monotonic round id) comparable against
         // the simulator's sim.param_fifo occupancy after the
         // rotation_group_size calibration (docs/OBSERVABILITY.md).
-        metrics->series_append(
-            "pipeline.queue.occupancy", "rotations", static_cast<double>(id),
-            static_cast<double>(queue_size.load(std::memory_order_relaxed)));
+        const auto occupancy = static_cast<double>(
+            queue_size.load(std::memory_order_relaxed));
+        if (metrics != nullptr)
+          metrics->series_append("pipeline.queue.occupancy", "rotations",
+                                 static_cast<double>(id), occupancy);
+        if (trace != nullptr)
+          trace->emit_counter(coord_tid, "pipeline",
+                              "pipeline.queue.occupancy", trace->now_us(),
+                              occupancy);
       }
       for (std::size_t w = 0; w < nt; ++w) {
         if (!spin_until(

@@ -88,8 +88,10 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
   const auto pairs = sweep_pairs(cfg.ordering, n);
   SvdResult result;
   if (stats != nullptr) *stats = HestenesStats{};
+  auto* metrics = obs::active(cfg.obs.metrics);
 
   std::size_t sweeps_done = 0;
+  std::uint64_t total_rotations = 0, total_skipped = 0;
   for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
     std::uint64_t rotations = 0, skipped = 0;
     for (const auto& [i, j] : pairs) {
@@ -114,10 +116,13 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
       ++rotations;
     }
     ++sweeps_done;
+    total_rotations += rotations;
+    total_skipped += skipped;
     Matrix d;  // Gram matrix, built only when a convergence check needs it
-    const bool need_metrics =
-        (stats != nullptr && cfg.track_convergence) || cfg.tolerance > 0.0;
-    if (need_metrics) d = gram_upper_ops(r, ops);
+    const bool need_gram = (stats != nullptr && cfg.track_convergence) ||
+                           metrics != nullptr || cfg.tolerance > 0.0;
+    if (need_gram) d = gram_upper_ops(r, ops);
+    detail::record_sweep_metrics(metrics, sweep, d, rotations, skipped);
     if (stats != nullptr) {
       stats->total_rotations += rotations;
       stats->total_skipped += skipped;
@@ -133,6 +138,8 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
   if (cfg.tolerance == 0.0) {
     result.converged = max_relative_offdiag(gram_upper_ops(r, ops)) < 1e-10;
   }
+  detail::record_run_metrics(metrics, m, n, sweeps_done, total_rotations,
+                             total_skipped, result.converged);
 
   detail::finalize_column_result(r, v, cfg, result, ops);
   return result;

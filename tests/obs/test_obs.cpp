@@ -2,6 +2,8 @@
 // span-nesting well-formedness per timeline, determinism of the
 // engine-level counters/series across thread counts, and — the load-bearing
 // guarantee — byte-identical SVD results with and without sinks attached.
+#include "obs/guardrail.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -20,8 +22,10 @@
 #include "common/rng.hpp"
 #include "fp/ops.hpp"
 #include "linalg/generate.hpp"
+#include "svd/block_hestenes.hpp"
 #include "svd/hestenes.hpp"
 #include "svd/parallel_sweep.hpp"
+#include "svd/plain_hestenes.hpp"
 
 namespace hjsvd {
 namespace {
@@ -177,7 +181,7 @@ TEST(ObsJson, TraceDocumentIsValidJsonWithSchema) {
   traced_run(test_matrix(24, 16), &trace, &metrics);
   const std::string doc = trace.to_json();
   EXPECT_TRUE(JsonChecker(doc).valid()) << doc.substr(0, 400);
-  EXPECT_NE(doc.find("\"schema\": \"hjsvd.trace.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": \"hjsvd.trace.v2\""), std::string::npos);
   EXPECT_NE(doc.find("\"displayTimeUnit\""), std::string::npos);
   EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
 }
@@ -261,6 +265,47 @@ TEST(ObsTrace, SpansNestWellFormedPerTimeline) {
       stack.push_back(sp.end);
     }
   }
+}
+
+// --- Counter tracks (trace schema v2) --------------------------------------
+
+TEST(ObsTrace, PipelinedRunEmitsQueueCounterTrack) {
+  obs::TraceRecorder trace;
+  traced_run(test_matrix(24, 16), &trace, nullptr);
+  std::size_t counters = 0;
+  for (const auto& e : trace.snapshot()) {
+    if (e.ph != 'C') continue;
+    EXPECT_EQ(e.name, "pipeline.queue.occupancy");
+    EXPECT_EQ(e.pid, obs::kSoftwarePid);
+    EXPECT_GE(e.value, 0.0);
+    ++counters;
+  }
+  // One sample per dispatched round over >= 1 sweep of a 16-column matrix.
+  EXPECT_GE(counters, 15u);
+  // Serialized counter events carry ph "C" and an args value Perfetto plots.
+  const std::string doc = trace.to_json();
+  EXPECT_NE(doc.find("\"ph\":\"C\",\"name\":\"pipeline.queue.occupancy\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"args\":{\"value\":"), std::string::npos);
+}
+
+TEST(ObsTrace, SimulatorEmitsFifoCounterTrack) {
+  obs::TraceRecorder trace;
+  arch::AcceleratorConfig cfg;
+  cfg.obs.trace = &trace;
+  const auto run = arch::simulate_accelerator(test_matrix(24, 16), cfg);
+  double max_seen = 0.0;
+  std::size_t counters = 0;
+  for (const auto& e : trace.snapshot()) {
+    if (e.ph != 'C') continue;
+    EXPECT_EQ(e.name, "sim.param_fifo.occupancy");
+    EXPECT_EQ(e.pid, obs::kSimulatorPid);
+    max_seen = std::max(max_seen, e.value);
+    ++counters;
+  }
+  EXPECT_EQ(counters, run.rotation_groups);
+  // The counter track's peak is exactly the reported FIFO high-water.
+  EXPECT_EQ(max_seen, static_cast<double>(run.param_fifo_high_water));
 }
 
 TEST(ObsTrace, SimulatorEventsUseSimulatorPid) {
@@ -387,6 +432,114 @@ TEST(ObsMetrics, UnitAndTypeMismatchThrows) {
   reg.counter_add("x", "rotations", 1);
   EXPECT_THROW(reg.counter_add("x", "groups", 1), Error);
   EXPECT_THROW(reg.gauge_set("x", "rotations", 1.0), Error);
+}
+
+// --- Convergence-series unification ---------------------------------------
+
+TEST(ObsMetrics, AllEnginesRecordSameConvergenceSeries) {
+  const Matrix a = test_matrix(24, 16);
+  // Engines that share the round-robin rotation order and arithmetic are
+  // bitwise identical; every engine must at least record the same series
+  // names with one point per sweep.
+  HestenesConfig cfg;
+  obs::MetricsRegistry seq, plain, par_plain, blocked, block_cfg_reg, piped;
+  {
+    HestenesConfig c = cfg;
+    c.obs.metrics = &seq;
+    modified_hestenes_svd(a, c);
+  }
+  {
+    HestenesConfig c = cfg;
+    c.obs.metrics = &plain;
+    plain_hestenes_svd(a, c);
+  }
+  {
+    HestenesConfig c = cfg;
+    c.obs.metrics = &par_plain;
+    parallel_plain_hestenes_svd(a, c, {});
+  }
+  {
+    HestenesConfig c = cfg;
+    c.obs.metrics = &blocked;
+    parallel_modified_hestenes_svd(a, c);
+  }
+  {
+    BlockHestenesConfig c;
+    c.obs.metrics = &block_cfg_reg;
+    block_hestenes_svd(a, c);
+  }
+  {
+    HestenesConfig c = cfg;
+    c.obs.metrics = &piped;
+    pipelined_modified_hestenes_svd(a, c, {});
+  }
+  const obs::MetricsRegistry* regs[] = {&seq,     &plain,         &par_plain,
+                                        &blocked, &block_cfg_reg, &piped};
+  for (const auto* reg : regs) {
+    for (const char* series : {"svd.sweep.offdiag_frobenius",
+                               "svd.sweep.max_rel_offdiag",
+                               "svd.sweep.rotations", "svd.sweep.skipped"}) {
+      const auto pts = reg->series(series);
+      ASSERT_FALSE(pts.empty()) << series;
+      EXPECT_EQ(pts.size(), static_cast<std::size_t>(
+                                reg->gauge("svd.sweeps").value()))
+          << series;
+    }
+    EXPECT_TRUE(reg->counter("svd.rotations_applied").has_value());
+    EXPECT_EQ(reg->gauge("svd.rows").value(), 24.0);
+    EXPECT_EQ(reg->gauge("svd.cols").value(), 16.0);
+  }
+  // The bitwise-identical trio agrees point-for-point on the trajectory.
+  const auto base = seq.series("svd.sweep.offdiag_frobenius");
+  for (const auto* reg : {&blocked, &piped}) {
+    const auto other = reg->series("svd.sweep.offdiag_frobenius");
+    ASSERT_EQ(base.size(), other.size());
+    for (std::size_t k = 0; k < base.size(); ++k)
+      EXPECT_EQ(fp::to_bits(base[k].second), fp::to_bits(other[k].second));
+  }
+}
+
+// --- Overhead guardrail predicate -----------------------------------------
+
+TEST(ObsGuardrail, SymmetricInBothDirections) {
+  // The historical bug: disabled 1.00s vs enabled 1.06s passed the old
+  // one-sided check.  The symmetric predicate rejects a >5% gap regardless
+  // of which side is slower.
+  EXPECT_FALSE(obs::overhead_within(1.06, 1.00, 0.05));
+  EXPECT_FALSE(obs::overhead_within(1.00, 1.06, 0.05));
+  EXPECT_TRUE(obs::overhead_within(1.04, 1.00, 0.05));
+  EXPECT_TRUE(obs::overhead_within(1.00, 1.04, 0.05));
+  EXPECT_TRUE(obs::overhead_within(2.0, 2.0, 0.0));
+}
+
+TEST(ObsGuardrail, DegenerateTimingsFail) {
+  EXPECT_FALSE(obs::overhead_within(0.0, 1.0, 0.05));
+  EXPECT_FALSE(obs::overhead_within(1.0, -1.0, 0.05));
+  EXPECT_FALSE(obs::overhead_within(1.0, 1.0, -0.1));
+}
+
+TEST(ObsGuardrail, OverheadFracIsSigned) {
+  EXPECT_NEAR(obs::overhead_frac(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(obs::overhead_frac(0.9, 1.0), -0.1, 1e-12);
+  EXPECT_EQ(obs::overhead_frac(1.0, 0.0), 0.0);
+}
+
+// --- Run manifest ----------------------------------------------------------
+
+TEST(ObsManifest, CarriesProvenanceAndSchemaVersions) {
+  obs::RunManifest manifest;
+  manifest.tool = "test_obs";
+  manifest.config = "n=32 \"quoted\"";
+  const std::string json = obs::manifest_json(manifest);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"tool\": \"test_obs\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\": \""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\": \"hjsvd.trace.v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\": \"hjsvd.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"report\": \"hjsvd.report.v1\""), std::string::npos);
+  EXPECT_GE(obs::host_hardware_threads(), 1);
+  EXPECT_STRNE(obs::build_git_sha(), "");
 }
 
 TEST(ObsMetrics, BatchLevelMetricsFromSvdBatch) {

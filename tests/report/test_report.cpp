@@ -1,0 +1,273 @@
+// Report subsystem tests: the JSON reader, analyze_run on fixed fixtures, a
+// byte-exact golden-file check of the serialized hjsvd.report.v1 document,
+// the serialize/parse round trip, and the compare gate's regression logic.
+#include "report/json.hpp"
+#include "report/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace hjsvd::report {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(HJSVD_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+RunReport fixture_report() {
+  return analyze_run(parse_json_file(data_path("fixture_trace.json")),
+                     parse_json_file(data_path("fixture_metrics.json")));
+}
+
+// --- JSON reader -----------------------------------------------------------
+
+TEST(ReportJson, ParsesScalarsArraysObjects) {
+  const JsonValue v = parse_json(
+      R"({"a": 1.5, "b": [1, 2, 3], "c": {"d": "x\ny"}, "e": true, "f": null})");
+  EXPECT_EQ(v.at("a").as_number(), 1.5);
+  EXPECT_EQ(v.at("b").as_array().size(), 3u);
+  EXPECT_EQ(v.at("c").at("d").as_string(), "x\ny");
+  EXPECT_TRUE(v.at("e").as_bool());
+  EXPECT_TRUE(v.at("f").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(v.number_or("missing", 7.0), 7.0);
+}
+
+TEST(ReportJson, ParsesEscapesAndUnicode) {
+  const JsonValue v = parse_json(R"(["\"\\\/\b\f\n\r\t", "Aé"])");
+  EXPECT_EQ(v.as_array()[0].as_string(), "\"\\/\b\f\n\r\t");
+  EXPECT_EQ(v.as_array()[1].as_string(), "A\xc3\xa9");
+}
+
+TEST(ReportJson, ParsesScientificNumbers) {
+  const JsonValue v = parse_json("[1e3, -2.5E-2, 0.125]");
+  EXPECT_EQ(v.as_array()[0].as_number(), 1000.0);
+  EXPECT_EQ(v.as_array()[1].as_number(), -0.025);
+  EXPECT_EQ(v.as_array()[2].as_number(), 0.125);
+}
+
+TEST(ReportJson, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("{\"a\": }"), Error);
+  EXPECT_THROW(parse_json("[1, 2,]"), Error);
+  EXPECT_THROW(parse_json("tru"), Error);
+  EXPECT_THROW(parse_json("\"unterminated"), Error);
+  EXPECT_THROW(parse_json("{} trailing"), Error);
+  EXPECT_THROW(parse_json("1.2.3"), Error);
+}
+
+TEST(ReportJson, ErrorsCarryLineAndColumn) {
+  try {
+    parse_json("{\n  \"a\": oops\n}");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("2:8"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ReportJson, TypeMismatchThrows) {
+  const JsonValue v = parse_json(R"({"a": 1})");
+  EXPECT_THROW(v.at("a").as_string(), Error);
+  EXPECT_THROW(v.at("b"), Error);
+  EXPECT_THROW(v.as_array(), Error);
+}
+
+// --- analyze_run on the fixtures ------------------------------------------
+
+TEST(ReportAnalyze, RunSummaryFromMetrics) {
+  const RunReport r = fixture_report();
+  EXPECT_EQ(r.rows, 64u);
+  EXPECT_EQ(r.cols, 32u);
+  EXPECT_EQ(r.sweeps, 2u);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.rotations_applied, 992u);
+  EXPECT_EQ(r.wall_s, 2.0);
+}
+
+TEST(ReportAnalyze, PhasesAggregateSoftwareSpansByName) {
+  const RunReport r = fixture_report();
+  ASSERT_FALSE(r.phases.empty());
+  // Sorted by descending total; the two 0.9s sweeps dominate at 1.8s.
+  EXPECT_EQ(r.phases.front().name, "update");
+  EXPECT_EQ(r.phases.front().total_s, 2.2);
+  EXPECT_EQ(r.phases.front().count, 2u);
+  bool saw_sweep = false, saw_sim = false;
+  for (const PhaseStat& p : r.phases) {
+    if (p.name == "sweep") {
+      saw_sweep = true;
+      EXPECT_DOUBLE_EQ(p.total_s, 1.8);
+      EXPECT_DOUBLE_EQ(p.frac_of_wall, 0.9);
+    }
+    if (p.name == "update-group") saw_sim = true;  // pid 2: must be excluded
+  }
+  EXPECT_TRUE(saw_sweep);
+  EXPECT_FALSE(saw_sim);
+}
+
+TEST(ReportAnalyze, ThreadAndQueueSections) {
+  const RunReport r = fixture_report();
+  ASSERT_TRUE(r.has_pipeline);
+  ASSERT_EQ(r.threads.size(), 3u);
+  EXPECT_EQ(r.threads[0].name, "generator");
+  EXPECT_EQ(r.threads[0].busy_frac_of_wall, 0.01);
+  EXPECT_EQ(r.threads[1].name, "worker.0");
+  EXPECT_EQ(r.threads[1].busy_frac_of_wall, 0.5);
+  EXPECT_EQ(r.threads[2].busy_frac_of_wall, 0.6);
+  EXPECT_EQ(r.queue_capacity, 8.0);
+  EXPECT_EQ(r.queue_high_water, 8.0);
+  EXPECT_EQ(r.queue_occupancy.samples, 4u);
+  EXPECT_EQ(r.queue_occupancy.mean, 3.5);
+  EXPECT_EQ(r.queue_occupancy.p95, 8.0);  // nearest-rank over {0,2,4,8}
+  EXPECT_EQ(r.queue_occupancy.max, 8.0);
+}
+
+TEST(ReportAnalyze, SimSectionAndCrossChecks) {
+  const RunReport r = fixture_report();
+  ASSERT_TRUE(r.has_sim);
+  EXPECT_EQ(r.sim_fifo_depth_groups, 4.0);
+  EXPECT_EQ(r.sim_fifo_high_water_rotations, 32.0);
+  EXPECT_EQ(r.sim_fifo_occupancy.samples, 3u);
+  EXPECT_EQ(r.sim_update_utilization, 0.4);
+  // The PR 3 conclusion, derived from artifacts alone: generator busy
+  // (1%) is dwarfed by the workers (mean 55%).
+  EXPECT_EQ(r.generator_busy_frac, 0.01);
+  EXPECT_EQ(r.mean_worker_busy_frac, 0.55);
+  EXPECT_FALSE(r.generator_is_bottleneck);
+  EXPECT_EQ(r.queue_vs_sim_bound_ratio, 0.25);
+  EXPECT_TRUE(r.software_queue_within_sim_bound);
+}
+
+TEST(ReportAnalyze, ConvergenceTrajectoryUnified) {
+  const RunReport r = fixture_report();
+  ASSERT_EQ(r.convergence.size(), 2u);
+  EXPECT_EQ(r.convergence[0].sweep, 0u);
+  EXPECT_EQ(r.convergence[0].offdiag_frobenius, 128.5);
+  EXPECT_EQ(r.convergence[1].max_rel_offdiag, 0.0005);
+  EXPECT_EQ(r.convergence[1].rotations, 496u);
+}
+
+TEST(ReportAnalyze, AcceptsTraceV1) {
+  // v2 = v1 + counter events; a v1 document (no 'C' events) must load.
+  std::string v1 = slurp(data_path("fixture_trace.json"));
+  const auto tag = v1.find("hjsvd.trace.v2");
+  ASSERT_NE(tag, std::string::npos);
+  v1.replace(tag, 14, "hjsvd.trace.v1");
+  const RunReport r = analyze_run(
+      parse_json(v1), parse_json_file(data_path("fixture_metrics.json")));
+  EXPECT_EQ(r.rows, 64u);
+}
+
+TEST(ReportAnalyze, WrongSchemaIsSchemaError) {
+  const JsonValue trace = parse_json_file(data_path("fixture_trace.json"));
+  const JsonValue metrics = parse_json_file(data_path("fixture_metrics.json"));
+  EXPECT_THROW(analyze_run(metrics, metrics), SchemaError);  // swapped
+  EXPECT_THROW(analyze_run(trace, trace), SchemaError);
+  EXPECT_THROW(analyze_run(parse_json("{}"), metrics), SchemaError);
+  EXPECT_THROW(
+      analyze_run(parse_json(R"({"schema": "hjsvd.trace.v3"})"), metrics),
+      SchemaError);
+  EXPECT_THROW(report_from_json(parse_json("{}")), SchemaError);
+}
+
+// --- Golden file and round trip -------------------------------------------
+
+TEST(ReportGolden, SerializationMatchesGoldenByteForByte) {
+  const std::string got = report_json(fixture_report());
+  const std::string want = slurp(data_path("golden_report.json"));
+  EXPECT_EQ(got, want)
+      << "hjsvd.report.v1 serialization changed; if intentional, regenerate "
+         "tests/report/data/golden_report.json with hjsvd_report and bump "
+         "the schema notes in docs/OBSERVABILITY.md";
+}
+
+TEST(ReportGolden, RoundTripPreservesEverythingComparable) {
+  const RunReport a = fixture_report();
+  const RunReport b = report_from_json(parse_json(report_json(a)));
+  // Serialize-parse-serialize is a fixed point.
+  EXPECT_EQ(report_json(a), report_json(b));
+  const CompareResult same = compare_reports(a, b, {});
+  EXPECT_FALSE(same.regressed);
+}
+
+TEST(ReportTable, HumanViewNamesTheConclusions) {
+  const std::string table = report_table(fixture_report());
+  EXPECT_NE(table.find("generator is NOT the bottleneck"), std::string::npos);
+  EXPECT_NE(table.find("Per-phase wall-clock breakdown"), std::string::npos);
+  EXPECT_NE(table.find("Convergence trajectory"), std::string::npos);
+  EXPECT_NE(table.find("within bound"), std::string::npos);
+}
+
+// --- Compare gate ----------------------------------------------------------
+
+TEST(ReportCompare, FlagsWallClockRegression) {
+  const RunReport base = fixture_report();
+  RunReport slow = base;
+  slow.wall_s = base.wall_s * 1.2;
+  const CompareResult r = compare_reports(base, slow, {});
+  EXPECT_TRUE(r.regressed);
+  bool named = false;
+  for (const auto& f : r.findings)
+    if (f.find("FAIL wall_s") != std::string::npos) named = true;
+  EXPECT_TRUE(named);
+  // Within threshold: 5% slower passes the default 10% gate.
+  RunReport ok = base;
+  ok.wall_s = base.wall_s * 1.05;
+  EXPECT_FALSE(compare_reports(base, ok, {}).regressed);
+}
+
+TEST(ReportCompare, FlagsConvergenceRegressions) {
+  const RunReport base = fixture_report();
+  RunReport worse = base;
+  worse.sweeps = base.sweeps + 1;
+  EXPECT_TRUE(compare_reports(base, worse, {}).regressed);
+  CompareThresholds lax;
+  lax.max_sweep_increase = 1;
+  EXPECT_FALSE(compare_reports(base, worse, lax).regressed);
+
+  RunReport diverged = base;
+  diverged.converged = false;
+  EXPECT_TRUE(compare_reports(base, diverged, {}).regressed);
+
+  RunReport busier = base;
+  busier.rotations_applied =
+      static_cast<std::uint64_t>(base.rotations_applied * 1.2);
+  EXPECT_TRUE(compare_reports(base, busier, {}).regressed);
+}
+
+TEST(ReportCompare, FlagsPipelineRegressions) {
+  const RunReport base = fixture_report();
+  RunReport stally = base;
+  for (auto& t : stally.threads) t.stall_s *= 2.0;
+  EXPECT_TRUE(compare_reports(base, stally, {}).regressed);
+
+  RunReport flipped = base;
+  flipped.generator_is_bottleneck = true;
+  EXPECT_TRUE(compare_reports(base, flipped, {}).regressed);
+}
+
+TEST(ReportCompare, WorkloadMismatchRefusesComparison) {
+  const RunReport base = fixture_report();
+  RunReport other = base;
+  other.cols = base.cols * 2;
+  const CompareResult r = compare_reports(base, other, {});
+  EXPECT_TRUE(r.regressed);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_NE(r.findings[0].find("not comparable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hjsvd::report

@@ -61,7 +61,7 @@ endif()
 if(NOT out4 MATCHES "wrote trace to" OR NOT out4 MATCHES "wrote metrics to")
   message(FATAL_ERROR "trace/metrics run did not announce outputs: ${out4}")
 endif()
-foreach(obs_pair "smoke_trace.json;hjsvd.trace.v1"
+foreach(obs_pair "smoke_trace.json;hjsvd.trace.v2"
                  "smoke_metrics.json;hjsvd.metrics.v1")
   list(GET obs_pair 0 obs_file)
   list(GET obs_pair 1 obs_schema)

@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "api/svd.hpp"
+#include "arch/accelerator_sim.hpp"
 #include "arch/timing_model.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
@@ -105,6 +106,10 @@ int main(int argc, char** argv) {
     cli.add_option("tolerance", "1e-13", "convergence tolerance");
     cli.add_option("write-u", "", "write left singular vectors to .mtx");
     cli.add_option("write-v", "", "write right singular vectors to .mtx");
+    cli.add_option("fpga-sim", "false",
+                   "run the cycle-accurate accelerator sim on the same "
+                   "matrix; with --trace-out/--metrics-out its spans, "
+                   "counter track and sim.* metrics are recorded too");
     cli.add_option("fpga-estimate", "false",
                    "also print the accelerator model's time for this shape");
     cli.add_option("generate", "",
@@ -213,6 +218,19 @@ int main(int argc, char** argv) {
             "sim.model.param_fifo.occupancy_rotations", "rotations",
             static_cast<double>(t.param_fifo_occupancy_rotations));
       }
+    }
+
+    if (cli.get_bool("fpga-sim")) {
+      arch::AcceleratorConfig cfg;
+      cfg.obs.trace = opt.trace;
+      cfg.obs.metrics = opt.metrics;
+      const auto sim = arch::simulate_accelerator(a, cfg);
+      std::cout << "\nFPGA accelerator sim: " << sim.total_cycles
+                << " cycles (" << format_duration(sim.seconds)
+                << " simulated), param-FIFO high-water "
+                << sim.param_fifo_high_water_rotations
+                << " rotations, update utilization "
+                << format_fixed(sim.update_utilization * 100.0, 1) << "%\n";
     }
 
     if (opt.metrics != nullptr)
