@@ -11,13 +11,16 @@ Two subcommands:
 
   compare OLD NEW [--max-slowdown FRAC]
       Diff two runs of the same bench.  Refuses (exit 2) when the bench
-      names differ or the manifests disagree on schema versions — numbers
-      produced by different schema generations are not comparable.  Reports
-      (but tolerates) git_sha / host_threads differences.  Then walks every
-      numeric leaf shared by both documents: keys ending in "_s" are
-      lower-is-better timings and fail when NEW exceeds OLD by more than
-      --max-slowdown (default 0.10); keys ending in "_per_s" are
-      higher-is-better throughputs and fail on the mirrored drop.  Any
+      names differ, the manifests disagree on schema versions or config —
+      numbers produced by different schema generations or workloads are not
+      comparable — or a shared workload-identity leaf (n, threads, reps,
+      count, rows, cols, queue_depth) differs, which means positional leaf
+      matching would compare different matrix sizes against each other.
+      Reports (but tolerates) git_sha / host_threads differences.  Then
+      walks every numeric leaf shared by both documents: keys ending in
+      "_per_s" are higher-is-better throughputs and fail on a drop beyond
+      --max-slowdown (default 0.10); other keys ending in "_s" are
+      lower-is-better timings and fail on the mirrored slowdown.  Any
       true->false flip of a boolean invariant leaf fails.
 
 Exit code 0 = gate passed, 1 = check failed, 2 = usage/compat error,
@@ -53,6 +56,11 @@ def walk(node, prefix=""):
 
 MANIFEST_FIELDS = ("tool", "config", "git_sha", "host_threads",
                    "schema_versions")
+
+# Leaves that identify the workload rather than measure it.  Positional leaf
+# matching (sizes[0].xyz_s) is only meaningful when these agree between runs.
+IDENTITY_LEAVES = frozenset(
+    ("n", "threads", "reps", "count", "rows", "cols", "queue_depth"))
 
 
 def check_manifest(path: str, doc) -> list[str]:
@@ -105,6 +113,12 @@ def cmd_compare(old_path: str, new_path: str, max_slowdown: float) -> int:
             f"bench_gate: schema versions differ ({ov} vs {nv}); "
             f"refusing to compare across schema generations", file=sys.stderr)
         return 2
+    if om.get("config") != nm.get("config"):
+        print(
+            f"bench_gate: manifest config differs "
+            f"({om.get('config')!r} vs {nm.get('config')!r}); "
+            f"refusing to compare different workloads", file=sys.stderr)
+        return 2
     for field in ("git_sha", "host_threads"):
         if om.get(field) != nm.get(field):
             print(f"bench_gate: note: {field} differs "
@@ -118,6 +132,15 @@ def cmd_compare(old_path: str, new_path: str, max_slowdown: float) -> int:
             continue
         old_value = old_leaves[key]
         leaf = key.rsplit(".", 1)[-1]
+        if leaf in IDENTITY_LEAVES:
+            if old_value != new_value:
+                print(
+                    f"bench_gate: workload mismatch at {key} "
+                    f"({old_value!r} vs {new_value!r}); "
+                    f"refusing to compare different workloads",
+                    file=sys.stderr)
+                return 2
+            continue
         if isinstance(old_value, bool) or isinstance(new_value, bool):
             if old_value is True and new_value is not True:
                 regressions.append(f"{key}: {old_value} -> {new_value}")
@@ -126,18 +149,20 @@ def cmd_compare(old_path: str, new_path: str, max_slowdown: float) -> int:
         if not isinstance(old_value, (int, float)) \
                 or not isinstance(new_value, (int, float)):
             continue
-        if leaf.endswith("_s") and old_value > 0:
-            compared += 1
-            if new_value > old_value * (1.0 + max_slowdown):
-                regressions.append(
-                    f"{key}: {old_value:g} s -> {new_value:g} s "
-                    f"(+{(new_value / old_value - 1.0) * 100.0:.1f}%)")
-        elif leaf.endswith("_per_s") and old_value > 0:
+        # "_per_s" also ends with "_s": throughput must be matched first or
+        # higher-is-better leaves would be gated as lower-is-better timings.
+        if leaf.endswith("_per_s") and old_value > 0:
             compared += 1
             if new_value < old_value / (1.0 + max_slowdown):
                 regressions.append(
                     f"{key}: {old_value:g}/s -> {new_value:g}/s "
                     f"({(new_value / old_value - 1.0) * 100.0:.1f}%)")
+        elif leaf.endswith("_s") and old_value > 0:
+            compared += 1
+            if new_value > old_value * (1.0 + max_slowdown):
+                regressions.append(
+                    f"{key}: {old_value:g} s -> {new_value:g} s "
+                    f"(+{(new_value / old_value - 1.0) * 100.0:.1f}%)")
     for r in regressions:
         print(f"bench_gate: REGRESSION: {r}", file=sys.stderr)
     if regressions:

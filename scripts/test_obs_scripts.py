@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_gate.py and validate_obs.py (stdlib only).
+
+Run directly (`python3 scripts/test_obs_scripts.py`) or via ctest
+(registered as test_obs_scripts).  validate_obs.py reports failures by
+calling sys.exit, so its checks run through subprocess; bench_gate's
+command functions return exit codes and are exercised in-process.
+"""
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPTS_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, SCRIPTS_DIR)
+
+import bench_gate  # noqa: E402
+
+
+def make_bench(tmpdir: str, name: str, **overrides) -> str:
+    """Write a minimal bench JSON modeled on BENCH_parallel_sweep.json."""
+    doc = {
+        "bench": "parallel_sweep",
+        "manifest": {
+            "tool": "bench_parallel_sweep",
+            "config": "sizes=64 threads=1 reps=3",
+            "git_sha": "deadbeef",
+            "host_threads": 4,
+            "schema_versions": {"trace": "hjsvd.trace.v2",
+                                "metrics": "hjsvd.metrics.v1"},
+        },
+        "reps": 3,
+        "sizes": [{"n": 64, "sequential_modified_s": 0.010,
+                   "engines": [{"threads": 1, "modified_s": 0.008,
+                                "bit_identical": True}]}],
+        "batch": {"count": 24, "runs": [{"threads": 1, "seconds": 0.0067,
+                                         "matrices_per_s": 3575.0,
+                                         "bit_identical": True}]},
+        "all_bit_identical": True,
+    }
+    for dotted, value in overrides.items():
+        node = doc
+        parts = dotted.split(".")
+        for part in parts[:-1]:
+            node = node[int(part)] if part.isdigit() else node[part]
+        last = parts[-1]
+        node[int(last) if last.isdigit() else last] = value
+    path = os.path.join(tmpdir, name)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    return path
+
+
+class BenchGateCompare(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.old = make_bench(self.tmp.name, "old.json")
+
+    def compare(self, new_path: str, max_slowdown: float = 0.10) -> int:
+        return bench_gate.cmd_compare(self.old, new_path, max_slowdown)
+
+    def test_identical_runs_pass(self):
+        new = make_bench(self.tmp.name, "new.json")
+        self.assertEqual(self.compare(new), 0)
+
+    def test_timing_slowdown_fails(self):
+        new = make_bench(self.tmp.name, "new.json",
+                         **{"sizes.0.engines.0.modified_s": 0.016})
+        self.assertEqual(self.compare(new), 3)
+
+    def test_timing_speedup_passes(self):
+        new = make_bench(self.tmp.name, "new.json",
+                         **{"sizes.0.engines.0.modified_s": 0.004})
+        self.assertEqual(self.compare(new), 0)
+
+    def test_throughput_drop_fails(self):
+        # "_per_s" leaves are higher-is-better: a halved throughput must
+        # trip the gate even though the key also ends in "_s".
+        new = make_bench(self.tmp.name, "new.json",
+                         **{"batch.runs.0.matrices_per_s": 1787.5})
+        self.assertEqual(self.compare(new), 3)
+
+    def test_throughput_gain_passes(self):
+        # A >10% throughput improvement is good news, not a regression.
+        new = make_bench(self.tmp.name, "new.json",
+                         **{"batch.runs.0.matrices_per_s": 7150.0})
+        self.assertEqual(self.compare(new), 0)
+
+    def test_invariant_flip_fails(self):
+        new = make_bench(self.tmp.name, "new.json",
+                         **{"batch.runs.0.bit_identical": False})
+        self.assertEqual(self.compare(new), 3)
+
+    def test_different_bench_refused(self):
+        new = make_bench(self.tmp.name, "new.json", bench="other_bench")
+        self.assertEqual(self.compare(new), 2)
+
+    def test_schema_version_mismatch_refused(self):
+        new = make_bench(
+            self.tmp.name, "new.json",
+            **{"manifest.schema_versions": {"trace": "hjsvd.trace.v3"}})
+        self.assertEqual(self.compare(new), 2)
+
+    def test_config_mismatch_refused(self):
+        new = make_bench(self.tmp.name, "new.json",
+                         **{"manifest.config": "sizes=128 threads=1 reps=3"})
+        self.assertEqual(self.compare(new), 2)
+
+    def test_identity_leaf_mismatch_refused(self):
+        # Same config string but different recorded workload shape: the
+        # positional leaf match would compare n=64 against n=128 timings.
+        new = make_bench(self.tmp.name, "new.json", **{"sizes.0.n": 128})
+        self.assertEqual(self.compare(new), 2)
+
+
+class BenchGateCheck(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def test_green_file_passes(self):
+        path = make_bench(self.tmp.name, "b.json")
+        self.assertEqual(bench_gate.cmd_check([path]), 0)
+
+    def test_missing_manifest_fails(self):
+        path = os.path.join(self.tmp.name, "b.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"bench": "x", "total_s": 1.0}, f)
+        self.assertEqual(bench_gate.cmd_check([path]), 1)
+
+    def test_red_invariant_fails(self):
+        path = make_bench(self.tmp.name, "b.json", all_bit_identical=False)
+        self.assertEqual(bench_gate.cmd_check([path]), 1)
+
+
+class ValidateObsReport(unittest.TestCase):
+    """Malformed reports must fail cleanly (exit 1), never traceback."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def run_validate(self, doc) -> subprocess.CompletedProcess:
+        path = os.path.join(self.tmp.name, "report.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return subprocess.run(
+            [sys.executable, os.path.join(SCRIPTS_DIR, "validate_obs.py"),
+             "--report", path],
+            capture_output=True, text=True)
+
+    @staticmethod
+    def report(phases):
+        return {
+            "schema": "hjsvd.report.v1",
+            "run": {"rows": 64, "cols": 32, "sweeps": 2, "converged": True,
+                    "wall_s": 0.5},
+            "phases": phases,
+            "cross_checks": {"generator_busy_frac": 0.02,
+                             "generator_is_bottleneck": False},
+        }
+
+    @staticmethod
+    def phase(**overrides):
+        p = {"cat": "svd", "name": "sweep", "total_s": 0.4, "count": 2,
+             "frac_of_wall": 0.8}
+        p.update(overrides)
+        return p
+
+    def assert_clean_fail(self, proc):
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("validate_obs: FAIL", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_well_formed_report_passes(self):
+        proc = self.run_validate(self.report(
+            [self.phase(), self.phase(name="update", total_s=0.2)]))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_scalar_phase_fails_cleanly(self):
+        self.assert_clean_fail(self.run_validate(self.report(["oops"])))
+
+    def test_string_total_s_fails_cleanly(self):
+        self.assert_clean_fail(
+            self.run_validate(self.report([self.phase(total_s="0.4")])))
+
+    def test_unsorted_phases_fail(self):
+        proc = self.run_validate(self.report(
+            [self.phase(total_s=0.1), self.phase(name="update", total_s=0.2)]))
+        self.assert_clean_fail(proc)
+
+
+if __name__ == "__main__":
+    unittest.main()

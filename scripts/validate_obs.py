@@ -165,9 +165,15 @@ def check_report(path: str) -> None:
     if not isinstance(phases, list):
         fail(f"{path}: phases missing or not a list")
     for i, p in enumerate(phases):
+        if not isinstance(p, dict):
+            fail(f"{path}: phase {i} is not an object: {p!r}")
         for field in ("cat", "name", "total_s", "count", "frac_of_wall"):
             if field not in p:
                 fail(f"{path}: phase {i} lacks {field!r}: {p}")
+        if not isinstance(p["total_s"], (int, float)) \
+                or isinstance(p["total_s"], bool):
+            fail(f"{path}: phase {i} total_s is not numeric: "
+                 f"{p['total_s']!r}")
     totals = [p["total_s"] for p in phases]
     if totals != sorted(totals, reverse=True):
         fail(f"{path}: phases are not sorted by descending total_s")

@@ -47,9 +47,24 @@ TEST(ReportJson, ParsesScalarsArraysObjects) {
 }
 
 TEST(ReportJson, ParsesEscapesAndUnicode) {
-  const JsonValue v = parse_json(R"(["\"\\\/\b\f\n\r\t", "Aé"])");
+  const JsonValue v = parse_json(R"(["\"\\\/\b\f\n\r\t", "Aé", "\u00e9"])");
   EXPECT_EQ(v.as_array()[0].as_string(), "\"\\/\b\f\n\r\t");
   EXPECT_EQ(v.as_array()[1].as_string(), "A\xc3\xa9");
+  EXPECT_EQ(v.as_array()[2].as_string(), "\xc3\xa9");
+}
+
+TEST(ReportJson, CombinesSurrogatePairsToUtf8) {
+  // U+1F600 arrives as a UTF-16 surrogate pair and must decode to one
+  // 4-byte UTF-8 sequence, not two invalid 3-byte ones.
+  const JsonValue v = parse_json("[\"\\ud83d\\ude00\"]");
+  EXPECT_EQ(v.as_array()[0].as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(ReportJson, RejectsLoneSurrogates) {
+  EXPECT_THROW(parse_json(R"(["\ud83d"])"), Error);        // high at end
+  EXPECT_THROW(parse_json(R"(["\ud83d!"])"), Error);       // high, no \u
+  EXPECT_THROW(parse_json(R"(["\ud83dA"])"), Error);  // high + non-low
+  EXPECT_THROW(parse_json(R"(["\ude00"])"), Error);        // lone low
 }
 
 TEST(ReportJson, ParsesScientificNumbers) {

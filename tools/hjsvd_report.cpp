@@ -70,8 +70,24 @@ report::JsonValue load_json(const std::string& path) {
   }
 }
 
+/// Analysis of a parsed document can still throw plain hjsvd::Error — e.g. a
+/// non-numeric series point surfacing from JsonValue::as_number.  The
+/// documented contract is exit 2 for any malformed input, so rewrap those
+/// the same way load_json rewraps parse errors.
+template <typename Fn>
+auto malformed_is_usage(const std::string& inputs, Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const UsageError&) {
+    throw;
+  } catch (const Error& e) {
+    throw UsageError(inputs + ": malformed document: " + e.what());
+  }
+}
+
 report::RunReport load_report(const std::string& path) {
-  return report::report_from_json(load_json(path));
+  return malformed_is_usage(
+      path, [&] { return report::report_from_json(load_json(path)); });
 }
 
 int run_compare(const CompareArgs& args, const report::CompareThresholds& t) {
@@ -99,7 +115,10 @@ int run_analyze(const Cli& cli) {
                      "(or use --compare BASELINE CANDIDATE)");
   const report::JsonValue trace_doc = load_json(trace_path);
   const report::JsonValue metrics_doc = load_json(metrics_path);
-  const report::RunReport run = report::analyze_run(trace_doc, metrics_doc);
+  const report::RunReport run =
+      malformed_is_usage(trace_path + " + " + metrics_path, [&] {
+        return report::analyze_run(trace_doc, metrics_doc);
+      });
   std::cout << report::report_table(run);
   const std::string out = cli.get("out");
   if (!out.empty()) {
