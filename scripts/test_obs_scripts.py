@@ -21,6 +21,21 @@ sys.path.insert(0, SCRIPTS_DIR)
 import bench_gate  # noqa: E402
 
 
+def _write_with_overrides(tmpdir: str, name: str, doc: dict,
+                          overrides: dict) -> str:
+    for dotted, value in overrides.items():
+        node = doc
+        parts = dotted.split(".")
+        for part in parts[:-1]:
+            node = node[int(part)] if part.isdigit() else node[part]
+        last = parts[-1]
+        node[int(last) if last.isdigit() else last] = value
+    path = os.path.join(tmpdir, name)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    return path
+
+
 def make_bench(tmpdir: str, name: str, **overrides) -> str:
     """Write a minimal bench JSON modeled on BENCH_parallel_sweep.json."""
     doc = {
@@ -42,17 +57,39 @@ def make_bench(tmpdir: str, name: str, **overrides) -> str:
                                          "bit_identical": True}]},
         "all_bit_identical": True,
     }
-    for dotted, value in overrides.items():
-        node = doc
-        parts = dotted.split(".")
-        for part in parts[:-1]:
-            node = node[int(part)] if part.isdigit() else node[part]
-        last = parts[-1]
-        node[int(last) if last.isdigit() else last] = value
-    path = os.path.join(tmpdir, name)
-    with open(path, "w", encoding="utf-8") as f:
-        json.dump(doc, f)
-    return path
+    return _write_with_overrides(tmpdir, name, doc, overrides)
+
+
+def make_batch_sweep(tmpdir: str, name: str, **overrides) -> str:
+    """Write a minimal bench JSON modeled on BENCH_batch_sweep.json."""
+    doc = {
+        "bench": "batch_sweep",
+        "manifest": {
+            "tool": "bench_batch_sweep",
+            "config": "count=16 small-n=48 large-n=96 threads=1,2 reps=3 "
+                      "split-threshold=0.25",
+            "git_sha": "deadbeef",
+            "host_threads": 4,
+            "schema_versions": {"trace": "hjsvd.trace.v2",
+                                "metrics": "hjsvd.metrics.v1"},
+        },
+        "hardware_threads": 4,
+        "count": 17,
+        "reps": 3,
+        "runs": [
+            {"threads": 1, "split": 0, "seconds": 0.82,
+             "matrices_per_s": 20.7, "steals": 0, "nested_splits": 0,
+             "helpers_granted": 0, "idle_fraction": 0.0,
+             "bit_identical": True},
+            {"threads": 2, "split": 0.25, "seconds": 0.49,
+             "matrices_per_s": 34.7, "steals": 4, "nested_splits": 1,
+             "helpers_granted": 1, "idle_fraction": 0.08,
+             "bit_identical": True},
+        ],
+        "max_steals_multithread": 4,
+        "all_bit_identical": True,
+    }
+    return _write_with_overrides(tmpdir, name, doc, overrides)
 
 
 class BenchGateCompare(unittest.TestCase):
@@ -135,6 +172,50 @@ class BenchGateCheck(unittest.TestCase):
 
     def test_red_invariant_fails(self):
         path = make_bench(self.tmp.name, "b.json", all_bit_identical=False)
+        self.assertEqual(bench_gate.cmd_check([path]), 1)
+
+
+class BenchGateBatchSweep(unittest.TestCase):
+    """BENCH_batch_sweep.json rides the same gate as the other benches."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.old = make_batch_sweep(self.tmp.name, "old.json")
+
+    def compare(self, new_path: str) -> int:
+        return bench_gate.cmd_compare(self.old, new_path, 0.10)
+
+    def test_green_file_passes_check_and_self_compare(self):
+        self.assertEqual(bench_gate.cmd_check([self.old]), 0)
+        new = make_batch_sweep(self.tmp.name, "new.json")
+        self.assertEqual(self.compare(new), 0)
+
+    def test_injected_throughput_regression_trips(self):
+        # Halving a run's matrices_per_s is the canonical injected
+        # regression (the CI job performs the same edit with jq).
+        new = make_batch_sweep(self.tmp.name, "new.json",
+                               **{"runs.1.matrices_per_s": 17.35})
+        self.assertEqual(self.compare(new), 3)
+
+    def test_scheduler_counters_are_not_gated(self):
+        # Steal/split counts are timing-dependent scheduler behaviour, not
+        # performance: wild swings must not trip the gate.
+        new = make_batch_sweep(self.tmp.name, "new.json",
+                               **{"runs.1.steals": 40,
+                                  "runs.1.nested_splits": 0,
+                                  "runs.1.idle_fraction": 0.9})
+        self.assertEqual(self.compare(new), 0)
+
+    def test_thread_count_mismatch_refused(self):
+        new = make_batch_sweep(self.tmp.name, "new.json",
+                               **{"runs.1.threads": 8})
+        self.assertEqual(self.compare(new), 2)
+
+    def test_bit_identity_flip_fails_check(self):
+        path = make_batch_sweep(self.tmp.name, "b.json",
+                                **{"runs.0.bit_identical": False,
+                                   "all_bit_identical": False})
         self.assertEqual(bench_gate.cmd_check([path]), 1)
 
 

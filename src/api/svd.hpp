@@ -7,6 +7,9 @@
 //                                .compute_u = true, .compute_v = true});
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "linalg/matrix.hpp"
 #include "linalg/residuals.hpp"
 #include "obs/sinks.hpp"
@@ -38,6 +41,16 @@ struct SvdOptions {
   /// software analogue of the accelerator's param FIFO depth); other
   /// methods ignore it.  Results are bitwise independent of this value.
   std::size_t pipeline_queue_depth = 8;
+  /// svd_batch() only: a batch item whose estimated cost is at least this
+  /// fraction of the whole batch's total cost is decomposed by the
+  /// *parallel* counterpart of `method` on borrowed pool workers (nested
+  /// parallelism) instead of the sequential path, so one oversized matrix
+  /// cannot serialize the tail of a mixed batch.  0 disables splitting.
+  /// Only the Hestenes-family methods split — their parallel engines are
+  /// bitwise identical to the sequential path at every thread count — so
+  /// results are bitwise independent of this value; the two-sided and
+  /// Golub-Kahan baselines always run sequentially.
+  double batch_split_min_fraction = 0.25;
   /// Observability sinks (see docs/OBSERVABILITY.md).  `trace` collects
   /// Chrome trace-event spans, `metrics` collects counters / gauges /
   /// series; null (the default) records nothing.  Recording never changes
@@ -55,17 +68,54 @@ struct SvdOptions {
 /// inputs (empty matrices; rectangular input to the two-sided method).
 SvdResult svd(const Matrix& a, const SvdOptions& options = {});
 
-/// Decomposes every matrix of a batch, spreading the work across a thread
-/// pool — the serving-shaped workload of many small independent problems.
-/// Matrices are assigned to workers by deterministic cost-based sharding
-/// (arch::shard_by_cost, the multi-engine dispatch rule), and each matrix
-/// is decomposed by the sequential path of options.method, so results[i] is
-/// bitwise identical to svd(batch[i], options) at every thread count.
-/// `threads` = 0 defers to the OpenMP runtime.  Throws hjsvd::Error if any
-/// input is invalid (the whole batch is validated before any work starts).
+/// Scheduler behaviour of one svd_batch() call (optional out-param).
+struct SvdBatchStats {
+  std::size_t items = 0;    ///< Matrices in the batch.
+  std::size_t workers = 0;  ///< Pool worker threads actually spawned
+                            ///< (min(requested_workers, items)); matches the
+                            ///< batch.workers gauge and the number of
+                            ///< "svd_batch worker N" trace timelines.
+  std::size_t requested_workers = 0;  ///< Thread budget before clamping;
+                                      ///< nested splits may borrow up to
+                                      ///< this many threads for one item.
+  std::uint64_t steals = 0;           ///< Items run off a stolen deque entry.
+  std::uint64_t nested_splits = 0;    ///< Items decomposed by a parallel
+                                      ///< engine on borrowed workers.
+  std::uint64_t helpers_granted = 0;  ///< Total borrowed helper threads.
+  std::size_t items_ok = 0;      ///< Items that decomposed successfully.
+  std::size_t items_failed = 0;  ///< Items whose engine threw (every item
+                                 ///< still runs; see error contract below).
+  double wall_s = 0.0;           ///< Pool spawn-to-join wall clock.
+  std::vector<double> worker_busy_s;  ///< Per pool worker: time inside items.
+  std::vector<double> worker_idle_s;  ///< Per pool worker: wall_s - busy.
+};
+
+/// Decomposes every matrix of a batch, spreading the work across a
+/// work-stealing thread pool — the serving-shaped workload of many small
+/// independent problems.  Matrices are seeded onto per-worker deques by
+/// deterministic cost-based LPT sharding (arch::shard_by_cost, the
+/// multi-engine dispatch rule); an idle worker steals from the victim with
+/// the greatest remaining estimated cost, so mixed-size batches keep every
+/// worker fed even when the cost model misjudges convergence.  Items whose
+/// estimated cost reaches options.batch_split_min_fraction of the batch
+/// total are decomposed by the parallel counterpart of options.method on
+/// borrowed pool workers (nested parallelism).  Neither stealing nor
+/// splitting changes the arithmetic: results[i] is bitwise identical to
+/// svd(batch[i], options) at every thread count.  `threads` = 0 defers to
+/// the OpenMP runtime.
+///
+/// Error contract: the whole batch is validated before any work starts
+/// (shape and method constraints, e.g. square-only for kTwoSidedJacobi),
+/// so a malformed batch throws without computing anything.  Data-dependent
+/// failures (e.g. non-finite entries) surface from the engine mid-run; the
+/// remaining items still run to completion, and the rethrown hjsvd::Error
+/// is deterministically the *lowest-index* failure, prefixed with
+/// "svd_batch: item <i>".  `stats` (optional) receives scheduler counters
+/// even when an error is rethrown.
 std::vector<SvdResult> svd_batch(const std::vector<Matrix>& batch,
                                  const SvdOptions& options = {},
-                                 std::size_t threads = 0);
+                                 std::size_t threads = 0,
+                                 SvdBatchStats* stats = nullptr);
 
 /// Human-readable method name (for reports).
 const char* svd_method_name(SvdMethod method);

@@ -1,0 +1,224 @@
+#include "common/pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace hjsvd {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One worker's deque.  `remaining` mirrors the summed estimated cost of
+/// the queued tasks; it is only *written* under `mu` but read lock-free by
+/// thieves ranking victims — a stale read merely picks a slightly poorer
+/// victim, never a wrong result.
+struct WorkerDeque {
+  std::mutex mu;
+  std::deque<std::size_t> tasks;
+  std::atomic<double> remaining{0.0};
+};
+
+}  // namespace
+
+PoolStats run_work_stealing(
+    const std::vector<double>& costs,
+    const std::vector<std::vector<std::size_t>>& bins,
+    const WorkStealingOptions& options,
+    const std::function<void(const PoolTaskInfo&)>& fn) {
+  HJSVD_ENSURE(options.workers >= 1, "pool needs at least one worker");
+  HJSVD_ENSURE(bins.size() <= options.workers,
+               "more seeded bins than pool workers");
+  HJSVD_ENSURE(static_cast<bool>(fn), "pool task callback must be callable");
+  const std::size_t n_tasks = costs.size();
+  for (double c : costs)
+    HJSVD_ENSURE(std::isfinite(c) && c >= 0.0,
+                 "task cost estimates must be finite and non-negative");
+  {
+    std::vector<bool> seen(n_tasks, false);
+    std::size_t covered = 0;
+    for (const auto& bin : bins)
+      for (std::size_t t : bin) {
+        HJSVD_ENSURE(t < n_tasks, "seeded bin references unknown task");
+        HJSVD_ENSURE(!seen[t], "task seeded into more than one bin");
+        seen[t] = true;
+        ++covered;
+      }
+    HJSVD_ENSURE(covered == n_tasks, "seeded bins must cover every task");
+  }
+
+  const std::size_t workers = options.workers;
+  const std::size_t width =
+      options.total_width == 0 ? workers : options.total_width;
+
+  std::vector<WorkerDeque> deques(workers);
+  for (std::size_t w = 0; w < bins.size(); ++w) {
+    double sum = 0.0;
+    for (std::size_t t : bins[w]) {
+      deques[w].tasks.push_back(t);
+      sum += costs[t];
+    }
+    deques[w].remaining.store(sum, std::memory_order_relaxed);
+  }
+
+  PoolStats stats;
+  stats.workers = workers;
+  stats.tasks = n_tasks;
+  stats.executed.assign(workers, 0);
+  stats.stolen.assign(workers, 0);
+  stats.busy_s.assign(workers, 0.0);
+  stats.idle_s.assign(workers, 0.0);
+  stats.occupancy.assign(n_tasks, 0);
+
+  // Per-task exception slots: each is written by exactly one worker (the
+  // one that ran the task), read by the caller after the join.
+  std::vector<std::exception_ptr> errors(n_tasks);
+  std::vector<std::uint64_t> nested(workers, 0);
+  std::vector<std::uint64_t> granted(workers, 0);
+
+  // Unacquired tasks; drives the occupancy samples and their global order.
+  std::atomic<std::size_t> queued{n_tasks};
+  // Helper reservations currently outstanding against `width`.
+  std::atomic<std::size_t> borrowed{0};
+
+  // Pop the task with the largest remaining estimate (front of the
+  // LPT-ordered deque); thieves take the smallest (back) so the victim
+  // keeps the work its seed placed there for longest.
+  const auto try_pop = [&](std::size_t w, bool back,
+                           std::size_t* out) -> bool {
+    WorkerDeque& d = deques[w];
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (d.tasks.empty()) {
+      d.remaining.store(0.0, std::memory_order_relaxed);
+      return false;
+    }
+    if (back) {
+      *out = d.tasks.back();
+      d.tasks.pop_back();
+    } else {
+      *out = d.tasks.front();
+      d.tasks.pop_front();
+    }
+    const double rest =
+        d.remaining.load(std::memory_order_relaxed) - costs[*out];
+    d.remaining.store(rest > 0.0 ? rest : 0.0, std::memory_order_relaxed);
+    return true;
+  };
+
+  const auto worker_main = [&](std::size_t self) {
+    if (options.worker_start) options.worker_start(self);
+    double busy = 0.0;
+    for (;;) {
+      std::size_t task = 0;
+      bool stolen = false;
+      if (!try_pop(self, /*back=*/false, &task)) {
+        // Own deque drained: steal from the richest victim.  Snapshots can
+        // be stale, so fall back to a locked linear sweep before giving up
+        // (zero-cost tasks never show up in the snapshot ranking).
+        bool found = false;
+        for (;;) {
+          std::size_t victim = workers;
+          double best = 0.0;
+          for (std::size_t w = 0; w < workers; ++w) {
+            if (w == self) continue;
+            const double r = deques[w].remaining.load(std::memory_order_relaxed);
+            if (r > best) {
+              best = r;
+              victim = w;
+            }
+          }
+          if (victim == workers) break;
+          if (try_pop(victim, /*back=*/true, &task)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found)
+          for (std::size_t w = 0; w < workers && !found; ++w)
+            found = try_pop(w, /*back=*/true, &task);
+        // No task anywhere.  Tasks are never enqueued after start, so an
+        // all-empty sweep is conclusive: exit instead of spinning.
+        if (!found) break;
+        stolen = true;
+      }
+
+      PoolTaskInfo info;
+      info.task = task;
+      info.worker = self;
+      info.stolen = stolen;
+      const std::size_t before = queued.fetch_sub(1, std::memory_order_acq_rel);
+      info.queued = before - 1;
+      stats.occupancy[n_tasks - before] = info.queued;
+
+      // Borrow helpers for a qualifying task: reserve against the total
+      // width so one big task can expand to the pool's full budget.  The
+      // reservation is advisory (see pool.hpp) — it bounds deliberate
+      // oversubscription and never influences results.
+      std::size_t cap = task < options.max_helpers.size()
+                            ? options.max_helpers[task]
+                            : 0;
+      if (cap > width - 1) cap = width - 1;
+      std::size_t got = 0;
+      if (cap > 0) {
+        std::size_t cur = borrowed.load(std::memory_order_relaxed);
+        do {
+          const std::size_t avail = width - 1 > cur ? width - 1 - cur : 0;
+          got = cap < avail ? cap : avail;
+        } while (got > 0 &&
+                 !borrowed.compare_exchange_weak(cur, cur + got,
+                                                 std::memory_order_acq_rel));
+      }
+      info.helpers = got;
+      if (got > 0) {
+        ++nested[self];
+        granted[self] += got;
+      }
+
+      const auto task_t0 = std::chrono::steady_clock::now();
+      try {
+        fn(info);
+      } catch (...) {
+        errors[task] = std::current_exception();
+      }
+      busy += seconds_since(task_t0);
+      if (got > 0) borrowed.fetch_sub(got, std::memory_order_acq_rel);
+      ++stats.executed[self];
+      if (stolen) ++stats.stolen[self];
+    }
+    stats.busy_s[self] = busy;
+  };
+
+  const auto pool_t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    threads.emplace_back(worker_main, w);
+  for (auto& t : threads) t.join();
+  stats.wall_s = seconds_since(pool_t0);
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    stats.steals += stats.stolen[w];
+    stats.nested_runs += nested[w];
+    stats.helpers_granted += granted[w];
+    const double idle = stats.wall_s - stats.busy_s[w];
+    stats.idle_s[w] = idle > 0.0 ? idle : 0.0;
+  }
+
+  // Deterministic error surface: the lowest-index failure wins no matter
+  // which worker observed it first.
+  for (std::size_t t = 0; t < n_tasks; ++t)
+    if (errors[t]) std::rethrow_exception(errors[t]);
+
+  return stats;
+}
+
+}  // namespace hjsvd

@@ -1,0 +1,91 @@
+// Reusable work-stealing scheduler for a fixed, up-front task set.
+//
+// The caller supplies per-task cost estimates and an initial placement of
+// tasks onto workers (typically arch::shard_by_cost LPT bins, so the
+// deterministic cost model still guides locality).  Each worker owns a
+// deque seeded with its bin in descending-cost order; the owner pops from
+// the front (largest remaining task first, preserving LPT intent) and an
+// idle worker steals one task from the *back* (smallest task) of the
+// victim with the greatest remaining estimated cost ("steal from
+// richest").  No task is ever added after start, so termination is simply
+// "every deque drained" — workers never sleep, they exit.
+//
+// Scheduling decisions (which worker runs which task, and when) are
+// timing-dependent by design; the pool is therefore only suitable for
+// tasks whose *results* do not depend on placement.  hjsvd::svd_batch
+// satisfies this because every engine is bitwise-deterministic at any
+// thread count.
+//
+// Error contract: a throwing task does not cancel the rest of the pool —
+// every other task still runs to completion — and after the join the
+// exception of the *lowest task index* is rethrown, independent of thread
+// timing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hjsvd {
+
+/// Context handed to the task callback.
+struct PoolTaskInfo {
+  std::size_t task = 0;     ///< Index into the submitted task set.
+  std::size_t worker = 0;   ///< Executing worker id in [0, workers).
+  std::size_t helpers = 0;  ///< Extra workers borrowed for nested parallelism.
+  bool stolen = false;      ///< Acquired by stealing rather than from the
+                            ///< worker's own seeded deque.
+  std::size_t queued = 0;   ///< Tasks still waiting across all deques at the
+                            ///< moment this one was acquired.
+};
+
+struct WorkStealingOptions {
+  /// Worker threads to spawn.  Must be >= 1.
+  std::size_t workers = 1;
+  /// Total thread budget a single task may grow to via helper borrowing
+  /// (1 owner + helpers <= total_width).  Defaults to `workers` when 0.
+  /// Borrowed helpers are a *reservation* against this budget, not a
+  /// transfer of live threads: while seeded tasks drain elsewhere the
+  /// process may transiently run more than total_width threads.  That is
+  /// acceptable because helpers only ever change scheduling, never
+  /// results.
+  std::size_t total_width = 0;
+  /// Per-task helper cap; tasks beyond the vector's size (or an empty
+  /// vector) get 0, i.e. they always run single-threaded.
+  std::vector<std::size_t> max_helpers;
+  /// Optional hook run on each worker thread before it acquires any task
+  /// (e.g. to register a trace timeline for that worker).
+  std::function<void(std::size_t worker)> worker_start;
+};
+
+/// Aggregate scheduler behaviour of one run_work_stealing() call.
+struct PoolStats {
+  std::size_t workers = 0;            ///< Worker threads actually spawned.
+  std::uint64_t tasks = 0;            ///< Tasks executed (== task count).
+  std::uint64_t steals = 0;           ///< Tasks acquired from a victim deque.
+  std::uint64_t nested_runs = 0;      ///< Tasks that ran with helpers > 0.
+  std::uint64_t helpers_granted = 0;  ///< Sum of helpers over nested runs.
+  double wall_s = 0.0;                ///< Spawn-to-join wall clock.
+  std::vector<std::uint64_t> executed;  ///< Per worker: tasks run.
+  std::vector<std::uint64_t> stolen;    ///< Per worker: tasks it stole.
+  std::vector<double> busy_s;  ///< Per worker: time spent inside tasks.
+  std::vector<double> idle_s;  ///< Per worker: wall_s - busy_s (steal-loop
+                               ///< spinning plus post-drain waiting).
+  /// Queue occupancy samples in acquisition order: element k is the number
+  /// of tasks still waiting when the k-th task (globally) was acquired.
+  std::vector<std::size_t> occupancy;
+};
+
+/// Runs `fn` once per task across `options.workers` threads and returns the
+/// scheduler stats.  `costs[t]` is the estimated cost of task t (finite,
+/// >= 0); `bins[w]` lists the tasks seeded onto worker w's deque, and the
+/// bins must cover every task exactly once (bins beyond options.workers are
+/// rejected).  Throws hjsvd::Error on malformed input; rethrows the
+/// lowest-index task exception after all tasks have run.
+PoolStats run_work_stealing(const std::vector<double>& costs,
+                            const std::vector<std::vector<std::size_t>>& bins,
+                            const WorkStealingOptions& options,
+                            const std::function<void(const PoolTaskInfo&)>& fn);
+
+}  // namespace hjsvd

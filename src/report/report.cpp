@@ -201,6 +201,41 @@ void fill_sim(const MetricsView& metrics, RunReport* report) {
       metrics.value_or("sim.update_utilization", 0.0);
 }
 
+void fill_batch(const MetricsView& metrics, RunReport* report) {
+  if (!metrics.has("batch.items")) return;
+  report->has_batch = true;
+  const auto u64 = [&](std::string_view name) {
+    return static_cast<std::uint64_t>(metrics.value_or(name, 0.0));
+  };
+  report->batch_items = u64("batch.items");
+  report->batch_items_ok = u64("batch.items_ok");
+  report->batch_items_failed = u64("batch.items_failed");
+  report->batch_workers = u64("batch.workers");
+  report->batch_workers_requested = u64("batch.workers.requested");
+  report->batch_steals = u64("batch.steals");
+  report->batch_nested_splits = u64("batch.nested.splits");
+  report->batch_nested_helpers = u64("batch.nested.helpers");
+  report->batch_wall_s = metrics.value_or("batch.wall_s", 0.0);
+  double idle_sum = 0.0;
+  for (std::size_t w = 0;; ++w) {
+    const std::string prefix = "batch.worker." + std::to_string(w) + ".";
+    if (!metrics.has(prefix + "busy_s")) break;
+    BatchWorkerStat stat;
+    stat.name = "worker." + std::to_string(w);
+    stat.busy_s = metrics.value_or(prefix + "busy_s", 0.0);
+    stat.idle_s = metrics.value_or(prefix + "idle_s", 0.0);
+    idle_sum += stat.idle_s;
+    report->batch_worker_stats.push_back(std::move(stat));
+  }
+  if (report->batch_wall_s > 0.0 && !report->batch_worker_stats.empty())
+    report->batch_idle_frac =
+        idle_sum /
+        (report->batch_wall_s *
+         static_cast<double>(report->batch_worker_stats.size()));
+  report->batch_queue_occupancy =
+      series_stats(metrics.series_values("batch.queue.occupancy"));
+}
+
 void fill_convergence(const MetricsView& metrics, RunReport* report) {
   const auto frob = metrics.series_points("svd.sweep.offdiag_frobenius");
   const auto rel = metrics.series_points("svd.sweep.max_rel_offdiag");
@@ -292,6 +327,7 @@ RunReport analyze_run(const JsonValue& trace_doc,
   aggregate_phases(trace_doc, &report);
   fill_pipeline(metrics, &report);
   fill_sim(metrics, &report);
+  fill_batch(metrics, &report);
   fill_convergence(metrics, &report);
   fill_cross_checks(&report);
   return report;
@@ -347,6 +383,30 @@ std::string report_json(const RunReport& r) {
        << json_number(r.sim_update_utilization) << "},\n";
   } else {
     os << "\"sim\": null,\n";
+  }
+  // The batch member is omitted entirely when absent (no "batch": null):
+  // reports predating the batch scheduler must re-serialize byte-for-byte.
+  if (r.has_batch) {
+    os << "\"batch\": {\"items\": " << r.batch_items
+       << ", \"items_ok\": " << r.batch_items_ok
+       << ", \"items_failed\": " << r.batch_items_failed
+       << ", \"workers\": " << r.batch_workers
+       << ", \"workers_requested\": " << r.batch_workers_requested
+       << ", \"steals\": " << r.batch_steals
+       << ", \"nested_splits\": " << r.batch_nested_splits
+       << ", \"nested_helpers\": " << r.batch_nested_helpers
+       << ", \"wall_s\": " << json_number(r.batch_wall_s)
+       << ", \"idle_frac\": " << json_number(r.batch_idle_frac)
+       << ", \"worker_threads\": [";
+    for (std::size_t i = 0; i < r.batch_worker_stats.size(); ++i) {
+      const BatchWorkerStat& w = r.batch_worker_stats[i];
+      os << (i == 0 ? "\n" : ",\n") << "  {\"name\": " << quoted(w.name)
+         << ", \"busy_s\": " << json_number(w.busy_s)
+         << ", \"idle_s\": " << json_number(w.idle_s) << '}';
+    }
+    os << "\n], \"queue_occupancy\": ";
+    append_series_stats(os, r.batch_queue_occupancy);
+    os << "},\n";
   }
   os << "\"convergence\": [";
   for (std::size_t i = 0; i < r.convergence.size(); ++i) {
@@ -413,6 +473,30 @@ std::string report_table(const RunReport& r) {
        << format_fixed(r.sim_fifo_occupancy.p95, 2) << " over "
        << r.sim_fifo_occupancy.samples << " samples, update utilization "
        << pct(r.sim_update_utilization) << "\n\n";
+  }
+
+  if (r.has_batch) {
+    os << "batch: " << r.batch_items << " matrices (" << r.batch_items_ok
+       << " ok / " << r.batch_items_failed << " failed) on "
+       << r.batch_workers << " workers (" << r.batch_workers_requested
+       << " requested), " << r.batch_steals << " steals, "
+       << r.batch_nested_splits << " nested splits (+"
+       << r.batch_nested_helpers << " helper threads), wall "
+       << format_duration(r.batch_wall_s) << ", pool idle "
+       << pct(r.batch_idle_frac) << "\n";
+    if (!r.batch_worker_stats.empty()) {
+      AsciiTable workers({"worker", "busy", "idle"});
+      workers.set_caption("Batch-scheduler pool workers");
+      for (const BatchWorkerStat& w : r.batch_worker_stats)
+        workers.add_row({w.name, format_duration(w.busy_s),
+                         format_duration(w.idle_s)});
+      os << workers.to_string() << '\n';
+    }
+    os << "batch queue: occupancy mean "
+       << format_fixed(r.batch_queue_occupancy.mean, 2) << " / p95 "
+       << format_fixed(r.batch_queue_occupancy.p95, 2) << " / max "
+       << format_fixed(r.batch_queue_occupancy.max, 0) << " over "
+       << r.batch_queue_occupancy.samples << " samples\n\n";
   }
 
   if (!r.convergence.empty()) {
@@ -500,6 +584,35 @@ RunReport report_from_json(const JsonValue& doc) {
     if (const JsonValue* occ = sim->find("param_fifo_occupancy"))
       r.sim_fifo_occupancy = series_stats_from_json(*occ);
     r.sim_update_utilization = sim->number_or("update_utilization", 0.0);
+  }
+  if (const JsonValue* batch = doc.find("batch");
+      batch != nullptr && batch->is_object()) {
+    r.has_batch = true;
+    const auto u64 = [&](const char* name) {
+      return static_cast<std::uint64_t>(batch->number_or(name, 0.0));
+    };
+    r.batch_items = u64("items");
+    r.batch_items_ok = u64("items_ok");
+    r.batch_items_failed = u64("items_failed");
+    r.batch_workers = u64("workers");
+    r.batch_workers_requested = u64("workers_requested");
+    r.batch_steals = u64("steals");
+    r.batch_nested_splits = u64("nested_splits");
+    r.batch_nested_helpers = u64("nested_helpers");
+    r.batch_wall_s = batch->number_or("wall_s", 0.0);
+    r.batch_idle_frac = batch->number_or("idle_frac", 0.0);
+    if (const JsonValue* workers = batch->find("worker_threads");
+        workers != nullptr && workers->is_array()) {
+      for (const JsonValue& w : workers->as_array()) {
+        BatchWorkerStat stat;
+        stat.name = w.string_or("name");
+        stat.busy_s = w.number_or("busy_s", 0.0);
+        stat.idle_s = w.number_or("idle_s", 0.0);
+        r.batch_worker_stats.push_back(std::move(stat));
+      }
+    }
+    if (const JsonValue* occ = batch->find("queue_occupancy"))
+      r.batch_queue_occupancy = series_stats_from_json(*occ);
   }
   if (const JsonValue* conv = doc.find("convergence");
       conv != nullptr && conv->is_array()) {

@@ -51,6 +51,14 @@ struct ThreadStat {
   double busy_frac_of_wall = 0.0;
 };
 
+/// Busy/idle split of one svd_batch pool worker (work-stealing batch
+/// scheduler only).
+struct BatchWorkerStat {
+  std::string name;  // "worker.0", ...
+  double busy_s = 0.0;
+  double idle_s = 0.0;
+};
+
 /// Summary statistics of an occupancy series.
 struct SeriesStats {
   std::uint64_t samples = 0;
@@ -97,6 +105,23 @@ struct RunReport {
   double sim_fifo_high_water_rotations = 0.0;  // calibrated bound
   SeriesStats sim_fifo_occupancy;              // sim.param_fifo.occupancy
   double sim_update_utilization = 0.0;
+
+  // Batch-scheduler section (svd_batch's work-stealing pool; batch.*
+  // metrics).  Unlike pipeline/sim this member is omitted from the JSON
+  // entirely when absent, so pre-batch reports re-serialize byte-for-byte.
+  bool has_batch = false;
+  std::uint64_t batch_items = 0;
+  std::uint64_t batch_items_ok = 0;
+  std::uint64_t batch_items_failed = 0;
+  std::uint64_t batch_workers = 0;            // pool width actually spawned
+  std::uint64_t batch_workers_requested = 0;  // pre-clamp thread budget
+  std::uint64_t batch_steals = 0;
+  std::uint64_t batch_nested_splits = 0;
+  std::uint64_t batch_nested_helpers = 0;
+  double batch_wall_s = 0.0;
+  double batch_idle_frac = 0.0;  // sum(idle_s) / (wall_s * workers)
+  std::vector<BatchWorkerStat> batch_worker_stats;  // by worker index
+  SeriesStats batch_queue_occupancy;  // batch.queue.occupancy series
 
   std::vector<ConvergencePoint> convergence;
 

@@ -198,6 +198,89 @@ TEST(ReportAnalyze, WrongSchemaIsSchemaError) {
   EXPECT_THROW(report_from_json(parse_json("{}")), SchemaError);
 }
 
+// --- Batch-scheduler section ----------------------------------------------
+
+// A metrics document as svd_batch records it: the pool summary, per-worker
+// busy/idle gauges, and the queue-occupancy drain series.
+const char* kBatchMetrics = R"({
+"schema": "hjsvd.metrics.v1",
+"metrics": [
+  {"name": "batch.items", "unit": "matrices", "type": "counter", "value": 7},
+  {"name": "batch.items_ok", "unit": "matrices", "type": "counter", "value": 6},
+  {"name": "batch.items_failed", "unit": "matrices", "type": "counter", "value": 1},
+  {"name": "batch.workers", "unit": "threads", "type": "gauge", "value": 2},
+  {"name": "batch.workers.requested", "unit": "threads", "type": "gauge", "value": 4},
+  {"name": "batch.wall_s", "unit": "s", "type": "gauge", "value": 2},
+  {"name": "batch.steals", "unit": "tasks", "type": "counter", "value": 3},
+  {"name": "batch.nested.splits", "unit": "matrices", "type": "counter", "value": 1},
+  {"name": "batch.nested.helpers", "unit": "threads", "type": "counter", "value": 2},
+  {"name": "batch.worker.0.busy_s", "unit": "s", "type": "gauge", "value": 1.5},
+  {"name": "batch.worker.0.idle_s", "unit": "s", "type": "gauge", "value": 0.5},
+  {"name": "batch.worker.1.busy_s", "unit": "s", "type": "gauge", "value": 1},
+  {"name": "batch.worker.1.idle_s", "unit": "s", "type": "gauge", "value": 1},
+  {"name": "batch.queue.occupancy", "unit": "tasks", "type": "series",
+   "points": [[0, 6], [1, 5], [2, 4], [3, 3], [4, 2], [5, 1], [6, 0]]}
+]
+})";
+
+RunReport batch_report() {
+  return analyze_run(
+      parse_json(R"({"schema": "hjsvd.trace.v1", "traceEvents": []})"),
+      parse_json(kBatchMetrics));
+}
+
+TEST(ReportBatch, AnalyzeFillsBatchSectionFromMetrics) {
+  const RunReport r = batch_report();
+  ASSERT_TRUE(r.has_batch);
+  EXPECT_EQ(r.batch_items, 7u);
+  EXPECT_EQ(r.batch_items_ok, 6u);
+  EXPECT_EQ(r.batch_items_failed, 1u);
+  EXPECT_EQ(r.batch_workers, 2u);
+  EXPECT_EQ(r.batch_workers_requested, 4u);
+  EXPECT_EQ(r.batch_steals, 3u);
+  EXPECT_EQ(r.batch_nested_splits, 1u);
+  EXPECT_EQ(r.batch_nested_helpers, 2u);
+  EXPECT_EQ(r.batch_wall_s, 2.0);
+  // (0.5 + 1.0) idle over 2 workers * 2s wall.
+  EXPECT_DOUBLE_EQ(r.batch_idle_frac, 0.375);
+  ASSERT_EQ(r.batch_worker_stats.size(), 2u);
+  EXPECT_EQ(r.batch_worker_stats[0].name, "worker.0");
+  EXPECT_EQ(r.batch_worker_stats[0].busy_s, 1.5);
+  EXPECT_EQ(r.batch_worker_stats[1].idle_s, 1.0);
+  EXPECT_EQ(r.batch_queue_occupancy.samples, 7u);
+  EXPECT_EQ(r.batch_queue_occupancy.mean, 3.0);
+  EXPECT_EQ(r.batch_queue_occupancy.max, 6.0);
+}
+
+TEST(ReportBatch, BatchSectionRoundTrips) {
+  const RunReport a = batch_report();
+  const std::string json = report_json(a);
+  EXPECT_NE(json.find("\"batch\""), std::string::npos);
+  const RunReport b = report_from_json(parse_json(json));
+  ASSERT_TRUE(b.has_batch);
+  EXPECT_EQ(b.batch_steals, 3u);
+  EXPECT_EQ(b.batch_workers_requested, 4u);
+  ASSERT_EQ(b.batch_worker_stats.size(), 2u);
+  EXPECT_EQ(b.batch_worker_stats[1].busy_s, 1.0);
+  EXPECT_EQ(report_json(a), report_json(b));
+}
+
+TEST(ReportBatch, AbsentBatchOmitsTheMemberEntirely) {
+  // Unlike pipeline/sim there is no "batch": null — reports from before
+  // the batch scheduler must keep serializing byte-for-byte (the golden
+  // file below enforces the same thing).
+  const std::string json = report_json(fixture_report());
+  EXPECT_EQ(json.find("\"batch\""), std::string::npos);
+}
+
+TEST(ReportBatch, TableRendersSchedulerBehaviour) {
+  const std::string table = report_table(batch_report());
+  EXPECT_NE(table.find("3 steals"), std::string::npos);
+  EXPECT_NE(table.find("1 nested splits"), std::string::npos);
+  EXPECT_NE(table.find("Batch-scheduler pool workers"), std::string::npos);
+  EXPECT_NE(table.find("2 workers (4 requested)"), std::string::npos);
+}
+
 // --- Golden file and round trip -------------------------------------------
 
 TEST(ReportGolden, SerializationMatchesGoldenByteForByte) {

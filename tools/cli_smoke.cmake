@@ -91,3 +91,36 @@ foreach(bad_args "--threads;0" "--threads;-2" "--method;bogus"
     message(FATAL_ERROR "'${bad_args}' did not print usage: ${err_bad}")
   endif()
 endforeach()
+
+# Batch mode: a generated spec runs through the work-stealing scheduler and
+# prints the per-item table plus the scheduler summary line.
+execute_process(
+  COMMAND ${CLI} --batch 12x8*3,24x24 --seed 5 --threads 2 --values 2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--batch run failed (${rc}): ${out}${err}")
+endif()
+foreach(needle "batch of 4 matrices" "work-stealing batch pool"
+               "12x8#0" "24x24#0" "scheduler: 2 workers")
+  if(NOT out MATCHES "${needle}")
+    message(FATAL_ERROR "--batch output lacks '${needle}': ${out}")
+  endif()
+endforeach()
+
+# Batch usage errors: mutually exclusive flags, malformed specs, and
+# out-of-range split thresholds are usage errors (exit 2), not crashes.
+foreach(bad_batch
+    "--batch;12x8;--input;${WORKDIR}/smoke.mtx"
+    "--batch;12x8;--write-u;${WORKDIR}/u.mtx"
+    "--batch;12x8;--fpga-sim;true"
+    "--batch;12x8;--split-threshold;1.5"
+    "--batch;10xbad"
+    "--batch;12x8*0")
+  execute_process(
+    COMMAND ${CLI} ${bad_batch}
+    RESULT_VARIABLE rc_bad OUTPUT_VARIABLE out_bad ERROR_VARIABLE err_bad)
+  if(NOT rc_bad EQUAL 2)
+    message(FATAL_ERROR "'${bad_batch}' exited ${rc_bad}, want usage error 2: "
+                        "${out_bad}${err_bad}")
+  endif()
+endforeach()

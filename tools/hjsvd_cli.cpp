@@ -11,6 +11,11 @@
 //   hjsvd_cli --input A.mtx --method pipelined-modified
 //       --trace-out trace.json --metrics-out metrics.json
 //   hjsvd_cli --generate 512x128 --seed 3 --output A.mtx
+//   hjsvd_cli --batch matrices/ --threads 4
+//   hjsvd_cli --batch 24x16*6,64x48 --seed 7 --threads 4
+//       --trace-out trace.json --metrics-out metrics.json
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -87,6 +92,64 @@ std::pair<std::size_t, std::size_t> parse_shape(const std::string& s) {
           static_cast<std::size_t>(std::stoull(s.substr(x + 1)))};
 }
 
+/// Loads the --batch workload: either every .mtx file of a directory
+/// (sorted by name, so runs are reproducible) or a generated spec like
+/// "24x16*6,64x48" — comma-separated ROWSxCOLS shapes with an optional
+/// *COUNT repeat, drawn from --seed.  Returns (matrix, label) pairs.
+std::vector<std::pair<Matrix, std::string>> load_batch(
+    const std::string& spec, std::uint64_t seed) {
+  std::vector<std::pair<Matrix, std::string>> items;
+  if (std::filesystem::is_directory(spec)) {
+    std::vector<std::filesystem::path> paths;
+    for (const auto& entry : std::filesystem::directory_iterator(spec))
+      if (entry.is_regular_file() && entry.path().extension() == ".mtx")
+        paths.push_back(entry.path());
+    std::sort(paths.begin(), paths.end());
+    if (paths.empty())
+      throw UsageError("--batch: no .mtx files in directory '" + spec + "'");
+    for (const auto& p : paths)
+      items.emplace_back(read_matrix_market_file(p.string()),
+                         p.filename().string());
+    return items;
+  }
+  Rng rng(seed);
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const auto comma = spec.find(',', start);
+    const std::string token = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (token.empty())
+      throw UsageError("--batch: empty entry in spec '" + spec + "'");
+    const auto star = token.find('*');
+    std::size_t repeat = 1;
+    std::string shape = token;
+    if (star != std::string::npos) {
+      shape = token.substr(0, star);
+      try {
+        repeat = static_cast<std::size_t>(std::stoull(token.substr(star + 1)));
+      } catch (const std::exception&) {
+        repeat = 0;
+      }
+      if (repeat == 0)
+        throw UsageError("--batch: bad repeat in '" + token +
+                         "' (want ROWSxCOLS*COUNT)");
+    }
+    std::size_t rows = 0, cols = 0;
+    try {
+      // parse_shape's stoull throws std::invalid_argument on non-digits.
+      std::tie(rows, cols) = parse_shape(shape);
+    } catch (const std::exception&) {
+      throw UsageError("--batch: '" + token +
+                       "' is neither a directory nor ROWSxCOLS[*COUNT]");
+    }
+    for (std::size_t k = 0; k < repeat; ++k)
+      items.emplace_back(random_gaussian(rows, cols, rng),
+                         shape + "#" + std::to_string(k));
+  }
+  return items;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -112,6 +175,13 @@ int main(int argc, char** argv) {
                    "counter track and sim.* metrics are recorded too");
     cli.add_option("fpga-estimate", "false",
                    "also print the accelerator model's time for this shape");
+    cli.add_option("batch", "",
+                   "decompose a whole batch on the work-stealing pool: a "
+                   "directory of .mtx files, or a generated spec like "
+                   "24x16*6,64x48 (uses --seed)");
+    cli.add_option("split-threshold", "0.25",
+                   "--batch: cost fraction at which one item expands onto "
+                   "borrowed workers (nested parallelism); 0 disables");
     cli.add_option("generate", "",
                    "generate a gaussian ROWSxCOLS matrix instead of reading");
     cli.add_option("seed", "1", "generation seed");
@@ -134,12 +204,6 @@ int main(int argc, char** argv) {
                 << '\n';
       return 0;
     }
-
-    const auto input = cli.get("input");
-    HJSVD_ENSURE(!input.empty(), "need --input FILE.mtx (or --generate)");
-    const Matrix a = read_matrix_market_file(input);
-    std::cout << "read " << a.rows() << " x " << a.cols() << " matrix from "
-              << input << '\n';
 
     SvdOptions opt;
     opt.method = parse_method(cli.get("method"));
@@ -175,6 +239,82 @@ int main(int argc, char** argv) {
     if (!obs::kEnabled && (!trace_path.empty() || !metrics_path.empty()))
       std::cerr << "hjsvd_cli: warning: observability was compiled out "
                    "(HJSVD_OBS=0); trace/metrics outputs will be empty\n";
+
+    const auto write_sinks = [&] {
+      if (!trace_path.empty()) {
+        recorder.write(trace_file);
+        trace_file << '\n';
+        HJSVD_ENSURE(static_cast<bool>(trace_file),
+                     "failed writing --trace-out file");
+        std::cout << "wrote trace to " << trace_path << '\n';
+      }
+      if (!metrics_path.empty()) {
+        registry.write(metrics_file);
+        metrics_file << '\n';
+        HJSVD_ENSURE(static_cast<bool>(metrics_file),
+                     "failed writing --metrics-out file");
+        std::cout << "wrote metrics to " << metrics_path << '\n';
+      }
+    };
+
+    if (const auto spec = cli.get("batch"); !spec.empty()) {
+      if (!cli.get("input").empty())
+        throw UsageError("--batch and --input are mutually exclusive");
+      if (opt.compute_u || opt.compute_v)
+        throw UsageError("--write-u/--write-v apply to single-matrix runs, "
+                         "not --batch");
+      if (cli.get_bool("fpga-sim") || cli.get_bool("fpga-estimate"))
+        throw UsageError("--fpga-sim/--fpga-estimate apply to single-matrix "
+                         "runs, not --batch");
+      const double split = cli.get_double("split-threshold");
+      if (!(split >= 0.0 && split <= 1.0))
+        throw UsageError("--split-threshold must be in [0, 1], got '" +
+                         cli.get("split-threshold") + "'");
+      opt.batch_split_min_fraction = split;
+      auto items = load_batch(
+          spec, static_cast<std::uint64_t>(cli.get_int("seed")));
+      std::vector<Matrix> batch;
+      batch.reserve(items.size());
+      for (auto& [matrix, label] : items) batch.push_back(std::move(matrix));
+      std::cout << "batch of " << batch.size() << " matrices from " << spec
+                << '\n';
+
+      Timer timer;
+      SvdBatchStats stats;
+      const auto results = svd_batch(batch, opt, opt.threads, &stats);
+      const double seconds = timer.seconds();
+
+      AsciiTable table({"item", "shape", "sweeps", "converged", "sigma[0]"});
+      table.set_caption(std::string(svd_method_name(opt.method)) +
+                        " over the work-stealing batch pool");
+      for (std::size_t i = 0; i < results.size(); ++i)
+        table.add_row({items[i].second,
+                       std::to_string(batch[i].rows()) + "x" +
+                           std::to_string(batch[i].cols()),
+                       std::to_string(results[i].sweeps),
+                       results[i].converged ? "yes" : "NO",
+                       results[i].singular_values.empty()
+                           ? "-"
+                           : format_sci(results[i].singular_values[0], 9)});
+      std::cout << table.to_string() << '\n';
+      std::cout << "scheduler: " << stats.workers << " workers ("
+                << stats.requested_workers << " requested), " << stats.steals
+                << " steals, " << stats.nested_splits
+                << " nested splits (+" << stats.helpers_granted
+                << " helper threads), " << format_duration(seconds)
+                << " wall\n";
+      if (opt.metrics != nullptr)
+        registry.gauge_set("cli.wall_s", "s", seconds);
+      write_sinks();
+      return 0;
+    }
+
+    const auto input = cli.get("input");
+    HJSVD_ENSURE(!input.empty(),
+                 "need --input FILE.mtx (or --generate / --batch)");
+    const Matrix a = read_matrix_market_file(input);
+    std::cout << "read " << a.rows() << " x " << a.cols() << " matrix from "
+              << input << '\n';
 
     Timer timer;
     const SvdResult r = svd(a, opt);
@@ -235,20 +375,7 @@ int main(int argc, char** argv) {
 
     if (opt.metrics != nullptr)
       registry.gauge_set("cli.wall_s", "s", seconds);
-    if (!trace_path.empty()) {
-      recorder.write(trace_file);
-      trace_file << '\n';
-      HJSVD_ENSURE(static_cast<bool>(trace_file),
-                   "failed writing --trace-out file");
-      std::cout << "wrote trace to " << trace_path << '\n';
-    }
-    if (!metrics_path.empty()) {
-      registry.write(metrics_file);
-      metrics_file << '\n';
-      HJSVD_ENSURE(static_cast<bool>(metrics_file),
-                   "failed writing --metrics-out file");
-      std::cout << "wrote metrics to " << metrics_path << '\n';
-    }
+    write_sinks();
     return 0;
   } catch (const UsageError& e) {
     std::cerr << "hjsvd_cli: " << e.what() << "\n\n" << cli.help();
