@@ -1,0 +1,244 @@
+// SIMD kernel-layer benchmark: portable scalar backend vs the AVX2 backend
+// for the three dispatched kernel families —
+//   rotate_pair            paired-column plane rotation (eqs. 11-12)
+//   rotation_hardware_batch  lockstep hardware-form param generation
+//   dot / dot_relaxed      strict and 4-lane-split reductions
+//
+// For every (kernel, size) workload it times each available dispatch level
+// (best-of reps) and cross-checks the contract alongside the timing:
+// bit-identical-tier kernels must agree bit-for-bit between levels, and
+// the relaxed reduction must produce the same bits at every level.  A
+// contract violation fails the run (exit 1), so a regression can't hide
+// behind a nice throughput number.
+//
+// Results go to BENCH_simd_kernels.json (gated by scripts/bench_gate.py).
+// On hosts without AVX2 only the scalar rows are emitted.
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "fp/softfloat.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/simd/simd.hpp"
+#include "obs/manifest.hpp"
+#include "svd/rotation.hpp"
+
+using namespace hjsvd;
+
+namespace {
+
+std::string fmt(double x) {
+  std::ostringstream os;
+  os.precision(6);
+  os << x;
+  return os.str();
+}
+
+std::string manifest(const std::string& config) {
+  obs::RunManifest m;
+  m.tool = "bench_simd_kernels";
+  m.config = config;
+  return obs::manifest_json(m);
+}
+
+std::vector<simd::Level> available_levels() {
+  std::vector<simd::Level> levels{simd::Level::kScalar};
+  if (simd::compiled_with_avx2() && simd::cpu_has_avx2())
+    levels.push_back(simd::Level::kAvx2);
+  return levels;
+}
+
+/// Keeps results observable so the timed loops can't be optimized away.
+double g_sink = 0.0;
+
+struct Run {
+  std::string kernel;
+  std::string level;
+  std::size_t n = 0;
+  double seconds = 0.0;     // best-of-reps for one pass over the workload
+  double elems_per_s = 0.0;
+  bool bit_identical = true;
+};
+
+/// Times fn (one pass over n elements) best-of `reps`, with enough inner
+/// iterations per rep to rise above timer noise on small n.
+template <class Fn>
+double time_best(std::size_t n, int reps, Fn&& fn) {
+  const std::size_t iters =
+      std::max<std::size_t>(1, 4'000'000 / std::max<std::size_t>(1, n));
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    for (std::size_t it = 0; it < iters; ++it) fn();
+    best = std::min(best, timer.seconds() / static_cast<double>(iters));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("SIMD kernel backends: scalar vs AVX2 dispatch levels");
+  cli.add_option("sizes", "64,256,1024,4096", "vector lengths to benchmark");
+  cli.add_option("reps", "5", "repetitions per timing (best-of)");
+  cli.add_option("out", "BENCH_simd_kernels.json", "JSON output path");
+  cli.parse(argc, argv);
+  const auto sizes = cli.get_int_list("sizes");
+  const int reps = static_cast<int>(cli.get_int("reps"));
+
+  const auto levels = available_levels();
+  std::cout << "== SIMD kernel dispatch levels ==\n"
+            << "compiled AVX2 backend: "
+            << (simd::compiled_with_avx2() ? "yes" : "no")
+            << ", CPU AVX2: " << (simd::cpu_has_avx2() ? "yes" : "no")
+            << ", startup level: " << simd::level_name(simd::active_level())
+            << "\n\n";
+
+  Rng rng(9001);
+  std::vector<Run> runs;
+  bool all_identical = true;
+
+  for (const std::int64_t size : sizes) {
+    const auto n = static_cast<std::size_t>(size);
+
+    // Shared inputs per size, so every level sees identical work.
+    std::vector<double> x0(n), y0(n);
+    for (auto& v : x0) v = rng.gaussian();
+    for (auto& v : y0) v = rng.gaussian();
+    const double c = 0.8, s = 0.6;
+
+    // rotate_pair: reference bits from the first (scalar) level.
+    std::vector<double> ref_x, ref_y;
+    for (const simd::Level level : levels) {
+      simd::set_level(level);
+      std::vector<double> x = x0, y = y0;
+      rotate_pair(x, y, c, s);
+      bool ok = true;
+      if (level == simd::Level::kScalar) {
+        ref_x = x;
+        ref_y = y;
+      } else {
+        for (std::size_t i = 0; ok && i < n; ++i)
+          ok = fp::to_bits(x[i]) == fp::to_bits(ref_x[i]) &&
+               fp::to_bits(y[i]) == fp::to_bits(ref_y[i]);
+      }
+      all_identical = all_identical && ok;
+      // Timing rotates back and forth (c,-s undoes c,s up to rounding);
+      // the data stays bounded, and every pass does the full 6n flops.
+      const double sec = time_best(n, reps, [&] {
+        rotate_pair(x, y, c, s);
+        rotate_pair(x, y, c, -s);
+      });
+      g_sink += x[0];
+      runs.push_back({"rotate_pair", simd::level_name(level), n, sec,
+                      2.0 * static_cast<double>(n) / sec, ok});
+    }
+
+    // rotation_hardware_batch: n independent 2x2 problems per pass.
+    std::vector<double> njj(n), nii(n), cov(n);
+    for (std::size_t l = 0; l < n; ++l) {
+      njj[l] = std::abs(rng.gaussian()) * 10 + 1e-6;
+      nii[l] = std::abs(rng.gaussian()) * 10 + 1e-6;
+      cov[l] = rng.gaussian() * 3;
+    }
+    std::vector<double> t(n), pc(n), ps(n);
+    std::vector<std::uint8_t> rot(n);
+    std::vector<double> ref_t, ref_c, ref_s;
+    for (const simd::Level level : levels) {
+      simd::set_level(level);
+      rotation_hardware_batch(njj, nii, cov, t, pc, ps, rot);
+      bool ok = true;
+      if (level == simd::Level::kScalar) {
+        ref_t = t;
+        ref_c = pc;
+        ref_s = ps;
+      } else {
+        for (std::size_t l = 0; ok && l < n; ++l)
+          ok = fp::to_bits(t[l]) == fp::to_bits(ref_t[l]) &&
+               fp::to_bits(pc[l]) == fp::to_bits(ref_c[l]) &&
+               fp::to_bits(ps[l]) == fp::to_bits(ref_s[l]);
+      }
+      all_identical = all_identical && ok;
+      const double sec = time_best(n, reps, [&] {
+        rotation_hardware_batch(njj, nii, cov, t, pc, ps, rot);
+      });
+      g_sink += t[0];
+      runs.push_back({"rotation_batch", simd::level_name(level), n, sec,
+                      static_cast<double>(n) / sec, ok});
+    }
+
+    // Strict dot (the left-to-right reference, same code at every level)
+    // and the relaxed 4-lane-split reduction.
+    {
+      const double strict_sec =
+          time_best(n, reps, [&] { g_sink += dot(x0, y0); });
+      runs.push_back({"dot_strict", "scalar", n, strict_sec,
+                      static_cast<double>(n) / strict_sec, true});
+    }
+    double ref_relaxed = 0.0;
+    for (const simd::Level level : levels) {
+      simd::set_level(level);
+      const double value = dot_relaxed(x0, y0);
+      bool ok = true;
+      if (level == simd::Level::kScalar)
+        ref_relaxed = value;
+      else
+        ok = fp::to_bits(value) == fp::to_bits(ref_relaxed);
+      all_identical = all_identical && ok;
+      const double sec =
+          time_best(n, reps, [&] { g_sink += dot_relaxed(x0, y0); });
+      runs.push_back({"dot_relaxed", simd::level_name(level), n, sec,
+                      static_cast<double>(n) / sec, ok});
+    }
+  }
+  simd::set_level(simd::Level::kScalar);
+
+  AsciiTable table({"kernel", "n", "level", "seconds", "elems/s", "bits"});
+  table.set_caption("one pass per timing, best of " + cli.get("reps") +
+                    " reps:");
+  for (const Run& r : runs)
+    table.add_row({r.kernel, std::to_string(r.n), r.level, fmt(r.seconds),
+                   fmt(r.elems_per_s), r.bit_identical ? "ok" : "DIVERGED"});
+  std::cout << table.to_string() << '\n';
+  std::cout << "(g_sink=" << g_sink << ")\n";
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"simd_kernels\",\n"
+       << "  \"manifest\": "
+       << manifest("sizes=" + cli.get("sizes") + " reps=" + cli.get("reps"))
+       << ",\n"
+       << "  \"compiled_avx2\": "
+       << (simd::compiled_with_avx2() ? "true" : "false") << ",\n"
+       << "  \"cpu_avx2\": " << (simd::cpu_has_avx2() ? "true" : "false")
+       << ",\n  \"reps\": " << reps << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    json << (i == 0 ? "" : ",\n") << "    {\"kernel\": \"" << r.kernel
+         << "\", \"n\": " << r.n << ", \"level\": \"" << r.level
+         << "\", \"seconds\": " << fmt(r.seconds)
+         << ", \"elems_per_s\": " << fmt(r.elems_per_s)
+         << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false")
+         << "}";
+  }
+  json << "\n  ],\n  \"all_bit_identical\": "
+       << (all_identical ? "true" : "false") << "\n}\n";
+
+  const std::string out_path = cli.get("out");
+  write_file(out_path, json.str());
+  std::cout << "JSON written to " << out_path << '\n';
+
+  if (!all_identical) {
+    std::cerr << "BIT-IDENTITY FAILURE: a dispatch level diverged from the "
+                 "scalar reference\n";
+    return 1;
+  }
+  return 0;
+}

@@ -100,6 +100,7 @@ SvdResult svd(const Matrix& a, const SvdOptions& options) {
   hj.tolerance = options.tolerance;
   hj.compute_u = options.compute_u;
   hj.compute_v = options.compute_v;
+  hj.simd_relaxed = options.simd_relaxed;
   hj.obs.trace = options.trace;
   hj.obs.metrics = options.metrics;
   ParallelSweepConfig par;

@@ -41,6 +41,17 @@ struct SvdOptions {
   /// software analogue of the accelerator's param FIFO depth); other
   /// methods ignore it.  Results are bitwise independent of this value.
   std::size_t pipeline_queue_depth = 8;
+  /// Opt-in relaxed SIMD tier for the Hestenes-family methods: Gram and
+  /// covariance dot products use the 4-lane-split accumulation of
+  /// linalg/simd/ instead of strict left-to-right sums (roughly lane-count
+  /// faster on the reduction-bound paths).  Results are then no longer
+  /// bitwise identical to the scalar reference, but remain deterministic —
+  /// identical across SIMD dispatch levels, thread counts, and the
+  /// Gram-path engines — and satisfy the accuracy bounds tested in
+  /// tests/linalg/test_simd_kernels.cpp.  The default OFF keeps every
+  /// method bitwise identical with SIMD enabled or disabled.  Baseline
+  /// methods (two-sided, Golub-Kahan) ignore it.
+  bool simd_relaxed = false;
   /// svd_batch() only: a batch item whose estimated cost is at least this
   /// fraction of the whole batch's total cost is decomposed by the
   /// *parallel* counterpart of `method` on borrowed pool workers (nested

@@ -1,6 +1,10 @@
-// Vector/matrix kernels shared by the SVD algorithms.
+// Vector/matrix kernels shared by the SVD algorithms.  This header is the
+// single dispatch point the engines call: the SIMD-accelerated entries
+// forward to linalg/simd/ (runtime-selected AVX2 or portable backend),
+// everything else is plain scalar code.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -12,11 +16,56 @@ namespace hjsvd {
 /// the public solver entry points.
 bool all_finite(const Matrix& a);
 
-/// Dot product of two equal-length vectors.
+/// Dot product of two equal-length vectors.  Strict left-to-right
+/// accumulation (the bit-exactness reference); overflows to inf when the
+/// running sum leaves the double range — use col_norm for guarded column
+/// norms, or dot_relaxed for the SIMD-reassociated variant.
 double dot(std::span<const double> x, std::span<const double> y);
 
-/// Squared Euclidean norm.
+/// Squared Euclidean norm.  Same accumulation contract as dot.
 double squared_norm(std::span<const double> x);
+
+/// Column 2-norm, guarded against overflow/underflow of the squared sum:
+/// returns bitwise sqrt(squared_norm(x)) whenever that squared sum is a
+/// normal double (the common case, so existing results are unchanged), and
+/// falls back to the same scaled accumulation as frobenius_norm when the
+/// naive sum would overflow, vanish, or go subnormal.  Identical at every
+/// SIMD dispatch level (the guard is strict scalar arithmetic in all
+/// configurations).
+double col_norm(std::span<const double> x);
+
+/// In-place plane rotation of two equal-length vectors (paper eqs. 11-12):
+/// x <- x*c - y*s, y <- x*s + y*c, both from the original x, y.
+/// SIMD-dispatched; bitwise identical to the scalar loop at every level.
+void rotate_pair(std::span<double> x, std::span<double> y, double c,
+                 double s);
+
+/// Batched hardware-form rotation generation (structure-of-arrays): lane l
+/// gets exactly the bits of rotation_hardware<fp::NativeOps>(norm_jj[l],
+/// norm_ii[l], cov[l]); cov[l] == 0 lanes yield the identity with
+/// rotate[l] == 0.  Enforces the rotation non-finite contract (throws
+/// hjsvd::Error naming the lowest offending lane, mirroring svd_batch's
+/// lowest-index error reporting) before any lane is computed.  All spans
+/// must have equal length.
+void rotation_hardware_batch(std::span<const double> norm_jj,
+                             std::span<const double> norm_ii,
+                             std::span<const double> cov,
+                             std::span<double> t, std::span<double> c,
+                             std::span<double> s,
+                             std::span<std::uint8_t> rotate);
+
+/// Relaxed-tier dot product: 4-lane-split accumulation, bitwise identical
+/// across SIMD dispatch levels but NOT to the strict dot (error O(n*eps),
+/// bounds tested in tests/linalg/test_simd_kernels.cpp).  Engines use it
+/// only under the opt-in SvdOptions::simd_relaxed.
+double dot_relaxed(std::span<const double> x, std::span<const double> y);
+
+/// Relaxed-tier squared 2-norm (see dot_relaxed).
+double squared_norm_relaxed(std::span<const double> x);
+
+/// Upper-triangular Gram matrix built from dot_relaxed (the relaxed-tier
+/// replacement for gram_upper_ops<NativeOps> with chunk_rows == 1).
+Matrix gram_upper_relaxed(const Matrix& a);
 
 /// Frobenius norm of a matrix.
 double frobenius_norm(const Matrix& a);

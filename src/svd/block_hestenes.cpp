@@ -129,10 +129,9 @@ SvdResult block_hestenes_svd(const Matrix& a, const BlockHestenesConfig& cfg,
   // Extraction identical to the plain variant: B = R = U * Sigma.
   const std::size_t k = std::min(m, n);
   std::vector<double> norms(n);
-  for (std::size_t c = 0; c < n; ++c) {
-    const double sq = squared_norm(r.col(c));
-    norms[c] = sq > 0.0 ? std::sqrt(sq) : 0.0;
-  }
+  // col_norm guards the squared sum against overflow/underflow and is
+  // bitwise sqrt(squared_norm) in the normal range.
+  for (std::size_t c = 0; c < n; ++c) norms[c] = col_norm(r.col(c));
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {

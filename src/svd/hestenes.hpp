@@ -57,6 +57,16 @@ struct HestenesConfig {
   /// by tests/obs/test_obs.cpp).  See docs/OBSERVABILITY.md.
   obs::ObsContext obs{};
 
+  /// Opt-in relaxed SIMD tier (native arithmetic only): Gram/covariance dot
+  /// products use the 4-lane-split accumulation of linalg/simd/ instead of
+  /// strict left-to-right sums.  Results are no longer bitwise identical to
+  /// the scalar reference, but stay deterministic — identical across SIMD
+  /// dispatch levels and thread counts — and satisfy the accuracy bounds
+  /// tested in tests/linalg/test_simd_kernels.cpp.  Ignored by the
+  /// soft-float and counting policies and by gram_chunk_rows != 1 (the
+  /// chunked association is itself the requested accumulation order).
+  bool simd_relaxed = false;
+
   /// Accumulation chunking of the initial Gram computation: chunk_rows = 1
   /// is strict left-to-right; chunk_rows = L models the hardware's layered
   /// multiplier-array (partial sums over L rows chained through the layers,

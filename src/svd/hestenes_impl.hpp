@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <type_traits>
 
 #include "linalg/kernels.hpp"
 #include "svd/hestenes.hpp"
@@ -27,12 +28,19 @@ void rotate_covariances(Matrix& d, std::size_t i, std::size_t j, double c,
   const std::size_t n = d.cols();
   auto col_i = d.col(i);
   auto col_j = d.col(j);
-  // k < i: covariances live at D(k, i) and D(k, j) — both contiguous.
-  for (std::size_t k = 0; k < i; ++k) {
-    const double x = col_i[k];
-    const double y = col_j[k];
-    col_i[k] = ops.sub(ops.mul(x, c), ops.mul(y, s));
-    col_j[k] = ops.add(ops.mul(x, s), ops.mul(y, c));
+  // k < i: covariances live at D(k, i) and D(k, j) — both contiguous, so
+  // the native-arithmetic policy takes the SIMD-dispatched kernel (bitwise
+  // identical to the loop below; see linalg/simd/simd.hpp).  The strided
+  // middle/tail segments stay scalar.
+  if constexpr (std::is_same_v<Ops, fp::NativeOps>) {
+    rotate_pair(col_i.first(i), col_j.first(i), c, s);
+  } else {
+    for (std::size_t k = 0; k < i; ++k) {
+      const double x = col_i[k];
+      const double y = col_j[k];
+      col_i[k] = ops.sub(ops.mul(x, c), ops.mul(y, s));
+      col_j[k] = ops.add(ops.mul(x, s), ops.mul(y, c));
+    }
   }
   // i < k < j: covariances live at D(i, k) and D(k, j).
   for (std::size_t k = i + 1; k < j; ++k) {
@@ -56,11 +64,16 @@ void rotate_columns(Matrix& v, std::size_t i, std::size_t j, double c,
                     double s, Ops ops) {
   auto vi = v.col(i);
   auto vj = v.col(j);
-  for (std::size_t r = 0; r < vi.size(); ++r) {
-    const double x = vi[r];
-    const double y = vj[r];
-    vi[r] = ops.sub(ops.mul(x, c), ops.mul(y, s));
-    vj[r] = ops.add(ops.mul(x, s), ops.mul(y, c));
+  if constexpr (std::is_same_v<Ops, fp::NativeOps>) {
+    // SIMD-dispatched, bitwise identical to the scalar loop below.
+    rotate_pair(vi, vj, c, s);
+  } else {
+    for (std::size_t r = 0; r < vi.size(); ++r) {
+      const double x = vi[r];
+      const double y = vj[r];
+      vi[r] = ops.sub(ops.mul(x, c), ops.mul(y, s));
+      vj[r] = ops.add(ops.mul(x, s), ops.mul(y, c));
+    }
   }
 }
 
@@ -111,6 +124,28 @@ double dot_ops(std::span<const double> x, std::span<const double> y, Ops ops) {
   for (std::size_t r = 0; r < x.size(); ++r)
     acc = ops.add(acc, ops.mul(x[r], y[r]));
   return acc;
+}
+
+/// dot_ops, except native-arithmetic runs under the opt-in relaxed SIMD
+/// tier take the lane-split kernel (norms included: dot of a column with
+/// itself is bitwise squared_norm_relaxed).
+template <class Ops>
+double dot_maybe_relaxed(std::span<const double> x, std::span<const double> y,
+                         const HestenesConfig& cfg, Ops ops) {
+  if constexpr (std::is_same_v<Ops, fp::NativeOps>) {
+    if (cfg.simd_relaxed) return dot_relaxed(x, y);
+  }
+  return dot_ops<Ops>(x, y, ops);
+}
+
+/// gram_upper_ops (chunk_rows == 1) with the same relaxed-tier escape.
+template <class Ops>
+Matrix gram_upper_maybe_relaxed(const Matrix& a, const HestenesConfig& cfg,
+                                Ops ops) {
+  if constexpr (std::is_same_v<Ops, fp::NativeOps>) {
+    if (cfg.simd_relaxed) return gram_upper_relaxed(a);
+  }
+  return gram_upper_ops(a, ops);
 }
 
 /// Modified Gram-Schmidt orthonormalization of U's columns, in place.
@@ -288,7 +323,14 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
   if (trace != nullptr)
     gram_span = obs::Span(trace, tid, "svd", "gram",
                           obs::ArgsBuilder().add("rows", m).add("cols", n).str());
-  Matrix d = gram_upper_ops(a, ops, cfg.gram_chunk_rows);
+  Matrix d;
+  if constexpr (std::is_same_v<Ops, fp::NativeOps>) {
+    d = cfg.simd_relaxed && cfg.gram_chunk_rows == 1
+            ? gram_upper_relaxed(a)
+            : gram_upper_ops(a, ops, cfg.gram_chunk_rows);
+  } else {
+    d = gram_upper_ops(a, ops, cfg.gram_chunk_rows);
+  }
   gram_span.end();
   const bool need_v = cfg.compute_u || cfg.compute_v;
   Matrix v;

@@ -209,7 +209,9 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
     gram_span =
         obs::Span(trace, tid, "svd", "gram",
                   obs::ArgsBuilder().add("rows", m).add("cols", n).str());
-  Matrix d = gram_upper_ops(a, ops, cfg.gram_chunk_rows);
+  Matrix d = cfg.simd_relaxed && cfg.gram_chunk_rows == 1
+                 ? gram_upper_relaxed(a)
+                 : gram_upper_ops(a, ops, cfg.gram_chunk_rows);
   gram_span.end();
   const bool need_v = cfg.compute_u || cfg.compute_v;
   Matrix v;
@@ -223,6 +225,13 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
   SvdResult result;
   if (stats != nullptr) *stats = HestenesStats{};
   std::vector<SlotRotation> rot;
+  // Scratch for the lockstep batched rotation generation (hardware formula
+  // only): per-round compacted SoA inputs/outputs of the post-threshold
+  // pair slots.
+  std::vector<std::size_t> gen_slots;
+  std::vector<double> batch_njj, batch_nii, batch_cov;
+  std::vector<double> batch_t, batch_c, batch_s;
+  std::vector<std::uint8_t> batch_rotate;
 
   std::size_t sweeps_done = 0;
   std::uint64_t total_rotations = 0, total_skipped = 0;
@@ -244,27 +253,75 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
       // D(i,j), so generating every parameter up front reads exactly the
       // values the sequential sweep would.
       rot.assign(plan.slots.size(), SlotRotation{});
-      for (std::size_t p = 0; p < plan.pair_slots; ++p) {
-        const std::size_t i = plan.slots[p].cols[0];
-        const std::size_t j = plan.slots[p].cols[1];
-        const double cov = d(i, j);
-        if (detail::below_threshold(cov, d(i, i), d(j, j),
-                                    cfg.rotation_threshold)) {
-          ++skipped;
-          continue;
+      if (cfg.formula == RotationFormula::kHardware) {
+        // Lockstep batched generation (4 lanes per vector op when the AVX2
+        // backend is active).  Within a round the pairs are disjoint and
+        // each rotation only updates its own D(i,i), D(j,j), D(i,j), so
+        // gathering every input before any update reads exactly the values
+        // the serial loop would; lane arithmetic is bitwise
+        // rotation_hardware<NativeOps>.  Threshold skips are compacted out
+        // first so skip semantics (including a NaN inside a skipped pair)
+        // match the serial loop; the batch validates its lanes lowest-first,
+        // preserving the deterministic first-bad-pair error.
+        gen_slots.clear();
+        batch_njj.clear();
+        batch_nii.clear();
+        batch_cov.clear();
+        for (std::size_t p = 0; p < plan.pair_slots; ++p) {
+          const std::size_t i = plan.slots[p].cols[0];
+          const std::size_t j = plan.slots[p].cols[1];
+          const double cov = d(i, j);
+          if (detail::below_threshold(cov, d(i, i), d(j, j),
+                                      cfg.rotation_threshold)) {
+            ++skipped;
+            continue;
+          }
+          gen_slots.push_back(p);
+          batch_njj.push_back(d(j, j));
+          batch_nii.push_back(d(i, i));
+          batch_cov.push_back(cov);
         }
-        const RotationParams rp =
-            compute_rotation(cfg.formula, d(j, j), d(i, i), cov, ops);
-        if (!rp.rotate) {
-          ++skipped;
-          continue;
+        batch_t.resize(gen_slots.size());
+        batch_c.resize(gen_slots.size());
+        batch_s.resize(gen_slots.size());
+        batch_rotate.resize(gen_slots.size());
+        rotation_hardware_batch(batch_njj, batch_nii, batch_cov, batch_t,
+                                batch_c, batch_s, batch_rotate);
+        for (std::size_t g = 0; g < gen_slots.size(); ++g) {
+          // below_threshold already skipped cov == 0, so every lane rotates.
+          const std::size_t p = gen_slots[g];
+          const std::size_t i = plan.slots[p].cols[0];
+          const std::size_t j = plan.slots[p].cols[1];
+          const double tc = ops.mul(batch_t[g], batch_cov[g]);
+          d(j, j) = ops.add(d(j, j), tc);  // Algorithm 1 line 15
+          d(i, i) = ops.sub(d(i, i), tc);  // line 16
+          d(i, j) = 0.0;                   // line 17
+          rot[p] = SlotRotation{batch_c[g], batch_s[g], true};
+          ++rotations;
         }
-        const double tc = ops.mul(rp.t, cov);
-        d(j, j) = ops.add(d(j, j), tc);  // Algorithm 1 line 15
-        d(i, i) = ops.sub(d(i, i), tc);  // line 16
-        d(i, j) = 0.0;                   // line 17
-        rot[p] = SlotRotation{rp.cos, rp.sin, true};
-        ++rotations;
+      } else {
+        for (std::size_t p = 0; p < plan.pair_slots; ++p) {
+          const std::size_t i = plan.slots[p].cols[0];
+          const std::size_t j = plan.slots[p].cols[1];
+          const double cov = d(i, j);
+          if (detail::below_threshold(cov, d(i, i), d(j, j),
+                                      cfg.rotation_threshold)) {
+            ++skipped;
+            continue;
+          }
+          const RotationParams rp =
+              compute_rotation(cfg.formula, d(j, j), d(i, i), cov, ops);
+          if (!rp.rotate) {
+            ++skipped;
+            continue;
+          }
+          const double tc = ops.mul(rp.t, cov);
+          d(j, j) = ops.add(d(j, j), tc);  // Algorithm 1 line 15
+          d(i, i) = ops.sub(d(i, i), tc);  // line 16
+          d(i, j) = 0.0;                   // line 17
+          rot[p] = SlotRotation{rp.cos, rp.sin, true};
+          ++rotations;
+        }
       }
       generate_span.end();
 
@@ -368,9 +425,12 @@ SvdResult parallel_plain_hestenes_svd(const Matrix& a,
 #pragma omp parallel for schedule(dynamic, 1) num_threads(nt)
       for (std::ptrdiff_t p = 0; p < count; ++p) {
         const auto [i, j] = round[static_cast<std::size_t>(p)];
-        const double norm_ii = detail::dot_ops(r.col(i), r.col(i), ops);
-        const double norm_jj = detail::dot_ops(r.col(j), r.col(j), ops);
-        const double cov = detail::dot_ops(r.col(i), r.col(j), ops);
+        const double norm_ii =
+            detail::dot_maybe_relaxed(r.col(i), r.col(i), cfg, ops);
+        const double norm_jj =
+            detail::dot_maybe_relaxed(r.col(j), r.col(j), cfg, ops);
+        const double cov =
+            detail::dot_maybe_relaxed(r.col(i), r.col(j), cfg, ops);
         if (detail::below_threshold(cov, norm_ii, norm_jj,
                                     cfg.rotation_threshold)) {
           skipped.fetch_add(1, std::memory_order_relaxed);
@@ -395,7 +455,7 @@ SvdResult parallel_plain_hestenes_svd(const Matrix& a,
     Matrix d;
     const bool need_gram = (stats != nullptr && cfg.track_convergence) ||
                            metrics != nullptr || cfg.tolerance > 0.0;
-    if (need_gram) d = gram_upper_ops(r, ops);
+    if (need_gram) d = detail::gram_upper_maybe_relaxed(r, cfg, ops);
     detail::record_sweep_metrics(metrics, sweep, d, rotations.load(),
                                  skipped.load());
     if (stats != nullptr) {
@@ -412,7 +472,9 @@ SvdResult parallel_plain_hestenes_svd(const Matrix& a,
   }
   result.sweeps = sweeps_done;
   if (cfg.tolerance == 0.0) {
-    result.converged = max_relative_offdiag(gram_upper_ops(r, ops)) < 1e-10;
+    result.converged =
+        max_relative_offdiag(detail::gram_upper_maybe_relaxed(r, cfg, ops)) <
+        1e-10;
   }
   detail::record_run_metrics(metrics, m, n, sweeps_done, total_rotations,
                              total_skipped, result.converged);
@@ -497,7 +559,9 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
     gram_span =
         obs::Span(trace, coord_tid, "svd", "gram",
                   obs::ArgsBuilder().add("rows", m).add("cols", n).str());
-  Matrix d = gram_upper_ops(a, ops, cfg.gram_chunk_rows);
+  Matrix d = cfg.simd_relaxed && cfg.gram_chunk_rows == 1
+                 ? gram_upper_relaxed(a)
+                 : gram_upper_ops(a, ops, cfg.gram_chunk_rows);
   gram_span.end();
   const bool need_v = cfg.compute_u || cfg.compute_v;
   Matrix v;

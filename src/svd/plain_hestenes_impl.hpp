@@ -29,8 +29,14 @@ void finalize_column_result(const Matrix& r, Matrix& v,
   const std::size_t k = std::min(m, n);
   std::vector<double> norms(n);
   for (std::size_t c = 0; c < n; ++c) {
-    const double sq = dot_ops<Ops>(r.col(c), r.col(c), ops);
-    norms[c] = sq > 0.0 ? ops.sqrt(sq) : 0.0;
+    if constexpr (std::is_same_v<Ops, fp::NativeOps>) {
+      // Overflow/underflow-guarded: bitwise sqrt(squared_norm) whenever the
+      // squared sum is a normal double, scaled accumulation otherwise.
+      norms[c] = col_norm(r.col(c));
+    } else {
+      const double sq = dot_ops<Ops>(r.col(c), r.col(c), ops);
+      norms[c] = sq > 0.0 ? ops.sqrt(sq) : 0.0;
+    }
   }
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -97,9 +103,12 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
     for (const auto& [i, j] : pairs) {
       // Recompute norms and covariance from the column data every time —
       // the "duplicated computations" the modified algorithm eliminates.
-      const double norm_ii = detail::dot_ops<Ops>(r.col(i), r.col(i), ops);
-      const double norm_jj = detail::dot_ops<Ops>(r.col(j), r.col(j), ops);
-      const double cov = detail::dot_ops<Ops>(r.col(i), r.col(j), ops);
+      const double norm_ii =
+          detail::dot_maybe_relaxed<Ops>(r.col(i), r.col(i), cfg, ops);
+      const double norm_jj =
+          detail::dot_maybe_relaxed<Ops>(r.col(j), r.col(j), cfg, ops);
+      const double cov =
+          detail::dot_maybe_relaxed<Ops>(r.col(i), r.col(j), cfg, ops);
       if (detail::below_threshold(cov, norm_ii, norm_jj,
                                   cfg.rotation_threshold)) {
         ++skipped;
@@ -121,7 +130,7 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
     Matrix d;  // Gram matrix, built only when a convergence check needs it
     const bool need_gram = (stats != nullptr && cfg.track_convergence) ||
                            metrics != nullptr || cfg.tolerance > 0.0;
-    if (need_gram) d = gram_upper_ops(r, ops);
+    if (need_gram) d = detail::gram_upper_maybe_relaxed(r, cfg, ops);
     detail::record_sweep_metrics(metrics, sweep, d, rotations, skipped);
     if (stats != nullptr) {
       stats->total_rotations += rotations;
@@ -136,7 +145,9 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
   }
   result.sweeps = sweeps_done;
   if (cfg.tolerance == 0.0) {
-    result.converged = max_relative_offdiag(gram_upper_ops(r, ops)) < 1e-10;
+    result.converged =
+        max_relative_offdiag(detail::gram_upper_maybe_relaxed(r, cfg, ops)) <
+        1e-10;
   }
   detail::record_run_metrics(metrics, m, n, sweeps_done, total_rotations,
                              total_skipped, result.converged);

@@ -1,120 +1,9 @@
-// Jacobi rotation parameter generation.
-//
-// Given the squared 2-norms of two columns and their covariance, produce the
-// (t, cos, sin) that makes the rotated columns orthogonal:
-//
-//   A_i' = A_i*cos - A_j*sin        (paper eq. 11)
-//   A_j' = A_i*sin + A_j*cos        (paper eq. 12)
-//
-// Two algebraically equivalent forms are provided:
-//  * the textbook form of Algorithm 1 lines 11-14 (rho -> t -> cos -> sin),
-//  * the hardware closed form of eqs. (8)-(10) that the rotation component
-//    evaluates (no division by the possibly tiny covariance).
-//
-// ERRATUM (documented in DESIGN.md): Algorithm 1 line 11 prints
-// rho = (norm2 - norm1)/(2 cov) with norm1 = D_jj, norm2 = D_ii; for the
-// annihilation condition of the rotation direction in eqs. (11)-(12) and the
-// norm updates D_jj += t*cov, D_ii -= t*cov of lines 15-16 to hold, the sign
-// must be rho = (D_jj - D_ii)/(2 cov).  One can verify:
-//   d_ij' = cos*sin*(d_ii - d_jj) + (cos^2 - sin^2) d_ij = 0
-//   <=> (1 - t^2)/t = (d_jj - d_ii)/d_ij  <=>  t^2 + 2*rho*t - 1 = 0
-// whose small root is t = sign(rho)/(|rho| + sqrt(1 + rho^2)), and then
-// d_jj' = d_jj + t*d_ij, d_ii' = d_ii - t*d_ij (trace preserved).  We
-// implement the self-consistent version; the hardware closed form (8)-(10)
-// is sign-agnostic in magnitude and gets sign(t) = sign(rho) attached, which
-// matches the "(sign)" annotation in eq. (10).
+// Forwarding header: the rotation-parameter kernels moved to
+// linalg/rotation.hpp so the SIMD layer (linalg/simd/) can instantiate them
+// without depending on the svd/ layer.  Kept so existing includes — and the
+// pairing with the fp:: arithmetic policies that every caller of this header
+// uses — continue to work.
 #pragma once
 
-#include <cstddef>
-
 #include "fp/ops.hpp"
-
-namespace hjsvd {
-
-/// Which algebraic form generates (t, cos, sin).
-enum class RotationFormula {
-  kTextbook,  // Algorithm 1 lines 11-14 (sign-corrected, see erratum)
-  kHardware,  // closed forms of eqs. (8)-(10), as the FPGA evaluates them
-};
-
-/// Rotation angle parameters for one column pair.
-struct RotationParams {
-  double t = 0.0;
-  double cos = 1.0;
-  double sin = 0.0;
-  bool rotate = false;  // false when cov == 0 (already orthogonal: identity)
-};
-
-namespace detail {
-
-inline double flip_sign_if(double x, bool negative) {
-  return negative ? -x : x;
-}
-
-}  // namespace detail
-
-/// Algorithm 1 lines 11-14 (with the erratum's sign fix).
-/// norm_jj = D(j,j), norm_ii = D(i,i), cov = D(i,j).
-template <class Ops>
-RotationParams rotation_textbook(double norm_jj, double norm_ii, double cov,
-                                 Ops ops) {
-  RotationParams p;
-  if (cov == 0.0) return p;
-  p.rotate = true;
-  // rho = (D_jj - D_ii) / (2*cov); the doubling is an exponent bump.
-  const double diff = ops.sub(norm_jj, norm_ii);
-  const double rho = ops.div(diff, 2.0 * cov);
-  // t = sign(rho) / (|rho| + sqrt(1 + rho^2))
-  const double rho2 = ops.mul(rho, rho);
-  const double root = ops.sqrt(ops.add(1.0, rho2));
-  const double abs_rho = rho < 0.0 ? -rho : rho;
-  const double t_mag = ops.div(1.0, ops.add(abs_rho, root));
-  p.t = detail::flip_sign_if(t_mag, rho < 0.0);
-  // cos = 1 / sqrt(1 + t^2); sin = cos * t
-  const double t2 = ops.mul(p.t, p.t);
-  p.cos = ops.div(1.0, ops.sqrt(ops.add(1.0, t2)));
-  p.sin = ops.mul(p.cos, p.t);
-  return p;
-}
-
-/// Hardware closed form, eqs. (8)-(10).  Avoids dividing by the covariance,
-/// which is the numerically delicate quantity near convergence.
-template <class Ops>
-RotationParams rotation_hardware(double norm_jj, double norm_ii, double cov,
-                                 Ops ops) {
-  RotationParams p;
-  if (cov == 0.0) return p;
-  p.rotate = true;
-  // With n1 = D_jj, n2 = D_ii the paper's eq. (8) uses |n2 - n1|, which
-  // equals |diff| either way; the sign of t is sign(rho) = sign(diff * cov).
-  const double diff = ops.sub(norm_jj, norm_ii);
-  const double abs_diff = diff < 0.0 ? -diff : diff;
-  const double abs_cov = cov < 0.0 ? -cov : cov;
-  const bool t_negative = (diff < 0.0) != (cov < 0.0);
-  const double d2 = ops.mul(diff, diff);
-  const double c2 = ops.mul(cov, cov);
-  const double s = ops.add(d2, 4.0 * c2);       // (n2-n1)^2 + 4 c^2
-  const double r = ops.sqrt(s);                  // sqrt of the above
-  // eq. (8): t = |2c| / (|n2-n1| + sqrt(...))
-  const double t_mag = ops.div(2.0 * abs_cov, ops.add(abs_diff, r));
-  p.t = detail::flip_sign_if(t_mag, t_negative);
-  // eqs. (9)-(10): shared subexpressions
-  const double adr = ops.mul(abs_diff, r);
-  const double den = ops.add(s, adr);            // d2 + 4c^2 + |d|*r
-  const double num = ops.add(ops.add(d2, 2.0 * c2), adr);
-  p.cos = ops.sqrt(ops.div(num, den));
-  const double sin_mag = ops.sqrt(ops.div(2.0 * c2, den));
-  p.sin = detail::flip_sign_if(sin_mag, t_negative);
-  return p;
-}
-
-/// Dispatch on the configured formula.
-template <class Ops>
-RotationParams compute_rotation(RotationFormula formula, double norm_jj,
-                                double norm_ii, double cov, Ops ops) {
-  return formula == RotationFormula::kTextbook
-             ? rotation_textbook(norm_jj, norm_ii, cov, ops)
-             : rotation_hardware(norm_jj, norm_ii, cov, ops);
-}
-
-}  // namespace hjsvd
+#include "linalg/rotation.hpp"

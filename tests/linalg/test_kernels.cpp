@@ -40,6 +40,42 @@ TEST(Frobenius, ScaledAccumulationAvoidsOverflow) {
   EXPECT_NEAR(frobenius_norm(a) / (std::sqrt(2.0) * 1e200), 1.0, 1e-12);
 }
 
+TEST(ColNorm, BitwiseSqrtOfSquaredNormInNormalRange) {
+  // The fast path must not perturb existing results: whenever the naive
+  // squared sum is a normal double, col_norm is bitwise sqrt(squared_norm).
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> x(1 + trial % 37);
+    for (auto& v : x) v = rng.gaussian() * 100;
+    const double naive = std::sqrt(squared_norm(x));
+    EXPECT_EQ(col_norm(x), naive);
+  }
+}
+
+TEST(ColNorm, GuardsAgainstSquaredOverflow) {
+  // Regression: squared_norm(1e160-scale columns) overflows to inf, and the
+  // unguarded sqrt turned every such singular value into inf.
+  const std::vector<double> x = {1e160, 2e160, -3e160};
+  EXPECT_TRUE(std::isinf(squared_norm(x)));
+  const double n = col_norm(x);
+  EXPECT_TRUE(std::isfinite(n));
+  EXPECT_NEAR(n / (std::sqrt(14.0) * 1e160), 1.0, 1e-12);
+}
+
+TEST(ColNorm, GuardsAgainstSquaredUnderflow) {
+  // Regression: squared_norm(1e-200-scale columns) underflows to 0 (or a
+  // precision-losing subnormal) and the column looked like a zero singular
+  // value despite being perfectly representable.
+  const std::vector<double> x = {3e-200, 4e-200};
+  EXPECT_EQ(squared_norm(x), 0.0);
+  EXPECT_NEAR(col_norm(x) / 5e-200, 1.0, 1e-12);
+}
+
+TEST(ColNorm, ZeroAndEmpty) {
+  EXPECT_EQ(col_norm(std::vector<double>{}), 0.0);
+  EXPECT_EQ(col_norm(std::vector<double>{0.0, 0.0}), 0.0);
+}
+
 TEST(Gram, MatchesExplicitTransposeProduct) {
   Rng rng(2);
   const Matrix a = random_gaussian(12, 5, rng);

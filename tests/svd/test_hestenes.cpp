@@ -138,6 +138,32 @@ TEST(Hestenes, SoftFloatRunIsBitIdenticalToNative) {
         << "index " << i;
 }
 
+TEST(Hestenes, ExtremeScaleInputsDecomposeWithExactRatio) {
+  // Regression for the rotation-overflow bug: scaling A by an exact power
+  // of two scales every Gram entry by its square, so the whole sweep
+  // sequence — rotation params, updates, convergence decisions — must be
+  // the scaled image of the unscaled run, and each singular value exactly
+  // 2^k times the original.  Pre-fix, 2^+400 overflowed diff^2 inside the
+  // hardware rotation and the run produced NaN; 2^-400 underflowed the
+  // squares and poisoned the params through 0/0.  (|k| stays at 400 so the
+  // *fixed* run's Gram quantities — scaled by 2^(2k) — never leave the
+  // normal range, where power-of-two scaling commutes with rounding.)
+  Rng rng(73);
+  const Matrix a = random_gaussian(12, 6, rng);
+  const SvdResult base = modified_hestenes_svd(a, tolerant_config());
+  for (const int k : {400, -400}) {
+    Matrix scaled = a;
+    for (double& v : scaled.data()) v = std::ldexp(v, k);
+    const SvdResult r = modified_hestenes_svd(scaled, tolerant_config());
+    ASSERT_EQ(r.sweeps, base.sweeps) << "k=" << k;
+    ASSERT_TRUE(r.converged);
+    ASSERT_EQ(r.singular_values.size(), base.singular_values.size());
+    for (std::size_t i = 0; i < base.singular_values.size(); ++i)
+      ASSERT_EQ(r.singular_values[i], std::ldexp(base.singular_values[i], k))
+          << "k=" << k << " sigma[" << i << "]";
+  }
+}
+
 TEST(Hestenes, StatsCountRotationsAndSkips) {
   Rng rng(81);
   const Matrix a = random_gaussian(10, 10, rng);

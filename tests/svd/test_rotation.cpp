@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
 
@@ -136,6 +137,125 @@ TEST(RotationEdge, SignConvention) {
   EXPECT_LT(rotation_hardware(2.0, 1.0, -0.5, fp::NativeOps{}).t, 0.0);
   EXPECT_GT(rotation_hardware(1.0, 2.0, -0.5, fp::NativeOps{}).t, 0.0);
 }
+
+// --- Regression: extreme-scale inputs (pre-scaling fix) -----------------
+//
+// Before the power-of-two pre-scaling, the hardware form squared
+// diff = d_jj - d_ii and cov directly, so any |diff| or |cov| beyond
+// ~1e154 overflowed d2/c2 to inf and the params came back NaN with
+// rotate=true — poisoning every downstream column.  Squared column norms
+// reach 1e300 for perfectly representable data (columns ~1e150), so this
+// is a reachable input class, not hypothetical.  Symmetrically, inputs
+// near 1e-160 underflowed the squares to zero.
+
+class RotationExtremeScale
+    : public ::testing::TestWithParam<RotationFormula> {};
+
+TEST_P(RotationExtremeScale, ParamsStayFiniteAndAnnihilate) {
+  const Case cases[] = {
+      // Tiny: squares underflow to *subnormal* (precision loss) ...
+      {3e-160, 1e-160, 1e-160},
+      // ... and to exact zero (0/0 -> NaN) without pre-scaling.
+      {3e-165, 1e-165, 1e-165},
+      // Large: diff^2 > DBL_MAX, so d2 = inf without pre-scaling.
+      {3e155, 1e155, 1e155},
+      {2e155, 7e154, -9e154},
+      // Near the top of the double range.
+      {1e300, 3e299, 2e299},
+      // Mixed grading: huge diff against a modest covariance and vice
+      // versa (amax decides the pre-scale; the small term must survive).
+      {1e155, 1.0, 1e-3},
+      {2.0, 1.0, 1e150},
+      {1e-160, 5e-161, 1e150},
+  };
+  for (const Case& c : cases) {
+    const auto p = compute_rotation(GetParam(), c.norm_jj, c.norm_ii, c.cov,
+                                    NativeOps{});
+    ASSERT_TRUE(std::isfinite(p.t)) << "njj=" << c.norm_jj
+                                    << " nii=" << c.norm_ii
+                                    << " cov=" << c.cov;
+    ASSERT_TRUE(std::isfinite(p.cos));
+    ASSERT_TRUE(std::isfinite(p.sin));
+    ASSERT_TRUE(p.rotate);
+    ASSERT_NEAR(p.cos * p.cos + p.sin * p.sin, 1.0, 1e-13);
+    // cov' == 0 up to rounding, evaluated at the problem's own scale.
+    const double scale =
+        std::max({std::abs(c.norm_ii - c.norm_jj), std::abs(c.cov)});
+    ASSERT_NEAR(rotated_cov(p, c) / scale, 0.0, 1e-13)
+        << "njj=" << c.norm_jj << " nii=" << c.norm_ii << " cov=" << c.cov;
+  }
+}
+
+TEST_P(RotationExtremeScale, PowerOfTwoScaleInvariance) {
+  // The rotation angle depends only on the *ratio* of the Gram entries, so
+  // scaling (njj, nii, cov) by an exact power of two must not change a
+  // single bit of (t, cos, sin).  Pre-fix, the 2^+600 row turned into NaN.
+  Rng rng(31);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const double njj = std::abs(rng.gaussian()) * 10 + 1e-3;
+    const double nii = std::abs(rng.gaussian()) * 10 + 1e-3;
+    const double cov = rng.gaussian() * 3;
+    // Keep every scaled input comfortably inside the normal range so the
+    // ldexp scaling itself is exact (no subnormal rounding).
+    if (std::abs(cov) < 1e-6) continue;
+    const auto base =
+        compute_rotation(GetParam(), njj, nii, cov, NativeOps{});
+    for (const int e : {600, -600, 900, -900}) {
+      const auto scaled = compute_rotation(
+          GetParam(), std::ldexp(njj, e), std::ldexp(nii, e),
+          std::ldexp(cov, e), NativeOps{});
+      ASSERT_EQ(fp::to_bits(base.t), fp::to_bits(scaled.t))
+          << "njj=" << njj << " nii=" << nii << " cov=" << cov << " e=" << e;
+      ASSERT_EQ(fp::to_bits(base.cos), fp::to_bits(scaled.cos));
+      ASSERT_EQ(fp::to_bits(base.sin), fp::to_bits(scaled.sin));
+      ASSERT_EQ(base.rotate, scaled.rotate);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFormulas, RotationExtremeScale,
+                         ::testing::Values(RotationFormula::kTextbook,
+                                           RotationFormula::kHardware),
+                         [](const auto& param_info) {
+                           return param_info.param == RotationFormula::kTextbook
+                                      ? "Textbook"
+                                      : "Hardware";
+                         });
+
+// --- Regression: non-finite inputs must throw, not early-out ------------
+//
+// A NaN covariance used to slip past the `cov == 0.0` skip test (NaN
+// compares false) and poison the params; likewise NaN/inf norms.  The
+// contract is now a deterministic hjsvd::Error before any branch.
+
+class RotationNonFinite
+    : public ::testing::TestWithParam<RotationFormula> {};
+
+TEST_P(RotationNonFinite, NonFiniteInputsThrow) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const RotationFormula f = GetParam();
+  // The NaN-cov case is the original bug: it reached the `cov == 0.0`
+  // early-out, compared false, and continued into the arithmetic.
+  EXPECT_THROW(compute_rotation(f, 2.0, 1.0, nan, NativeOps{}), Error);
+  EXPECT_THROW(compute_rotation(f, nan, 1.0, 0.5, NativeOps{}), Error);
+  EXPECT_THROW(compute_rotation(f, 2.0, nan, 0.5, NativeOps{}), Error);
+  EXPECT_THROW(compute_rotation(f, inf, 1.0, 0.5, NativeOps{}), Error);
+  EXPECT_THROW(compute_rotation(f, 2.0, -inf, 0.5, NativeOps{}), Error);
+  EXPECT_THROW(compute_rotation(f, 2.0, 1.0, inf, NativeOps{}), Error);
+  // ...even when cov is exactly zero, which used to early-out first.
+  EXPECT_THROW(compute_rotation(f, nan, 1.0, 0.0, NativeOps{}), Error);
+  EXPECT_THROW(compute_rotation(f, inf, 1.0, 0.0, NativeOps{}), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFormulas, RotationNonFinite,
+                         ::testing::Values(RotationFormula::kTextbook,
+                                           RotationFormula::kHardware),
+                         [](const auto& param_info) {
+                           return param_info.param == RotationFormula::kTextbook
+                                      ? "Textbook"
+                                      : "Hardware";
+                         });
 
 TEST(RotationSoftFloat, BitIdenticalToNative) {
   Rng rng(29);

@@ -28,6 +28,7 @@
 #include "common/timer.hpp"
 #include "linalg/generate.hpp"
 #include "linalg/io.hpp"
+#include "linalg/simd/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -81,6 +82,27 @@ std::size_t parse_count(const Cli& cli, const std::string& name,
                      "'");
   }
   return static_cast<std::size_t>(value);
+}
+
+/// Applies --simd to the process-wide dispatch level.  "auto" keeps the
+/// startup choice (HJSVD_SIMD env var, else best available); the explicit
+/// levels override it for this run.
+void apply_simd_level(const std::string& name) {
+  if (name == "auto") return;
+  if (name == "off" || name == "scalar") {
+    simd::set_level(simd::Level::kScalar);
+    return;
+  }
+  if (name == "avx2") {
+    if (!simd::compiled_with_avx2())
+      throw UsageError("--simd avx2: this binary was built with HJSVD_SIMD=OFF "
+                       "or without AVX2 compiler support");
+    if (!simd::cpu_has_avx2())
+      throw UsageError("--simd avx2: this CPU does not support AVX2");
+    simd::set_level(simd::Level::kAvx2);
+    return;
+  }
+  throw UsageError("unknown --simd '" + name + "' (off|scalar|avx2|auto)");
 }
 
 /// Parses "MxN" into dimensions.
@@ -164,6 +186,14 @@ int main(int argc, char** argv) {
                    "integer, or 'auto' = all)");
     cli.add_option("queue-depth", "8",
                    "parameter-queue capacity of --method pipelined-modified");
+    cli.add_option("simd", "auto",
+                   "SIMD kernel dispatch level: off|scalar|avx2|auto "
+                   "(auto = HJSVD_SIMD env var, else best available; every "
+                   "level is bitwise identical)");
+    cli.add_option("simd-relaxed", "false",
+                   "opt into the relaxed SIMD tier: 4-lane-split Gram/dot "
+                   "reductions (faster, deterministic, but not bitwise "
+                   "identical to the strict scalar reference)");
     cli.add_option("values", "10", "how many singular values to print");
     cli.add_option("sweeps", "30", "max sweeps (Jacobi methods)");
     cli.add_option("tolerance", "1e-13", "convergence tolerance");
@@ -205,8 +235,11 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    apply_simd_level(cli.get("simd"));
+
     SvdOptions opt;
     opt.method = parse_method(cli.get("method"));
+    opt.simd_relaxed = cli.get_bool("simd-relaxed");
     opt.max_sweeps = static_cast<std::size_t>(cli.get_int("sweeps"));
     opt.tolerance = cli.get_double("tolerance");
     opt.threads = parse_count(cli, "threads", 0);
