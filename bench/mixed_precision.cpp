@@ -1,0 +1,170 @@
+// Mixed-precision engine benchmark: float opening sweeps vs all-double.
+//
+// For each matrix size, runs the all-double modified-Gram Hestenes engine
+// and the mixed-precision engine (binary32 sweeps until the off-diagonal
+// measure crosses --mp-switch, then binary64 refinement after a full Gram
+// recompute) on the same Gaussian matrix and records sweep splits, wall
+// times and the relative singular-value disagreement.
+//
+// Two guardrails gate the JSON (scripts/bench_gate.py refuses regressed
+// baselines, and CI trips the gate on a flipped guardrail_ok):
+//   1. sweep economy — at every size >= 256 the mixed engine must spend
+//      strictly fewer double sweeps than the all-double engine spends in
+//      total; otherwise the float phase earned nothing.
+//   2. accuracy — max_i |sigma_mixed_i - sigma_double_i| / sigma_max must
+//      stay below 100 n eps: the double refinement phase, not the float
+//      opening, decides the final accuracy (docs/ALGORITHM.md section 10).
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "linalg/generate.hpp"
+#include "obs/manifest.hpp"
+#include "svd/hestenes.hpp"
+#include "svd/mixed_hestenes.hpp"
+
+using namespace hjsvd;
+
+namespace {
+
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+std::string fmt(double x) {
+  std::ostringstream os;
+  os.precision(6);
+  os << x;
+  return os.str();
+}
+
+std::string manifest(const std::string& config) {
+  obs::RunManifest m;
+  m.tool = "bench_mixed_precision";
+  m.config = config;
+  return obs::manifest_json(m);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("Mixed-precision (float -> double) vs all-double Hestenes engine");
+  cli.add_option("sizes", "96,160,256,320", "square matrix sizes");
+  cli.add_option("reps", "3", "repetitions per timing (best-of)");
+  cli.add_option("mp-switch", "1e-4",
+                 "precision-switch threshold of the mixed engine");
+  cli.add_option("out", "BENCH_mixed_precision.json", "JSON output path");
+  cli.parse(argc, argv);
+  const auto sizes = cli.get_int_list("sizes");
+  const int reps = static_cast<int>(cli.get_int("reps"));
+  const double mp_switch = cli.get_double("mp-switch");
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+
+  HestenesConfig base;
+  base.tolerance = 1e-13;
+  base.max_sweeps = 40;
+  MixedHestenesConfig mixed_cfg;
+  mixed_cfg.base = base;
+  mixed_cfg.switch_threshold = mp_switch;
+
+  std::cout << "== Mixed-precision Hestenes engine ==\n"
+            << "switch threshold: " << mp_switch << "\n\n";
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"mixed_precision\",\n"
+       << "  \"manifest\": "
+       << manifest("sizes=" + cli.get("sizes") + " reps=" + cli.get("reps") +
+                   " mp-switch=" + cli.get("mp-switch"))
+       << ",\n"
+       << "  \"switch_threshold\": " << fmt(mp_switch) << ",\n"
+       << "  \"reps\": " << reps << ",\n  \"sizes\": [\n";
+
+  AsciiTable tab({"n", "double sweeps", "mixed f+d", "double (s)", "mixed (s)",
+                  "speedup", "sigma rel err"});
+  tab.set_caption("All-double vs mixed-precision modified Hestenes:");
+
+  bool sweeps_ok = true;
+  bool accuracy_ok = true;
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const auto n = static_cast<std::size_t>(sizes[si]);
+    Rng rng(7400 + static_cast<std::uint64_t>(n));
+    const Matrix a = random_gaussian(n, n, rng);
+
+    HestenesStats dstats;
+    SvdResult dres;
+    const double t_double =
+        best_of(reps, [&] { dres = modified_hestenes_svd(a, base, &dstats); });
+
+    MixedHestenesStats mstats;
+    SvdResult mres;
+    const double t_mixed = best_of(
+        reps, [&] { mres = mixed_modified_hestenes_svd(a, mixed_cfg, &mstats); });
+
+    double rel_err = 0.0;
+    const double sigma_max = dres.singular_values.empty()
+                                 ? 1.0
+                                 : std::max(dres.singular_values[0], 1e-300);
+    for (std::size_t i = 0; i < dres.singular_values.size(); ++i)
+      rel_err = std::max(rel_err,
+                         std::abs(mres.singular_values[i] -
+                                  dres.singular_values[i]) /
+                             sigma_max);
+
+    // Sizes below 256 are reported for context but not gated: at small n
+    // the whole iteration can converge before the float phase pays off.
+    const bool fewer = mstats.double_sweeps < dres.sweeps;
+    if (n >= 256) sweeps_ok = sweeps_ok && fewer;
+    const double sigma_bound = 100.0 * static_cast<double>(n) * kEps;
+    const bool accurate = rel_err <= sigma_bound;
+    accuracy_ok = accuracy_ok && accurate;
+
+    json << "    {\"n\": " << n << ", \"double_sweeps\": " << dres.sweeps
+         << ", \"mixed_float_sweeps\": " << mstats.float_sweeps
+         << ", \"mixed_double_sweeps\": " << mstats.double_sweeps
+         << ", \"switch_reason\": \""
+         << mixed_switch_reason_name(mstats.switch_reason) << "\""
+         << ", \"double_s\": " << fmt(t_double)
+         << ", \"mixed_s\": " << fmt(t_mixed)
+         << ", \"speedup\": " << fmt(t_double / t_mixed)
+         << ", \"sigma_rel_err\": " << fmt(rel_err)
+         << ", \"sigma_bound\": " << fmt(sigma_bound)
+         << ", \"fewer_double_sweeps\": " << (fewer ? "true" : "false")
+         << ", \"gated\": " << (n >= 256 ? "true" : "false") << "}"
+         << (si + 1 < sizes.size() ? "," : "") << "\n";
+    tab.add_row({std::to_string(n), std::to_string(dres.sweeps),
+                 std::to_string(mstats.float_sweeps) + "+" +
+                     std::to_string(mstats.double_sweeps),
+                 fmt(t_double), fmt(t_mixed), fmt(t_double / t_mixed),
+                 fmt(rel_err) + (accurate ? "" : " GUARDRAIL")});
+  }
+
+  const bool ok = sweeps_ok && accuracy_ok;
+  json << "  ],\n  \"guardrail_ok\": " << (ok ? "true" : "false") << "\n}\n";
+  std::cout << tab.to_string() << '\n';
+  const std::string out = cli.get("out");
+  write_file(out, json.str());
+  std::cout << "JSON written to " << out << '\n';
+  if (!sweeps_ok)
+    std::cout << "ERROR: mixed engine did not save double sweeps at some "
+                 "gated size (n >= 256)!\n";
+  if (!accuracy_ok)
+    std::cout << "ERROR: mixed singular values drifted past the 100*n*eps "
+                 "agreement bound!\n";
+  return ok ? 0 : 1;
+}

@@ -16,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "svd/hestenes.hpp"
+#include "svd/mixed_hestenes.hpp"
 #include "svd/parallel_sweep.hpp"
 #include "svd/plain_hestenes.hpp"
 
@@ -71,6 +72,10 @@ bool is_hestenes_family(SvdMethod method) {
     case SvdMethod::kParallelModifiedHestenes:
     case SvdMethod::kPipelinedModifiedHestenes:
       return true;
+    case SvdMethod::kMixedModifiedHestenes:
+      // Mixed precision has no bitwise-identical parallel twin, so batch
+      // items must never be split onto its behalf.
+      return false;
     case SvdMethod::kTwoSidedJacobi:
     case SvdMethod::kGolubKahan:
       return false;
@@ -119,6 +124,12 @@ SvdResult svd(const Matrix& a, const SvdOptions& options) {
       pipe.threads = options.threads;
       pipe.queue_depth = options.pipeline_queue_depth;
       return pipelined_modified_hestenes_svd(a, hj, pipe);
+    }
+    case SvdMethod::kMixedModifiedHestenes: {
+      MixedHestenesConfig mixed;
+      mixed.base = hj;
+      mixed.switch_threshold = options.mp_switch_threshold;
+      return mixed_modified_hestenes_svd(a, mixed);
     }
     case SvdMethod::kTwoSidedJacobi: {
       TwoSidedConfig cfg;
@@ -329,6 +340,8 @@ const char* svd_method_name(SvdMethod method) {
       return "parallel modified Hestenes-Jacobi (block sweep)";
     case SvdMethod::kPipelinedModifiedHestenes:
       return "pipelined modified Hestenes-Jacobi (param-FIFO overlap)";
+    case SvdMethod::kMixedModifiedHestenes:
+      return "mixed-precision modified Hestenes-Jacobi (float -> double)";
     case SvdMethod::kTwoSidedJacobi: return "two-sided Jacobi";
     case SvdMethod::kGolubKahan: return "Golub-Kahan-Reinsch";
   }

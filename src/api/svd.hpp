@@ -22,6 +22,7 @@ enum class SvdMethod {
   kParallelHestenes,          // pair-parallel plain one-sided Jacobi
   kParallelModifiedHestenes,  // block-partitioned Gram-rotating engine
   kPipelinedModifiedHestenes, // param-FIFO pipelined Gram-rotating engine
+  kMixedModifiedHestenes,     // float opening sweeps + double refinement
   kTwoSidedJacobi,            // Kogbetliantz (square matrices only)
   kGolubKahan,                // Householder bidiagonalization + QR iteration
 };
@@ -41,6 +42,14 @@ struct SvdOptions {
   /// software analogue of the accelerator's param FIFO depth); other
   /// methods ignore it.  Results are bitwise independent of this value.
   std::size_t pipeline_queue_depth = 8;
+  /// kMixedModifiedHestenes only: promote the float phase to double once
+  /// max |off-diag| / max diag of the float-phase Gram matrix falls below
+  /// this (must be positive and finite; values near sqrt(eps_single) ~ 3e-4
+  /// hand over exactly as binary32 runs out of precision).  The engine also
+  /// promotes early on float-phase stall, so a too-small value degrades to
+  /// at most one wasted float sweep, never to a wrong answer.  Other
+  /// methods ignore it.  See docs/ALGORITHM.md §10.
+  double mp_switch_threshold = 1e-4;
   /// Opt-in relaxed SIMD tier for the Hestenes-family methods: Gram and
   /// covariance dot products use the 4-lane-split accumulation of
   /// linalg/simd/ instead of strict left-to-right sums (roughly lane-count

@@ -40,6 +40,11 @@ double col_norm(std::span<const double> x);
 void rotate_pair(std::span<double> x, std::span<double> y, double c,
                  double s);
 
+/// Binary32 rotate_pair for the mixed-precision float phase.  Same SIMD
+/// dispatch and bit-identity contract as the double overload (8 x float
+/// lanes on AVX2).
+void rotate_pair(std::span<float> x, std::span<float> y, float c, float s);
+
 /// Batched hardware-form rotation generation (structure-of-arrays): lane l
 /// gets exactly the bits of rotation_hardware<fp::NativeOps>(norm_jj[l],
 /// norm_ii[l], cov[l]); cov[l] == 0 lanes yield the identity with

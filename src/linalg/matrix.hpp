@@ -17,6 +17,8 @@ namespace hjsvd {
 /// Dense column-major matrix of doubles.
 class Matrix {
  public:
+  using value_type = double;
+
   Matrix() = default;
 
   /// rows x cols matrix, zero-initialized.
@@ -69,5 +71,56 @@ class Matrix {
 
 /// C = A * B.
 Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Dense column-major matrix in an arbitrary scalar type.  The working
+/// storage of the mixed-precision engine's float phase (docs/ALGORITHM.md
+/// §10); interface-compatible with Matrix so the templated rotation/update
+/// helpers in svd/hestenes_impl.hpp accept either.
+template <class T>
+class MatrixT {
+ public:
+  using value_type = T;
+
+  MatrixT() = default;
+
+  MatrixT(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T(0)) {}
+
+  static MatrixT identity(std::size_t n) {
+    MatrixT m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T(1);
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    HJSVD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[c * rows_ + r];
+  }
+  T operator()(std::size_t r, std::size_t c) const {
+    HJSVD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[c * rows_ + r];
+  }
+
+  std::span<T> col(std::size_t j) {
+    HJSVD_ASSERT(j < cols_, "column index out of range");
+    return {data_.data() + j * rows_, rows_};
+  }
+  std::span<const T> col(std::size_t j) const {
+    HJSVD_ASSERT(j < cols_, "column index out of range");
+    return {data_.data() + j * rows_, rows_};
+  }
+
+  std::span<T> data() { return data_; }
+  std::span<const T> data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
 
 }  // namespace hjsvd

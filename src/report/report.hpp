@@ -123,6 +123,19 @@ struct RunReport {
   std::vector<BatchWorkerStat> batch_worker_stats;  // by worker index
   SeriesStats batch_queue_occupancy;  // batch.queue.occupancy series
 
+  // Mixed-precision section (kMixedModifiedHestenes runs; svd.mp.* gauges,
+  // see docs/ALGORITHM.md §10).  Like batch, the member is omitted from the
+  // JSON entirely when absent, so pre-mixed reports re-serialize
+  // byte-for-byte.
+  bool has_mixed = false;
+  std::uint64_t mp_float_sweeps = 0;   // binary32 opening sweeps
+  std::uint64_t mp_double_sweeps = 0;  // binary64 refinement sweeps
+  std::uint64_t mp_switch_sweep = 0;   // 0-based sweep index of promotion
+  double mp_switch_threshold = 0.0;    // configured hand-over level
+  std::string mp_switch_reason;        // threshold | stall | budget | skipped
+  double mp_offdiag_at_switch = 0.0;   // float-phase measure at promotion
+  double mp_offdiag_after_recompute = 0.0;  // after the double Gram rebuild
+
   std::vector<ConvergencePoint> convergence;
 
   // Cross-checks (derived; what PR 3 concluded by reading bench stdout).

@@ -15,16 +15,27 @@
 namespace hjsvd {
 namespace detail {
 
+/// Whether an Ops policy is native host-FPU arithmetic in the matrix's
+/// scalar type, i.e. eligible for the SIMD-dispatched kernels (which are
+/// bitwise identical to the scalar loops at every level).
+template <class Ops, class T>
+inline constexpr bool kNativeOpsFor =
+    (std::is_same_v<Ops, fp::NativeOps> && std::is_same_v<T, double>) ||
+    (std::is_same_v<Ops, fp::NativeOps32> && std::is_same_v<T, float>);
+
 /// Applies the plane rotation to the covariance entries affected by
 /// orthogonalizing columns (i, j) — Algorithm 1 lines 18-26.  D stores the
 /// upper triangle (row <= col); the canonical location of the covariance
 /// between columns p < q is D(p, q).  Both outputs of each pair are computed
 /// from the *original* values, as the hardware update kernel does (Fig. 5;
 /// the paper's pseudocode reads as if line 20 consumed line 19's output,
-/// which would be wrong).
-template <class Ops>
-void rotate_covariances(Matrix& d, std::size_t i, std::size_t j, double c,
-                        double s, Ops ops) {
+/// which would be wrong).  Mat is Matrix (double) or MatrixT<float> for the
+/// mixed-precision float phase; the working scalar type follows the matrix.
+template <class Mat, class Ops>
+void rotate_covariances(Mat& d, std::size_t i, std::size_t j,
+                        typename Mat::value_type c,
+                        typename Mat::value_type s, Ops ops) {
+  using T = typename Mat::value_type;
   const std::size_t n = d.cols();
   auto col_i = d.col(i);
   auto col_j = d.col(j);
@@ -32,45 +43,47 @@ void rotate_covariances(Matrix& d, std::size_t i, std::size_t j, double c,
   // the native-arithmetic policy takes the SIMD-dispatched kernel (bitwise
   // identical to the loop below; see linalg/simd/simd.hpp).  The strided
   // middle/tail segments stay scalar.
-  if constexpr (std::is_same_v<Ops, fp::NativeOps>) {
+  if constexpr (kNativeOpsFor<Ops, T>) {
     rotate_pair(col_i.first(i), col_j.first(i), c, s);
   } else {
     for (std::size_t k = 0; k < i; ++k) {
-      const double x = col_i[k];
-      const double y = col_j[k];
+      const T x = col_i[k];
+      const T y = col_j[k];
       col_i[k] = ops.sub(ops.mul(x, c), ops.mul(y, s));
       col_j[k] = ops.add(ops.mul(x, s), ops.mul(y, c));
     }
   }
   // i < k < j: covariances live at D(i, k) and D(k, j).
   for (std::size_t k = i + 1; k < j; ++k) {
-    const double x = d(i, k);
-    const double y = col_j[k];
+    const T x = d(i, k);
+    const T y = col_j[k];
     d(i, k) = ops.sub(ops.mul(x, c), ops.mul(y, s));
     col_j[k] = ops.add(ops.mul(x, s), ops.mul(y, c));
   }
   // k > j: covariances live at D(i, k) and D(j, k).
   for (std::size_t k = j + 1; k < n; ++k) {
-    const double x = d(i, k);
-    const double y = d(j, k);
+    const T x = d(i, k);
+    const T y = d(j, k);
     d(i, k) = ops.sub(ops.mul(x, c), ops.mul(y, s));
     d(j, k) = ops.add(ops.mul(x, s), ops.mul(y, c));
   }
 }
 
 /// Rotates columns i and j of a matrix per eqs. (11)-(12).
-template <class Ops>
-void rotate_columns(Matrix& v, std::size_t i, std::size_t j, double c,
-                    double s, Ops ops) {
+template <class Mat, class Ops>
+void rotate_columns(Mat& v, std::size_t i, std::size_t j,
+                    typename Mat::value_type c, typename Mat::value_type s,
+                    Ops ops) {
+  using T = typename Mat::value_type;
   auto vi = v.col(i);
   auto vj = v.col(j);
-  if constexpr (std::is_same_v<Ops, fp::NativeOps>) {
+  if constexpr (kNativeOpsFor<Ops, T>) {
     // SIMD-dispatched, bitwise identical to the scalar loop below.
     rotate_pair(vi, vj, c, s);
   } else {
     for (std::size_t r = 0; r < vi.size(); ++r) {
-      const double x = vi[r];
-      const double y = vj[r];
+      const T x = vi[r];
+      const T y = vj[r];
       vi[r] = ops.sub(ops.mul(x, c), ops.mul(y, s));
       vj[r] = ops.add(ops.mul(x, s), ops.mul(y, c));
     }
@@ -79,28 +92,49 @@ void rotate_columns(Matrix& v, std::size_t i, std::size_t j, double c,
 
 /// True when the covariance is small enough to skip under the config's
 /// relative threshold (threshold-Jacobi; 0 skips only exact zeros).
+///
+/// The predicate is |d_pq| <= tol * sqrt(d_pp * d_qq) — relative to the
+/// diagonal, so it is scale-invariant: svd(2^k A) must skip exactly the
+/// pairs svd(A) skips.  The square-free fast path (cov^2 vs tol^2*dii*djj)
+/// is only taken when both squared products are normal doubles, which keeps
+/// every pre-existing in-range result bitwise identical; outside that range
+/// the squares overflow to inf (inf <= inf was *true*, silently skipping
+/// every pair of a 2^300-scaled matrix) or flush to zero (0 <= 0, same
+/// failure at tiny scales), so the guarded sqrt form is used instead.
 inline bool below_threshold(double cov, double dii, double djj,
                             double threshold) {
   if (cov == 0.0) return true;
   if (threshold <= 0.0) return false;
-  return cov * cov <= threshold * threshold * dii * djj;
+  const double lhs = cov * cov;
+  const double rhs = threshold * threshold * dii * djj;
+  constexpr double kLo = std::numeric_limits<double>::min();
+  constexpr double kHi = std::numeric_limits<double>::max();
+  if (lhs >= kLo && lhs <= kHi && rhs >= kLo && rhs <= kHi)
+    return lhs <= rhs;
+  // Scale-safe slow path: sqrt halves the exponents, so no intermediate can
+  // overflow or underflow for finite inputs.  A tiny-negative diagonal
+  // (rounding) makes the sqrt NaN and the comparison false: rotate, which
+  // is always the conservative choice.
+  return std::abs(cov) <= threshold * std::sqrt(dii) * std::sqrt(djj);
 }
 
 /// One rotation step on D (and V, when accumulated): Algorithm 1 lines 8-26.
 /// Returns false when the pair was skipped (orthogonal or sub-threshold).
-template <class Ops>
-bool apply_pair(Matrix& d, Matrix* v, const HestenesConfig& cfg,
-                std::size_t i, std::size_t j, Ops ops) {
-  const double cov = d(i, j);
-  if (below_threshold(cov, d(i, i), d(j, j), cfg.rotation_threshold))
+template <class Mat, class Ops>
+bool apply_pair(Mat& d, Mat* v, const HestenesConfig& cfg, std::size_t i,
+                std::size_t j, Ops ops) {
+  using T = typename Mat::value_type;
+  const T cov = d(i, j);
+  if (below_threshold(static_cast<double>(cov), static_cast<double>(d(i, i)),
+                      static_cast<double>(d(j, j)), cfg.rotation_threshold))
     return false;
-  const RotationParams p =
+  const RotationParamsT<T> p =
       compute_rotation(cfg.formula, d(j, j), d(i, i), cov, ops);
   if (!p.rotate) return false;
-  const double tc = ops.mul(p.t, cov);
+  const T tc = ops.mul(p.t, cov);
   d(j, j) = ops.add(d(j, j), tc);  // line 15
   d(i, i) = ops.sub(d(i, i), tc);  // line 16
-  d(i, j) = 0.0;                   // line 17
+  d(i, j) = T(0);                  // line 17
   rotate_covariances(d, i, j, p.cos, p.sin, ops);
   if (v != nullptr) rotate_columns(*v, i, j, p.cos, p.sin, ops);
   return true;

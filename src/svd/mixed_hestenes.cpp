@@ -1,0 +1,40 @@
+// Explicit instantiations and convenience entry points of the
+// mixed-precision modified Hestenes-Jacobi engine.
+#include "svd/mixed_hestenes_impl.hpp"
+
+namespace hjsvd {
+
+template SvdResult mixed_modified_hestenes_svd_t<fp::NativeOps32,
+                                                 fp::NativeOps>(
+    const Matrix&, const MixedHestenesConfig&, MixedHestenesStats*,
+    fp::NativeOps32, fp::NativeOps);
+
+template SvdResult mixed_modified_hestenes_svd_t<fp::SoftOps32, fp::SoftOps>(
+    const Matrix&, const MixedHestenesConfig&, MixedHestenesStats*,
+    fp::SoftOps32, fp::SoftOps);
+
+SvdResult mixed_modified_hestenes_svd(const Matrix& a,
+                                      const MixedHestenesConfig& cfg,
+                                      MixedHestenesStats* stats) {
+  return mixed_modified_hestenes_svd_t(a, cfg, stats, fp::NativeOps32{},
+                                       fp::NativeOps{});
+}
+
+SvdResult mixed_modified_hestenes_svd_soft(const Matrix& a,
+                                           const MixedHestenesConfig& cfg,
+                                           MixedHestenesStats* stats) {
+  return mixed_modified_hestenes_svd_t(a, cfg, stats, fp::SoftOps32{},
+                                       fp::SoftOps{});
+}
+
+const char* mixed_switch_reason_name(MixedSwitchReason reason) {
+  switch (reason) {
+    case MixedSwitchReason::kThreshold: return "threshold";
+    case MixedSwitchReason::kStall: return "stall";
+    case MixedSwitchReason::kBudget: return "budget";
+    case MixedSwitchReason::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+}  // namespace hjsvd

@@ -1,0 +1,91 @@
+// Mixed-precision modified Hestenes-Jacobi SVD (docs/ALGORITHM.md §10).
+//
+// The opening sweeps run the Gram-rotating engine entirely in binary32 —
+// rotation generation and the D = A^T A updates — on a power-of-two
+// prescaled copy of the input.  Once the off-diagonal mass of D drops below
+// a switch threshold (or the float iteration stalls at its precision
+// floor), the accumulated rotation product V is promoted to binary64,
+// re-orthonormalized, and the engine recomputes D = (A V)^T (A V) in
+// double from the *original* columns — one full Gram recompute that erases
+// the accumulated float rounding from D — before finishing with ordinary
+// double sweeps.  The float sweeps cost roughly half the memory traffic
+// (and 8 SIMD lanes instead of 4), and the double phase starts from a
+// nearly-diagonal D, so it needs strictly fewer double-precision sweeps
+// than the all-double engine (asserted by bench/mixed_precision.cpp).
+#pragma once
+
+#include "svd/hestenes.hpp"
+
+namespace hjsvd {
+
+/// Why the engine left the float phase.
+enum class MixedSwitchReason {
+  kThreshold,  ///< off-diagonal measure fell below switch_threshold
+  kStall,      ///< float iteration hit its precision floor (no progress)
+  kBudget,     ///< float sweep budget exhausted
+  kSkipped,    ///< float phase not run (n < 2 or all-zero input)
+};
+
+const char* mixed_switch_reason_name(MixedSwitchReason reason);
+
+/// Configuration of a mixed-precision run.  `base` carries everything the
+/// all-double engine understands (ordering, rotation formula, tolerance,
+/// sweep cap, observability sinks); the extra fields steer the precision
+/// switch.
+struct MixedHestenesConfig {
+  HestenesConfig base;
+
+  /// Promote to double once max |off-diag| / max diag of the float-phase D
+  /// falls below this.  Values near sqrt(eps_single) ~ 3e-4 hand over just
+  /// as binary32 runs out of precision; the default leaves a small margin.
+  /// Exposed as SvdOptions::mp_switch_threshold / `hjsvd_cli --mp-switch`.
+  double switch_threshold = 1e-4;
+
+  /// Cap on float-phase sweeps.  0 means base.max_sweeps - 1: at least the
+  /// final sweep always runs in double.
+  std::size_t max_float_sweeps = 0;
+
+  /// Stall detection: promote when a float sweep shrinks the off-diagonal
+  /// measure to no less than stall_factor times its previous value — the
+  /// iteration has hit the binary32 noise floor and further float sweeps
+  /// are wasted work.
+  double stall_factor = 0.9;
+};
+
+/// Statistics of a completed mixed-precision run.
+struct MixedHestenesStats {
+  std::size_t float_sweeps = 0;   ///< binary32 sweeps executed
+  std::size_t double_sweeps = 0;  ///< binary64 sweeps executed
+  MixedSwitchReason switch_reason = MixedSwitchReason::kSkipped;
+  /// max |off-diag| / max diag of the float D at the moment of promotion.
+  double offdiag_at_switch = 0.0;
+  /// Same measure immediately after the double Gram recompute — what the
+  /// double phase actually starts from (the float phase's real progress,
+  /// with its rounding noise in D erased).
+  double offdiag_after_recompute = 0.0;
+  /// Per-sweep records across both phases (float first) when
+  /// base.track_convergence is set; measures are always computed in double.
+  HestenesStats sweeps;
+};
+
+/// Mixed-precision engine, generic over the two arithmetic policies
+/// (binary32 float phase, binary64 refinement).  Defined in
+/// mixed_hestenes_impl.hpp and explicitly instantiated for the
+/// (NativeOps32, NativeOps) and (SoftOps32, SoftOps) pairs.
+template <class OpsF, class OpsD>
+SvdResult mixed_modified_hestenes_svd_t(const Matrix& a,
+                                        const MixedHestenesConfig& cfg,
+                                        MixedHestenesStats* stats, OpsF opsf,
+                                        OpsD opsd);
+
+/// Host-FPU convenience entry point (float sweeps + double refinement).
+SvdResult mixed_modified_hestenes_svd(const Matrix& a,
+                                      const MixedHestenesConfig& cfg = {},
+                                      MixedHestenesStats* stats = nullptr);
+
+/// Bit-accurate soft-float entry point (binary32 + binary64 core models).
+SvdResult mixed_modified_hestenes_svd_soft(const Matrix& a,
+                                           const MixedHestenesConfig& cfg = {},
+                                           MixedHestenesStats* stats = nullptr);
+
+}  // namespace hjsvd

@@ -17,21 +17,33 @@ namespace hjsvd::detail {
 
 /// Per-sweep convergence metrics, appended as series indexed by the 0-based
 /// sweep number.  Deterministic across engines and thread counts (the
-/// engines are bitwise identical).
+/// engines are bitwise identical).  This value overload serves engines whose
+/// working matrix is not a double Matrix (the mixed engine's float phase
+/// computes the measures itself, in double, and passes them in).
 inline void record_sweep_metrics(obs::MetricsRegistry* metrics,
-                                 std::size_t sweep, const Matrix& d,
+                                 std::size_t sweep, double offdiag_frob,
+                                 double max_rel_offdiag,
                                  std::uint64_t rotations,
                                  std::uint64_t skipped) {
   if (metrics == nullptr) return;
   const auto idx = static_cast<double>(sweep);
   metrics->series_append("svd.sweep.offdiag_frobenius", "1", idx,
-                         offdiag_frobenius(d));
+                         offdiag_frob);
   metrics->series_append("svd.sweep.max_rel_offdiag", "1", idx,
-                         max_relative_offdiag(d));
+                         max_rel_offdiag);
   metrics->series_append("svd.sweep.rotations", "rotations", idx,
                          static_cast<double>(rotations));
   metrics->series_append("svd.sweep.skipped", "rotations", idx,
                          static_cast<double>(skipped));
+}
+
+inline void record_sweep_metrics(obs::MetricsRegistry* metrics,
+                                 std::size_t sweep, const Matrix& d,
+                                 std::uint64_t rotations,
+                                 std::uint64_t skipped) {
+  if (metrics == nullptr) return;
+  record_sweep_metrics(metrics, sweep, offdiag_frobenius(d),
+                       max_relative_offdiag(d), rotations, skipped);
 }
 
 /// Whole-run summary: problem shape, sweep count, rotation totals.

@@ -1,0 +1,246 @@
+// Correctness tests for the mixed-precision modified Hestenes-Jacobi
+// engine (float opening sweeps -> double refinement; docs/ALGORITHM.md §10).
+#include "svd/mixed_hestenes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "api/svd.hpp"
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/residuals.hpp"
+#include "obs/metrics.hpp"
+#include "svd/hestenes.hpp"
+
+namespace hjsvd {
+namespace {
+
+MixedHestenesConfig tolerant_config() {
+  MixedHestenesConfig cfg;
+  cfg.base.max_sweeps = 30;
+  cfg.base.tolerance = 1e-13;
+  return cfg;
+}
+
+TEST(MixedHestenes, MatchesAllDoubleSingularValues) {
+  Rng rng(71);
+  const Matrix a = random_gaussian(64, 48, rng);
+  const MixedHestenesConfig cfg = tolerant_config();
+  const SvdResult mixed = mixed_modified_hestenes_svd(a, cfg);
+  const SvdResult ref = modified_hestenes_svd(a, cfg.base);
+  ASSERT_TRUE(mixed.converged);
+  ASSERT_TRUE(ref.converged);
+  // The double refinement phase recovers full double accuracy; the float
+  // opening only changes which rotations got applied first, not the
+  // attainable precision (Gao/Ma/Shao).
+  EXPECT_LT(singular_value_error(mixed.singular_values, ref.singular_values),
+            1e-12);
+}
+
+TEST(MixedHestenes, PrescribedSingularValuesRecovered) {
+  Rng rng(72);
+  const std::vector<double> sv = {9.0, 4.0, 2.0, 0.5, 1e-6};
+  const Matrix a = with_singular_values(12, 5, sv, rng);
+  const SvdResult r = mixed_modified_hestenes_svd(a, tolerant_config());
+  ASSERT_TRUE(r.converged);
+  ASSERT_EQ(r.singular_values.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(r.singular_values[i], sv[i], 1e-10) << "sigma[" << i << "]";
+}
+
+TEST(MixedHestenes, RunsFloatSweepsThenFewerDoubleSweeps) {
+  Rng rng(73);
+  const Matrix a = random_gaussian(96, 96, rng);
+  const MixedHestenesConfig cfg = tolerant_config();
+  MixedHestenesStats stats;
+  const SvdResult mixed = mixed_modified_hestenes_svd(a, cfg, &stats);
+  HestenesStats ref_stats;
+  const SvdResult ref = modified_hestenes_svd(a, cfg.base, &ref_stats);
+  ASSERT_TRUE(mixed.converged);
+  ASSERT_TRUE(ref.converged);
+  // The point of the tier: real work happens in binary32, and the double
+  // phase starts from a nearly-diagonal D, so it needs strictly fewer
+  // double-precision sweeps than the all-double engine.
+  EXPECT_GT(stats.float_sweeps, 0u);
+  EXPECT_LT(stats.double_sweeps, ref.sweeps);
+  EXPECT_EQ(mixed.sweeps, stats.float_sweeps + stats.double_sweeps);
+  EXPECT_EQ(stats.switch_reason, MixedSwitchReason::kThreshold);
+  EXPECT_LT(stats.offdiag_at_switch, cfg.switch_threshold);
+  // The Gram recompute transfers the float phase's progress: the double
+  // phase starts from an off-diagonal level comparable to where the float
+  // phase stopped, not from scratch.
+  EXPECT_LT(stats.offdiag_after_recompute, 10.0 * cfg.switch_threshold);
+}
+
+TEST(MixedHestenes, SoftFloatPairMatchesNativeBitwise) {
+  Rng rng(74);
+  const Matrix a = random_gaussian(24, 16, rng);
+  MixedHestenesConfig cfg = tolerant_config();
+  cfg.base.compute_u = true;
+  cfg.base.compute_v = true;
+  MixedHestenesStats native_stats, soft_stats;
+  const SvdResult native = mixed_modified_hestenes_svd(a, cfg, &native_stats);
+  const SvdResult soft =
+      mixed_modified_hestenes_svd_soft(a, cfg, &soft_stats);
+  // The binary32 and binary64 soft-float cores are bit-identical to the
+  // host FPU (tests/fp), so the whole mixed pipeline must be too.
+  EXPECT_EQ(native_stats.float_sweeps, soft_stats.float_sweeps);
+  EXPECT_EQ(native_stats.double_sweeps, soft_stats.double_sweeps);
+  ASSERT_EQ(native.singular_values.size(), soft.singular_values.size());
+  for (std::size_t i = 0; i < native.singular_values.size(); ++i)
+    EXPECT_EQ(native.singular_values[i], soft.singular_values[i])
+        << "sigma[" << i << "]";
+  for (std::size_t c = 0; c < native.v.cols(); ++c) {
+    const auto nv = native.v.col(c);
+    const auto sv = soft.v.col(c);
+    for (std::size_t r = 0; r < nv.size(); ++r)
+      EXPECT_EQ(nv[r], sv[r]) << "V(" << r << "," << c << ")";
+  }
+}
+
+TEST(MixedHestenes, SingularVectorsReconstruct) {
+  Rng rng(75);
+  const Matrix a = random_gaussian(40, 24, rng);
+  MixedHestenesConfig cfg = tolerant_config();
+  cfg.base.compute_u = true;
+  cfg.base.compute_v = true;
+  const SvdResult r = mixed_modified_hestenes_svd(a, cfg);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(reconstruction_error(a, r), 1e-12);
+  EXPECT_LT(orthogonality_error(r.u), 1e-12);
+  EXPECT_LT(orthogonality_error(r.v), 1e-12);
+}
+
+TEST(MixedHestenes, ScaleInvariantForPowerOfTwoScaling) {
+  Rng rng(76);
+  const Matrix a = random_gaussian(32, 24, rng);
+  Matrix scaled = a;
+  const double s = 0x1p+200;
+  for (double& v : scaled.data()) v *= s;
+  const MixedHestenesConfig cfg = tolerant_config();
+  MixedHestenesStats base_stats, scaled_stats;
+  const SvdResult base = mixed_modified_hestenes_svd(a, cfg, &base_stats);
+  const SvdResult r = mixed_modified_hestenes_svd(scaled, cfg, &scaled_stats);
+  // The float phase works on a frexp-prescaled copy, so a power-of-two
+  // input scaling reproduces the identical float iteration; the double
+  // phase scales exactly.
+  EXPECT_EQ(scaled_stats.float_sweeps, base_stats.float_sweeps);
+  EXPECT_EQ(scaled_stats.double_sweeps, base_stats.double_sweeps);
+  ASSERT_EQ(r.singular_values.size(), base.singular_values.size());
+  for (std::size_t i = 0; i < r.singular_values.size(); ++i)
+    EXPECT_DOUBLE_EQ(r.singular_values[i], base.singular_values[i] * s);
+}
+
+TEST(MixedHestenes, ZeroMatrixSkipsFloatPhase) {
+  const Matrix a(6, 4);
+  MixedHestenesStats stats;
+  const SvdResult r = mixed_modified_hestenes_svd(a, tolerant_config(), &stats);
+  EXPECT_EQ(stats.float_sweeps, 0u);
+  EXPECT_EQ(stats.switch_reason, MixedSwitchReason::kSkipped);
+  ASSERT_EQ(r.singular_values.size(), 4u);
+  for (const double sv : r.singular_values) EXPECT_EQ(sv, 0.0);
+}
+
+TEST(MixedHestenes, SingleColumnSkipsFloatPhase) {
+  Matrix a(3, 1);
+  a(0, 0) = 3.0;
+  a(1, 0) = 0.0;
+  a(2, 0) = 4.0;
+  MixedHestenesStats stats;
+  const SvdResult r = mixed_modified_hestenes_svd(a, tolerant_config(), &stats);
+  EXPECT_EQ(stats.switch_reason, MixedSwitchReason::kSkipped);
+  ASSERT_EQ(r.singular_values.size(), 1u);
+  EXPECT_NEAR(r.singular_values[0], 5.0, 1e-14);
+}
+
+TEST(MixedHestenes, RejectsBadSwitchThreshold) {
+  Rng rng(77);
+  const Matrix a = random_gaussian(8, 6, rng);
+  MixedHestenesConfig cfg = tolerant_config();
+  cfg.switch_threshold = 0.0;
+  EXPECT_THROW(mixed_modified_hestenes_svd(a, cfg), Error);
+  cfg.switch_threshold = -1e-4;
+  EXPECT_THROW(mixed_modified_hestenes_svd(a, cfg), Error);
+  cfg.switch_threshold = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(mixed_modified_hestenes_svd(a, cfg), Error);
+}
+
+TEST(MixedHestenes, EmitsMixedPrecisionTelemetry) {
+  Rng rng(78);
+  const Matrix a = random_gaussian(32, 24, rng);
+  obs::MetricsRegistry metrics;
+  MixedHestenesConfig cfg = tolerant_config();
+  cfg.base.obs.metrics = &metrics;
+  MixedHestenesStats stats;
+  const SvdResult r = mixed_modified_hestenes_svd(a, cfg, &stats);
+  ASSERT_TRUE(r.converged);
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  ASSERT_TRUE(metrics.gauge("svd.mp.switch_sweep").has_value());
+  EXPECT_EQ(*metrics.gauge("svd.mp.float_sweeps"),
+            static_cast<double>(stats.float_sweeps));
+  EXPECT_EQ(*metrics.gauge("svd.mp.double_sweeps"),
+            static_cast<double>(stats.double_sweeps));
+  EXPECT_EQ(*metrics.gauge("svd.mp.switch_threshold"), cfg.switch_threshold);
+  EXPECT_EQ(*metrics.gauge("svd.mp.switch_reason"),
+            static_cast<double>(stats.switch_reason));
+  EXPECT_EQ(*metrics.gauge("svd.mp.offdiag_at_switch"),
+            stats.offdiag_at_switch);
+  EXPECT_EQ(*metrics.gauge("svd.mp.offdiag_after_recompute"),
+            stats.offdiag_after_recompute);
+  // The convergence series spans both phases: one entry per sweep.
+  EXPECT_EQ(metrics.series("svd.sweep.max_rel_offdiag").size(), r.sweeps);
+  // Sweep metrics are emitted as pure observation — attaching the sinks
+  // must not change the arithmetic.
+  const SvdResult quiet = mixed_modified_hestenes_svd(a, tolerant_config());
+  ASSERT_EQ(quiet.singular_values.size(), r.singular_values.size());
+  for (std::size_t i = 0; i < r.singular_values.size(); ++i)
+    EXPECT_EQ(quiet.singular_values[i], r.singular_values[i]);
+}
+
+TEST(MixedHestenes, AvailableThroughApiAndBatch) {
+  Rng rng(79);
+  SvdOptions opt;
+  opt.method = SvdMethod::kMixedModifiedHestenes;
+  opt.tolerance = 1e-13;
+  opt.max_sweeps = 30;
+  std::vector<Matrix> batch;
+  batch.push_back(random_gaussian(20, 12, rng));
+  batch.push_back(random_gaussian(36, 24, rng));
+  batch.push_back(random_gaussian(8, 8, rng));
+  const auto results = svd_batch(batch, opt, 2);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const SvdResult direct = svd(batch[i], opt);
+    ASSERT_EQ(results[i].singular_values.size(),
+              direct.singular_values.size());
+    for (std::size_t k = 0; k < direct.singular_values.size(); ++k)
+      EXPECT_EQ(results[i].singular_values[k], direct.singular_values[k])
+          << "item " << i << " sigma[" << k << "]";
+  }
+}
+
+TEST(MixedHestenes, StallPromotesEarly) {
+  Rng rng(80);
+  const Matrix a = random_gaussian(48, 32, rng);
+  MixedHestenesConfig cfg = tolerant_config();
+  // A switch threshold no sweep will hit early, combined with a stall
+  // factor that demands a 1000x measure reduction per sweep — far beyond
+  // Jacobi's actual per-sweep progress on a Gaussian matrix.  The engine
+  // must detect the stall and promote instead of burning the whole float
+  // budget on sweeps that are not earning their keep.
+  cfg.switch_threshold = 1e-20;
+  cfg.stall_factor = 1e-3;
+  MixedHestenesStats stats;
+  const SvdResult r = mixed_modified_hestenes_svd(a, cfg, &stats);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(stats.switch_reason, MixedSwitchReason::kStall);
+  EXPECT_LT(stats.float_sweeps, cfg.base.max_sweeps - 1);
+  const SvdResult ref = modified_hestenes_svd(a, cfg.base);
+  EXPECT_LT(singular_value_error(r.singular_values, ref.singular_values),
+            1e-12);
+}
+
+}  // namespace
+}  // namespace hjsvd

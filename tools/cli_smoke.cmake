@@ -48,6 +48,29 @@ if(NOT CMAKE_MATCH_1 STREQUAL v1)
   message(FATAL_ERROR "pipelined sigma differs: ${CMAKE_MATCH_1} vs ${v1}")
 endif()
 
+# The mixed-precision engine takes a different rotation path (float opening
+# sweeps), so only value-level agreement is required: 6 significant digits
+# against the all-double run, same contract as the cross-method check above.
+execute_process(
+  COMMAND ${CLI} --input ${WORKDIR}/smoke.mtx --method mixed-modified
+          --mp-switch 1e-4 --values 3
+  RESULT_VARIABLE rc5 OUTPUT_VARIABLE out5 ERROR_VARIABLE err5)
+if(NOT rc5 EQUAL 0)
+  message(FATAL_ERROR "mixed-modified decompose failed: ${out5}${err5}")
+endif()
+string(REGEX MATCH "sigma\\[0\\] = ([0-9.e+-]+)" m5 "${out5}")
+set(v5 ${CMAKE_MATCH_1})
+if(NOT v5)
+  message(FATAL_ERROR "mixed-modified printed no sigma: ${out5}")
+endif()
+if(NOT v5 STREQUAL v1)
+  string(SUBSTRING "${v5}" 0 8 p5)
+  string(SUBSTRING "${v1}" 0 8 p1m)
+  if(NOT p5 STREQUAL p1m)
+    message(FATAL_ERROR "mixed-modified sigma differs: ${v5} vs ${v1}")
+  endif()
+endif()
+
 # Observability outputs: the run must succeed, announce both files, and
 # leave non-empty JSON documents with the right schema tags behind.
 execute_process(
@@ -75,7 +98,13 @@ foreach(obs_pair "smoke_trace.json;hjsvd.trace.v2"
 endforeach()
 
 # Bad usage must exit non-zero and print the usage text, not fall back.
+# --tolerance and --mp-switch reject zero, negative, non-finite and
+# non-numeric values as usage errors (exit 2) instead of silently running
+# a decomposition that can never converge.
 foreach(bad_args "--threads;0" "--threads;-2" "--method;bogus"
+        "--tolerance;0" "--tolerance;-1e-10" "--tolerance;abc"
+        "--tolerance;inf"
+        "--mp-switch;0" "--mp-switch;-3" "--mp-switch;nope"
         "--trace-out;${WORKDIR}/no_such_dir/t.json"
         "--metrics-out;${WORKDIR}/no_such_dir/m.json")
   execute_process(

@@ -15,6 +15,7 @@
 //   hjsvd_cli --batch 24x16*6,64x48 --seed 7 --threads 4
 //       --trace-out trace.json --metrics-out metrics.json
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -55,13 +56,34 @@ SvdMethod parse_method(const std::string& name) {
   if (name == "pipelined-modified" || name == "pipelined") {
     return SvdMethod::kPipelinedModifiedHestenes;
   }
+  if (name == "mixed-modified" || name == "mixed") {
+    return SvdMethod::kMixedModifiedHestenes;
+  }
   if (name == "two-sided" || name == "twosided") {
     return SvdMethod::kTwoSidedJacobi;
   }
   if (name == "golub-kahan" || name == "gk") return SvdMethod::kGolubKahan;
   throw UsageError("unknown --method '" + name +
                    "' (hestenes|plain|parallel|parallel-modified|"
-                   "pipelined-modified|two-sided|golub-kahan)");
+                   "pipelined-modified|mixed-modified|two-sided|golub-kahan)");
+}
+
+/// Parses an option that must be a positive finite number.  Non-numeric
+/// text, 0, negatives, inf and nan are all usage errors (exit 2 with the
+/// help text), never runtime failures: Cli::get_double throws plain Error
+/// on unparseable input, which main() would otherwise map to exit 1.
+double parse_positive_double(const Cli& cli, const std::string& name) {
+  const std::string raw = cli.get(name);
+  double value = 0.0;
+  try {
+    value = cli.get_double(name);
+  } catch (const Error&) {
+    throw UsageError("--" + name + " expects a number, got '" + raw + "'");
+  }
+  if (!(std::isfinite(value) && value > 0.0))
+    throw UsageError("--" + name + " must be a positive finite number, got '" +
+                     raw + "'");
+  return value;
 }
 
 /// Parses a strictly positive count option; "auto" (and, for --threads,
@@ -180,7 +202,7 @@ int main(int argc, char** argv) {
     cli.add_option("input", "", "input .mtx file");
     cli.add_option("method", "hestenes",
                    "hestenes|plain|parallel|parallel-modified|"
-                   "pipelined-modified|two-sided|golub-kahan");
+                   "pipelined-modified|mixed-modified|two-sided|golub-kahan");
     cli.add_option("threads", "auto",
                    "worker threads for the parallel methods (positive "
                    "integer, or 'auto' = all)");
@@ -196,7 +218,12 @@ int main(int argc, char** argv) {
                    "identical to the strict scalar reference)");
     cli.add_option("values", "10", "how many singular values to print");
     cli.add_option("sweeps", "30", "max sweeps (Jacobi methods)");
-    cli.add_option("tolerance", "1e-13", "convergence tolerance");
+    cli.add_option("tolerance", "1e-13",
+                   "convergence tolerance (positive finite number)");
+    cli.add_option("mp-switch", "1e-4",
+                   "--method mixed-modified: off-diagonal level at which the "
+                   "float phase promotes to double (positive finite number; "
+                   "see docs/ALGORITHM.md §10)");
     cli.add_option("write-u", "", "write left singular vectors to .mtx");
     cli.add_option("write-v", "", "write right singular vectors to .mtx");
     cli.add_option("fpga-sim", "false",
@@ -241,7 +268,8 @@ int main(int argc, char** argv) {
     opt.method = parse_method(cli.get("method"));
     opt.simd_relaxed = cli.get_bool("simd-relaxed");
     opt.max_sweeps = static_cast<std::size_t>(cli.get_int("sweeps"));
-    opt.tolerance = cli.get_double("tolerance");
+    opt.tolerance = parse_positive_double(cli, "tolerance");
+    opt.mp_switch_threshold = parse_positive_double(cli, "mp-switch");
     opt.threads = parse_count(cli, "threads", 0);
     opt.pipeline_queue_depth = parse_count(cli, "queue-depth", 8);
     opt.compute_u = !cli.get("write-u").empty();
