@@ -13,7 +13,9 @@
 // engine against the param-FIFO pipelined engine at larger sizes and writes
 // its results to a separate file (default BENCH_pipelined_sweep.json).
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
+#include <filesystem>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -27,6 +29,7 @@
 #include "api/svd.hpp"
 #include "common/cli.hpp"
 #include "obs/guardrail.hpp"
+#include "obs/live.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -101,7 +104,7 @@ int main(int argc, char** argv) {
   // mostly measure background host load rather than overhead.
   cli.add_option("obs-sizes", "256,384",
                  "square sizes for the observability-overhead guardrail");
-  cli.add_option("obs-reps", "7",
+  cli.add_option("obs-reps", "9",
                  "paired repetitions of the overhead guardrail (median)");
   cli.add_option("obs-out", "BENCH_obs_overhead.json",
                  "JSON output path of the observability-overhead section");
@@ -321,14 +324,17 @@ int main(int argc, char** argv) {
   std::cout << "JSON written to " << pipe_out << '\n';
 
   // --- Observability overhead guardrail ------------------------------------
-  // Both runs use the instrumented build (the same binary): "disabled"
+  // Three runs use the instrumented build (the same binary): "disabled"
   // detaches the sinks (the shipping default — one null-pointer test per
-  // sweep/round), "enabled" attaches a live recorder and registry.  The
-  // guardrail is symmetric: |enabled - disabled| must be at most 5% of the
+  // sweep/round), "enabled" attaches a live recorder and registry, and
+  // "live" attaches the full live-telemetry stack — a bounded
+  // flight-recorder ring, a watchdog, and a SnapshotExporter thread
+  // sampling into a scratch directory while the decomposition is timed.
+  // The guardrail is symmetric: |mode - disabled| must be at most 5% of the
   // slower side (obs::overhead_within) — attached sinks must be cheap AND a
   // "disabled faster than enabled by miles" result would equally indicate a
   // broken measurement.  Compiling with -DHJSVD_OBS=0 removes even the
-  // pointer tests.  Results are re-checked bit-identical between the two
+  // pointer tests.  Results are re-checked bit-identical between all three
   // modes (the obs layer's core contract).
   const auto obs_sizes = cli.get_int_list("obs-sizes");
   const int obs_reps = static_cast<int>(cli.get_int("obs-reps"));
@@ -343,10 +349,13 @@ int main(int argc, char** argv) {
         << "  \"reps\": " << obs_reps << ",\n"
         << "  \"compiled_in\": " << (obs::kEnabled ? "true" : "false")
         << ",\n  \"sizes\": [\n";
-  AsciiTable otab({"n", "disabled (s)", "enabled (s)", "enabled overhead"});
+  AsciiTable otab({"n", "disabled (s)", "enabled (s)", "enabled overhead",
+                   "live (s)", "live overhead"});
   otab.set_caption("Observability overhead (pipelined engine, sinks "
-                   "detached vs attached):");
+                   "detached vs attached vs full live telemetry):");
   bool overhead_ok = true;
+  const std::filesystem::path live_scratch =
+      std::filesystem::temp_directory_path() / "hjsvd_bench_obs_live";
   for (std::size_t si = 0; si < obs_sizes.size(); ++si) {
     const auto n = static_cast<std::size_t>(obs_sizes[si]);
     Rng rng(6200 + static_cast<std::uint64_t>(n));
@@ -354,49 +363,106 @@ int main(int argc, char** argv) {
     PipelinedSweepConfig pipe;
     pipe.queue_depth = queue_depth;
 
-    // Paired measurement: each repetition times the two modes back to
-    // back — independent best-ofs can sample the two modes under
-    // different host-load phases and manufacture an "overhead" (of
-    // either sign) that neither mode actually has.  The reported pair is
-    // the repetition with the *median* on/off ratio: external load
-    // perturbs individual repetitions in both directions, and the median
-    // is robust against those outliers where a min-of-sums pick is not.
-    SvdResult off_result, on_result;
-    std::vector<std::pair<double, double>> pairs;  // (off_s, on_s)
+    // Paired measurement: each repetition times the three modes back to
+    // back — independent best-ofs can sample the modes under different
+    // host-load phases and manufacture an "overhead" (of either sign)
+    // that no mode actually has.  The reported triple is the repetition
+    // with the *median* enabled/disabled ratio: external load perturbs
+    // individual repetitions in both directions, and the median is
+    // robust against those outliers where a min-of-sums pick is not.
+    struct RepTimes {
+      double off_s, on_s, live_s;
+    };
+    SvdResult off_result, on_result, live_result;
+    std::vector<RepTimes> measured;
     for (int r = 0; r < obs_reps; ++r) {
       Timer toff;
       off_result = pipelined_modified_hestenes_svd(a, cfg, pipe);
       const double off_s = toff.seconds();
-      Timer ton;
+      double on_s = 0.0;
       {
         obs::TraceRecorder trace;
         obs::MetricsRegistry metrics;
         HestenesConfig with = cfg;
         with.obs.trace = &trace;
         with.obs.metrics = &metrics;
+        Timer ton;
         on_result = pipelined_modified_hestenes_svd(a, with, pipe);
+        on_s = ton.seconds();
       }
-      pairs.emplace_back(off_s, ton.seconds());
+      double live_s = 0.0;
+      {
+        // Full live stack: bounded ring, watchdog, and an exporter
+        // thread actively sampling while the timed region runs.  The
+        // exporter is constructed outside the timed region (thread
+        // startup and file creation are per-run, not per-sweep costs)
+        // but keeps ticking through it.
+        std::filesystem::create_directories(live_scratch);
+        obs::TraceRecorder trace(4096);
+        obs::MetricsRegistry metrics;
+        obs::Watchdog::Config wcfg;
+        obs::Watchdog watchdog(wcfg, &trace, &metrics);
+        // Shipping-default sampling interval (100 ms): the guardrail
+        // bounds the cost of the *default* live configuration.  On a
+        // 1-core host an aggressive interval simply time-slices the
+        // core away from the engine — that is honest load, not sink
+        // overhead, and it is not what --obs-live enables by default.
+        obs::LiveConfig lcfg;
+        lcfg.dir = live_scratch.string();
+        obs::SnapshotExporter exporter(lcfg, &trace, &metrics, &watchdog);
+        HestenesConfig with = cfg;
+        with.obs.trace = &trace;
+        with.obs.metrics = &metrics;
+        with.obs.watchdog = &watchdog;
+        Timer tlive;
+        live_result = pipelined_modified_hestenes_svd(a, with, pipe);
+        live_s = tlive.seconds();
+        exporter.stop();
+      }
+      measured.push_back({off_s, on_s, live_s});
     }
-    std::sort(pairs.begin(), pairs.end(), [](const auto& x, const auto& y) {
-      return x.second / x.first < y.second / y.first;
-    });
-    const auto [t_off, t_on] = pairs[pairs.size() / 2];
+    // Each mode gets its own median-ratio repetition: an outlier in one
+    // mode must not pick the reported repetition for the other.
+    std::sort(measured.begin(), measured.end(),
+              [](const auto& x, const auto& y) {
+                return x.on_s / x.off_s < y.on_s / y.off_s;
+              });
+    const auto [t_off, t_on, unused_live] = measured[measured.size() / 2];
+    static_cast<void>(unused_live);
+    std::sort(measured.begin(), measured.end(),
+              [](const auto& x, const auto& y) {
+                return x.live_s / x.off_s < y.live_s / y.off_s;
+              });
+    const double t_off_live = measured[measured.size() / 2].off_s;
+    const double t_live = measured[measured.size() / 2].live_s;
     const bool ok = values_bit_identical(off_result, on_result);
+    const bool ok_live = values_bit_identical(off_result, live_result);
     const bool within = obs::overhead_within(t_off, t_on, 0.05);
+    const bool within_live = obs::overhead_within(t_off_live, t_live, 0.05);
     const double ofrac = obs::overhead_frac(t_on, t_off);
-    all_identical = all_identical && ok;
-    overhead_ok = overhead_ok && within;
+    const double lfrac = obs::overhead_frac(t_live, t_off_live);
+    all_identical = all_identical && ok && ok_live;
+    overhead_ok = overhead_ok && within && within_live;
     ojson << "    {\"n\": " << n << ", \"disabled_s\": " << fmt(t_off)
           << ", \"enabled_s\": " << fmt(t_on)
           << ", \"enabled_overhead_frac\": " << fmt(ofrac)
           << ", \"within_symmetric_5pct\": " << (within ? "true" : "false")
+          << ", \"live_s\": " << fmt(t_live)
+          << ", \"live_overhead_frac\": " << fmt(lfrac)
+          << ", \"live_within_symmetric_5pct\": "
+          << (within_live ? "true" : "false")
+          << ", \"live_bit_identical\": " << (ok_live ? "true" : "false")
           << ", \"bit_identical\": " << (ok ? "true" : "false") << "}"
           << (si + 1 < obs_sizes.size() ? "," : "") << "\n";
     otab.add_row({std::to_string(n), fmt(t_off), fmt(t_on),
                   format_fixed(ofrac * 100.0, 1) + "%" +
-                      (within ? "" : " GUARDRAIL")});
+                      (within ? "" : " GUARDRAIL"),
+                  fmt(t_live),
+                  format_fixed(lfrac * 100.0, 1) + "%" +
+                      (within_live ? "" : " GUARDRAIL")});
   }
+  std::error_code scratch_ec;
+  std::filesystem::remove_all(live_scratch, scratch_ec);
   ojson << "  ],\n  \"guardrail_ok\": " << (overhead_ok ? "true" : "false")
         << "\n}\n";
   std::cout << otab.to_string() << '\n';
@@ -409,7 +475,7 @@ int main(int argc, char** argv) {
                       "sequential runs!\n")
             << (overhead_ok
                     ? ""
-                    : "ERROR: enabled/disabled timings differ by more than "
-                      "the symmetric 5% overhead guardrail!\n");
+                    : "ERROR: enabled/live timings differ from disabled by "
+                      "more than the symmetric 5% overhead guardrail!\n");
   return (all_identical && overhead_ok) ? 0 : 1;
 }

@@ -140,7 +140,7 @@ class BenchGateCompare(unittest.TestCase):
     def test_schema_version_mismatch_refused(self):
         new = make_bench(
             self.tmp.name, "new.json",
-            **{"manifest.schema_versions": {"trace": "hjsvd.trace.v3"}})
+            **{"manifest.schema_versions": {"trace": "hjsvd.trace.v99"}})
         self.assertEqual(self.compare(new), 2)
 
     def test_config_mismatch_refused(self):
@@ -274,6 +274,142 @@ class ValidateObsReport(unittest.TestCase):
         proc = self.run_validate(self.report(
             [self.phase(total_s=0.1), self.phase(name="update", total_s=0.2)]))
         self.assert_clean_fail(proc)
+
+
+class ValidateObsTraceV3(unittest.TestCase):
+    """Flight-recorder (trace.v3) documents must carry ring metadata."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def run_validate(self, doc) -> subprocess.CompletedProcess:
+        path = os.path.join(self.tmp.name, "trace.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return subprocess.run(
+            [sys.executable, os.path.join(SCRIPTS_DIR, "validate_obs.py"),
+             "--trace", path],
+            capture_output=True, text=True)
+
+    @staticmethod
+    def trace_v3(**other_overrides):
+        other = {
+            "software_pid": 1,
+            "flight_recorder": True,
+            "ring_capacity_events": 4096,
+            "dropped_events_total": 7,
+            "dropped_events_by_tid": [3, 4],
+        }
+        other.update(other_overrides)
+        return {
+            "schema": "hjsvd.trace.v3",
+            "otherData": other,
+            "traceEvents": [
+                {"ph": "X", "pid": 1, "tid": 0, "ts": 0.0, "dur": 5.0,
+                 "name": "sweep", "cat": "svd"},
+                {"ph": "C", "pid": 1, "tid": 0, "ts": 1.0,
+                 "name": "svd.rotations", "args": {"value": 3}},
+            ],
+        }
+
+    def assert_clean_fail(self, proc):
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("validate_obs: FAIL", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_well_formed_v3_passes(self):
+        proc = self.run_validate(self.trace_v3())
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_v3_without_flight_recorder_flag_fails(self):
+        self.assert_clean_fail(
+            self.run_validate(self.trace_v3(flight_recorder=False)))
+
+    def test_v3_with_zero_capacity_fails(self):
+        self.assert_clean_fail(
+            self.run_validate(self.trace_v3(ring_capacity_events=0)))
+
+    def test_v3_drop_sum_mismatch_fails(self):
+        self.assert_clean_fail(
+            self.run_validate(self.trace_v3(dropped_events_by_tid=[1, 2])))
+
+    def test_unknown_schema_still_refused(self):
+        doc = self.trace_v3()
+        doc["schema"] = "hjsvd.trace.v99"
+        self.assert_clean_fail(self.run_validate(doc))
+
+
+class ValidateObsSnapshots(unittest.TestCase):
+    """Snapshot JSONL streams are validated line by line."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def run_validate(self, lines) -> subprocess.CompletedProcess:
+        path = os.path.join(self.tmp.name, "snapshots.jsonl")
+        with open(path, "w", encoding="utf-8") as f:
+            for line in lines:
+                f.write(line if isinstance(line, str) else json.dumps(line))
+                f.write("\n")
+        return subprocess.run(
+            [sys.executable, os.path.join(SCRIPTS_DIR, "validate_obs.py"),
+             "--snapshots", path],
+            capture_output=True, text=True)
+
+    @staticmethod
+    def snap(seq, elapsed_us, **overrides):
+        s = {
+            "schema": "hjsvd.metrics-snapshots.v1",
+            "seq": seq,
+            "elapsed_us": elapsed_us,
+            "dropped_events": 0,
+            "counters": {"svd.rotations.applied": 10 * (seq + 1)},
+            "gauges": {"svd.matrix.n": 64},
+        }
+        s.update(overrides)
+        return s
+
+    def assert_clean_fail(self, proc):
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("validate_obs: FAIL", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_well_formed_stream_passes(self):
+        proc = self.run_validate(
+            [self.snap(0, 100.0), self.snap(1, 200.0), self.snap(2, 300.0)])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_empty_stream_fails(self):
+        self.assert_clean_fail(self.run_validate([]))
+
+    def test_non_json_line_fails_cleanly(self):
+        self.assert_clean_fail(
+            self.run_validate([self.snap(0, 100.0), "{not json"]))
+
+    def test_wrong_schema_fails(self):
+        self.assert_clean_fail(
+            self.run_validate([self.snap(0, 100.0, schema="nope.v1")]))
+
+    def test_non_increasing_seq_fails(self):
+        self.assert_clean_fail(
+            self.run_validate([self.snap(1, 100.0), self.snap(1, 200.0)]))
+
+    def test_decreasing_elapsed_fails(self):
+        self.assert_clean_fail(
+            self.run_validate([self.snap(0, 200.0), self.snap(1, 100.0)]))
+
+    def test_decreasing_counter_fails(self):
+        good = self.snap(0, 100.0)
+        bad = self.snap(1, 200.0)
+        bad["counters"]["svd.rotations.applied"] = 1
+        self.assert_clean_fail(self.run_validate([good, bad]))
+
+    def test_decreasing_dropped_events_fails(self):
+        self.assert_clean_fail(self.run_validate(
+            [self.snap(0, 100.0, dropped_events=5),
+             self.snap(1, 200.0, dropped_events=4)]))
 
 
 if __name__ == "__main__":

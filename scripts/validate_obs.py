@@ -1,17 +1,23 @@
 #!/usr/bin/env python3
 """Validate hjsvd observability outputs (stdlib only).
 
-Checks a Chrome trace-event JSON (hjsvd.trace.v1 or .v2), a metrics JSON
-(hjsvd.metrics.v1), and/or an offline report (hjsvd.report.v1) produced by
-`hjsvd_cli --trace-out/--metrics-out`, `hjsvd_report`, the benches, or any
-library user:
+Checks a Chrome trace-event JSON (hjsvd.trace.v1, .v2, or .v3), a metrics
+JSON (hjsvd.metrics.v1), a live snapshot stream
+(hjsvd.metrics-snapshots.v1 JSONL), and/or an offline report
+(hjsvd.report.v1) produced by `hjsvd_cli --trace-out/--metrics-out/
+--obs-live`, `hjsvd_report`, the benches, or any library user:
 
   * JSON well-formedness and schema tag.
   * Trace: every event carries ph/pid/tid/ts; complete events ('X') have a
-    non-negative dur; counter events ('C', trace.v2) carry a numeric
-    args.value; spans nest (no interleaving) per (pid, tid) timeline.
+    non-negative dur; counter events ('C', trace.v2+) carry a numeric
+    args.value; spans nest (no interleaving) per (pid, tid) timeline;
+    flight-recorder documents (trace.v3) carry the ring metadata in
+    otherData and a consistent drop total.
   * Metrics: every metric has name/type/unit; names are unique and sorted;
     per-type required fields are present.
+  * Snapshots: every line is a self-contained hjsvd.metrics-snapshots.v1
+    object; seq strictly increasing, elapsed_us non-decreasing, counter
+    values non-decreasing per name, dropped_events non-decreasing.
   * Report: run/phases/cross_checks blocks present with sane types.
   * Optionally, that a list of required span names / metric names occurs.
 
@@ -22,6 +28,7 @@ Usage:
       --require-span sweep --require-span generate \
       --require-metric svd.sweep.offdiag_frobenius
   scripts/validate_obs.py --report report.json
+  scripts/validate_obs.py --snapshots live/snapshots.jsonl
 """
 from __future__ import annotations
 
@@ -29,9 +36,12 @@ import argparse
 import json
 import sys
 
-# trace.v2 = v1 + counter ('C') events; v1 documents remain valid input.
-TRACE_SCHEMAS = ("hjsvd.trace.v1", "hjsvd.trace.v2")
+# trace.v2 = v1 + counter ('C') events; trace.v3 = v2 + flight-recorder ring
+# metadata in otherData.  Older documents remain valid input.
+TRACE_SCHEMAS = ("hjsvd.trace.v1", "hjsvd.trace.v2", "hjsvd.trace.v3")
+TRACE_SCHEMA_V3 = "hjsvd.trace.v3"
 METRICS_SCHEMA = "hjsvd.metrics.v1"
+SNAPSHOTS_SCHEMA = "hjsvd.metrics-snapshots.v1"
 REPORT_SCHEMA = "hjsvd.report.v1"
 METRIC_TYPES = {"counter", "gauge", "histogram", "series"}
 EPS = 1e-6  # double round-off tolerance at span boundaries (microseconds)
@@ -100,6 +110,35 @@ def check_trace(path: str, required_spans: list[str]) -> int:
                 )
             stack.append(end)
 
+    if doc.get("schema") == TRACE_SCHEMA_V3:
+        other = doc.get("otherData")
+        if not isinstance(other, dict):
+            fail(f"{path}: trace.v3 document lacks otherData")
+        if other.get("flight_recorder") is not True:
+            fail(f"{path}: trace.v3 otherData lacks flight_recorder: true")
+        capacity = other.get("ring_capacity_events")
+        if not isinstance(capacity, int) or capacity <= 0:
+            fail(
+                f"{path}: trace.v3 ring_capacity_events must be a positive "
+                f"integer, got {capacity!r}"
+            )
+        total = other.get("dropped_events_total")
+        by_tid = other.get("dropped_events_by_tid")
+        if not isinstance(total, int) or total < 0:
+            fail(
+                f"{path}: trace.v3 dropped_events_total must be a "
+                f"non-negative integer, got {total!r}"
+            )
+        if not isinstance(by_tid, list) or any(
+            not isinstance(d, int) or d < 0 for d in by_tid
+        ):
+            fail(f"{path}: trace.v3 dropped_events_by_tid malformed: {by_tid!r}")
+        if sum(by_tid) != total:
+            fail(
+                f"{path}: trace.v3 dropped_events_by_tid sums to "
+                f"{sum(by_tid)}, but dropped_events_total is {total}"
+            )
+
     for span in required_spans:
         if span not in names:
             fail(f"{path}: required span {span!r} not found")
@@ -151,6 +190,89 @@ def check_metrics(path: str, required_metrics: list[str]) -> int:
     return len(metrics)
 
 
+def check_snapshots(path: str) -> int:
+    """Validates an hjsvd.metrics-snapshots.v1 JSONL stream line by line."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: {e}")
+    if not lines:
+        fail(f"{path}: snapshot stream is empty")
+
+    last_seq = None
+    last_elapsed = None
+    last_dropped = None
+    last_counters: dict[str, float] = {}
+    for i, line in enumerate(lines):
+        try:
+            snap = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: line {i + 1} is not valid JSON: {e}")
+        if not isinstance(snap, dict):
+            fail(f"{path}: line {i + 1} is not an object")
+        if snap.get("schema") != SNAPSHOTS_SCHEMA:
+            fail(
+                f"{path}: line {i + 1} schema is {snap.get('schema')!r}, "
+                f"want {SNAPSHOTS_SCHEMA!r}"
+            )
+        for field, kind in (
+            ("seq", int),
+            ("elapsed_us", (int, float)),
+            ("dropped_events", int),
+            ("counters", dict),
+            ("gauges", dict),
+        ):
+            if not isinstance(snap.get(field), kind) or isinstance(
+                snap.get(field), bool
+            ):
+                fail(
+                    f"{path}: line {i + 1} lacks a well-typed "
+                    f"{field!r}: {snap.get(field)!r}"
+                )
+        seq = snap["seq"]
+        elapsed = snap["elapsed_us"]
+        dropped = snap["dropped_events"]
+        if last_seq is not None and seq <= last_seq:
+            fail(
+                f"{path}: line {i + 1} seq {seq} is not strictly greater "
+                f"than previous seq {last_seq}"
+            )
+        if last_elapsed is not None and elapsed < last_elapsed:
+            fail(
+                f"{path}: line {i + 1} elapsed_us {elapsed} decreased "
+                f"from {last_elapsed}"
+            )
+        if last_dropped is not None and dropped < last_dropped:
+            fail(
+                f"{path}: line {i + 1} dropped_events {dropped} decreased "
+                f"from {last_dropped}"
+            )
+        for name, value in snap["counters"].items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(
+                    f"{path}: line {i + 1} counter {name!r} is not "
+                    f"numeric: {value!r}"
+                )
+            if name in last_counters and value < last_counters[name]:
+                fail(
+                    f"{path}: line {i + 1} counter {name!r} decreased "
+                    f"{last_counters[name]} -> {value}"
+                )
+            last_counters[name] = value
+        for name, value in snap["gauges"].items():
+            if value is not None and (
+                not isinstance(value, (int, float)) or isinstance(value, bool)
+            ):
+                fail(
+                    f"{path}: line {i + 1} gauge {name!r} is not numeric "
+                    f"or null: {value!r}"
+                )
+        last_seq, last_elapsed, last_dropped = seq, elapsed, dropped
+    print(f"validate_obs: {path}: OK ({len(lines)} snapshots)")
+    return len(lines)
+
+
 def check_report(path: str) -> None:
     doc = load(path)
     if doc.get("schema") != REPORT_SCHEMA:
@@ -190,6 +312,9 @@ def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="trace-event JSON to validate")
     ap.add_argument("--metrics", help="metrics JSON to validate")
+    ap.add_argument(
+        "--snapshots", help="live snapshot JSONL stream to validate"
+    )
     ap.add_argument("--report", help="hjsvd_report JSON to validate")
     ap.add_argument(
         "--require-span",
@@ -204,12 +329,15 @@ def main() -> int:
         help="metric name that must appear in the metrics (repeatable)",
     )
     args = ap.parse_args()
-    if not args.trace and not args.metrics and not args.report:
-        ap.error("need --trace, --metrics and/or --report")
+    if not args.trace and not args.metrics and not args.snapshots \
+            and not args.report:
+        ap.error("need --trace, --metrics, --snapshots and/or --report")
     if args.trace:
         check_trace(args.trace, args.require_span)
     if args.metrics:
         check_metrics(args.metrics, args.require_metric)
+    if args.snapshots:
+        check_snapshots(args.snapshots)
     if args.report:
         check_report(args.report)
     return 0

@@ -13,6 +13,7 @@
 #include "baselines/twosided_jacobi.hpp"
 #include "common/error.hpp"
 #include "common/pool.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "svd/hestenes.hpp"
@@ -51,6 +52,7 @@ SvdResult run_baseline(const Matrix& a, const SvdOptions& options,
   }
   SvdResult result = fn();
   run_span.end();
+  if (auto* watchdog = obs::active(options.watchdog)) watchdog->check_deadline();
   if (metrics != nullptr) {
     metrics->gauge_set("svd.rows", "1", static_cast<double>(a.rows()));
     metrics->gauge_set("svd.cols", "1", static_cast<double>(a.cols()));
@@ -108,6 +110,7 @@ SvdResult svd(const Matrix& a, const SvdOptions& options) {
   hj.simd_relaxed = options.simd_relaxed;
   hj.obs.trace = options.trace;
   hj.obs.metrics = options.metrics;
+  hj.obs.watchdog = options.watchdog;
   ParallelSweepConfig par;
   par.threads = options.threads;
   switch (options.method) {
@@ -179,8 +182,11 @@ std::vector<SvdResult> svd_batch(const std::vector<Matrix>& batch,
   SvdOptions per_item = options;
   per_item.trace = nullptr;
   per_item.metrics = nullptr;
+  per_item.watchdog = nullptr;  // per-item sweep series interleave; only the
+                                // deadline is meaningful at batch scope
   auto* trace = obs::active(options.trace);
   auto* metrics = obs::active(options.metrics);
+  auto* watchdog = obs::active(options.watchdog);
 
   // Jacobi sweep cost ~ m n^2 (Gram) + n^3 (updates); LPT seeding over
   // that estimate balances mixed-size batches (the multi-engine rule), and
@@ -269,6 +275,7 @@ std::vector<SvdResult> svd_batch(const std::vector<Matrix>& batch,
     } catch (...) {
       item_errors[info.task] = std::current_exception();
     }
+    if (watchdog != nullptr) watchdog->check_deadline();
   };
 
   const PoolStats pool = run_work_stealing(costs, bins, pool_opts, run_item);

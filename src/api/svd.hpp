@@ -82,6 +82,13 @@ struct SvdOptions {
   /// and metrics instead.
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Live-telemetry watchdog (src/obs/live.hpp): the Hestenes-family
+  /// methods feed it per-sweep off-diagonal norms for stall detection, and
+  /// every method polls its wall-clock deadline.  svd_batch() strips it
+  /// from per-item options (interleaved per-item sweep series would make
+  /// stall detection meaningless) and polls only the deadline between
+  /// items.  Like the sinks, it never changes the arithmetic.
+  obs::Watchdog* watchdog = nullptr;
 };
 
 /// Decomposes an arbitrary m x n matrix.  Throws hjsvd::Error for invalid

@@ -1,0 +1,350 @@
+#include "obs/live.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#endif
+
+namespace hjsvd::obs {
+namespace {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+std::string quoted(std::string_view s) {
+  std::string out = "\"";
+  append_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+/// Prometheus metric names admit [a-zA-Z0-9_:]; map everything else to '_'.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "hjsvd_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Dump requests issued process-wide; bumped by the SIGUSR1 handler and
+/// obs::dump_now(), drained per-exporter.  fetch_add on a lock-free atomic
+/// is async-signal-safe, which is all the handler does.
+std::atomic<std::uint64_t> g_dump_requests{0};
+
+#if defined(__unix__) || defined(__APPLE__)
+extern "C" void hjsvd_obs_sigusr1_handler(int) {
+  g_dump_requests.fetch_add(1, std::memory_order_relaxed);
+}
+#endif
+
+}  // namespace
+
+// --- Watchdog --------------------------------------------------------------
+
+Watchdog::Watchdog(const Config& config, TraceRecorder* trace,
+                   MetricsRegistry* metrics)
+    : config_(config), trace_(trace), metrics_(metrics),
+      start_(std::chrono::steady_clock::now()) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  publish_locked();
+}
+
+std::uint32_t Watchdog::trace_tid_locked() {
+  if (!trace_registered_) {
+    trace_tid_ = trace_->register_thread("watchdog");
+    trace_registered_ = true;
+  }
+  return trace_tid_;
+}
+
+void Watchdog::publish_locked() {
+  if (metrics_ == nullptr) return;
+  metrics_->gauge_set("obs.watchdog.stalled", "bool", stalled_ ? 1.0 : 0.0);
+  metrics_->gauge_set("obs.watchdog.deadline_exceeded", "bool",
+                      deadline_exceeded_ ? 1.0 : 0.0);
+  metrics_->gauge_set("obs.watchdog.deadline_s", "s", config_.deadline_s);
+  metrics_->gauge_set("obs.watchdog.stall_sweeps", "sweeps",
+                      static_cast<double>(config_.stall_sweeps));
+}
+
+void Watchdog::on_sweep(double offdiag_norm) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++sweeps_observed_;
+  if (metrics_ != nullptr)
+    metrics_->counter_add("obs.watchdog.sweeps_observed", "sweeps", 1);
+  // A sweep "improves" only on a strict decrease; NaN compares false and so
+  // counts as non-improving, which is exactly the wedged case we watch for.
+  if (has_last_ && !(offdiag_norm < last_offdiag_)) {
+    ++consecutive_flat_;
+    if (consecutive_flat_ >= config_.stall_sweeps && !in_stall_episode_) {
+      in_stall_episode_ = true;
+      stalled_ = true;
+      ++stall_events_;
+      if (metrics_ != nullptr)
+        metrics_->counter_add("obs.watchdog.stall_events", "events", 1);
+      if (trace_ != nullptr) {
+        trace_->emit_instant(
+            trace_tid_locked(), "obs", "watchdog.stall", trace_->now_us(),
+            ArgsBuilder()
+                .add("sweep", sweeps_observed_)
+                .add("offdiag", offdiag_norm)
+                .add("consecutive_flat",
+                     static_cast<std::uint64_t>(consecutive_flat_))
+                .str());
+      }
+    }
+  } else {
+    consecutive_flat_ = 0;
+    in_stall_episode_ = false;
+  }
+  has_last_ = true;
+  last_offdiag_ = offdiag_norm;
+  check_deadline_locked();
+  publish_locked();
+}
+
+void Watchdog::check_deadline() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  check_deadline_locked();
+  publish_locked();
+}
+
+void Watchdog::check_deadline_locked() {
+  if (config_.deadline_s <= 0.0 || deadline_exceeded_) return;
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  if (elapsed_s <= config_.deadline_s) return;
+  deadline_exceeded_ = true;
+  if (metrics_ != nullptr)
+    metrics_->counter_add("obs.watchdog.deadline_overruns", "events", 1);
+  if (trace_ != nullptr) {
+    trace_->emit_instant(trace_tid_locked(), "obs", "watchdog.deadline",
+                         trace_->now_us(),
+                         ArgsBuilder()
+                             .add("elapsed_s", elapsed_s)
+                             .add("deadline_s", config_.deadline_s)
+                             .str());
+  }
+}
+
+bool Watchdog::stalled() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stalled_;
+}
+
+bool Watchdog::deadline_exceeded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return deadline_exceeded_;
+}
+
+std::uint64_t Watchdog::stall_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stall_events_;
+}
+
+std::uint64_t Watchdog::sweeps_observed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sweeps_observed_;
+}
+
+// --- SnapshotExporter ------------------------------------------------------
+
+SnapshotExporter::SnapshotExporter(LiveConfig config, TraceRecorder* trace,
+                                   MetricsRegistry* metrics,
+                                   Watchdog* watchdog)
+    : config_(std::move(config)), trace_(trace), metrics_(metrics),
+      watchdog_(watchdog), start_(std::chrono::steady_clock::now()) {
+  jsonl_.open(snapshots_path(), std::ios::out | std::ios::app);
+  HJSVD_ENSURE(jsonl_.is_open(),
+               "cannot open live snapshot stream: " + snapshots_path());
+  // Requests issued before this exporter existed are not ours to service.
+  serviced_dump_requests_ = dump_requests();
+  thread_ = std::thread([this] { run(); });
+}
+
+SnapshotExporter::~SnapshotExporter() { stop(); }
+
+std::string SnapshotExporter::snapshots_path() const {
+  return config_.dir + "/snapshots.jsonl";
+}
+
+std::string SnapshotExporter::prometheus_path() const {
+  return config_.dir + "/metrics.prom";
+}
+
+std::string SnapshotExporter::dump_trace_path(const std::string& dir,
+                                              std::uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof name, "/dump_%04llu.trace.json",
+                static_cast<unsigned long long>(seq));
+  return dir + name;
+}
+
+std::string SnapshotExporter::dump_metrics_path(const std::string& dir,
+                                                std::uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof name, "/dump_%04llu.metrics.json",
+                static_cast<unsigned long long>(seq));
+  return dir + name;
+}
+
+void SnapshotExporter::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, config_.interval, [&] {
+      return stop_requested_ ||
+             dump_requests() > serviced_dump_requests_;
+    });
+    if (stop_requested_) break;
+    lock.unlock();
+    if (watchdog_ != nullptr) watchdog_->check_deadline();
+    sample_once();
+    service_dump_requests();
+    lock.lock();
+  }
+}
+
+void SnapshotExporter::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stop_requested_ && !thread_.joinable()) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final sample + any dump requested in the last interval, now that the
+  // sampler thread is gone (no concurrency to reason about).
+  if (watchdog_ != nullptr) watchdog_->check_deadline();
+  sample_once();
+  service_dump_requests();
+  jsonl_.flush();
+}
+
+void SnapshotExporter::request_dump() {
+  dump_now();
+  cv_.notify_all();
+}
+
+void SnapshotExporter::sample_once() {
+  const std::vector<MetricsRegistry::ScalarSample> scalars =
+      metrics_ != nullptr ? metrics_->scalar_snapshot()
+                          : std::vector<MetricsRegistry::ScalarSample>{};
+  const double elapsed_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  const std::uint64_t dropped =
+      trace_ != nullptr ? trace_->dropped_events_total() : 0;
+  const std::uint64_t seq = samples_.fetch_add(1);
+
+  std::ostringstream line;
+  line << "{\"schema\":\"" << kSnapshotsSchema << "\",\"seq\":" << seq
+       << ",\"elapsed_us\":" << json_number(elapsed_us)
+       << ",\"dropped_events\":" << dropped << ",\"counters\":{";
+  bool first = true;
+  for (const auto& s : scalars) {
+    if (!s.is_counter) continue;
+    if (!first) line << ',';
+    first = false;
+    line << quoted(s.name) << ':' << static_cast<std::uint64_t>(s.value);
+  }
+  line << "},\"gauges\":{";
+  first = true;
+  for (const auto& s : scalars) {
+    if (s.is_counter) continue;
+    if (!first) line << ',';
+    first = false;
+    line << quoted(s.name) << ':' << json_number(s.value);
+  }
+  line << "}}";
+  jsonl_ << line.str() << '\n';
+  jsonl_.flush();
+
+  if (config_.prometheus) write_prometheus();
+}
+
+void SnapshotExporter::write_prometheus() {
+  std::ofstream prom(prometheus_path(), std::ios::out | std::ios::trunc);
+  if (!prom.is_open()) return;  // telemetry must never fail the run
+  const std::vector<MetricsRegistry::ScalarSample> scalars =
+      metrics_ != nullptr ? metrics_->scalar_snapshot()
+                          : std::vector<MetricsRegistry::ScalarSample>{};
+  for (const auto& s : scalars) {
+    const std::string name = prometheus_name(s.name);
+    prom << "# HELP " << name << " unit: "
+         << (s.unit.empty() ? "none" : s.unit) << '\n';
+    prom << "# TYPE " << name << (s.is_counter ? " counter" : " gauge")
+         << '\n';
+    if (s.is_counter) {
+      prom << name << ' ' << static_cast<std::uint64_t>(s.value) << '\n';
+    } else {
+      prom << name << ' '
+           << (std::isfinite(s.value) ? json_number(s.value) : "NaN") << '\n';
+    }
+  }
+}
+
+void SnapshotExporter::service_dump_requests() {
+  const std::uint64_t pending = dump_requests();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (pending <= serviced_dump_requests_) return;
+    // Rapid-fire requests coalesce into one dump.
+    serviced_dump_requests_ = pending;
+  }
+  const std::uint64_t seq = dumps_.fetch_add(1) + 1;
+  if (trace_ != nullptr) {
+    std::ofstream f(dump_trace_path(config_.dir, seq),
+                    std::ios::out | std::ios::trunc);
+    if (f.is_open()) trace_->write(f);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter_add("obs.dump.count", "dumps", 1);
+    std::ofstream f(dump_metrics_path(config_.dir, seq),
+                    std::ios::out | std::ios::trunc);
+    if (f.is_open()) metrics_->write(f);
+  }
+}
+
+// --- Dump triggers ---------------------------------------------------------
+
+bool install_dump_signal_handler() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction sa = {};
+  sa.sa_handler = &hjsvd_obs_sigusr1_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  return sigaction(SIGUSR1, &sa, nullptr) == 0;
+#else
+  return false;
+#endif
+}
+
+void dump_now() { g_dump_requests.fetch_add(1, std::memory_order_relaxed); }
+
+std::uint64_t dump_requests() {
+  return g_dump_requests.load(std::memory_order_relaxed);
+}
+
+}  // namespace hjsvd::obs

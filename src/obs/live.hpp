@@ -1,0 +1,197 @@
+// Live telemetry: periodic metrics snapshots, signal-triggered dumps, and a
+// convergence/deadline watchdog.
+//
+// The post-mortem artifacts (--trace-out / --metrics-out) only exist once a
+// run finishes; a long-lived or wedged process needs its observability
+// *while running*.  This module adds three cooperating pieces:
+//
+//  * SnapshotExporter — a background thread that samples the mutex-guarded
+//    MetricsRegistry every N ms and appends one JSON object per sample to
+//    `<dir>/snapshots.jsonl` (schema hjsvd.metrics-snapshots.v1), plus an
+//    optionally rewritten Prometheus text-exposition file
+//    `<dir>/metrics.prom`.  Each line is self-contained:
+//      {"schema":"hjsvd.metrics-snapshots.v1","seq":0,"elapsed_us":123.4,
+//       "dropped_events":0,"counters":{"svd.rotations.applied":42,...},
+//       "gauges":{"svd.matrix.n":64,...}}
+//    seq is strictly increasing, elapsed_us non-decreasing, and counter
+//    values non-decreasing per name — scripts/validate_obs.py --snapshots
+//    checks exactly these invariants line by line.
+//
+//  * Dump triggers — install_dump_signal_handler() installs a SIGUSR1
+//    handler that only bumps a lock-free atomic request counter
+//    (async-signal-safe); the exporter thread services the request on its
+//    next tick (latency <= one snapshot interval) by writing numbered
+//    `dump_NNNN.trace.json` / `dump_NNNN.metrics.json` files into the live
+//    directory.  obs::dump_now() requests the same thing programmatically.
+//    With a flight-recorder TraceRecorder attached the trace dump is the
+//    bounded hjsvd.trace.v3 ring contents — a mid-run core sample, not an
+//    unbounded history.
+//
+//  * Watchdog — fed per-sweep off-diagonal norms by the engines (via
+//    ObsContext::watchdog), flags a convergence stall after
+//    `stall_sweeps` consecutive non-improving sweeps and a wall-clock
+//    deadline overrun after `deadline_s` seconds.  Verdicts surface as
+//    sticky obs.watchdog.* metrics plus instant trace events, and
+//    hjsvd_report's "live" section reports them.
+//
+// None of this touches the decomposition arithmetic: results are
+// byte-identical with live telemetry on, off, or compiled out.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hjsvd::obs {
+
+/// Schema tag of every line in the snapshot JSONL stream.
+inline constexpr const char* kSnapshotsSchema = "hjsvd.metrics-snapshots.v1";
+
+/// Flags convergence stalls and wall-clock deadline overruns while a run is
+/// still in flight.  Thread-safe; all verdicts are sticky (once flagged,
+/// they stay flagged for the lifetime of the watchdog).  With null sinks it
+/// still tracks state — the CLI prints verdicts even without --obs-live.
+class Watchdog {
+ public:
+  struct Config {
+    /// Wall-clock budget in seconds, measured from construction; 0 disables
+    /// the deadline check.
+    double deadline_s = 0.0;
+    /// Consecutive sweeps without a strict off-diagonal decrease before a
+    /// stall is flagged.  The first observed sweep never counts (there is
+    /// no predecessor to compare against).
+    std::size_t stall_sweeps = 3;
+  };
+
+  explicit Watchdog(const Config& config, TraceRecorder* trace = nullptr,
+                    MetricsRegistry* metrics = nullptr);
+
+  /// Feeds one sweep's off-diagonal Frobenius norm.  Engines call this via
+  /// detail::record_sweep_metrics, so every method that reports per-sweep
+  /// convergence feeds the same watchdog.  Also polls the deadline.
+  void on_sweep(double offdiag_norm);
+
+  /// Polls only the wall-clock deadline (called by the SnapshotExporter
+  /// tick and by svd_batch between items, where per-item sweep series
+  /// interleave and stall detection would be meaningless).
+  void check_deadline();
+
+  /// True once `stall_sweeps` consecutive non-improving sweeps were seen.
+  bool stalled() const;
+  /// True once the wall-clock deadline was exceeded (and deadline_s > 0).
+  bool deadline_exceeded() const;
+  /// Number of distinct stall episodes flagged so far.
+  std::uint64_t stall_events() const;
+  /// Total sweeps observed via on_sweep().
+  std::uint64_t sweeps_observed() const;
+
+ private:
+  std::uint32_t trace_tid_locked();
+  void publish_locked();
+  void check_deadline_locked();
+
+  Config config_;
+  TraceRecorder* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  bool trace_registered_ = false;
+  std::uint32_t trace_tid_ = 0;
+  bool has_last_ = false;
+  double last_offdiag_ = 0.0;
+  std::size_t consecutive_flat_ = 0;
+  bool in_stall_episode_ = false;
+  bool stalled_ = false;
+  bool deadline_exceeded_ = false;
+  std::uint64_t stall_events_ = 0;
+  std::uint64_t sweeps_observed_ = 0;
+};
+
+/// Where and how often the SnapshotExporter writes.
+struct LiveConfig {
+  /// Output directory; must already exist.  Receives snapshots.jsonl,
+  /// metrics.prom (if `prometheus`), and dump_NNNN.{trace,metrics}.json.
+  std::string dir;
+  /// Sampling period.
+  std::chrono::milliseconds interval{100};
+  /// Rewrite a Prometheus text-exposition file every sample.
+  bool prometheus = true;
+};
+
+/// Background sampler + dump servicer.  Construction opens the JSONL
+/// stream (throws if the directory is not writable) and starts the thread;
+/// stop()/destruction joins it after one final sample, so short runs still
+/// produce at least one snapshot line.
+class SnapshotExporter {
+ public:
+  SnapshotExporter(LiveConfig config, TraceRecorder* trace,
+                   MetricsRegistry* metrics, Watchdog* watchdog = nullptr);
+  ~SnapshotExporter();
+  SnapshotExporter(const SnapshotExporter&) = delete;
+  SnapshotExporter& operator=(const SnapshotExporter&) = delete;
+
+  /// Joins the sampler thread after a final sample and after servicing any
+  /// pending dump request.  Idempotent.
+  void stop();
+
+  /// Requests a dump from this exporter (same effect as obs::dump_now(),
+  /// but wakes the thread immediately instead of waiting for the tick).
+  void request_dump();
+
+  std::uint64_t samples() const { return samples_.load(); }
+  std::uint64_t dumps() const { return dumps_.load(); }
+
+  std::string snapshots_path() const;
+  std::string prometheus_path() const;
+  /// dump_NNNN.trace.json / dump_NNNN.metrics.json for 1-based seq.
+  static std::string dump_trace_path(const std::string& dir,
+                                     std::uint64_t seq);
+  static std::string dump_metrics_path(const std::string& dir,
+                                       std::uint64_t seq);
+
+ private:
+  void run();
+  void sample_once();
+  void write_prometheus();
+  void service_dump_requests();
+
+  LiveConfig config_;
+  TraceRecorder* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  Watchdog* watchdog_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+  std::ofstream jsonl_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::uint64_t serviced_dump_requests_ = 0;
+
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<std::uint64_t> dumps_{0};
+  std::thread thread_;  // last member: starts after everything is ready
+};
+
+/// Installs a SIGUSR1 handler whose only action is bumping the lock-free
+/// dump-request counter (async-signal-safe).  Returns false on platforms
+/// without POSIX signals.  Idempotent.
+bool install_dump_signal_handler();
+
+/// Programmatic equivalent of SIGUSR1: requests a dump from every live
+/// SnapshotExporter.  Serviced on each exporter's next tick.  Safe to call
+/// with no exporter running (the request is picked up by the next one).
+void dump_now();
+
+/// Dump requests issued so far (signal + programmatic).  Exposed for tests.
+std::uint64_t dump_requests();
+
+}  // namespace hjsvd::obs

@@ -126,6 +126,23 @@ std::optional<std::string> MetricsRegistry::unit(std::string_view name) const {
   return it->second.unit;
 }
 
+std::vector<MetricsRegistry::ScalarSample> MetricsRegistry::scalar_snapshot()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ScalarSample> out;
+  for (const auto& [name, metric] : metrics_) {
+    if (metric.type != Type::kCounter && metric.type != Type::kGauge) continue;
+    ScalarSample sample;
+    sample.name = name;
+    sample.unit = metric.unit;
+    sample.is_counter = metric.type == Type::kCounter;
+    sample.value = sample.is_counter ? static_cast<double>(metric.count)
+                                     : metric.value;
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
 void MetricsRegistry::write(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mu_);
   os << "{\n\"schema\": \"" << kMetricsSchema << "\",\n\"metrics\": [\n";

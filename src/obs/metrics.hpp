@@ -65,6 +65,19 @@ class MetricsRegistry {
   std::vector<std::string> names() const;
   std::optional<std::string> unit(std::string_view name) const;
 
+  /// One scalar metric (counter or gauge) as sampled by scalar_snapshot().
+  struct ScalarSample {
+    std::string name;
+    std::string unit;
+    bool is_counter = false;  // false: gauge
+    double value = 0.0;       // counters widen to double (exact < 2^53)
+  };
+  /// All counters and gauges under one lock, sorted by name — the sampling
+  /// primitive of the live SnapshotExporter (src/obs/live.hpp).  Histograms
+  /// and series are excluded: a periodic sampler wants scalars, not the
+  /// full distribution payloads.
+  std::vector<ScalarSample> scalar_snapshot() const;
+
   /// Serializes the hjsvd.metrics.v1 JSON document.
   void write(std::ostream& os) const;
   std::string to_json() const;

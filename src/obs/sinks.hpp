@@ -19,12 +19,16 @@ namespace hjsvd::obs {
 
 class TraceRecorder;
 class MetricsRegistry;
+class Watchdog;
 
-/// The pair of optional sinks an engine records into.  Copyable, two
-/// pointers; both null by default (observability off).
+/// The optional sinks an engine records into.  Copyable, three pointers;
+/// all null by default (observability off).  The watchdog is fed per-sweep
+/// convergence progress so stalls and deadline overruns are flagged while
+/// the run is still in flight (src/obs/live.hpp).
 struct ObsContext {
   TraceRecorder* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
+  Watchdog* watchdog = nullptr;
 };
 
 #if !defined(HJSVD_OBS) || HJSVD_OBS

@@ -81,7 +81,9 @@ void ArgsBuilder::key(std::string_view k) {
   body_ += ':';
 }
 
-TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+TraceRecorder::TraceRecorder(std::size_t ring_capacity_events)
+    : epoch_(std::chrono::steady_clock::now()),
+      ring_capacity_(ring_capacity_events) {}
 
 std::uint32_t TraceRecorder::register_thread(std::string name, int pid) {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -98,15 +100,24 @@ double TraceRecorder::now_us() const {
       .count();
 }
 
-void TraceRecorder::emit_complete(std::uint32_t tid, const char* cat,
-                                  std::string name, double ts_us,
-                                  double dur_us, std::string args_json) {
+void TraceRecorder::append(std::uint32_t tid, Event e) {
   ThreadLog* log = nullptr;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     HJSVD_ENSURE(tid < logs_.size(), "unknown trace tid");
     log = logs_[tid].get();
   }
+  const std::lock_guard<std::mutex> lock(log->mu);
+  if (ring_capacity_ > 0 && log->events.size() >= ring_capacity_) {
+    log->events.pop_front();
+    ++log->dropped;
+  }
+  log->events.push_back(std::move(e));
+}
+
+void TraceRecorder::emit_complete(std::uint32_t tid, const char* cat,
+                                  std::string name, double ts_us,
+                                  double dur_us, std::string args_json) {
   Event e;
   e.ph = 'X';
   e.name = std::move(name);
@@ -114,36 +125,24 @@ void TraceRecorder::emit_complete(std::uint32_t tid, const char* cat,
   e.ts_us = ts_us;
   e.dur_us = dur_us < 0.0 ? 0.0 : dur_us;
   e.args_json = std::move(args_json);
-  log->events.push_back(std::move(e));
+  append(tid, std::move(e));
 }
 
 void TraceRecorder::emit_instant(std::uint32_t tid, const char* cat,
                                  std::string name, double ts_us,
                                  std::string args_json) {
-  ThreadLog* log = nullptr;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    HJSVD_ENSURE(tid < logs_.size(), "unknown trace tid");
-    log = logs_[tid].get();
-  }
   Event e;
   e.ph = 'i';
   e.name = std::move(name);
   e.cat = cat;
   e.ts_us = ts_us;
   e.args_json = std::move(args_json);
-  log->events.push_back(std::move(e));
+  append(tid, std::move(e));
 }
 
 void TraceRecorder::emit_counter(std::uint32_t tid, const char* cat,
                                  std::string name, double ts_us,
                                  double value) {
-  ThreadLog* log = nullptr;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    HJSVD_ENSURE(tid < logs_.size(), "unknown trace tid");
-    log = logs_[tid].get();
-  }
   Event e;
   e.ph = 'C';
   e.name = std::move(name);
@@ -151,16 +150,100 @@ void TraceRecorder::emit_counter(std::uint32_t tid, const char* cat,
   e.ts_us = ts_us;
   e.value = value;
   e.args_json = obs::ArgsBuilder().add("value", value).str();
-  log->events.push_back(std::move(e));
+  append(tid, std::move(e));
+}
+
+std::uint64_t TraceRecorder::dropped_events(std::uint32_t tid) const {
+  ThreadLog* log = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    HJSVD_ENSURE(tid < logs_.size(), "unknown trace tid");
+    log = logs_[tid].get();
+  }
+  const std::lock_guard<std::mutex> lock(log->mu);
+  return log->dropped;
+}
+
+std::uint64_t TraceRecorder::dropped_events_total() const {
+  // The SnapshotExporter polls this every tick; summing the per-thread
+  // counters directly (no event copies, unlike collect()) keeps the poll
+  // O(threads) instead of O(buffered events).
+  std::size_t count = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    count = logs_.size();
+  }
+  std::uint64_t total = 0;
+  for (std::size_t tid = 0; tid < count; ++tid) {
+    ThreadLog* log = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      log = logs_[tid].get();
+    }
+    const std::lock_guard<std::mutex> lock(log->mu);
+    total += log->dropped;
+  }
+  return total;
+}
+
+std::size_t TraceRecorder::buffered_events(std::uint32_t tid) const {
+  ThreadLog* log = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    HJSVD_ENSURE(tid < logs_.size(), "unknown trace tid");
+    log = logs_[tid].get();
+  }
+  const std::lock_guard<std::mutex> lock(log->mu);
+  return log->events.size();
+}
+
+std::vector<TraceRecorder::LogCopy> TraceRecorder::collect() const {
+  // Pin the registry size first (registration only appends), then copy
+  // each buffer under its own mutex.  The copies are mutually consistent
+  // per-thread; events emitted while the copy loop runs land in this dump
+  // or the next, never torn.
+  std::size_t count = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    count = logs_.size();
+  }
+  std::vector<LogCopy> out(count);
+  for (std::size_t tid = 0; tid < count; ++tid) {
+    ThreadLog* log = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      log = logs_[tid].get();
+    }
+    LogCopy& copy = out[tid];
+    copy.name = log->name;
+    copy.pid = log->pid;
+    const std::lock_guard<std::mutex> lock(log->mu);
+    copy.dropped = log->dropped;
+    copy.events.assign(log->events.begin(), log->events.end());
+  }
+  return out;
 }
 
 void TraceRecorder::write(std::ostream& os) const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  os << "{\n\"schema\": \"" << kTraceSchema << "\",\n"
+  const std::vector<LogCopy> logs = collect();
+  os << "{\n\"schema\": \""
+     << (flight_recorder() ? kTraceSchemaV3 : kTraceSchema) << "\",\n"
      << "\"displayTimeUnit\": \"ms\",\n"
      << "\"otherData\": {\"time_unit\": \"us\", \"software_pid\": "
-     << kSoftwarePid << ", \"simulator_pid\": " << kSimulatorPid << "},\n"
-     << "\"traceEvents\": [\n";
+     << kSoftwarePid << ", \"simulator_pid\": " << kSimulatorPid;
+  if (flight_recorder()) {
+    std::uint64_t dropped_total = 0;
+    for (const LogCopy& log : logs) dropped_total += log.dropped;
+    os << ", \"flight_recorder\": true, \"ring_capacity_events\": "
+       << ring_capacity_ << ", \"dropped_events_total\": " << dropped_total
+       << ", \"dropped_events_by_tid\": [";
+    for (std::size_t tid = 0; tid < logs.size(); ++tid) {
+      if (tid > 0) os << ", ";
+      os << logs[tid].dropped;
+    }
+    os << "]";
+  }
+  os << "},\n\"traceEvents\": [\n";
   bool first = true;
   const auto sep = [&] {
     if (!first) os << ",\n";
@@ -173,15 +256,15 @@ void TraceRecorder::write(std::ostream& os) const {
   sep();
   os << R"({"ph":"M","name":"process_name","pid":)" << kSimulatorPid
      << R"(,"tid":0,"args":{"name":"hjsvd accelerator sim"}})";
-  for (std::size_t tid = 0; tid < logs_.size(); ++tid) {
-    const ThreadLog& log = *logs_[tid];
+  for (std::size_t tid = 0; tid < logs.size(); ++tid) {
+    const LogCopy& log = logs[tid];
     sep();
     os << R"({"ph":"M","name":"thread_name","pid":)" << log.pid
        << R"(,"tid":)" << tid << R"(,"args":{"name":)" << quoted(log.name)
        << "}}";
   }
-  for (std::size_t tid = 0; tid < logs_.size(); ++tid) {
-    const ThreadLog& log = *logs_[tid];
+  for (std::size_t tid = 0; tid < logs.size(); ++tid) {
+    const LogCopy& log = logs[tid];
     for (const Event& e : log.events) {
       sep();
       os << "{\"ph\":\"" << e.ph << "\",\"name\":" << quoted(e.name)
@@ -202,14 +285,14 @@ std::string TraceRecorder::to_json() const {
 }
 
 std::vector<TraceRecorder::Event> TraceRecorder::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<Event> out;
-  for (std::size_t tid = 0; tid < logs_.size(); ++tid) {
-    for (const Event& e : logs_[tid]->events) {
+  const std::vector<LogCopy> logs = collect();
+  for (std::size_t tid = 0; tid < logs.size(); ++tid) {
+    for (const Event& e : logs[tid].events) {
       Event copy = e;
       copy.tid = static_cast<std::uint32_t>(tid);
-      copy.pid = logs_[tid]->pid;
-      copy.thread_name = logs_[tid]->name;
+      copy.pid = logs[tid].pid;
+      copy.thread_name = logs[tid].name;
       out.push_back(std::move(copy));
     }
   }

@@ -1,15 +1,23 @@
 // Chrome trace-event recorder (open the output in Perfetto / about:tracing).
 //
 // Model: each participating thread registers once and receives a handle
-// (tid); events are appended to that handle's private buffer with no
-// synchronization, so recording is lock-free after registration (the only
-// mutex guards the registry of buffers).  Spans are emitted as complete
-// events (ph "X") with microsecond timestamps measured from the recorder's
-// construction on the steady clock; the accelerator simulator registers its
-// units under a separate process id and timestamps events in *simulated*
-// time, so hardware and software timelines can be loaded side by side.
-// Counter samples (ph "C") render as Perfetto counter tracks next to the
-// spans — queue and FIFO occupancy timelines live there.
+// (tid); events are appended to that handle's private buffer under a
+// per-buffer mutex that is uncontended in steady state (only a concurrent
+// dump ever takes it from another thread), so recording stays cheap after
+// registration.  Spans are emitted as complete events (ph "X") with
+// microsecond timestamps measured from the recorder's construction on the
+// steady clock; the accelerator simulator registers its units under a
+// separate process id and timestamps events in *simulated* time, so
+// hardware and software timelines can be loaded side by side.  Counter
+// samples (ph "C") render as Perfetto counter tracks next to the spans —
+// queue and FIFO occupancy timelines live there.
+//
+// Flight-recorder mode: constructing the recorder with a nonzero
+// `ring_capacity_events` bounds every per-thread buffer to that many
+// events.  When a buffer is full the *oldest* event is dropped and the
+// owning thread's drop counter is incremented, so a long-lived process
+// (the planned hjsvd_serve daemon) holds the most recent window of
+// activity in bounded memory and can be dumped at any time.
 //
 // Serialized format (docs/OBSERVABILITY.md has the event taxonomy):
 //   { "schema": "hjsvd.trace.v2", "displayTimeUnit": "ms",
@@ -19,9 +27,16 @@
 //                      {"ph":"C","name":"pipeline.queue.occupancy","pid":1,
 //                       "tid":0,"ts":13.0,"args":{"value":5}}, ... ] }
 //
-// Schema history: hjsvd.trace.v2 is hjsvd.trace.v1 plus counter events
-// (ph "C").  v1 consumers that only read "X"/"M"/"i" events can treat the
-// two versions identically — nothing was removed or renamed.
+// Schema history:
+//   hjsvd.trace.v1 — spans (ph "X"), instants (ph "i"), metadata (ph "M").
+//   hjsvd.trace.v2 — v1 plus counter events (ph "C").
+//   hjsvd.trace.v3 — v2 plus flight-recorder metadata in "otherData":
+//     "flight_recorder": true, "ring_capacity_events": N,
+//     "dropped_events_total": D, "dropped_events_by_tid": [d0, d1, ...].
+//     Emitted only when the recorder runs in ring mode; unbounded
+//     recorders keep writing byte-identical v2 documents.  Nothing was
+//     removed or renamed at any step, so v1 consumers that only read
+//     "X"/"M"/"i" events can treat all three versions identically.
 #pragma once
 
 #include <chrono>
@@ -39,9 +54,13 @@ namespace hjsvd::obs {
 inline constexpr int kSoftwarePid = 1;   // wall-clock (steady_clock) events
 inline constexpr int kSimulatorPid = 2;  // simulated-time (cycle) events
 
-/// Schema tag written into every serialized trace document.  v2 = v1 plus
-/// counter events (ph "C"); see the header comment for the compat contract.
+/// Schema tag written by unbounded recorders.  v2 = v1 plus counter events
+/// (ph "C"); see the header comment for the compat contract.
 inline constexpr const char* kTraceSchema = "hjsvd.trace.v2";
+
+/// Schema tag written by flight-recorder (ring) mode: v2 plus ring/drop
+/// metadata in "otherData".  Strictly additive over v2.
+inline constexpr const char* kTraceSchemaV3 = "hjsvd.trace.v3";
 
 /// Incrementally builds the JSON object for an event's "args" field.
 class ArgsBuilder {
@@ -64,13 +83,26 @@ class ArgsBuilder {
   std::string body_;
 };
 
-/// Thread-safe trace-event collector.  register_thread() is callable from
-/// any thread; emit_* must only be called with a tid by the thread that owns
-/// it (each tid's buffer is unsynchronized by design); write() must not run
-/// concurrently with emission.
+/// Thread-safe trace-event collector.
+///
+/// Concurrency contract (load-bearing for the serve loop — do not weaken):
+///  - register_thread() is callable from any thread at any time.
+///  - emit_* with a given tid should be called by the thread that owns it;
+///    each append takes that buffer's private mutex, so even a misrouted
+///    emit is safe (events interleave, nothing races).
+///  - write() / to_json() / snapshot() may run concurrently with emission
+///    from any thread: they copy each buffer under its mutex and serialize
+///    from the copy.  An event emitted while a dump is in flight lands
+///    either in that dump or the next one, never torn.  This replaces the
+///    old "write() must not run concurrently with emission" restriction.
 class TraceRecorder {
  public:
-  TraceRecorder();
+  /// `ring_capacity_events` == 0 (the default) keeps the historical
+  /// unbounded-growth behaviour and the hjsvd.trace.v2 serialization.
+  /// A nonzero value caps every per-thread buffer at that many events,
+  /// drops oldest-first with exact per-thread drop counters, and switches
+  /// serialization to hjsvd.trace.v3.
+  explicit TraceRecorder(std::size_t ring_capacity_events = 0);
 
   /// Registers a named timeline and returns its tid.  `pid` selects the
   /// process group (kSoftwarePid or kSimulatorPid).
@@ -95,9 +127,22 @@ class TraceRecorder {
   void emit_counter(std::uint32_t tid, const char* cat, std::string name,
                     double ts_us, double value);
 
-  /// Serializes the Chrome trace-event JSON document.
+  /// Serializes the Chrome trace-event JSON document (v2, or v3 in ring
+  /// mode).  Safe to call concurrently with emission; see the class
+  /// contract above.
   void write(std::ostream& os) const;
   std::string to_json() const;
+
+  /// Per-thread ring capacity in events; 0 means unbounded (v2 mode).
+  std::size_t ring_capacity() const { return ring_capacity_; }
+  /// True when constructed with a nonzero ring capacity.
+  bool flight_recorder() const { return ring_capacity_ > 0; }
+  /// Events dropped (oldest-first) from timeline `tid` so far.
+  std::uint64_t dropped_events(std::uint32_t tid) const;
+  /// Sum of dropped_events over all registered timelines.
+  std::uint64_t dropped_events_total() const;
+  /// Events currently buffered on timeline `tid` (<= ring_capacity()).
+  std::size_t buffered_events(std::uint32_t tid) const;
 
   /// One recorded event (test/inspection access via snapshot()).
   struct Event {
@@ -112,18 +157,32 @@ class TraceRecorder {
     int pid = kSoftwarePid;
     std::string thread_name;
   };
-  /// All events recorded so far, in per-thread order.  Not for hot paths.
+  /// All events buffered so far, in per-thread order.  Not for hot paths.
+  /// Safe concurrent with emission (same copy-under-lock path as write()).
   std::vector<Event> snapshot() const;
 
  private:
   struct ThreadLog {
     std::string name;
     int pid = kSoftwarePid;
+    mutable std::mutex mu;      // guards events + dropped
+    std::deque<Event> events;   // bounded by ring_capacity_ when nonzero
+    std::uint64_t dropped = 0;  // oldest events evicted from the ring
+  };
+  /// Consistent copy of one timeline, taken under its mutex.
+  struct LogCopy {
+    std::string name;
+    int pid = kSoftwarePid;
+    std::uint64_t dropped = 0;
     std::vector<Event> events;
   };
 
+  void append(std::uint32_t tid, Event e);
+  std::vector<LogCopy> collect() const;
+
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;  // guards logs_ growth; buffers are single-writer
+  std::size_t ring_capacity_ = 0;
+  mutable std::mutex mu_;  // guards logs_ growth; per-log state has log->mu
   std::deque<std::unique_ptr<ThreadLog>> logs_;
 };
 

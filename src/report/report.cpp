@@ -115,9 +115,10 @@ class MetricsView {
 
 void check_trace_schema(const JsonValue& trace_doc) {
   const std::string schema = trace_doc.string_or("schema");
-  if (schema != "hjsvd.trace.v1" && schema != "hjsvd.trace.v2")
+  if (schema != "hjsvd.trace.v1" && schema != "hjsvd.trace.v2" &&
+      schema != "hjsvd.trace.v3")
     throw SchemaError("trace document has schema '" + schema +
-                      "', expected hjsvd.trace.v1 or hjsvd.trace.v2");
+                      "', expected hjsvd.trace.v1, v2, or v3");
   const JsonValue* events = trace_doc.find("traceEvents");
   if (events == nullptr || !events->is_array())
     throw SchemaError("trace document has no \"traceEvents\" array");
@@ -269,6 +270,44 @@ void fill_mixed(const MetricsView& metrics, RunReport* report) {
       metrics.value_or("svd.mp.offdiag_after_recompute", 0.0);
 }
 
+void fill_live(const JsonValue& trace_doc, const MetricsView& metrics,
+               RunReport* report) {
+  const JsonValue* other = trace_doc.find("otherData");
+  const JsonValue* fr =
+      other == nullptr ? nullptr : other->find("flight_recorder");
+  const bool ring = fr != nullptr && fr->as_bool();
+  const bool watchdog = metrics.has("obs.watchdog.stalled");
+  if (!ring && !watchdog) return;
+  report->has_live = true;
+  report->live_ring_enabled = ring;
+  if (ring) {
+    report->live_ring_capacity_events = static_cast<std::uint64_t>(
+        other->number_or("ring_capacity_events", 0.0));
+    report->live_dropped_events_total = static_cast<std::uint64_t>(
+        other->number_or("dropped_events_total", 0.0));
+  }
+  report->live_watchdog_present = watchdog;
+  if (watchdog) {
+    report->live_watchdog_stalled =
+        metrics.value_or("obs.watchdog.stalled", 0.0) != 0.0;
+    report->live_watchdog_deadline_exceeded =
+        metrics.value_or("obs.watchdog.deadline_exceeded", 0.0) != 0.0;
+    report->live_watchdog_deadline_s =
+        metrics.value_or("obs.watchdog.deadline_s", 0.0);
+    const auto u64 = [&](std::string_view name) {
+      return static_cast<std::uint64_t>(metrics.value_or(name, 0.0));
+    };
+    report->live_watchdog_stall_sweeps = u64("obs.watchdog.stall_sweeps");
+    report->live_watchdog_stall_events = u64("obs.watchdog.stall_events");
+    report->live_watchdog_sweeps_observed =
+        u64("obs.watchdog.sweeps_observed");
+    report->live_watchdog_deadline_overruns =
+        u64("obs.watchdog.deadline_overruns");
+  }
+  report->live_dumps =
+      static_cast<std::uint64_t>(metrics.value_or("obs.dump.count", 0.0));
+}
+
 void fill_convergence(const MetricsView& metrics, RunReport* report) {
   const auto frob = metrics.series_points("svd.sweep.offdiag_frobenius");
   const auto rel = metrics.series_points("svd.sweep.max_rel_offdiag");
@@ -362,6 +401,7 @@ RunReport analyze_run(const JsonValue& trace_doc,
   fill_sim(metrics, &report);
   fill_batch(metrics, &report);
   fill_mixed(metrics, &report);
+  fill_live(trace_doc, metrics, &report);
   fill_convergence(metrics, &report);
   fill_cross_checks(&report);
   return report;
@@ -452,6 +492,25 @@ std::string report_json(const RunReport& r) {
        << ", \"offdiag_at_switch\": " << json_number(r.mp_offdiag_at_switch)
        << ", \"offdiag_after_recompute\": "
        << json_number(r.mp_offdiag_after_recompute) << "},\n";
+  }
+  // Like batch/mixed, the live member is omitted entirely when absent.
+  if (r.has_live) {
+    os << "\"live\": {\"ring_enabled\": " << json_bool(r.live_ring_enabled)
+       << ", \"ring_capacity_events\": " << r.live_ring_capacity_events
+       << ", \"dropped_events_total\": " << r.live_dropped_events_total
+       << ", \"watchdog_present\": " << json_bool(r.live_watchdog_present)
+       << ", \"watchdog_stalled\": " << json_bool(r.live_watchdog_stalled)
+       << ", \"watchdog_deadline_exceeded\": "
+       << json_bool(r.live_watchdog_deadline_exceeded)
+       << ", \"watchdog_deadline_s\": "
+       << json_number(r.live_watchdog_deadline_s)
+       << ", \"watchdog_stall_sweeps\": " << r.live_watchdog_stall_sweeps
+       << ", \"watchdog_stall_events\": " << r.live_watchdog_stall_events
+       << ", \"watchdog_sweeps_observed\": "
+       << r.live_watchdog_sweeps_observed
+       << ", \"watchdog_deadline_overruns\": "
+       << r.live_watchdog_deadline_overruns
+       << ", \"dumps\": " << r.live_dumps << "},\n";
   }
   os << "\"convergence\": [";
   for (std::size_t i = 0; i < r.convergence.size(); ++i) {
@@ -552,6 +611,33 @@ std::string report_table(const RunReport& r) {
        << format_sci(r.mp_offdiag_at_switch) << " at switch -> "
        << format_sci(r.mp_offdiag_after_recompute)
        << " after the double Gram recompute\n\n";
+  }
+
+  if (r.has_live) {
+    os << "live: ";
+    if (r.live_ring_enabled) {
+      os << "flight-recorder ring, capacity "
+         << r.live_ring_capacity_events << " events/thread, "
+         << r.live_dropped_events_total << " dropped";
+    } else {
+      os << "unbounded trace";
+    }
+    if (r.live_watchdog_present) {
+      os << "; watchdog "
+         << (r.live_watchdog_stalled ? "STALLED" : "no stall") << " ("
+         << r.live_watchdog_stall_events << " episode(s) over "
+         << r.live_watchdog_sweeps_observed
+         << " sweeps, window " << r.live_watchdog_stall_sweeps
+         << "), deadline ";
+      if (r.live_watchdog_deadline_s > 0.0) {
+        os << format_fixed(r.live_watchdog_deadline_s, 1) << "s "
+           << (r.live_watchdog_deadline_exceeded ? "EXCEEDED" : "met");
+      } else {
+        os << "none";
+      }
+    }
+    if (r.live_dumps > 0) os << "; " << r.live_dumps << " mid-run dump(s)";
+    os << "\n\n";
   }
 
   if (!r.convergence.empty()) {
@@ -684,6 +770,29 @@ RunReport report_from_json(const JsonValue& doc) {
     r.mp_offdiag_after_recompute =
         mixed->number_or("offdiag_after_recompute", 0.0);
   }
+  if (const JsonValue* live = doc.find("live");
+      live != nullptr && live->is_object()) {
+    r.has_live = true;
+    const auto flag = [&](const char* name) {
+      const JsonValue* v = live->find(name);
+      return v != nullptr && v->as_bool();
+    };
+    const auto u64 = [&](const char* name) {
+      return static_cast<std::uint64_t>(live->number_or(name, 0.0));
+    };
+    r.live_ring_enabled = flag("ring_enabled");
+    r.live_ring_capacity_events = u64("ring_capacity_events");
+    r.live_dropped_events_total = u64("dropped_events_total");
+    r.live_watchdog_present = flag("watchdog_present");
+    r.live_watchdog_stalled = flag("watchdog_stalled");
+    r.live_watchdog_deadline_exceeded = flag("watchdog_deadline_exceeded");
+    r.live_watchdog_deadline_s = live->number_or("watchdog_deadline_s", 0.0);
+    r.live_watchdog_stall_sweeps = u64("watchdog_stall_sweeps");
+    r.live_watchdog_stall_events = u64("watchdog_stall_events");
+    r.live_watchdog_sweeps_observed = u64("watchdog_sweeps_observed");
+    r.live_watchdog_deadline_overruns = u64("watchdog_deadline_overruns");
+    r.live_dumps = u64("dumps");
+  }
   if (const JsonValue* conv = doc.find("convergence");
       conv != nullptr && conv->is_array()) {
     for (const JsonValue& p : conv->as_array()) {
@@ -791,6 +900,30 @@ CompareResult compare_reports(const RunReport& baseline,
           std::string("generator_is_bottleneck ") +
               (baseline.generator_is_bottleneck ? "true" : "false") + " -> " +
               (candidate.generator_is_bottleneck ? "true" : "false"));
+  }
+
+  // Live-telemetry invariants, not timings: a candidate must not introduce
+  // watchdog verdicts the baseline did not have, and a flight-recorder
+  // candidate must not start dropping ring events when the baseline
+  // dropped none (that means the ring got too small for the workload).
+  if (baseline.has_live && candidate.has_live) {
+    check(!baseline.live_watchdog_stalled && candidate.live_watchdog_stalled,
+          std::string("watchdog stalled ") +
+              (baseline.live_watchdog_stalled ? "true" : "false") + " -> " +
+              (candidate.live_watchdog_stalled ? "true" : "false"));
+    check(!baseline.live_watchdog_deadline_exceeded &&
+              candidate.live_watchdog_deadline_exceeded,
+          std::string("watchdog deadline_exceeded ") +
+              (baseline.live_watchdog_deadline_exceeded ? "true" : "false") +
+              " -> " +
+              (candidate.live_watchdog_deadline_exceeded ? "true" : "false"));
+    if (baseline.live_ring_enabled && candidate.live_ring_enabled) {
+      check(baseline.live_dropped_events_total == 0 &&
+                candidate.live_dropped_events_total > 0,
+            "ring dropped_events_total " +
+                std::to_string(baseline.live_dropped_events_total) + " -> " +
+                std::to_string(candidate.live_dropped_events_total));
+    }
   }
 
   return out;

@@ -1,11 +1,12 @@
 // Offline run-report analyzer (`hjsvd.report.v1`).
 //
-// Ingests the observability artifacts a run recorded — an hjsvd.trace.v1/v2
-// trace and an hjsvd.metrics.v1 metrics document — and distills them into a
-// typed RunReport: per-phase wall-clock breakdown, per-thread busy/stall
-// fractions of the pipelined engine, queue / parameter-FIFO occupancy
-// statistics, the convergence trajectory, and software-vs-simulator
-// cross-checks.  The report serializes deterministically (fixed field
+// Ingests the observability artifacts a run recorded — an
+// hjsvd.trace.v1/v2/v3 trace and an hjsvd.metrics.v1 metrics document — and
+// distills them into a typed RunReport: per-phase wall-clock breakdown,
+// per-thread busy/stall fractions of the pipelined engine, queue /
+// parameter-FIFO occupancy statistics, the convergence trajectory,
+// live-telemetry verdicts (flight-recorder drops, watchdog flags), and
+// software-vs-simulator cross-checks.  The report serializes deterministically (fixed field
 // order, round-trip doubles) so golden-file tests can diff it byte-for-byte,
 // and two serialized reports can be compared for performance regressions
 // (`compare_reports`, driving hjsvd_report --compare's exit code 3).
@@ -136,6 +137,28 @@ struct RunReport {
   double mp_offdiag_at_switch = 0.0;   // float-phase measure at promotion
   double mp_offdiag_after_recompute = 0.0;  // after the double Gram rebuild
 
+  // Live-telemetry section (flight-recorder trace rings + convergence
+  // watchdog; src/obs/live.hpp).  Present when the trace is an
+  // hjsvd.trace.v3 flight-recorder dump and/or the metrics carry
+  // obs.watchdog.* verdicts.  Like batch/mixed, the member is omitted from
+  // the JSON entirely when absent, so pre-live reports re-serialize
+  // byte-for-byte.  compare_reports treats these as *invariants*, not
+  // timings: a candidate flipping a watchdog verdict to true, or starting
+  // to drop ring events when the baseline dropped none, is a regression.
+  bool has_live = false;
+  bool live_ring_enabled = false;  // trace came from a bounded ring
+  std::uint64_t live_ring_capacity_events = 0;  // per-thread event cap
+  std::uint64_t live_dropped_events_total = 0;  // ring evictions, all threads
+  bool live_watchdog_present = false;  // obs.watchdog.* metrics seen
+  bool live_watchdog_stalled = false;  // sticky stall verdict
+  bool live_watchdog_deadline_exceeded = false;  // sticky deadline verdict
+  double live_watchdog_deadline_s = 0.0;  // configured budget (0 = none)
+  std::uint64_t live_watchdog_stall_sweeps = 0;   // configured stall window
+  std::uint64_t live_watchdog_stall_events = 0;   // distinct stall episodes
+  std::uint64_t live_watchdog_sweeps_observed = 0;
+  std::uint64_t live_watchdog_deadline_overruns = 0;
+  std::uint64_t live_dumps = 0;  // mid-run dumps serviced (obs.dump.count)
+
   std::vector<ConvergencePoint> convergence;
 
   // Cross-checks (derived; what PR 3 concluded by reading bench stdout).
@@ -150,7 +173,7 @@ struct RunReport {
 
 /// Analyzes parsed trace + metrics documents.  Throws SchemaError when
 /// either document's "schema" tag is missing or unsupported (trace:
-/// hjsvd.trace.v1 or v2; metrics: hjsvd.metrics.v1) or when the tagged
+/// hjsvd.trace.v1, v2, or v3; metrics: hjsvd.metrics.v1) or when the tagged
 /// shape is missing ("traceEvents" / "metrics" arrays).
 RunReport analyze_run(const JsonValue& trace_doc, const JsonValue& metrics_doc);
 

@@ -92,6 +92,7 @@ SvdResult block_hestenes_svd(const Matrix& a, const BlockHestenesConfig& cfg,
   std::size_t sweeps_done = 0;
   std::uint64_t total_rotations = 0, total_skipped = 0;
   auto* metrics = obs::active(cfg.obs.metrics);
+  auto* watchdog = obs::active(cfg.obs.watchdog);
   const fp::NativeOps ops;
   for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
     std::uint64_t rotations = 0, skipped = 0;
@@ -105,9 +106,11 @@ SvdResult block_hestenes_svd(const Matrix& a, const BlockHestenesConfig& cfg,
     total_skipped += skipped;
     Matrix d;
     const bool need_gram = (stats != nullptr && cfg.track_convergence) ||
-                           metrics != nullptr || cfg.tolerance > 0.0;
+                           metrics != nullptr || watchdog != nullptr ||
+                           cfg.tolerance > 0.0;
     if (need_gram) d = gram_upper_ops(r, ops);
-    detail::record_sweep_metrics(metrics, sweep, d, rotations, skipped);
+    detail::record_sweep_metrics(metrics, watchdog, sweep, d, rotations,
+                                 skipped);
     if (stats != nullptr) {
       stats->total_rotations += rotations;
       stats->total_skipped += skipped;

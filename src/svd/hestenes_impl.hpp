@@ -350,6 +350,7 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
 
   auto* trace = obs::active(cfg.obs.trace);
   auto* metrics = obs::active(cfg.obs.metrics);
+  auto* watchdog = obs::active(cfg.obs.watchdog);
   const std::uint32_t tid =
       trace != nullptr ? trace->register_thread("hestenes (sequential)") : 0;
 
@@ -398,7 +399,8 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
       if (cfg.track_convergence)
         stats->sweeps.push_back(detail::make_record(d, rotations, skipped));
     }
-    detail::record_sweep_metrics(metrics, sweep, d, rotations, skipped);
+    detail::record_sweep_metrics(metrics, watchdog, sweep, d, rotations,
+                                 skipped);
     if (cfg.tolerance > 0.0 && max_relative_offdiag(d) < cfg.tolerance) {
       result.converged = true;
       break;

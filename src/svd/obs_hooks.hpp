@@ -5,11 +5,16 @@
 // granularity and guarded by a null check, and none of them touch the
 // matrices beyond reads, so results are byte-identical with sinks attached.
 // The full name/unit taxonomy is documented in docs/OBSERVABILITY.md.
+//
+// The per-sweep hook also feeds the live-telemetry watchdog
+// (obs::Watchdog::on_sweep) with the off-diagonal Frobenius norm, so every
+// engine that reports convergence progress gets stall detection for free.
 #pragma once
 
 #include <cstdint>
 
 #include "linalg/kernels.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -21,10 +26,11 @@ namespace hjsvd::detail {
 /// working matrix is not a double Matrix (the mixed engine's float phase
 /// computes the measures itself, in double, and passes them in).
 inline void record_sweep_metrics(obs::MetricsRegistry* metrics,
-                                 std::size_t sweep, double offdiag_frob,
-                                 double max_rel_offdiag,
+                                 obs::Watchdog* watchdog, std::size_t sweep,
+                                 double offdiag_frob, double max_rel_offdiag,
                                  std::uint64_t rotations,
                                  std::uint64_t skipped) {
+  if (watchdog != nullptr) watchdog->on_sweep(offdiag_frob);
   if (metrics == nullptr) return;
   const auto idx = static_cast<double>(sweep);
   metrics->series_append("svd.sweep.offdiag_frobenius", "1", idx,
@@ -38,11 +44,11 @@ inline void record_sweep_metrics(obs::MetricsRegistry* metrics,
 }
 
 inline void record_sweep_metrics(obs::MetricsRegistry* metrics,
-                                 std::size_t sweep, const Matrix& d,
-                                 std::uint64_t rotations,
+                                 obs::Watchdog* watchdog, std::size_t sweep,
+                                 const Matrix& d, std::uint64_t rotations,
                                  std::uint64_t skipped) {
-  if (metrics == nullptr) return;
-  record_sweep_metrics(metrics, sweep, offdiag_frobenius(d),
+  if (metrics == nullptr && watchdog == nullptr) return;
+  record_sweep_metrics(metrics, watchdog, sweep, offdiag_frobenius(d),
                        max_relative_offdiag(d), rotations, skipped);
 }
 

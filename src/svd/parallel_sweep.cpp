@@ -200,6 +200,7 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
 
   auto* trace = obs::active(cfg.obs.trace);
   auto* metrics = obs::active(cfg.obs.metrics);
+  auto* watchdog = obs::active(cfg.obs.watchdog);
   const std::uint32_t tid =
       trace != nullptr ? trace->register_thread("blocked engine (coordinator)")
                        : 0;
@@ -371,7 +372,8 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
       if (cfg.track_convergence)
         stats->sweeps.push_back(detail::make_record(d, rotations, skipped));
     }
-    detail::record_sweep_metrics(metrics, sweep, d, rotations, skipped);
+    detail::record_sweep_metrics(metrics, watchdog, sweep, d, rotations,
+                                 skipped);
     if (cfg.tolerance > 0.0 && max_relative_offdiag(d) < cfg.tolerance) {
       result.converged = true;
       break;
@@ -413,6 +415,7 @@ SvdResult parallel_plain_hestenes_svd(const Matrix& a,
   SvdResult result;
   if (stats != nullptr) *stats = HestenesStats{};
   auto* metrics = obs::active(cfg.obs.metrics);
+  auto* watchdog = obs::active(cfg.obs.watchdog);
 
   std::size_t sweeps_done = 0;
   std::uint64_t total_rotations = 0, total_skipped = 0;
@@ -454,9 +457,10 @@ SvdResult parallel_plain_hestenes_svd(const Matrix& a,
     total_skipped += skipped.load();
     Matrix d;
     const bool need_gram = (stats != nullptr && cfg.track_convergence) ||
-                           metrics != nullptr || cfg.tolerance > 0.0;
+                           metrics != nullptr || watchdog != nullptr ||
+                           cfg.tolerance > 0.0;
     if (need_gram) d = detail::gram_upper_maybe_relaxed(r, cfg, ops);
-    detail::record_sweep_metrics(metrics, sweep, d, rotations.load(),
+    detail::record_sweep_metrics(metrics, watchdog, sweep, d, rotations.load(),
                                  skipped.load());
     if (stats != nullptr) {
       stats->total_rotations += rotations.load();
@@ -539,6 +543,7 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
 
   auto* trace = obs::active(cfg.obs.trace);
   auto* metrics = obs::active(cfg.obs.metrics);
+  auto* watchdog = obs::active(cfg.obs.watchdog);
   const auto engine_t0 = std::chrono::steady_clock::now();
   std::uint32_t coord_tid = 0, gen_tid = 0;
   std::vector<std::uint32_t> worker_tids(nt, 0);
@@ -914,7 +919,8 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
       break;
     }
     ++sweeps_done;
-    detail::record_sweep_metrics(metrics, sweep, d, sweep_rotations[sweep],
+    detail::record_sweep_metrics(metrics, watchdog, sweep, d,
+                                 sweep_rotations[sweep],
                                  sweep_skipped[sweep]);
     if (stats != nullptr) {
       stats->total_rotations += sweep_rotations[sweep];

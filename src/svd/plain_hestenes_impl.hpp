@@ -95,6 +95,7 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
   SvdResult result;
   if (stats != nullptr) *stats = HestenesStats{};
   auto* metrics = obs::active(cfg.obs.metrics);
+  auto* watchdog = obs::active(cfg.obs.watchdog);
 
   std::size_t sweeps_done = 0;
   std::uint64_t total_rotations = 0, total_skipped = 0;
@@ -129,9 +130,11 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
     total_skipped += skipped;
     Matrix d;  // Gram matrix, built only when a convergence check needs it
     const bool need_gram = (stats != nullptr && cfg.track_convergence) ||
-                           metrics != nullptr || cfg.tolerance > 0.0;
+                           metrics != nullptr || watchdog != nullptr ||
+                           cfg.tolerance > 0.0;
     if (need_gram) d = detail::gram_upper_maybe_relaxed(r, cfg, ops);
-    detail::record_sweep_metrics(metrics, sweep, d, rotations, skipped);
+    detail::record_sweep_metrics(metrics, watchdog, sweep, d, rotations,
+                                 skipped);
     if (stats != nullptr) {
       stats->total_rotations += rotations;
       stats->total_skipped += skipped;

@@ -193,6 +193,10 @@ TEST(ReportAnalyze, WrongSchemaIsSchemaError) {
   EXPECT_THROW(analyze_run(trace, trace), SchemaError);
   EXPECT_THROW(analyze_run(parse_json("{}"), metrics), SchemaError);
   EXPECT_THROW(
+      analyze_run(parse_json(R"({"schema": "hjsvd.trace.v99"})"), metrics),
+      SchemaError);
+  // v3 is a supported schema, but the tagged shape must still be present.
+  EXPECT_THROW(
       analyze_run(parse_json(R"({"schema": "hjsvd.trace.v3"})"), metrics),
       SchemaError);
   EXPECT_THROW(report_from_json(parse_json("{}")), SchemaError);
@@ -362,6 +366,152 @@ TEST(ReportMixed, TableRendersTheSwitchStory) {
   EXPECT_NE(table.find("mixed precision: 5 float + 2 double sweeps"),
             std::string::npos);
   EXPECT_NE(table.find("switched at sweep 5 (threshold"), std::string::npos);
+}
+
+// --- Live-telemetry section -----------------------------------------------
+
+// A flight-recorder trace dump (hjsvd.trace.v3) as TraceRecorder writes it
+// in ring mode: v2 plus ring/drop metadata in otherData.
+const char* kLiveTrace = R"({
+"schema": "hjsvd.trace.v3",
+"otherData": {"time_unit": "us", "software_pid": 1, "simulator_pid": 2,
+  "flight_recorder": true, "ring_capacity_events": 4096,
+  "dropped_events_total": 1150, "dropped_events_by_tid": [386, 383, 381]},
+"traceEvents": []
+})";
+
+// Watchdog verdicts as obs::Watchdog publishes them (obs.watchdog.* plus
+// the exporter's obs.dump.count).
+const char* kLiveMetrics = R"({
+"schema": "hjsvd.metrics.v1",
+"metrics": [
+  {"name": "obs.dump.count", "unit": "dumps", "type": "counter", "value": 2},
+  {"name": "obs.watchdog.deadline_exceeded", "unit": "bool", "type": "gauge", "value": 0},
+  {"name": "obs.watchdog.deadline_overruns", "unit": "events", "type": "counter", "value": 0},
+  {"name": "obs.watchdog.deadline_s", "unit": "s", "type": "gauge", "value": 30},
+  {"name": "obs.watchdog.stall_events", "unit": "events", "type": "counter", "value": 1},
+  {"name": "obs.watchdog.stall_sweeps", "unit": "sweeps", "type": "gauge", "value": 3},
+  {"name": "obs.watchdog.stalled", "unit": "bool", "type": "gauge", "value": 1},
+  {"name": "obs.watchdog.sweeps_observed", "unit": "sweeps", "type": "counter", "value": 12}
+]
+})";
+
+RunReport live_report() {
+  return analyze_run(parse_json(kLiveTrace), parse_json(kLiveMetrics));
+}
+
+TEST(ReportLive, AnalyzeFillsLiveSectionFromV3TraceAndWatchdogMetrics) {
+  const RunReport r = live_report();
+  ASSERT_TRUE(r.has_live);
+  EXPECT_TRUE(r.live_ring_enabled);
+  EXPECT_EQ(r.live_ring_capacity_events, 4096u);
+  EXPECT_EQ(r.live_dropped_events_total, 1150u);
+  ASSERT_TRUE(r.live_watchdog_present);
+  EXPECT_TRUE(r.live_watchdog_stalled);
+  EXPECT_FALSE(r.live_watchdog_deadline_exceeded);
+  EXPECT_EQ(r.live_watchdog_deadline_s, 30.0);
+  EXPECT_EQ(r.live_watchdog_stall_sweeps, 3u);
+  EXPECT_EQ(r.live_watchdog_stall_events, 1u);
+  EXPECT_EQ(r.live_watchdog_sweeps_observed, 12u);
+  EXPECT_EQ(r.live_watchdog_deadline_overruns, 0u);
+  EXPECT_EQ(r.live_dumps, 2u);
+}
+
+TEST(ReportLive, WatchdogMetricsAloneTriggerTheSection) {
+  // A watchdog run with an unbounded (v2) trace still gets a live section;
+  // the ring fields stay at their absent defaults.
+  const RunReport r = analyze_run(
+      parse_json(R"({"schema": "hjsvd.trace.v2", "traceEvents": []})"),
+      parse_json(kLiveMetrics));
+  ASSERT_TRUE(r.has_live);
+  EXPECT_FALSE(r.live_ring_enabled);
+  EXPECT_EQ(r.live_ring_capacity_events, 0u);
+  EXPECT_TRUE(r.live_watchdog_stalled);
+}
+
+TEST(ReportLive, LiveSectionRoundTrips) {
+  const RunReport a = live_report();
+  const std::string json = report_json(a);
+  EXPECT_NE(json.find("\"live\""), std::string::npos);
+  const RunReport b = report_from_json(parse_json(json));
+  ASSERT_TRUE(b.has_live);
+  EXPECT_TRUE(b.live_ring_enabled);
+  EXPECT_EQ(b.live_ring_capacity_events, 4096u);
+  EXPECT_EQ(b.live_dropped_events_total, 1150u);
+  EXPECT_TRUE(b.live_watchdog_stalled);
+  EXPECT_EQ(b.live_watchdog_deadline_s, 30.0);
+  EXPECT_EQ(b.live_dumps, 2u);
+  EXPECT_EQ(report_json(a), report_json(b));
+}
+
+TEST(ReportLive, AbsentLiveOmitsTheMemberEntirely) {
+  // Same contract as batch/mixed: no "live": null, so reports from before
+  // live telemetry keep serializing byte-for-byte (golden file enforces).
+  const std::string json = report_json(fixture_report());
+  EXPECT_EQ(json.find("\"live\""), std::string::npos);
+}
+
+TEST(ReportLive, TableRendersRingAndWatchdogVerdicts) {
+  const std::string table = report_table(live_report());
+  EXPECT_NE(table.find("flight-recorder ring, capacity 4096"),
+            std::string::npos);
+  EXPECT_NE(table.find("1150 dropped"), std::string::npos);
+  EXPECT_NE(table.find("watchdog STALLED"), std::string::npos);
+  EXPECT_NE(table.find("2 mid-run dump(s)"), std::string::npos);
+}
+
+TEST(ReportLive, CompareTreatsVerdictsAndDropsAsInvariants) {
+  RunReport baseline = live_report();
+  baseline.live_watchdog_stalled = false;
+  baseline.live_dropped_events_total = 0;
+
+  // Candidate identical to baseline: all live checks pass.
+  {
+    const CompareResult r =
+        compare_reports(baseline, baseline, CompareThresholds{});
+    EXPECT_FALSE(r.regressed);
+  }
+  // Candidate newly stalls: regression regardless of timings.
+  {
+    RunReport cand = baseline;
+    cand.live_watchdog_stalled = true;
+    const CompareResult r =
+        compare_reports(baseline, cand, CompareThresholds{});
+    EXPECT_TRUE(r.regressed);
+  }
+  // Candidate newly exceeds the deadline: regression.
+  {
+    RunReport cand = baseline;
+    cand.live_watchdog_deadline_exceeded = true;
+    const CompareResult r =
+        compare_reports(baseline, cand, CompareThresholds{});
+    EXPECT_TRUE(r.regressed);
+  }
+  // Candidate starts dropping ring events when the baseline dropped none.
+  {
+    RunReport cand = baseline;
+    cand.live_dropped_events_total = 42;
+    const CompareResult r =
+        compare_reports(baseline, cand, CompareThresholds{});
+    EXPECT_TRUE(r.regressed);
+  }
+  // Both drop (undersized ring in both runs): counts are noisy, not gated.
+  {
+    RunReport base2 = baseline;
+    base2.live_dropped_events_total = 10;
+    RunReport cand = base2;
+    cand.live_dropped_events_total = 500;
+    const CompareResult r = compare_reports(base2, cand, CompareThresholds{});
+    EXPECT_FALSE(r.regressed);
+  }
+  // A stalled baseline does not fail a still-stalled candidate.
+  {
+    RunReport base2 = baseline;
+    base2.live_watchdog_stalled = true;
+    RunReport cand = base2;
+    const CompareResult r = compare_reports(base2, cand, CompareThresholds{});
+    EXPECT_FALSE(r.regressed);
+  }
 }
 
 // --- Golden file and round trip -------------------------------------------

@@ -15,10 +15,13 @@
 //   hjsvd_cli --batch 24x16*6,64x48 --seed 7 --threads 4
 //       --trace-out trace.json --metrics-out metrics.json
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 
 #include "api/svd.hpp"
 #include "arch/accelerator_sim.hpp"
@@ -30,6 +33,7 @@
 #include "linalg/generate.hpp"
 #include "linalg/io.hpp"
 #include "linalg/simd/simd.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -104,6 +108,37 @@ std::size_t parse_count(const Cli& cli, const std::string& name,
                      "'");
   }
   return static_cast<std::size_t>(value);
+}
+
+/// Parses a non-negative integer option; 0 means "disabled"/"unbounded".
+std::size_t parse_nonneg_count(const Cli& cli, const std::string& name) {
+  const std::string raw = cli.get(name);
+  std::int64_t value = -1;
+  try {
+    value = cli.get_int(name);
+  } catch (const Error&) {
+    throw UsageError("--" + name + " expects a non-negative integer, got '" +
+                     raw + "'");
+  }
+  if (value < 0)
+    throw UsageError("--" + name + " must be >= 0, got '" + raw + "'");
+  return static_cast<std::size_t>(value);
+}
+
+/// Parses a non-negative finite number option; 0 means "disabled".
+double parse_nonneg_double(const Cli& cli, const std::string& name) {
+  const std::string raw = cli.get(name);
+  double value = -1.0;
+  try {
+    value = cli.get_double(name);
+  } catch (const Error&) {
+    throw UsageError("--" + name + " expects a number, got '" + raw + "'");
+  }
+  if (!(std::isfinite(value) && value >= 0.0))
+    throw UsageError("--" + name +
+                     " must be a non-negative finite number, got '" + raw +
+                     "'");
+  return value;
 }
 
 /// Applies --simd to the process-wide dispatch level.  "auto" keeps the
@@ -248,6 +283,22 @@ int main(int argc, char** argv) {
                    "Perfetto; see docs/OBSERVABILITY.md)");
     cli.add_option("metrics-out", "",
                    "write run metrics as hjsvd.metrics.v1 JSON");
+    cli.add_option("obs-live", "",
+                   "live-telemetry directory: snapshots.jsonl + metrics.prom "
+                   "sampled while the run is in flight, SIGUSR1-triggered "
+                   "dump_NNNN.*.json dumps, and final_trace/final_metrics "
+                   "artifacts (implies trace+metrics recording; see "
+                   "docs/OBSERVABILITY.md)");
+    cli.add_option("obs-ring-events", "0",
+                   "flight-recorder mode: per-thread trace ring capacity in "
+                   "events (drop-oldest with exact drop counters, serialized "
+                   "as hjsvd.trace.v3); 0 = unbounded v2 recording");
+    cli.add_option("obs-snapshot-ms", "100",
+                   "--obs-live sampling period in milliseconds");
+    cli.add_option("deadline-s", "0",
+                   "watchdog wall-clock budget in seconds; overruns are "
+                   "flagged (obs.watchdog.* metrics + instant trace event), "
+                   "never enforced.  0 disables");
     cli.parse(argc, argv);
 
     if (const auto shape = cli.get("generate"); !shape.empty()) {
@@ -293,15 +344,69 @@ int main(int argc, char** argv) {
         throw UsageError("--metrics-out: cannot open '" + metrics_path +
                          "' for writing");
     }
-    obs::TraceRecorder recorder;
+    const std::size_t ring_events = parse_nonneg_count(cli, "obs-ring-events");
+    const std::size_t snapshot_ms = parse_count(cli, "obs-snapshot-ms", 100);
+    const double deadline_s = parse_nonneg_double(cli, "deadline-s");
+    const auto live_dir = cli.get("obs-live");
+    obs::TraceRecorder recorder(ring_events);
     obs::MetricsRegistry registry;
     if (!trace_path.empty()) opt.trace = &recorder;
     if (!metrics_path.empty()) opt.metrics = &registry;
-    if (!obs::kEnabled && (!trace_path.empty() || !metrics_path.empty()))
+    if (!live_dir.empty()) {
+      // Live mode records unconditionally; --trace-out/--metrics-out remain
+      // optional end-of-run copies.
+      try {
+        std::filesystem::create_directories(live_dir);
+      } catch (const std::exception& e) {
+        throw UsageError("--obs-live: cannot create directory '" + live_dir +
+                         "': " + e.what());
+      }
+      opt.trace = &recorder;
+      opt.metrics = &registry;
+    }
+    std::optional<obs::Watchdog> watchdog;
+    if (!live_dir.empty() || deadline_s > 0.0) {
+      obs::Watchdog::Config wd_cfg;
+      wd_cfg.deadline_s = deadline_s;
+      watchdog.emplace(wd_cfg, opt.trace, opt.metrics);
+      opt.watchdog = &*watchdog;
+    }
+    std::unique_ptr<obs::SnapshotExporter> exporter;
+    if (!live_dir.empty()) {
+      obs::LiveConfig live_cfg;
+      live_cfg.dir = live_dir;
+      live_cfg.interval = std::chrono::milliseconds(snapshot_ms);
+      exporter = std::make_unique<obs::SnapshotExporter>(
+          live_cfg, &recorder, &registry, opt.watchdog);
+      obs::install_dump_signal_handler();
+      std::cout << "live telemetry in " << live_dir << " (every "
+                << snapshot_ms << " ms; SIGUSR1 dumps)\n";
+    }
+    if (!obs::kEnabled &&
+        (!trace_path.empty() || !metrics_path.empty() || !live_dir.empty()))
       std::cerr << "hjsvd_cli: warning: observability was compiled out "
                    "(HJSVD_OBS=0); trace/metrics outputs will be empty\n";
 
     const auto write_sinks = [&] {
+      if (exporter != nullptr) {
+        exporter->stop();
+        std::ofstream f(live_dir + "/final_trace.json");
+        recorder.write(f);
+        std::ofstream g(live_dir + "/final_metrics.json");
+        registry.write(g);
+        std::cout << "live telemetry: " << exporter->samples()
+                  << " snapshots, " << exporter->dumps() << " dumps, "
+                  << recorder.dropped_events_total()
+                  << " ring-dropped events in " << live_dir << '\n';
+      }
+      if (opt.watchdog != nullptr) {
+        if (watchdog->deadline_exceeded())
+          std::cout << "watchdog: DEADLINE EXCEEDED (budget "
+                    << format_duration(deadline_s) << ")\n";
+        if (watchdog->stalled())
+          std::cout << "watchdog: convergence stall flagged ("
+                    << watchdog->stall_events() << " episode(s))\n";
+      }
       if (!trace_path.empty()) {
         recorder.write(trace_file);
         trace_file << '\n';

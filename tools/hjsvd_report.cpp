@@ -140,7 +140,8 @@ int main(int argc, char** argv) {
           "Compare: hjsvd_report --compare BASELINE.json CANDIDATE.json "
           "(exit 3 on regression)");
   try {
-    cli.add_option("trace", "", "hjsvd.trace.v1/v2 JSON file (analyze mode)");
+    cli.add_option("trace", "",
+                   "hjsvd.trace.v1/v2/v3 JSON file (analyze mode)");
     cli.add_option("metrics", "", "hjsvd.metrics.v1 JSON file (analyze mode)");
     cli.add_option("out", "",
                    "write the hjsvd.report.v1 JSON here (default: stdout)");
