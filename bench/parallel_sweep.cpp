@@ -32,6 +32,7 @@
 #include "obs/live.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/numerics.hpp"
 #include "obs/trace.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -324,9 +325,11 @@ int main(int argc, char** argv) {
   std::cout << "JSON written to " << pipe_out << '\n';
 
   // --- Observability overhead guardrail ------------------------------------
-  // Three runs use the instrumented build (the same binary): "disabled"
+  // Four runs use the instrumented build (the same binary): "disabled"
   // detaches the sinks (the shipping default — one null-pointer test per
-  // sweep/round), "enabled" attaches a live recorder and registry, and
+  // sweep/round), "enabled" attaches a live recorder and registry,
+  // "probes" attaches a metrics registry plus the numerical-health probe
+  // at its default sampling stride (the --num-probes configuration), and
   // "live" attaches the full live-telemetry stack — a bounded
   // flight-recorder ring, a watchdog, and a SnapshotExporter thread
   // sampling into a scratch directory while the decomposition is timed.
@@ -350,9 +353,11 @@ int main(int argc, char** argv) {
         << "  \"compiled_in\": " << (obs::kEnabled ? "true" : "false")
         << ",\n  \"sizes\": [\n";
   AsciiTable otab({"n", "disabled (s)", "enabled (s)", "enabled overhead",
-                   "live (s)", "live overhead"});
+                   "probes (s)", "probes overhead", "live (s)",
+                   "live overhead"});
   otab.set_caption("Observability overhead (pipelined engine, sinks "
-                   "detached vs attached vs full live telemetry):");
+                   "detached vs attached vs numerics probes vs full live "
+                   "telemetry):");
   bool overhead_ok = true;
   const std::filesystem::path live_scratch =
       std::filesystem::temp_directory_path() / "hjsvd_bench_obs_live";
@@ -371,9 +376,9 @@ int main(int argc, char** argv) {
     // individual repetitions in both directions, and the median is
     // robust against those outliers where a min-of-sums pick is not.
     struct RepTimes {
-      double off_s, on_s, live_s;
+      double off_s, on_s, probes_s, live_s;
     };
-    SvdResult off_result, on_result, live_result;
+    SvdResult off_result, on_result, probes_result, live_result;
     std::vector<RepTimes> measured;
     for (int r = 0; r < obs_reps; ++r) {
       Timer toff;
@@ -389,6 +394,21 @@ int main(int argc, char** argv) {
         Timer ton;
         on_result = pipelined_modified_hestenes_svd(a, with, pipe);
         on_s = ton.seconds();
+      }
+      double probes_s = 0.0;
+      {
+        // Numerical-health probes at the default --num-probes stride: a
+        // metrics registry plus the sampled accuracy probe, including the
+        // finalize-time drift/backward-error pass inside the timed region
+        // (that is where --num-probes pays it).
+        obs::MetricsRegistry metrics;
+        obs::NumericsProbe probe({}, &metrics);
+        HestenesConfig with = cfg;
+        with.obs.metrics = &metrics;
+        with.obs.numerics = &probe;
+        Timer tprobes;
+        probes_result = pipelined_modified_hestenes_svd(a, with, pipe);
+        probes_s = tprobes.seconds();
       }
       double live_s = 0.0;
       {
@@ -419,7 +439,7 @@ int main(int argc, char** argv) {
         live_s = tlive.seconds();
         exporter.stop();
       }
-      measured.push_back({off_s, on_s, live_s});
+      measured.push_back({off_s, on_s, probes_s, live_s});
     }
     // Each mode gets its own median-ratio repetition: an outlier in one
     // mode must not pick the reported repetition for the other.
@@ -427,8 +447,14 @@ int main(int argc, char** argv) {
               [](const auto& x, const auto& y) {
                 return x.on_s / x.off_s < y.on_s / y.off_s;
               });
-    const auto [t_off, t_on, unused_live] = measured[measured.size() / 2];
-    static_cast<void>(unused_live);
+    const double t_off = measured[measured.size() / 2].off_s;
+    const double t_on = measured[measured.size() / 2].on_s;
+    std::sort(measured.begin(), measured.end(),
+              [](const auto& x, const auto& y) {
+                return x.probes_s / x.off_s < y.probes_s / y.off_s;
+              });
+    const double t_off_probes = measured[measured.size() / 2].off_s;
+    const double t_probes = measured[measured.size() / 2].probes_s;
     std::sort(measured.begin(), measured.end(),
               [](const auto& x, const auto& y) {
                 return x.live_s / x.off_s < y.live_s / y.off_s;
@@ -436,17 +462,26 @@ int main(int argc, char** argv) {
     const double t_off_live = measured[measured.size() / 2].off_s;
     const double t_live = measured[measured.size() / 2].live_s;
     const bool ok = values_bit_identical(off_result, on_result);
+    const bool ok_probes = values_bit_identical(off_result, probes_result);
     const bool ok_live = values_bit_identical(off_result, live_result);
     const bool within = obs::overhead_within(t_off, t_on, 0.05);
+    const bool within_probes =
+        obs::overhead_within(t_off_probes, t_probes, 0.05);
     const bool within_live = obs::overhead_within(t_off_live, t_live, 0.05);
     const double ofrac = obs::overhead_frac(t_on, t_off);
+    const double pfrac = obs::overhead_frac(t_probes, t_off_probes);
     const double lfrac = obs::overhead_frac(t_live, t_off_live);
-    all_identical = all_identical && ok && ok_live;
-    overhead_ok = overhead_ok && within && within_live;
+    all_identical = all_identical && ok && ok_probes && ok_live;
+    overhead_ok = overhead_ok && within && within_probes && within_live;
     ojson << "    {\"n\": " << n << ", \"disabled_s\": " << fmt(t_off)
           << ", \"enabled_s\": " << fmt(t_on)
           << ", \"enabled_overhead_frac\": " << fmt(ofrac)
           << ", \"within_symmetric_5pct\": " << (within ? "true" : "false")
+          << ", \"probes_s\": " << fmt(t_probes)
+          << ", \"probes_overhead_frac\": " << fmt(pfrac)
+          << ", \"probes_within_symmetric_5pct\": "
+          << (within_probes ? "true" : "false")
+          << ", \"probes_bit_identical\": " << (ok_probes ? "true" : "false")
           << ", \"live_s\": " << fmt(t_live)
           << ", \"live_overhead_frac\": " << fmt(lfrac)
           << ", \"live_within_symmetric_5pct\": "
@@ -457,6 +492,9 @@ int main(int argc, char** argv) {
     otab.add_row({std::to_string(n), fmt(t_off), fmt(t_on),
                   format_fixed(ofrac * 100.0, 1) + "%" +
                       (within ? "" : " GUARDRAIL"),
+                  fmt(t_probes),
+                  format_fixed(pfrac * 100.0, 1) + "%" +
+                      (within_probes ? "" : " GUARDRAIL"),
                   fmt(t_live),
                   format_fixed(lfrac * 100.0, 1) + "%" +
                       (within_live ? "" : " GUARDRAIL")});
@@ -475,7 +513,8 @@ int main(int argc, char** argv) {
                       "sequential runs!\n")
             << (overhead_ok
                     ? ""
-                    : "ERROR: enabled/live timings differ from disabled by "
-                      "more than the symmetric 5% overhead guardrail!\n");
+                    : "ERROR: enabled/probes/live timings differ from "
+                      "disabled by more than the symmetric 5% overhead "
+                      "guardrail!\n");
   return (all_identical && overhead_ok) ? 0 : 1;
 }

@@ -20,8 +20,13 @@ Two subcommands:
       walks every numeric leaf shared by both documents: keys ending in
       "_per_s" are higher-is-better throughputs and fail on a drop beyond
       --max-slowdown (default 0.10); other keys ending in "_s" are
-      lower-is-better timings and fail on the mirrored slowdown.  Any
-      true->false flip of a boolean invariant leaf fails.
+      lower-is-better timings and fail on the mirrored slowdown.  Keys
+      ending in "_error" or "_drift" are higher-is-worse accuracy leaves
+      (the svd.num.* probes): they fail when the new value exceeds the old
+      by --max-accuracy-regress (default 0.50) relatively AND by the
+      absolute --accuracy-noise-floor (default 1e-12) — two rounding-level
+      values cannot produce a spurious relative finding.  Any true->false
+      flip of a boolean invariant leaf fails.
 
 Exit code 0 = gate passed, 1 = check failed, 2 = usage/compat error,
 3 = regression detected by compare.
@@ -98,7 +103,9 @@ def cmd_check(paths: list[str]) -> int:
     return 1 if problems else 0
 
 
-def cmd_compare(old_path: str, new_path: str, max_slowdown: float) -> int:
+def cmd_compare(old_path: str, new_path: str, max_slowdown: float,
+                max_accuracy_regress: float = 0.50,
+                accuracy_noise_floor: float = 1e-12) -> int:
     old, new = load(old_path), load(new_path)
 
     if old.get("bench") != new.get("bench"):
@@ -149,6 +156,22 @@ def cmd_compare(old_path: str, new_path: str, max_slowdown: float) -> int:
         if not isinstance(old_value, (int, float)) \
                 or not isinstance(new_value, (int, float)):
             continue
+        # Accuracy leaves (backward error, orthogonality drift): higher is
+        # worse, with an absolute noise floor so rounding-level baselines
+        # cannot yield spurious relative regressions.  Matched before the
+        # timing suffixes (neither ends in "_s", but the explicit order
+        # documents precedence).
+        if leaf.endswith("_error") or leaf.endswith("_drift"):
+            if old_value < 0 or new_value < 0:
+                continue  # -1 sentinel: measure not recorded on that side
+            compared += 1
+            limit = max(old_value * (1.0 + max_accuracy_regress),
+                        old_value + accuracy_noise_floor)
+            if new_value > limit:
+                regressions.append(
+                    f"{key}: {old_value:g} -> {new_value:g} "
+                    f"(limit {limit:g}, accuracy is higher-is-worse)")
+            continue
         # "_per_s" also ends with "_s": throughput must be matched first or
         # higher-is-better leaves would be gated as lower-is-better timings.
         if leaf.endswith("_per_s") and old_value > 0:
@@ -185,10 +208,17 @@ def main() -> int:
     p_cmp.add_argument("new")
     p_cmp.add_argument("--max-slowdown", type=float, default=0.10,
                        help="tolerated fractional slowdown (default 0.10)")
+    p_cmp.add_argument("--max-accuracy-regress", type=float, default=0.50,
+                       help="tolerated fractional accuracy-leaf growth "
+                            "(default 0.50)")
+    p_cmp.add_argument("--accuracy-noise-floor", type=float, default=1e-12,
+                       help="absolute accuracy slack treated as rounding "
+                            "noise (default 1e-12)")
     args = ap.parse_args()
     if args.cmd == "check":
         return cmd_check(args.files)
-    return cmd_compare(args.old, args.new, args.max_slowdown)
+    return cmd_compare(args.old, args.new, args.max_slowdown,
+                       args.max_accuracy_regress, args.accuracy_noise_floor)
 
 
 if __name__ == "__main__":

@@ -155,6 +155,63 @@ class BenchGateCompare(unittest.TestCase):
         self.assertEqual(self.compare(new), 2)
 
 
+class BenchGateAccuracy(unittest.TestCase):
+    """Accuracy leaves (*_error / *_drift) are higher-is-worse gates."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def make(self, name: str, backward=2.5e-10, drift=4.0e-15) -> str:
+        return make_bench(self.tmp.name, name,
+                          **{"sizes.0.backward_error": backward,
+                             "sizes.0.orthogonality_drift": drift})
+
+    def compare(self, old: str, new: str, **kwargs) -> int:
+        return bench_gate.cmd_compare(old, new, 0.10, **kwargs)
+
+    def test_identical_accuracy_passes(self):
+        old = self.make("old.json")
+        new = self.make("new.json")
+        self.assertEqual(self.compare(old, new), 0)
+
+    def test_backward_error_growth_fails(self):
+        old = self.make("old.json")
+        new = self.make("new.json", backward=1.0e-6)
+        self.assertEqual(self.compare(old, new), 3)
+
+    def test_drift_growth_fails(self):
+        old = self.make("old.json")
+        new = self.make("new.json", drift=1.0e-8)
+        self.assertEqual(self.compare(old, new), 3)
+
+    def test_improvement_passes(self):
+        old = self.make("old.json")
+        new = self.make("new.json", backward=1.0e-12, drift=1.0e-16)
+        self.assertEqual(self.compare(old, new), 0)
+
+    def test_noise_floor_absorbs_rounding_level_growth(self):
+        # 10x relative growth, but both values sit below the absolute
+        # noise floor: rounding jitter, not a regression.
+        old = self.make("old.json", backward=1.0e-14)
+        new = self.make("new.json", backward=1.0e-13)
+        self.assertEqual(self.compare(old, new), 0)
+
+    def test_sentinel_skips_comparison(self):
+        # -1 means "not recorded on that side": never a finding.
+        old = self.make("old.json", backward=-1.0)
+        new = self.make("new.json", backward=1.0e-3)
+        self.assertEqual(self.compare(old, new), 0)
+
+    def test_tighter_threshold_trips(self):
+        old = self.make("old.json", backward=1.0e-9)
+        new = self.make("new.json", backward=1.3e-9)
+        self.assertEqual(self.compare(old, new), 0)  # +30% < default 50%
+        self.assertEqual(
+            self.compare(old, new, max_accuracy_regress=0.10,
+                         accuracy_noise_floor=1e-15), 3)
+
+
 class BenchGateCheck(unittest.TestCase):
     def setUp(self):
         self.tmp = tempfile.TemporaryDirectory()
@@ -410,6 +467,148 @@ class ValidateObsSnapshots(unittest.TestCase):
         self.assert_clean_fail(self.run_validate(
             [self.snap(0, 100.0, dropped_events=5),
              self.snap(1, 200.0, dropped_events=4)]))
+
+
+class ValidateObsNumerics(unittest.TestCase):
+    """--numerics cross-checks the svd.num.* namespace and report section."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def run_validate(self, *extra_args) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, os.path.join(SCRIPTS_DIR, "validate_obs.py"),
+             *extra_args],
+            capture_output=True, text=True)
+
+    def write_metrics(self, overrides=None, drop=()):
+        metrics = {
+            "svd.num.samples": ("counter", "pairs", 16),
+            "svd.num.nonfinite.events": ("counter", "events", 1),
+            "svd.num.cancellation.events": ("counter", "events", 2),
+            "svd.num.angle.hist.0": ("counter", "pairs", 10),
+            "svd.num.angle.hist.7": ("counter", "pairs", 5),
+            "svd.num.angle.tiny_frac": ("gauge", "1", 0.5),
+            "svd.num.angle.near_pi4_frac": ("gauge", "1", 0.33),
+            "svd.num.cancellation.frac": ("gauge", "1", 0.13),
+            "svd.num.stride": ("gauge", "pairs", 8),
+            "svd.num.cond.estimate": ("gauge", "1", 1.0e6),
+            "svd.num.finalize.backward_error": ("gauge", "1", 3.0e-10),
+            "obs.watchdog.divergence": ("gauge", "bool", 0),
+        }
+        metrics.update(overrides or {})
+        for name in drop:
+            del metrics[name]
+        doc = {"schema": "hjsvd.metrics.v1",
+               "metrics": [{"name": n, "type": t, "unit": u, "value": v}
+                           for n, (t, u, v) in sorted(metrics.items())]}
+        path = os.path.join(self.tmp.name, "metrics.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def write_report(self, num_overrides=None, drop_numerics=False):
+        numerics = {
+            "samples": 16, "stride": 8, "nonfinite_events": 1,
+            "cancellation_events": 2, "divergence_events": 0,
+            "cancellation_frac": 0.13, "tiny_angle_frac": 0.5,
+            "near_pi4_frac": 0.33, "angle_hist": [10, 0, 0, 0, 0, 0, 0, 5],
+            "cond_estimate": 1.0e6, "orthogonality_drift": 4.0e-15,
+            "backward_error": 3.0e-10, "watchdog_divergence": False,
+            "watchdog_orthogonality": False,
+        }
+        numerics.update(num_overrides or {})
+        doc = {
+            "schema": "hjsvd.report.v1",
+            "run": {"rows": 64, "cols": 32, "sweeps": 2, "converged": True,
+                    "wall_s": 0.5},
+            "phases": [{"cat": "svd", "name": "sweep", "total_s": 0.4,
+                        "count": 2, "frac_of_wall": 0.8}],
+            "cross_checks": {"generator_busy_frac": 0.02,
+                             "generator_is_bottleneck": False},
+        }
+        if not drop_numerics:
+            doc["numerics"] = numerics
+        path = os.path.join(self.tmp.name, "report.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def assert_clean_fail(self, proc):
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("validate_obs: FAIL", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_well_formed_metrics_pass(self):
+        proc = self.run_validate("--metrics", self.write_metrics(),
+                                 "--numerics")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_metrics_without_probes_fail(self):
+        path = self.write_metrics(drop=("svd.num.samples",))
+        self.assert_clean_fail(
+            self.run_validate("--metrics", path, "--numerics"))
+
+    def test_plain_mode_ignores_numerics_namespace(self):
+        # Without --numerics, a probe-free metrics file is fine.
+        path = self.write_metrics(drop=("svd.num.samples",))
+        proc = self.run_validate("--metrics", path)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_histogram_sum_mismatch_fails(self):
+        path = self.write_metrics(
+            {"svd.num.angle.hist.0": ("counter", "pairs", 9)})
+        self.assert_clean_fail(
+            self.run_validate("--metrics", path, "--numerics"))
+
+    def test_fraction_out_of_range_fails(self):
+        path = self.write_metrics(
+            {"svd.num.angle.tiny_frac": ("gauge", "1", 1.5)})
+        self.assert_clean_fail(
+            self.run_validate("--metrics", path, "--numerics"))
+
+    def test_zero_stride_fails(self):
+        path = self.write_metrics({"svd.num.stride": ("gauge", "pairs", 0)})
+        self.assert_clean_fail(
+            self.run_validate("--metrics", path, "--numerics"))
+
+    def test_non_binary_verdict_gauge_fails(self):
+        path = self.write_metrics(
+            {"obs.watchdog.divergence": ("gauge", "bool", 2)})
+        self.assert_clean_fail(
+            self.run_validate("--metrics", path, "--numerics"))
+
+    def test_well_formed_report_passes(self):
+        proc = self.run_validate("--report", self.write_report(),
+                                 "--numerics")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_report_without_numerics_section_fails(self):
+        path = self.write_report(drop_numerics=True)
+        self.assert_clean_fail(
+            self.run_validate("--report", path, "--numerics"))
+
+    def test_report_sentinel_accuracy_leaves_pass(self):
+        path = self.write_report({"orthogonality_drift": -1.0,
+                                  "backward_error": -1.0})
+        proc = self.run_validate("--report", path, "--numerics")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_report_negative_accuracy_leaf_fails(self):
+        path = self.write_report({"backward_error": -0.5})
+        self.assert_clean_fail(
+            self.run_validate("--report", path, "--numerics"))
+
+    def test_report_non_boolean_verdict_fails(self):
+        path = self.write_report({"watchdog_divergence": 1})
+        self.assert_clean_fail(
+            self.run_validate("--report", path, "--numerics"))
+
+    def test_numerics_without_inputs_is_usage_error(self):
+        proc = self.run_validate("--numerics", "--snapshots",
+                                 os.devnull)
+        self.assertEqual(proc.returncode, 2, proc.stderr)
 
 
 if __name__ == "__main__":

@@ -19,6 +19,12 @@ JSON (hjsvd.metrics.v1), a live snapshot stream
     object; seq strictly increasing, elapsed_us non-decreasing, counter
     values non-decreasing per name, dropped_events non-decreasing.
   * Report: run/phases/cross_checks blocks present with sane types.
+  * Numerics (--numerics): the svd.num.* namespace emitted by the
+    numerical-health probes is internally consistent — angle-histogram
+    buckets summing (with non-finite events) to the sample counter,
+    fractions inside [0, 1], stride >= 1, condition estimate >= 1,
+    watchdog verdict gauges 0/1 — and, when --report is given, the
+    report's "numerics" section is present with the same invariants.
   * Optionally, that a list of required span names / metric names occurs.
 
 Exit code 0 = valid, 1 = validation failure, 2 = usage error.
@@ -29,6 +35,8 @@ Usage:
       --require-metric svd.sweep.offdiag_frobenius
   scripts/validate_obs.py --report report.json
   scripts/validate_obs.py --snapshots live/snapshots.jsonl
+  scripts/validate_obs.py --metrics metrics.json --report report.json \
+      --numerics
 """
 from __future__ import annotations
 
@@ -308,6 +316,126 @@ def check_report(path: str) -> None:
     print(f"validate_obs: {path}: OK ({len(phases)} phases)")
 
 
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_numerics_metrics(path: str) -> None:
+    """Cross-checks the svd.num.* namespace inside a metrics document."""
+    doc = load(path)
+    by_name = {m.get("name"): m for m in doc.get("metrics", [])
+               if isinstance(m, dict)}
+
+    samples_m = by_name.get("svd.num.samples")
+    if samples_m is None:
+        fail(f"{path}: --numerics requires the svd.num.samples counter "
+             f"(was the run made with probes enabled?)")
+    samples = samples_m.get("value")
+    if not _numeric(samples) or samples < 0:
+        fail(f"{path}: svd.num.samples value malformed: {samples!r}")
+
+    def counter_value(name: str) -> float:
+        # Delta publishing never materialises a zero counter: absent = 0.
+        m = by_name.get(name)
+        if m is None:
+            return 0.0
+        if m.get("type") != "counter" or not _numeric(m.get("value")):
+            fail(f"{path}: {name!r} is not a numeric counter: {m!r}")
+        return m["value"]
+
+    nonfinite = counter_value("svd.num.nonfinite.events")
+    counter_value("svd.num.cancellation.events")
+    counter_value("svd.num.divergence.events")
+
+    # Histogram buckets, together with the non-finite rejects, must account
+    # for every sampled pair.  Empty buckets are simply absent (delta
+    # publishing), so scan a generous index range instead of stopping at the
+    # first gap.
+    hist = []
+    for b in range(64):
+        m = by_name.get(f"svd.num.angle.hist.{b}")
+        if m is None:
+            continue
+        if not _numeric(m.get("value")) or m["value"] < 0:
+            fail(f"{path}: angle bucket {b} malformed: {m!r}")
+        hist.append(m["value"])
+    if samples > 0 and samples > nonfinite and not hist:
+        fail(f"{path}: svd.num.samples is {samples} but no "
+             f"svd.num.angle.hist.* buckets were emitted")
+    if sum(hist) + nonfinite != samples:
+        fail(f"{path}: angle histogram sums to {sum(hist)} + {nonfinite} "
+             f"non-finite != {samples} samples")
+
+    for name in ("svd.num.angle.tiny_frac", "svd.num.angle.near_pi4_frac",
+                 "svd.num.cancellation.frac"):
+        m = by_name.get(name)
+        if m is None:
+            fail(f"{path}: --numerics requires gauge {name!r}")
+        v = m.get("value")
+        if not _numeric(v) or not 0.0 <= v <= 1.0:
+            fail(f"{path}: {name!r} outside [0, 1]: {v!r}")
+
+    stride = by_name.get("svd.num.stride", {}).get("value")
+    if not _numeric(stride) or stride < 1:
+        fail(f"{path}: svd.num.stride must be >= 1, got {stride!r}")
+    cond = by_name.get("svd.num.cond.estimate", {}).get("value")
+    if not _numeric(cond) or cond < 1.0:
+        fail(f"{path}: svd.num.cond.estimate must be >= 1, got {cond!r}")
+
+    # Finalize-time accuracy gauges and watchdog verdicts are optional
+    # (value-free runs / quiet watchdog), but must be sane when present.
+    for name in ("svd.num.finalize.v_orthogonality_drift",
+                 "svd.num.finalize.backward_error"):
+        if name in by_name:
+            v = by_name[name].get("value")
+            if not _numeric(v) or v < 0.0:
+                fail(f"{path}: {name!r} must be non-negative: {v!r}")
+    for name in ("obs.watchdog.divergence", "obs.watchdog.orthogonality"):
+        if name in by_name:
+            v = by_name[name].get("value")
+            if v not in (0, 1, 0.0, 1.0):
+                fail(f"{path}: verdict gauge {name!r} must be 0/1: {v!r}")
+    print(f"validate_obs: {path}: numerics OK "
+          f"({int(samples)} samples, {len(hist)} angle buckets)")
+
+
+def check_numerics_report(path: str) -> None:
+    """Validates the "numerics" section of an hjsvd.report.v1 document."""
+    doc = load(path)
+    num = doc.get("numerics")
+    if not isinstance(num, dict):
+        fail(f"{path}: --numerics requires a \"numerics\" report section "
+             f"(was the run made with probes enabled?)")
+    for field in ("samples", "stride", "nonfinite_events",
+                  "cancellation_events", "divergence_events"):
+        if not _numeric(num.get(field)) or num[field] < 0:
+            fail(f"{path}: numerics.{field} malformed: {num.get(field)!r}")
+    for field in ("cancellation_frac", "tiny_angle_frac", "near_pi4_frac"):
+        v = num.get(field)
+        if not _numeric(v) or not 0.0 <= v <= 1.0:
+            fail(f"{path}: numerics.{field} outside [0, 1]: {v!r}")
+    hist = num.get("angle_hist")
+    if not isinstance(hist, list) or any(not _numeric(h) or h < 0
+                                         for h in hist):
+        fail(f"{path}: numerics.angle_hist malformed: {hist!r}")
+    if sum(hist) + num["nonfinite_events"] != num["samples"]:
+        fail(f"{path}: numerics.angle_hist sums to {sum(hist)} + "
+             f"{num['nonfinite_events']} non-finite != {num['samples']} "
+             f"samples")
+    # Accuracy leaves use -1 as the not-recorded sentinel.
+    for field in ("orthogonality_drift", "backward_error"):
+        v = num.get(field)
+        if not _numeric(v) or (v < 0.0 and v != -1.0):
+            fail(f"{path}: numerics.{field} must be >= 0 or the -1 "
+                 f"sentinel: {v!r}")
+    for field in ("watchdog_divergence", "watchdog_orthogonality"):
+        if not isinstance(num.get(field), bool):
+            fail(f"{path}: numerics.{field} must be a boolean: "
+                 f"{num.get(field)!r}")
+    print(f"validate_obs: {path}: report numerics OK "
+          f"({num['samples']} samples)")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="trace-event JSON to validate")
@@ -328,18 +456,30 @@ def main() -> int:
         default=[],
         help="metric name that must appear in the metrics (repeatable)",
     )
+    ap.add_argument(
+        "--numerics",
+        action="store_true",
+        help="additionally validate the svd.num.* probe namespace in "
+             "--metrics and/or the numerics section in --report",
+    )
     args = ap.parse_args()
     if not args.trace and not args.metrics and not args.snapshots \
             and not args.report:
         ap.error("need --trace, --metrics, --snapshots and/or --report")
+    if args.numerics and not args.metrics and not args.report:
+        ap.error("--numerics needs --metrics and/or --report to inspect")
     if args.trace:
         check_trace(args.trace, args.require_span)
     if args.metrics:
         check_metrics(args.metrics, args.require_metric)
+        if args.numerics:
+            check_numerics_metrics(args.metrics)
     if args.snapshots:
         check_snapshots(args.snapshots)
     if args.report:
         check_report(args.report)
+        if args.numerics:
+            check_numerics_report(args.report)
     return 0
 
 

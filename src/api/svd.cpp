@@ -111,6 +111,7 @@ SvdResult svd(const Matrix& a, const SvdOptions& options) {
   hj.obs.trace = options.trace;
   hj.obs.metrics = options.metrics;
   hj.obs.watchdog = options.watchdog;
+  hj.obs.numerics = options.numerics;
   ParallelSweepConfig par;
   par.threads = options.threads;
   switch (options.method) {
@@ -184,6 +185,10 @@ std::vector<SvdResult> svd_batch(const std::vector<Matrix>& batch,
   per_item.metrics = nullptr;
   per_item.watchdog = nullptr;  // per-item sweep series interleave; only the
                                 // deadline is meaningful at batch scope
+  // The numerics probe stays attached: its aggregates (counters, histogram,
+  // watermarks) are order-independent and mutex-protected, so concurrent
+  // items feed one probe safely and the batch-level signature is
+  // deterministic even though the feeding order is not.
   auto* trace = obs::active(options.trace);
   auto* metrics = obs::active(options.metrics);
   auto* watchdog = obs::active(options.watchdog);

@@ -89,6 +89,15 @@ struct SvdOptions {
   /// stall detection meaningless) and polls only the deadline between
   /// items.  Like the sinks, it never changes the arithmetic.
   obs::Watchdog* watchdog = nullptr;
+  /// Numerical-health probe (src/obs/numerics.hpp): the Hestenes-family
+  /// methods feed it sampled pre-rotation pair values, per-sweep
+  /// off-diagonal mass, and the finalized result (orthogonality drift /
+  /// backward error, skipped when U/V are absent).  Baseline methods
+  /// ignore it.  Unlike the other sinks, svd_batch() keeps it attached to
+  /// every item: the probe's aggregates are order-independent and
+  /// internally locked, so concurrent workers feed one probe safely.
+  /// Read-only observer — results stay bitwise identical probes on or off.
+  obs::NumericsProbe* numerics = nullptr;
 };
 
 /// Decomposes an arbitrary m x n matrix.  Throws hjsvd::Error for invalid

@@ -82,6 +82,13 @@ void Watchdog::publish_locked() {
   metrics_->gauge_set("obs.watchdog.stalled", "bool", stalled_ ? 1.0 : 0.0);
   metrics_->gauge_set("obs.watchdog.deadline_exceeded", "bool",
                       deadline_exceeded_ ? 1.0 : 0.0);
+  metrics_->gauge_set("obs.watchdog.divergence", "bool",
+                      divergence_ ? 1.0 : 0.0);
+  metrics_->gauge_set("obs.watchdog.orthogonality", "bool",
+                      orthogonality_ ? 1.0 : 0.0);
+  if (orthogonality_)
+    metrics_->gauge_set("obs.watchdog.orthogonality_drift", "1",
+                        orthogonality_drift_);
   metrics_->gauge_set("obs.watchdog.deadline_s", "s", config_.deadline_s);
   metrics_->gauge_set("obs.watchdog.stall_sweeps", "sweeps",
                       static_cast<double>(config_.stall_sweeps));
@@ -117,9 +124,44 @@ void Watchdog::on_sweep(double offdiag_norm) {
     consecutive_flat_ = 0;
     in_stall_episode_ = false;
   }
+  // Divergence is distinct from a stall: off-diagonal mass actively
+  // *increasing* (beyond the rounding-noise margin) means the convergence
+  // argument is running backwards.  Sticky, like every other verdict.
+  if (has_last_ && offdiag_diverged(offdiag_norm, last_offdiag_)) {
+    if (metrics_ != nullptr)
+      metrics_->counter_add("obs.watchdog.divergence_events", "events", 1);
+    if (!divergence_) {
+      divergence_ = true;
+      if (trace_ != nullptr) {
+        trace_->emit_instant(trace_tid_locked(), "obs", "watchdog.divergence",
+                             trace_->now_us(),
+                             ArgsBuilder()
+                                 .add("sweep", sweeps_observed_)
+                                 .add("offdiag", offdiag_norm)
+                                 .add("last_offdiag", last_offdiag_)
+                                 .str());
+      }
+    }
+  }
   has_last_ = true;
   last_offdiag_ = offdiag_norm;
   check_deadline_locked();
+  publish_locked();
+}
+
+void Watchdog::flag_orthogonality(double drift) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  orthogonality_drift_ = drift;
+  if (!orthogonality_) {
+    orthogonality_ = true;
+    if (metrics_ != nullptr)
+      metrics_->counter_add("obs.watchdog.orthogonality_events", "events", 1);
+    if (trace_ != nullptr) {
+      trace_->emit_instant(trace_tid_locked(), "obs",
+                           "watchdog.orthogonality", trace_->now_us(),
+                           ArgsBuilder().add("drift", drift).str());
+    }
+  }
   publish_locked();
 }
 
@@ -156,6 +198,16 @@ bool Watchdog::stalled() const {
 bool Watchdog::deadline_exceeded() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return deadline_exceeded_;
+}
+
+bool Watchdog::divergence() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return divergence_;
+}
+
+bool Watchdog::orthogonality() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return orthogonality_;
 }
 
 std::uint64_t Watchdog::stall_events() const {
@@ -290,6 +342,13 @@ void SnapshotExporter::write_prometheus() {
   const std::vector<MetricsRegistry::ScalarSample> scalars =
       metrics_ != nullptr ? metrics_->scalar_snapshot()
                           : std::vector<MetricsRegistry::ScalarSample>{};
+  const auto emit_gauge = [&prom](const std::string& name, double value,
+                                  const char* unit) {
+    prom << "# HELP " << name << " unit: " << unit << '\n';
+    prom << "# TYPE " << name << " gauge\n";
+    prom << name << ' ' << (std::isfinite(value) ? json_number(value) : "NaN")
+         << '\n';
+  };
   for (const auto& s : scalars) {
     const std::string name = prometheus_name(s.name);
     prom << "# HELP " << name << " unit: "
@@ -302,6 +361,29 @@ void SnapshotExporter::write_prometheus() {
       prom << name << ' '
            << (std::isfinite(s.value) ? json_number(s.value) : "NaN") << '\n';
     }
+  }
+  // The sticky watchdog verdicts must reach a scraper even when the
+  // watchdog has no metrics sink of its own (the exporter may be the only
+  // sink that saw it): emit any verdict gauge the registry walk above did
+  // not already cover.
+  if (watchdog_ != nullptr) {
+    const auto seen = [&scalars](std::string_view name) {
+      for (const auto& s : scalars)
+        if (s.name == name) return true;
+      return false;
+    };
+    if (!seen("obs.watchdog.stalled"))
+      emit_gauge(prometheus_name("obs.watchdog.stalled"),
+                 watchdog_->stalled() ? 1.0 : 0.0, "bool");
+    if (!seen("obs.watchdog.deadline_exceeded"))
+      emit_gauge(prometheus_name("obs.watchdog.deadline_exceeded"),
+                 watchdog_->deadline_exceeded() ? 1.0 : 0.0, "bool");
+    if (!seen("obs.watchdog.divergence"))
+      emit_gauge(prometheus_name("obs.watchdog.divergence"),
+                 watchdog_->divergence() ? 1.0 : 0.0, "bool");
+    if (!seen("obs.watchdog.orthogonality"))
+      emit_gauge(prometheus_name("obs.watchdog.orthogonality"),
+                 watchdog_->orthogonality() ? 1.0 : 0.0, "bool");
   }
 }
 

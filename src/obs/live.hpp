@@ -55,6 +55,19 @@ namespace hjsvd::obs {
 /// Schema tag of every line in the snapshot JSONL stream.
 inline constexpr const char* kSnapshotsSchema = "hjsvd.metrics-snapshots.v1";
 
+/// A sweep's off-diagonal mass counts as "diverging" only beyond this
+/// relative margin: the last sweeps of a converged run sit at rounding
+/// noise, where a bit-level uptick is not divergence.  Shared between
+/// Watchdog::on_sweep (sticky verdict) and NumericsProbe::observe_sweep
+/// (event counter) so the two always agree.
+inline constexpr double kDivergenceRelMargin = 1e-9;
+
+inline bool offdiag_diverged(double current, double last) {
+  // NaN compares false: a non-finite off-diagonal norm is the watchdog's
+  // stall case, not the divergence case.
+  return current > last * (1.0 + kDivergenceRelMargin);
+}
+
 /// Flags convergence stalls and wall-clock deadline overruns while a run is
 /// still in flight.  Thread-safe; all verdicts are sticky (once flagged,
 /// they stay flagged for the lifetime of the watchdog).  With null sinks it
@@ -84,10 +97,22 @@ class Watchdog {
   /// interleave and stall detection would be meaningless).
   void check_deadline();
 
+  /// Flags the sticky orthogonality verdict: the numerics probe measured a
+  /// V-orthogonality drift above its tolerance at finalize
+  /// (src/obs/numerics.hpp).  Publishes obs.watchdog.orthogonality plus the
+  /// measured drift and emits an instant trace event on the first flag.
+  void flag_orthogonality(double drift);
+
   /// True once `stall_sweeps` consecutive non-improving sweeps were seen.
   bool stalled() const;
   /// True once the wall-clock deadline was exceeded (and deadline_s > 0).
   bool deadline_exceeded() const;
+  /// True once a sweep's off-diagonal mass *increased* beyond the
+  /// kDivergenceRelMargin relative margin — the convergence argument
+  /// running backwards.
+  bool divergence() const;
+  /// True once flag_orthogonality was called.
+  bool orthogonality() const;
   /// Number of distinct stall episodes flagged so far.
   std::uint64_t stall_events() const;
   /// Total sweeps observed via on_sweep().
@@ -112,6 +137,9 @@ class Watchdog {
   bool in_stall_episode_ = false;
   bool stalled_ = false;
   bool deadline_exceeded_ = false;
+  bool divergence_ = false;
+  bool orthogonality_ = false;
+  double orthogonality_drift_ = 0.0;
   std::uint64_t stall_events_ = 0;
   std::uint64_t sweeps_observed_ = 0;
 };

@@ -1,0 +1,268 @@
+#include "obs/numerics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "obs/live.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hjsvd::obs {
+namespace {
+
+constexpr double kPiOver4 = 0.78539816339744830962;
+
+}  // namespace
+
+NumericsProbe::NumericsProbe(const Config& config, MetricsRegistry* metrics,
+                             TraceRecorder* trace, Watchdog* watchdog)
+    : config_(config), metrics_(metrics), trace_(trace), watchdog_(watchdog) {
+  if (config_.stride == 0) config_.stride = 1;
+  const std::lock_guard<std::mutex> lock(mu_);
+  publish_locked();
+}
+
+std::uint32_t NumericsProbe::trace_tid_locked() {
+  if (!trace_registered_) {
+    trace_tid_ = trace_->register_thread("numerics");
+    trace_registered_ = true;
+  }
+  return trace_tid_;
+}
+
+void NumericsProbe::observe_pair(double dii, double djj, double cov) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++samples_;
+  if (!(std::isfinite(dii) && std::isfinite(djj) && std::isfinite(cov))) {
+    ++nonfinite_events_;
+    return;
+  }
+  const double adii = std::fabs(dii);
+  const double adjj = std::fabs(djj);
+  const double diff = std::fabs(djj - dii);
+  const double amax = std::max(adii, adjj);
+
+  // Cancellation severity on the rotation inputs: the hardware formula's
+  // denominator is djj - dii, so a relative difference near rounding level
+  // means the computed angle carries few correct bits.
+  if (amax > 0.0) {
+    const double rel = diff / amax;
+    if (rel < config_.cancellation_rel) {
+      ++cancellation_events_;
+      worst_cancellation_rel_ = std::min(worst_cancellation_rel_, rel);
+    }
+  }
+
+  // The one-sided Jacobi angle in [0, pi/4], derived without calling
+  // compute_rotation (whose finiteness guard throws): tan(2 theta) =
+  // 2|cov| / |djj - dii|.
+  const double theta = 0.5 * std::atan2(2.0 * std::fabs(cov), diff);
+  const auto bucket = std::min<std::size_t>(
+      kAngleBuckets - 1,
+      static_cast<std::size_t>(theta / kPiOver4 *
+                               static_cast<double>(kAngleBuckets)));
+  ++angle_hist_[bucket];
+  if (theta < config_.tiny_angle_rad) ++tiny_angle_count_;
+  if (theta > config_.near_pi4_frac * kPiOver4) ++near_pi4_count_;
+
+  // Exponent watermarks and the running condition estimate over the Gram
+  // diagonal (squared column norms): halving ilogb gives the column norm's
+  // binary exponent without a sqrt on the sampling path.
+  for (const double v : {adii, adjj}) {
+    if (!(v > 0.0)) continue;
+    const int e = std::ilogb(v) / 2;
+    if (!has_diag_) {
+      diag_min_ = diag_max_ = v;
+      norm_exp_min_ = norm_exp_max_ = e;
+      has_diag_ = true;
+    } else {
+      diag_min_ = std::min(diag_min_, v);
+      diag_max_ = std::max(diag_max_, v);
+      norm_exp_min_ = std::min(norm_exp_min_, e);
+      norm_exp_max_ = std::max(norm_exp_max_, e);
+    }
+  }
+}
+
+void NumericsProbe::observe_sweep(std::size_t sweep, double offdiag_frobenius) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++sweeps_observed_;
+  // A sweep-0 observation starts a new run on a reused probe: forget the
+  // previous run's trailing mass so the restart's (typically larger)
+  // off-diagonal does not register as divergence.  Interleaved feeders
+  // (svd_batch) make this counter approximate by construction; the sticky
+  // verdict lives in the per-run Watchdog, not here.
+  if (sweep == 0) has_last_offdiag_ = false;
+  if (has_last_offdiag_ && offdiag_diverged(offdiag_frobenius, last_offdiag_))
+    ++divergence_events_;
+  has_last_offdiag_ = true;
+  last_offdiag_ = offdiag_frobenius;
+  publish_locked();
+}
+
+void NumericsProbe::observe_finalize(const Matrix& a, const SvdResult& result) {
+  // The O(n^2) / O(mnk) accuracy measures run outside the probe lock — they
+  // only read the caller's finished result.
+  double drift = -1.0;
+  double backward = -1.0;
+  double cond_sigma = -1.0;
+  if (!result.v.empty()) drift = orthogonality_error(result.v);
+  if (!result.u.empty() && !result.v.empty())
+    backward = reconstruction_error(a, result);
+  if (!result.singular_values.empty()) {
+    const double smax = result.singular_values.front();
+    const double smin = result.singular_values.back();
+    if (smin > 0.0 && std::isfinite(smax)) cond_sigma = smax / smin;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    condition_sigma_ = cond_sigma;
+    orthogonality_drift_ = drift;
+    backward_error_ = backward;
+    publish_locked();
+    if (trace_ != nullptr) {
+      trace_->emit_instant(trace_tid_locked(), "obs", "num.finalize",
+                           trace_->now_us(),
+                           ArgsBuilder()
+                               .add("orthogonality_drift", drift)
+                               .add("backward_error", backward)
+                               .add("condition_sigma", cond_sigma)
+                               .str());
+    }
+  }
+  // Outside the probe lock: the watchdog has its own mutex and never calls
+  // back into the probe, but keeping the two locks disjoint is free here.
+  if (watchdog_ != nullptr && drift >= 0.0 && drift > config_.orthogonality_tol)
+    watchdog_->flag_orthogonality(drift);
+}
+
+void NumericsProbe::publish_locked() {
+  if (metrics_ == nullptr) return;
+  const auto counter_sync = [&](const char* name, const char* unit,
+                                std::uint64_t total, std::uint64_t& published) {
+    if (total > published) {
+      metrics_->counter_add(name, unit, total - published);
+      published = total;
+    }
+  };
+  counter_sync("svd.num.samples", "pairs", samples_, pub_samples_);
+  counter_sync("svd.num.nonfinite.events", "events", nonfinite_events_,
+               pub_nonfinite_);
+  counter_sync("svd.num.cancellation.events", "events", cancellation_events_,
+               pub_cancellation_);
+  counter_sync("svd.num.divergence.events", "events", divergence_events_,
+               pub_divergence_);
+  for (std::size_t b = 0; b < kAngleBuckets; ++b) {
+    const std::string name = "svd.num.angle.hist." + std::to_string(b);
+    if (angle_hist_[b] > pub_angle_hist_[b]) {
+      metrics_->counter_add(name, "pairs", angle_hist_[b] - pub_angle_hist_[b]);
+      pub_angle_hist_[b] = angle_hist_[b];
+    }
+  }
+
+  metrics_->gauge_set("svd.num.stride", "pairs",
+                      static_cast<double>(config_.stride));
+  const std::uint64_t finite = samples_ - nonfinite_events_;
+  const double denom = finite > 0 ? static_cast<double>(finite) : 1.0;
+  metrics_->gauge_set("svd.num.angle.tiny_frac", "1",
+                      static_cast<double>(tiny_angle_count_) / denom);
+  metrics_->gauge_set("svd.num.angle.near_pi4_frac", "1",
+                      static_cast<double>(near_pi4_count_) / denom);
+  metrics_->gauge_set("svd.num.cancellation.frac", "1",
+                      static_cast<double>(cancellation_events_) / denom);
+  metrics_->gauge_set("svd.num.cancellation.worst_rel", "1",
+                      worst_cancellation_rel_);
+  metrics_->gauge_set("svd.num.cond.estimate", "1",
+                      has_diag_ ? std::sqrt(diag_max_ / diag_min_) : 1.0);
+  if (has_diag_) {
+    metrics_->gauge_set("svd.num.norm.exp_min", "exp2",
+                        static_cast<double>(norm_exp_min_));
+    metrics_->gauge_set("svd.num.norm.exp_max", "exp2",
+                        static_cast<double>(norm_exp_max_));
+  }
+  if (condition_sigma_ >= 0.0)
+    metrics_->gauge_set("svd.num.cond.sigma", "1", condition_sigma_);
+  if (orthogonality_drift_ >= 0.0)
+    metrics_->gauge_set("svd.num.finalize.v_orthogonality_drift", "1",
+                        orthogonality_drift_);
+  if (backward_error_ >= 0.0)
+    metrics_->gauge_set("svd.num.finalize.backward_error", "1",
+                        backward_error_);
+}
+
+std::uint64_t NumericsProbe::samples() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+std::uint64_t NumericsProbe::cancellation_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return cancellation_events_;
+}
+
+std::uint64_t NumericsProbe::nonfinite_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return nonfinite_events_;
+}
+
+std::uint64_t NumericsProbe::divergence_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return divergence_events_;
+}
+
+std::array<std::uint64_t, NumericsProbe::kAngleBuckets>
+NumericsProbe::angle_histogram() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return angle_hist_;
+}
+
+double NumericsProbe::tiny_angle_frac() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t finite = samples_ - nonfinite_events_;
+  return finite > 0
+             ? static_cast<double>(tiny_angle_count_) /
+                   static_cast<double>(finite)
+             : 0.0;
+}
+
+double NumericsProbe::near_pi4_frac() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t finite = samples_ - nonfinite_events_;
+  return finite > 0
+             ? static_cast<double>(near_pi4_count_) /
+                   static_cast<double>(finite)
+             : 0.0;
+}
+
+double NumericsProbe::cancellation_frac() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t finite = samples_ - nonfinite_events_;
+  return finite > 0
+             ? static_cast<double>(cancellation_events_) /
+                   static_cast<double>(finite)
+             : 0.0;
+}
+
+double NumericsProbe::condition_estimate() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return has_diag_ ? std::sqrt(diag_max_ / diag_min_) : 1.0;
+}
+
+double NumericsProbe::condition_sigma() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return condition_sigma_;
+}
+
+double NumericsProbe::orthogonality_drift() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return orthogonality_drift_;
+}
+
+double NumericsProbe::backward_error() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return backward_error_;
+}
+
+}  // namespace hjsvd::obs

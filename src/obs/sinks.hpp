@@ -20,15 +20,19 @@ namespace hjsvd::obs {
 class TraceRecorder;
 class MetricsRegistry;
 class Watchdog;
+class NumericsProbe;
 
-/// The optional sinks an engine records into.  Copyable, three pointers;
+/// The optional sinks an engine records into.  Copyable, four pointers;
 /// all null by default (observability off).  The watchdog is fed per-sweep
 /// convergence progress so stalls and deadline overruns are flagged while
-/// the run is still in flight (src/obs/live.hpp).
+/// the run is still in flight (src/obs/live.hpp); the numerics probe is
+/// fed sampled rotation pairs, per-sweep off-diagonal mass and finalize
+/// accuracy measures (src/obs/numerics.hpp).
 struct ObsContext {
   TraceRecorder* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
   Watchdog* watchdog = nullptr;
+  NumericsProbe* numerics = nullptr;
 };
 
 #if !defined(HJSVD_OBS) || HJSVD_OBS

@@ -308,6 +308,51 @@ void fill_live(const JsonValue& trace_doc, const MetricsView& metrics,
       static_cast<std::uint64_t>(metrics.value_or("obs.dump.count", 0.0));
 }
 
+void fill_numerics(const MetricsView& metrics, RunReport* report) {
+  if (!metrics.has("svd.num.samples")) return;
+  report->has_numerics = true;
+  const auto u64 = [&](std::string_view name) {
+    return static_cast<std::uint64_t>(metrics.value_or(name, 0.0));
+  };
+  report->num_samples = u64("svd.num.samples");
+  report->num_stride = u64("svd.num.stride");
+  report->num_nonfinite_events = u64("svd.num.nonfinite.events");
+  report->num_cancellation_events = u64("svd.num.cancellation.events");
+  report->num_divergence_events = u64("svd.num.divergence.events");
+  report->num_cancellation_frac =
+      metrics.value_or("svd.num.cancellation.frac", 0.0);
+  report->num_cancellation_worst_rel =
+      metrics.value_or("svd.num.cancellation.worst_rel", 1.0);
+  report->num_tiny_angle_frac = metrics.value_or("svd.num.angle.tiny_frac", 0.0);
+  report->num_near_pi4_frac =
+      metrics.value_or("svd.num.angle.near_pi4_frac", 0.0);
+  for (std::size_t b = 0;; ++b) {
+    const std::string name = "svd.num.angle.hist." + std::to_string(b);
+    if (!metrics.has(name)) break;
+    report->num_angle_hist.push_back(u64(name));
+  }
+  report->num_cond_estimate = metrics.value_or("svd.num.cond.estimate", 1.0);
+  report->num_cond_sigma = metrics.value_or("svd.num.cond.sigma", -1.0);
+  report->num_has_norm_exp = metrics.has("svd.num.norm.exp_min");
+  if (report->num_has_norm_exp) {
+    report->num_norm_exp_min = metrics.value_or("svd.num.norm.exp_min", 0.0);
+    report->num_norm_exp_max = metrics.value_or("svd.num.norm.exp_max", 0.0);
+  }
+  // Off-diagonal decrease ratio: derived offline from the per-sweep series
+  // every engine already records, so the probe carries no duplicate state.
+  const auto frob = metrics.series_values("svd.sweep.offdiag_frobenius");
+  if (frob.size() >= 2 && frob.front() > 0.0)
+    report->num_offdiag_decrease_ratio = frob.back() / frob.front();
+  report->num_orthogonality_drift =
+      metrics.value_or("svd.num.finalize.v_orthogonality_drift", -1.0);
+  report->num_backward_error =
+      metrics.value_or("svd.num.finalize.backward_error", -1.0);
+  report->num_watchdog_divergence =
+      metrics.value_or("obs.watchdog.divergence", 0.0) != 0.0;
+  report->num_watchdog_orthogonality =
+      metrics.value_or("obs.watchdog.orthogonality", 0.0) != 0.0;
+}
+
 void fill_convergence(const MetricsView& metrics, RunReport* report) {
   const auto frob = metrics.series_points("svd.sweep.offdiag_frobenius");
   const auto rel = metrics.series_points("svd.sweep.max_rel_offdiag");
@@ -402,6 +447,7 @@ RunReport analyze_run(const JsonValue& trace_doc,
   fill_batch(metrics, &report);
   fill_mixed(metrics, &report);
   fill_live(trace_doc, metrics, &report);
+  fill_numerics(metrics, &report);
   fill_convergence(metrics, &report);
   fill_cross_checks(&report);
   return report;
@@ -511,6 +557,37 @@ std::string report_json(const RunReport& r) {
        << ", \"watchdog_deadline_overruns\": "
        << r.live_watchdog_deadline_overruns
        << ", \"dumps\": " << r.live_dumps << "},\n";
+  }
+  // Like batch/mixed/live, the numerics member is omitted entirely when
+  // absent.
+  if (r.has_numerics) {
+    os << "\"numerics\": {\"samples\": " << r.num_samples
+       << ", \"stride\": " << r.num_stride
+       << ", \"nonfinite_events\": " << r.num_nonfinite_events
+       << ", \"cancellation_events\": " << r.num_cancellation_events
+       << ", \"divergence_events\": " << r.num_divergence_events
+       << ", \"cancellation_frac\": " << json_number(r.num_cancellation_frac)
+       << ", \"cancellation_worst_rel\": "
+       << json_number(r.num_cancellation_worst_rel)
+       << ", \"tiny_angle_frac\": " << json_number(r.num_tiny_angle_frac)
+       << ", \"near_pi4_frac\": " << json_number(r.num_near_pi4_frac)
+       << ", \"angle_hist\": [";
+    for (std::size_t b = 0; b < r.num_angle_hist.size(); ++b)
+      os << (b == 0 ? "" : ", ") << r.num_angle_hist[b];
+    os << "], \"cond_estimate\": " << json_number(r.num_cond_estimate)
+       << ", \"cond_sigma\": " << json_number(r.num_cond_sigma);
+    if (r.num_has_norm_exp) {
+      os << ", \"norm_exp_min\": " << json_number(r.num_norm_exp_min)
+         << ", \"norm_exp_max\": " << json_number(r.num_norm_exp_max);
+    }
+    os << ", \"offdiag_decrease_ratio\": "
+       << json_number(r.num_offdiag_decrease_ratio)
+       << ", \"orthogonality_drift\": "
+       << json_number(r.num_orthogonality_drift)
+       << ", \"backward_error\": " << json_number(r.num_backward_error)
+       << ", \"watchdog_divergence\": " << json_bool(r.num_watchdog_divergence)
+       << ", \"watchdog_orthogonality\": "
+       << json_bool(r.num_watchdog_orthogonality) << "},\n";
   }
   os << "\"convergence\": [";
   for (std::size_t i = 0; i < r.convergence.size(); ++i) {
@@ -637,6 +714,30 @@ std::string report_table(const RunReport& r) {
       }
     }
     if (r.live_dumps > 0) os << "; " << r.live_dumps << " mid-run dump(s)";
+    os << "\n\n";
+  }
+
+  if (r.has_numerics) {
+    os << "numerics: " << r.num_samples << " sampled pairs (stride "
+       << r.num_stride << "), cancellation " << pct(r.num_cancellation_frac)
+       << " (worst rel " << format_sci(r.num_cancellation_worst_rel)
+       << "), tiny-angle " << pct(r.num_tiny_angle_frac) << ", near-pi/4 "
+       << pct(r.num_near_pi4_frac) << ", cond est "
+       << format_sci(r.num_cond_estimate);
+    if (r.num_cond_sigma >= 0.0)
+      os << " (sigma " << format_sci(r.num_cond_sigma) << ")";
+    if (r.num_offdiag_decrease_ratio >= 0.0)
+      os << ", offdiag decrease " << format_sci(r.num_offdiag_decrease_ratio);
+    if (r.num_orthogonality_drift >= 0.0)
+      os << ", V drift " << format_sci(r.num_orthogonality_drift);
+    if (r.num_backward_error >= 0.0)
+      os << ", backward error " << format_sci(r.num_backward_error);
+    os << "; verdicts: divergence "
+       << (r.num_watchdog_divergence ? "FLAGGED" : "clear")
+       << ", orthogonality "
+       << (r.num_watchdog_orthogonality ? "FLAGGED" : "clear");
+    if (r.num_nonfinite_events > 0)
+      os << "; " << r.num_nonfinite_events << " NON-FINITE event(s)";
     os << "\n\n";
   }
 
@@ -793,6 +894,46 @@ RunReport report_from_json(const JsonValue& doc) {
     r.live_watchdog_deadline_overruns = u64("watchdog_deadline_overruns");
     r.live_dumps = u64("dumps");
   }
+  if (const JsonValue* num = doc.find("numerics");
+      num != nullptr && num->is_object()) {
+    r.has_numerics = true;
+    const auto flag = [&](const char* name) {
+      const JsonValue* v = num->find(name);
+      return v != nullptr && v->as_bool();
+    };
+    const auto u64 = [&](const char* name) {
+      return static_cast<std::uint64_t>(num->number_or(name, 0.0));
+    };
+    r.num_samples = u64("samples");
+    r.num_stride = u64("stride");
+    r.num_nonfinite_events = u64("nonfinite_events");
+    r.num_cancellation_events = u64("cancellation_events");
+    r.num_divergence_events = u64("divergence_events");
+    r.num_cancellation_frac = num->number_or("cancellation_frac", 0.0);
+    r.num_cancellation_worst_rel =
+        num->number_or("cancellation_worst_rel", 1.0);
+    r.num_tiny_angle_frac = num->number_or("tiny_angle_frac", 0.0);
+    r.num_near_pi4_frac = num->number_or("near_pi4_frac", 0.0);
+    if (const JsonValue* hist = num->find("angle_hist");
+        hist != nullptr && hist->is_array()) {
+      for (const JsonValue& b : hist->as_array())
+        r.num_angle_hist.push_back(
+            static_cast<std::uint64_t>(b.as_number()));
+    }
+    r.num_cond_estimate = num->number_or("cond_estimate", 1.0);
+    r.num_cond_sigma = num->number_or("cond_sigma", -1.0);
+    r.num_has_norm_exp = num->find("norm_exp_min") != nullptr;
+    if (r.num_has_norm_exp) {
+      r.num_norm_exp_min = num->number_or("norm_exp_min", 0.0);
+      r.num_norm_exp_max = num->number_or("norm_exp_max", 0.0);
+    }
+    r.num_offdiag_decrease_ratio =
+        num->number_or("offdiag_decrease_ratio", -1.0);
+    r.num_orthogonality_drift = num->number_or("orthogonality_drift", -1.0);
+    r.num_backward_error = num->number_or("backward_error", -1.0);
+    r.num_watchdog_divergence = flag("watchdog_divergence");
+    r.num_watchdog_orthogonality = flag("watchdog_orthogonality");
+  }
   if (const JsonValue* conv = doc.find("convergence");
       conv != nullptr && conv->is_array()) {
     for (const JsonValue& p : conv->as_array()) {
@@ -900,6 +1041,42 @@ CompareResult compare_reports(const RunReport& baseline,
           std::string("generator_is_bottleneck ") +
               (baseline.generator_is_bottleneck ? "true" : "false") + " -> " +
               (candidate.generator_is_bottleneck ? "true" : "false"));
+  }
+
+  // Accuracy leaves (numerics section): higher is worse, gated exactly as
+  // timings — relative regression fraction with an absolute noise floor so
+  // two rounding-level values cannot produce a spurious "50% worse".  A
+  // value of -1 means the run did not record the measure (values-only run);
+  // compare only when both sides have it.
+  if (baseline.has_numerics && candidate.has_numerics) {
+    const auto check_accuracy = [&](const char* label, double base,
+                                    double cand) {
+      if (base < 0.0 || cand < 0.0) return;
+      const double limit =
+          std::max(base * (1.0 + thresholds.max_accuracy_regress_frac),
+                   base + thresholds.accuracy_noise_floor);
+      check(cand > limit, std::string(label) + " " + format_sci(base) +
+                              " -> " + format_sci(cand) + " (limit " +
+                              format_sci(limit) + ")");
+    };
+    check_accuracy("numerics backward_error", baseline.num_backward_error,
+                   candidate.num_backward_error);
+    check_accuracy("numerics orthogonality_drift",
+                   baseline.num_orthogonality_drift,
+                   candidate.num_orthogonality_drift);
+    // Verdict invariants: false -> true flips are regressions, like the
+    // live watchdog verdicts below.
+    check(!baseline.num_watchdog_divergence &&
+              candidate.num_watchdog_divergence,
+          std::string("numerics watchdog_divergence ") +
+              (baseline.num_watchdog_divergence ? "true" : "false") + " -> " +
+              (candidate.num_watchdog_divergence ? "true" : "false"));
+    check(!baseline.num_watchdog_orthogonality &&
+              candidate.num_watchdog_orthogonality,
+          std::string("numerics watchdog_orthogonality ") +
+              (baseline.num_watchdog_orthogonality ? "true" : "false") +
+              " -> " +
+              (candidate.num_watchdog_orthogonality ? "true" : "false"));
   }
 
   // Live-telemetry invariants, not timings: a candidate must not introduce

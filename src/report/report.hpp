@@ -159,6 +159,35 @@ struct RunReport {
   std::uint64_t live_watchdog_deadline_overruns = 0;
   std::uint64_t live_dumps = 0;  // mid-run dumps serviced (obs.dump.count)
 
+  // Numerical-health section (sampled accuracy probes; src/obs/numerics.hpp,
+  // svd.num.* metrics).  Present when the run recorded probe samples.  Like
+  // batch/mixed/live, the member is omitted from the JSON entirely when
+  // absent, so pre-probe reports re-serialize byte-for-byte.
+  // compare_reports gates the accuracy leaves (backward error, orthogonality
+  // drift — higher is worse) and the two verdicts (false → true flips are
+  // regressions) exactly as it gates timings.
+  bool has_numerics = false;
+  std::uint64_t num_samples = 0;            // sampled rotation pairs
+  std::uint64_t num_stride = 0;             // configured sampling stride
+  std::uint64_t num_nonfinite_events = 0;   // non-finite pair inputs seen
+  std::uint64_t num_cancellation_events = 0;
+  std::uint64_t num_divergence_events = 0;  // off-diagonal mass upticks
+  double num_cancellation_frac = 0.0;       // events / finite samples
+  double num_cancellation_worst_rel = 1.0;  // smallest |djj-dii|/max seen
+  double num_tiny_angle_frac = 0.0;         // near-converged pair share
+  double num_near_pi4_frac = 0.0;           // ill-separated pair share
+  std::vector<std::uint64_t> num_angle_hist;  // 8 buckets over [0, pi/4]
+  double num_cond_estimate = 1.0;           // sqrt(max/min column norm^2)
+  double num_cond_sigma = -1.0;             // sigma_max/sigma_min (-1: n/a)
+  double num_norm_exp_min = 0.0;            // column-norm exponent watermarks
+  double num_norm_exp_max = 0.0;
+  bool num_has_norm_exp = false;
+  double num_offdiag_decrease_ratio = -1.0;  // last/first sweep mass (-1: n/a)
+  double num_orthogonality_drift = -1.0;     // ||V^T V - I||_max (-1: n/a)
+  double num_backward_error = -1.0;  // ||A - U S V^T||_F / ||A||_F (-1: n/a)
+  bool num_watchdog_divergence = false;      // sticky verdicts (obs.watchdog.*)
+  bool num_watchdog_orthogonality = false;
+
   std::vector<ConvergencePoint> convergence;
 
   // Cross-checks (derived; what PR 3 concluded by reading bench stdout).
@@ -196,6 +225,12 @@ struct CompareThresholds {
   std::uint64_t max_sweep_increase = 0;    // convergence must not degrade
   double max_rotation_increase_frac = 0.05;
   double max_stall_increase_frac = 0.25;   // total stall seconds (pipelined)
+  // Accuracy leaves (numerics section): higher is worse.  A candidate may
+  // exceed the baseline by the relative fraction, or by the absolute noise
+  // floor when both values sit at rounding level (a 3e-17 → 5e-17 "50%
+  // regression" is noise, not a finding).
+  double max_accuracy_regress_frac = 0.50;
+  double accuracy_noise_floor = 1e-12;
 };
 
 struct CompareResult {

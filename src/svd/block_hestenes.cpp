@@ -93,6 +93,9 @@ SvdResult block_hestenes_svd(const Matrix& a, const BlockHestenesConfig& cfg,
   std::uint64_t total_rotations = 0, total_skipped = 0;
   auto* metrics = obs::active(cfg.obs.metrics);
   auto* watchdog = obs::active(cfg.obs.watchdog);
+  // Per-pair values are internal to orthogonalize_union, so the block
+  // engine feeds the probe at sweep/finalize granularity only.
+  auto* numerics = obs::active(cfg.obs.numerics);
   const fp::NativeOps ops;
   for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
     std::uint64_t rotations = 0, skipped = 0;
@@ -107,10 +110,10 @@ SvdResult block_hestenes_svd(const Matrix& a, const BlockHestenesConfig& cfg,
     Matrix d;
     const bool need_gram = (stats != nullptr && cfg.track_convergence) ||
                            metrics != nullptr || watchdog != nullptr ||
-                           cfg.tolerance > 0.0;
+                           numerics != nullptr || cfg.tolerance > 0.0;
     if (need_gram) d = gram_upper_ops(r, ops);
-    detail::record_sweep_metrics(metrics, watchdog, sweep, d, rotations,
-                                 skipped);
+    detail::record_sweep_metrics(metrics, watchdog, numerics, sweep, d,
+                                 rotations, skipped);
     if (stats != nullptr) {
       stats->total_rotations += rotations;
       stats->total_skipped += skipped;
@@ -167,6 +170,7 @@ SvdResult block_hestenes_svd(const Matrix& a, const BlockHestenesConfig& cfg,
     }
     result.v = std::move(v_sorted);
   }
+  if (numerics != nullptr) numerics->observe_finalize(a, result);
   return result;
 }
 

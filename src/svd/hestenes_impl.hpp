@@ -351,6 +351,7 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
   auto* trace = obs::active(cfg.obs.trace);
   auto* metrics = obs::active(cfg.obs.metrics);
   auto* watchdog = obs::active(cfg.obs.watchdog);
+  auto* numerics = obs::active(cfg.obs.numerics);
   const std::uint32_t tid =
       trace != nullptr ? trace->register_thread("hestenes (sequential)") : 0;
 
@@ -377,6 +378,7 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
 
   std::size_t sweeps_done = 0;
   std::uint64_t total_rotations = 0, total_skipped = 0;
+  std::uint64_t pair_seq = 0;  // numerics-probe sampling index
   for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
     obs::Span sweep_span;
     if (trace != nullptr)
@@ -384,6 +386,11 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
                              obs::ArgsBuilder().add("sweep", sweep).str());
     std::uint64_t rotations = 0, skipped = 0;
     for (const auto& [i, j] : pairs) {
+      // Probe reads happen before apply_pair mutates the pair's entries;
+      // pure reads, so the arithmetic is untouched.
+      if (numerics != nullptr && numerics->want(pair_seq))
+        numerics->observe_pair(d(i, i), d(j, j), d(i, j));
+      ++pair_seq;
       if (detail::apply_pair(d, need_v ? &v : nullptr, cfg, i, j, ops)) {
         ++rotations;
       } else {
@@ -399,8 +406,8 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
       if (cfg.track_convergence)
         stats->sweeps.push_back(detail::make_record(d, rotations, skipped));
     }
-    detail::record_sweep_metrics(metrics, watchdog, sweep, d, rotations,
-                                 skipped);
+    detail::record_sweep_metrics(metrics, watchdog, numerics, sweep, d,
+                                 rotations, skipped);
     if (cfg.tolerance > 0.0 && max_relative_offdiag(d) < cfg.tolerance) {
       result.converged = true;
       break;
@@ -416,6 +423,7 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
   if (trace != nullptr) finalize_span = obs::Span(trace, tid, "svd", "finalize");
   detail::finalize_gram_result(a, d, v, cfg, result, ops);
   finalize_span.end();
+  if (numerics != nullptr) numerics->observe_finalize(a, result);
   detail::record_run_metrics(metrics, m, n, sweeps_done, total_rotations,
                              total_skipped, result.converged);
   return result;

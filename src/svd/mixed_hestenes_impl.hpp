@@ -97,11 +97,16 @@ SvdResult mixed_modified_hestenes_svd_t(const Matrix& a,
   auto* trace = obs::active(cfg.base.obs.trace);
   auto* metrics = obs::active(cfg.base.obs.metrics);
   auto* watchdog = obs::active(cfg.base.obs.watchdog);
+  auto* numerics = obs::active(cfg.base.obs.numerics);
   const std::uint32_t tid =
       trace != nullptr ? trace->register_thread("hestenes (mixed)") : 0;
 
   if (stats != nullptr) *stats = MixedHestenesStats{};
   const auto pairs = sweep_pairs(cfg.base.ordering, n);
+  // One sampling sequence spanning both precision phases; float-phase
+  // entries are widened to double for the probe (a read-only view — the
+  // engine's own float arithmetic is untouched).
+  std::uint64_t pair_seq = 0;
 
   // ---------------------------------------------------------------- float
   // phase.  Works on B = A * 2^-e (e = exponent of max |a_ij|), so the
@@ -152,6 +157,11 @@ SvdResult mixed_modified_hestenes_svd_t(const Matrix& a,
             obs::ArgsBuilder().add("sweep", sweep).str());
       std::uint64_t rotations = 0, skipped = 0;
       for (const auto& [i, j] : pairs) {
+        if (numerics != nullptr && numerics->want(pair_seq))
+          numerics->observe_pair(static_cast<double>(d32(i, i)),
+                                 static_cast<double>(d32(j, j)),
+                                 static_cast<double>(d32(i, j)));
+        ++pair_seq;
         if (detail::apply_pair(d32, &v32, cfg.base, i, j, opsf)) {
           ++rotations;
         } else {
@@ -172,7 +182,7 @@ SvdResult mixed_modified_hestenes_svd_t(const Matrix& a,
           stats->sweeps.sweeps.push_back(rec);
         }
       }
-      detail::record_sweep_metrics(metrics, watchdog, sweep,
+      detail::record_sweep_metrics(metrics, watchdog, numerics, sweep,
                                    detail::offdiag_frobenius_t(d32), measure,
                                    rotations, skipped);
       offdiag_at_switch = measure;
@@ -239,6 +249,9 @@ SvdResult mixed_modified_hestenes_svd_t(const Matrix& a,
           obs::ArgsBuilder().add("sweep", float_sweeps + sweep).str());
     std::uint64_t rotations = 0, skipped = 0;
     for (const auto& [i, j] : pairs) {
+      if (numerics != nullptr && numerics->want(pair_seq))
+        numerics->observe_pair(d(i, i), d(j, j), d(i, j));
+      ++pair_seq;
       if (detail::apply_pair(d, &v, cfg.base, i, j, opsd)) {
         ++rotations;
       } else {
@@ -255,8 +268,8 @@ SvdResult mixed_modified_hestenes_svd_t(const Matrix& a,
         stats->sweeps.sweeps.push_back(
             detail::make_record(d, rotations, skipped));
     }
-    detail::record_sweep_metrics(metrics, watchdog, float_sweeps + sweep, d,
-                                 rotations, skipped);
+    detail::record_sweep_metrics(metrics, watchdog, numerics,
+                                 float_sweeps + sweep, d, rotations, skipped);
     if (cfg.base.tolerance > 0.0 &&
         max_relative_offdiag(d) < cfg.base.tolerance) {
       result.converged = true;
@@ -280,6 +293,7 @@ SvdResult mixed_modified_hestenes_svd_t(const Matrix& a,
     finalize_span = obs::Span(trace, tid, "svd", "finalize");
   detail::finalize_gram_result(a, d, v, cfg.base, result, opsd);
   finalize_span.end();
+  if (numerics != nullptr) numerics->observe_finalize(a, result);
 
   detail::record_run_metrics(metrics, m, n, result.sweeps, total_rotations,
                              total_skipped, result.converged);

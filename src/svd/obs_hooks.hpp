@@ -16,6 +16,7 @@
 #include "linalg/kernels.hpp"
 #include "obs/live.hpp"
 #include "obs/metrics.hpp"
+#include "obs/numerics.hpp"
 #include "obs/trace.hpp"
 
 namespace hjsvd::detail {
@@ -24,13 +25,18 @@ namespace hjsvd::detail {
 /// sweep number.  Deterministic across engines and thread counts (the
 /// engines are bitwise identical).  This value overload serves engines whose
 /// working matrix is not a double Matrix (the mixed engine's float phase
-/// computes the measures itself, in double, and passes them in).
+/// computes the measures itself, in double, and passes them in).  The
+/// numerics probe, when attached, gets the same off-diagonal mass (it
+/// publishes its per-pair aggregates at this sweep granularity).
 inline void record_sweep_metrics(obs::MetricsRegistry* metrics,
-                                 obs::Watchdog* watchdog, std::size_t sweep,
-                                 double offdiag_frob, double max_rel_offdiag,
+                                 obs::Watchdog* watchdog,
+                                 obs::NumericsProbe* numerics,
+                                 std::size_t sweep, double offdiag_frob,
+                                 double max_rel_offdiag,
                                  std::uint64_t rotations,
                                  std::uint64_t skipped) {
   if (watchdog != nullptr) watchdog->on_sweep(offdiag_frob);
+  if (numerics != nullptr) numerics->observe_sweep(sweep, offdiag_frob);
   if (metrics == nullptr) return;
   const auto idx = static_cast<double>(sweep);
   metrics->series_append("svd.sweep.offdiag_frobenius", "1", idx,
@@ -44,12 +50,15 @@ inline void record_sweep_metrics(obs::MetricsRegistry* metrics,
 }
 
 inline void record_sweep_metrics(obs::MetricsRegistry* metrics,
-                                 obs::Watchdog* watchdog, std::size_t sweep,
-                                 const Matrix& d, std::uint64_t rotations,
+                                 obs::Watchdog* watchdog,
+                                 obs::NumericsProbe* numerics,
+                                 std::size_t sweep, const Matrix& d,
+                                 std::uint64_t rotations,
                                  std::uint64_t skipped) {
-  if (metrics == nullptr && watchdog == nullptr) return;
-  record_sweep_metrics(metrics, watchdog, sweep, offdiag_frobenius(d),
-                       max_relative_offdiag(d), rotations, skipped);
+  if (metrics == nullptr && watchdog == nullptr && numerics == nullptr) return;
+  record_sweep_metrics(metrics, watchdog, numerics, sweep,
+                       offdiag_frobenius(d), max_relative_offdiag(d),
+                       rotations, skipped);
 }
 
 /// Whole-run summary: problem shape, sweep count, rotation totals.

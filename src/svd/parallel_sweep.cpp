@@ -201,6 +201,7 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
   auto* trace = obs::active(cfg.obs.trace);
   auto* metrics = obs::active(cfg.obs.metrics);
   auto* watchdog = obs::active(cfg.obs.watchdog);
+  auto* numerics = obs::active(cfg.obs.numerics);
   const std::uint32_t tid =
       trace != nullptr ? trace->register_thread("blocked engine (coordinator)")
                        : 0;
@@ -236,6 +237,7 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
 
   std::size_t sweeps_done = 0;
   std::uint64_t total_rotations = 0, total_skipped = 0;
+  std::uint64_t pair_seq = 0;  // numerics-probe sampling index
   for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
     obs::Span sweep_span;
     if (trace != nullptr)
@@ -272,6 +274,11 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
           const std::size_t i = plan.slots[p].cols[0];
           const std::size_t j = plan.slots[p].cols[1];
           const double cov = d(i, j);
+          // The generate phase is serial and reads pre-update values:
+          // exactly the sampling site the probe wants.
+          if (numerics != nullptr && numerics->want(pair_seq))
+            numerics->observe_pair(d(i, i), d(j, j), cov);
+          ++pair_seq;
           if (detail::below_threshold(cov, d(i, i), d(j, j),
                                       cfg.rotation_threshold)) {
             ++skipped;
@@ -305,6 +312,9 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
           const std::size_t i = plan.slots[p].cols[0];
           const std::size_t j = plan.slots[p].cols[1];
           const double cov = d(i, j);
+          if (numerics != nullptr && numerics->want(pair_seq))
+            numerics->observe_pair(d(i, i), d(j, j), cov);
+          ++pair_seq;
           if (detail::below_threshold(cov, d(i, i), d(j, j),
                                       cfg.rotation_threshold)) {
             ++skipped;
@@ -372,8 +382,8 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
       if (cfg.track_convergence)
         stats->sweeps.push_back(detail::make_record(d, rotations, skipped));
     }
-    detail::record_sweep_metrics(metrics, watchdog, sweep, d, rotations,
-                                 skipped);
+    detail::record_sweep_metrics(metrics, watchdog, numerics, sweep, d,
+                                 rotations, skipped);
     if (cfg.tolerance > 0.0 && max_relative_offdiag(d) < cfg.tolerance) {
       result.converged = true;
       break;
@@ -389,6 +399,7 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
     finalize_span = obs::Span(trace, tid, "svd", "finalize");
   detail::finalize_gram_result(a, d, v, cfg, result, ops);
   finalize_span.end();
+  if (numerics != nullptr) numerics->observe_finalize(a, result);
   detail::record_run_metrics(metrics, m, n, sweeps_done, total_rotations,
                              total_skipped, result.converged);
   return result;
@@ -416,6 +427,9 @@ SvdResult parallel_plain_hestenes_svd(const Matrix& a,
   if (stats != nullptr) *stats = HestenesStats{};
   auto* metrics = obs::active(cfg.obs.metrics);
   auto* watchdog = obs::active(cfg.obs.watchdog);
+  // Per-pair norms live inside the parallel region here, so the plain
+  // engine feeds the probe at sweep/finalize granularity only.
+  auto* numerics = obs::active(cfg.obs.numerics);
 
   std::size_t sweeps_done = 0;
   std::uint64_t total_rotations = 0, total_skipped = 0;
@@ -458,10 +472,10 @@ SvdResult parallel_plain_hestenes_svd(const Matrix& a,
     Matrix d;
     const bool need_gram = (stats != nullptr && cfg.track_convergence) ||
                            metrics != nullptr || watchdog != nullptr ||
-                           cfg.tolerance > 0.0;
+                           numerics != nullptr || cfg.tolerance > 0.0;
     if (need_gram) d = detail::gram_upper_maybe_relaxed(r, cfg, ops);
-    detail::record_sweep_metrics(metrics, watchdog, sweep, d, rotations.load(),
-                                 skipped.load());
+    detail::record_sweep_metrics(metrics, watchdog, numerics, sweep, d,
+                                 rotations.load(), skipped.load());
     if (stats != nullptr) {
       stats->total_rotations += rotations.load();
       stats->total_skipped += skipped.load();
@@ -484,6 +498,7 @@ SvdResult parallel_plain_hestenes_svd(const Matrix& a,
                              total_skipped, result.converged);
 
   detail::finalize_column_result(r, v, cfg, result, ops);
+  if (numerics != nullptr) numerics->observe_finalize(a, result);
   return result;
 }
 
@@ -544,6 +559,7 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
   auto* trace = obs::active(cfg.obs.trace);
   auto* metrics = obs::active(cfg.obs.metrics);
   auto* watchdog = obs::active(cfg.obs.watchdog);
+  auto* numerics = obs::active(cfg.obs.numerics);
   const auto engine_t0 = std::chrono::steady_clock::now();
   std::uint32_t coord_tid = 0, gen_tid = 0;
   std::vector<std::uint32_t> worker_tids(nt, 0);
@@ -688,6 +704,10 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
   // --- The rotation component --------------------------------------------
   std::thread generator([&] {
     const ScopeTimer lifetime(&gen_elapsed_s);
+    // Only the generator reads pre-rotation D entries, and it walks pairs
+    // in program order — so the probe's sampling sequence is deterministic
+    // even though the engine is threaded.
+    std::uint64_t pair_seq = 0;
     try {
       for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
         if (!timed_spin_until(
@@ -737,6 +757,9 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
             const std::size_t j = plan.slots[p].cols[1];
             SlotRotation sr;
             const double cov = d(i, j);
+            if (numerics != nullptr && numerics->want(pair_seq))
+              numerics->observe_pair(d(i, i), d(j, j), cov);
+            ++pair_seq;
             if (detail::below_threshold(cov, d(i, i), d(j, j),
                                         cfg.rotation_threshold)) {
               ++skipped;
@@ -919,7 +942,7 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
       break;
     }
     ++sweeps_done;
-    detail::record_sweep_metrics(metrics, watchdog, sweep, d,
+    detail::record_sweep_metrics(metrics, watchdog, numerics, sweep, d,
                                  sweep_rotations[sweep],
                                  sweep_skipped[sweep]);
     if (stats != nullptr) {
@@ -991,6 +1014,7 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
     finalize_span = obs::Span(trace, coord_tid, "svd", "finalize");
   detail::finalize_gram_result(a, d, v, cfg, result, ops);
   finalize_span.end();
+  if (numerics != nullptr) numerics->observe_finalize(a, result);
   detail::record_run_metrics(metrics, m, n, result.sweeps,
                              total_rotations_of(sweep_rotations, sweeps_done),
                              total_rotations_of(sweep_skipped, sweeps_done),

@@ -96,9 +96,11 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
   if (stats != nullptr) *stats = HestenesStats{};
   auto* metrics = obs::active(cfg.obs.metrics);
   auto* watchdog = obs::active(cfg.obs.watchdog);
+  auto* numerics = obs::active(cfg.obs.numerics);
 
   std::size_t sweeps_done = 0;
   std::uint64_t total_rotations = 0, total_skipped = 0;
+  std::uint64_t pair_seq = 0;  // numerics-probe sampling index
   for (std::size_t sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
     std::uint64_t rotations = 0, skipped = 0;
     for (const auto& [i, j] : pairs) {
@@ -110,6 +112,9 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
           detail::dot_maybe_relaxed<Ops>(r.col(j), r.col(j), cfg, ops);
       const double cov =
           detail::dot_maybe_relaxed<Ops>(r.col(i), r.col(j), cfg, ops);
+      if (numerics != nullptr && numerics->want(pair_seq))
+        numerics->observe_pair(norm_ii, norm_jj, cov);
+      ++pair_seq;
       if (detail::below_threshold(cov, norm_ii, norm_jj,
                                   cfg.rotation_threshold)) {
         ++skipped;
@@ -131,10 +136,10 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
     Matrix d;  // Gram matrix, built only when a convergence check needs it
     const bool need_gram = (stats != nullptr && cfg.track_convergence) ||
                            metrics != nullptr || watchdog != nullptr ||
-                           cfg.tolerance > 0.0;
+                           numerics != nullptr || cfg.tolerance > 0.0;
     if (need_gram) d = detail::gram_upper_maybe_relaxed(r, cfg, ops);
-    detail::record_sweep_metrics(metrics, watchdog, sweep, d, rotations,
-                                 skipped);
+    detail::record_sweep_metrics(metrics, watchdog, numerics, sweep, d,
+                                 rotations, skipped);
     if (stats != nullptr) {
       stats->total_rotations += rotations;
       stats->total_skipped += skipped;
@@ -156,6 +161,7 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
                              total_skipped, result.converged);
 
   detail::finalize_column_result(r, v, cfg, result, ops);
+  if (numerics != nullptr) numerics->observe_finalize(a, result);
   return result;
 }
 

@@ -19,14 +19,18 @@
 
 #include <cmath>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "api/svd.hpp"
 #include "baselines/golub_kahan.hpp"
 #include "common/rng.hpp"
+#include "fp/softfloat.hpp"
 #include "linalg/generate.hpp"
 #include "linalg/residuals.hpp"
+#include "obs/live.hpp"
+#include "obs/numerics.hpp"
 #include "svd/hestenes.hpp"
 #include "svd/mixed_hestenes.hpp"
 #include "svd/parallel_sweep.hpp"
@@ -212,6 +216,174 @@ TEST(MatrixZoo, ScaledThresholdRunsConvergeInEveryEngine) {
   MixedHestenesConfig mixed;
   mixed.base = cfg;
   EXPECT_TRUE(mixed_modified_hestenes_svd(a, mixed).converged) << "mixed";
+}
+
+// ---------------------------------------------------------------------------
+// Numerical-health probe signatures: the zoo's pathologies must light the
+// right svd.num.* probes, well-conditioned inputs must stay quiet, and the
+// probes must never perturb a single result bit in any engine.
+
+bool bits_equal(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (fp::to_bits(a[i]) != fp::to_bits(b[i])) return false;
+  return true;
+}
+
+bool results_bit_identical(const SvdResult& a, const SvdResult& b) {
+  return bits_equal(a.singular_values, b.singular_values) &&
+         bits_equal(a.u.data(), b.u.data()) && bits_equal(a.v.data(), b.v.data());
+}
+
+TEST(MatrixZooProbes, WellConditionedGaussianStaysQuiet) {
+  if (!obs::kEnabled) GTEST_SKIP() << "probes compiled out (HJSVD_OBS=OFF)";
+  Rng rng(2024);
+  const Matrix a = random_gaussian(48, 32, rng);
+  obs::Watchdog watchdog({});
+  obs::NumericsProbe::Config pcfg;
+  pcfg.stride = 1;  // sample every pair: quiet must mean *really* quiet
+  obs::NumericsProbe probe(pcfg, nullptr, nullptr, &watchdog);
+  SvdOptions opt;
+  opt.compute_u = true;
+  opt.compute_v = true;
+  opt.tolerance = 1e-14;
+  opt.numerics = &probe;
+  opt.watchdog = &watchdog;
+  ASSERT_TRUE(svd(a, opt).converged);
+
+  EXPECT_GT(probe.samples(), 0u);
+  EXPECT_EQ(probe.nonfinite_events(), 0u);
+  EXPECT_EQ(probe.divergence_events(), 0u);
+  // A Gaussian's column norms are all within a small factor of each other,
+  // but never so close that the rotation denominator cancels.
+  EXPECT_LT(probe.cancellation_frac(), 0.05);
+  EXPECT_LT(probe.condition_estimate(), 1e3);
+  // Finalize-time accuracy: both measures recorded and at rounding level.
+  ASSERT_GE(probe.orthogonality_drift(), 0.0);
+  EXPECT_LT(probe.orthogonality_drift(), 1e-12);
+  ASSERT_GE(probe.backward_error(), 0.0);
+  EXPECT_LT(probe.backward_error(), 1e-12);
+  EXPECT_FALSE(watchdog.divergence());
+  EXPECT_FALSE(watchdog.orthogonality());
+}
+
+TEST(MatrixZooProbes, HilbertLightsTheConditionProbes) {
+  // hilbert(12) has kappa ~ 1.7e16.  As sweeps converge, the Gram diagonal
+  // approaches sigma_i^2, so the running max/min column-norm watermark ends
+  // up tracking the true spectral spread.
+  if (!obs::kEnabled) GTEST_SKIP() << "probes compiled out (HJSVD_OBS=OFF)";
+  const Matrix h = hilbert(12);
+  obs::NumericsProbe::Config pcfg;
+  pcfg.stride = 1;
+  obs::NumericsProbe probe(pcfg);
+  SvdOptions opt;
+  opt.compute_u = true;
+  opt.compute_v = true;
+  opt.tolerance = 1e-14;
+  opt.max_sweeps = 40;
+  opt.numerics = &probe;
+  ASSERT_TRUE(svd(h, opt).converged);
+
+  EXPECT_GT(probe.condition_estimate(), 1e8);
+  // kappa beyond 1/eps: sigma_min^2 sits under the Gram formulation's
+  // rounding floor and computes to exactly zero, so the sigma-based
+  // condition ratio is unavailable — the -1 sentinel IS the signature.
+  EXPECT_LT(probe.condition_sigma(), 0.0);
+  EXPECT_EQ(probe.nonfinite_events(), 0u);
+  // Ill conditioning does not hurt the factorization residual: backward
+  // error stays near rounding level even though the spectrum spans ~16
+  // decades.
+  ASSERT_GE(probe.backward_error(), 0.0);
+  EXPECT_LT(probe.backward_error(), 1e-8);
+}
+
+TEST(MatrixZooProbes, NearParallelColumnsRaiseCancellationAndNearPi4) {
+  // Columns that are tiny perturbations of one vector: equal norms (the
+  // rotation denominator djj - dii cancels) and strong mutual coupling
+  // (2|cov| >> |djj - dii| puts the angle near pi/4) — and the matrix is
+  // near rank-1, so the converged Gram diagonal spans many decades.
+  if (!obs::kEnabled) GTEST_SKIP() << "probes compiled out (HJSVD_OBS=OFF)";
+  Rng rng(31);
+  const Matrix base = random_gaussian(16, 1, rng);
+  Matrix a(16, 4);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 16; ++i)
+      a(i, j) = base(i, 0) * (1.0 + 1e-10 * static_cast<double>(j * 16 + i));
+  obs::NumericsProbe::Config pcfg;
+  pcfg.stride = 1;
+  obs::NumericsProbe probe(pcfg);
+  SvdOptions opt;
+  opt.numerics = &probe;
+  opt.max_sweeps = 40;
+  ASSERT_TRUE(svd(a, opt).converged);
+
+  EXPECT_GT(probe.cancellation_events(), 0u);
+  EXPECT_GT(probe.near_pi4_frac(), 0.0);
+  EXPECT_GT(probe.angle_histogram().back(), 0u);
+  EXPECT_GT(probe.condition_estimate(), 1e4);
+}
+
+TEST(MatrixZooProbes, RankDeficiencyRaisesTheConditionEstimate) {
+  if (!obs::kEnabled) GTEST_SKIP() << "probes compiled out (HJSVD_OBS=OFF)";
+  Rng rng(32);
+  const Matrix a = random_rank_deficient(32, 16, 8, rng);
+  obs::NumericsProbe::Config pcfg;
+  pcfg.stride = 1;
+  obs::NumericsProbe probe(pcfg);
+  SvdOptions opt;
+  opt.numerics = &probe;
+  opt.max_sweeps = 40;
+  ASSERT_TRUE(svd(a, opt).converged);
+  // Half the spectrum is numerically zero: the sampled column-norm spread
+  // must blow past anything a full-rank Gaussian produces.
+  EXPECT_GT(probe.condition_estimate(), 1e6);
+}
+
+/// The read-only contract, engine by engine: attaching a maximally-sampling
+/// probe (stride 1) must not change one bit of U, Sigma, or V at any thread
+/// count.
+TEST(MatrixZooProbes, ProbesNeverPerturbAnyEngineAtAnyThreadCount) {
+  Rng rng(73);
+  const Matrix a = random_conditioned(40, 28, 1e10, rng);
+  // The full Hestenes family, not just the modified-Gram engines of kEngines.
+  const SvdMethod probe_engines[] = {
+      SvdMethod::kModifiedHestenes,          SvdMethod::kPlainHestenes,
+      SvdMethod::kParallelHestenes,          SvdMethod::kParallelModifiedHestenes,
+      SvdMethod::kPipelinedModifiedHestenes, SvdMethod::kMixedModifiedHestenes,
+  };
+  for (const SvdMethod method : probe_engines) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SvdOptions opt;
+      opt.method = method;
+      opt.compute_u = true;
+      opt.compute_v = true;
+      opt.threads = threads;
+      opt.max_sweeps = 40;
+      const SvdResult plain = svd(a, opt);
+
+      obs::NumericsProbe::Config pcfg;
+      pcfg.stride = 1;
+      obs::NumericsProbe probe(pcfg);
+      SvdOptions with = opt;
+      with.numerics = &probe;
+      const SvdResult probed = svd(a, with);
+
+      EXPECT_TRUE(results_bit_identical(plain, probed))
+          << svd_method_name(method) << " threads=" << threads;
+      // With HJSVD_OBS=OFF the probe never fires — bit-identity above is the
+      // whole (compiled-out) contract.  When compiled in: the engines whose
+      // per-pair norms live inside a parallel region feed sweep/finalize
+      // only; every other Hestenes engine must actually have sampled pairs.
+      if (obs::kEnabled) {
+        if (method != SvdMethod::kParallelModifiedHestenes &&
+            method != SvdMethod::kParallelHestenes) {
+          EXPECT_GT(probe.samples(), 0u)
+              << svd_method_name(method) << " threads=" << threads;
+        }
+        ASSERT_GE(probe.backward_error(), 0.0) << svd_method_name(method);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -97,16 +97,55 @@ foreach(obs_pair "smoke_trace.json;hjsvd.trace.v2"
   endif()
 endforeach()
 
+# Numerical-health probes: the run must succeed, print the numerics summary
+# line, and the sigma digits must match the probe-free sequential run
+# bit-for-bit (read-only observer contract).
+execute_process(
+  COMMAND ${CLI} --input ${WORKDIR}/smoke.mtx --method hestenes
+          --num-probes 4 --values 3
+          --metrics-out ${WORKDIR}/smoke_num_metrics.json
+  RESULT_VARIABLE rc6 OUTPUT_VARIABLE out6 ERROR_VARIABLE err6)
+if(NOT rc6 EQUAL 0)
+  message(FATAL_ERROR "--num-probes run failed: ${out6}${err6}")
+endif()
+if(NOT out6 MATCHES "numerics: [0-9]+ sampled pairs \\(stride 4\\)")
+  message(FATAL_ERROR "--num-probes run printed no numerics summary: ${out6}")
+endif()
+string(REGEX MATCH "sigma\\[0\\] = ([0-9.e+-]+)" m6 "${out6}")
+if(NOT CMAKE_MATCH_1 STREQUAL v1)
+  message(FATAL_ERROR "probes perturbed sigma: ${CMAKE_MATCH_1} vs ${v1}")
+endif()
+file(READ ${WORKDIR}/smoke_num_metrics.json num_body)
+if(NOT num_body MATCHES "svd.num.samples")
+  message(FATAL_ERROR "probe metrics lack svd.num.samples: ${num_body}")
+endif()
+
+# --obs-live creates a missing directory one level deep instead of failing.
+file(REMOVE_RECURSE ${WORKDIR}/fresh_live_dir)
+execute_process(
+  COMMAND ${CLI} --input ${WORKDIR}/smoke.mtx --method hestenes
+          --obs-live ${WORKDIR}/fresh_live_dir --values 1
+  RESULT_VARIABLE rc7 OUTPUT_VARIABLE out7 ERROR_VARIABLE err7)
+if(NOT rc7 EQUAL 0)
+  message(FATAL_ERROR "--obs-live with missing dir failed: ${out7}${err7}")
+endif()
+if(NOT EXISTS ${WORKDIR}/fresh_live_dir/snapshots.jsonl)
+  message(FATAL_ERROR "--obs-live did not create ${WORKDIR}/fresh_live_dir")
+endif()
+
 # Bad usage must exit non-zero and print the usage text, not fall back.
 # --tolerance and --mp-switch reject zero, negative, non-finite and
 # non-numeric values as usage errors (exit 2) instead of silently running
-# a decomposition that can never converge.
+# a decomposition that can never converge.  A missing --obs-live *parent*
+# stays a usage error — only one directory level is created.
 foreach(bad_args "--threads;0" "--threads;-2" "--method;bogus"
         "--tolerance;0" "--tolerance;-1e-10" "--tolerance;abc"
         "--tolerance;inf"
         "--mp-switch;0" "--mp-switch;-3" "--mp-switch;nope"
+        "--num-probes;0" "--num-probes;-3" "--num-probes;maybe"
         "--trace-out;${WORKDIR}/no_such_dir/t.json"
-        "--metrics-out;${WORKDIR}/no_such_dir/m.json")
+        "--metrics-out;${WORKDIR}/no_such_dir/m.json"
+        "--obs-live;${WORKDIR}/no_such_dir/live")
   execute_process(
     COMMAND ${CLI} --input ${WORKDIR}/smoke.mtx ${bad_args}
     RESULT_VARIABLE rc_bad OUTPUT_VARIABLE out_bad ERROR_VARIABLE err_bad)

@@ -35,6 +35,7 @@
 #include "linalg/simd/simd.hpp"
 #include "obs/live.hpp"
 #include "obs/metrics.hpp"
+#include "obs/numerics.hpp"
 #include "obs/trace.hpp"
 
 using namespace hjsvd;
@@ -139,6 +140,25 @@ double parse_nonneg_double(const Cli& cli, const std::string& name) {
                      " must be a non-negative finite number, got '" + raw +
                      "'");
   return value;
+}
+
+/// Parses --num-probes: "" / "off" / "false" disables (returns 0), "on" /
+/// "true" enables at the default stride, a positive integer sets the
+/// sampling stride explicitly.
+std::size_t parse_num_probes(const Cli& cli) {
+  const std::string raw = cli.get("num-probes");
+  if (raw.empty() || raw == "off" || raw == "false") return 0;
+  if (raw == "on" || raw == "true") return obs::NumericsProbe::Config{}.stride;
+  std::int64_t value = 0;
+  try {
+    value = cli.get_int("num-probes");
+  } catch (const Error&) {
+    throw UsageError("--num-probes expects on|off or a positive stride, "
+                     "got '" + raw + "'");
+  }
+  if (value <= 0)
+    throw UsageError("--num-probes stride must be >= 1, got '" + raw + "'");
+  return static_cast<std::size_t>(value);
 }
 
 /// Applies --simd to the process-wide dispatch level.  "auto" keeps the
@@ -276,6 +296,9 @@ int main(int argc, char** argv) {
                    "borrowed workers (nested parallelism); 0 disables");
     cli.add_option("generate", "",
                    "generate a gaussian ROWSxCOLS matrix instead of reading");
+    cli.add_option("cond", "0",
+                   "--generate: target condition number (geometric singular-"
+                   "value decay); 0 = plain gaussian entries");
     cli.add_option("seed", "1", "generation seed");
     cli.add_option("output", "", "output path for --generate");
     cli.add_option("trace-out", "",
@@ -299,17 +322,29 @@ int main(int argc, char** argv) {
                    "watchdog wall-clock budget in seconds; overruns are "
                    "flagged (obs.watchdog.* metrics + instant trace event), "
                    "never enforced.  0 disables");
+    cli.add_option("num-probes", "",
+                   "numerical-health probes: 'on' (default stride), a "
+                   "positive sampling stride, or 'off'.  Emits svd.num.* "
+                   "metrics and a numerics summary; read-only — results are "
+                   "bitwise identical probes on or off (see "
+                   "docs/OBSERVABILITY.md)");
     cli.parse(argc, argv);
 
     if (const auto shape = cli.get("generate"); !shape.empty()) {
       const auto [rows, cols] = parse_shape(shape);
       Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
-      const Matrix a = random_gaussian(rows, cols, rng);
+      const double kappa = parse_nonneg_double(cli, "cond");
+      if (kappa != 0.0 && kappa < 1.0)
+        throw UsageError("--cond must be >= 1 (or 0 for plain gaussian), "
+                         "got '" + cli.get("cond") + "'");
+      const Matrix a = kappa > 1.0 ? random_conditioned(rows, cols, kappa, rng)
+                                   : random_gaussian(rows, cols, rng);
       const auto out = cli.get("output");
       HJSVD_ENSURE(!out.empty(), "--generate requires --output PATH");
       write_matrix_market_file(out, a);
-      std::cout << "wrote " << rows << " x " << cols << " matrix to " << out
-                << '\n';
+      std::cout << "wrote " << rows << " x " << cols << " matrix to " << out;
+      if (kappa > 1.0) std::cout << " (condition number ~" << kappa << ")";
+      std::cout << '\n';
       return 0;
     }
 
@@ -354,22 +389,44 @@ int main(int argc, char** argv) {
     if (!metrics_path.empty()) opt.metrics = &registry;
     if (!live_dir.empty()) {
       // Live mode records unconditionally; --trace-out/--metrics-out remain
-      // optional end-of-run copies.
-      try {
-        std::filesystem::create_directories(live_dir);
-      } catch (const std::exception& e) {
-        throw UsageError("--obs-live: cannot create directory '" + live_dir +
-                         "': " + e.what());
+      // optional end-of-run copies.  A missing directory is created — but
+      // only one level deep: a missing *parent* means a mistyped path, not
+      // an intent to create a whole tree, and stays a usage error (exit 2),
+      // as does an unwritable parent.
+      namespace fs = std::filesystem;
+      const fs::path dir(live_dir);
+      if (fs::exists(dir)) {
+        if (!fs::is_directory(dir))
+          throw UsageError("--obs-live: '" + live_dir +
+                           "' exists and is not a directory");
+      } else {
+        const fs::path parent =
+            dir.has_parent_path() ? dir.parent_path() : fs::path(".");
+        if (!fs::is_directory(parent))
+          throw UsageError("--obs-live: parent directory '" +
+                           parent.string() + "' does not exist");
+        std::error_code ec;
+        if (!fs::create_directory(dir, ec))
+          throw UsageError("--obs-live: cannot create directory '" +
+                           live_dir + "': " + ec.message());
       }
       opt.trace = &recorder;
       opt.metrics = &registry;
     }
+    const std::size_t probe_stride = parse_num_probes(cli);
     std::optional<obs::Watchdog> watchdog;
-    if (!live_dir.empty() || deadline_s > 0.0) {
+    if (!live_dir.empty() || deadline_s > 0.0 || probe_stride > 0) {
       obs::Watchdog::Config wd_cfg;
       wd_cfg.deadline_s = deadline_s;
       watchdog.emplace(wd_cfg, opt.trace, opt.metrics);
       opt.watchdog = &*watchdog;
+    }
+    std::optional<obs::NumericsProbe> probe;
+    if (probe_stride > 0) {
+      obs::NumericsProbe::Config probe_cfg;
+      probe_cfg.stride = probe_stride;
+      probe.emplace(probe_cfg, opt.metrics, opt.trace, opt.watchdog);
+      opt.numerics = &*probe;
     }
     std::unique_ptr<obs::SnapshotExporter> exporter;
     if (!live_dir.empty()) {
@@ -383,9 +440,11 @@ int main(int argc, char** argv) {
                 << snapshot_ms << " ms; SIGUSR1 dumps)\n";
     }
     if (!obs::kEnabled &&
-        (!trace_path.empty() || !metrics_path.empty() || !live_dir.empty()))
+        (!trace_path.empty() || !metrics_path.empty() || !live_dir.empty() ||
+         probe_stride > 0))
       std::cerr << "hjsvd_cli: warning: observability was compiled out "
-                   "(HJSVD_OBS=0); trace/metrics outputs will be empty\n";
+                   "(HJSVD_OBS=0); trace/metrics/probe outputs will be "
+                   "empty\n";
 
     const auto write_sinks = [&] {
       if (exporter != nullptr) {
@@ -406,6 +465,31 @@ int main(int argc, char** argv) {
         if (watchdog->stalled())
           std::cout << "watchdog: convergence stall flagged ("
                     << watchdog->stall_events() << " episode(s))\n";
+        if (watchdog->divergence())
+          std::cout << "watchdog: DIVERGENCE flagged (off-diagonal mass "
+                       "increased across sweeps)\n";
+        if (watchdog->orthogonality())
+          std::cout << "watchdog: ORTHOGONALITY drift flagged at finalize\n";
+      }
+      if (probe.has_value()) {
+        std::cout << "numerics: " << probe->samples()
+                  << " sampled pairs (stride " << probe->stride()
+                  << "), cancellation "
+                  << format_fixed(probe->cancellation_frac() * 100.0, 1)
+                  << "%, tiny-angle "
+                  << format_fixed(probe->tiny_angle_frac() * 100.0, 1)
+                  << "%, near-pi/4 "
+                  << format_fixed(probe->near_pi4_frac() * 100.0, 1)
+                  << "%, cond est " << format_sci(probe->condition_estimate());
+        if (probe->orthogonality_drift() >= 0.0)
+          std::cout << ", V drift " << format_sci(probe->orthogonality_drift());
+        if (probe->backward_error() >= 0.0)
+          std::cout << ", backward error "
+                    << format_sci(probe->backward_error());
+        if (probe->nonfinite_events() > 0)
+          std::cout << ", " << probe->nonfinite_events()
+                    << " NON-FINITE event(s)";
+        std::cout << '\n';
       }
       if (!trace_path.empty()) {
         recorder.write(trace_file);

@@ -153,6 +153,12 @@ int main(int argc, char** argv) {
                    "compare: allowed fractional rotation-count growth");
     cli.add_option("max-stall-increase-frac", "0.25",
                    "compare: allowed fractional pipeline-stall growth");
+    cli.add_option("max-accuracy-regress-frac", "0.50",
+                   "compare: allowed fractional growth of the numerics "
+                   "accuracy leaves (backward error, orthogonality drift)");
+    cli.add_option("accuracy-noise-floor", "1e-12",
+                   "compare: absolute accuracy slack below which a relative "
+                   "regression is rounding noise, not a finding");
 
     std::vector<const char*> args(argv, argv + argc);
     const CompareArgs compare = extract_compare(&args);
@@ -166,6 +172,9 @@ int main(int argc, char** argv) {
         cli.get_double("max-rotation-increase-frac");
     thresholds.max_stall_increase_frac =
         cli.get_double("max-stall-increase-frac");
+    thresholds.max_accuracy_regress_frac =
+        cli.get_double("max-accuracy-regress-frac");
+    thresholds.accuracy_noise_floor = cli.get_double("accuracy-noise-floor");
 
     if (compare.requested) return run_compare(compare, thresholds);
     return run_analyze(cli);
