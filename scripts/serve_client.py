@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Reference client and test driver for the hjsvd_serve daemon.
+
+Speaks the hjsvd.serve.v1 newline-delimited JSON protocol over the
+daemon's stdio transport: spawns the server, writes one request frame per
+line, closes stdin, and collects one reply line per request.  Pure
+standard library -- usable from CI, the smoke tests, and by hand:
+
+    # 12 deterministic requests, assert they all succeed
+    python3 scripts/serve_client.py --serve build/tools/hjsvd_serve \\
+        --requests 12 --expect-ok 12
+
+    # bit-identity across thread counts: dump replies, then compare
+    python3 scripts/serve_client.py --serve ... --threads 1 --dump one.json
+    python3 scripts/serve_client.py --serve ... --threads 4 --compare one.json
+
+    # deterministic overload drill: hold dispatch until EOF so exactly
+    # the requests beyond --queue-capacity are rejected
+    python3 scripts/serve_client.py --serve ... --requests 10 \\
+        --server-arg=--queue-capacity=4 --server-arg=--hold-until-eof \\
+        --expect-ok 4 --expect-overload 6
+
+Exit status: 0 when every expectation holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+SCHEMA = "hjsvd.serve.v1"
+
+
+def lcg(seed):
+    """Deterministic 64-bit LCG (same constants as MMIX) -> [0, 1)."""
+    state = seed & 0xFFFFFFFFFFFFFFFF
+    while True:
+        state = (state * 6364136223846793005 + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+        yield (state >> 11) / float(1 << 53)
+
+
+def make_requests(count, rows, cols, seed, method, deadline_ms, compute_v):
+    rng = lcg(seed)
+    frames = []
+    for k in range(count):
+        data = [2.0 * next(rng) - 1.0 for _ in range(rows * cols)]
+        frame = {
+            "schema": SCHEMA,
+            "id": "req-%03d" % k,
+            "rows": rows,
+            "cols": cols,
+            "data": data,
+        }
+        if method:
+            frame["method"] = method
+        if deadline_ms > 0:
+            frame["deadline_ms"] = deadline_ms
+        if compute_v:
+            frame["compute_v"] = True
+        frames.append(frame)
+    return frames
+
+
+def run_session(serve, server_args, frames, extra_lines=()):
+    """Feeds frames (plus raw extra lines) to one server run; returns the
+    parsed replies keyed by id and the raw reply lines."""
+    payload = "".join(json.dumps(f, separators=(",", ":")) + "\n" for f in frames)
+    payload += "".join(line + "\n" for line in extra_lines)
+    proc = subprocess.run(
+        [serve] + server_args,
+        input=payload.encode(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        timeout=600,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write("server exited %d\n%s" % (proc.returncode, proc.stderr.decode()))
+        sys.exit(1)
+    lines = [l for l in proc.stdout.decode().splitlines() if l.strip()]
+    replies = {}
+    for line in lines:
+        reply = json.loads(line)
+        if reply.get("schema") != SCHEMA:
+            sys.stderr.write("reply with wrong schema: %s\n" % line[:200])
+            sys.exit(1)
+        rid = reply.get("id", "")
+        if rid in replies:
+            sys.stderr.write("duplicate reply for id %s\n" % rid)
+            sys.exit(1)
+        replies[rid] = reply
+    return replies, lines
+
+
+def sigma_signature(replies):
+    """Exact reply payloads of the ok replies, keyed by id -- the 17-digit
+    wire format makes string equality the same as bitwise equality."""
+    sig = {}
+    for rid, reply in sorted(replies.items()):
+        if reply.get("status") == "ok":
+            entry = {"sigma": reply["sigma"]}
+            if "v" in reply:
+                entry["v"] = reply["v"]
+            if "u" in reply:
+                entry["u"] = reply["u"]
+            sig[rid] = entry
+    return sig
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--serve", required=True, help="path to the hjsvd_serve binary")
+    ap.add_argument("--requests", type=int, default=8)
+    ap.add_argument("--rows", type=int, default=12)
+    ap.add_argument("--cols", type=int, default=8)
+    ap.add_argument("--seed", type=int, default=42)
+    ap.add_argument("--method", default="", help="method token for every request")
+    ap.add_argument("--threads", type=int, default=0, help="server --threads (0: omit)")
+    ap.add_argument("--deadline-ms", type=float, default=0.0)
+    ap.add_argument("--compute-v", action="store_true")
+    ap.add_argument("--server-arg", action="append", default=[],
+                    help="extra argument passed through to the server "
+                         "(repeatable; '=' form for flag values)")
+    ap.add_argument("--raw-line", action="append", default=[],
+                    help="verbatim extra frame line (malformed-input tests)")
+    ap.add_argument("--expect-ok", type=int, default=-1)
+    ap.add_argument("--expect-overload", type=int, default=-1)
+    ap.add_argument("--expect-bad-request", type=int, default=-1)
+    ap.add_argument("--expect-deadline-expired", type=int, default=-1)
+    ap.add_argument("--dump", default="", help="write ok-reply signatures (JSON) here")
+    ap.add_argument("--compare", default="",
+                    help="assert ok-reply signatures equal this earlier --dump")
+    args = ap.parse_args()
+
+    server_args = []
+    if args.threads > 0:
+        server_args += ["--threads", str(args.threads)]
+    for extra in args.server_arg:
+        server_args += extra.split("=", 1) if extra.startswith("--") and "=" in extra else [extra]
+
+    frames = make_requests(args.requests, args.rows, args.cols, args.seed,
+                           args.method, args.deadline_ms, args.compute_v)
+    replies, _ = run_session(args.serve, server_args, frames, args.raw_line)
+
+    by_status = {"ok": 0}
+    by_code = {}
+    for reply in replies.values():
+        if reply.get("status") == "ok":
+            by_status["ok"] += 1
+        else:
+            code = reply.get("code", "?")
+            by_code[code] = by_code.get(code, 0) + 1
+    total = len(replies)
+    print("replies=%d ok=%d errors=%s" % (total, by_status["ok"], by_code or "{}"))
+
+    failures = []
+    expected_total = args.requests + len(args.raw_line)
+    if total != expected_total:
+        failures.append("expected %d replies, got %d" % (expected_total, total))
+    checks = [
+        ("ok replies", args.expect_ok, by_status["ok"]),
+        ("overload rejections", args.expect_overload,
+         by_code.get("rejected:overload", 0)),
+        ("bad_request replies", args.expect_bad_request,
+         by_code.get("bad_request", 0)),
+        ("deadline_expired replies", args.expect_deadline_expired,
+         by_code.get("deadline_expired", 0)),
+    ]
+    for label, expected, actual in checks:
+        if expected >= 0 and actual != expected:
+            failures.append("expected %d %s, got %d" % (expected, label, actual))
+
+    sig = sigma_signature(replies)
+    if args.dump:
+        with open(args.dump, "w") as f:
+            json.dump(sig, f, indent=1, sort_keys=True)
+    if args.compare:
+        with open(args.compare) as f:
+            baseline = json.load(f)
+        if sig != baseline:
+            diff = [rid for rid in set(sig) | set(baseline)
+                    if sig.get(rid) != baseline.get(rid)]
+            failures.append("replies differ from %s for ids: %s"
+                            % (args.compare, ", ".join(sorted(diff)[:5])))
+
+    for failure in failures:
+        sys.stderr.write("FAIL: %s\n" % failure)
+    if failures:
+        return 1
+    print("serve_client: all expectations hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -436,6 +436,107 @@ def check_numerics_report(path: str) -> None:
           f"({num['samples']} samples)")
 
 
+def check_serve_metrics(path: str) -> None:
+    """Cross-checks the serve.* namespace emitted by hjsvd_serve."""
+    doc = load(path)
+    by_name = {m.get("name"): m for m in doc.get("metrics", [])
+               if isinstance(m, dict)}
+
+    def counter_value(name: str, required: bool = False) -> float:
+        m = by_name.get(name)
+        if m is None:
+            if required:
+                fail(f"{path}: --serve requires the {name!r} counter "
+                     f"(was this metrics file written by hjsvd_serve?)")
+            return 0.0
+        if m.get("type") != "counter" or not _numeric(m.get("value")):
+            fail(f"{path}: {name!r} is not a numeric counter: {m!r}")
+        return m["value"]
+
+    requests = counter_value("serve.requests_total", required=True)
+    admitted = counter_value("serve.admitted_total")
+    overload = counter_value("serve.rejected.overload")
+    bad_request = counter_value("serve.rejected.bad_request")
+    expired = counter_value("serve.expired.deadline")
+    replies_ok = counter_value("serve.replies_ok")
+    replies_error = counter_value("serve.replies_error")
+    waves = counter_value("serve.waves_total")
+
+    # Admission is a partition: every request is admitted or rejected with
+    # a typed reason, and every request gets exactly one reply.
+    if requests != admitted + overload + bad_request:
+        fail(f"{path}: serve.requests_total {requests} != admitted "
+             f"{admitted} + overload {overload} + bad_request {bad_request}")
+    if replies_ok + replies_error != requests:
+        fail(f"{path}: replies_ok {replies_ok} + replies_error "
+             f"{replies_error} != serve.requests_total {requests}")
+    if expired > admitted:
+        fail(f"{path}: serve.expired.deadline {expired} exceeds "
+             f"admitted_total {admitted}")
+    if replies_ok > 0 and waves < 1:
+        fail(f"{path}: {replies_ok} ok replies but serve.waves_total is 0")
+
+    wave_hist = by_name.get("serve.wave.size")
+    if waves > 0:
+        if wave_hist is None or wave_hist.get("type") != "histogram":
+            fail(f"{path}: serve.waves_total is {waves} but the "
+                 f"serve.wave.size histogram is missing")
+        if wave_hist.get("count") != waves:
+            fail(f"{path}: serve.wave.size count {wave_hist.get('count')} "
+                 f"!= serve.waves_total {waves}")
+        if wave_hist.get("min", 0) < 1:
+            fail(f"{path}: serve.wave.size min below 1: {wave_hist!r}")
+    lat_hist = by_name.get("serve.latency_ms")
+    if replies_ok > 0:
+        if lat_hist is None or lat_hist.get("count") != replies_ok:
+            fail(f"{path}: serve.latency_ms histogram must hold one sample "
+                 f"per ok reply ({replies_ok}): {lat_hist!r}")
+    depth = by_name.get("serve.queue.depth")
+    if admitted > 0:
+        if depth is None or depth.get("type") != "series":
+            fail(f"{path}: serve.queue.depth series missing with "
+                 f"{admitted} admitted requests")
+        if any(p[1] < 1 for p in depth.get("points", [])):
+            fail(f"{path}: serve.queue.depth recorded below 1 (sampled "
+                 f"after admission): {depth.get('points')!r}")
+    for name in ("serve.workspace.reuse_total", "serve.workspace.alloc_total"):
+        counter_value(name, required=True)
+    for name in ("serve.latency_p50_ms", "serve.latency_p95_ms"):
+        m = by_name.get(name)
+        if m is None or m.get("type") != "gauge" or not _numeric(m.get("value")):
+            fail(f"{path}: --serve requires the {name!r} gauge")
+        if m["value"] < 0:
+            fail(f"{path}: {name!r} is negative: {m['value']!r}")
+    print(f"validate_obs: {path}: serve OK ({int(requests)} requests, "
+          f"{int(replies_ok)} ok, {int(waves)} waves)")
+
+
+def check_serve_report(path: str) -> None:
+    """Validates the "serve" section of an hjsvd.report.v1 document."""
+    doc = load(path)
+    serve = doc.get("serve")
+    if not isinstance(serve, dict):
+        fail(f"{path}: --serve requires a \"serve\" report section "
+             f"(was the metrics file written by hjsvd_serve?)")
+    for field in ("requests_total", "admitted_total", "rejected_overload",
+                  "rejected_bad_request", "expired_deadline", "replies_ok",
+                  "replies_error", "waves_total", "workspace_reuse_total",
+                  "workspace_alloc_total"):
+        if not _numeric(serve.get(field)) or serve[field] < 0:
+            fail(f"{path}: serve.{field} malformed: {serve.get(field)!r}")
+    if serve["requests_total"] != (serve["admitted_total"]
+                                   + serve["rejected_overload"]
+                                   + serve["rejected_bad_request"]):
+        fail(f"{path}: serve section admission counts do not partition "
+             f"requests_total: {serve!r}")
+    for field in ("latency_p50_ms", "latency_p95_ms"):
+        v = serve.get(field)
+        if not _numeric(v) or v < 0:
+            fail(f"{path}: serve.{field} malformed: {v!r}")
+    print(f"validate_obs: {path}: report serve OK "
+          f"({serve['requests_total']} requests)")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="trace-event JSON to validate")
@@ -462,24 +563,36 @@ def main() -> int:
         help="additionally validate the svd.num.* probe namespace in "
              "--metrics and/or the numerics section in --report",
     )
+    ap.add_argument(
+        "--serve",
+        action="store_true",
+        help="additionally validate the serve.* namespace in --metrics "
+             "and/or the serve section in --report",
+    )
     args = ap.parse_args()
     if not args.trace and not args.metrics and not args.snapshots \
             and not args.report:
         ap.error("need --trace, --metrics, --snapshots and/or --report")
     if args.numerics and not args.metrics and not args.report:
         ap.error("--numerics needs --metrics and/or --report to inspect")
+    if args.serve and not args.metrics and not args.report:
+        ap.error("--serve needs --metrics and/or --report to inspect")
     if args.trace:
         check_trace(args.trace, args.require_span)
     if args.metrics:
         check_metrics(args.metrics, args.require_metric)
         if args.numerics:
             check_numerics_metrics(args.metrics)
+        if args.serve:
+            check_serve_metrics(args.metrics)
     if args.snapshots:
         check_snapshots(args.snapshots)
     if args.report:
         check_report(args.report)
         if args.numerics:
             check_numerics_report(args.report)
+        if args.serve:
+            check_serve_report(args.report)
     return 0
 
 

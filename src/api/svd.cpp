@@ -1,18 +1,11 @@
 #include "api/svd.hpp"
 
-#include <algorithm>
-#include <exception>
-#include <string>
+#include <cstdint>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
-#include "arch/multi_engine.hpp"
+#include "api/engine.hpp"
 #include "baselines/golub_kahan.hpp"
 #include "baselines/twosided_jacobi.hpp"
 #include "common/error.hpp"
-#include "common/pool.hpp"
 #include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -23,14 +16,6 @@
 
 namespace hjsvd {
 namespace {
-
-std::size_t default_threads() {
-#ifdef _OPENMP
-  return static_cast<std::size_t>(omp_get_max_threads());
-#else
-  return 1;
-#endif
-}
 
 /// Run-level observability wrapper of the non-Hestenes baselines, which have
 /// no internal instrumentation: one span covering the whole decomposition
@@ -53,6 +38,9 @@ SvdResult run_baseline(const Matrix& a, const SvdOptions& options,
   SvdResult result = fn();
   run_span.end();
   if (auto* watchdog = obs::active(options.watchdog)) watchdog->check_deadline();
+  if (auto* deadline = obs::active(options.deadline_poller);
+      deadline != nullptr && deadline != options.watchdog)
+    deadline->check_deadline();
   if (metrics != nullptr) {
     metrics->gauge_set("svd.rows", "1", static_cast<double>(a.rows()));
     metrics->gauge_set("svd.cols", "1", static_cast<double>(a.cols()));
@@ -61,42 +49,6 @@ SvdResult run_baseline(const Matrix& a, const SvdOptions& options,
     metrics->gauge_set("svd.converged", "bool", result.converged ? 1.0 : 0.0);
   }
   return result;
-}
-
-/// True for the one-sided Jacobi family, whose parallel engines are
-/// bitwise identical to the sequential kRoundRobin path at every thread
-/// count — the property that makes nested batch splits result-preserving.
-bool is_hestenes_family(SvdMethod method) {
-  switch (method) {
-    case SvdMethod::kModifiedHestenes:
-    case SvdMethod::kPlainHestenes:
-    case SvdMethod::kParallelHestenes:
-    case SvdMethod::kParallelModifiedHestenes:
-    case SvdMethod::kPipelinedModifiedHestenes:
-      return true;
-    case SvdMethod::kMixedModifiedHestenes:
-      // Mixed precision has no bitwise-identical parallel twin, so batch
-      // items must never be split onto its behalf.
-      return false;
-    case SvdMethod::kTwoSidedJacobi:
-    case SvdMethod::kGolubKahan:
-      return false;
-  }
-  return false;
-}
-
-/// The engine used when a batch item is split across borrowed workers:
-/// sequential methods map to their bitwise-identical parallel twin, the
-/// already-parallel methods just run with more threads.
-SvdMethod split_counterpart(SvdMethod method) {
-  switch (method) {
-    case SvdMethod::kModifiedHestenes:
-      return SvdMethod::kParallelModifiedHestenes;
-    case SvdMethod::kPlainHestenes:
-      return SvdMethod::kParallelHestenes;
-    default:
-      return method;
-  }
 }
 
 }  // namespace
@@ -111,7 +63,9 @@ SvdResult svd(const Matrix& a, const SvdOptions& options) {
   hj.obs.trace = options.trace;
   hj.obs.metrics = options.metrics;
   hj.obs.watchdog = options.watchdog;
+  hj.obs.deadline = options.deadline_poller;
   hj.obs.numerics = options.numerics;
+  hj.workspace = options.workspace;
   ParallelSweepConfig par;
   par.threads = options.threads;
   switch (options.method) {
@@ -159,188 +113,11 @@ std::vector<SvdResult> svd_batch(const std::vector<Matrix>& batch,
                                  const SvdOptions& options,
                                  std::size_t threads,
                                  SvdBatchStats* stats) {
-  // Validate the whole batch — shape *and* method constraints — before any
-  // work starts, so a bad entry cannot leave a half-computed result
-  // vector.  Data-dependent failures (non-finite entries) are the engines'
-  // to detect; they surface mid-run through the error contract below.
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    HJSVD_ENSURE(!batch[i].empty(), "svd_batch: item " + std::to_string(i) +
-                                        " is an empty matrix");
-    if (options.method == SvdMethod::kTwoSidedJacobi)
-      HJSVD_ENSURE(batch[i].rows() == batch[i].cols(),
-                   "svd_batch: item " + std::to_string(i) + " (" +
-                       std::to_string(batch[i].rows()) + "x" +
-                       std::to_string(batch[i].cols()) +
-                       ") — two-sided Jacobi requires square matrices");
-  }
-  if (stats != nullptr) *stats = SvdBatchStats{};
-  std::vector<SvdResult> results(batch.size());
-  if (batch.empty()) return results;
-
-  // Per-item sinks are stripped: concurrent workers would interleave their
-  // emissions nondeterministically.  The batch layer records its own
-  // per-item spans (one timeline per pool worker) and batch.* metrics.
-  SvdOptions per_item = options;
-  per_item.trace = nullptr;
-  per_item.metrics = nullptr;
-  per_item.watchdog = nullptr;  // per-item sweep series interleave; only the
-                                // deadline is meaningful at batch scope
-  // The numerics probe stays attached: its aggregates (counters, histogram,
-  // watermarks) are order-independent and mutex-protected, so concurrent
-  // items feed one probe safely and the batch-level signature is
-  // deterministic even though the feeding order is not.
-  auto* trace = obs::active(options.trace);
-  auto* metrics = obs::active(options.metrics);
-  auto* watchdog = obs::active(options.watchdog);
-
-  // Jacobi sweep cost ~ m n^2 (Gram) + n^3 (updates); LPT seeding over
-  // that estimate balances mixed-size batches (the multi-engine rule), and
-  // work stealing absorbs what the estimate gets wrong (convergence speed
-  // is data-dependent).
-  std::vector<double> costs(batch.size());
-  double total_cost = 0.0;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const auto m = static_cast<double>(batch[i].rows());
-    const auto n = static_cast<double>(batch[i].cols());
-    costs[i] = m * n * n + n * n * n;
-    total_cost += costs[i];
-  }
-  const std::size_t requested =
-      std::max<std::size_t>(1, threads == 0 ? default_threads() : threads);
-  // One pool worker per item at most; the surplus of a larger `threads`
-  // budget is not wasted — nested splits borrow up to `requested` threads
-  // for a single item.
-  const std::size_t workers = std::min(requested, batch.size());
-
-  // Nested-parallelism policy: dominant items (by estimated cost fraction)
-  // may expand onto borrowed workers.  Restricted to the Hestenes family,
-  // whose parallel engines are bitwise deterministic.
-  std::vector<std::size_t> max_helpers(batch.size(), 0);
-  if (options.batch_split_min_fraction > 0.0 && requested > 1 &&
-      is_hestenes_family(options.method)) {
-    for (std::size_t i = 0; i < batch.size(); ++i)
-      if (costs[i] >= options.batch_split_min_fraction * total_cost)
-        max_helpers[i] = requested - 1;
-  }
-
-  const auto bins = arch::shard_by_cost(costs, workers);
-
-  const double batch_t0_us = trace != nullptr ? trace->now_us() : 0.0;
-  std::uint32_t batch_tid = 0;
-  if (trace != nullptr)
-    batch_tid = trace->register_thread("svd_batch coordinator");
-  // Timelines are per pool worker (exactly `workers` of them), written by
-  // each worker thread into its own slot from the start hook.
-  std::vector<std::uint32_t> worker_tids(workers, 0);
-
-  WorkStealingOptions pool_opts;
-  pool_opts.workers = workers;
-  pool_opts.total_width = requested;
-  pool_opts.max_helpers = max_helpers;
-  if (trace != nullptr)
-    pool_opts.worker_start = [&](std::size_t w) {
-      worker_tids[w] =
-          trace->register_thread("svd_batch worker " + std::to_string(w));
-    };
-
-  // Per-item exception slots: single writer each, scanned in index order
-  // after the join so the lowest-index failure wins deterministically.
-  std::vector<std::exception_ptr> item_errors(batch.size());
-
-  const auto run_item = [&](const PoolTaskInfo& info) {
-    const Matrix& a = batch[info.task];
-    obs::Span item_span;
-    if (trace != nullptr) {
-      trace->emit_counter(worker_tids[info.worker], "batch",
-                          "batch.queue.occupancy", trace->now_us(),
-                          static_cast<double>(info.queued));
-      item_span = obs::Span(trace, worker_tids[info.worker], "batch", "item",
-                            obs::ArgsBuilder()
-                                .add("index", info.task)
-                                .add("rows", a.rows())
-                                .add("cols", a.cols())
-                                .add("stolen", info.stolen)
-                                .add("helpers", info.helpers)
-                                .str());
-    }
-    try {
-      SvdOptions item_opts = per_item;
-      if (info.helpers > 0) {
-        item_opts.method = split_counterpart(options.method);
-        item_opts.threads = 1 + info.helpers;
-      } else {
-        item_opts.threads = 1;
-      }
-      results[info.task] = svd(a, item_opts);
-    } catch (const std::exception& e) {
-      item_errors[info.task] = std::make_exception_ptr(
-          Error("svd_batch: item " + std::to_string(info.task) + " (" +
-                std::to_string(a.rows()) + "x" + std::to_string(a.cols()) +
-                "): " + e.what()));
-    } catch (...) {
-      item_errors[info.task] = std::current_exception();
-    }
-    if (watchdog != nullptr) watchdog->check_deadline();
-  };
-
-  const PoolStats pool = run_work_stealing(costs, bins, pool_opts, run_item);
-
-  std::size_t failed = 0;
-  for (const auto& e : item_errors)
-    if (e) ++failed;
-
-  if (trace != nullptr)
-    trace->emit_complete(batch_tid, "batch", "svd_batch", batch_t0_us,
-                         trace->now_us() - batch_t0_us,
-                         obs::ArgsBuilder()
-                             .add("items", batch.size())
-                             .add("workers", workers)
-                             .add("requested_workers", requested)
-                             .add("steals", pool.steals)
-                             .add("nested_splits", pool.nested_runs)
-                             .str());
-  if (metrics != nullptr) {
-    metrics->counter_add("batch.items", "matrices", batch.size());
-    metrics->counter_add("batch.items_ok", "matrices", batch.size() - failed);
-    metrics->counter_add("batch.items_failed", "matrices", failed);
-    // batch.workers reports the pool workers actually spawned — the same
-    // number as the "svd_batch worker N" timelines — never the pre-clamp
-    // request, so hjsvd_report per-worker tables match reality.
-    metrics->gauge_set("batch.workers", "threads",
-                       static_cast<double>(workers));
-    metrics->gauge_set("batch.workers.requested", "threads",
-                       static_cast<double>(requested));
-    metrics->gauge_set("batch.wall_s", "s", pool.wall_s);
-    metrics->counter_add("batch.steals", "tasks", pool.steals);
-    metrics->counter_add("batch.nested.splits", "matrices", pool.nested_runs);
-    metrics->counter_add("batch.nested.helpers", "threads",
-                         pool.helpers_granted);
-    for (double c : costs) metrics->hist_record("batch.item_cost", "flops", c);
-    for (std::size_t w = 0; w < workers; ++w) {
-      const std::string prefix = "batch.worker." + std::to_string(w);
-      metrics->gauge_set(prefix + ".busy_s", "s", pool.busy_s[w]);
-      metrics->gauge_set(prefix + ".idle_s", "s", pool.idle_s[w]);
-    }
-    for (std::size_t k = 0; k < pool.occupancy.size(); ++k)
-      metrics->series_append("batch.queue.occupancy", "tasks", k,
-                             static_cast<double>(pool.occupancy[k]));
-  }
-  if (stats != nullptr) {
-    stats->items = batch.size();
-    stats->workers = pool.workers;
-    stats->requested_workers = requested;
-    stats->steals = pool.steals;
-    stats->nested_splits = pool.nested_runs;
-    stats->helpers_granted = pool.helpers_granted;
-    stats->items_ok = batch.size() - failed;
-    stats->items_failed = failed;
-    stats->wall_s = pool.wall_s;
-    stats->worker_busy_s = pool.busy_s;
-    stats->worker_idle_s = pool.idle_s;
-  }
-  for (const auto& e : item_errors)
-    if (e) std::rethrow_exception(e);
-  return results;
+  // One batch scheduler in the library: an ephemeral warm engine.  The
+  // resident pool and per-worker workspaces it owns live exactly as long
+  // as this one wave; long-lived callers hold an EngineInstance instead.
+  EngineInstance engine(EngineConfig{.threads = threads});
+  return engine.decompose_batch(batch, options, stats);
 }
 
 const char* svd_method_name(SvdMethod method) {
@@ -358,6 +135,43 @@ const char* svd_method_name(SvdMethod method) {
     case SvdMethod::kGolubKahan: return "Golub-Kahan-Reinsch";
   }
   return "?";
+}
+
+const char* svd_method_token(SvdMethod method) {
+  switch (method) {
+    case SvdMethod::kModifiedHestenes: return "hestenes";
+    case SvdMethod::kPlainHestenes: return "plain";
+    case SvdMethod::kParallelHestenes: return "parallel";
+    case SvdMethod::kParallelModifiedHestenes: return "parallel-modified";
+    case SvdMethod::kPipelinedModifiedHestenes: return "pipelined-modified";
+    case SvdMethod::kMixedModifiedHestenes: return "mixed-modified";
+    case SvdMethod::kTwoSidedJacobi: return "two-sided";
+    case SvdMethod::kGolubKahan: return "golub-kahan";
+  }
+  return "?";
+}
+
+bool svd_method_from_token(const std::string& token, SvdMethod* method) {
+  if (token == "hestenes" || token == "modified") {
+    *method = SvdMethod::kModifiedHestenes;
+  } else if (token == "plain") {
+    *method = SvdMethod::kPlainHestenes;
+  } else if (token == "parallel") {
+    *method = SvdMethod::kParallelHestenes;
+  } else if (token == "parallel-modified" || token == "block") {
+    *method = SvdMethod::kParallelModifiedHestenes;
+  } else if (token == "pipelined-modified" || token == "pipelined") {
+    *method = SvdMethod::kPipelinedModifiedHestenes;
+  } else if (token == "mixed-modified" || token == "mixed") {
+    *method = SvdMethod::kMixedModifiedHestenes;
+  } else if (token == "two-sided" || token == "twosided") {
+    *method = SvdMethod::kTwoSidedJacobi;
+  } else if (token == "golub-kahan" || token == "gk") {
+    *method = SvdMethod::kGolubKahan;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace hjsvd

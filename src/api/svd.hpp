@@ -16,6 +16,8 @@
 
 namespace hjsvd {
 
+class Workspace;
+
 enum class SvdMethod {
   kModifiedHestenes,          // the paper's Algorithm 1 (default)
   kPlainHestenes,             // recomputing one-sided Jacobi
@@ -89,6 +91,13 @@ struct SvdOptions {
   /// stall detection meaningless) and polls only the deadline between
   /// items.  Like the sinks, it never changes the arithmetic.
   obs::Watchdog* watchdog = nullptr;
+  /// Deadline-only poller: a watchdog whose check_deadline() is polled once
+  /// per sweep *without* feeding it convergence progress.  svd_batch()
+  /// attaches its batch-scoped watchdog here on every item so one long
+  /// in-flight decomposition honors the wall-clock budget at sweep
+  /// granularity, while stall/divergence detection stays per-batch only.
+  /// Ignored when it aliases `watchdog` (already polled via on_sweep).
+  obs::Watchdog* deadline_poller = nullptr;
   /// Numerical-health probe (src/obs/numerics.hpp): the Hestenes-family
   /// methods feed it sampled pre-rotation pair values, per-sweep
   /// off-diagonal mass, and the finalized result (orthogonality drift /
@@ -98,6 +107,14 @@ struct SvdOptions {
   /// internally locked, so concurrent workers feed one probe safely.
   /// Read-only observer — results stay bitwise identical probes on or off.
   obs::NumericsProbe* numerics = nullptr;
+  /// Scratch arena (svd/workspace.hpp) the Hestenes-family engines draw
+  /// their internal buffers from, so repeated same-shape calls skip the
+  /// heap entirely after warmup; null (the default) allocates per call.
+  /// Results are bitwise identical either way — acquired buffers come back
+  /// zeroed.  Must not be shared across concurrently running svd() calls;
+  /// EngineInstance (api/engine.hpp) manages one arena per pool worker and
+  /// is the intended owner.
+  Workspace* workspace = nullptr;
 };
 
 /// Decomposes an arbitrary m x n matrix.  Throws hjsvd::Error for invalid
@@ -155,5 +172,17 @@ std::vector<SvdResult> svd_batch(const std::vector<Matrix>& batch,
 
 /// Human-readable method name (for reports).
 const char* svd_method_name(SvdMethod method);
+
+/// Canonical short token of a method — the shared vocabulary of the CLI's
+/// --method flag and the serve protocol's "method" field: hestenes | plain
+/// | parallel | parallel-modified | pipelined-modified | mixed-modified |
+/// two-sided | golub-kahan.
+const char* svd_method_token(SvdMethod method);
+
+/// Inverse of svd_method_token, also accepting the historical aliases
+/// (modified, block, pipelined, mixed, twosided, gk).  Returns false on an
+/// unknown token so each caller can raise its own error flavor (usage
+/// error in the CLI, bad_request in the serve protocol).
+bool svd_method_from_token(const std::string& token, SvdMethod* method);
 
 }  // namespace hjsvd

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -28,67 +29,39 @@ struct WorkerDeque {
   std::atomic<double> remaining{0.0};
 };
 
-}  // namespace
-
-PoolStats run_work_stealing(
-    const std::vector<double>& costs,
-    const std::vector<std::vector<std::size_t>>& bins,
-    const WorkStealingOptions& options,
-    const std::function<void(const PoolTaskInfo&)>& fn) {
-  HJSVD_ENSURE(options.workers >= 1, "pool needs at least one worker");
-  HJSVD_ENSURE(bins.size() <= options.workers,
-               "more seeded bins than pool workers");
-  HJSVD_ENSURE(static_cast<bool>(fn), "pool task callback must be callable");
-  const std::size_t n_tasks = costs.size();
-  for (double c : costs)
-    HJSVD_ENSURE(std::isfinite(c) && c >= 0.0,
-                 "task cost estimates must be finite and non-negative");
-  {
-    std::vector<bool> seen(n_tasks, false);
-    std::size_t covered = 0;
-    for (const auto& bin : bins)
-      for (std::size_t t : bin) {
-        HJSVD_ENSURE(t < n_tasks, "seeded bin references unknown task");
-        HJSVD_ENSURE(!seen[t], "task seeded into more than one bin");
-        seen[t] = true;
-        ++covered;
-      }
-    HJSVD_ENSURE(covered == n_tasks, "seeded bins must cover every task");
-  }
-
-  const std::size_t workers = options.workers;
-  const std::size_t width =
-      options.total_width == 0 ? workers : options.total_width;
-
-  std::vector<WorkerDeque> deques(workers);
-  for (std::size_t w = 0; w < bins.size(); ++w) {
-    double sum = 0.0;
-    for (std::size_t t : bins[w]) {
-      deques[w].tasks.push_back(t);
-      sum += costs[t];
-    }
-    deques[w].remaining.store(sum, std::memory_order_relaxed);
-  }
-
-  PoolStats stats;
-  stats.workers = workers;
-  stats.tasks = n_tasks;
-  stats.executed.assign(workers, 0);
-  stats.stolen.assign(workers, 0);
-  stats.busy_s.assign(workers, 0.0);
-  stats.idle_s.assign(workers, 0.0);
-  stats.occupancy.assign(n_tasks, 0);
-
-  // Per-task exception slots: each is written by exactly one worker (the
-  // one that ran the task), read by the caller after the join.
-  std::vector<std::exception_ptr> errors(n_tasks);
-  std::vector<std::uint64_t> nested(workers, 0);
-  std::vector<std::uint64_t> granted(workers, 0);
-
-  // Unacquired tasks; drives the occupancy samples and their global order.
-  std::atomic<std::size_t> queued{n_tasks};
-  // Helper reservations currently outstanding against `width`.
+/// Everything one wave's workers share.  Lives on the dispatching run()
+/// call's stack; participants are guaranteed to finish (and stop touching
+/// it) before run() returns, so plain pointers are safe.
+struct WaveState {
+  const std::vector<double>* costs = nullptr;
+  const WorkStealingOptions* options = nullptr;
+  const std::function<void(const PoolTaskInfo&)>* fn = nullptr;
+  std::vector<WorkerDeque>* deques = nullptr;
+  PoolStats* stats = nullptr;
+  std::vector<std::exception_ptr>* errors = nullptr;
+  std::vector<std::uint64_t>* nested = nullptr;
+  std::vector<std::uint64_t>* granted = nullptr;
+  /// Unacquired tasks; drives the occupancy samples and their global order.
+  std::atomic<std::size_t> queued{0};
+  /// Helper reservations currently outstanding against `width`.
   std::atomic<std::size_t> borrowed{0};
+  std::size_t participants = 0;
+  std::size_t width = 0;
+  std::size_t n_tasks = 0;
+};
+
+/// The work-stealing loop of one participating worker: drain the own deque
+/// front-first, then steal back-first from the richest victim until every
+/// deque is empty.
+void wave_worker(WaveState& wv, std::size_t self) {
+  const std::vector<double>& costs = *wv.costs;
+  std::vector<WorkerDeque>& deques = *wv.deques;
+  const WorkStealingOptions& options = *wv.options;
+  PoolStats& stats = *wv.stats;
+  const std::size_t workers = wv.participants;
+  const std::size_t width = wv.width;
+
+  if (options.worker_start) options.worker_start(self);
 
   // Pop the task with the largest remaining estimate (front of the
   // LPT-ordered deque); thieves take the smallest (back) so the victim
@@ -114,96 +87,233 @@ PoolStats run_work_stealing(
     return true;
   };
 
-  const auto worker_main = [&](std::size_t self) {
-    if (options.worker_start) options.worker_start(self);
-    double busy = 0.0;
-    for (;;) {
-      std::size_t task = 0;
-      bool stolen = false;
-      if (!try_pop(self, /*back=*/false, &task)) {
-        // Own deque drained: steal from the richest victim.  Snapshots can
-        // be stale, so fall back to a locked linear sweep before giving up
-        // (zero-cost tasks never show up in the snapshot ranking).
-        bool found = false;
-        for (;;) {
-          std::size_t victim = workers;
-          double best = 0.0;
-          for (std::size_t w = 0; w < workers; ++w) {
-            if (w == self) continue;
-            const double r = deques[w].remaining.load(std::memory_order_relaxed);
-            if (r > best) {
-              best = r;
-              victim = w;
-            }
-          }
-          if (victim == workers) break;
-          if (try_pop(victim, /*back=*/true, &task)) {
-            found = true;
-            break;
+  double busy = 0.0;
+  for (;;) {
+    std::size_t task = 0;
+    bool stolen = false;
+    if (!try_pop(self, /*back=*/false, &task)) {
+      // Own deque drained: steal from the richest victim.  Snapshots can
+      // be stale, so fall back to a locked linear sweep before giving up
+      // (zero-cost tasks never show up in the snapshot ranking).
+      bool found = false;
+      for (;;) {
+        std::size_t victim = workers;
+        double best = 0.0;
+        for (std::size_t w = 0; w < workers; ++w) {
+          if (w == self) continue;
+          const double r = deques[w].remaining.load(std::memory_order_relaxed);
+          if (r > best) {
+            best = r;
+            victim = w;
           }
         }
-        if (!found)
-          for (std::size_t w = 0; w < workers && !found; ++w)
-            found = try_pop(w, /*back=*/true, &task);
-        // No task anywhere.  Tasks are never enqueued after start, so an
-        // all-empty sweep is conclusive: exit instead of spinning.
-        if (!found) break;
-        stolen = true;
+        if (victim == workers) break;
+        if (try_pop(victim, /*back=*/true, &task)) {
+          found = true;
+          break;
+        }
       }
-
-      PoolTaskInfo info;
-      info.task = task;
-      info.worker = self;
-      info.stolen = stolen;
-      const std::size_t before = queued.fetch_sub(1, std::memory_order_acq_rel);
-      info.queued = before - 1;
-      stats.occupancy[n_tasks - before] = info.queued;
-
-      // Borrow helpers for a qualifying task: reserve against the total
-      // width so one big task can expand to the pool's full budget.  The
-      // reservation is advisory (see pool.hpp) — it bounds deliberate
-      // oversubscription and never influences results.
-      std::size_t cap = task < options.max_helpers.size()
-                            ? options.max_helpers[task]
-                            : 0;
-      if (cap > width - 1) cap = width - 1;
-      std::size_t got = 0;
-      if (cap > 0) {
-        std::size_t cur = borrowed.load(std::memory_order_relaxed);
-        do {
-          const std::size_t avail = width - 1 > cur ? width - 1 - cur : 0;
-          got = cap < avail ? cap : avail;
-        } while (got > 0 &&
-                 !borrowed.compare_exchange_weak(cur, cur + got,
-                                                 std::memory_order_acq_rel));
-      }
-      info.helpers = got;
-      if (got > 0) {
-        ++nested[self];
-        granted[self] += got;
-      }
-
-      const auto task_t0 = std::chrono::steady_clock::now();
-      try {
-        fn(info);
-      } catch (...) {
-        errors[task] = std::current_exception();
-      }
-      busy += seconds_since(task_t0);
-      if (got > 0) borrowed.fetch_sub(got, std::memory_order_acq_rel);
-      ++stats.executed[self];
-      if (stolen) ++stats.stolen[self];
+      if (!found)
+        for (std::size_t w = 0; w < workers && !found; ++w)
+          found = try_pop(w, /*back=*/true, &task);
+      // No task anywhere.  Tasks are never enqueued after wave start, so an
+      // all-empty sweep is conclusive: exit instead of spinning.
+      if (!found) break;
+      stolen = true;
     }
-    stats.busy_s[self] = busy;
-  };
 
-  const auto pool_t0 = std::chrono::steady_clock::now();
+    PoolTaskInfo info;
+    info.task = task;
+    info.worker = self;
+    info.stolen = stolen;
+    const std::size_t before =
+        wv.queued.fetch_sub(1, std::memory_order_acq_rel);
+    info.queued = before - 1;
+    stats.occupancy[wv.n_tasks - before] = info.queued;
+
+    // Borrow helpers for a qualifying task: reserve against the total
+    // width so one big task can expand to the pool's full budget.  The
+    // reservation is advisory (see pool.hpp) — it bounds deliberate
+    // oversubscription and never influences results.
+    std::size_t cap =
+        task < options.max_helpers.size() ? options.max_helpers[task] : 0;
+    if (cap > width - 1) cap = width - 1;
+    std::size_t got = 0;
+    if (cap > 0) {
+      std::size_t cur = wv.borrowed.load(std::memory_order_relaxed);
+      do {
+        const std::size_t avail = width - 1 > cur ? width - 1 - cur : 0;
+        got = cap < avail ? cap : avail;
+      } while (got > 0 &&
+               !wv.borrowed.compare_exchange_weak(cur, cur + got,
+                                                  std::memory_order_acq_rel));
+    }
+    info.helpers = got;
+    if (got > 0) {
+      ++(*wv.nested)[self];
+      (*wv.granted)[self] += got;
+    }
+
+    const auto task_t0 = std::chrono::steady_clock::now();
+    try {
+      (*wv.fn)(info);
+    } catch (...) {
+      (*wv.errors)[task] = std::current_exception();
+    }
+    busy += seconds_since(task_t0);
+    if (got > 0) wv.borrowed.fetch_sub(got, std::memory_order_acq_rel);
+    ++stats.executed[self];
+    if (stolen) ++stats.stolen[self];
+  }
+  stats.busy_s[self] = busy;
+}
+
+}  // namespace
+
+/// Resident-thread state.  Threads park on `cv` between waves and watch
+/// `generation`; run() installs a wave, bumps the generation, and waits on
+/// `done_cv` until every participant has acknowledged.  Because run()
+/// blocks until the acknowledgement count drains, the WaveState (stack of
+/// run()) outlives every participant's use of it; non-participating
+/// threads never dereference `wave` at all.
+struct WorkStealingPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::condition_variable done_cv;
+  std::uint64_t generation = 0;
+  std::size_t participants = 0;   ///< Of the current wave.
+  std::size_t done_pending = 0;   ///< Participants yet to finish the wave.
+  WaveState* wave = nullptr;
+  bool shutdown = false;
+  /// Serializes run() callers; resident threads never take it.
+  std::mutex run_mu;
   std::vector<std::thread> threads;
-  threads.reserve(workers);
+
+  void resident_main(std::size_t self) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      WaveState* wv = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+        if (self < participants) wv = wave;
+      }
+      if (wv == nullptr) continue;  // not a participant of this wave
+      wave_worker(*wv, self);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (--done_pending == 0) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+WorkStealingPool::WorkStealingPool(std::size_t workers)
+    : impl_(std::make_unique<Impl>()), workers_(workers) {
+  HJSVD_ENSURE(workers >= 1, "pool needs at least one worker");
+  impl_->threads.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w)
-    threads.emplace_back(worker_main, w);
-  for (auto& t : threads) t.join();
-  stats.wall_s = seconds_since(pool_t0);
+    impl_->threads.emplace_back([this, w] { impl_->resident_main(w); });
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& t : impl_->threads) t.join();
+}
+
+PoolStats WorkStealingPool::run(
+    const std::vector<double>& costs,
+    const std::vector<std::vector<std::size_t>>& bins,
+    const WorkStealingOptions& options,
+    const std::function<void(const PoolTaskInfo&)>& fn) {
+  HJSVD_ENSURE(options.workers >= 1, "pool needs at least one worker");
+  HJSVD_ENSURE(options.workers <= workers_,
+               "wave requests more workers than the pool owns");
+  HJSVD_ENSURE(bins.size() <= options.workers,
+               "more seeded bins than pool workers");
+  HJSVD_ENSURE(static_cast<bool>(fn), "pool task callback must be callable");
+  const std::size_t n_tasks = costs.size();
+  for (double c : costs)
+    HJSVD_ENSURE(std::isfinite(c) && c >= 0.0,
+                 "task cost estimates must be finite and non-negative");
+  {
+    std::vector<bool> seen(n_tasks, false);
+    std::size_t covered = 0;
+    for (const auto& bin : bins)
+      for (std::size_t t : bin) {
+        HJSVD_ENSURE(t < n_tasks, "seeded bin references unknown task");
+        HJSVD_ENSURE(!seen[t], "task seeded into more than one bin");
+        seen[t] = true;
+        ++covered;
+      }
+    HJSVD_ENSURE(covered == n_tasks, "seeded bins must cover every task");
+  }
+
+  // One wave at a time: later callers queue here, not inside the workers.
+  std::lock_guard<std::mutex> run_lock(impl_->run_mu);
+
+  const std::size_t workers = options.workers;
+  const std::size_t width =
+      options.total_width == 0 ? workers : options.total_width;
+
+  std::vector<WorkerDeque> deques(workers);
+  for (std::size_t w = 0; w < bins.size(); ++w) {
+    double sum = 0.0;
+    for (std::size_t t : bins[w]) {
+      deques[w].tasks.push_back(t);
+      sum += costs[t];
+    }
+    deques[w].remaining.store(sum, std::memory_order_relaxed);
+  }
+
+  PoolStats stats;
+  stats.workers = workers;
+  stats.tasks = n_tasks;
+  stats.executed.assign(workers, 0);
+  stats.stolen.assign(workers, 0);
+  stats.busy_s.assign(workers, 0.0);
+  stats.idle_s.assign(workers, 0.0);
+  stats.occupancy.assign(n_tasks, 0);
+
+  // Per-task exception slots: each is written by exactly one worker (the
+  // one that ran the task), read below after the wave drains.
+  std::vector<std::exception_ptr> errors(n_tasks);
+  std::vector<std::uint64_t> nested(workers, 0);
+  std::vector<std::uint64_t> granted(workers, 0);
+
+  WaveState wv;
+  wv.costs = &costs;
+  wv.options = &options;
+  wv.fn = &fn;
+  wv.deques = &deques;
+  wv.stats = &stats;
+  wv.errors = &errors;
+  wv.nested = &nested;
+  wv.granted = &granted;
+  wv.queued.store(n_tasks, std::memory_order_relaxed);
+  wv.participants = workers;
+  wv.width = width;
+  wv.n_tasks = n_tasks;
+
+  const auto wave_t0 = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->wave = &wv;
+    impl_->participants = workers;
+    impl_->done_pending = workers;
+    ++impl_->generation;
+    impl_->cv.notify_all();
+    impl_->done_cv.wait(lock, [&] { return impl_->done_pending == 0; });
+    impl_->wave = nullptr;
+    impl_->participants = 0;
+  }
+  stats.wall_s = seconds_since(wave_t0);
 
   for (std::size_t w = 0; w < workers; ++w) {
     stats.steals += stats.stolen[w];
@@ -219,6 +329,16 @@ PoolStats run_work_stealing(
     if (errors[t]) std::rethrow_exception(errors[t]);
 
   return stats;
+}
+
+PoolStats run_work_stealing(
+    const std::vector<double>& costs,
+    const std::vector<std::vector<std::size_t>>& bins,
+    const WorkStealingOptions& options,
+    const std::function<void(const PoolTaskInfo&)>& fn) {
+  HJSVD_ENSURE(options.workers >= 1, "pool needs at least one worker");
+  WorkStealingPool pool(options.workers);
+  return pool.run(costs, bins, options, fn);
 }
 
 }  // namespace hjsvd

@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace hjsvd {
@@ -77,12 +78,52 @@ struct PoolStats {
   std::vector<std::size_t> occupancy;
 };
 
+/// Warm work-stealing pool: worker threads are spawned once at construction
+/// and stay resident, parked on a condition variable between waves, so a
+/// long-lived caller (hjsvd::EngineInstance under hjsvd_serve) pays the
+/// thread-spawn cost exactly once instead of per batch.  Each run() call
+/// dispatches one wave of tasks with the same deque/steal/error semantics
+/// as run_work_stealing above; a wave may use any options.workers up to the
+/// pool size — the first options.workers resident threads participate, the
+/// rest sleep through the wave.  Scheduling stays timing-dependent, so the
+/// same "bitwise-deterministic tasks only" contract applies.
+class WorkStealingPool {
+ public:
+  /// Spawns `workers` resident threads (must be >= 1).
+  explicit WorkStealingPool(std::size_t workers);
+  /// Joins the resident threads.  No run() may be in flight.
+  ~WorkStealingPool();
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Resident worker threads.
+  std::size_t workers() const { return workers_; }
+
+  /// Dispatches one wave: runs `fn` once per task across the first
+  /// options.workers resident threads (<= workers()) and returns the
+  /// scheduler stats.  Input contract and error contract are identical to
+  /// run_work_stealing; options.worker_start runs per wave.  Thread-safe —
+  /// concurrent run() calls serialize, they never interleave waves.
+  /// stats.wall_s covers dispatch-to-drain (no spawn cost by design).
+  PoolStats run(const std::vector<double>& costs,
+                const std::vector<std::vector<std::size_t>>& bins,
+                const WorkStealingOptions& options,
+                const std::function<void(const PoolTaskInfo&)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t workers_ = 0;
+};
+
 /// Runs `fn` once per task across `options.workers` threads and returns the
 /// scheduler stats.  `costs[t]` is the estimated cost of task t (finite,
 /// >= 0); `bins[w]` lists the tasks seeded onto worker w's deque, and the
 /// bins must cover every task exactly once (bins beyond options.workers are
 /// rejected).  Throws hjsvd::Error on malformed input; rethrows the
-/// lowest-index task exception after all tasks have run.
+/// lowest-index task exception after all tasks have run.  One-shot
+/// convenience over WorkStealingPool: spawns an ephemeral pool of
+/// options.workers threads, dispatches a single wave, and tears it down.
 PoolStats run_work_stealing(const std::vector<double>& costs,
                             const std::vector<std::vector<std::size_t>>& bins,
                             const WorkStealingOptions& options,

@@ -103,13 +103,20 @@ double squared_norm_relaxed(std::span<const double> x) {
   return simd::squared_norm_relaxed(x);
 }
 
-Matrix gram_upper_relaxed(const Matrix& a) {
+void gram_upper_relaxed_into(Matrix& d, const Matrix& a) {
   const std::size_t n = a.cols();
-  Matrix d(n, n);
+  HJSVD_ENSURE(d.rows() == n && d.cols() == n,
+               "gram_upper_relaxed_into output has the wrong shape");
   for (std::size_t i = 0; i < n; ++i) {
     const auto ci = a.col(i);
     for (std::size_t j = i; j < n; ++j) d(i, j) = dot_relaxed(ci, a.col(j));
   }
+}
+
+Matrix gram_upper_relaxed(const Matrix& a) {
+  const std::size_t n = a.cols();
+  Matrix d(n, n);
+  gram_upper_relaxed_into(d, a);
   return d;
 }
 

@@ -68,6 +68,12 @@ double dot_relaxed(std::span<const double> x, std::span<const double> y);
 /// Relaxed-tier squared 2-norm (see dot_relaxed).
 double squared_norm_relaxed(std::span<const double> x);
 
+/// gram_upper_relaxed into a caller-provided n x n matrix whose strict
+/// lower triangle must already be zero (e.g. a Workspace-acquired buffer);
+/// only entries with row <= col are written.  Allocation-free and bitwise
+/// equal to gram_upper_relaxed(a).
+void gram_upper_relaxed_into(Matrix& d, const Matrix& a);
+
 /// Upper-triangular Gram matrix built from dot_relaxed (the relaxed-tier
 /// replacement for gram_upper_ops<NativeOps> with chunk_rows == 1).
 Matrix gram_upper_relaxed(const Matrix& a);

@@ -43,12 +43,14 @@ double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
   return worst;
 }
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
+void matmul_into(Matrix& c, const Matrix& a, const Matrix& b) {
   HJSVD_ENSURE(a.cols() == b.rows(), "matmul inner dimensions must agree");
-  Matrix c(a.rows(), b.cols());
+  HJSVD_ENSURE(c.rows() == a.rows() && c.cols() == b.cols(),
+               "matmul_into output has the wrong shape");
   // j-k-i loop order: streams down columns of A and C (column-major).
   for (std::size_t j = 0; j < b.cols(); ++j) {
     auto cj = c.col(j);
+    std::fill(cj.begin(), cj.end(), 0.0);
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double bkj = b(k, j);
       if (bkj == 0.0) continue;
@@ -56,6 +58,12 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
       for (std::size_t i = 0; i < a.rows(); ++i) cj[i] += ak[i] * bkj;
     }
   }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  HJSVD_ENSURE(a.cols() == b.rows(), "matmul inner dimensions must agree");
+  Matrix c(a.rows(), b.cols());
+  matmul_into(c, a, b);
   return c;
 }
 

@@ -58,6 +58,22 @@ class Matrix {
   std::span<double> data() { return data_; }
   std::span<const double> data() const { return data_; }
 
+  /// Re-shapes in place to rows x cols with every entry zeroed, retaining
+  /// the existing heap block whenever its capacity suffices (std::vector
+  /// assign never shrinks capacity).  Returns true when the storage was
+  /// reused without allocating, false when the buffer had to grow — the
+  /// signal svd/workspace.hpp turns into its reuse/alloc counters.  A
+  /// zeroed reused buffer is indistinguishable from a fresh Matrix, so
+  /// downstream arithmetic is bitwise independent of which path was taken.
+  bool reshape(std::size_t rows, std::size_t cols) {
+    const std::size_t need = rows * cols;
+    const bool reused = data_.capacity() >= need;
+    data_.assign(need, 0.0);
+    rows_ = rows;
+    cols_ = cols;
+    return reused;
+  }
+
   Matrix transposed() const;
 
   /// Max |a_ij - b_ij| over all entries; matrices must be the same shape.
@@ -71,6 +87,12 @@ class Matrix {
 
 /// C = A * B.
 Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A * B into a caller-provided C, which must already be shaped
+/// a.rows() x b.cols(); prior contents are overwritten.  The allocation-free
+/// variant matmul delegates to — identical loop order and accumulation, so
+/// the result is bitwise equal to matmul(a, b) whatever C held before.
+void matmul_into(Matrix& c, const Matrix& a, const Matrix& b);
 
 /// Dense column-major matrix in an arbitrary scalar type.  The working
 /// storage of the mixed-precision engine's float phase (docs/ALGORITHM.md

@@ -278,18 +278,22 @@ void SnapshotExporter::run() {
 }
 
 void SnapshotExporter::stop() {
+  bool already_stopped = false;
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (stop_requested_ && !thread_.joinable()) return;
+    already_stopped = stop_requested_ && !thread_.joinable();
     stop_requested_ = true;
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
-  // Final sample + any dump requested in the last interval, now that the
-  // sampler thread is gone (no concurrency to reason about).
+  // Any dump requested in the last interval is serviced *before* the final
+  // sample, so its obs.dump.count bump lands in the final snapshot line.
+  // This runs on the repeated-stop path too (destructor after an explicit
+  // stop()): a request arriving between the two has no sampler thread left
+  // to see it, so this is its only chance to produce a dump pair.
   if (watchdog_ != nullptr) watchdog_->check_deadline();
-  sample_once();
   service_dump_requests();
+  if (!already_stopped) sample_once();
   jsonl_.flush();
 }
 

@@ -33,6 +33,14 @@ struct ObsContext {
   MetricsRegistry* metrics = nullptr;
   Watchdog* watchdog = nullptr;
   NumericsProbe* numerics = nullptr;
+  /// Deadline-only poller: a watchdog whose check_deadline() is polled once
+  /// per sweep without feeding it convergence progress.  svd_batch attaches
+  /// its batch-scoped watchdog here so a single long in-flight decomposition
+  /// honors --deadline-s at sweep granularity, while the per-item stall /
+  /// divergence detectors stay detached (item interleaving on the
+  /// work-stealing pool is nondeterministic).  May alias `watchdog`; the
+  /// per-sweep hook dedupes.
+  Watchdog* deadline = nullptr;
 };
 
 #if !defined(HJSVD_OBS) || HJSVD_OBS

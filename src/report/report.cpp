@@ -353,6 +353,28 @@ void fill_numerics(const MetricsView& metrics, RunReport* report) {
       metrics.value_or("obs.watchdog.orthogonality", 0.0) != 0.0;
 }
 
+void fill_serve(const MetricsView& metrics, RunReport* report) {
+  if (!metrics.has("serve.requests_total")) return;
+  report->has_serve = true;
+  const auto u64 = [&](std::string_view name) {
+    return static_cast<std::uint64_t>(metrics.value_or(name, 0.0));
+  };
+  report->serve_requests_total = u64("serve.requests_total");
+  report->serve_admitted_total = u64("serve.admitted_total");
+  report->serve_rejected_overload = u64("serve.rejected.overload");
+  report->serve_rejected_bad_request = u64("serve.rejected.bad_request");
+  report->serve_expired_deadline = u64("serve.expired.deadline");
+  report->serve_replies_ok = u64("serve.replies_ok");
+  report->serve_replies_error = u64("serve.replies_error");
+  report->serve_waves_total = u64("serve.waves_total");
+  report->serve_workspace_reuse_total = u64("serve.workspace.reuse_total");
+  report->serve_workspace_alloc_total = u64("serve.workspace.alloc_total");
+  report->serve_latency_p50_ms = metrics.value_or("serve.latency_p50_ms", 0.0);
+  report->serve_latency_p95_ms = metrics.value_or("serve.latency_p95_ms", 0.0);
+  report->serve_queue_depth =
+      series_stats(metrics.series_values("serve.queue.depth"));
+}
+
 void fill_convergence(const MetricsView& metrics, RunReport* report) {
   const auto frob = metrics.series_points("svd.sweep.offdiag_frobenius");
   const auto rel = metrics.series_points("svd.sweep.max_rel_offdiag");
@@ -448,6 +470,7 @@ RunReport analyze_run(const JsonValue& trace_doc,
   fill_mixed(metrics, &report);
   fill_live(trace_doc, metrics, &report);
   fill_numerics(metrics, &report);
+  fill_serve(metrics, &report);
   fill_convergence(metrics, &report);
   fill_cross_checks(&report);
   return report;
@@ -588,6 +611,23 @@ std::string report_json(const RunReport& r) {
        << ", \"watchdog_divergence\": " << json_bool(r.num_watchdog_divergence)
        << ", \"watchdog_orthogonality\": "
        << json_bool(r.num_watchdog_orthogonality) << "},\n";
+  }
+  if (r.has_serve) {
+    os << "\"serve\": {\"requests_total\": " << r.serve_requests_total
+       << ", \"admitted_total\": " << r.serve_admitted_total
+       << ", \"rejected_overload\": " << r.serve_rejected_overload
+       << ", \"rejected_bad_request\": " << r.serve_rejected_bad_request
+       << ", \"expired_deadline\": " << r.serve_expired_deadline
+       << ", \"replies_ok\": " << r.serve_replies_ok
+       << ", \"replies_error\": " << r.serve_replies_error
+       << ", \"waves_total\": " << r.serve_waves_total
+       << ", \"workspace_reuse_total\": " << r.serve_workspace_reuse_total
+       << ", \"workspace_alloc_total\": " << r.serve_workspace_alloc_total
+       << ", \"latency_p50_ms\": " << json_number(r.serve_latency_p50_ms)
+       << ", \"latency_p95_ms\": " << json_number(r.serve_latency_p95_ms)
+       << ", \"queue_depth\": ";
+    append_series_stats(os, r.serve_queue_depth);
+    os << "},\n";
   }
   os << "\"convergence\": [";
   for (std::size_t i = 0; i < r.convergence.size(); ++i) {
@@ -738,6 +778,27 @@ std::string report_table(const RunReport& r) {
        << (r.num_watchdog_orthogonality ? "FLAGGED" : "clear");
     if (r.num_nonfinite_events > 0)
       os << "; " << r.num_nonfinite_events << " NON-FINITE event(s)";
+    os << "\n\n";
+  }
+
+  if (r.has_serve) {
+    os << "serve: " << r.serve_requests_total << " requests ("
+       << r.serve_admitted_total << " admitted / "
+       << r.serve_rejected_overload << " overload / "
+       << r.serve_rejected_bad_request << " bad), "
+       << r.serve_expired_deadline << " deadline-expired, "
+       << r.serve_replies_ok << " ok + " << r.serve_replies_error
+       << " error replies over " << r.serve_waves_total
+       << " wave(s); latency p50 "
+       << format_fixed(r.serve_latency_p50_ms, 3) << "ms / p95 "
+       << format_fixed(r.serve_latency_p95_ms, 3) << "ms; workspace "
+       << r.serve_workspace_reuse_total << " reuses / "
+       << r.serve_workspace_alloc_total << " allocs";
+    if (r.serve_queue_depth.samples > 0)
+      os << "; queue depth mean "
+         << format_fixed(r.serve_queue_depth.mean, 2) << " / max "
+         << format_fixed(r.serve_queue_depth.max, 0) << " over "
+         << r.serve_queue_depth.samples << " samples";
     os << "\n\n";
   }
 
@@ -933,6 +994,28 @@ RunReport report_from_json(const JsonValue& doc) {
     r.num_backward_error = num->number_or("backward_error", -1.0);
     r.num_watchdog_divergence = flag("watchdog_divergence");
     r.num_watchdog_orthogonality = flag("watchdog_orthogonality");
+  }
+  if (const JsonValue* serve = doc.find("serve");
+      serve != nullptr && serve->is_object()) {
+    r.has_serve = true;
+    const auto u64 = [&](const char* name) {
+      return static_cast<std::uint64_t>(serve->number_or(name, 0.0));
+    };
+    r.serve_requests_total = u64("requests_total");
+    r.serve_admitted_total = u64("admitted_total");
+    r.serve_rejected_overload = u64("rejected_overload");
+    r.serve_rejected_bad_request = u64("rejected_bad_request");
+    r.serve_expired_deadline = u64("expired_deadline");
+    r.serve_replies_ok = u64("replies_ok");
+    r.serve_replies_error = u64("replies_error");
+    r.serve_waves_total = u64("waves_total");
+    r.serve_workspace_reuse_total = u64("workspace_reuse_total");
+    r.serve_workspace_alloc_total = u64("workspace_alloc_total");
+    r.serve_latency_p50_ms = serve->number_or("latency_p50_ms", 0.0);
+    r.serve_latency_p95_ms = serve->number_or("latency_p95_ms", 0.0);
+    if (const JsonValue* depth = serve->find("queue_depth");
+        depth != nullptr && depth->is_object())
+      r.serve_queue_depth = series_stats_from_json(*depth);
   }
   if (const JsonValue* conv = doc.find("convergence");
       conv != nullptr && conv->is_array()) {

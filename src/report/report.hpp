@@ -188,6 +188,29 @@ struct RunReport {
   bool num_watchdog_divergence = false;      // sticky verdicts (obs.watchdog.*)
   bool num_watchdog_orthogonality = false;
 
+  // Serving section (hjsvd_serve daemon sessions; serve.* metrics from
+  // src/serve/server.cpp).  Present when the metrics document came from a
+  // serve run.  Like batch/mixed/live/numerics, the member is omitted from
+  // the JSON entirely when absent, so offline-run reports re-serialize
+  // byte-for-byte.  Invariants the serve validator enforces:
+  //   requests_total == admitted_total + rejected_overload +
+  //                     rejected_bad_request
+  //   replies_ok + replies_error == requests_total
+  bool has_serve = false;
+  std::uint64_t serve_requests_total = 0;        // every frame submitted
+  std::uint64_t serve_admitted_total = 0;        // passed admission control
+  std::uint64_t serve_rejected_overload = 0;     // bounded-queue rejections
+  std::uint64_t serve_rejected_bad_request = 0;  // malformed/duplicate frames
+  std::uint64_t serve_expired_deadline = 0;      // expired while queued
+  std::uint64_t serve_replies_ok = 0;
+  std::uint64_t serve_replies_error = 0;
+  std::uint64_t serve_waves_total = 0;           // dispatch waves executed
+  std::uint64_t serve_workspace_reuse_total = 0;  // warm arena hits
+  std::uint64_t serve_workspace_alloc_total = 0;  // cold arena allocations
+  double serve_latency_p50_ms = 0.0;  // admitted-request latency percentiles
+  double serve_latency_p95_ms = 0.0;
+  SeriesStats serve_queue_depth;      // serve.queue.depth series
+
   std::vector<ConvergencePoint> convergence;
 
   // Cross-checks (derived; what PR 3 concluded by reading bench stdout).

@@ -1,0 +1,258 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "report/json.hpp"
+
+namespace hjsvd::serve {
+namespace {
+
+/// JSON string escaping (quotes, backslashes, control characters) — same
+/// idiom as the obs writers, kept local because they are anon-namespace.
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  append_escaped(out, s);
+  out += '"';
+}
+
+/// Round-trip double formatting; JSON has no inf/nan, map them to null.
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  out += os.str();
+}
+
+void append_doubles(std::string& out, const std::vector<double>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    append_number(out, values[i]);
+  }
+  out += ']';
+}
+
+/// {"rows": R, "cols": C, "data": [...]} — column-major, mirroring the
+/// request payload layout.
+void append_matrix(std::string& out, const Matrix& m) {
+  out += "{\"rows\":";
+  out += std::to_string(m.rows());
+  out += ",\"cols\":";
+  out += std::to_string(m.cols());
+  out += ",\"data\":[";
+  bool first = true;
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      if (!first) out += ',';
+      first = false;
+      append_number(out, m(i, j));
+    }
+  }
+  out += "]}";
+}
+
+[[noreturn]] void fail(std::string id, std::string message) {
+  throw BadRequest{std::move(id), std::move(message)};
+}
+
+/// Member as a non-negative integer (shape fields, max_sweeps).
+std::size_t require_index(const report::JsonValue& frame, const char* key,
+                          const std::string& id) {
+  const report::JsonValue* v = frame.find(key);
+  if (v == nullptr) fail(id, std::string("missing field '") + key + "'");
+  if (!v->is_number())
+    fail(id, std::string("field '") + key + "' must be a number");
+  const double d = v->as_number();
+  if (!std::isfinite(d) || d < 0.0 || d != std::floor(d))
+    fail(id, std::string("field '") + key + "' must be a non-negative integer");
+  if (d > static_cast<double>(std::numeric_limits<std::size_t>::max() / 2))
+    fail(id, std::string("field '") + key + "' out of range");
+  return static_cast<std::size_t>(d);
+}
+
+}  // namespace
+
+Request parse_request(std::string_view line, const Limits& limits) {
+  report::JsonValue frame;
+  try {
+    frame = report::parse_json(line);
+  } catch (const Error& e) {
+    fail("", std::string("malformed JSON: ") + e.what());
+  }
+  if (!frame.is_object()) fail("", "frame must be a JSON object");
+
+  // Recover the id first so every later failure can carry it.
+  std::string id;
+  if (const report::JsonValue* v = frame.find("id"); v != nullptr) {
+    if (!v->is_string()) fail("", "field 'id' must be a string");
+    id = v->as_string();
+  }
+  if (id.empty()) fail(id, "missing or empty field 'id'");
+
+  if (const report::JsonValue* v = frame.find("schema"); v != nullptr) {
+    if (!v->is_string() || v->as_string() != kProtocolSchema)
+      fail(id, std::string("unsupported schema (expected \"") +
+                   kProtocolSchema + "\")");
+  }
+
+  Request req;
+  req.id = std::move(id);
+  req.rows = require_index(frame, "rows", req.id);
+  req.cols = require_index(frame, "cols", req.id);
+  if (req.rows == 0 || req.cols == 0)
+    fail(req.id, "rows and cols must be at least 1");
+  if (req.rows > limits.max_dim || req.cols > limits.max_dim)
+    fail(req.id, "shape exceeds the server's max dimension (" +
+                     std::to_string(limits.max_dim) + ")");
+  if (req.rows * req.cols > limits.max_entries)
+    fail(req.id, "payload exceeds the server's max entry count (" +
+                     std::to_string(limits.max_entries) + ")");
+
+  const report::JsonValue* data = frame.find("data");
+  if (data == nullptr) fail(req.id, "missing field 'data'");
+  if (!data->is_array()) fail(req.id, "field 'data' must be an array");
+  const std::vector<report::JsonValue>& entries = data->as_array();
+  if (entries.size() != req.rows * req.cols)
+    fail(req.id, "field 'data' has " + std::to_string(entries.size()) +
+                     " entries, expected rows*cols = " +
+                     std::to_string(req.rows * req.cols));
+  req.data.reserve(entries.size());
+  for (const report::JsonValue& entry : entries) {
+    if (!entry.is_number())
+      fail(req.id, "field 'data' entries must all be numbers");
+    req.data.push_back(entry.as_number());
+  }
+
+  if (const report::JsonValue* v = frame.find("method"); v != nullptr) {
+    if (!v->is_string()) fail(req.id, "field 'method' must be a string");
+    if (!svd_method_from_token(v->as_string(), &req.method))
+      fail(req.id, "unknown method '" + v->as_string() + "'");
+  }
+  if (const report::JsonValue* v = frame.find("compute_u"); v != nullptr) {
+    if (!v->is_bool()) fail(req.id, "field 'compute_u' must be a boolean");
+    req.compute_u = v->as_bool();
+  }
+  if (const report::JsonValue* v = frame.find("compute_v"); v != nullptr) {
+    if (!v->is_bool()) fail(req.id, "field 'compute_v' must be a boolean");
+    req.compute_v = v->as_bool();
+  }
+  if (const report::JsonValue* v = frame.find("tolerance"); v != nullptr) {
+    if (!v->is_number()) fail(req.id, "field 'tolerance' must be a number");
+    req.tolerance = v->as_number();
+    if (!(req.tolerance > 0.0) || !std::isfinite(req.tolerance))
+      fail(req.id, "field 'tolerance' must be positive and finite");
+  }
+  if (frame.find("max_sweeps") != nullptr) {
+    req.max_sweeps = require_index(frame, "max_sweeps", req.id);
+    if (req.max_sweeps == 0) fail(req.id, "field 'max_sweeps' must be >= 1");
+  }
+  if (const report::JsonValue* v = frame.find("priority"); v != nullptr) {
+    if (!v->is_number()) fail(req.id, "field 'priority' must be a number");
+    const double d = v->as_number();
+    if (!std::isfinite(d) || d != std::floor(d) || d < -1e9 || d > 1e9)
+      fail(req.id, "field 'priority' must be a small integer");
+    req.priority = static_cast<int>(d);
+  }
+  if (const report::JsonValue* v = frame.find("deadline_ms"); v != nullptr) {
+    if (!v->is_number()) fail(req.id, "field 'deadline_ms' must be a number");
+    req.deadline_ms = v->as_number();
+    if (!std::isfinite(req.deadline_ms) || req.deadline_ms < 0.0)
+      fail(req.id, "field 'deadline_ms' must be non-negative and finite");
+  }
+  return req;
+}
+
+Matrix request_matrix(const Request& req) {
+  Matrix a(req.rows, req.cols);
+  std::size_t k = 0;
+  for (std::size_t j = 0; j < req.cols; ++j)
+    for (std::size_t i = 0; i < req.rows; ++i) a(i, j) = req.data[k++];
+  return a;
+}
+
+SvdOptions request_options(const Request& req) {
+  SvdOptions opt;
+  opt.method = req.method;
+  opt.compute_u = req.compute_u;
+  opt.compute_v = req.compute_v;
+  opt.tolerance = req.tolerance;
+  opt.max_sweeps = req.max_sweeps;
+  return opt;
+}
+
+std::string format_ok_reply(const Request& req, const SvdResult& result,
+                            double latency_ms) {
+  std::string out;
+  out.reserve(64 + 20 * (result.singular_values.size() +
+                         result.u.rows() * result.u.cols() +
+                         result.v.rows() * result.v.cols()));
+  out += "{\"schema\":";
+  append_quoted(out, kProtocolSchema);
+  out += ",\"id\":";
+  append_quoted(out, req.id);
+  out += ",\"status\":\"ok\",\"sweeps\":";
+  out += std::to_string(result.sweeps);
+  out += ",\"converged\":";
+  out += result.converged ? "true" : "false";
+  out += ",\"sigma\":";
+  append_doubles(out, result.singular_values);
+  if (req.compute_u) {
+    out += ",\"u\":";
+    append_matrix(out, result.u);
+  }
+  if (req.compute_v) {
+    out += ",\"v\":";
+    append_matrix(out, result.v);
+  }
+  out += ",\"latency_ms\":";
+  append_number(out, latency_ms);
+  out += '}';
+  return out;
+}
+
+std::string format_error_reply(std::string_view id, std::string_view code,
+                               std::string_view message) {
+  std::string out;
+  out.reserve(64 + id.size() + code.size() + message.size());
+  out += "{\"schema\":";
+  append_quoted(out, kProtocolSchema);
+  out += ",\"id\":";
+  append_quoted(out, id);
+  out += ",\"status\":\"error\",\"code\":";
+  append_quoted(out, code);
+  out += ",\"message\":";
+  append_quoted(out, message);
+  out += '}';
+  return out;
+}
+
+}  // namespace hjsvd::serve

@@ -1,0 +1,101 @@
+// Wire protocol of the hjsvd_serve daemon: newline-delimited JSON frames,
+// schema "hjsvd.serve.v1".
+//
+// Request frame (one line):
+//   {"schema": "hjsvd.serve.v1",          // optional; must match if present
+//    "id": "r-17",                        // required, non-empty, unique
+//                                         //   among in-flight requests
+//    "rows": 8, "cols": 6,                // required, within Limits
+//    "data": [ ... rows*cols numbers ],   // required, column-major
+//    "method": "hestenes",                // optional; svd_method_token vocab
+//    "compute_u": false, "compute_v": false,
+//    "tolerance": 1e-13, "max_sweeps": 30,
+//    "priority": 0,                       // larger = dispatched sooner
+//    "deadline_ms": 0}                    // 0 = none; from admission time
+//
+// Reply frames (exactly one per submitted line, in either form):
+//   {"schema": "hjsvd.serve.v1", "id": "...", "status": "ok",
+//    "sweeps": N, "converged": true, "sigma": [...],
+//    "u": {"rows": m, "cols": k, "data": [...]},   // when compute_u
+//    "v": {"rows": n, "cols": k, "data": [...]},   // when compute_v
+//    "latency_ms": 1.25}
+//   {"schema": "hjsvd.serve.v1", "id": "...", "status": "error",
+//    "code": "bad_request" | "rejected:overload" | "deadline_expired"
+//            | "engine_error",
+//    "message": "..."}
+//
+// Every number is serialized with 17 significant digits, so a sigma/U/V
+// value round-trips bit-for-bit: a client parsing an ok reply recovers
+// exactly the doubles hjsvd::svd() produced (bench/serve_sweep.cpp gates
+// on this).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/svd.hpp"
+
+namespace hjsvd::serve {
+
+inline constexpr const char* kProtocolSchema = "hjsvd.serve.v1";
+
+/// Typed error codes of the "error" reply.
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrOverload = "rejected:overload";
+inline constexpr const char* kErrDeadlineExpired = "deadline_expired";
+inline constexpr const char* kErrEngine = "engine_error";
+
+/// Admission-control bounds on a single request frame.
+struct Limits {
+  std::size_t max_dim = 4096;          ///< rows and cols each.
+  std::size_t max_entries = 1u << 22;  ///< rows*cols (4M doubles = 32 MB).
+};
+
+/// One parsed decomposition request.
+struct Request {
+  std::string id;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> data;  ///< Column-major, rows*cols entries.
+  SvdMethod method = SvdMethod::kModifiedHestenes;
+  bool compute_u = false;
+  bool compute_v = false;
+  double tolerance = 1e-13;
+  std::size_t max_sweeps = 30;
+  int priority = 0;          ///< Larger = dispatched sooner.
+  double deadline_ms = 0.0;  ///< 0 = no deadline.
+};
+
+/// Error a frame-parse raises; `message` is what the bad_request reply
+/// carries, `id` is the frame's id when one could be recovered (so the
+/// client can correlate even a malformed frame).
+struct BadRequest {
+  std::string id;
+  std::string message;
+};
+
+/// Parses one request frame.  Throws serve::BadRequest on any violation:
+/// malformed JSON, wrong schema, missing/empty id, missing or out-of-range
+/// shape, data length != rows*cols, non-numeric data entries, unknown
+/// method token, non-positive tolerance, zero max_sweeps, negative
+/// deadline.
+Request parse_request(std::string_view line, const Limits& limits = {});
+
+/// Materializes the request's column-major payload as a Matrix.
+Matrix request_matrix(const Request& req);
+
+/// SvdOptions carrying the request's method/accuracy fields (sinks and
+/// threading are the server's to fill in).
+SvdOptions request_options(const Request& req);
+
+/// Serializes an ok reply (single line, no trailing newline).
+std::string format_ok_reply(const Request& req, const SvdResult& result,
+                            double latency_ms);
+
+/// Serializes an error reply (single line, no trailing newline).
+std::string format_error_reply(std::string_view id, std::string_view code,
+                               std::string_view message);
+
+}  // namespace hjsvd::serve

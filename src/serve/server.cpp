@@ -1,0 +1,384 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hjsvd::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start, Clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - start).count();
+}
+
+/// One admitted request waiting for dispatch.
+struct PendingItem {
+  Request req;
+  SvdServer::ReplyFn reply;
+  Clock::time_point admitted_at;
+  std::uint64_t seq = 0;
+};
+
+/// Wave grouping key: requests sharing it can run as one decompose_batch
+/// call (one SvdOptions for the whole batch).
+using OptionsKey = std::tuple<int, double, std::size_t, bool, bool>;
+
+OptionsKey options_key(const Request& req) {
+  return {static_cast<int>(req.method), req.tolerance, req.max_sweeps,
+          req.compute_u, req.compute_v};
+}
+
+/// Dispatch order: priority descending, earliest deadline first (none
+/// sorts last), then admission sequence.  Deterministic for a given
+/// admission order.
+bool dispatch_before(const PendingItem& a, const PendingItem& b) {
+  if (a.req.priority != b.req.priority) return a.req.priority > b.req.priority;
+  const double da =
+      a.req.deadline_ms > 0.0 ? a.req.deadline_ms : std::numeric_limits<double>::infinity();
+  const double db =
+      b.req.deadline_ms > 0.0 ? b.req.deadline_ms : std::numeric_limits<double>::infinity();
+  if (da != db) return da < db;
+  return a.seq < b.seq;
+}
+
+double percentile(std::vector<double> sorted_copy, double p) {
+  if (sorted_copy.empty()) return 0.0;
+  std::sort(sorted_copy.begin(), sorted_copy.end());
+  const double rank = p * static_cast<double>(sorted_copy.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_copy.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_copy[lo] + frac * (sorted_copy[hi] - sorted_copy[lo]);
+}
+
+}  // namespace
+
+struct SvdServer::Impl {
+  ServerConfig config;
+  EngineInstance engine;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;        ///< Wakes the dispatcher.
+  std::condition_variable drain_cv;  ///< Wakes drain()/stop() waiters.
+  std::vector<PendingItem> queue;
+  std::vector<std::string> pending_ids;  ///< In-flight ids (queued or in wave).
+  std::uint64_t next_seq = 0;
+  bool hold = false;
+  bool stopping = false;       ///< Reject new submissions.
+  bool shutdown = false;       ///< Dispatcher exits once queue is empty.
+  bool wave_in_flight = false;
+  std::vector<double> latencies_ms;  ///< Dispatcher-appended, read at stop().
+
+  std::thread dispatcher;
+  bool stopped = false;  ///< stop() already completed.
+
+  explicit Impl(const ServerConfig& cfg)
+      : config(cfg), engine(EngineConfig{.threads = cfg.threads}) {
+    hold = cfg.hold_dispatch;
+    dispatcher = std::thread([this] { dispatcher_main(); });
+  }
+
+  obs::MetricsRegistry* metrics() { return obs::active(config.metrics); }
+
+  bool id_in_flight(const std::string& id) const {
+    return std::find(pending_ids.begin(), pending_ids.end(), id) !=
+           pending_ids.end();
+  }
+
+  void erase_pending_id(const std::string& id) {
+    pending_ids.erase(std::find(pending_ids.begin(), pending_ids.end(), id));
+  }
+
+  void reply_error_counted(const ReplyFn& reply, std::string_view id,
+                           std::string_view code, std::string_view message) {
+    if (auto* m = metrics()) m->counter_add("serve.replies_error", "replies", 1);
+    reply(format_error_reply(id, code, message));
+  }
+
+  void dispatcher_main() {
+    obs::TraceRecorder* trace = obs::active(config.trace);
+    std::uint32_t tid = 0;
+    if (trace != nullptr) tid = trace->register_thread("serve dispatcher");
+
+    for (;;) {
+      std::vector<PendingItem> wave;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] {
+          return shutdown || (!queue.empty() && !hold);
+        });
+        if (queue.empty()) {
+          if (shutdown) return;
+          continue;
+        }
+        std::stable_sort(queue.begin(), queue.end(), dispatch_before);
+        const std::size_t take = std::min(config.wave_max, queue.size());
+        wave.assign(std::make_move_iterator(queue.begin()),
+                    std::make_move_iterator(queue.begin() + take));
+        queue.erase(queue.begin(), queue.begin() + take);
+        wave_in_flight = true;
+      }
+      run_wave(std::move(wave), trace, tid);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        wave_in_flight = false;
+      }
+      drain_cv.notify_all();
+    }
+  }
+
+  void run_wave(std::vector<PendingItem> wave, obs::TraceRecorder* trace,
+                std::uint32_t tid) {
+    auto* m = metrics();
+    const Clock::time_point dispatch_time = Clock::now();
+
+    // Deadline gate at the dispatch boundary: requests that expired while
+    // queued are answered without computing anything.
+    std::vector<PendingItem> live;
+    live.reserve(wave.size());
+    for (PendingItem& item : wave) {
+      const double waited = ms_since(item.admitted_at, dispatch_time);
+      if (item.req.deadline_ms > 0.0 && waited > item.req.deadline_ms) {
+        if (m) m->counter_add("serve.expired.deadline", "requests", 1);
+        reply_error_counted(item.reply, item.req.id, kErrDeadlineExpired,
+                            "deadline of " + std::to_string(item.req.deadline_ms) +
+                                " ms expired while queued");
+        finish_item(item.req.id);
+      } else {
+        live.push_back(std::move(item));
+      }
+    }
+    if (live.empty()) return;
+
+    if (m) {
+      m->counter_add("serve.waves_total", "waves", 1);
+      m->hist_record("serve.wave.size", "requests",
+                     static_cast<double>(live.size()));
+    }
+    obs::Span wave_span;
+    if (trace != nullptr)
+      wave_span = obs::Span(trace, tid, "serve", "wave",
+                            obs::ArgsBuilder()
+                                .add("requests", live.size())
+                                .str());
+
+    // Group by decomposition options; each group is one batch wave through
+    // the warm engine.
+    std::map<OptionsKey, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < live.size(); ++i)
+      groups[options_key(live[i].req)].push_back(i);
+
+    for (const auto& [key, members] : groups) {
+      (void)key;
+      run_group(live, members, trace, tid);
+    }
+    wave_span.end();
+  }
+
+  void run_group(std::vector<PendingItem>& live,
+                 const std::vector<std::size_t>& members,
+                 obs::TraceRecorder* trace, std::uint32_t tid) {
+    std::vector<Matrix> batch;
+    batch.reserve(members.size());
+    for (const std::size_t i : members)
+      batch.push_back(request_matrix(live[i].req));
+    const SvdOptions options = request_options(live[members.front()].req);
+
+    std::vector<SvdResult> results;
+    std::vector<std::exception_ptr> item_errors;
+    bool batch_failed = false;
+    try {
+      results = engine.decompose_batch(batch, options, nullptr, &item_errors);
+    } catch (const std::exception&) {
+      // Batch-level validation failure (e.g. a square-only method given a
+      // rectangular matrix).  One poisoned request must not take down its
+      // wave-mates: fall back to per-item decomposition, each individually
+      // guarded.  decompose() is bitwise identical to the batch path.
+      batch_failed = true;
+    }
+    if (batch_failed) {
+      results.clear();
+      item_errors.assign(members.size(), nullptr);
+      results.resize(members.size());
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        try {
+          results[k] = engine.decompose(batch[k], options);
+        } catch (const std::exception&) {
+          item_errors[k] = std::current_exception();
+        }
+      }
+    }
+
+    const Clock::time_point done = Clock::now();
+    auto* m = metrics();
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      PendingItem& item = live[members[k]];
+      if (item_errors[k] != nullptr) {
+        std::string message = "decomposition failed";
+        try {
+          std::rethrow_exception(item_errors[k]);
+        } catch (const std::exception& e) {
+          message = e.what();
+        }
+        reply_error_counted(item.reply, item.req.id, kErrEngine, message);
+      } else {
+        const double latency = ms_since(item.admitted_at, done);
+        if (m) {
+          m->counter_add("serve.replies_ok", "replies", 1);
+          m->hist_record("serve.latency_ms", "ms", latency);
+        }
+        if (trace != nullptr)
+          trace->emit_instant(tid, "serve", "reply", trace->now_us(),
+                              obs::ArgsBuilder()
+                                  .add("id", item.req.id)
+                                  .add("latency_ms", latency)
+                                  .str());
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          latencies_ms.push_back(latency);
+        }
+        item.reply(format_ok_reply(item.req, results[k], latency));
+      }
+      finish_item(item.req.id);
+    }
+  }
+
+  /// Removes a replied-to request from the in-flight id set.
+  void finish_item(const std::string& id) {
+    std::lock_guard<std::mutex> lock(mu);
+    erase_pending_id(id);
+  }
+};
+
+SvdServer::SvdServer(const ServerConfig& config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+SvdServer::~SvdServer() { stop(); }
+
+void SvdServer::submit_line(std::string_view line, ReplyFn reply) {
+  Impl& s = *impl_;
+  if (auto* m = s.metrics()) m->counter_add("serve.requests_total", "requests", 1);
+
+  Request req;
+  try {
+    req = parse_request(line, s.config.limits);
+  } catch (const BadRequest& e) {
+    if (auto* m = s.metrics())
+      m->counter_add("serve.rejected.bad_request", "requests", 1);
+    s.reply_error_counted(reply, e.id, kErrBadRequest, e.message);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.stopping) {
+      if (auto* m = s.metrics())
+        m->counter_add("serve.rejected.overload", "requests", 1);
+      s.reply_error_counted(reply, req.id, kErrOverload,
+                            "server is shutting down");
+      return;
+    }
+    if (s.id_in_flight(req.id)) {
+      if (auto* m = s.metrics())
+        m->counter_add("serve.rejected.bad_request", "requests", 1);
+      s.reply_error_counted(reply, req.id, kErrBadRequest,
+                            "duplicate in-flight id '" + req.id + "'");
+      return;
+    }
+    if (s.queue.size() >= s.config.queue_capacity) {
+      if (auto* m = s.metrics())
+        m->counter_add("serve.rejected.overload", "requests", 1);
+      s.reply_error_counted(reply, req.id, kErrOverload,
+                            "admission queue full (" +
+                                std::to_string(s.config.queue_capacity) +
+                                " pending)");
+      return;
+    }
+    if (auto* m = s.metrics()) {
+      m->counter_add("serve.admitted_total", "requests", 1);
+      m->series_append("serve.queue.depth", "requests",
+                       static_cast<double>(s.next_seq),
+                       static_cast<double>(s.queue.size() + 1));
+    }
+    s.pending_ids.push_back(req.id);
+    s.queue.push_back(PendingItem{std::move(req), std::move(reply),
+                                  Clock::now(), s.next_seq++});
+  }
+  s.cv.notify_one();
+}
+
+void SvdServer::release_dispatch() {
+  Impl& s = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.hold = false;
+  }
+  s.cv.notify_all();
+}
+
+void SvdServer::drain() {
+  Impl& s = *impl_;
+  release_dispatch();
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.drain_cv.wait(lock,
+                  [&s] { return s.queue.empty() && !s.wave_in_flight; });
+}
+
+void SvdServer::stop() {
+  Impl& s = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.stopped) return;
+    s.stopping = true;
+    s.hold = false;
+  }
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.shutdown = true;
+  }
+  s.cv.notify_all();
+  s.dispatcher.join();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.stopped = true;
+  }
+  if (auto* m = s.metrics()) {
+    m->gauge_set("serve.latency_p50_ms", "ms", percentile(s.latencies_ms, 0.50));
+    m->gauge_set("serve.latency_p95_ms", "ms", percentile(s.latencies_ms, 0.95));
+    m->counter_add("serve.workspace.reuse_total", "acquires",
+                   s.engine.workspace_reuse_total());
+    m->counter_add("serve.workspace.alloc_total", "acquires",
+                   s.engine.workspace_alloc_total());
+  }
+}
+
+std::size_t SvdServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->queue.size();
+}
+
+std::uint64_t SvdServer::workspace_reuse_total() const {
+  return impl_->engine.workspace_reuse_total();
+}
+
+std::uint64_t SvdServer::workspace_alloc_total() const {
+  return impl_->engine.workspace_alloc_total();
+}
+
+}  // namespace hjsvd::serve

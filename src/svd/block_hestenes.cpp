@@ -93,6 +93,7 @@ SvdResult block_hestenes_svd(const Matrix& a, const BlockHestenesConfig& cfg,
   std::uint64_t total_rotations = 0, total_skipped = 0;
   auto* metrics = obs::active(cfg.obs.metrics);
   auto* watchdog = obs::active(cfg.obs.watchdog);
+  auto* deadline = obs::active(cfg.obs.deadline);
   // Per-pair values are internal to orthogonalize_union, so the block
   // engine feeds the probe at sweep/finalize granularity only.
   auto* numerics = obs::active(cfg.obs.numerics);
@@ -112,7 +113,7 @@ SvdResult block_hestenes_svd(const Matrix& a, const BlockHestenesConfig& cfg,
                            metrics != nullptr || watchdog != nullptr ||
                            numerics != nullptr || cfg.tolerance > 0.0;
     if (need_gram) d = gram_upper_ops(r, ops);
-    detail::record_sweep_metrics(metrics, watchdog, numerics, sweep, d,
+    detail::record_sweep_metrics(metrics, watchdog, deadline, numerics, sweep, d,
                                  rotations, skipped);
     if (stats != nullptr) {
       stats->total_rotations += rotations;

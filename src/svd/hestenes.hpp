@@ -19,6 +19,8 @@
 
 namespace hjsvd {
 
+class Workspace;
+
 /// Configuration of a Hestenes-Jacobi run.
 struct HestenesConfig {
   /// Maximum number of sweeps.  The paper executes a fixed 6 sweeps, "which
@@ -66,6 +68,16 @@ struct HestenesConfig {
   /// soft-float and counting policies and by gram_chunk_rows != 1 (the
   /// chunked association is itself the requested accumulation order).
   bool simd_relaxed = false;
+
+  /// Optional scratch arena (svd/workspace.hpp) the engine draws its
+  /// internal buffers from — Gram matrix, rotation accumulator, and the
+  /// finalization temporaries that do not escape into the result.  Null
+  /// (the default) allocates fresh buffers per run.  Results are bitwise
+  /// identical either way (acquired buffers come back zeroed); the arena
+  /// must not be shared across concurrently running engines.  Honored by
+  /// the sequential modified engine and the finalization of the
+  /// Gram-rotating parallel engines; other engines ignore it.
+  Workspace* workspace = nullptr;
 
   /// Accumulation chunking of the initial Gram computation: chunk_rows = 1
   /// is strict left-to-right; chunk_rows = L models the hardware's layered
@@ -119,5 +131,13 @@ SvdResult modified_hestenes_svd_counting(const Matrix& a,
 /// HestenesConfig::gram_chunk_rows).
 template <class Ops>
 Matrix gram_upper_ops(const Matrix& a, Ops ops, std::size_t chunk_rows = 1);
+
+/// gram_upper_ops into a caller-provided n x n matrix whose strict lower
+/// triangle must already be zero (a fresh or Workspace-acquired buffer);
+/// only entries with row <= col are written.  Allocation-free and bitwise
+/// equal to gram_upper_ops(a, ops, chunk_rows).
+template <class Ops>
+void gram_upper_ops_into(Matrix& d, const Matrix& a, Ops ops,
+                         std::size_t chunk_rows = 1);
 
 }  // namespace hjsvd

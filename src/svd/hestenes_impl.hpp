@@ -11,9 +11,22 @@
 #include "linalg/kernels.hpp"
 #include "svd/hestenes.hpp"
 #include "svd/obs_hooks.hpp"
+#include "svd/workspace.hpp"
 
 namespace hjsvd {
 namespace detail {
+
+/// Scratch-buffer selector: a Workspace-acquired matrix when an arena is
+/// attached, else `local` re-shaped in place.  Both paths hand back a
+/// zeroed rows x cols matrix, so the caller's arithmetic cannot tell them
+/// apart.
+inline Matrix& scratch_matrix(Workspace* ws, Workspace::Slot slot,
+                              std::size_t rows, std::size_t cols,
+                              Matrix& local) {
+  if (ws != nullptr) return ws->acquire(slot, rows, cols);
+  local.reshape(rows, cols);
+  return local;
+}
 
 /// Whether an Ops policy is native host-FPU arithmetic in the matrix's
 /// scalar type, i.e. eligible for the SIMD-dispatched kernels (which are
@@ -255,7 +268,7 @@ void orthonormalize_columns(Matrix& u, Ops ops) {
 template <class Ops>
 void finalize_gram_result(const Matrix& a, const Matrix& d, Matrix& v,
                           const HestenesConfig& cfg, SvdResult& result,
-                          Ops ops) {
+                          Ops ops, Workspace* ws = nullptr) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
   const std::size_t k = std::min(m, n);
@@ -274,7 +287,15 @@ void finalize_gram_result(const Matrix& a, const Matrix& d, Matrix& v,
     result.singular_values[t] = diag[order[t]];
 
   if (cfg.compute_u || cfg.compute_v) {
-    Matrix v_sorted(n, k);
+    // V_sorted escapes into the result when V was requested, so it must own
+    // fresh storage then; with U only, it is pure scratch and comes from
+    // the arena.
+    Matrix v_sorted_local;
+    Matrix& v_sorted =
+        cfg.compute_v
+            ? (v_sorted_local.reshape(n, k), v_sorted_local)
+            : scratch_matrix(ws, Workspace::Slot::kVSorted, n, k,
+                             v_sorted_local);
     for (std::size_t t = 0; t < k; ++t) {
       const auto src = v.col(order[t]);
       auto dst = v_sorted.col(t);
@@ -285,7 +306,10 @@ void finalize_gram_result(const Matrix& a, const Matrix& d, Matrix& v,
       // division restores unit scale only to eps * kappa(A), and columns
       // whose singular value is numerically zero need a null-space
       // completion (see orthonormalize_columns).
-      Matrix b = matmul(a, v_sorted);
+      Matrix b_local;
+      Matrix& b =
+          scratch_matrix(ws, Workspace::Slot::kFinalizeB, m, k, b_local);
+      matmul_into(b, a, v_sorted);
       const double sigma_max =
           result.singular_values.empty() ? 0.0 : result.singular_values[0];
       const double cutoff =
@@ -301,7 +325,7 @@ void finalize_gram_result(const Matrix& a, const Matrix& d, Matrix& v,
       orthonormalize_columns(result.u, ops);
     }
     if (cfg.compute_v) {
-      result.v = std::move(v_sorted);
+      result.v = std::move(v_sorted_local);
     }
   }
 }
@@ -309,11 +333,13 @@ void finalize_gram_result(const Matrix& a, const Matrix& d, Matrix& v,
 }  // namespace detail
 
 template <class Ops>
-Matrix gram_upper_ops(const Matrix& a, Ops ops, std::size_t chunk_rows) {
+void gram_upper_ops_into(Matrix& d, const Matrix& a, Ops ops,
+                         std::size_t chunk_rows) {
   HJSVD_ENSURE(chunk_rows >= 1, "chunk_rows must be at least 1");
   const std::size_t n = a.cols();
   const std::size_t m = a.rows();
-  Matrix d(n, n);
+  HJSVD_ENSURE(d.rows() == n && d.cols() == n,
+               "gram_upper_ops_into output has the wrong shape");
   // Entries are independent; parallelism is deterministic (no shared
   // accumulation) and enabled only for policies that allow it.
 #pragma omp parallel for schedule(dynamic, 1) \
@@ -336,6 +362,12 @@ Matrix gram_upper_ops(const Matrix& a, Ops ops, std::size_t chunk_rows) {
       d(i, j) = acc;
     }
   }
+}
+
+template <class Ops>
+Matrix gram_upper_ops(const Matrix& a, Ops ops, std::size_t chunk_rows) {
+  Matrix d(a.cols(), a.cols());
+  gram_upper_ops_into(d, a, ops, chunk_rows);
   return d;
 }
 
@@ -351,6 +383,7 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
   auto* trace = obs::active(cfg.obs.trace);
   auto* metrics = obs::active(cfg.obs.metrics);
   auto* watchdog = obs::active(cfg.obs.watchdog);
+  auto* deadline = obs::active(cfg.obs.deadline);
   auto* numerics = obs::active(cfg.obs.numerics);
   const std::uint32_t tid =
       trace != nullptr ? trace->register_thread("hestenes (sequential)") : 0;
@@ -359,18 +392,31 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
   if (trace != nullptr)
     gram_span = obs::Span(trace, tid, "svd", "gram",
                           obs::ArgsBuilder().add("rows", m).add("cols", n).str());
-  Matrix d;
+  // The two big working buffers come from the attached Workspace when one
+  // is present, so a warm serve worker runs this whole function without
+  // touching the heap.  Acquired buffers arrive zeroed, which is exactly
+  // what the into-variants below require (they write the upper triangle /
+  // diagonal only).
+  Workspace* ws = cfg.workspace;
+  Matrix d_local;
+  Matrix& d = detail::scratch_matrix(ws, Workspace::Slot::kGram, n, n, d_local);
   if constexpr (std::is_same_v<Ops, fp::NativeOps>) {
-    d = cfg.simd_relaxed && cfg.gram_chunk_rows == 1
-            ? gram_upper_relaxed(a)
-            : gram_upper_ops(a, ops, cfg.gram_chunk_rows);
+    if (cfg.simd_relaxed && cfg.gram_chunk_rows == 1) {
+      gram_upper_relaxed_into(d, a);
+    } else {
+      gram_upper_ops_into(d, a, ops, cfg.gram_chunk_rows);
+    }
   } else {
-    d = gram_upper_ops(a, ops, cfg.gram_chunk_rows);
+    gram_upper_ops_into(d, a, ops, cfg.gram_chunk_rows);
   }
   gram_span.end();
   const bool need_v = cfg.compute_u || cfg.compute_v;
-  Matrix v;
-  if (need_v) v = Matrix::identity(n);
+  Matrix v_local;
+  Matrix& v = need_v ? detail::scratch_matrix(ws, Workspace::Slot::kVAccum, n,
+                                              n, v_local)
+                     : v_local;
+  if (need_v)
+    for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
 
   const auto pairs = sweep_pairs(cfg.ordering, n);
   SvdResult result;
@@ -406,7 +452,7 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
       if (cfg.track_convergence)
         stats->sweeps.push_back(detail::make_record(d, rotations, skipped));
     }
-    detail::record_sweep_metrics(metrics, watchdog, numerics, sweep, d,
+    detail::record_sweep_metrics(metrics, watchdog, deadline, numerics, sweep, d,
                                  rotations, skipped);
     if (cfg.tolerance > 0.0 && max_relative_offdiag(d) < cfg.tolerance) {
       result.converged = true;
@@ -421,7 +467,7 @@ SvdResult modified_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
 
   obs::Span finalize_span;
   if (trace != nullptr) finalize_span = obs::Span(trace, tid, "svd", "finalize");
-  detail::finalize_gram_result(a, d, v, cfg, result, ops);
+  detail::finalize_gram_result(a, d, v, cfg, result, ops, ws);
   finalize_span.end();
   if (numerics != nullptr) numerics->observe_finalize(a, result);
   detail::record_run_metrics(metrics, m, n, sweeps_done, total_rotations,

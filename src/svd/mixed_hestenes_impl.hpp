@@ -97,6 +97,7 @@ SvdResult mixed_modified_hestenes_svd_t(const Matrix& a,
   auto* trace = obs::active(cfg.base.obs.trace);
   auto* metrics = obs::active(cfg.base.obs.metrics);
   auto* watchdog = obs::active(cfg.base.obs.watchdog);
+  auto* deadline = obs::active(cfg.base.obs.deadline);
   auto* numerics = obs::active(cfg.base.obs.numerics);
   const std::uint32_t tid =
       trace != nullptr ? trace->register_thread("hestenes (mixed)") : 0;
@@ -182,7 +183,7 @@ SvdResult mixed_modified_hestenes_svd_t(const Matrix& a,
           stats->sweeps.sweeps.push_back(rec);
         }
       }
-      detail::record_sweep_metrics(metrics, watchdog, numerics, sweep,
+      detail::record_sweep_metrics(metrics, watchdog, deadline, numerics, sweep,
                                    detail::offdiag_frobenius_t(d32), measure,
                                    rotations, skipped);
       offdiag_at_switch = measure;
@@ -268,7 +269,7 @@ SvdResult mixed_modified_hestenes_svd_t(const Matrix& a,
         stats->sweeps.sweeps.push_back(
             detail::make_record(d, rotations, skipped));
     }
-    detail::record_sweep_metrics(metrics, watchdog, numerics,
+    detail::record_sweep_metrics(metrics, watchdog, deadline, numerics,
                                  float_sweeps + sweep, d, rotations, skipped);
     if (cfg.base.tolerance > 0.0 &&
         max_relative_offdiag(d) < cfg.base.tolerance) {

@@ -30,12 +30,18 @@ namespace hjsvd::detail {
 /// publishes its per-pair aggregates at this sweep granularity).
 inline void record_sweep_metrics(obs::MetricsRegistry* metrics,
                                  obs::Watchdog* watchdog,
+                                 obs::Watchdog* deadline,
                                  obs::NumericsProbe* numerics,
                                  std::size_t sweep, double offdiag_frob,
                                  double max_rel_offdiag,
                                  std::uint64_t rotations,
                                  std::uint64_t skipped) {
   if (watchdog != nullptr) watchdog->on_sweep(offdiag_frob);
+  // A deadline-only poller (ObsContext::deadline) gets its wall-clock check
+  // here, once per sweep, so one long decomposition cannot blow past
+  // --deadline-s unobserved.  on_sweep already polls an attached watchdog's
+  // deadline, so an aliased pointer is not polled twice.
+  if (deadline != nullptr && deadline != watchdog) deadline->check_deadline();
   if (numerics != nullptr) numerics->observe_sweep(sweep, offdiag_frob);
   if (metrics == nullptr) return;
   const auto idx = static_cast<double>(sweep);
@@ -51,13 +57,18 @@ inline void record_sweep_metrics(obs::MetricsRegistry* metrics,
 
 inline void record_sweep_metrics(obs::MetricsRegistry* metrics,
                                  obs::Watchdog* watchdog,
+                                 obs::Watchdog* deadline,
                                  obs::NumericsProbe* numerics,
                                  std::size_t sweep, const Matrix& d,
                                  std::uint64_t rotations,
                                  std::uint64_t skipped) {
+  // Poll the deadline here, before the measure computation: callers skip
+  // the Gram refresh when no convergence consumer is attached, and the
+  // wall-clock check needs no matrix data anyway.
+  if (deadline != nullptr && deadline != watchdog) deadline->check_deadline();
   if (metrics == nullptr && watchdog == nullptr && numerics == nullptr) return;
-  record_sweep_metrics(metrics, watchdog, numerics, sweep,
-                       offdiag_frobenius(d), max_relative_offdiag(d),
+  record_sweep_metrics(metrics, watchdog, /*deadline=*/nullptr, numerics,
+                       sweep, offdiag_frobenius(d), max_relative_offdiag(d),
                        rotations, skipped);
 }
 

@@ -201,6 +201,7 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
   auto* trace = obs::active(cfg.obs.trace);
   auto* metrics = obs::active(cfg.obs.metrics);
   auto* watchdog = obs::active(cfg.obs.watchdog);
+  auto* deadline = obs::active(cfg.obs.deadline);
   auto* numerics = obs::active(cfg.obs.numerics);
   const std::uint32_t tid =
       trace != nullptr ? trace->register_thread("blocked engine (coordinator)")
@@ -382,7 +383,7 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
       if (cfg.track_convergence)
         stats->sweeps.push_back(detail::make_record(d, rotations, skipped));
     }
-    detail::record_sweep_metrics(metrics, watchdog, numerics, sweep, d,
+    detail::record_sweep_metrics(metrics, watchdog, deadline, numerics, sweep, d,
                                  rotations, skipped);
     if (cfg.tolerance > 0.0 && max_relative_offdiag(d) < cfg.tolerance) {
       result.converged = true;
@@ -397,7 +398,7 @@ SvdResult parallel_modified_hestenes_svd(const Matrix& a,
   obs::Span finalize_span;
   if (trace != nullptr)
     finalize_span = obs::Span(trace, tid, "svd", "finalize");
-  detail::finalize_gram_result(a, d, v, cfg, result, ops);
+  detail::finalize_gram_result(a, d, v, cfg, result, ops, cfg.workspace);
   finalize_span.end();
   if (numerics != nullptr) numerics->observe_finalize(a, result);
   detail::record_run_metrics(metrics, m, n, sweeps_done, total_rotations,
@@ -427,6 +428,7 @@ SvdResult parallel_plain_hestenes_svd(const Matrix& a,
   if (stats != nullptr) *stats = HestenesStats{};
   auto* metrics = obs::active(cfg.obs.metrics);
   auto* watchdog = obs::active(cfg.obs.watchdog);
+  auto* deadline = obs::active(cfg.obs.deadline);
   // Per-pair norms live inside the parallel region here, so the plain
   // engine feeds the probe at sweep/finalize granularity only.
   auto* numerics = obs::active(cfg.obs.numerics);
@@ -474,7 +476,7 @@ SvdResult parallel_plain_hestenes_svd(const Matrix& a,
                            metrics != nullptr || watchdog != nullptr ||
                            numerics != nullptr || cfg.tolerance > 0.0;
     if (need_gram) d = detail::gram_upper_maybe_relaxed(r, cfg, ops);
-    detail::record_sweep_metrics(metrics, watchdog, numerics, sweep, d,
+    detail::record_sweep_metrics(metrics, watchdog, deadline, numerics, sweep, d,
                                  rotations.load(), skipped.load());
     if (stats != nullptr) {
       stats->total_rotations += rotations.load();
@@ -559,6 +561,7 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
   auto* trace = obs::active(cfg.obs.trace);
   auto* metrics = obs::active(cfg.obs.metrics);
   auto* watchdog = obs::active(cfg.obs.watchdog);
+  auto* deadline = obs::active(cfg.obs.deadline);
   auto* numerics = obs::active(cfg.obs.numerics);
   const auto engine_t0 = std::chrono::steady_clock::now();
   std::uint32_t coord_tid = 0, gen_tid = 0;
@@ -942,7 +945,7 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
       break;
     }
     ++sweeps_done;
-    detail::record_sweep_metrics(metrics, watchdog, numerics, sweep, d,
+    detail::record_sweep_metrics(metrics, watchdog, deadline, numerics, sweep, d,
                                  sweep_rotations[sweep],
                                  sweep_skipped[sweep]);
     if (stats != nullptr) {
@@ -1012,7 +1015,7 @@ SvdResult pipelined_modified_hestenes_svd(const Matrix& a,
   obs::Span finalize_span;
   if (trace != nullptr)
     finalize_span = obs::Span(trace, coord_tid, "svd", "finalize");
-  detail::finalize_gram_result(a, d, v, cfg, result, ops);
+  detail::finalize_gram_result(a, d, v, cfg, result, ops, cfg.workspace);
   finalize_span.end();
   if (numerics != nullptr) numerics->observe_finalize(a, result);
   detail::record_run_metrics(metrics, m, n, result.sweeps,

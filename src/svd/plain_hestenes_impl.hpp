@@ -96,6 +96,7 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
   if (stats != nullptr) *stats = HestenesStats{};
   auto* metrics = obs::active(cfg.obs.metrics);
   auto* watchdog = obs::active(cfg.obs.watchdog);
+  auto* deadline = obs::active(cfg.obs.deadline);
   auto* numerics = obs::active(cfg.obs.numerics);
 
   std::size_t sweeps_done = 0;
@@ -138,7 +139,7 @@ SvdResult plain_hestenes_svd_t(const Matrix& a, const HestenesConfig& cfg,
                            metrics != nullptr || watchdog != nullptr ||
                            numerics != nullptr || cfg.tolerance > 0.0;
     if (need_gram) d = detail::gram_upper_maybe_relaxed(r, cfg, ops);
-    detail::record_sweep_metrics(metrics, watchdog, numerics, sweep, d,
+    detail::record_sweep_metrics(metrics, watchdog, deadline, numerics, sweep, d,
                                  rotations, skipped);
     if (stats != nullptr) {
       stats->total_rotations += rotations;

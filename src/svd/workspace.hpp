@@ -1,0 +1,79 @@
+// Per-worker scratch arena of the Hestenes-family engines.
+//
+// A long-lived decomposition service (tools/hjsvd_serve.cpp) runs the same
+// engine thousands of times on similarly-shaped inputs; without reuse every
+// request pays a fresh Gram matrix, rotation accumulator and finalization
+// buffer.  A Workspace keeps one Matrix per well-known slot and re-shapes it
+// in place (Matrix::reshape) on each acquire: after the first request of a
+// given size the hot path performs zero heap allocations, which
+// EngineInstance surfaces as the serve.workspace.reuse_total counter.
+//
+// Determinism contract: acquire() returns a *zeroed* matrix of the exact
+// requested shape, indistinguishable from a freshly constructed one, so
+// every engine result is bitwise identical with and without a workspace
+// attached (tests/svd/test_workspace.cpp asserts this).
+//
+// Not thread-safe — one Workspace per worker thread, by construction
+// (EngineInstance owns one per pool worker plus one for the calling
+// thread).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace hjsvd {
+
+class Workspace {
+ public:
+  /// Well-known scratch buffers.  One engine run touches each slot at most
+  /// once, so slots never alias within a run.
+  enum class Slot : std::size_t {
+    kGram = 0,   ///< Cached covariance matrix D = A^T A (n x n).
+    kVAccum,     ///< Accumulated rotation product V (n x n, identity-seeded).
+    kVSorted,    ///< Singular vectors gathered in descending-sigma order —
+                 ///< only when V itself does not escape into the result.
+    kFinalizeB,  ///< B = A * V_sorted of the U = B * Sigma^-1 finalization.
+    kCount,
+  };
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Returns the slot's matrix re-shaped to rows x cols with every entry
+  /// zero.  Counts a reuse when the underlying buffer was retained and an
+  /// allocation when it had to grow.
+  Matrix& acquire(Slot slot, std::size_t rows, std::size_t cols) {
+    Matrix& m = slots_[static_cast<std::size_t>(slot)];
+    if (m.reshape(rows, cols)) {
+      ++reuse_total_;
+    } else {
+      ++alloc_total_;
+    }
+    return m;
+  }
+
+  /// Acquires spent with the buffer retained (no allocation).
+  std::uint64_t reuse_total() const { return reuse_total_; }
+  /// Acquires that had to grow the buffer (cold path: first request of a
+  /// size class).  Stable alloc_total with growing reuse_total is the
+  /// "hot path is allocation-free" signal the serve tests assert on.
+  std::uint64_t alloc_total() const { return alloc_total_; }
+
+  /// Drops every buffer (frees the memory) and zeroes the counters.
+  void clear() {
+    for (auto& m : slots_) m = Matrix();
+    reuse_total_ = 0;
+    alloc_total_ = 0;
+  }
+
+ private:
+  std::array<Matrix, static_cast<std::size_t>(Slot::kCount)> slots_;
+  std::uint64_t reuse_total_ = 0;
+  std::uint64_t alloc_total_ = 0;
+};
+
+}  // namespace hjsvd

@@ -27,6 +27,7 @@
 #include "obs/trace.hpp"
 #include "report/json.hpp"
 #include "report/report.hpp"
+#include "svd/obs_hooks.hpp"
 
 namespace hjsvd::obs {
 namespace {
@@ -229,6 +230,74 @@ TEST(Watchdog, ZeroDeadlineNeverFires) {
   EXPECT_FALSE(wd.deadline_exceeded());
 }
 
+// The per-sweep hook polls a deadline-only watchdog (ObsContext::deadline)
+// without feeding it convergence progress: the wall clock is checked, but
+// no sweep is observed and no stall window advances.
+TEST(Watchdog, DeadlinePollerIsCheckedPerSweepWithoutConvergenceFeed) {
+  Watchdog wd({.deadline_s = 0.005, .stall_sweeps = 2});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  detail::record_sweep_metrics(/*metrics=*/nullptr, /*watchdog=*/nullptr,
+                               /*deadline=*/&wd, /*numerics=*/nullptr,
+                               /*sweep=*/0, /*offdiag_frob=*/1.0,
+                               /*max_rel_offdiag=*/1.0, /*rotations=*/1,
+                               /*skipped=*/0);
+  EXPECT_TRUE(wd.deadline_exceeded());
+  EXPECT_EQ(wd.sweeps_observed(), 0u);  // poll only, no on_sweep feed
+  EXPECT_FALSE(wd.stalled());
+
+  // An aliased pointer (watchdog == deadline) is not polled twice and the
+  // convergence feed still runs once per sweep.
+  Watchdog both({.deadline_s = 0.005, .stall_sweeps = 2});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  detail::record_sweep_metrics(/*metrics=*/nullptr, /*watchdog=*/&both,
+                               /*deadline=*/&both, /*numerics=*/nullptr,
+                               /*sweep=*/0, /*offdiag_frob=*/1.0,
+                               /*max_rel_offdiag=*/1.0, /*rotations=*/1,
+                               /*skipped=*/0);
+  EXPECT_TRUE(both.deadline_exceeded());
+  EXPECT_EQ(both.sweeps_observed(), 1u);
+}
+
+// Regression: svd_batch used to poll --deadline-s only *between* items, so
+// one long matrix overran the budget unbounded.  The deadline check is now
+// threaded into the per-sweep hook of the in-flight item; the trace proves
+// it — the watchdog.deadline instant must land well inside the first item
+// span (one sweep in), not at its very end where the old between-items poll
+// sat.
+TEST(Watchdog, BatchDeadlineIsPolledInsideAnInFlightItem) {
+  Rng rng(20260808);
+  std::vector<Matrix> batch;
+  batch.push_back(random_gaussian(128, 96, rng));
+
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+  Watchdog wd({.deadline_s = 1e-4, .stall_sweeps = 3}, &trace, &metrics);
+  SvdOptions opt;
+  opt.trace = &trace;
+  opt.metrics = &metrics;
+  opt.watchdog = &wd;
+  svd_batch(batch, opt, /*threads=*/1);
+  ASSERT_TRUE(wd.deadline_exceeded());
+  if (!kEnabled) return;  // without obs there is no trace to interrogate
+
+  double instant_ts = -1.0;
+  double item_ts = -1.0, item_end = -1.0;
+  for (const TraceRecorder::Event& e : trace.snapshot()) {
+    if (e.ph == 'i' && e.name == "watchdog.deadline" && instant_ts < 0.0)
+      instant_ts = e.ts_us;
+    if (e.ph == 'X' && e.name == "item" && item_ts < 0.0) {
+      item_ts = e.ts_us;
+      item_end = e.ts_us + e.dur_us;
+    }
+  }
+  ASSERT_GE(instant_ts, 0.0);
+  ASSERT_GE(item_ts, 0.0);
+  // The 0.1 ms budget expires during the first of ~10 sweeps; the flag must
+  // fire in the first half of the item, far from the end-of-item poll.
+  EXPECT_GE(instant_ts, item_ts);
+  EXPECT_LT(instant_ts, item_ts + 0.5 * (item_end - item_ts));
+}
+
 TEST(Watchdog, PublishesMetricsAndInstantEvents) {
   TraceRecorder trace;
   MetricsRegistry metrics;
@@ -359,6 +428,39 @@ TEST(SnapshotExporter, IgnoresDumpRequestsFromBeforeConstruction) {
     exporter.stop();
     EXPECT_EQ(exporter.dumps(), 0u);
   }
+}
+
+// Regression: a dump_now()/SIGUSR1 arriving after an explicit stop() — the
+// sampler thread is gone, the final sample has been written — used to be
+// lost forever: the destructor's second stop() early-returned, and the next
+// exporter deliberately skips requests predating its construction.  The
+// repeated-stop path must service such a request once.
+TEST(SnapshotExporter, ServicesDumpRequestArrivingAfterStop) {
+  const ScratchDir dir("late_dump");
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+  const auto tid = trace.register_thread("main");
+  trace.emit_instant(tid, "t", "e", trace.now_us());
+  metrics.counter_add("test.work", "items", 3);
+  std::uint64_t dumps = 0;
+  {
+    SnapshotExporter exporter({.dir = dir.str(),
+                               .interval = std::chrono::milliseconds(500)},
+                              &trace, &metrics);
+    exporter.stop();
+    EXPECT_EQ(exporter.dumps(), 0u);
+    // The race window: request lands between stop() and destruction.
+    dump_now();
+    exporter.stop();  // the destructor takes this same path
+    dumps = exporter.dumps();
+  }
+  ASSERT_EQ(dumps, 1u);
+  const report::JsonValue trace_dump = report::parse_json_file(
+      SnapshotExporter::dump_trace_path(dir.str(), 1));
+  EXPECT_EQ(trace_dump.string_or("schema"), kTraceSchema);
+  const report::JsonValue metrics_dump = report::parse_json_file(
+      SnapshotExporter::dump_metrics_path(dir.str(), 1));
+  EXPECT_EQ(metrics_dump.string_or("schema"), kMetricsSchema);
 }
 
 // --- End-to-end: live telemetry never changes the arithmetic ---------------

@@ -514,6 +514,86 @@ TEST(ReportLive, CompareTreatsVerdictsAndDropsAsInvariants) {
   }
 }
 
+// --- Serving section ------------------------------------------------------
+
+// A metrics document as hjsvd_serve records it: admission-control counters,
+// wave/latency statistics, the queue-depth series, and the warm-workspace
+// shutdown counters.
+const char* kServeMetrics = R"({
+"schema": "hjsvd.metrics.v1",
+"metrics": [
+  {"name": "serve.requests_total", "unit": "requests", "type": "counter", "value": 10},
+  {"name": "serve.admitted_total", "unit": "requests", "type": "counter", "value": 7},
+  {"name": "serve.rejected.overload", "unit": "requests", "type": "counter", "value": 2},
+  {"name": "serve.rejected.bad_request", "unit": "requests", "type": "counter", "value": 1},
+  {"name": "serve.expired.deadline", "unit": "requests", "type": "counter", "value": 1},
+  {"name": "serve.replies_ok", "unit": "requests", "type": "counter", "value": 6},
+  {"name": "serve.replies_error", "unit": "requests", "type": "counter", "value": 4},
+  {"name": "serve.waves_total", "unit": "waves", "type": "counter", "value": 3},
+  {"name": "serve.workspace.reuse_total", "unit": "buffers", "type": "counter", "value": 12},
+  {"name": "serve.workspace.alloc_total", "unit": "buffers", "type": "counter", "value": 4},
+  {"name": "serve.latency_p50_ms", "unit": "ms", "type": "gauge", "value": 1.25},
+  {"name": "serve.latency_p95_ms", "unit": "ms", "type": "gauge", "value": 4.5},
+  {"name": "serve.queue.depth", "unit": "requests", "type": "series",
+   "points": [[0, 1], [1, 2], [2, 3], [3, 2]]}
+]
+})";
+
+RunReport serve_report() {
+  return analyze_run(
+      parse_json(R"({"schema": "hjsvd.trace.v1", "traceEvents": []})"),
+      parse_json(kServeMetrics));
+}
+
+TEST(ReportServe, AnalyzeFillsServeSectionFromMetrics) {
+  const RunReport r = serve_report();
+  ASSERT_TRUE(r.has_serve);
+  EXPECT_EQ(r.serve_requests_total, 10u);
+  EXPECT_EQ(r.serve_admitted_total, 7u);
+  EXPECT_EQ(r.serve_rejected_overload, 2u);
+  EXPECT_EQ(r.serve_rejected_bad_request, 1u);
+  EXPECT_EQ(r.serve_expired_deadline, 1u);
+  EXPECT_EQ(r.serve_replies_ok, 6u);
+  EXPECT_EQ(r.serve_replies_error, 4u);
+  EXPECT_EQ(r.serve_waves_total, 3u);
+  EXPECT_EQ(r.serve_workspace_reuse_total, 12u);
+  EXPECT_EQ(r.serve_workspace_alloc_total, 4u);
+  EXPECT_DOUBLE_EQ(r.serve_latency_p50_ms, 1.25);
+  EXPECT_DOUBLE_EQ(r.serve_latency_p95_ms, 4.5);
+  EXPECT_EQ(r.serve_queue_depth.samples, 4u);
+  EXPECT_DOUBLE_EQ(r.serve_queue_depth.mean, 2.0);
+  EXPECT_DOUBLE_EQ(r.serve_queue_depth.max, 3.0);
+}
+
+TEST(ReportServe, ServeSectionRoundTrips) {
+  const RunReport a = serve_report();
+  const std::string json = report_json(a);
+  EXPECT_NE(json.find("\"serve\""), std::string::npos);
+  const RunReport b = report_from_json(parse_json(json));
+  ASSERT_TRUE(b.has_serve);
+  EXPECT_EQ(b.serve_requests_total, 10u);
+  EXPECT_EQ(b.serve_workspace_reuse_total, 12u);
+  EXPECT_DOUBLE_EQ(b.serve_latency_p95_ms, 4.5);
+  EXPECT_EQ(b.serve_queue_depth.samples, 4u);
+  EXPECT_EQ(report_json(a), report_json(b));
+}
+
+TEST(ReportServe, AbsentServeOmitsTheMemberEntirely) {
+  // Offline-run reports must keep serializing byte-for-byte (the golden
+  // file below enforces the same thing).
+  const std::string json = report_json(fixture_report());
+  EXPECT_EQ(json.find("\"serve\""), std::string::npos);
+}
+
+TEST(ReportServe, TableRendersAdmissionAndWarmPoolStory) {
+  const std::string table = report_table(serve_report());
+  EXPECT_NE(table.find("10 requests"), std::string::npos);
+  EXPECT_NE(table.find("7 admitted / 2 overload / 1 bad"), std::string::npos);
+  EXPECT_NE(table.find("1 deadline-expired"), std::string::npos);
+  EXPECT_NE(table.find("12 reuses / 4 allocs"), std::string::npos);
+  EXPECT_NE(table.find("queue depth mean 2.00"), std::string::npos);
+}
+
 // --- Golden file and round trip -------------------------------------------
 
 TEST(ReportGolden, SerializationMatchesGoldenByteForByte) {

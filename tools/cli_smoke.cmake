@@ -175,6 +175,22 @@ foreach(needle "batch of 4 matrices" "work-stealing batch pool"
   endif()
 endforeach()
 
+# --batch with a directory holding zero .mtx files is a usage error (exit 2
+# + usage text), never a silent success with an empty stats line.
+file(REMOVE_RECURSE ${WORKDIR}/empty_batch_dir)
+file(MAKE_DIRECTORY ${WORKDIR}/empty_batch_dir)
+execute_process(
+  COMMAND ${CLI} --batch ${WORKDIR}/empty_batch_dir
+  RESULT_VARIABLE rc_empty OUTPUT_VARIABLE out_empty ERROR_VARIABLE err_empty)
+if(NOT rc_empty EQUAL 2)
+  message(FATAL_ERROR "--batch on an empty directory exited ${rc_empty}, "
+                      "want usage error 2: ${out_empty}${err_empty}")
+endif()
+if(NOT err_empty MATCHES "no .mtx files" OR NOT err_empty MATCHES "--method")
+  message(FATAL_ERROR "--batch on an empty directory did not print the "
+                      "usage text: ${err_empty}")
+endif()
+
 # Batch usage errors: mutually exclusive flags, malformed specs, and
 # out-of-range split thresholds are usage errors (exit 2), not crashes.
 foreach(bad_batch

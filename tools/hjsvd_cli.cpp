@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 
+#include "api/engine.hpp"
 #include "api/svd.hpp"
 #include "arch/accelerator_sim.hpp"
 #include "arch/timing_model.hpp"
@@ -50,27 +51,12 @@ class UsageError : public Error {
 };
 
 SvdMethod parse_method(const std::string& name) {
-  if (name == "hestenes" || name == "modified") {
-    return SvdMethod::kModifiedHestenes;
-  }
-  if (name == "plain") return SvdMethod::kPlainHestenes;
-  if (name == "parallel") return SvdMethod::kParallelHestenes;
-  if (name == "parallel-modified" || name == "block") {
-    return SvdMethod::kParallelModifiedHestenes;
-  }
-  if (name == "pipelined-modified" || name == "pipelined") {
-    return SvdMethod::kPipelinedModifiedHestenes;
-  }
-  if (name == "mixed-modified" || name == "mixed") {
-    return SvdMethod::kMixedModifiedHestenes;
-  }
-  if (name == "two-sided" || name == "twosided") {
-    return SvdMethod::kTwoSidedJacobi;
-  }
-  if (name == "golub-kahan" || name == "gk") return SvdMethod::kGolubKahan;
-  throw UsageError("unknown --method '" + name +
-                   "' (hestenes|plain|parallel|parallel-modified|"
-                   "pipelined-modified|mixed-modified|two-sided|golub-kahan)");
+  SvdMethod method;
+  if (!svd_method_from_token(name, &method))
+    throw UsageError("unknown --method '" + name +
+                     "' (hestenes|plain|parallel|parallel-modified|"
+                     "pipelined-modified|mixed-modified|two-sided|golub-kahan)");
+  return method;
 }
 
 /// Parses an option that must be a positive finite number.  Non-numeric
@@ -531,7 +517,11 @@ int main(int argc, char** argv) {
 
       Timer timer;
       SvdBatchStats stats;
-      const auto results = svd_batch(batch, opt, opt.threads, &stats);
+      // The CLI batch path runs on the same warm engine the serve daemon
+      // uses (resident pool + per-worker workspaces), so one-shot runs
+      // exercise exactly the serving code path.
+      EngineInstance engine(EngineConfig{.threads = opt.threads});
+      const auto results = engine.decompose_batch(batch, opt, &stats);
       const double seconds = timer.seconds();
 
       AsciiTable table({"item", "shape", "sweeps", "converged", "sigma[0]"});
